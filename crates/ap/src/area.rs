@@ -1,0 +1,90 @@
+/// Calibrated 16 nm area model.
+///
+/// The paper reports AP deployment areas of 0.64 / 0.81 / 1.28 mm² for
+/// Llama2-7b / 13b / 70b — exactly proportional to head count
+/// (32 / 40 / 64), i.e. one AP tile of ≈0.02 mm² per attention head.
+/// With the mapping's measured column budget (213 columns for the best
+/// M = 6 configuration, two packed half-vectors plus shared operand and
+/// divisor fields) and 2048 rows (sequence length 4096 at two words per
+/// row), a per-cell area of 0.040 µm² (a 16 nm high-density SRAM-class
+/// bitcell) plus 18% peripheral overhead reproduces that tile area.
+///
+/// # Examples
+///
+/// ```
+/// use softmap_ap::AreaModel;
+///
+/// let a = AreaModel::nm16();
+/// let tile = a.tile_area_mm2(2048, 213);
+/// assert!(tile > 0.015 && tile < 0.025, "tile = {tile} mm^2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// CAM cell area, µm².
+    pub cell_area_um2: f64,
+    /// Fractional overhead for key/mask/tag registers, sense amps, and
+    /// the controller.
+    pub periphery_overhead: f64,
+}
+
+impl AreaModel {
+    /// The calibrated 16 nm model.
+    #[must_use]
+    pub fn nm16() -> Self {
+        Self {
+            cell_area_um2: 0.040,
+            periphery_overhead: 0.18,
+        }
+    }
+
+    /// Area of one AP tile of `rows × cols` cells, in mm².
+    #[must_use]
+    pub fn tile_area_mm2(&self, rows: usize, cols: usize) -> f64 {
+        (rows * cols) as f64 * self.cell_area_um2 * (1.0 + self.periphery_overhead) * 1e-6
+    }
+
+    /// Area of a deployment of `tiles` identical tiles, in mm².
+    #[must_use]
+    pub fn deployment_area_mm2(&self, tiles: usize, rows: usize, cols: usize) -> f64 {
+        tiles as f64 * self.tile_area_mm2(rows, cols)
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::nm16()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_scales_with_tiles() {
+        let a = AreaModel::nm16();
+        let one = a.tile_area_mm2(2048, 213);
+        assert!((a.deployment_area_mm2(32, 2048, 213) - 32.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_area_shape_head_proportional() {
+        // 32 / 40 / 64 heads must produce areas in ratio 32 : 40 : 64.
+        let a = AreaModel::nm16();
+        let a7 = a.deployment_area_mm2(32, 2048, 213);
+        let a13 = a.deployment_area_mm2(40, 2048, 213);
+        let a70 = a.deployment_area_mm2(64, 2048, 213);
+        assert!((a13 / a7 - 40.0 / 32.0).abs() < 1e-9);
+        assert!((a70 / a7 - 2.0).abs() < 1e-9);
+        // and land near the paper's magnitudes (0.64 / 0.81 / 1.28 mm²)
+        assert!((a7 - 0.64).abs() < 0.15, "a7 = {a7}");
+        assert!((a70 - 1.28).abs() < 0.30, "a70 = {a70}");
+    }
+
+    #[test]
+    fn zero_geometry_zero_area() {
+        let a = AreaModel::nm16();
+        assert_eq!(a.tile_area_mm2(0, 100), 0.0);
+        assert_eq!(a.deployment_area_mm2(0, 2048, 100), 0.0);
+    }
+}

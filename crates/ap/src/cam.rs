@@ -1,0 +1,354 @@
+use crate::{ApError, CycleStats, Field, RowSet};
+
+/// The content-addressable memory at the heart of the AP.
+///
+/// Data is stored column-major: one [`RowSet`] bit-plane per column.
+/// The two primitive cycles of the machine are:
+///
+/// * [`CamArray::compare`] — present a key on a set of masked columns;
+///   every row matching on *all* masked columns is tagged (this is the
+///   key/mask/tag search of Fig. 3),
+/// * [`CamArray::write`] — drive key bits into the masked columns of the
+///   tagged rows.
+///
+/// Every cycle is charged to an internal [`CycleStats`]. Host-side bulk
+/// I/O ([`CamArray::load_field`] / [`CamArray::read_field`]) models the
+/// paper's "Write x" dataflow steps: one write cycle per bit column.
+///
+/// # Examples
+///
+/// ```
+/// use softmap_ap::{CamArray, Field};
+///
+/// let mut cam = CamArray::new(8, 4).unwrap();
+/// let f = Field::new(0, 4);
+/// cam.load_field(f, &[3, 7, 3, 0]).unwrap();
+/// // search for the value 3 on all four columns
+/// let tag = cam.compare(&[(0, true), (1, true), (2, false), (3, false)]);
+/// assert_eq!(tag.iter_set().collect::<Vec<_>>(), vec![0, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CamArray {
+    rows: usize,
+    cols: usize,
+    planes: Vec<RowSet>,
+    stats: CycleStats,
+}
+
+impl CamArray {
+    /// Creates a zeroed CAM of `rows × cols` cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApError::BadConfig`] if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, ApError> {
+        if rows == 0 || cols == 0 {
+            return Err(ApError::BadConfig("CAM dimensions must be non-zero"));
+        }
+        Ok(Self {
+            rows,
+            cols,
+            planes: vec![RowSet::new(rows); cols],
+            stats: CycleStats::default(),
+        })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Accumulated cycle statistics.
+    #[must_use]
+    pub fn stats(&self) -> CycleStats {
+        self.stats
+    }
+
+    /// Resets the cycle statistics to zero.
+    pub fn reset_stats(&mut self) {
+        self.stats = CycleStats::default();
+    }
+
+    fn check_col(&self, col: usize) -> usize {
+        assert!(col < self.cols, "column {col} out of range {}", self.cols);
+        col
+    }
+
+    /// One compare cycle: tags every row whose cells equal the key bit on
+    /// each masked `(column, key)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column index is out of range.
+    #[must_use]
+    pub fn compare(&mut self, masked: &[(usize, bool)]) -> RowSet {
+        let mut tag = RowSet::all(self.rows);
+        for &(col, key) in masked {
+            self.check_col(col);
+            tag.and_with_polarity(&self.planes[col], key);
+        }
+        self.stats.charge_compare(self.rows as u64, masked.len() as u64);
+        tag
+    }
+
+    /// One write cycle: drives each `(column, key)` bit into all rows of
+    /// `tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column index is out of range.
+    pub fn write(&mut self, tag: &RowSet, masked: &[(usize, bool)]) {
+        let tagged = tag.count() as u64;
+        for &(col, key) in masked {
+            self.check_col(col);
+            let plane = &mut self.planes[col];
+            for (p, t) in plane.words_mut().iter_mut().zip(tag.words()) {
+                if key {
+                    *p |= t;
+                } else {
+                    *p &= !t;
+                }
+            }
+        }
+        self.stats.charge_write(tagged, masked.len() as u64);
+    }
+
+    /// Reads one column plane without charging cycles (observer access
+    /// for the simulator itself).
+    #[must_use]
+    pub fn plane(&self, col: usize) -> &RowSet {
+        self.check_col(col);
+        &self.planes[col]
+    }
+
+    /// Host-side bulk load of one word per row into `field`: charged as
+    /// one write cycle per bit column (the paper's "Write x" steps cost
+    /// `width` cycles).
+    ///
+    /// # Errors
+    ///
+    /// * [`ApError::RowCapacity`] if more words than rows are supplied.
+    /// * [`ApError::ColumnCapacity`] if the field exceeds the array.
+    /// * [`ApError::WidthOverflow`] if a word does not fit the field.
+    pub fn load_field(&mut self, field: Field, words: &[u64]) -> Result<(), ApError> {
+        if field.end() > self.cols {
+            return Err(ApError::ColumnCapacity {
+                needed: field.end(),
+                available: self.cols,
+            });
+        }
+        if words.len() > self.rows {
+            return Err(ApError::RowCapacity {
+                needed: words.len(),
+                available: self.rows,
+            });
+        }
+        for &w in words {
+            if w > field.max_value() {
+                return Err(ApError::WidthOverflow {
+                    value: w,
+                    width: field.width(),
+                });
+            }
+        }
+        for bit in 0..field.width() {
+            let plane = &mut self.planes[field.col(bit)];
+            for (row, &w) in words.iter().enumerate() {
+                plane.set(row, w >> bit & 1 == 1);
+            }
+            // Rows beyond the supplied words keep their contents; the
+            // write drives exactly `words.len()` rows.
+            self.stats.charge_write(words.len() as u64, 1);
+        }
+        Ok(())
+    }
+
+    /// Host-side broadcast of one constant into `field` for the rows of
+    /// `tag`: one write cycle per bit column.
+    ///
+    /// # Errors
+    ///
+    /// * [`ApError::ColumnCapacity`] if the field exceeds the array.
+    /// * [`ApError::WidthOverflow`] if the value does not fit the field.
+    pub fn broadcast_field(
+        &mut self,
+        field: Field,
+        value: u64,
+        tag: &RowSet,
+    ) -> Result<(), ApError> {
+        if field.end() > self.cols {
+            return Err(ApError::ColumnCapacity {
+                needed: field.end(),
+                available: self.cols,
+            });
+        }
+        if value > field.max_value() {
+            return Err(ApError::WidthOverflow {
+                value,
+                width: field.width(),
+            });
+        }
+        for bit in 0..field.width() {
+            self.write(tag, &[(field.col(bit), value >> bit & 1 == 1)]);
+        }
+        Ok(())
+    }
+
+    /// Reads back one word per row from `field` (free: models the host
+    /// observing the array after execution; result read-out costs are
+    /// accounted by the deployment model, not per cell).
+    #[must_use]
+    pub fn read_field(&self, field: Field) -> Vec<u64> {
+        assert!(
+            field.end() <= self.cols,
+            "field {field} exceeds {} columns",
+            self.cols
+        );
+        let mut out = vec![0u64; self.rows];
+        for bit in 0..field.width() {
+            let plane = &self.planes[field.col(bit)];
+            for (row, w) in out.iter_mut().enumerate() {
+                if plane.get(row) {
+                    *w |= 1 << bit;
+                }
+            }
+        }
+        out
+    }
+
+    /// Reads one word from one row (free observer access).
+    #[must_use]
+    pub fn read_word(&self, row: usize, field: Field) -> u64 {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        let mut w = 0;
+        for bit in 0..field.width() {
+            if self.planes[field.col(bit)].get(row) {
+                w |= 1 << bit;
+            }
+        }
+        w
+    }
+
+    /// Charges 2D (row-parallel) cycles; see [`CycleStats::charge_2d`].
+    pub fn charge_2d(&mut self, cycles: u64, cell_events: u64) {
+        self.stats.charge_2d(cycles, cell_events);
+    }
+
+    /// Directly sets one word in one row without charging cycles.
+    ///
+    /// This is the simulator's back-door for modelling 2D row-parallel
+    /// arithmetic whose cost is charged analytically via
+    /// [`CamArray::charge_2d`]; it is not part of the machine's ISA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is out of range or the value does not fit.
+    pub fn poke_word(&mut self, row: usize, field: Field, value: u64) {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        assert!(
+            value <= field.max_value(),
+            "value {value} does not fit {field}"
+        );
+        for bit in 0..field.width() {
+            self.planes[field.col(bit)].set(row, value >> bit & 1 == 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_read_roundtrip() {
+        let mut cam = CamArray::new(5, 10).unwrap();
+        let f = Field::new(2, 6);
+        let data = [0u64, 63, 21, 42, 7];
+        cam.load_field(f, &data).unwrap();
+        assert_eq!(cam.read_field(f), data);
+        assert_eq!(cam.read_word(3, f), 42);
+        // width cycles charged
+        assert_eq!(cam.stats().write_cycles(), 6);
+    }
+
+    #[test]
+    fn compare_matches_on_all_masked_columns() {
+        let mut cam = CamArray::new(4, 4).unwrap();
+        let f = Field::new(0, 4);
+        cam.load_field(f, &[0b1010, 0b1000, 0b0010, 0b1010]).unwrap();
+        let tag = cam.compare(&[(1, true), (3, true)]);
+        assert_eq!(tag.iter_set().collect::<Vec<_>>(), vec![0, 3]);
+        let tag = cam.compare(&[(0, false)]);
+        assert_eq!(tag.count(), 4);
+    }
+
+    #[test]
+    fn write_only_touches_tagged_rows() {
+        let mut cam = CamArray::new(4, 2).unwrap();
+        let mut tag = RowSet::new(4);
+        tag.set(1, true);
+        tag.set(2, true);
+        cam.write(&tag, &[(0, true), (1, false)]);
+        let f = Field::new(0, 2);
+        assert_eq!(cam.read_field(f), vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn broadcast_constant() {
+        let mut cam = CamArray::new(3, 8).unwrap();
+        let f = Field::new(0, 8);
+        cam.broadcast_field(f, 0xA5, &RowSet::all(3)).unwrap();
+        assert_eq!(cam.read_field(f), vec![0xA5; 3]);
+    }
+
+    #[test]
+    fn capacity_errors() {
+        let mut cam = CamArray::new(2, 4).unwrap();
+        let wide = Field::new(0, 5);
+        assert!(matches!(
+            cam.load_field(wide, &[0, 0]),
+            Err(ApError::ColumnCapacity { .. })
+        ));
+        let f = Field::new(0, 4);
+        assert!(matches!(
+            cam.load_field(f, &[0, 0, 0]),
+            Err(ApError::RowCapacity { .. })
+        ));
+        assert!(matches!(
+            cam.load_field(f, &[16, 0]),
+            Err(ApError::WidthOverflow { .. })
+        ));
+        assert!(matches!(
+            cam.broadcast_field(f, 16, &RowSet::all(2)),
+            Err(ApError::WidthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        assert!(CamArray::new(0, 4).is_err());
+        assert!(CamArray::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn stats_track_cell_events() {
+        let mut cam = CamArray::new(100, 8).unwrap();
+        let _ = cam.compare(&[(0, true), (1, false)]);
+        assert_eq!(cam.stats().compare_cell_events(), 200);
+        let mut tag = RowSet::new(100);
+        for i in 0..10 {
+            tag.set(i, true);
+        }
+        cam.write(&tag, &[(2, true)]);
+        assert_eq!(cam.stats().write_cell_events(), 10);
+        cam.reset_stats();
+        assert_eq!(cam.stats().cycles(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Analytic AP runtime formulas — Table II of the paper.
+//!
+//! The paper models 2D-AP runtimes (in cycles) for elementary functions
+//! of `M`-bit words over `L` rows:
+//!
+//! | Function | 2D AP runtime |
+//! |---|---|
+//! | Addition | `2M + 8M + M + 1` |
+//! | Multiplication | `2M + 8M² + 2M` |
+//! | Reduction | `2M + 8M + 8·log2(L/2) + 1` |
+//! | Matrix-matrix multiplication | `2M + 8M² + 8·log2(j) + 2M + log2(j)` |
+//!
+//! The `2M` terms are operand loads (bit-serial writes), `8M`/`8M²` the
+//! compare/write LUT passes, and the trailing terms carry/result
+//! handling. The microcoded simulator's measured counts are compared
+//! against these formulas by the Table II experiment; division (used by
+//! the softmax dataflow's final step but absent from Table II) is our
+//! documented extension.
+//!
+//! # Examples
+//!
+//! ```
+//! use softmap_ap::cost;
+//!
+//! assert_eq!(cost::addition(8), 2 * 8 + 8 * 8 + 8 + 1);
+//! assert_eq!(cost::reduction(6, 4096), 2 * 6 + 8 * 6 + 8 * 11 + 1);
+//! ```
+
+/// Integer `ceil(log2(x))` (0 for `x <= 1`).
+///
+/// # Examples
+///
+/// ```
+/// use softmap_ap::cost::ceil_log2;
+/// assert_eq!(ceil_log2(1), 0);
+/// assert_eq!(ceil_log2(2), 1);
+/// assert_eq!(ceil_log2(2048), 11);
+/// assert_eq!(ceil_log2(2049), 12);
+/// ```
+#[must_use]
+pub fn ceil_log2(x: u64) -> u64 {
+    if x <= 1 {
+        0
+    } else {
+        u64::from(64 - (x - 1).leading_zeros())
+    }
+}
+
+/// Addition of two `m`-bit words: `2M + 8M + M + 1` cycles
+/// (loads + LUT passes + result handling).
+#[must_use]
+pub fn addition(m: u64) -> u64 {
+    2 * m + 8 * m + m + 1
+}
+
+/// Multiplication of two `m`-bit words: `2M + 8M² + 2M` cycles.
+#[must_use]
+pub fn multiplication(m: u64) -> u64 {
+    2 * m + 8 * m * m + 2 * m
+}
+
+/// Mixed-width multiplication (`wa × wb` bits): straightforward
+/// generalization `2(wa+wb)/2·… → wa + wb + 8·wa·wb` load/pass cycles,
+/// reducing to the paper's `2M + 8M² + 2M` when `wa == wb == M`.
+#[must_use]
+pub fn multiplication_mixed(wa: u64, wb: u64) -> u64 {
+    (wa + wb) + 8 * wa * wb + (wa + wb)
+}
+
+/// Reduction (sum of `l/2` packed word pairs in the 2D AP):
+/// `2M + 8M + 8·log2(L/2) + 1` cycles.
+#[must_use]
+pub fn reduction(m: u64, l: u64) -> u64 {
+    2 * m + 8 * m + 8 * ceil_log2(l / 2) + 1
+}
+
+/// 1D-AP reduction of `l/2` packed word pairs: unlike the 2D AP, each
+/// tree stage must physically move one operand next to the other
+/// (a copy) before the bit-serial add, costing
+/// `2M + 8M + log2(L/2)·(4M + 8M + M + 1)` cycles — the ablation the
+/// paper cites when motivating the 2D AP ("reduction ... can be
+/// performed without any data movements").
+#[must_use]
+pub fn reduction_1d(m: u64, l: u64) -> u64 {
+    2 * m + 8 * m + ceil_log2(l / 2) * (4 * m + 8 * m + m + 1)
+}
+
+/// Matrix-matrix multiplication of `i×j` by `j×u` matrices of `m`-bit
+/// words: `2M + 8M² + 8·log2(j) + 2M + log2(j)` cycles (Table II,
+/// reported per output-element wavefront).
+#[must_use]
+pub fn matmul(m: u64, j: u64) -> u64 {
+    2 * m + 8 * m * m + 8 * ceil_log2(j) + 2 * m + ceil_log2(j)
+}
+
+/// Restoring division developing `q` quotient bits against a `w`-bit
+/// divisor — our documented extension for the dataflow's step 16:
+/// roughly `q · (2w + 8w + 8w + 5) + w` cycles (per-bit remainder shift,
+/// subtract, gated restore, and quotient write, plus scratch clearing).
+#[must_use]
+pub fn division(w: u64, q: u64) -> u64 {
+    q * (2 * w + 8 * w + 8 * w + 5) + w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_values_at_paper_precisions() {
+        // M = 8 (the paper's running example precision)
+        assert_eq!(addition(8), 89);
+        assert_eq!(multiplication(8), 544);
+        // L = 4096 rows -> log2(2048) = 11
+        assert_eq!(reduction(8, 4096), 169);
+        // j = 4096 -> log2 = 12: 16 + 512 + 96 + 16 + 12
+        assert_eq!(matmul(8, 4096), 652);
+    }
+
+    #[test]
+    fn mixed_multiplication_reduces_to_square_case() {
+        for m in [4u64, 6, 8] {
+            assert_eq!(multiplication_mixed(m, m), multiplication(m));
+        }
+    }
+
+    #[test]
+    fn ceil_log2_boundaries() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1 << 20), 20);
+    }
+
+    #[test]
+    fn costs_monotone_in_precision() {
+        for m in 2u64..16 {
+            assert!(addition(m + 1) > addition(m));
+            assert!(multiplication(m + 1) > multiplication(m));
+            assert!(reduction(m + 1, 1024) > reduction(m, 1024));
+            assert!(division(m + 1, 8) > division(m, 8));
+        }
+    }
+
+    #[test]
+    fn twod_reduction_beats_oned() {
+        // the 2D AP's advantage grows with row count
+        for l in [256u64, 1024, 4096] {
+            assert!(reduction(6, l) < reduction_1d(6, l), "l = {l}");
+        }
+        let gain_small = reduction_1d(6, 256) as f64 / reduction(6, 256) as f64;
+        let gain_large = reduction_1d(6, 4096) as f64 / reduction(6, 4096) as f64;
+        assert!(gain_large > gain_small);
+    }
+
+    #[test]
+    fn reduction_grows_logarithmically_with_rows() {
+        let base = reduction(6, 256);
+        assert_eq!(reduction(6, 512), base + 8);
+        assert_eq!(reduction(6, 1024), base + 16);
+        assert_eq!(reduction(6, 4096), base + 32);
+    }
+}

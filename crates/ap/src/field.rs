@@ -1,0 +1,141 @@
+/// A contiguous range of CAM columns holding one word per row.
+///
+/// Bit `i` of the word lives in column `start + i` (LSB first), matching
+/// the bit-serial LSB-to-MSB processing order of the paper's LUT passes.
+///
+/// # Examples
+///
+/// ```
+/// use softmap_ap::Field;
+///
+/// let f = Field::new(4, 8);
+/// assert_eq!(f.col(0), 4);   // LSB
+/// assert_eq!(f.col(7), 11);  // MSB
+/// assert_eq!(f.width(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Field {
+    start: usize,
+    width: usize,
+}
+
+impl Field {
+    /// Creates a field at column `start` spanning `width` columns.
+    #[must_use]
+    pub fn new(start: usize, width: usize) -> Self {
+        Self { start, width }
+    }
+
+    /// First (LSB) column.
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Width in bits/columns.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// One-past-the-last column.
+    #[must_use]
+    pub fn end(&self) -> usize {
+        self.start + self.width
+    }
+
+    /// Column index of bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    #[must_use]
+    pub fn col(&self, i: usize) -> usize {
+        assert!(i < self.width, "bit {i} out of field width {}", self.width);
+        self.start + i
+    }
+
+    /// Sub-field of `width` bits starting at bit `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sub-field does not fit.
+    #[must_use]
+    pub fn sub(&self, offset: usize, width: usize) -> Self {
+        assert!(
+            offset + width <= self.width,
+            "sub-field {offset}+{width} exceeds width {}",
+            self.width
+        );
+        Self::new(self.start + offset, width)
+    }
+
+    /// Whether two fields share any column.
+    #[must_use]
+    pub fn overlaps(&self, other: &Field) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+
+    /// Largest value storable in the field.
+    #[must_use]
+    pub fn max_value(&self) -> u64 {
+        if self.width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+}
+
+impl core::fmt::Display for Field {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "cols[{}..{})", self.start, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let f = Field::new(10, 6);
+        assert_eq!(f.end(), 16);
+        assert_eq!(f.col(0), 10);
+        assert_eq!(f.col(5), 15);
+        assert_eq!(f.max_value(), 63);
+        assert_eq!(f.to_string(), "cols[10..16)");
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Field::new(0, 4);
+        let b = Field::new(4, 4);
+        let c = Field::new(3, 2);
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn sub_fields() {
+        let f = Field::new(8, 8);
+        let low = f.sub(0, 4);
+        let high = f.sub(4, 4);
+        assert_eq!(low.start(), 8);
+        assert_eq!(high.start(), 12);
+        assert!(!low.overlaps(&high));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds width")]
+    fn sub_out_of_range_panics() {
+        let _ = Field::new(0, 4).sub(2, 3);
+    }
+
+    #[test]
+    fn wide_field_max() {
+        assert_eq!(Field::new(0, 64).max_value(), u64::MAX);
+    }
+}

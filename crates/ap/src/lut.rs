@@ -1,0 +1,353 @@
+//! Look-up tables (LUTs) driving the AP's compare/write passes.
+//!
+//! Every AP operation is a short sequence of passes applied bit-serially
+//! (LSB to MSB). Each pass is one *compare* cycle — search a pattern of
+//! operand bits across all rows — followed by one *write* cycle that
+//! drives result bits into the matching rows (Fig. 3 of the paper).
+//!
+//! Pass order matters: a row rewritten by an earlier pass must never
+//! match the search pattern of a later pass of the same bit position.
+//! The tables below encode the published conflict-free orderings.
+//!
+//! # Examples
+//!
+//! ```
+//! use softmap_ap::lut::{self, Slot};
+//!
+//! let xor = lut::xor();
+//! assert_eq!(xor.passes.len(), 2); // the two passes of the paper's Fig. 3
+//! assert_eq!(xor.passes[0].match_bits, vec![(Slot::A, true), (Slot::B, false)]);
+//! ```
+
+/// Logical operand slot of a LUT bit: the engine binds each slot to a
+/// concrete CAM column per bit position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slot {
+    /// First operand bit.
+    A,
+    /// Second operand / in-place result bit.
+    B,
+    /// Out-of-place result bit.
+    R,
+    /// Carry / borrow bit.
+    C,
+}
+
+/// One compare/write pass of a LUT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LutPass {
+    /// Pattern searched in the compare cycle.
+    pub match_bits: Vec<(Slot, bool)>,
+    /// Bits driven in the write cycle into matching rows.
+    pub write_bits: Vec<(Slot, bool)>,
+}
+
+/// A named sequence of passes implementing one bit of an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lut {
+    /// Operation name (for traces and error messages).
+    pub name: &'static str,
+    /// Ordered passes; earlier passes must not produce rows matching
+    /// later patterns.
+    pub passes: Vec<LutPass>,
+}
+
+fn pass(match_bits: &[(Slot, bool)], write_bits: &[(Slot, bool)]) -> LutPass {
+    LutPass {
+        match_bits: match_bits.to_vec(),
+        write_bits: write_bits.to_vec(),
+    }
+}
+
+/// Out-of-place XOR (`R = A ^ B`, `R` pre-cleared): the exact two-pass
+/// LUT of the paper's Fig. 3.
+#[must_use]
+pub fn xor() -> Lut {
+    use Slot::{A, B, R};
+    Lut {
+        name: "xor",
+        passes: vec![
+            pass(&[(A, true), (B, false)], &[(R, true)]),
+            pass(&[(A, false), (B, true)], &[(R, true)]),
+        ],
+    }
+}
+
+/// In-place addition (`B = A + B` with carry column `C`): four passes per
+/// bit, i.e. 8 compare/write cycles per bit — the `8M` term of Table II.
+///
+/// Truth table per bit, `(C, A, B) -> (C', sum)`; only the four changing
+/// rows need passes, ordered so rewrites never alias later patterns.
+#[must_use]
+pub fn add_in_place() -> Lut {
+    use Slot::{A, B, C};
+    Lut {
+        name: "add",
+        passes: vec![
+            // (0,1,1) -> carry 1, sum 0
+            pass(&[(C, false), (A, true), (B, true)], &[(C, true), (B, false)]),
+            // (0,1,0) -> sum 1
+            pass(&[(C, false), (A, true), (B, false)], &[(B, true)]),
+            // (1,0,0) -> carry 0, sum 1
+            pass(&[(C, true), (A, false), (B, false)], &[(C, false), (B, true)]),
+            // (1,0,1) -> sum 0 (carry stays 1)
+            pass(&[(C, true), (A, false), (B, true)], &[(B, false)]),
+        ],
+    }
+}
+
+/// In-place subtraction (`B = B - A` with borrow column `C`): four passes
+/// per bit.
+#[must_use]
+pub fn sub_in_place() -> Lut {
+    use Slot::{A, B, C};
+    Lut {
+        name: "sub",
+        passes: vec![
+            // (0,1,0): 0-1 -> diff 1, borrow 1
+            pass(&[(C, false), (A, true), (B, false)], &[(C, true), (B, true)]),
+            // (0,1,1): 1-1 -> diff 0
+            pass(&[(C, false), (A, true), (B, true)], &[(B, false)]),
+            // (1,0,1): 1-0-1 -> diff 0, borrow 0
+            pass(&[(C, true), (A, false), (B, true)], &[(C, false), (B, false)]),
+            // (1,0,0): 0-0-1 -> diff 1 (borrow stays 1)
+            pass(&[(C, true), (A, false), (B, false)], &[(B, true)]),
+        ],
+    }
+}
+
+/// Carry ripple into accumulator bits above the addend width
+/// (`B = B + C`): two passes per bit.
+#[must_use]
+pub fn carry_ripple() -> Lut {
+    use Slot::{B, C};
+    Lut {
+        name: "carry-ripple",
+        passes: vec![
+            // (C=1, B=0) -> B=1, carry consumed
+            pass(&[(C, true), (B, false)], &[(C, false), (B, true)]),
+            // (C=1, B=1) -> B=0, carry propagates
+            pass(&[(C, true), (B, true)], &[(B, false)]),
+        ],
+    }
+}
+
+/// Borrow ripple for subtraction above the subtrahend width
+/// (`B = B - C`): two passes per bit.
+#[must_use]
+pub fn borrow_ripple() -> Lut {
+    use Slot::{B, C};
+    Lut {
+        name: "borrow-ripple",
+        passes: vec![
+            // (C=1, B=1) -> B=0, borrow consumed
+            pass(&[(C, true), (B, true)], &[(C, false), (B, false)]),
+            // (C=1, B=0) -> B=1, borrow propagates
+            pass(&[(C, true), (B, false)], &[(B, true)]),
+        ],
+    }
+}
+
+/// Out-of-place AND (`R = A & B`, `R` pre-cleared): one pass per bit.
+#[must_use]
+pub fn and() -> Lut {
+    use Slot::{A, B, R};
+    Lut {
+        name: "and",
+        passes: vec![pass(&[(A, true), (B, true)], &[(R, true)])],
+    }
+}
+
+/// Out-of-place OR (`R = A | B`, `R` pre-cleared): three passes per bit
+/// (one per minterm with a set output; the AP searches each pattern).
+#[must_use]
+pub fn or() -> Lut {
+    use Slot::{A, B, R};
+    Lut {
+        name: "or",
+        passes: vec![
+            pass(&[(A, true), (B, true)], &[(R, true)]),
+            pass(&[(A, true), (B, false)], &[(R, true)]),
+            pass(&[(A, false), (B, true)], &[(R, true)]),
+        ],
+    }
+}
+
+/// Out-of-place NOT (`R = !A`): two passes per bit.
+#[must_use]
+pub fn not() -> Lut {
+    use Slot::{A, R};
+    Lut {
+        name: "not",
+        passes: vec![
+            pass(&[(A, true)], &[(R, false)]),
+            pass(&[(A, false)], &[(R, true)]),
+        ],
+    }
+}
+
+/// Out-of-place copy (`R = A`): two passes per bit, no pre-clear needed.
+#[must_use]
+pub fn copy() -> Lut {
+    use Slot::{A, R};
+    Lut {
+        name: "copy",
+        passes: vec![
+            pass(&[(A, true)], &[(R, true)]),
+            pass(&[(A, false)], &[(R, false)]),
+        ],
+    }
+}
+
+/// All LUTs, for enumeration in tests and documentation.
+#[must_use]
+pub fn all() -> Vec<Lut> {
+    vec![
+        xor(),
+        and(),
+        or(),
+        not(),
+        add_in_place(),
+        sub_in_place(),
+        carry_ripple(),
+        borrow_ripple(),
+        copy(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Software model of one bit position: apply the LUT's passes to a
+    /// state map Slot -> bool and return the final state.
+    fn apply(lut: &Lut, mut state: BTreeMap<&'static str, bool>) -> BTreeMap<&'static str, bool> {
+        let key = |s: Slot| match s {
+            Slot::A => "a",
+            Slot::B => "b",
+            Slot::R => "r",
+            Slot::C => "c",
+        };
+        for p in &lut.passes {
+            let matches = p
+                .match_bits
+                .iter()
+                .all(|&(s, v)| state.get(key(s)).copied().unwrap_or(false) == v);
+            if matches {
+                for &(s, v) in &p.write_bits {
+                    state.insert(key(s), v);
+                }
+            }
+        }
+        state
+    }
+
+    fn state(a: bool, b: bool, c: bool, r: bool) -> BTreeMap<&'static str, bool> {
+        BTreeMap::from([("a", a), ("b", b), ("c", c), ("r", r)])
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        for a in [false, true] {
+            for b in [false, true] {
+                let out = apply(&xor(), state(a, b, false, false));
+                assert_eq!(out["r"], a ^ b, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_truth_table_including_pass_order() {
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let out = apply(&add_in_place(), state(a, b, c, false));
+                    let total = u8::from(a) + u8::from(b) + u8::from(c);
+                    assert_eq!(out["b"], total & 1 == 1, "a={a} b={b} c={c}");
+                    assert_eq!(out["c"], total >= 2, "a={a} b={b} c={c}");
+                    assert_eq!(out["a"], a, "operand A must never change");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sub_truth_table_including_pass_order() {
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let out = apply(&sub_in_place(), state(a, b, c, false));
+                    let diff = i8::from(b) - i8::from(a) - i8::from(c);
+                    assert_eq!(out["b"], diff.rem_euclid(2) == 1, "a={a} b={b} c={c}");
+                    assert_eq!(out["c"], diff < 0, "a={a} b={b} c={c}");
+                    assert_eq!(out["a"], a);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn carry_ripple_truth_table() {
+        for b in [false, true] {
+            for c in [false, true] {
+                let out = apply(&carry_ripple(), state(false, b, c, false));
+                let total = u8::from(b) + u8::from(c);
+                assert_eq!(out["b"], total & 1 == 1, "b={b} c={c}");
+                assert_eq!(out["c"], total >= 2, "b={b} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn borrow_ripple_truth_table() {
+        for b in [false, true] {
+            for c in [false, true] {
+                let out = apply(&borrow_ripple(), state(false, b, c, false));
+                let diff = i8::from(b) - i8::from(c);
+                assert_eq!(out["b"], diff.rem_euclid(2) == 1, "b={b} c={c}");
+                assert_eq!(out["c"], diff < 0, "b={b} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn and_or_not_truth_tables() {
+        for a in [false, true] {
+            for b_ in [false, true] {
+                let out = apply(&and(), state(a, b_, false, false));
+                assert_eq!(out["r"], a && b_);
+                let out = apply(&or(), state(a, b_, false, false));
+                assert_eq!(out["r"], a || b_);
+            }
+            let out = apply(&not(), state(a, false, false, true));
+            assert_eq!(out["r"], !a);
+        }
+    }
+
+    #[test]
+    fn copy_truth_table() {
+        for a in [false, true] {
+            for r0 in [false, true] {
+                let out = apply(&copy(), state(a, false, false, r0));
+                assert_eq!(out["r"], a);
+            }
+        }
+    }
+
+    #[test]
+    fn add_has_four_passes_matching_table_ii() {
+        // 4 passes * (1 compare + 1 write) = 8 cycles per bit -> 8M.
+        assert_eq!(add_in_place().passes.len(), 4);
+        assert_eq!(sub_in_place().passes.len(), 4);
+    }
+
+    #[test]
+    fn all_luts_have_unique_names() {
+        let luts = all();
+        let mut names: Vec<_> = luts.iter().map(|l| l.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), luts.len());
+    }
+}

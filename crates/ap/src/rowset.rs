@@ -1,0 +1,288 @@
+/// A fixed-length bit vector over CAM rows.
+///
+/// Backs both the tag register and the per-column bit planes of
+/// [`crate::CamArray`]. Bits are packed into `u64` words; all bulk
+/// operations are word-parallel.
+///
+/// # Examples
+///
+/// ```
+/// use softmap_ap::RowSet;
+///
+/// let mut t = RowSet::new(100);
+/// t.set(3, true);
+/// t.set(64, true);
+/// assert_eq!(t.count(), 2);
+/// assert!(t.get(64));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RowSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl RowSet {
+    /// Creates an all-zero set over `len` rows.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Self {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Creates an all-one set over `len` rows.
+    #[must_use]
+    pub fn all(len: usize) -> Self {
+        let mut s = Self {
+            len,
+            words: vec![u64::MAX; len.div_ceil(64)],
+        };
+        s.trim();
+        s
+    }
+
+    fn trim(&mut self) {
+        let extra = self.words.len() * 64 - self.len;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= u64::MAX >> extra;
+            }
+        }
+    }
+
+    /// Number of rows this set ranges over.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set ranges over zero rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads the bit for `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= len`.
+    #[must_use]
+    pub fn get(&self, row: usize) -> bool {
+        assert!(row < self.len, "row {row} out of range {}", self.len);
+        self.words[row / 64] >> (row % 64) & 1 == 1
+    }
+
+    /// Sets the bit for `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= len`.
+    pub fn set(&mut self, row: usize, value: bool) {
+        assert!(row < self.len, "row {row} out of range {}", self.len);
+        let w = &mut self.words[row / 64];
+        if value {
+            *w |= 1 << (row % 64);
+        } else {
+            *w &= !(1 << (row % 64));
+        }
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    #[must_use]
+    pub fn is_none_set(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Index of the lowest set bit, if any.
+    #[must_use]
+    pub fn first(&self) -> Option<usize> {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(i * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// In-place intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and_with(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn or_with(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference (`self &= !other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and_not_with(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// In-place complement.
+    pub fn invert(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.trim();
+    }
+
+    /// Intersects `self` with either `other` (when `polarity` is true) or
+    /// its complement, without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and_with_polarity(&mut self, other: &Self, polarity: bool) {
+        if polarity {
+            self.and_with(other);
+        } else {
+            self.and_not_with(other);
+        }
+    }
+
+    /// Iterates over indices of set bits in ascending order.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(i * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Raw word access for word-parallel composition.
+    #[must_use]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable raw word access for word-parallel composition.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty_all_is_full() {
+        let z = RowSet::new(70);
+        assert_eq!(z.count(), 0);
+        assert!(z.is_none_set());
+        let f = RowSet::all(70);
+        assert_eq!(f.count(), 70);
+        // the tail beyond `len` must stay clear
+        assert_eq!(f.words().last().copied().unwrap().count_ones(), 6);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut s = RowSet::new(130);
+        for row in [0, 1, 63, 64, 65, 127, 128, 129] {
+            s.set(row, true);
+            assert!(s.get(row));
+            s.set(row, false);
+            assert!(!s.get(row));
+        }
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let mut a = RowSet::new(100);
+        let mut b = RowSet::new(100);
+        for i in (0..100).step_by(2) {
+            a.set(i, true);
+        }
+        for i in (0..100).step_by(3) {
+            b.set(i, true);
+        }
+        let mut and = a.clone();
+        and.and_with(&b);
+        assert_eq!(and.count(), (0..100).filter(|i| i % 6 == 0).count());
+        let mut or = a.clone();
+        or.or_with(&b);
+        assert_eq!(
+            or.count(),
+            (0..100).filter(|i| i % 2 == 0 || i % 3 == 0).count()
+        );
+        let mut diff = a.clone();
+        diff.and_not_with(&b);
+        assert_eq!(
+            diff.count(),
+            (0..100).filter(|i| i % 2 == 0 && i % 3 != 0).count()
+        );
+        a.invert();
+        assert_eq!(a.count(), 50);
+    }
+
+    #[test]
+    fn invert_respects_length() {
+        let mut s = RowSet::new(65);
+        s.invert();
+        assert_eq!(s.count(), 65);
+        s.invert();
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn iter_set_ascending() {
+        let mut s = RowSet::new(200);
+        let rows = [0usize, 5, 63, 64, 100, 199];
+        for &r in &rows {
+            s.set(r, true);
+        }
+        let collected: Vec<usize> = s.iter_set().collect();
+        assert_eq!(collected, rows);
+        assert_eq!(s.first(), Some(0));
+    }
+
+    #[test]
+    fn first_on_empty_is_none() {
+        assert_eq!(RowSet::new(10).first(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let s = RowSet::new(10);
+        let _ = s.get(10);
+    }
+}

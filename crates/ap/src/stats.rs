@@ -1,0 +1,199 @@
+/// Cycle and cell-event counters accumulated by the CAM.
+///
+/// The AP executes in compare/write cycles; energy is driven by how many
+/// *cells* each cycle touches. A compare broadcasts the key on every
+/// masked column to all rows (`rows × masked columns` cell events); a
+/// write drives only the tagged rows (`tagged rows × masked columns`).
+/// 2D (row-parallel) operations are charged via
+/// [`CycleStats::charge_2d`].
+///
+/// # Examples
+///
+/// ```
+/// use softmap_ap::CycleStats;
+///
+/// let mut s = CycleStats::default();
+/// s.charge_compare(1024, 3);
+/// s.charge_write(128, 2);
+/// assert_eq!(s.cycles(), 2);
+/// assert_eq!(s.compare_cell_events(), 3072);
+/// assert_eq!(s.write_cell_events(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleStats {
+    compare_cycles: u64,
+    write_cycles: u64,
+    twod_cycles: u64,
+    compare_cell_events: u64,
+    write_cell_events: u64,
+}
+
+impl CycleStats {
+    /// Records one compare cycle over `rows` rows and `cols` masked
+    /// columns.
+    pub fn charge_compare(&mut self, rows: u64, cols: u64) {
+        self.compare_cycles += 1;
+        self.compare_cell_events += rows * cols;
+    }
+
+    /// Records one write cycle over `tagged_rows` rows and `cols` masked
+    /// columns.
+    pub fn charge_write(&mut self, tagged_rows: u64, cols: u64) {
+        self.write_cycles += 1;
+        self.write_cell_events += tagged_rows * cols;
+    }
+
+    /// Records `cycles` cycles of 2D (row-parallel) operation touching
+    /// `cell_events` cells in total, split evenly between compare-like
+    /// and write-like activity.
+    pub fn charge_2d(&mut self, cycles: u64, cell_events: u64) {
+        self.twod_cycles += cycles;
+        self.compare_cell_events += cell_events / 2;
+        self.write_cell_events += cell_events - cell_events / 2;
+    }
+
+    /// Total cycles (compare + write + 2D).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.compare_cycles + self.write_cycles + self.twod_cycles
+    }
+
+    /// Compare cycles only.
+    #[must_use]
+    pub fn compare_cycles(&self) -> u64 {
+        self.compare_cycles
+    }
+
+    /// Write cycles only.
+    #[must_use]
+    pub fn write_cycles(&self) -> u64 {
+        self.write_cycles
+    }
+
+    /// 2D row-parallel cycles only.
+    #[must_use]
+    pub fn twod_cycles(&self) -> u64 {
+        self.twod_cycles
+    }
+
+    /// Cells touched by compares.
+    #[must_use]
+    pub fn compare_cell_events(&self) -> u64 {
+        self.compare_cell_events
+    }
+
+    /// Cells touched by writes.
+    #[must_use]
+    pub fn write_cell_events(&self) -> u64 {
+        self.write_cell_events
+    }
+
+    /// Total cell events (the "ops" denominator of the paper's
+    /// energy-per-op metric, Table VI).
+    #[must_use]
+    pub fn cell_events(&self) -> u64 {
+        self.compare_cell_events + self.write_cell_events
+    }
+
+    /// Difference since an earlier snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` has larger counters than `self`.
+    #[must_use]
+    pub fn since(&self, earlier: &CycleStats) -> CycleStats {
+        CycleStats {
+            compare_cycles: self.compare_cycles - earlier.compare_cycles,
+            write_cycles: self.write_cycles - earlier.write_cycles,
+            twod_cycles: self.twod_cycles - earlier.twod_cycles,
+            compare_cell_events: self.compare_cell_events - earlier.compare_cell_events,
+            write_cell_events: self.write_cell_events - earlier.write_cell_events,
+        }
+    }
+
+    /// Adds another set of counters into this one.
+    pub fn accumulate(&mut self, other: &CycleStats) {
+        self.compare_cycles += other.compare_cycles;
+        self.write_cycles += other.write_cycles;
+        self.twod_cycles += other.twod_cycles;
+        self.compare_cell_events += other.compare_cell_events;
+        self.write_cell_events += other.write_cell_events;
+    }
+
+    /// Scales all counters by `k` (used when one simulated AP stands in
+    /// for `k` identical tiles running the same microcode).
+    #[must_use]
+    pub fn scaled(&self, k: u64) -> CycleStats {
+        CycleStats {
+            compare_cycles: self.compare_cycles,
+            write_cycles: self.write_cycles,
+            twod_cycles: self.twod_cycles,
+            compare_cell_events: self.compare_cell_events * k,
+            write_cell_events: self.write_cell_events * k,
+        }
+    }
+}
+
+impl core::fmt::Display for CycleStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} cycles ({} cmp, {} wr, {} 2d), {} cell events",
+            self.cycles(),
+            self.compare_cycles,
+            self.write_cycles,
+            self.twod_cycles,
+            self.cell_events()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charging_accumulates() {
+        let mut s = CycleStats::default();
+        s.charge_compare(100, 3);
+        s.charge_compare(100, 3);
+        s.charge_write(10, 1);
+        s.charge_2d(5, 100);
+        assert_eq!(s.cycles(), 8);
+        assert_eq!(s.compare_cycles(), 2);
+        assert_eq!(s.write_cycles(), 1);
+        assert_eq!(s.twod_cycles(), 5);
+        assert_eq!(s.compare_cell_events(), 650);
+        assert_eq!(s.write_cell_events(), 60);
+        assert_eq!(s.cell_events(), 710);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let mut s = CycleStats::default();
+        s.charge_compare(10, 2);
+        let snap = s;
+        s.charge_write(5, 1);
+        let d = s.since(&snap);
+        assert_eq!(d.cycles(), 1);
+        assert_eq!(d.write_cell_events(), 5);
+        assert_eq!(d.compare_cell_events(), 0);
+    }
+
+    #[test]
+    fn scaled_multiplies_events_not_cycles() {
+        let mut s = CycleStats::default();
+        s.charge_compare(10, 2);
+        s.charge_write(4, 2);
+        let k = s.scaled(8);
+        assert_eq!(k.cycles(), s.cycles());
+        assert_eq!(k.cell_events(), s.cell_events() * 8);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut s = CycleStats::default();
+        s.charge_compare(1, 1);
+        assert!(s.to_string().contains("1 cycles"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Property-based tests: the AP microcode must agree with ordinary
+//! integer arithmetic for arbitrary operands and widths.
+
+use proptest::prelude::*;
+use softmap_ap::{ApConfig, ApCore, DivStyle};
+
+fn core(rows: usize, cols: usize) -> ApCore {
+    ApCore::new(ApConfig::new(rows, cols)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_matches_integer_addition(
+        xs in prop::collection::vec(0u64..256, 1..32),
+        ys in prop::collection::vec(0u64..256, 1..32),
+    ) {
+        let n = xs.len().min(ys.len());
+        let xs = &xs[..n];
+        let ys = &ys[..n];
+        let mut ap = core(n, 32);
+        let a = ap.alloc_field(8).unwrap();
+        let acc = ap.alloc_field(9).unwrap();
+        ap.load(a, xs).unwrap();
+        ap.load(acc, ys).unwrap();
+        ap.add_into(acc, a).unwrap();
+        let out = ap.read(acc);
+        for i in 0..n {
+            prop_assert_eq!(out[i], xs[i] + ys[i]);
+        }
+    }
+
+    #[test]
+    fn sub_matches_wrapping_subtraction(
+        xs in prop::collection::vec(0u64..256, 1..32),
+        ys in prop::collection::vec(0u64..256, 1..32),
+    ) {
+        let n = xs.len().min(ys.len());
+        let xs = &xs[..n];
+        let ys = &ys[..n];
+        let mut ap = core(n, 32);
+        let a = ap.alloc_field(8).unwrap();
+        let acc = ap.alloc_field(8).unwrap();
+        ap.load(a, xs).unwrap();
+        ap.load(acc, ys).unwrap();
+        let borrow = ap.sub_into(acc, a).unwrap();
+        let out = ap.read(acc);
+        for i in 0..n {
+            let expect = (256 + ys[i] - xs[i]) % 256;
+            prop_assert_eq!(out[i], expect);
+            prop_assert_eq!(borrow.get(i), ys[i] < xs[i]);
+        }
+    }
+
+    #[test]
+    fn mul_matches_integer_multiplication(
+        xs in prop::collection::vec(0u64..64, 1..24),
+        ys in prop::collection::vec(0u64..64, 1..24),
+    ) {
+        let n = xs.len().min(ys.len());
+        let xs = &xs[..n];
+        let ys = &ys[..n];
+        let mut ap = core(n, 40);
+        let a = ap.alloc_field(6).unwrap();
+        let b = ap.alloc_field(6).unwrap();
+        let r = ap.alloc_field(12).unwrap();
+        ap.load(a, xs).unwrap();
+        ap.load(b, ys).unwrap();
+        ap.mul(a, b, r).unwrap();
+        let out = ap.read(r);
+        for i in 0..n {
+            prop_assert_eq!(out[i], xs[i] * ys[i]);
+        }
+    }
+
+    #[test]
+    fn xor_matches_bitwise_xor(
+        xs in prop::collection::vec(0u64..256, 1..32),
+        ys in prop::collection::vec(0u64..256, 1..32),
+    ) {
+        let n = xs.len().min(ys.len());
+        let xs = &xs[..n];
+        let ys = &ys[..n];
+        let mut ap = core(n, 32);
+        let a = ap.alloc_field(8).unwrap();
+        let b = ap.alloc_field(8).unwrap();
+        let r = ap.alloc_field(8).unwrap();
+        ap.load(a, xs).unwrap();
+        ap.load(b, ys).unwrap();
+        ap.xor(a, b, r).unwrap();
+        let out = ap.read(r);
+        for i in 0..n {
+            prop_assert_eq!(out[i], xs[i] ^ ys[i]);
+        }
+    }
+
+    #[test]
+    fn variable_shift_matches_shr(
+        xs in prop::collection::vec(0u64..1024, 1..16),
+        ss in prop::collection::vec(0u64..16, 1..16),
+    ) {
+        let n = xs.len().min(ss.len());
+        let xs = &xs[..n];
+        let ss = &ss[..n];
+        let mut ap = core(n, 24);
+        let f = ap.alloc_field(10).unwrap();
+        let amt = ap.alloc_field(4).unwrap();
+        ap.load(f, xs).unwrap();
+        ap.load(amt, ss).unwrap();
+        ap.shr_variable(f, amt).unwrap();
+        let out = ap.read(f);
+        for i in 0..n {
+            prop_assert_eq!(out[i], xs[i] >> ss[i]);
+        }
+    }
+
+    #[test]
+    fn restoring_division_matches_fixed_point(
+        ns in prop::collection::vec(0u64..256, 1..8),
+        ds in prop::collection::vec(1u64..256, 1..8),
+        frac in 0usize..6,
+    ) {
+        let n = ns.len().min(ds.len());
+        let ns = &ns[..n];
+        let ds = &ds[..n];
+        let mut ap = core(n, 80);
+        let num = ap.alloc_field(8).unwrap();
+        let den = ap.alloc_field(8).unwrap();
+        let quot = ap.alloc_field(14).unwrap();
+        ap.load(num, ns).unwrap();
+        ap.load(den, ds).unwrap();
+        ap.divide(num, den, quot, frac, DivStyle::Restoring).unwrap();
+        let out = ap.read(quot);
+        for i in 0..n {
+            let exact = (ns[i] << frac) / ds[i];
+            let expect = exact.min(quot.max_value());
+            prop_assert_eq!(out[i], expect, "num={} den={} frac={}", ns[i], ds[i], frac);
+        }
+    }
+
+    #[test]
+    fn reciprocal_division_within_one_ulp(
+        ns in prop::collection::vec(0u64..256, 1..8),
+        d in 1u64..256,
+        frac in 0usize..8,
+    ) {
+        let n = ns.len();
+        let mut ap = core(n, 96);
+        let num = ap.alloc_field(8).unwrap();
+        let den = ap.alloc_field(8).unwrap();
+        let quot = ap.alloc_field(16).unwrap();
+        ap.load(num, &ns).unwrap();
+        ap.load(den, &vec![d; n]).unwrap();
+        ap.divide(num, den, quot, frac, DivStyle::ControllerReciprocal).unwrap();
+        let out = ap.read(quot);
+        for i in 0..n {
+            let exact = ((ns[i] << frac) / d).min(quot.max_value());
+            prop_assert!(out[i] <= exact && exact - out[i] <= 1,
+                "num={} den={} frac={} got={} exact={}", ns[i], d, frac, out[i], exact);
+        }
+    }
+
+    #[test]
+    fn max_search_matches_iterator_max(
+        xs in prop::collection::vec(0u64..4096, 1..64),
+    ) {
+        let mut ap = core(xs.len(), 16);
+        let f = ap.alloc_field(12).unwrap();
+        ap.load(f, &xs).unwrap();
+        let (max, rows) = ap.max_search(f);
+        let expect = xs.iter().copied().max().unwrap();
+        prop_assert_eq!(max, expect);
+        for r in rows.iter_set() {
+            prop_assert_eq!(xs[r], expect);
+        }
+        prop_assert_eq!(rows.count(), xs.iter().filter(|&&x| x == expect).count());
+    }
+
+    #[test]
+    fn reduction_matches_sum(
+        xs in prop::collection::vec(0u64..256, 1..7),
+        log_seg in 0u32..4,
+    ) {
+        // segments of 2^log_seg rows; pad the data to a multiple
+        let seg = 1usize << log_seg;
+        let mut data = xs.clone();
+        while data.len() % seg != 0 {
+            data.push(0);
+        }
+        let mut ap = core(data.len(), 32);
+        let f = ap.alloc_field(8).unwrap();
+        let sum = ap.alloc_field(16).unwrap();
+        ap.load(f, &data).unwrap();
+        let sums = ap.reduce_sum_2d(f, sum, seg).unwrap();
+        for (i, chunk) in data.chunks(seg).enumerate() {
+            prop_assert_eq!(sums[i], chunk.iter().sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn operations_never_touch_unrelated_fields(
+        xs in prop::collection::vec(0u64..64, 4..16),
+        ys in prop::collection::vec(0u64..64, 4..16),
+    ) {
+        let n = xs.len().min(ys.len());
+        let xs = &xs[..n];
+        let ys = &ys[..n];
+        let mut ap = core(n, 48);
+        let bystander = ap.alloc_field(6).unwrap();
+        let a = ap.alloc_field(6).unwrap();
+        let acc = ap.alloc_field(13).unwrap();
+        ap.load(bystander, xs).unwrap();
+        ap.load(a, ys).unwrap();
+        ap.broadcast(acc, 0).unwrap();
+        ap.add_into(acc, a).unwrap();
+        ap.mul(a, a, acc).unwrap();
+        prop_assert_eq!(ap.read(bystander), xs.to_vec());
+    }
+}

@@ -1,0 +1,48 @@
+//! Core kernel benchmark: the sixteen-step Fig. 5 dataflow on the
+//! simulated AP, across vector lengths and division styles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softmap::ApSoftmax;
+use softmap_ap::DivStyle;
+use softmap_softmax::PrecisionConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ap_dataflow");
+    g.sample_size(10);
+    for len in [128usize, 512, 2048] {
+        let scores: Vec<f64> = (0..len).map(|i| -f64::from((i % 97) as u32) * 0.07).collect();
+        for (name, style) in [
+            ("restoring", DivStyle::Restoring),
+            ("reciprocal", DivStyle::ControllerReciprocal),
+        ] {
+            let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
+                .unwrap()
+                .with_div_style(style);
+            g.bench_with_input(BenchmarkId::new(name, len), &scores, |b, s| {
+                b.iter(|| black_box(mapping.execute_floats(s).unwrap().total.cycles()))
+            });
+        }
+    }
+    g.finish();
+
+    // Report the ablation once: cycles per style.
+    for (name, style) in [
+        ("restoring", DivStyle::Restoring),
+        ("controller-reciprocal", DivStyle::ControllerReciprocal),
+    ] {
+        let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_div_style(style);
+        let scores: Vec<f64> = (0..1024).map(|i| -f64::from((i % 97) as u32) * 0.07).collect();
+        let run = mapping.execute_floats(&scores).unwrap();
+        println!(
+            "division ablation {name}: {} cycles/vector ({} cell events)",
+            run.total.cycles(),
+            run.total.cell_events()
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

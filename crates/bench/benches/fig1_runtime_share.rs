@@ -1,0 +1,22 @@
+//! Bench + regeneration of Fig. 1 (softmax runtime share on A100).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use softmap_gpu::{transformer::PrefillModel, GpuSpec};
+use softmap_llm::configs::llama2_7b;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", softmap_eval::fig1::render(&softmap_eval::fig1::run()));
+    let model = PrefillModel::new(GpuSpec::a100());
+    let cfg = llama2_7b();
+    c.bench_function("fig1/runtime_sweep", |b| {
+        b.iter(|| {
+            for seq in [128usize, 1024, 4096, 16384] {
+                black_box(model.runtime(&cfg, seq, 1));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench + regeneration of Fig. 6 (normalized energy, all models).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use softmap::characterize::{Characterizer, OperatingPoint};
+use softmap_eval::fig678::{render_figure, Quantity};
+use softmap_llm::configs::llama2_7b;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", render_figure(Quantity::Energy).unwrap());
+    let ch = Characterizer::paper_default().unwrap();
+    let model = llama2_7b();
+    c.bench_function("fig6/compare_point", |b| {
+        b.iter(|| {
+            black_box(
+                ch.compare(&model, OperatingPoint { seq_len: 2048, batch: 8 })
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

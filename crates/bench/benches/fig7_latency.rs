@@ -1,0 +1,19 @@
+//! Bench + regeneration of Fig. 7 (normalized latency, all models).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use softmap::characterize::Characterizer;
+use softmap_eval::fig678::{render_figure, Quantity};
+use softmap_llm::configs::llama2_13b;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", render_figure(Quantity::Latency).unwrap());
+    let ch = Characterizer::paper_default().unwrap();
+    let model = llama2_13b();
+    c.bench_function("fig7/full_sweep_13b", |b| {
+        b.iter(|| black_box(ch.sweep(&model).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

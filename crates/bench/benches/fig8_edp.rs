@@ -1,0 +1,16 @@
+//! Bench + regeneration of Fig. 8 (normalized EDP, Llama2-13b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use softmap_eval::fig678::{render_panel, Quantity};
+use softmap_llm::configs::llama2_13b;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", render_panel(&llama2_13b(), Quantity::Edp).unwrap());
+    c.bench_function("fig8/panel_13b", |b| {
+        b.iter(|| black_box(render_panel(&llama2_13b(), Quantity::Edp).unwrap().len()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Bench + regeneration of Table I (bit-width allocations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate and print the table once.
+    println!("{}", softmap_eval::table1::run().render());
+    c.bench_function("table1/width_grid", |b| {
+        b.iter(|| black_box(softmap_eval::table1::run()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench + regeneration of the Table III perplexity grid (tiny stand-in
+//! for Llama2-7b; see DESIGN.md substitutions). Training happens once;
+//! the benchmark times one full-grid perplexity evaluation cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use softmap_eval::{paper, table34};
+use softmap_llm::corpus::Corpus;
+use softmap_llm::perplexity::perplexity;
+use softmap_llm::softmax_impls::IntApproxSoftmax;
+use softmap_llm::train::{train_language_model, TrainConfig};
+use softmap_softmax::PrecisionConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let grid = table34::run(table34::StandIn::A).unwrap();
+    println!("{}", grid.render(&paper::TABLE3_PPL, paper::TABLE3_FP_PPL));
+
+    // One evaluation cell as the timed kernel (training excluded).
+    let corpus = Corpus::generate(42, 12_000);
+    let cfg = TrainConfig {
+        steps: 40,
+        ..TrainConfig::default()
+    };
+    let trained = train_language_model(&corpus, &cfg).unwrap();
+    let (_, val) = corpus.split(0.1);
+    let sm = IntApproxSoftmax::new(PrecisionConfig::paper_best()).unwrap();
+    let mut g = c.benchmark_group("table34");
+    g.sample_size(10);
+    g.bench_function("perplexity_cell", |b| {
+        b.iter(|| black_box(perplexity(&trained.model, val, &sm).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Bench + regeneration of Table V (highest EDP ratios per model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use softmap::characterize::Characterizer;
+use softmap_llm::configs::llama2_7b;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        softmap_eval::table5::render(&softmap_eval::table5::run().unwrap())
+    );
+    let ch = Characterizer::paper_default().unwrap();
+    c.bench_function("table5/edp_peak_7b", |b| {
+        b.iter(|| black_box(ch.highest_edp_ratios(&llama2_7b()).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench + regeneration of Table VI (energy per operation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use softmap::ApSoftmax;
+use softmap_ap::EnergyModel;
+use softmap_softmax::PrecisionConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        softmap_eval::table6::render(&softmap_eval::table6::run().unwrap())
+    );
+    let mapping = ApSoftmax::new(PrecisionConfig::paper_best()).unwrap();
+    let scores: Vec<f64> = (0..256).map(|i| -f64::from(i % 97) * 0.07).collect();
+    let energy = EnergyModel::nm16();
+    c.bench_function("table6/dataflow_energy_256", |b| {
+        b.iter(|| {
+            let run = mapping.execute_floats(&scores).unwrap();
+            black_box(energy.energy_per_op_pj(&run.total))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+//! Criterion benchmark crate for the SoftmAP reproduction.
+//!
+//! All content lives in `benches/`; this library is intentionally empty.

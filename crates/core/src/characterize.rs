@@ -1,0 +1,354 @@
+//! The paper's hardware evaluation: AP vs. GPU energy, latency and EDP
+//! across Llama models, sequence lengths and batch sizes
+//! (Figs. 6, 7, 8 and Table V).
+//!
+//! Normalization follows the paper: every reported number is
+//! `GPU / AP`, so values above 1 favour the AP.
+//!
+//! # Examples
+//!
+//! ```
+//! use softmap::characterize::{Characterizer, OperatingPoint};
+//! use softmap_llm::configs::llama2_7b;
+//!
+//! let ch = Characterizer::paper_default()?;
+//! let c = ch.compare(&llama2_7b(), OperatingPoint { seq_len: 1024, batch: 1 })?;
+//! // energy always favours the AP
+//! assert!(c.gpus[0].norm_energy > 1.0);
+//! # Ok::<(), softmap::CoreError>(())
+//! ```
+
+use softmap_gpu::{GpuSpec, SoftmaxKernelModel};
+use softmap_llm::configs::{LlamaConfig, SoftmaxWorkload};
+use softmap_softmax::PrecisionConfig;
+
+use crate::deploy::{ApDeployment, ApWorkloadCost, WorkloadModel};
+use crate::CoreError;
+
+/// One point of the paper's sweep grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperatingPoint {
+    /// Sequence length.
+    pub seq_len: usize,
+    /// Batch size.
+    pub batch: usize,
+}
+
+/// The paper's sweep: `L ∈ {128 … 4096}`, `B ∈ {1, 8, 16, 32}`.
+#[must_use]
+pub fn paper_grid() -> Vec<OperatingPoint> {
+    let mut grid = Vec::new();
+    for &seq_len in &[128usize, 256, 512, 1024, 2048, 4096] {
+        for &batch in &[1usize, 8, 16, 32] {
+            grid.push(OperatingPoint { seq_len, batch });
+        }
+    }
+    grid
+}
+
+/// GPU-side cost and normalized (GPU/AP) ratios at one point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuComparison {
+    /// GPU name.
+    pub gpu: &'static str,
+    /// GPU latency, seconds.
+    pub latency_s: f64,
+    /// GPU energy, joules.
+    pub energy_j: f64,
+    /// `latency_GPU / latency_AP` (the paper's Fig. 7 y-axis).
+    pub norm_latency: f64,
+    /// `energy_GPU / energy_AP` (Fig. 6).
+    pub norm_energy: f64,
+    /// `EDP_GPU / EDP_AP` (Fig. 8).
+    pub norm_edp: f64,
+}
+
+/// Full comparison at one operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Model name.
+    pub model: &'static str,
+    /// The operating point.
+    pub point: OperatingPoint,
+    /// AP cost.
+    pub ap: ApWorkloadCost,
+    /// Per-GPU costs and ratios, in [`GpuSpec::paper_gpus`] order.
+    pub gpus: Vec<GpuComparison>,
+}
+
+/// Drives the evaluation across models, GPUs and operating points.
+#[derive(Debug)]
+pub struct Characterizer {
+    workload_model: WorkloadModel,
+    gpus: Vec<GpuSpec>,
+    kernel: SoftmaxKernelModel,
+}
+
+impl Characterizer {
+    /// The paper's setup: best precision combination (`M=6, v_corr=M,
+    /// N=16`), default deployment, A100 + RTX3090, integer softmax as
+    /// (partially fused) GPU kernels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn paper_default() -> Result<Self, CoreError> {
+        Self::new(
+            PrecisionConfig::paper_best(),
+            ApDeployment::default(),
+            GpuSpec::paper_gpus(),
+            SoftmaxKernelModel::int_unfused(),
+        )
+    }
+
+    /// Fully parameterized constructor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the workload model.
+    pub fn new(
+        cfg: PrecisionConfig,
+        deploy: ApDeployment,
+        gpus: Vec<GpuSpec>,
+        kernel: SoftmaxKernelModel,
+    ) -> Result<Self, CoreError> {
+        Ok(Self {
+            workload_model: WorkloadModel::new(cfg, deploy)?,
+            gpus,
+            kernel,
+        })
+    }
+
+    /// The underlying AP workload model.
+    #[must_use]
+    pub fn workload_model(&self) -> &WorkloadModel {
+        &self.workload_model
+    }
+
+    /// Compares AP and GPUs on one model at one operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload errors (e.g. a sequence exceeding the tile).
+    pub fn compare(
+        &self,
+        model: &LlamaConfig,
+        point: OperatingPoint,
+    ) -> Result<Comparison, CoreError> {
+        let ap = self
+            .workload_model
+            .cost(model.layers, model.heads, point.seq_len, point.batch)?;
+        let w = SoftmaxWorkload::prefill(model, point.seq_len, point.batch);
+        let gpus = self
+            .gpus
+            .iter()
+            .map(|g| {
+                let c = self.kernel.cost(g, &w);
+                GpuComparison {
+                    gpu: g.name,
+                    latency_s: c.latency_s,
+                    energy_j: c.energy_j,
+                    norm_latency: c.latency_s / ap.latency_s,
+                    norm_energy: c.energy_j / ap.energy_j,
+                    norm_edp: c.edp() / ap.edp(),
+                }
+            })
+            .collect();
+        Ok(Comparison {
+            model: model.name,
+            point,
+            ap,
+            gpus,
+        })
+    }
+
+    /// Runs the full paper grid for one model (Figs. 6/7/8 panel data).
+    ///
+    /// # Errors
+    ///
+    /// Propagates comparison errors.
+    pub fn sweep(&self, model: &LlamaConfig) -> Result<Vec<Comparison>, CoreError> {
+        paper_grid()
+            .into_iter()
+            .map(|p| self.compare(model, p))
+            .collect()
+    }
+
+    /// Table V: the highest EDP ratio per GPU over the sweep grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates comparison errors.
+    pub fn highest_edp_ratios(
+        &self,
+        model: &LlamaConfig,
+    ) -> Result<Vec<(&'static str, f64, OperatingPoint)>, CoreError> {
+        let sweep = self.sweep(model)?;
+        let mut out = Vec::new();
+        for (gi, gpu) in self.gpus.iter().enumerate() {
+            let best = sweep
+                .iter()
+                .map(|c| (c.gpus[gi].norm_edp, c.point))
+                .max_by(|a, b| a.0.total_cmp(&b.0))
+                .expect("non-empty grid");
+            out.push((gpu.name, best.0, best.1));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softmap_llm::configs::{llama2_13b, llama2_70b, llama2_7b};
+
+    fn ch() -> Characterizer {
+        Characterizer::paper_default().unwrap()
+    }
+
+    #[test]
+    fn energy_always_favours_the_ap() {
+        // Fig. 6: normalized energy > 1 for all models, lengths, batches.
+        let ch = ch();
+        for model in [llama2_7b(), llama2_13b(), llama2_70b()] {
+            for c in ch.sweep(&model).unwrap() {
+                for g in &c.gpus {
+                    assert!(
+                        g.norm_energy > 1.0,
+                        "{} {:?} {}: {}",
+                        c.model,
+                        c.point,
+                        g.gpu,
+                        g.norm_energy
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn energy_ratio_magnitudes_match_paper_bands() {
+        // Paper: A100/AP up to ~489-760x, average ~300x; RTX3090 higher.
+        let ch = ch();
+        let sweep = ch.sweep(&llama2_7b()).unwrap();
+        let a100_max = sweep
+            .iter()
+            .map(|c| c.gpus[0].norm_energy)
+            .fold(0.0, f64::max);
+        let a100_mean: f64 = sweep.iter().map(|c| c.gpus[0].norm_energy).sum::<f64>()
+            / sweep.len() as f64;
+        assert!(
+            a100_max > 100.0 && a100_max < 5000.0,
+            "max energy ratio {a100_max}"
+        );
+        assert!(
+            a100_mean > 50.0 && a100_mean < 2000.0,
+            "mean energy ratio {a100_mean}"
+        );
+        // 3090 ratios exceed A100 ratios (paper: 710 vs 289 on average)
+        let r3090_mean: f64 = sweep.iter().map(|c| c.gpus[1].norm_energy).sum::<f64>()
+            / sweep.len() as f64;
+        assert!(r3090_mean > a100_mean);
+    }
+
+    #[test]
+    fn energy_ratio_peaks_at_smallest_workload() {
+        // Paper: highest savings at batch 1, sequence length 128.
+        let ch = ch();
+        let sweep = ch.sweep(&llama2_7b()).unwrap();
+        let best = sweep
+            .iter()
+            .max_by(|a, b| a.gpus[0].norm_energy.total_cmp(&b.gpus[0].norm_energy))
+            .unwrap();
+        assert_eq!(best.point.seq_len, 128);
+        assert_eq!(best.point.batch, 1);
+    }
+
+    #[test]
+    fn latency_crossover_near_1024() {
+        // Fig. 7: AP slower below 1024, faster at 2048-4096.
+        let ch = ch();
+        for model in [llama2_7b(), llama2_13b()] {
+            for batch in [1usize, 8, 32] {
+                let short = ch
+                    .compare(&model, OperatingPoint { seq_len: 256, batch })
+                    .unwrap();
+                assert!(
+                    short.gpus[0].norm_latency < 1.0,
+                    "{} B={batch}: short-seq ratio {}",
+                    model.name,
+                    short.gpus[0].norm_latency
+                );
+                let long = ch
+                    .compare(&model, OperatingPoint { seq_len: 4096, batch })
+                    .unwrap();
+                assert!(
+                    long.gpus[0].norm_latency > 1.0,
+                    "{} B={batch}: long-seq ratio {}",
+                    model.name,
+                    long.gpus[0].norm_latency
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn latency_gain_at_4096_in_paper_band() {
+        // Paper: 1.06x-6.7x (A100) and up to 12.58x (RTX3090) for
+        // L in [1024, 4096]. Our model reproduces the crossover location
+        // and the GPU ordering; the 70b magnitude runs a few times above
+        // the paper's 6.7x because all 64 heads are fully parallel on
+        // the AP side while the GPU pays for their full traffic — see
+        // EXPERIMENTS.md. The 7b magnitude lands inside the band.
+        let ch = ch();
+        let c7 = ch
+            .compare(&llama2_7b(), OperatingPoint { seq_len: 4096, batch: 1 })
+            .unwrap();
+        assert!(
+            c7.gpus[0].norm_latency > 1.5 && c7.gpus[0].norm_latency < 15.0,
+            "A100/7b ratio {}",
+            c7.gpus[0].norm_latency
+        );
+        let c = ch
+            .compare(&llama2_70b(), OperatingPoint { seq_len: 4096, batch: 8 })
+            .unwrap();
+        let a100 = c.gpus[0].norm_latency;
+        let r3090 = c.gpus[1].norm_latency;
+        assert!(a100 > 1.5 && a100 < 60.0, "A100 ratio {a100}");
+        assert!(r3090 > a100, "3090 ({r3090}) should exceed A100 ({a100})");
+    }
+
+    #[test]
+    fn edp_always_above_one_with_max_at_4096() {
+        // Fig. 8 + Table V: EDP ratio > 1 everywhere; maxima at the
+        // longest sequences, batch 8-32, in the 10^3-10^4 range.
+        let ch = ch();
+        for model in [llama2_7b(), llama2_13b(), llama2_70b()] {
+            let sweep = ch.sweep(&model).unwrap();
+            for c in &sweep {
+                for g in &c.gpus {
+                    assert!(g.norm_edp > 1.0, "{} {:?}", c.model, c.point);
+                }
+            }
+            let tops = ch.highest_edp_ratios(&model).unwrap();
+            for (gpu, ratio, point) in &tops {
+                assert_eq!(point.seq_len, 4096, "{gpu} peak at {point:?}");
+                assert!(
+                    *ratio > 100.0 && *ratio < 100_000.0,
+                    "{gpu}: EDP ratio {ratio}"
+                );
+            }
+            // 3090 EDP tops exceed A100's (paper: 4421-8851 vs 1068-2091)
+            assert!(tops[1].1 > tops[0].1);
+        }
+    }
+
+    #[test]
+    fn edp_ordering_follows_model_size() {
+        // Table V: bigger models show bigger peak EDP ratios.
+        let ch = ch();
+        let t7 = ch.highest_edp_ratios(&llama2_7b()).unwrap()[0].1;
+        let t70 = ch.highest_edp_ratios(&llama2_70b()).unwrap()[0].1;
+        assert!(t70 > t7, "70b ({t70}) should exceed 7b ({t7})");
+    }
+}

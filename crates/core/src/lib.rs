@@ -1,0 +1,89 @@
+//! SoftmAP: software–hardware co-design for integer-only softmax on
+//! associative processors — the paper's primary contribution.
+//!
+//! This crate ties the substrates together:
+//!
+//! * [`ApSoftmax`] — the sixteen-step Fig. 5 dataflow executed on the
+//!   bit-level AP simulator, bit-exact against the scalar
+//!   `softmap_softmax::IntSoftmax` specification,
+//! * [`ApDeployment`] / [`WorkloadModel`] — the deployment model (tiles
+//!   per head, scheduling, area) and per-workload latency/energy,
+//! * [`characterize`] — the paper's evaluation: AP vs. A100/RTX3090
+//!   energy, latency and EDP across Llama models, sequence lengths and
+//!   batch sizes (Figs. 6–8, Tables V–VI).
+//!
+//! # Examples
+//!
+//! Run the integer softmax on the AP and check it against the scalar
+//! specification:
+//!
+//! ```
+//! use softmap::ApSoftmax;
+//! use softmap_softmax::{IntSoftmax, PrecisionConfig};
+//!
+//! let cfg = PrecisionConfig::paper_best();
+//! let scores = [0.0_f64, -0.4, -1.2, -3.0];
+//! let scalar = IntSoftmax::new(cfg)?.run_floats(&scores)?;
+//! let on_ap = ApSoftmax::new(cfg)?.execute_floats(&scores)?;
+//! assert_eq!(on_ap.codes, scalar.codes);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod characterize;
+pub mod mapping;
+
+mod deploy;
+
+pub use deploy::{ApDeployment, ApWorkloadCost, WorkloadModel};
+pub use mapping::{ApSoftmax, ApSoftmaxRun, Layout, StepStats};
+
+/// Errors from the co-design layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The input vector is empty.
+    EmptyInput,
+    /// A workload parameter is invalid.
+    BadWorkload(String),
+    /// An error from the AP simulator.
+    Ap(softmap_ap::ApError),
+    /// An error from the scalar softmax specification.
+    Softmax(softmap_softmax::SoftmaxError),
+}
+
+impl core::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::EmptyInput => write!(f, "input vector is empty"),
+            Self::BadWorkload(msg) => write!(f, "bad workload: {msg}"),
+            Self::Ap(e) => write!(f, "AP error: {e}"),
+            Self::Softmax(e) => write!(f, "softmax error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Ap(e) => Some(e),
+            Self::Softmax(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<softmap_ap::ApError> for CoreError {
+    fn from(e: softmap_ap::ApError) -> Self {
+        Self::Ap(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<softmap_softmax::SoftmaxError> for CoreError {
+    fn from(e: softmap_softmax::SoftmaxError) -> Self {
+        Self::Softmax(e)
+    }
+}

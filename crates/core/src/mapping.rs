@@ -1,0 +1,493 @@
+//! The Fig. 4/5 dataflow: Algorithm 1 mapped onto the AP.
+//!
+//! One attention head's softmax vector is packed two words per row (the
+//! paper's layout: a vector of length `L` occupies `L/2` rows), and the
+//! sixteen dataflow steps of Fig. 5 execute as LUT microcode on the
+//! simulated AP. The result is **bit-exact** against the scalar
+//! specification in `softmap-softmax` (verified by integration tests and
+//! by [`ApSoftmaxRun::codes`] comparisons in this module's tests).
+
+use softmap_ap::{ApConfig, ApCore, CycleStats, DivStyle, Field, Overflow};
+use softmap_softmax::{IntSoftmax, PrecisionConfig, SumMode};
+
+use crate::CoreError;
+
+/// How vector elements are packed into AP rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Layout {
+    /// Two words per row — the paper's layout (`rows = L/2`); requires
+    /// an even vector length. The dataflow executes once per half and
+    /// the reduction starts with the pairwise add of the two halves
+    /// (the `8M` term of Table II's reduction row).
+    #[default]
+    TwoWordsPerRow,
+    /// One word per row (`rows = L`); used for odd lengths and as an
+    /// ablation.
+    OneWordPerRow,
+}
+
+/// Cycle statistics for one dataflow step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepStats {
+    /// Step name, matching Fig. 5 (e.g. `"4: multiply+shift (barrett)"`).
+    pub name: &'static str,
+    /// Cycles and cell events spent in the step.
+    pub stats: CycleStats,
+}
+
+/// The outcome of executing the mapped dataflow on the AP.
+#[derive(Debug, Clone)]
+pub struct ApSoftmaxRun {
+    /// Fixed-point probability codes, in input order (bit-exact vs. the
+    /// scalar `IntSoftmax`).
+    pub codes: Vec<u64>,
+    /// Fraction bits of the codes.
+    pub frac_bits: u32,
+    /// The `v_approx` intermediates, in input order.
+    pub vapprox: Vec<u64>,
+    /// The (possibly truncated) sum used as divisor.
+    pub sum: u64,
+    /// Total cycle statistics.
+    pub total: CycleStats,
+    /// Per-step breakdown in dataflow order.
+    pub steps: Vec<StepStats>,
+    /// Rows occupied in the AP tile.
+    pub rows: usize,
+    /// Columns used by the field layout (excluding scratch headroom).
+    pub cols_used: usize,
+}
+
+impl ApSoftmaxRun {
+    /// Dequantized probabilities (`codes · 2^-frac_bits`).
+    #[must_use]
+    pub fn probabilities(&self) -> Vec<f64> {
+        let scale = f64::from(self.frac_bits).exp2().recip();
+        self.codes.iter().map(|&c| c as f64 * scale).collect()
+    }
+}
+
+/// Executes the integer-only softmax dataflow on a simulated AP tile.
+///
+/// # Examples
+///
+/// ```
+/// use softmap::ApSoftmax;
+/// use softmap_softmax::{IntSoftmax, PrecisionConfig};
+///
+/// let cfg = PrecisionConfig::paper_best();
+/// let scores = [0.0_f64, -1.0, -2.5, -0.3];
+/// let scalar = IntSoftmax::new(cfg)?.run_floats(&scores)?;
+/// let run = ApSoftmax::new(cfg)?.execute_floats(&scores)?;
+/// assert_eq!(run.codes, scalar.codes); // bit-exact
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ApSoftmax {
+    sm: IntSoftmax,
+    div_style: DivStyle,
+    layout: Layout,
+}
+
+struct HalfFields {
+    /// Working value: |code|, then `neg_vstable`, then `r`.
+    x: Field,
+    /// Barrett quotient.
+    q: Field,
+    /// Wide scratch: products and polynomial.
+    work: Field,
+    /// Polynomial input `t = v_b - r`.
+    t: Field,
+    /// `v_approx`.
+    vapprox: Field,
+    /// Final result (the paper's `R` column, `2M + 12` bits).
+    res: Field,
+}
+
+impl ApSoftmax {
+    /// Builds the mapping for a precision configuration with the default
+    /// layout (two words per row) and restoring division.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the scalar pipeline.
+    pub fn new(cfg: PrecisionConfig) -> Result<Self, CoreError> {
+        Ok(Self {
+            sm: IntSoftmax::new(cfg)?,
+            div_style: DivStyle::Restoring,
+            layout: Layout::TwoWordsPerRow,
+        })
+    }
+
+    /// Selects the division microcode style.
+    #[must_use]
+    pub fn with_div_style(mut self, style: DivStyle) -> Self {
+        self.div_style = style;
+        self
+    }
+
+    /// Selects the row packing layout.
+    #[must_use]
+    pub fn with_layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// The underlying scalar specification.
+    #[must_use]
+    pub fn spec(&self) -> &IntSoftmax {
+        &self.sm
+    }
+
+    /// Quantizes scores and executes the dataflow.
+    ///
+    /// # Errors
+    ///
+    /// See [`ApSoftmax::execute_codes`].
+    pub fn execute_floats(&self, scores: &[f64]) -> Result<ApSoftmaxRun, CoreError> {
+        if scores.is_empty() {
+            return Err(CoreError::EmptyInput);
+        }
+        self.execute_codes(&self.sm.quantize(scores))
+    }
+
+    /// Executes the sixteen-step dataflow of Fig. 5 on quantized codes.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::EmptyInput`] for an empty slice,
+    /// * [`CoreError::Softmax`] for out-of-range codes,
+    /// * [`CoreError::Ap`] if the tile geometry cannot hold the layout.
+    pub fn execute_codes(&self, codes: &[i64]) -> Result<ApSoftmaxRun, CoreError> {
+        if codes.is_empty() {
+            return Err(CoreError::EmptyInput);
+        }
+        // Validate codes through the scalar spec's range check.
+        let _ = self.sm.trace_codes(codes)?;
+        match self.layout {
+            Layout::TwoWordsPerRow if codes.len().is_multiple_of(2) && codes.len() >= 2 => {
+                self.execute_packed(codes)
+            }
+            _ => self.execute_unpacked(codes),
+        }
+    }
+
+    fn cfg(&self) -> &PrecisionConfig {
+        self.sm.config()
+    }
+
+    /// Column budget for one half-vector's fields.
+    fn half_width(&self) -> usize {
+        let m = self.cfg().m as usize;
+        let w = self.sm.widths();
+        let work = (3 * m + 2).max(w.poly as usize + 1);
+        m + w.q as usize + work + m + w.vapprox as usize + w.result as usize
+    }
+
+    fn alloc_half(&self, ap: &mut ApCore) -> Result<HalfFields, CoreError> {
+        let m = self.cfg().m as usize;
+        let w = self.sm.widths();
+        let work_w = (3 * m + 2).max(w.poly as usize + 1);
+        Ok(HalfFields {
+            x: ap.alloc_field(m)?,
+            q: ap.alloc_field(w.q as usize)?,
+            work: ap.alloc_field(work_w)?,
+            t: ap.alloc_field(m)?,
+            vapprox: ap.alloc_field(w.vapprox as usize)?,
+            res: ap.alloc_field(w.result as usize)?,
+        })
+    }
+
+    fn overflow_mode(&self) -> Overflow {
+        match self.cfg().sum_mode {
+            SumMode::Saturate => Overflow::Saturate,
+            SumMode::Wrap => Overflow::Wrap,
+            SumMode::Exact => Overflow::Error,
+        }
+    }
+
+    fn execute_packed(&self, codes: &[i64]) -> Result<ApSoftmaxRun, CoreError> {
+        let rows = codes.len() / 2;
+        let half0: Vec<u64> = codes[..rows].iter().map(|&c| c.unsigned_abs()).collect();
+        let half1: Vec<u64> = codes[rows..].iter().map(|&c| c.unsigned_abs()).collect();
+        self.execute_layout(&[half0, half1], rows, codes.len())
+    }
+
+    fn execute_unpacked(&self, codes: &[i64]) -> Result<ApSoftmaxRun, CoreError> {
+        let mags: Vec<u64> = codes.iter().map(|&c| c.unsigned_abs()).collect();
+        self.execute_layout(&[mags], codes.len(), codes.len())
+    }
+
+    /// The shared engine: `halves` hold the |code| magnitudes of each
+    /// half-vector (one or two), each of length `rows`.
+    #[allow(clippy::too_many_lines)]
+    fn execute_layout(
+        &self,
+        halves: &[Vec<u64>],
+        rows: usize,
+        total_len: usize,
+    ) -> Result<ApSoftmaxRun, CoreError> {
+        let cfg = *self.cfg();
+        let consts = *self.sm.constants();
+        let w = *self.sm.widths();
+        let m = cfg.m as usize;
+        let sum_bits = consts.effective_sum_bits(&cfg) as usize;
+
+        // Tile geometry: per-half fields + shared operand/sum/divisor
+        // fields + reserved carry/flag + scratch headroom for division.
+        let shared = (2 * m + 1) + sum_bits + sum_bits + m;
+        let scratch = 2 * (sum_bits + 2) + 2 * (w.result as usize + w.vapprox as usize + 2);
+        let cols = 2 + halves.len() * self.half_width() + shared + scratch;
+        let mut ap = ApCore::new(ApConfig::new(rows, cols))?;
+
+        let mut fields = Vec::new();
+        for _ in halves {
+            fields.push(self.alloc_half(&mut ap)?);
+        }
+        // Shared operand field (holds µ, vln2, vb, vc in turn), the
+        // per-row pair-sum field, the broadcast divisor, and the min.
+        let op = ap.alloc_field(2 * m + 1)?;
+        let sumw = ap.alloc_field(sum_bits)?;
+        let den = ap.alloc_field(sum_bits)?;
+        let minf = ap.alloc_field(m)?;
+        let cols_used = den.end();
+
+        let mut steps: Vec<StepStats> = Vec::new();
+        let mut mark = ap.stats();
+        let step = |ap: &ApCore, name: &'static str, steps: &mut Vec<StepStats>,
+                        mark: &mut CycleStats| {
+            let now = ap.stats();
+            steps.push(StepStats {
+                name,
+                stats: now.since(mark),
+            });
+            *mark = now;
+        };
+
+        // Step 1: write v (as magnitudes |code|; the sign is implicit in
+        // the paper's non-positive input convention).
+        for (h, data) in halves.iter().enumerate() {
+            ap.load(fields[h].x, data)?;
+        }
+        step(&ap, "1: write v", &mut steps, &mut mark);
+
+        // Step 1b/2: find min |code| (= max v) and subtract it:
+        // x := neg_vstable = |code| - min.
+        let mut min = u64::MAX;
+        for f in &fields {
+            let (m0, _) = ap.min_search(f.x);
+            min = min.min(m0);
+        }
+        ap.broadcast(minf, min)?;
+        for f in &fields {
+            let borrow = ap.sub_into(f.x, minf)?;
+            debug_assert!(borrow.is_none_set());
+        }
+        step(&ap, "2: subtract max", &mut steps, &mut mark);
+
+        // Steps 3-4: write µ, Barrett multiply + shift -> q̂.
+        ap.broadcast(op, consts.mu)?;
+        step(&ap, "3: write mu", &mut steps, &mut mark);
+        for f in &fields {
+            ap.mul(f.x, op, f.work)?;
+            ap.shr_const(f.work, 2 * m)?;
+            ap.copy(f.work.sub(0, w.q as usize), f.q)?;
+        }
+        step(&ap, "4: multiply+shift (barrett)", &mut steps, &mut mark);
+
+        // Steps 5-6: write vln2, multiply q̂ · vln2.
+        ap.broadcast(op, consts.vln2)?;
+        step(&ap, "5: write vln2", &mut steps, &mut mark);
+        for f in &fields {
+            ap.mul(f.q, op.sub(0, w.vln2 as usize), f.work)?;
+        }
+        step(&ap, "6: multiply q*vln2", &mut steps, &mut mark);
+
+        // Step 7: subtract -> r = neg_vstable - q̂·vln2 (fits M bits).
+        for f in &fields {
+            let borrow = ap.sub_into(f.x, f.work.sub(0, m))?;
+            debug_assert!(borrow.is_none_set());
+        }
+        step(&ap, "7: subtract (vcorr)", &mut steps, &mut mark);
+
+        // Steps 8-9: write vb, add: t = vb - r (saturating at zero).
+        for f in &fields {
+            ap.broadcast(f.t, consts.vb)?;
+            ap.saturating_sub_into(f.t, f.x)?;
+        }
+        step(&ap, "8-9: write vb, add vcorr", &mut steps, &mut mark);
+
+        // Steps 10-11: copy + multiply -> t².
+        for f in &fields {
+            ap.square(f.t, f.work)?;
+        }
+        step(&ap, "10-11: copy, square", &mut steps, &mut mark);
+
+        // Steps 12-13: write vc, add, then variable shift by q̂.
+        ap.broadcast(op, consts.vc)?;
+        step(&ap, "12: write vc", &mut steps, &mut mark);
+        for f in &fields {
+            ap.add_into(f.work.sub(0, w.poly as usize), op.sub(0, w.vc as usize))?;
+            ap.shr_variable(f.work.sub(0, w.poly as usize), f.q)?;
+            ap.copy(f.work.sub(0, w.vapprox as usize), f.vapprox)?;
+        }
+        step(&ap, "13: add+shift (vapprox)", &mut steps, &mut mark);
+
+        // Step 14: reduction. Pair-add the halves, then tree-reduce.
+        // v_approx values provably fit the effective sum width (they are
+        // bounded by vb²+vc < 2^used_bits ≤ 2^sum_bits), so when the
+        // allocated v_approx field is wider than the sum register only
+        // the low bits carry information.
+        let vap_low = (w.vapprox as usize).min(sum_bits);
+        ap.copy(fields[0].vapprox.sub(0, vap_low), sumw)?;
+        if fields.len() == 2 {
+            ap.add_into(sumw, fields[1].vapprox.sub(0, vap_low))?;
+        }
+        let sums = ap.reduce_sum_2d_mode(sumw, den, rows, self.overflow_mode())?;
+        let sum = sums[0];
+        step(&ap, "14: reduction", &mut steps, &mut mark);
+
+        // Step 15: copy Σ to all rows (broadcast divisor). A wrapped sum
+        // of zero is clamped to 1, mirroring the scalar divisor clamp.
+        ap.broadcast(den, sum.max(1))?;
+        step(&ap, "15: copy sum", &mut steps, &mut mark);
+
+        // Step 16: divide.
+        let f_bits = w.frac_bits() as usize;
+        for f in &fields {
+            ap.divide(f.vapprox, den, f.res, f_bits, self.div_style)?;
+        }
+        step(&ap, "16: divide", &mut steps, &mut mark);
+
+        // Gather outputs in input order (halves are concatenated).
+        let mut codes_out = Vec::with_capacity(total_len);
+        let mut vapprox_out = Vec::with_capacity(total_len);
+        for f in &fields {
+            codes_out.extend(ap.read(f.res));
+            vapprox_out.extend(ap.read(f.vapprox));
+        }
+        codes_out.truncate(total_len);
+        vapprox_out.truncate(total_len);
+
+        Ok(ApSoftmaxRun {
+            codes: codes_out,
+            frac_bits: w.frac_bits(),
+            vapprox: vapprox_out,
+            sum,
+            total: ap.stats(),
+            steps,
+            rows,
+            cols_used,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softmap_softmax::IntSoftmax;
+
+    fn assert_bit_exact(cfg: PrecisionConfig, scores: &[f64], layout: Layout) {
+        let scalar = IntSoftmax::new(cfg).unwrap().run_floats(scores).unwrap();
+        let run = ApSoftmax::new(cfg)
+            .unwrap()
+            .with_layout(layout)
+            .execute_floats(scores)
+            .unwrap();
+        assert_eq!(run.vapprox, scalar.vapprox, "vapprox mismatch");
+        assert_eq!(run.sum, scalar.sum, "sum mismatch");
+        assert_eq!(run.codes, scalar.codes, "codes mismatch");
+    }
+
+    #[test]
+    fn packed_layout_matches_scalar() {
+        let scores = [0.0, -0.7, -1.9, -3.2, -0.1, -5.5, -2.2, -6.9];
+        assert_bit_exact(PrecisionConfig::paper_best(), &scores, Layout::TwoWordsPerRow);
+    }
+
+    #[test]
+    fn unpacked_layout_matches_scalar() {
+        let scores = [0.0, -0.7, -1.9, -3.2, -0.1, -5.5, -2.2];
+        assert_bit_exact(PrecisionConfig::paper_best(), &scores, Layout::OneWordPerRow);
+    }
+
+    #[test]
+    fn all_paper_precisions_match_scalar() {
+        let scores: Vec<f64> = (0..16).map(|i| -(f64::from(i) * 0.47) % 6.8).collect();
+        for m in [4, 6, 8] {
+            for delta in [0, 1, 2] {
+                for n in [8, 16] {
+                    let cfg = PrecisionConfig::new(m, delta, n);
+                    assert_bit_exact(cfg, &scores, Layout::TwoWordsPerRow);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reciprocal_division_close_to_scalar() {
+        let cfg = PrecisionConfig::paper_best();
+        let scores = [0.0, -0.5, -1.5, -2.5];
+        let scalar = IntSoftmax::new(cfg).unwrap().run_floats(&scores).unwrap();
+        let run = ApSoftmax::new(cfg)
+            .unwrap()
+            .with_div_style(DivStyle::ControllerReciprocal)
+            .execute_floats(&scores)
+            .unwrap();
+        for (got, want) in run.codes.iter().zip(&scalar.codes) {
+            assert!(got <= want && want - got <= 1, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn step_names_follow_fig5() {
+        let run = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .execute_floats(&[0.0, -1.0, -2.0, -3.0])
+            .unwrap();
+        let names: Vec<_> = run.steps.iter().map(|s| s.name).collect();
+        assert_eq!(names.first().copied(), Some("1: write v"));
+        assert_eq!(names.last().copied(), Some("16: divide"));
+        assert_eq!(run.steps.len(), 14);
+        // total equals the sum of the steps
+        let total: u64 = run.steps.iter().map(|s| s.stats.cycles()).sum();
+        assert_eq!(total, run.total.cycles());
+    }
+
+    #[test]
+    fn division_dominates_runtime() {
+        // The restoring divider is the most expensive step — the
+        // motivation for the ControllerReciprocal ablation.
+        let run = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .execute_floats(&[0.0, -1.0, -2.0, -3.0])
+            .unwrap();
+        let divide = run
+            .steps
+            .iter()
+            .find(|s| s.name == "16: divide")
+            .unwrap()
+            .stats
+            .cycles();
+        assert!(divide * 2 > run.total.cycles());
+    }
+
+    #[test]
+    fn saturating_sum_matches_scalar_on_long_flat_input() {
+        let cfg = PrecisionConfig::new(6, 0, 8);
+        let scores = vec![0.0; 1024];
+        let scalar = IntSoftmax::new(cfg).unwrap().run_floats(&scores).unwrap();
+        assert!(scalar.sum_overflowed);
+        let run = ApSoftmax::new(cfg).unwrap().execute_floats(&scores).unwrap();
+        assert_eq!(run.sum, scalar.sum);
+        assert_eq!(run.codes, scalar.codes);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let apsm = ApSoftmax::new(PrecisionConfig::paper_best()).unwrap();
+        assert!(matches!(
+            apsm.execute_floats(&[]),
+            Err(CoreError::EmptyInput)
+        ));
+    }
+}

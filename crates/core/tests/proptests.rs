@@ -1,0 +1,74 @@
+//! Property-based tests: the AP mapping is bit-exact against the scalar
+//! specification for arbitrary inputs, and the deployment model behaves
+//! like a cost function should.
+
+use proptest::prelude::*;
+use softmap::{ApDeployment, ApSoftmax, Layout, WorkloadModel};
+use softmap_softmax::{IntSoftmax, PrecisionConfig};
+
+fn config_strategy() -> impl Strategy<Value = PrecisionConfig> {
+    (
+        prop_oneof![Just(4u32), Just(6), Just(8)],
+        0u32..=2,
+        prop_oneof![Just(8u32), Just(12), Just(16)],
+    )
+        .prop_map(|(m, d, n)| PrecisionConfig::new(m, d, n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mapping_bit_exact_on_random_inputs(
+        cfg in config_strategy(),
+        scores in prop::collection::vec(-9.0f64..0.0, 2..48),
+    ) {
+        let scalar = IntSoftmax::new(cfg).unwrap().run_floats(&scores).unwrap();
+        let run = ApSoftmax::new(cfg).unwrap().execute_floats(&scores).unwrap();
+        prop_assert_eq!(&run.codes, &scalar.codes);
+        prop_assert_eq!(&run.vapprox, &scalar.vapprox);
+        prop_assert_eq!(run.sum, scalar.sum);
+    }
+
+    #[test]
+    fn layouts_agree(scores in prop::collection::vec(-9.0f64..0.0, 2..40)) {
+        let cfg = PrecisionConfig::paper_best();
+        let packed = ApSoftmax::new(cfg).unwrap()
+            .with_layout(Layout::TwoWordsPerRow)
+            .execute_floats(&scores).unwrap();
+        let flat = ApSoftmax::new(cfg).unwrap()
+            .with_layout(Layout::OneWordPerRow)
+            .execute_floats(&scores).unwrap();
+        prop_assert_eq!(packed.codes, flat.codes);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_workload(
+        layers in 1usize..8,
+        heads in 1usize..8,
+        batch in 1usize..4,
+    ) {
+        let m = WorkloadModel::new(PrecisionConfig::paper_best(), ApDeployment::default()).unwrap();
+        let base = m.cost(layers, heads, 256, batch).unwrap();
+        let more_layers = m.cost(layers + 1, heads, 256, batch).unwrap();
+        let more_heads = m.cost(layers, heads + 1, 256, batch).unwrap();
+        prop_assert!(more_layers.latency_s > base.latency_s);
+        prop_assert!(more_layers.energy_j > base.energy_j);
+        // heads add energy but not latency (they run in parallel)
+        prop_assert!(more_heads.energy_j > base.energy_j);
+        prop_assert!((more_heads.latency_s - base.latency_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_from_the_ap_are_a_subdistribution(
+        scores in prop::collection::vec(-7.0f64..0.0, 2..32),
+    ) {
+        let run = ApSoftmax::new(PrecisionConfig::paper_best()).unwrap()
+            .execute_floats(&scores).unwrap();
+        let total: f64 = run.probabilities().iter().sum();
+        // floor division loses mass but never creates it (absent
+        // saturation, which cannot trigger at N=16 with <=32 elements)
+        prop_assert!(total <= 1.0 + 1e-9, "total = {total}");
+        prop_assert!(total > 0.5, "total = {total}");
+    }
+}

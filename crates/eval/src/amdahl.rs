@@ -1,0 +1,91 @@
+//! The paper's Amdahl consistency note: "the 6.7× softmax speedup
+//! reduces the overall execution time of Llama2-70b by 10.71% for a
+//! sequence length of 4096".
+//!
+//! We recompute both sides from our models: the softmax fraction comes
+//! from the Fig. 1 runtime model and the speedup from the Fig. 7
+//! characterization; Amdahl's law ties them together.
+
+use crate::EvalResult;
+use softmap::characterize::{Characterizer, OperatingPoint};
+use softmap_gpu::transformer::PrefillModel;
+use softmap_gpu::GpuSpec;
+use softmap_llm::configs::llama2_70b;
+
+/// The recomputed quantities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Amdahl {
+    /// Softmax fraction of the 70b prefill runtime at L = 4096.
+    pub softmax_fraction: f64,
+    /// AP softmax speedup at L = 4096 (A100 baseline).
+    pub speedup: f64,
+    /// Resulting end-to-end time reduction.
+    pub overall_reduction: f64,
+}
+
+/// Runs the consistency check.
+///
+/// # Errors
+///
+/// Propagates characterization errors.
+pub fn run() -> EvalResult<Amdahl> {
+    let fraction = PrefillModel::new(GpuSpec::a100())
+        .runtime(&llama2_70b(), 4096, 1)
+        .softmax_fraction();
+    let ch = Characterizer::paper_default()?;
+    let c = ch.compare(
+        &llama2_70b(),
+        OperatingPoint {
+            seq_len: 4096,
+            batch: 1,
+        },
+    )?;
+    let speedup = c.gpus[0].norm_latency.max(1.0);
+    let overall_reduction = fraction - fraction / speedup;
+    Ok(Amdahl {
+        softmax_fraction: fraction,
+        speedup,
+        overall_reduction,
+    })
+}
+
+/// Renders the check against the paper's numbers.
+#[must_use]
+pub fn render(a: &Amdahl) -> String {
+    let (paper_speedup, paper_reduction) = crate::paper::AMDAHL_70B;
+    format!(
+        "Amdahl check (Llama2-70b, L = 4096, A100 baseline)\n\
+         softmax fraction of prefill: {:.1}% (paper implies ~12.6%)\n\
+         AP softmax speedup:          {:.2}x (paper: {paper_speedup}x)\n\
+         end-to-end reduction:        {:.2}% (paper: {:.2}%)\n",
+        a.softmax_fraction * 100.0,
+        a.speedup,
+        a.overall_reduction * 100.0,
+        paper_reduction * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_in_paper_neighbourhood() {
+        let a = run().unwrap();
+        // shape: a meaningful single-digit-to-low-teens percent reduction
+        assert!(
+            a.overall_reduction > 0.04 && a.overall_reduction < 0.25,
+            "reduction {}",
+            a.overall_reduction
+        );
+        assert!(a.speedup > 1.0);
+        assert!(a.softmax_fraction > 0.05 && a.softmax_fraction < 0.25);
+    }
+
+    #[test]
+    fn render_contains_both_sides() {
+        let s = render(&run().unwrap());
+        assert!(s.contains("paper"));
+        assert!(s.contains('%'));
+    }
+}

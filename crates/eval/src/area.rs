@@ -1,0 +1,93 @@
+//! AP deployment area (Section V-B): 0.64 / 0.81 / 1.28 mm² for
+//! Llama2-7b / 13b / 70b — one tile per attention head.
+
+use crate::table::AsciiTable;
+use crate::EvalResult;
+use softmap::{ApDeployment, WorkloadModel};
+use softmap_llm::configs::paper_models;
+use softmap_softmax::PrecisionConfig;
+
+/// One row: model, head count, modelled area, paper area.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Model name.
+    pub model: &'static str,
+    /// Attention heads (tiles).
+    pub heads: usize,
+    /// Modelled area, mm².
+    pub area_mm2: f64,
+    /// Paper-reported area, mm².
+    pub paper_mm2: f64,
+}
+
+/// Runs the experiment with the paper's one-tile-per-head deployment.
+///
+/// # Errors
+///
+/// Propagates mapping errors.
+pub fn run() -> EvalResult<Vec<Row>> {
+    let model = WorkloadModel::new(PrecisionConfig::paper_best(), ApDeployment::area_reference())?;
+    let mut rows = Vec::new();
+    for (i, cfg) in paper_models().iter().enumerate() {
+        rows.push(Row {
+            model: cfg.name,
+            heads: cfg.heads,
+            area_mm2: model.area_mm2(cfg.heads)?,
+            paper_mm2: crate::paper::AREA_MM2[i],
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the table.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = AsciiTable::new(vec![
+        "model".into(),
+        "heads (tiles)".into(),
+        "area mm2 (model)".into(),
+        "area mm2 (paper)".into(),
+    ]);
+    t.title("AP deployment area, one 2048-row tile per head");
+    for r in rows {
+        t.row(vec![
+            r.model.to_string(),
+            r.heads.to_string(),
+            format!("{:.2}", r.area_mm2),
+            format!("{:.2}", r.paper_mm2),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_to_heads_and_near_paper() {
+        let rows = run().unwrap();
+        assert_eq!(rows.len(), 3);
+        // exact head proportionality
+        let per_head: Vec<f64> = rows.iter().map(|r| r.area_mm2 / r.heads as f64).collect();
+        assert!((per_head[0] - per_head[2]).abs() < 1e-9);
+        // within 2x of every paper value
+        for r in &rows {
+            let ratio = r.area_mm2 / r.paper_mm2;
+            assert!(
+                ratio > 0.5 && ratio < 2.0,
+                "{}: {} vs paper {}",
+                r.model,
+                r.area_mm2,
+                r.paper_mm2
+            );
+        }
+    }
+
+    #[test]
+    fn render_mentions_all_models() {
+        let s = render(&run().unwrap());
+        assert!(s.contains("Llama2-7b"));
+        assert!(s.contains("Llama2-70b"));
+    }
+}

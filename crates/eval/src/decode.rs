@@ -1,0 +1,116 @@
+//! Extension experiment: the *decode* phase. The paper evaluates
+//! prefill; autoregressive generation runs one softmax vector per head
+//! per layer per token, over a growing KV cache. This experiment
+//! characterizes that workload with the same AP deployment and GPU
+//! models.
+
+use crate::table::{fmt_ratio, AsciiTable};
+use crate::EvalResult;
+use softmap::{ApDeployment, WorkloadModel};
+use softmap_gpu::{GpuSpec, SoftmaxKernelModel};
+use softmap_llm::configs::{llama2_7b, SoftmaxWorkload};
+use softmap_softmax::PrecisionConfig;
+
+/// One decode operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodePoint {
+    /// KV-cache depth.
+    pub seq_len: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// AP softmax latency per generated token, seconds.
+    pub ap_latency_s: f64,
+    /// AP softmax energy per generated token, joules.
+    pub ap_energy_j: f64,
+    /// `latency_GPU / latency_AP` on A100.
+    pub norm_latency_a100: f64,
+    /// `energy_GPU / energy_AP` on A100.
+    pub norm_energy_a100: f64,
+}
+
+/// Runs the decode sweep on Llama2-7b.
+///
+/// # Errors
+///
+/// Propagates workload errors.
+pub fn run() -> EvalResult<Vec<DecodePoint>> {
+    let model = llama2_7b();
+    let wm = WorkloadModel::new(PrecisionConfig::paper_best(), ApDeployment::default())?;
+    let kernel = SoftmaxKernelModel::int_unfused();
+    let a100 = GpuSpec::a100();
+    let mut out = Vec::new();
+    for &seq_len in &[512usize, 1024, 2048, 4096] {
+        for &batch in &[1usize, 16] {
+            let ap = wm.cost_decode(model.layers, model.heads, seq_len, batch)?;
+            let w = SoftmaxWorkload::decode(&model, seq_len, batch);
+            let gpu = kernel.cost(&a100, &w);
+            out.push(DecodePoint {
+                seq_len,
+                batch,
+                ap_latency_s: ap.latency_s,
+                ap_energy_j: ap.energy_j,
+                norm_latency_a100: gpu.latency_s / ap.latency_s,
+                norm_energy_a100: gpu.energy_j / ap.energy_j,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Renders the decode table.
+#[must_use]
+pub fn render(points: &[DecodePoint]) -> String {
+    let mut t = AsciiTable::new(vec![
+        "KV depth".into(),
+        "batch".into(),
+        "AP latency/token".into(),
+        "AP energy/token".into(),
+        "A100/AP latency".into(),
+        "A100/AP energy".into(),
+    ]);
+    t.title("Decode-phase softmax (extension; Llama2-7b, per generated token)");
+    for p in points {
+        t.row(vec![
+            p.seq_len.to_string(),
+            p.batch.to_string(),
+            crate::table::fmt_seconds(p.ap_latency_s),
+            crate::table::fmt_joules(p.ap_energy_j),
+            fmt_ratio(p.norm_latency_a100),
+            fmt_ratio(p.norm_energy_a100),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_energy_always_favours_ap() {
+        for p in run().unwrap() {
+            assert!(
+                p.norm_energy_a100 > 1.0,
+                "L={} B={}: {}",
+                p.seq_len,
+                p.batch,
+                p.norm_energy_a100
+            );
+        }
+    }
+
+    #[test]
+    fn decode_latency_per_token_is_sub_millisecond_class() {
+        for p in run().unwrap() {
+            assert!(p.ap_latency_s < 0.01, "{}", p.ap_latency_s);
+        }
+    }
+
+    #[test]
+    fn render_has_all_depths() {
+        let s = render(&run().unwrap());
+        for l in ["512", "1024", "2048", "4096"] {
+            assert!(s.contains(l));
+        }
+    }
+}

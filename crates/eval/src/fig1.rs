@@ -1,0 +1,102 @@
+//! Fig. 1: softmax share of Llama2-7b prefill runtime on A100 vs.
+//! sequence length.
+
+use crate::table::AsciiTable;
+use softmap_gpu::transformer::PrefillModel;
+use softmap_gpu::GpuSpec;
+use softmap_llm::configs::llama2_7b;
+
+/// One point of the curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Sequence length.
+    pub seq_len: usize,
+    /// Softmax fraction of the total runtime.
+    pub fraction: f64,
+    /// Total modelled runtime, seconds.
+    pub total_s: f64,
+}
+
+/// The paper's x-axis.
+#[must_use]
+pub fn sequence_lengths() -> Vec<usize> {
+    vec![128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run() -> Vec<Point> {
+    let model = PrefillModel::new(GpuSpec::a100());
+    let cfg = llama2_7b();
+    sequence_lengths()
+        .into_iter()
+        .map(|seq_len| {
+            let parts = model.runtime(&cfg, seq_len, 1);
+            Point {
+                seq_len,
+                fraction: parts.softmax_fraction(),
+                total_s: parts.total_s(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the series with the paper's anchor claims.
+#[must_use]
+pub fn render(points: &[Point]) -> String {
+    let mut t = AsciiTable::new(vec![
+        "seq len".into(),
+        "softmax share".into(),
+        "total runtime".into(),
+        "bar".into(),
+    ]);
+    t.title(
+        "Fig. 1: softmax share of Llama2-7b prefill on A100 \
+         (paper: <=3.34% below 1024, up to 38% at 16384)",
+    );
+    for p in points {
+        let bar = "#".repeat((p.fraction * 100.0).round() as usize);
+        t.row(vec![
+            p.seq_len.to_string(),
+            format!("{:.1}%", p.fraction * 100.0),
+            crate::table::fmt_seconds(p.total_s),
+            bar,
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn matches_paper_anchors() {
+        let pts = run();
+        let at = |seq: usize| pts.iter().find(|p| p.seq_len == seq).unwrap().fraction;
+        let (a1, a2) = (paper::FIG1_ANCHORS[0], paper::FIG1_ANCHORS[1]);
+        assert!(at(a1.0) <= a1.1 * 1.5, "1024: {} vs paper {}", at(a1.0), a1.1);
+        assert!(
+            (at(a2.0) - a2.1).abs() < 0.12,
+            "16384: {} vs paper {}",
+            at(a2.0),
+            a2.1
+        );
+    }
+
+    #[test]
+    fn runtime_grows_with_length() {
+        let pts = run();
+        for w in pts.windows(2) {
+            assert!(w[1].total_s > w[0].total_s);
+        }
+    }
+
+    #[test]
+    fn render_has_all_lengths() {
+        let s = render(&run());
+        assert!(s.contains("16384"));
+        assert!(s.contains('%'));
+    }
+}

@@ -1,0 +1,173 @@
+//! Figs. 6, 7 and 8: normalized energy, latency and EDP of the AP
+//! against A100 and RTX3090, over the paper's (sequence length × batch)
+//! grid, for each Llama model.
+
+use std::sync::OnceLock;
+
+use crate::table::{fmt_ratio, AsciiTable};
+use crate::EvalResult;
+use softmap::characterize::{Characterizer, Comparison};
+use softmap_llm::configs::{paper_models, LlamaConfig};
+
+/// Which quantity a figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantity {
+    /// Fig. 6: `energy_GPU / energy_AP`.
+    Energy,
+    /// Fig. 7: `latency_GPU / latency_AP`.
+    Latency,
+    /// Fig. 8: `EDP_GPU / EDP_AP`.
+    Edp,
+}
+
+impl Quantity {
+    fn of(self, c: &Comparison, gpu_idx: usize) -> f64 {
+        match self {
+            Self::Energy => c.gpus[gpu_idx].norm_energy,
+            Self::Latency => c.gpus[gpu_idx].norm_latency,
+            Self::Edp => c.gpus[gpu_idx].norm_edp,
+        }
+    }
+}
+
+fn characterizer() -> EvalResult<&'static Characterizer> {
+    static CH: OnceLock<Characterizer> = OnceLock::new();
+    if CH.get().is_none() {
+        let ch = Characterizer::paper_default().map_err(Box::new)?;
+        let _ = CH.set(ch);
+    }
+    Ok(CH.get().expect("just set"))
+}
+
+/// The full sweep for one model (all operating points, both GPUs).
+///
+/// # Errors
+///
+/// Propagates characterization errors.
+pub fn sweep(model: &LlamaConfig) -> EvalResult<Vec<Comparison>> {
+    Ok(characterizer()?.sweep(model)?)
+}
+
+/// Renders one figure panel for one model.
+///
+/// # Errors
+///
+/// Propagates characterization errors.
+pub fn render_panel(model: &LlamaConfig, q: Quantity) -> EvalResult<String> {
+    let sweep = sweep(model)?;
+    let (name, fig) = match q {
+        Quantity::Energy => ("normalized energy (GPU/AP)", "Fig. 6"),
+        Quantity::Latency => ("normalized latency (GPU/AP)", "Fig. 7"),
+        Quantity::Edp => ("normalized EDP (GPU/AP)", "Fig. 8"),
+    };
+    let mut t = AsciiTable::new(vec![
+        "seq len".into(),
+        "batch".into(),
+        "A100".into(),
+        "RTX3090".into(),
+    ]);
+    t.title(format!("{fig}: {name} for {} (>1 favours the AP)", model.name));
+    for c in &sweep {
+        t.row(vec![
+            c.point.seq_len.to_string(),
+            c.point.batch.to_string(),
+            fmt_ratio(q.of(c, 0)),
+            fmt_ratio(q.of(c, 1)),
+        ]);
+    }
+    Ok(t.render())
+}
+
+/// Renders all three panels of one figure (7b, 13b, 70b).
+///
+/// # Errors
+///
+/// Propagates characterization errors.
+pub fn render_figure(q: Quantity) -> EvalResult<String> {
+    let mut out = String::new();
+    for model in paper_models() {
+        out.push_str(&render_panel(&model, q)?);
+        out.push('\n');
+    }
+    match q {
+        Quantity::Energy => out.push_str(&format!(
+            "paper maxima (A100): {:?}; (RTX3090): {:?}; averages: {:?} / {:?}\n",
+            crate::paper::FIG6_MAX_A100,
+            crate::paper::FIG6_MAX_3090,
+            crate::paper::FIG6_AVG_A100,
+            crate::paper::FIG6_AVG_3090
+        )),
+        Quantity::Latency => out.push_str(&format!(
+            "paper range over L in [1024, 4096]: {:?}\n",
+            crate::paper::FIG7_RANGE
+        )),
+        Quantity::Edp => out.push_str("paper: always > 1; maxima at L = 4096, B in [8, 32]\n"),
+    }
+    Ok(out)
+}
+
+/// Summary statistics of one model's sweep (used by tests and the
+/// EXPERIMENTS log).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepSummary {
+    /// Max energy ratio vs. A100.
+    pub max_energy_a100: f64,
+    /// Mean energy ratio vs. A100.
+    pub mean_energy_a100: f64,
+    /// Max latency ratio vs. A100.
+    pub max_latency_a100: f64,
+    /// Min latency ratio vs. A100.
+    pub min_latency_a100: f64,
+    /// Max EDP ratio vs. A100.
+    pub max_edp_a100: f64,
+}
+
+/// Computes the summary for one model.
+///
+/// # Errors
+///
+/// Propagates characterization errors.
+pub fn summary(model: &LlamaConfig) -> EvalResult<SweepSummary> {
+    let sweep = sweep(model)?;
+    let vals = |f: &dyn Fn(&Comparison) -> f64| -> Vec<f64> { sweep.iter().map(f).collect() };
+    let energy = vals(&|c| c.gpus[0].norm_energy);
+    let latency = vals(&|c| c.gpus[0].norm_latency);
+    let edp = vals(&|c| c.gpus[0].norm_edp);
+    let max = |xs: &[f64]| xs.iter().copied().fold(f64::MIN, f64::max);
+    let min = |xs: &[f64]| xs.iter().copied().fold(f64::MAX, f64::min);
+    Ok(SweepSummary {
+        max_energy_a100: max(&energy),
+        mean_energy_a100: energy.iter().sum::<f64>() / energy.len() as f64,
+        max_latency_a100: max(&latency),
+        min_latency_a100: min(&latency),
+        max_edp_a100: max(&edp),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softmap_llm::configs::llama2_7b;
+
+    #[test]
+    fn seven_b_summary_in_paper_bands() {
+        let s = summary(&llama2_7b()).unwrap();
+        // Fig. 6 shape: energy ratios are O(100-1000)
+        assert!(s.max_energy_a100 > 100.0 && s.max_energy_a100 < 5000.0);
+        assert!(s.mean_energy_a100 > 50.0);
+        // Fig. 7 shape: crossover exists
+        assert!(s.min_latency_a100 < 1.0, "min latency ratio {}", s.min_latency_a100);
+        assert!(s.max_latency_a100 > 1.5, "max latency ratio {}", s.max_latency_a100);
+        // Fig. 8 shape: EDP strongly favours the AP at the top end
+        assert!(s.max_edp_a100 > 100.0);
+    }
+
+    #[test]
+    fn panels_render_for_all_quantities() {
+        for q in [Quantity::Energy, Quantity::Latency, Quantity::Edp] {
+            let s = render_panel(&llama2_7b(), q).unwrap();
+            assert!(s.contains("4096"));
+            assert!(s.contains("A100"));
+        }
+    }
+}

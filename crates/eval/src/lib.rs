@@ -1,0 +1,52 @@
+//! Experiment harness: regenerates every table and figure of the
+//! SoftmAP paper.
+//!
+//! Each experiment module produces structured data plus an ASCII
+//! rendering with the paper's reported values alongside for comparison.
+//! The `softmap-eval` binary drives them:
+//!
+//! ```text
+//! cargo run -p softmap-eval --release -- all
+//! cargo run -p softmap-eval --release -- fig7
+//! ```
+//!
+//! | Module | Paper content |
+//! |---|---|
+//! | [`fig1`] | Softmax runtime share of Llama2-7b on A100 |
+//! | [`table1`] | Bit-width allocations per intermediate |
+//! | [`table2`] | AP runtime formulas vs. measured microcode |
+//! | [`table34`] | Perplexity grids (tiny-LM stand-ins, see DESIGN.md) |
+//! | [`fig678`] | Normalized energy / latency / EDP sweeps |
+//! | [`table5`] | Highest EDP ratios |
+//! | [`table6`] | Energy per operation vs. ConSmax / Softermax |
+//! | [`area`] | AP deployment area |
+//! | [`amdahl`] | End-to-end speedup consistency check |
+//! | [`ablations`] | Division/layout/packing/reduction design ablations (extension) |
+//! | [`decode`] | Decode-phase characterization (extension) |
+//!
+//! # Examples
+//!
+//! ```
+//! let t = softmap_eval::table1::run();
+//! assert!(t.render().contains("vapprox"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod amdahl;
+pub mod area;
+pub mod decode;
+pub mod fig1;
+pub mod fig678;
+pub mod paper;
+pub mod table;
+pub mod table1;
+pub mod table2;
+pub mod table34;
+pub mod table5;
+pub mod table6;
+
+/// Convenience result alias for experiments.
+pub type EvalResult<T> = Result<T, Box<dyn std::error::Error>>;

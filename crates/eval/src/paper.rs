@@ -1,0 +1,112 @@
+//! The paper's reported numbers, embedded for side-by-side comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use softmap_eval::paper;
+//!
+//! assert_eq!(paper::TABLE5_A100, [1068.0, 1191.0, 2091.0]);
+//! ```
+
+/// Fig. 1 anchors: softmax share of Llama2-7b runtime on A100.
+/// `(sequence length, reported fraction)` — the paper reports ≤3.34%
+/// below 1024 and up to 38% at 16384.
+pub const FIG1_ANCHORS: [(usize, f64); 2] = [(1024, 0.0334), (16384, 0.38)];
+
+/// Table III (Llama2-7b, TC = −7): perplexity for
+/// `N ∈ {8,12,16,20}` (rows) × `(v_corr, M)` columns in the order
+/// `(M, M=6), (M, M=8), (M+1, M=6), (M+1, M=8), (M+2, M=6), (M+2, M=8)`.
+pub const TABLE3_PPL: [[f64; 6]; 4] = [
+    [9.62, 17.78, 9.62, 17.77, 9.62, 17.77],
+    [5.92, 5.52, 5.93, 5.52, 5.93, 5.52],
+    [5.92, 5.51, 5.92, 5.51, 5.92, 5.51],
+    [5.92, 5.51, 5.92, 5.51, 5.92, 5.51],
+];
+
+/// Table III's FP reference perplexity.
+pub const TABLE3_FP_PPL: f64 = 5.47;
+
+/// Table IV (Llama2-13b): same layout as [`TABLE3_PPL`].
+pub const TABLE4_PPL: [[f64; 6]; 4] = [
+    [13.38, 12.78, 13.38, 12.8, 13.38, 12.78],
+    [5.54, 4.94, 5.54, 4.94, 5.54, 4.94],
+    [5.35, 4.93, 5.35, 4.93, 5.35, 4.93],
+    [5.34, 4.93, 5.34, 4.93, 5.34, 4.93],
+];
+
+/// Table IV's FP reference perplexity.
+pub const TABLE4_FP_PPL: f64 = 4.88;
+
+/// Highest energy savings vs. A100 per model (7b, 13b, 70b) — Fig. 6.
+pub const FIG6_MAX_A100: [f64; 3] = [489.0, 760.0, 340.0];
+
+/// Highest energy savings vs. RTX3090 per model — Fig. 6.
+pub const FIG6_MAX_3090: [f64; 3] = [776.0, 1305.0, 726.0];
+
+/// Average energy savings vs. A100 per model — Fig. 6.
+pub const FIG6_AVG_A100: [f64; 3] = [289.0, 301.0, 301.0];
+
+/// Average energy savings vs. RTX3090 per model — Fig. 6.
+pub const FIG6_AVG_3090: [f64; 3] = [710.0, 730.0, 707.0];
+
+/// Fig. 7: AP latency savings range over `L ∈ [1024, 4096]`:
+/// `(A100 low, A100 high, 3090 high)`.
+pub const FIG7_RANGE: (f64, f64, f64) = (1.06, 6.7, 12.58);
+
+/// Table V: highest `EDP_A100 / EDP_AP` for (7b, 13b, 70b).
+pub const TABLE5_A100: [f64; 3] = [1068.0, 1191.0, 2091.0];
+
+/// Table V: highest `EDP_RTX3090 / EDP_AP` for (7b, 13b, 70b).
+pub const TABLE5_3090: [f64; 3] = [4421.0, 5524.0, 8851.0];
+
+/// Table VI rows: `(method, softmax approximation, process, max freq
+/// MHz, optimum energy per op pJ)`.
+pub const TABLE6: [(&str, &str, &str, u32, f64); 3] = [
+    ("ConSmax", "Learnable LUTs", "16nm", 1250, 0.2),
+    (
+        "Softermax",
+        "Base replacement + online normalization",
+        "16nm",
+        1111,
+        0.7,
+    ),
+    ("SoftmAP", "Integer polynomial", "16nm", 1000, 5.88e-3),
+];
+
+/// AP deployment areas, mm², for (7b, 13b, 70b) — Section V-B.
+pub const AREA_MM2: [f64; 3] = [0.64, 0.81, 1.28];
+
+/// The Amdahl consistency note: a 6.7× softmax speedup cuts Llama2-70b
+/// total time by 10.71% at L = 4096.
+pub const AMDAHL_70B: (f64, f64) = (6.7, 0.1071);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_consistent_with_the_papers_narrative() {
+        // N=8 rows are the worst in both perplexity tables
+        for col in 0..6 {
+            assert!(TABLE3_PPL[0][col] > TABLE3_PPL[2][col]);
+            assert!(TABLE4_PPL[0][col] > TABLE4_PPL[2][col]);
+        }
+        // FP is the lower bound
+        for row in &TABLE3_PPL[1..] {
+            for &v in row {
+                assert!(v >= TABLE3_FP_PPL);
+            }
+        }
+        // 3090 EDP tops exceed A100's, both grow with model size
+        for i in 0..3 {
+            assert!(TABLE5_3090[i] > TABLE5_A100[i]);
+        }
+        #[allow(clippy::assertions_on_constants)]
+        {
+            assert!(TABLE5_A100[2] > TABLE5_A100[0]);
+        }
+        // SoftmAP has the lowest energy/op in Table VI
+        let softmap = TABLE6[2].4;
+        assert!(softmap < TABLE6[0].4 && softmap < TABLE6[1].4);
+    }
+}

@@ -1,0 +1,183 @@
+//! Minimal ASCII table renderer for experiment output.
+//!
+//! # Examples
+//!
+//! ```
+//! use softmap_eval::table::AsciiTable;
+//!
+//! let mut t = AsciiTable::new(vec!["metric".into(), "value".into()]);
+//! t.row(vec!["cycles".into(), "36181".into()]);
+//! let s = t.render();
+//! assert!(s.contains("cycles"));
+//! assert!(s.contains("36181"));
+//! ```
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct AsciiTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl AsciiTable {
+    /// Creates a table with the given header.
+    #[must_use]
+    pub fn new(header: Vec<String>) -> Self {
+        Self {
+            header,
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a title line printed above the table.
+    pub fn title(&mut self, t: impl Into<String>) -> &mut Self {
+        self.title = Some(t.into());
+        self
+    }
+
+    /// Appends one row (padded or truncated to the header width).
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let sep: String = widths
+            .iter()
+            .map(|w| format!("+{}", "-".repeat(w + 2)))
+            .collect::<String>()
+            + "+";
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                line.push_str(&format!("| {cell:w$} "));
+            }
+            line + "|"
+        };
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(t);
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        out
+    }
+}
+
+/// Formats a ratio with adaptive precision (3 significant-ish digits).
+#[must_use]
+pub fn fmt_ratio(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}")
+    } else if x >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Formats seconds with an adaptive unit.
+#[must_use]
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.2} us", s * 1e6)
+    } else {
+        format!("{:.2} ns", s * 1e9)
+    }
+}
+
+/// Formats joules with an adaptive unit.
+#[must_use]
+pub fn fmt_joules(j: f64) -> String {
+    if j >= 1.0 {
+        format!("{j:.2} J")
+    } else if j >= 1e-3 {
+        format!("{:.2} mJ", j * 1e3)
+    } else if j >= 1e-6 {
+        format!("{:.2} uJ", j * 1e6)
+    } else {
+        format!("{:.2} nJ", j * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = AsciiTable::new(vec!["a".into(), "long-header".into()]);
+        t.title("Demo");
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer-cell".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.starts_with("Demo\n"));
+        let lines: Vec<&str> = s.lines().collect();
+        // all body lines have equal width
+        let widths: Vec<usize> = lines[1..].iter().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = AsciiTable::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.row(vec!["1".into()]);
+        assert!(t.render().contains("| 1 |"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ratio(1234.6), "1235");
+        assert_eq!(fmt_ratio(12.34), "12.3");
+        assert_eq!(fmt_ratio(1.234), "1.23");
+        assert_eq!(fmt_seconds(2.5), "2.50 s");
+        assert_eq!(fmt_seconds(2.5e-3), "2.50 ms");
+        assert_eq!(fmt_seconds(2.5e-6), "2.50 us");
+        assert_eq!(fmt_seconds(2.5e-9), "2.50 ns");
+        assert_eq!(fmt_joules(0.0025), "2.50 mJ");
+        assert_eq!(fmt_joules(3.1), "3.10 J");
+    }
+}

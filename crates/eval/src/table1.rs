@@ -1,0 +1,120 @@
+//! Table I: bit-width allocations per intermediate over the precision
+//! grid. Reproduced cell-exactly from the closed forms in
+//! `softmap_softmax::WidthTable`.
+
+use crate::table::AsciiTable;
+use softmap_softmax::{PrecisionConfig, WidthTable};
+
+/// The reproduced Table I.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// `(Δ, M)` column order: Δ ∈ {0,1,2} × M ∈ {4,6,8}.
+    pub columns: Vec<(u32, u32)>,
+    /// Width rows: name plus one width per column.
+    pub width_rows: Vec<(&'static str, Vec<u32>)>,
+    /// Sum rows: `N` plus one width per column.
+    pub sum_rows: Vec<(u32, Vec<u32>)>,
+}
+
+/// Generates the table.
+#[must_use]
+pub fn run() -> Table1 {
+    let mut columns = Vec::new();
+    for delta in [0u32, 1, 2] {
+        for m in [4u32, 6, 8] {
+            columns.push((delta, m));
+        }
+    }
+    let names = [
+        "v",
+        "vstable",
+        "vln2",
+        "vb",
+        "vc",
+        "(vcorr+vb)^2+vc",
+        "vapprox",
+    ];
+    let mut width_rows = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let widths = columns
+            .iter()
+            .map(|&(d, m)| {
+                let w = WidthTable::from_config(&PrecisionConfig::new(m, d, 16));
+                [w.v, w.vstable, w.vln2, w.vb, w.vc, w.poly, w.vapprox][i]
+            })
+            .collect();
+        width_rows.push((*name, widths));
+    }
+    let sum_rows = [8u32, 12, 16, 20]
+        .iter()
+        .map(|&n| {
+            let widths = columns
+                .iter()
+                .map(|&(d, m)| WidthTable::from_config(&PrecisionConfig::new(m, d, n)).sum)
+                .collect();
+            (n, widths)
+        })
+        .collect();
+    Table1 {
+        columns,
+        width_rows,
+        sum_rows,
+    }
+}
+
+impl Table1 {
+    /// Renders the table in the paper's layout.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut header = vec!["quantity".to_string()];
+        for &(d, m) in &self.columns {
+            let vc = if d == 0 {
+                "vcorr=M".to_string()
+            } else {
+                format!("vcorr=M+{d}")
+            };
+            header.push(format!("{vc},M={m}"));
+        }
+        let mut t = AsciiTable::new(header);
+        t.title("Table I: allocated bit widths (reproduced cell-exactly from the paper)");
+        for (name, widths) in &self.width_rows {
+            let mut row = vec![(*name).to_string()];
+            row.extend(widths.iter().map(ToString::to_string));
+            t.row(row);
+        }
+        for (n, widths) in &self.sum_rows {
+            let mut row = vec![format!("sum (N={n})")];
+            row.extend(widths.iter().map(ToString::to_string));
+            t.row(row);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_cells() {
+        let t = run();
+        // spot-check the published corners (full verification lives in
+        // softmap-softmax's width tests)
+        let col = |d: u32, m: u32| t.columns.iter().position(|&c| c == (d, m)).unwrap();
+        let poly = &t.width_rows[5].1;
+        assert_eq!(poly[col(0, 4)], 11);
+        assert_eq!(poly[col(2, 8)], 23);
+        let vapprox = &t.width_rows[6].1;
+        assert_eq!(vapprox[col(0, 6)], 12);
+        let n20 = &t.sum_rows[3].1;
+        assert_eq!(n20[col(2, 8)], 38);
+    }
+
+    #[test]
+    fn renders_all_rows() {
+        let r = run().render();
+        assert!(r.contains("vln2"));
+        assert!(r.contains("sum (N=20)"));
+        assert!(r.contains("vcorr=M+2,M=8"));
+    }
+}

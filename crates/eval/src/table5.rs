@@ -1,0 +1,94 @@
+//! Table V: highest EDP ratios between the GPUs and the AP, per model.
+
+use crate::table::{fmt_ratio, AsciiTable};
+use crate::EvalResult;
+use softmap::characterize::Characterizer;
+use softmap_llm::configs::paper_models;
+
+/// One row of the reproduced table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Model name.
+    pub model: &'static str,
+    /// Highest `EDP_A100 / EDP_AP` and where it occurs.
+    pub a100: (f64, usize, usize),
+    /// Highest `EDP_RTX3090 / EDP_AP` and where it occurs.
+    pub rtx3090: (f64, usize, usize),
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates characterization errors.
+pub fn run() -> EvalResult<Vec<Row>> {
+    let ch = Characterizer::paper_default()?;
+    let mut rows = Vec::new();
+    for model in paper_models() {
+        let tops = ch.highest_edp_ratios(&model)?;
+        rows.push(Row {
+            model: model.name,
+            a100: (tops[0].1, tops[0].2.seq_len, tops[0].2.batch),
+            rtx3090: (tops[1].1, tops[1].2.seq_len, tops[1].2.batch),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the table with paper values alongside.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut t = AsciiTable::new(vec![
+        "model".into(),
+        "max EDP_A100/EDP_AP (paper)".into(),
+        "at (L, B)".into(),
+        "max EDP_3090/EDP_AP (paper)".into(),
+        "at (L, B)".into(),
+    ]);
+    t.title("Table V: highest EDP ratios (paper: maxima at L=4096, B in [8, 32])");
+    for (i, r) in rows.iter().enumerate() {
+        t.row(vec![
+            r.model.to_string(),
+            format!(
+                "{} ({})",
+                fmt_ratio(r.a100.0),
+                crate::paper::TABLE5_A100[i]
+            ),
+            format!("({}, {})", r.a100.1, r.a100.2),
+            format!(
+                "{} ({})",
+                fmt_ratio(r.rtx3090.0),
+                crate::paper::TABLE5_3090[i]
+            ),
+            format!("({}, {})", r.rtx3090.1, r.rtx3090.2),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let rows = run().unwrap();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            // thousands-scale ratios, 3090 above A100, peak at L=4096
+            assert!(r.a100.0 > 100.0, "{}: {}", r.model, r.a100.0);
+            assert!(r.rtx3090.0 > r.a100.0, "{}", r.model);
+            assert_eq!(r.a100.1, 4096);
+            assert_eq!(r.rtx3090.1, 4096);
+        }
+        // ordering across models: 70b has the largest ratios, like the paper
+        assert!(rows[2].a100.0 > rows[0].a100.0);
+    }
+
+    #[test]
+    fn render_includes_paper_numbers() {
+        let s = render(&run().unwrap());
+        assert!(s.contains("1068"));
+        assert!(s.contains("8851"));
+    }
+}

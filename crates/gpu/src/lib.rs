@@ -1,0 +1,289 @@
+//! Analytic GPU latency/energy model for A100 and RTX3090.
+//!
+//! The paper measures the integer-approximated softmax on real GPUs; we
+//! cannot, so this crate is the calibrated substitute (see DESIGN.md
+//! substitutions). The model is a bandwidth roofline with three
+//! empirically motivated corrections, each an explicit parameter:
+//!
+//! 1. **Kernel launch overhead** — per-kernel microseconds; the unfused
+//!    integer pipeline launches several kernels per layer.
+//! 2. **Cache boost** — softmax tensors that fit in L2 stream far above
+//!    HBM bandwidth.
+//! 3. **Large-tensor decay** — row-wise reductions over multi-GB
+//!    attention tensors fall well below the STREAM roofline (TLB and
+//!    cache thrash); calibrated against the paper's Fig. 1 endpoints
+//!    (softmax ≤3.34% of Llama2-7b runtime at L ≤ 1024, ≈38% at
+//!    L = 16384).
+//!
+//! Energy is `power(utilization) × time` with a busy-power floor (real
+//! GPUs running small kernels still burn a large fraction of TDP).
+//!
+//! # Examples
+//!
+//! ```
+//! use softmap_gpu::{GpuSpec, SoftmaxKernelModel};
+//! use softmap_llm::configs::{llama2_7b, SoftmaxWorkload};
+//!
+//! let w = SoftmaxWorkload::prefill(&llama2_7b(), 1024, 1);
+//! let cost = SoftmaxKernelModel::int_unfused().cost(&GpuSpec::a100(), &w);
+//! assert!(cost.latency_s > 0.0 && cost.energy_j > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod transformer;
+
+use softmap_llm::configs::SoftmaxWorkload;
+
+/// Published and calibrated parameters of one GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Device name.
+    pub name: &'static str,
+    /// Peak memory bandwidth, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Peak FP16 tensor throughput, TFLOP/s.
+    pub fp16_tflops: f64,
+    /// Board power limit, watts.
+    pub tdp_w: f64,
+    /// Idle power, watts.
+    pub idle_w: f64,
+    /// Active-power floor as a fraction of (TDP − idle): even tiny
+    /// kernels clock the whole chip up.
+    pub busy_floor: f64,
+    /// Per-kernel launch + sync overhead, microseconds.
+    pub launch_us: f64,
+    /// Last-level cache capacity, MiB.
+    pub l2_mib: f64,
+    /// Bandwidth multiplier for cache-resident working sets.
+    pub cache_boost: f64,
+    /// Large-tensor decay scale, GiB (effective bandwidth halves around
+    /// this working-set size; see the module docs).
+    pub decay_tau_gib: f64,
+    /// Large-tensor decay exponent.
+    pub decay_exp: f64,
+    /// Floor on the decayed bandwidth fraction (kernels never fall
+    /// below this fraction of peak no matter the tensor size).
+    pub decay_floor: f64,
+    /// Relative energy cost factor (process + memory technology;
+    /// RTX3090's GDDR6X on Samsung 8 nm is markedly less efficient per
+    /// byte than A100's HBM2e on TSMC 7 nm).
+    pub energy_factor: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA A100 (80 GB, SXM).
+    #[must_use]
+    pub fn a100() -> Self {
+        Self {
+            name: "A100",
+            mem_bw_gbs: 1555.0,
+            fp16_tflops: 312.0,
+            tdp_w: 400.0,
+            idle_w: 90.0,
+            busy_floor: 0.45,
+            launch_us: 5.0,
+            l2_mib: 40.0,
+            cache_boost: 2.5,
+            decay_tau_gib: 8.0,
+            decay_exp: 0.7,
+            decay_floor: 0.33,
+            energy_factor: 1.0,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 3090.
+    #[must_use]
+    pub fn rtx3090() -> Self {
+        Self {
+            name: "RTX3090",
+            mem_bw_gbs: 936.0,
+            fp16_tflops: 142.0,
+            tdp_w: 350.0,
+            idle_w: 60.0,
+            busy_floor: 0.5,
+            launch_us: 6.0,
+            l2_mib: 6.0,
+            cache_boost: 2.0,
+            decay_tau_gib: 4.0,
+            decay_exp: 0.7,
+            decay_floor: 0.30,
+            energy_factor: 1.6,
+        }
+    }
+
+    /// Both evaluated GPUs, in the paper's order.
+    #[must_use]
+    pub fn paper_gpus() -> Vec<GpuSpec> {
+        vec![Self::a100(), Self::rtx3090()]
+    }
+
+    /// Effective bandwidth (bytes/s) for a per-kernel working set of
+    /// `tensor_bytes`.
+    #[must_use]
+    pub fn effective_bandwidth(&self, tensor_bytes: f64) -> f64 {
+        let peak = self.mem_bw_gbs * 1e9;
+        let l2 = self.l2_mib * 1024.0 * 1024.0;
+        if tensor_bytes <= l2 {
+            return peak * self.cache_boost;
+        }
+        let gib = tensor_bytes / (1024.0 * 1024.0 * 1024.0);
+        let frac = 1.0 / (1.0 + (gib / self.decay_tau_gib).powf(self.decay_exp));
+        peak * frac.max(self.decay_floor)
+    }
+
+    /// Average power at a given achieved-bandwidth utilization in
+    /// `[0, 1]`, applying the busy floor.
+    #[must_use]
+    pub fn power_w(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0).max(self.busy_floor);
+        self.idle_w + (self.tdp_w - self.idle_w) * u
+    }
+}
+
+/// Latency and energy of one workload on one GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuCost {
+    /// Wall-clock latency, seconds.
+    pub latency_s: f64,
+    /// Energy, joules.
+    pub energy_j: f64,
+}
+
+impl GpuCost {
+    /// Energy-delay product, J·s.
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        self.latency_s * self.energy_j
+    }
+}
+
+/// Cost model of a softmax kernel family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftmaxKernelModel {
+    /// Effective DRAM traffic per tensor element, bytes (reads + writes
+    /// across all passes).
+    pub bytes_per_element: f64,
+    /// Kernel launches per transformer layer.
+    pub kernels_per_layer: f64,
+}
+
+impl SoftmaxKernelModel {
+    /// The integer-only approximation executed as (partially fused)
+    /// element-wise int32 kernels — what the paper benchmarks on GPUs
+    /// for Figs. 6–8: about ten kernels per layer, five int32 round
+    /// trips of effective traffic.
+    #[must_use]
+    pub fn int_unfused() -> Self {
+        Self {
+            bytes_per_element: 40.0,
+            kernels_per_layer: 10.0,
+        }
+    }
+
+    /// A fused FP16 softmax (Fig. 1's baseline): one kernel, one
+    /// read-write round trip.
+    #[must_use]
+    pub fn fp_fused() -> Self {
+        Self {
+            bytes_per_element: 4.0,
+            kernels_per_layer: 1.0,
+        }
+    }
+
+    /// Latency and energy of the workload on `gpu`.
+    #[must_use]
+    pub fn cost(&self, gpu: &GpuSpec, w: &SoftmaxWorkload) -> GpuCost {
+        let total_bytes = w.total_elements as f64 * self.bytes_per_element;
+        // Per-kernel working set: one layer's attention tensor in the
+        // kernel's element width (fp16 for fused, int32 for unfused).
+        let elem_bytes = if self.bytes_per_element <= 8.0 { 2.0 } else { 4.0 };
+        let per_layer_tensor =
+            (w.total_elements as f64 / w.layers as f64) * elem_bytes;
+        let bw = gpu.effective_bandwidth(per_layer_tensor);
+        let launch_s = w.layers as f64 * self.kernels_per_layer * gpu.launch_us * 1e-6;
+        let stream_s = total_bytes / bw;
+        let latency_s = launch_s + stream_s;
+        // Utilization relative to peak HBM bandwidth over the whole run.
+        let util = (total_bytes / latency_s) / (gpu.mem_bw_gbs * 1e9);
+        let energy_j = gpu.power_w(util) * latency_s * gpu.energy_factor;
+        GpuCost {
+            latency_s,
+            energy_j,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softmap_llm::configs::llama2_7b;
+
+    fn w(seq: usize, batch: usize) -> SoftmaxWorkload {
+        SoftmaxWorkload::prefill(&llama2_7b(), seq, batch)
+    }
+
+    #[test]
+    fn latency_monotone_in_sequence_and_batch() {
+        let m = SoftmaxKernelModel::int_unfused();
+        let g = GpuSpec::a100();
+        let base = m.cost(&g, &w(512, 1)).latency_s;
+        assert!(m.cost(&g, &w(1024, 1)).latency_s > base);
+        assert!(m.cost(&g, &w(512, 8)).latency_s > base);
+    }
+
+    #[test]
+    fn a100_faster_and_more_efficient_than_3090() {
+        let m = SoftmaxKernelModel::int_unfused();
+        let big = w(4096, 8);
+        let a = m.cost(&GpuSpec::a100(), &big);
+        let r = m.cost(&GpuSpec::rtx3090(), &big);
+        assert!(a.latency_s < r.latency_s);
+        assert!(a.energy_j < r.energy_j);
+        // the paper's Table V: 3090 EDP ratios are about 4x the A100's
+        let ratio = r.edp() / a.edp();
+        assert!(ratio > 2.0 && ratio < 12.0, "EDP ratio {ratio}");
+    }
+
+    #[test]
+    fn cache_boost_applies_to_small_tensors() {
+        let g = GpuSpec::a100();
+        let small = g.effective_bandwidth(1024.0 * 1024.0); // 1 MiB
+        let large = g.effective_bandwidth(16.0 * 1024.0 * 1024.0 * 1024.0); // 16 GiB
+        assert!(small > g.mem_bw_gbs * 1e9);
+        assert!(large < g.mem_bw_gbs * 1e9);
+    }
+
+    #[test]
+    fn power_respects_floor_and_cap() {
+        let g = GpuSpec::a100();
+        assert!(g.power_w(0.0) >= g.idle_w + (g.tdp_w - g.idle_w) * g.busy_floor - 1e-9);
+        assert!(g.power_w(5.0) <= g.tdp_w);
+        assert!(g.power_w(1.0) > g.power_w(0.5));
+    }
+
+    #[test]
+    fn fused_fp_is_cheaper_than_unfused_int() {
+        let big = w(4096, 1);
+        let g = GpuSpec::a100();
+        let fp = SoftmaxKernelModel::fp_fused().cost(&g, &big);
+        let int = SoftmaxKernelModel::int_unfused().cost(&g, &big);
+        assert!(fp.latency_s < int.latency_s);
+        assert!(fp.energy_j < int.energy_j);
+    }
+
+    #[test]
+    fn energy_per_element_flattens_at_scale() {
+        // the paper: "as sequence length and batch increase, the gap
+        // decreases, hence the ratio remains almost constant"
+        let m = SoftmaxKernelModel::int_unfused();
+        let g = GpuSpec::a100();
+        let mid = m.cost(&g, &w(2048, 8));
+        let big = m.cost(&g, &w(4096, 32));
+        let e_mid = mid.energy_j / w(2048, 8).total_elements as f64;
+        let e_big = big.energy_j / w(4096, 32).total_elements as f64;
+        let ratio = e_mid / e_big;
+        assert!(ratio > 0.4 && ratio < 2.5, "per-element energy ratio {ratio}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Transformer prefill runtime decomposition — the model behind Fig. 1
+//! (softmax share of Llama2-7b runtime on A100 vs. sequence length).
+//!
+//! # Examples
+//!
+//! ```
+//! use softmap_gpu::{transformer::PrefillModel, GpuSpec};
+//! use softmap_llm::configs::llama2_7b;
+//!
+//! let m = PrefillModel::new(GpuSpec::a100());
+//! let parts = m.runtime(&llama2_7b(), 1024, 1);
+//! assert!(parts.softmax_fraction() < 0.05); // the paper: <= 3.34%
+//! ```
+
+use crate::{GpuSpec, SoftmaxKernelModel};
+use softmap_llm::configs::{LlamaConfig, SoftmaxWorkload};
+
+/// Runtime decomposition of one prefill forward pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefillBreakdown {
+    /// Dense projections + MLP GEMMs, seconds.
+    pub linear_s: f64,
+    /// Attention score/value GEMMs, seconds.
+    pub attention_gemm_s: f64,
+    /// Softmax, seconds.
+    pub softmax_s: f64,
+    /// Norms, residuals, embeddings (bandwidth bound), seconds.
+    pub other_s: f64,
+}
+
+impl PrefillBreakdown {
+    /// Total runtime, seconds.
+    #[must_use]
+    pub fn total_s(&self) -> f64 {
+        self.linear_s + self.attention_gemm_s + self.softmax_s + self.other_s
+    }
+
+    /// Fraction of the runtime spent in softmax (Fig. 1's y-axis).
+    #[must_use]
+    pub fn softmax_fraction(&self) -> f64 {
+        self.softmax_s / self.total_s()
+    }
+}
+
+/// GEMM efficiencies and the softmax kernel choice for prefill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefillModel {
+    gpu: GpuSpec,
+    /// Fraction of peak FP16 throughput achieved by large dense GEMMs.
+    pub gemm_efficiency: f64,
+    /// Fraction of peak achieved by the attention batched GEMMs.
+    pub attention_efficiency: f64,
+    /// The softmax kernel model (FP fused baseline by default).
+    pub softmax: SoftmaxKernelModel,
+    /// Bandwidth-bound bytes per token per layer for norms/residuals.
+    pub other_bytes_per_token_layer: f64,
+}
+
+impl PrefillModel {
+    /// Builds the model with calibrated defaults.
+    #[must_use]
+    pub fn new(gpu: GpuSpec) -> Self {
+        Self {
+            gpu,
+            gemm_efficiency: 0.45,
+            attention_efficiency: 0.35,
+            softmax: SoftmaxKernelModel::fp_fused(),
+            other_bytes_per_token_layer: 16.0 * 4096.0, // ~8 d-wide streams
+        }
+    }
+
+    /// The GPU being modelled.
+    #[must_use]
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// Runtime decomposition of a prefill pass.
+    #[must_use]
+    pub fn runtime(&self, cfg: &LlamaConfig, seq_len: usize, batch: usize) -> PrefillBreakdown {
+        let d = cfg.d_model as f64;
+        let dff = cfg.d_ff as f64;
+        let kv = (cfg.kv_heads * cfg.head_dim()) as f64;
+        let tokens = (batch * seq_len) as f64;
+        let layers = cfg.layers as f64;
+
+        // Projections: Q (d·d), K/V (d·kv each), O (d·d); MLP: SwiGLU
+        // three matrices d·dff. 2 FLOPs per MAC.
+        let linear_flops =
+            layers * tokens * 2.0 * (2.0 * d * d + 2.0 * d * kv + 3.0 * d * dff);
+        // Attention GEMMs: QK^T and PV, 2 × 2 × L² × d per layer/batch.
+        let attn_flops = layers * batch as f64 * 4.0 * (seq_len as f64).powi(2) * d;
+
+        let peak = self.gpu.fp16_tflops * 1e12;
+        let linear_s = linear_flops / (peak * self.gemm_efficiency);
+        let attention_gemm_s = attn_flops / (peak * self.attention_efficiency);
+
+        let w = SoftmaxWorkload::prefill(cfg, seq_len, batch);
+        let softmax_s = self.softmax.cost(&self.gpu, &w).latency_s;
+
+        let other_bytes = layers * tokens * self.other_bytes_per_token_layer;
+        let other_s = other_bytes / (self.gpu.mem_bw_gbs * 1e9)
+            + layers * 4.0 * self.gpu.launch_us * 1e-6;
+
+        PrefillBreakdown {
+            linear_s,
+            attention_gemm_s,
+            softmax_s,
+            other_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softmap_llm::configs::{llama2_70b, llama2_7b};
+
+    #[test]
+    fn fig1_shape_small_fraction_below_1024() {
+        let m = PrefillModel::new(GpuSpec::a100());
+        for seq in [128, 256, 512, 1024] {
+            let f = m.runtime(&llama2_7b(), seq, 1).softmax_fraction();
+            assert!(f < 0.05, "seq {seq}: fraction {f}");
+        }
+    }
+
+    #[test]
+    fn fig1_shape_large_fraction_at_16k() {
+        let m = PrefillModel::new(GpuSpec::a100());
+        let f = m.runtime(&llama2_7b(), 16384, 1).softmax_fraction();
+        assert!(f > 0.25 && f < 0.5, "fraction {f} (paper: about 38%)");
+    }
+
+    #[test]
+    fn fraction_grows_with_sequence_length_beyond_1k() {
+        // Below ~1K tokens, launch overhead and cache effects make the
+        // (already tiny) fraction non-monotone; the paper only claims
+        // "up to 3.34%" there. From 1K upward the rise is strict.
+        let m = PrefillModel::new(GpuSpec::a100());
+        let mut prev = 0.0;
+        for seq in [1024, 2048, 4096, 8192, 16384] {
+            let f = m.runtime(&llama2_7b(), seq, 1).softmax_fraction();
+            assert!(f > prev, "fraction not increasing at {seq}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn bigger_models_take_longer() {
+        let m = PrefillModel::new(GpuSpec::a100());
+        let t7 = m.runtime(&llama2_7b(), 2048, 1).total_s();
+        let t70 = m.runtime(&llama2_70b(), 2048, 1).total_s();
+        assert!(t70 > t7 * 3.0);
+    }
+
+    #[test]
+    fn amdahl_consistency_at_4096() {
+        // The paper: a 6.7x softmax speedup cuts Llama2-70b total time
+        // by 10.71% at L = 4096, implying a softmax fraction near 12.6%.
+        let m = PrefillModel::new(GpuSpec::a100());
+        let f = m.runtime(&llama2_70b(), 4096, 1).softmax_fraction();
+        assert!(f > 0.06 && f < 0.22, "fraction {f}");
+    }
+}

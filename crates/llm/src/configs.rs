@@ -1,0 +1,229 @@
+//! Llama2-family architecture parameters and the softmax workload they
+//! induce.
+//!
+//! # Examples
+//!
+//! ```
+//! use softmap_llm::configs::{llama2_70b, SoftmaxWorkload};
+//!
+//! let w = SoftmaxWorkload::prefill(&llama2_70b(), 4096, 1);
+//! assert_eq!(w.vectors_per_head_layer, 4096);
+//! assert_eq!(w.total_elements, 80 * 64 * 4096 * 4096);
+//! ```
+
+/// Architecture parameters of a decoder-only transformer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LlamaConfig {
+    /// Human-readable name (e.g. `"Llama2-7b"`).
+    pub name: &'static str,
+    /// Decoder layers.
+    pub layers: usize,
+    /// Query attention heads (softmax parallelism unit).
+    pub heads: usize,
+    /// Key/value heads (grouped-query attention; equals `heads` without
+    /// GQA).
+    pub kv_heads: usize,
+    /// Model (hidden) dimension.
+    pub d_model: usize,
+    /// Feed-forward inner dimension.
+    pub d_ff: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Maximum context length.
+    pub max_seq: usize,
+}
+
+impl LlamaConfig {
+    /// Head dimension (`d_model / heads`).
+    #[must_use]
+    pub fn head_dim(&self) -> usize {
+        self.d_model / self.heads
+    }
+
+    /// Approximate parameter count (embedding + attention + MLP),
+    /// used for sanity checks only.
+    #[must_use]
+    pub fn approx_params(&self) -> u64 {
+        let d = self.d_model as u64;
+        let kv = (self.kv_heads * self.head_dim()) as u64;
+        let per_layer = d * d // Wq
+            + d * kv * 2      // Wk, Wv
+            + d * d           // Wo
+            + 3 * d * self.d_ff as u64; // SwiGLU gate/up/down
+        per_layer * self.layers as u64 + 2 * d * self.vocab as u64
+    }
+}
+
+/// Llama2-7b.
+#[must_use]
+pub fn llama2_7b() -> LlamaConfig {
+    LlamaConfig {
+        name: "Llama2-7b",
+        layers: 32,
+        heads: 32,
+        kv_heads: 32,
+        d_model: 4096,
+        d_ff: 11008,
+        vocab: 32000,
+        max_seq: 4096,
+    }
+}
+
+/// Llama2-13b.
+#[must_use]
+pub fn llama2_13b() -> LlamaConfig {
+    LlamaConfig {
+        name: "Llama2-13b",
+        layers: 40,
+        heads: 40,
+        kv_heads: 40,
+        d_model: 5120,
+        d_ff: 13824,
+        vocab: 32000,
+        max_seq: 4096,
+    }
+}
+
+/// Llama2-70b (grouped-query attention with 8 KV heads).
+#[must_use]
+pub fn llama2_70b() -> LlamaConfig {
+    LlamaConfig {
+        name: "Llama2-70b",
+        layers: 80,
+        heads: 64,
+        kv_heads: 8,
+        d_model: 8192,
+        d_ff: 28672,
+        vocab: 32000,
+        max_seq: 4096,
+    }
+}
+
+/// All three evaluated models, in the paper's order.
+#[must_use]
+pub fn paper_models() -> Vec<LlamaConfig> {
+    vec![llama2_7b(), llama2_13b(), llama2_70b()]
+}
+
+/// The attention-softmax workload of one forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftmaxWorkload {
+    /// Softmax vectors per head per layer (`batch × seq_len` in
+    /// prefill).
+    pub vectors_per_head_layer: usize,
+    /// Elements per vector (`seq_len` in prefill; full causal rows are
+    /// modelled at their padded length, matching dense-kernel GPU
+    /// implementations).
+    pub vector_len: usize,
+    /// Total scalar elements across the whole model
+    /// (`layers × heads × vectors × len`).
+    pub total_elements: u64,
+    /// Layers (serialization depth).
+    pub layers: usize,
+    /// Query heads (parallelism width).
+    pub heads: usize,
+}
+
+impl SoftmaxWorkload {
+    /// Prefill workload: every query row of every head of every layer.
+    #[must_use]
+    pub fn prefill(cfg: &LlamaConfig, seq_len: usize, batch: usize) -> Self {
+        let vectors = batch * seq_len;
+        Self {
+            vectors_per_head_layer: vectors,
+            vector_len: seq_len,
+            total_elements: (cfg.layers * cfg.heads) as u64 * vectors as u64 * seq_len as u64,
+            layers: cfg.layers,
+            heads: cfg.heads,
+        }
+    }
+
+    /// Single-token decode workload: one query row per head per layer,
+    /// attending over a `seq_len`-deep KV cache.
+    #[must_use]
+    pub fn decode(cfg: &LlamaConfig, seq_len: usize, batch: usize) -> Self {
+        Self {
+            vectors_per_head_layer: batch,
+            vector_len: seq_len,
+            total_elements: (cfg.layers * cfg.heads) as u64 * batch as u64 * seq_len as u64,
+            layers: cfg.layers,
+            heads: cfg.heads,
+        }
+    }
+}
+
+/// The tiny trainable stand-in configs used for the Table III/IV
+/// perplexity analogs (see DESIGN.md substitutions). Two sizes mirror
+/// the 7b/13b pairing.
+#[must_use]
+pub fn tiny_a() -> LlamaConfig {
+    LlamaConfig {
+        name: "tiny-A (7b stand-in)",
+        layers: 2,
+        heads: 4,
+        kv_heads: 4,
+        d_model: 64,
+        d_ff: 128,
+        vocab: 0, // set by the tokenizer at build time
+        max_seq: 32,
+    }
+}
+
+/// Larger stand-in (13b analog); see [`tiny_a`].
+#[must_use]
+pub fn tiny_b() -> LlamaConfig {
+    LlamaConfig {
+        name: "tiny-B (13b stand-in)",
+        layers: 3,
+        heads: 4,
+        kv_heads: 4,
+        d_model: 80,
+        d_ff: 160,
+        vocab: 0,
+        max_seq: 32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_architectures() {
+        let m7 = llama2_7b();
+        assert_eq!(m7.head_dim(), 128);
+        let m70 = llama2_70b();
+        assert_eq!(m70.head_dim(), 128);
+        assert_eq!(m70.kv_heads, 8);
+        // parameter sanity: within 2x of the nominal sizes
+        assert!(m7.approx_params() > 5_000_000_000 && m7.approx_params() < 9_000_000_000);
+        assert!(m70.approx_params() > 50_000_000_000);
+    }
+
+    #[test]
+    fn prefill_workload_scales_quadratically() {
+        let cfg = llama2_7b();
+        let a = SoftmaxWorkload::prefill(&cfg, 1024, 1);
+        let b = SoftmaxWorkload::prefill(&cfg, 2048, 1);
+        assert_eq!(b.total_elements, a.total_elements * 4);
+        let c = SoftmaxWorkload::prefill(&cfg, 1024, 8);
+        assert_eq!(c.total_elements, a.total_elements * 8);
+    }
+
+    #[test]
+    fn decode_workload_scales_linearly() {
+        let cfg = llama2_7b();
+        let a = SoftmaxWorkload::decode(&cfg, 1024, 1);
+        let b = SoftmaxWorkload::decode(&cfg, 2048, 1);
+        assert_eq!(b.total_elements, a.total_elements * 2);
+        assert_eq!(a.vectors_per_head_layer, 1);
+    }
+
+    #[test]
+    fn heads_match_area_table_ratios() {
+        // the paper's 0.64 : 0.81 : 1.28 mm² areas are proportional to
+        // these head counts
+        let hs: Vec<usize> = paper_models().iter().map(|m| m.heads).collect();
+        assert_eq!(hs, vec![32, 40, 64]);
+    }
+}

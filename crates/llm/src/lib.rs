@@ -1,0 +1,68 @@
+//! LLM substrate for the SoftmAP reproduction.
+//!
+//! The paper evaluates its integer-only softmax inside Llama2-7b/13b/70b
+//! (perplexity on WikiText-2) and characterizes the softmax workload of
+//! those models across sequence lengths and batch sizes. This crate
+//! provides both halves of that substrate, built from scratch:
+//!
+//! * [`configs`] — Llama2 family architecture parameters and the
+//!   softmax workload they induce (Figs. 1, 6–8),
+//! * [`tensor`] — a minimal dense matrix type with the linear algebra
+//!   the transformer needs,
+//! * [`model`] — a decoder-only transformer (RMSNorm, causal multi-head
+//!   attention with a *pluggable softmax*, GELU MLP) with full manual
+//!   backpropagation,
+//! * [`corpus`] — a deterministic synthetic corpus + word tokenizer
+//!   (the WikiText-2 stand-in; see DESIGN.md substitution notes),
+//! * [`train`] — Adam and the training loop,
+//! * [`perplexity`] — the paper's evaluation protocol (non-overlapping
+//!   segments, exponentiated mean NLL),
+//! * [`softmax_impls`] — float, clipped and integer-only attention
+//!   softmax implementations.
+//!
+//! # Examples
+//!
+//! ```
+//! use softmap_llm::configs::llama2_7b;
+//!
+//! let cfg = llama2_7b();
+//! assert_eq!(cfg.layers, 32);
+//! assert_eq!(cfg.heads, 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod configs;
+pub mod corpus;
+pub mod model;
+pub mod perplexity;
+pub mod softmax_impls;
+pub mod tensor;
+pub mod train;
+
+/// Errors from the LLM substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LlmError {
+    /// Dimension mismatch in a tensor operation.
+    Shape(String),
+    /// Invalid model or training configuration.
+    BadConfig(String),
+    /// A token id is outside the vocabulary.
+    BadToken(usize),
+    /// The attention softmax implementation failed.
+    Softmax(String),
+}
+
+impl core::fmt::Display for LlmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Shape(msg) => write!(f, "shape error: {msg}"),
+            Self::BadConfig(msg) => write!(f, "bad config: {msg}"),
+            Self::BadToken(t) => write!(f, "token {t} out of vocabulary"),
+            Self::Softmax(msg) => write!(f, "softmax error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}

@@ -1,0 +1,788 @@
+//! A decoder-only transformer with manual backpropagation.
+//!
+//! Architecture (a faithful miniature of the paper's Fig. 2, minus
+//! rotary embeddings): token + learned positional embeddings, pre-RMSNorm
+//! causal multi-head attention with a *pluggable softmax*, residual
+//! connections, pre-RMSNorm GELU MLP, final RMSNorm, and a linear output
+//! head. Training always uses the exact float softmax; evaluation can
+//! swap in the integer-only approximation (the paper's Tables III/IV
+//! protocol).
+//!
+//! # Examples
+//!
+//! ```
+//! use softmap_llm::model::{Transformer, ModelConfig};
+//! use softmap_llm::softmax_impls::FloatSoftmax;
+//!
+//! let cfg = ModelConfig { vocab: 16, d_model: 16, heads: 2, layers: 1, d_ff: 32, max_seq: 8 };
+//! let model = Transformer::new(&cfg, 42).unwrap();
+//! let tokens = [1usize, 2, 3, 4, 5];
+//! let nll = model.nll(&tokens, &FloatSoftmax).unwrap();
+//! assert!(nll > 0.0);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::softmax_impls::SoftmaxFn;
+use crate::tensor::Matrix;
+use crate::LlmError;
+
+/// Dimensions of the tiny trainable transformer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Hidden dimension.
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Decoder layers.
+    pub layers: usize,
+    /// MLP inner dimension.
+    pub d_ff: usize,
+    /// Maximum sequence length (positional table size).
+    pub max_seq: usize,
+}
+
+impl ModelConfig {
+    fn validate(&self) -> Result<(), LlmError> {
+        if self.vocab == 0 || self.d_model == 0 || self.heads == 0 || self.layers == 0 {
+            return Err(LlmError::BadConfig("zero-sized dimension".into()));
+        }
+        if !self.d_model.is_multiple_of(self.heads) {
+            return Err(LlmError::BadConfig(format!(
+                "d_model {} not divisible by heads {}",
+                self.d_model, self.heads
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Parameters of one decoder layer.
+#[derive(Debug, Clone)]
+pub struct LayerParams {
+    /// Attention pre-norm gain.
+    pub g1: Vec<f32>,
+    /// Query projection.
+    pub wq: Matrix,
+    /// Key projection.
+    pub wk: Matrix,
+    /// Value projection.
+    pub wv: Matrix,
+    /// Output projection.
+    pub wo: Matrix,
+    /// MLP pre-norm gain.
+    pub g2: Vec<f32>,
+    /// MLP up projection.
+    pub w1: Matrix,
+    /// MLP down projection.
+    pub w2: Matrix,
+}
+
+/// The full model.
+#[derive(Debug, Clone)]
+pub struct Transformer {
+    cfg: ModelConfig,
+    /// Token embedding (`vocab × d`).
+    pub emb: Matrix,
+    /// Positional embedding (`max_seq × d`).
+    pub pos: Matrix,
+    /// Decoder layers.
+    pub layers: Vec<LayerParams>,
+    /// Final norm gain.
+    pub gf: Vec<f32>,
+    /// Output head (`d × vocab`).
+    pub wout: Matrix,
+}
+
+/// Gradients, shaped exactly like [`Transformer`]'s parameters.
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    /// See [`Transformer::emb`].
+    pub emb: Matrix,
+    /// See [`Transformer::pos`].
+    pub pos: Matrix,
+    /// See [`Transformer::layers`].
+    pub layers: Vec<LayerParams>,
+    /// See [`Transformer::gf`].
+    pub gf: Vec<f32>,
+    /// See [`Transformer::wout`].
+    pub wout: Matrix,
+}
+
+const RMS_EPS: f32 = 1e-5;
+
+fn rmsnorm(x: &[f32], g: &[f32]) -> (Vec<f32>, f32) {
+    let n = x.len() as f32;
+    let ms = x.iter().map(|v| v * v).sum::<f32>() / n;
+    let r = (ms + RMS_EPS).sqrt();
+    let y = x.iter().zip(g).map(|(v, gi)| v * gi / r).collect();
+    (y, r)
+}
+
+/// Backward of RMSNorm for one row: given upstream `dy`, input `x`,
+/// gain `g`, and the cached `r`, returns `dx` and accumulates `dg`.
+fn rmsnorm_back(dy: &[f32], x: &[f32], g: &[f32], r: f32, dg: &mut [f32]) -> Vec<f32> {
+    let n = x.len() as f32;
+    let mut dot = 0.0f32;
+    for i in 0..x.len() {
+        dg[i] += dy[i] * x[i] / r;
+        dot += dy[i] * g[i] * x[i];
+    }
+    let k = dot / (n * r * r * r);
+    (0..x.len()).map(|i| dy[i] * g[i] / r - x[i] * k).collect()
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
+
+fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+fn gelu_grad(x: f32) -> f32 {
+    let u = GELU_C * (x + 0.044715 * x * x * x);
+    let t = u.tanh();
+    let du = GELU_C * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+fn float_softmax_row(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in row.iter_mut() {
+        *v /= sum;
+    }
+}
+
+struct LayerTape {
+    x_in: Matrix,
+    a: Matrix,
+    rms1: Vec<f32>,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    probs: Vec<Matrix>, // per head, T×T
+    attn_concat: Matrix,
+    x_mid: Matrix,
+    b: Matrix,
+    rms2: Vec<f32>,
+    h1: Matrix,
+    gact: Matrix,
+}
+
+struct Tape {
+    layers: Vec<LayerTape>,
+    x_out: Matrix,
+    f: Matrix,
+    rmsf: Vec<f32>,
+    logits: Matrix,
+}
+
+impl Transformer {
+    /// Creates a model with seeded uniform initialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::BadConfig`] for invalid dimensions.
+    pub fn new(cfg: &ModelConfig, seed: u64) -> Result<Self, LlmError> {
+        cfg.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut init = |rows: usize, cols: usize, scale: f32| {
+            let data = (0..rows * cols)
+                .map(|_| (rng.random::<f32>() - 0.5) * 2.0 * scale)
+                .collect();
+            Matrix::from_vec(rows, cols, data).expect("sized correctly")
+        };
+        let d = cfg.d_model;
+        let s_emb = 0.08;
+        let s_w = 1.0 / (d as f32).sqrt();
+        let layers = (0..cfg.layers)
+            .map(|_| LayerParams {
+                g1: vec![1.0; d],
+                wq: init(d, d, s_w),
+                wk: init(d, d, s_w),
+                wv: init(d, d, s_w),
+                wo: init(d, d, s_w),
+                g2: vec![1.0; d],
+                w1: init(d, cfg.d_ff, s_w),
+                w2: init(cfg.d_ff, d, 1.0 / (cfg.d_ff as f32).sqrt()),
+            })
+            .collect();
+        Ok(Self {
+            cfg: *cfg,
+            emb: init(cfg.vocab, d, s_emb),
+            pos: init(cfg.max_seq, d, s_emb),
+            layers,
+            gf: vec![1.0; d],
+            wout: init(d, cfg.vocab, s_w),
+        })
+    }
+
+    /// The model configuration.
+    #[must_use]
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Zero gradients shaped like this model.
+    #[must_use]
+    pub fn zero_grads(&self) -> Gradients {
+        Gradients {
+            emb: Matrix::zeros(self.emb.rows(), self.emb.cols()),
+            pos: Matrix::zeros(self.pos.rows(), self.pos.cols()),
+            layers: self
+                .layers
+                .iter()
+                .map(|l| LayerParams {
+                    g1: vec![0.0; l.g1.len()],
+                    wq: Matrix::zeros(l.wq.rows(), l.wq.cols()),
+                    wk: Matrix::zeros(l.wk.rows(), l.wk.cols()),
+                    wv: Matrix::zeros(l.wv.rows(), l.wv.cols()),
+                    wo: Matrix::zeros(l.wo.rows(), l.wo.cols()),
+                    g2: vec![0.0; l.g2.len()],
+                    w1: Matrix::zeros(l.w1.rows(), l.w1.cols()),
+                    w2: Matrix::zeros(l.w2.rows(), l.w2.cols()),
+                })
+                .collect(),
+            gf: vec![0.0; self.gf.len()],
+            wout: Matrix::zeros(self.wout.rows(), self.wout.cols()),
+        }
+    }
+
+    /// Visits every parameter slice in a stable order (used by the
+    /// optimizer; gradients visit in the same order).
+    pub fn for_each_param_mut(&mut self, mut f: impl FnMut(&mut [f32])) {
+        f(self.emb.data_mut());
+        f(self.pos.data_mut());
+        for l in &mut self.layers {
+            f(&mut l.g1);
+            f(l.wq.data_mut());
+            f(l.wk.data_mut());
+            f(l.wv.data_mut());
+            f(l.wo.data_mut());
+            f(&mut l.g2);
+            f(l.w1.data_mut());
+            f(l.w2.data_mut());
+        }
+        f(&mut self.gf);
+        f(self.wout.data_mut());
+    }
+
+    /// Visits every gradient slice in the same order as
+    /// [`Transformer::for_each_param_mut`]. The callback receives slices
+    /// borrowed for the gradients' lifetime, so they may be collected.
+    pub fn for_each_grad<'a>(grads: &'a Gradients, mut f: impl FnMut(&'a [f32])) {
+        f(grads.emb.data());
+        f(grads.pos.data());
+        for l in &grads.layers {
+            f(&l.g1);
+            f(l.wq.data());
+            f(l.wk.data());
+            f(l.wv.data());
+            f(l.wo.data());
+            f(&l.g2);
+            f(l.w1.data());
+            f(l.w2.data());
+        }
+        f(&grads.gf);
+        f(grads.wout.data());
+    }
+
+    fn check_tokens(&self, tokens: &[usize]) -> Result<(), LlmError> {
+        if tokens.len() < 2 {
+            return Err(LlmError::BadConfig("need at least 2 tokens".into()));
+        }
+        if tokens.len() > self.cfg.max_seq + 1 {
+            return Err(LlmError::BadConfig(format!(
+                "sequence {} exceeds max_seq {}",
+                tokens.len() - 1,
+                self.cfg.max_seq
+            )));
+        }
+        for &t in tokens {
+            if t >= self.cfg.vocab {
+                return Err(LlmError::BadToken(t));
+            }
+        }
+        Ok(())
+    }
+
+    /// Forward pass over `inputs` (length `T ≤ max_seq`), returning the
+    /// logits and the tape for backprop. `softmax` is applied to each
+    /// causal attention row.
+    fn forward(&self, inputs: &[usize], softmax: &dyn SoftmaxFn) -> Result<Tape, LlmError> {
+        let t_len = inputs.len();
+        let d = self.cfg.d_model;
+        let heads = self.cfg.heads;
+        let dh = d / heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let mut x = Matrix::zeros(t_len, d);
+        for (t, &tok) in inputs.iter().enumerate() {
+            let e = self.emb.row(tok);
+            let p = self.pos.row(t);
+            let row = x.row_mut(t);
+            for i in 0..d {
+                row[i] = e[i] + p[i];
+            }
+        }
+
+        let mut tapes = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let x_in = x.clone();
+            let mut a = Matrix::zeros(t_len, d);
+            let mut rms1 = vec![0.0; t_len];
+            for (t, r_out) in rms1.iter_mut().enumerate() {
+                let (row, r) = rmsnorm(x_in.row(t), &layer.g1);
+                a.row_mut(t).copy_from_slice(&row);
+                *r_out = r;
+            }
+            let q = a.matmul(&layer.wq)?;
+            let k = a.matmul(&layer.wk)?;
+            let v = a.matmul(&layer.wv)?;
+
+            let mut probs = Vec::with_capacity(heads);
+            let mut concat = Matrix::zeros(t_len, d);
+            for h in 0..heads {
+                let c0 = h * dh;
+                let mut p_h = Matrix::zeros(t_len, t_len);
+                for ti in 0..t_len {
+                    // causal row: keys 0..=ti
+                    let mut scores = vec![0.0f32; ti + 1];
+                    let qrow = &q.row(ti)[c0..c0 + dh];
+                    for (tj, s) in scores.iter_mut().enumerate() {
+                        let krow = &k.row(tj)[c0..c0 + dh];
+                        let mut acc = 0.0;
+                        for (a_, b_) in qrow.iter().zip(krow) {
+                            acc += a_ * b_;
+                        }
+                        *s = acc * scale;
+                    }
+                    let prow = softmax
+                        .apply(&scores)
+                        .map_err(|e| LlmError::Softmax(e.to_string()))?;
+                    for (tj, &p) in prow.iter().enumerate() {
+                        p_h.set(ti, tj, p);
+                    }
+                }
+                for ti in 0..t_len {
+                    let orow = concat.row_mut(ti);
+                    for tj in 0..=ti {
+                        let p = p_h.get(ti, tj);
+                        if p == 0.0 {
+                            continue;
+                        }
+                        let vrow = &v.row(tj)[c0..c0 + dh];
+                        for i in 0..dh {
+                            orow[c0 + i] += p * vrow[i];
+                        }
+                    }
+                }
+                probs.push(p_h);
+            }
+
+            let proj = concat.matmul(&layer.wo)?;
+            let mut x_mid = x_in.clone();
+            x_mid.add_assign(&proj)?;
+
+            let mut b = Matrix::zeros(t_len, d);
+            let mut rms2 = vec![0.0; t_len];
+            for (t, r_out) in rms2.iter_mut().enumerate() {
+                let (row, r) = rmsnorm(x_mid.row(t), &layer.g2);
+                b.row_mut(t).copy_from_slice(&row);
+                *r_out = r;
+            }
+            let h1 = b.matmul(&layer.w1)?;
+            let mut gact = h1.clone();
+            for vv in gact.data_mut() {
+                *vv = gelu(*vv);
+            }
+            let mlp = gact.matmul(&layer.w2)?;
+            let mut x_out = x_mid.clone();
+            x_out.add_assign(&mlp)?;
+
+            tapes.push(LayerTape {
+                x_in,
+                a,
+                rms1,
+                q,
+                k,
+                v,
+                probs,
+                attn_concat: concat,
+                x_mid,
+                b,
+                rms2,
+                h1,
+                gact,
+            });
+            x = x_out;
+        }
+
+        let mut f_mat = Matrix::zeros(t_len, d);
+        let mut rmsf = vec![0.0; t_len];
+        for (t, r_out) in rmsf.iter_mut().enumerate() {
+            let (row, r) = rmsnorm(x.row(t), &self.gf);
+            f_mat.row_mut(t).copy_from_slice(&row);
+            *r_out = r;
+        }
+        let logits = f_mat.matmul(&self.wout)?;
+        Ok(Tape {
+            layers: tapes,
+            x_out: x,
+            f: f_mat,
+            rmsf,
+            logits,
+        })
+    }
+
+    /// Mean negative log-likelihood of `tokens[1..]` given `tokens[..n-1]`
+    /// under the chosen attention softmax.
+    ///
+    /// # Errors
+    ///
+    /// Token/shape errors as in training.
+    pub fn nll(&self, tokens: &[usize], softmax: &dyn SoftmaxFn) -> Result<f64, LlmError> {
+        self.check_tokens(tokens)?;
+        let inputs = &tokens[..tokens.len() - 1];
+        let targets = &tokens[1..];
+        let tape = self.forward(inputs, softmax)?;
+        let mut nll = 0.0f64;
+        for (t, &target) in targets.iter().enumerate() {
+            let mut row = tape.logits.row(t).to_vec();
+            float_softmax_row(&mut row);
+            nll -= f64::from(row[target].max(1e-30)).ln();
+        }
+        Ok(nll / targets.len() as f64)
+    }
+
+    /// Forward + backward on one window: returns the mean loss and
+    /// accumulates gradients into `grads`. Training always uses the
+    /// exact float softmax.
+    ///
+    /// # Errors
+    ///
+    /// Token/shape errors as in [`Transformer::nll`].
+    #[allow(clippy::too_many_lines)]
+    pub fn train_step(&self, tokens: &[usize], grads: &mut Gradients) -> Result<f64, LlmError> {
+        self.check_tokens(tokens)?;
+        let inputs = &tokens[..tokens.len() - 1];
+        let targets = &tokens[1..];
+        let softmax = crate::softmax_impls::FloatSoftmax;
+        let tape = self.forward(inputs, &softmax)?;
+
+        let t_len = inputs.len();
+        let d = self.cfg.d_model;
+        let heads = self.cfg.heads;
+        let dh = d / heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let inv_t = 1.0 / t_len as f32;
+
+        // CE backward: dlogits = (softmax(logits) - onehot) / T.
+        let mut loss = 0.0f64;
+        let mut dlogits = Matrix::zeros(t_len, self.cfg.vocab);
+        for (t, &target) in targets.iter().enumerate() {
+            let mut row = tape.logits.row(t).to_vec();
+            float_softmax_row(&mut row);
+            loss -= f64::from(row[target].max(1e-30)).ln();
+            let drow = dlogits.row_mut(t);
+            for (i, &p) in row.iter().enumerate() {
+                drow[i] = (p - f32::from(u8::from(i == target))) * inv_t;
+            }
+        }
+        loss /= t_len as f64;
+
+        // Output head and final norm.
+        grads
+            .wout
+            .add_assign(&tape.f.transpose().matmul(&dlogits)?)?;
+        let df = dlogits.matmul_t(&self.wout)?;
+        let mut dx = Matrix::zeros(t_len, d);
+        for t in 0..t_len {
+            let dxr = rmsnorm_back(
+                df.row(t),
+                tape.x_out.row(t),
+                &self.gf,
+                tape.rmsf[t],
+                &mut grads.gf,
+            );
+            dx.row_mut(t).copy_from_slice(&dxr);
+        }
+
+        // Layers in reverse.
+        for (li, layer) in self.layers.iter().enumerate().rev() {
+            let tp = &tape.layers[li];
+            let gl = &mut grads.layers[li];
+
+            // MLP: x_out = x_mid + gelu(b W1) W2
+            let dmlp = &dx; // gradient of the residual sum
+            gl.w2.add_assign(&tp.gact.transpose().matmul(dmlp)?)?;
+            let dgact = dmlp.matmul_t(&layer.w2)?;
+            let mut dh1 = dgact;
+            for (g_, h_) in dh1.data_mut().iter_mut().zip(tp.h1.data()) {
+                *g_ *= gelu_grad(*h_);
+            }
+            gl.w1.add_assign(&tp.b.transpose().matmul(&dh1)?)?;
+            let db = dh1.matmul_t(&layer.w1)?;
+            let mut dx_mid = dx.clone(); // residual path
+            for t in 0..t_len {
+                let dxr = rmsnorm_back(
+                    db.row(t),
+                    tp.x_mid.row(t),
+                    &layer.g2,
+                    tp.rms2[t],
+                    &mut gl.g2,
+                );
+                let row = dx_mid.row_mut(t);
+                for i in 0..d {
+                    row[i] += dxr[i];
+                }
+            }
+
+            // Attention: x_mid = x_in + (concat O_h) Wo
+            gl.wo
+                .add_assign(&tp.attn_concat.transpose().matmul(&dx_mid)?)?;
+            let dconcat = dx_mid.matmul_t(&layer.wo)?;
+
+            let mut dq = Matrix::zeros(t_len, d);
+            let mut dk = Matrix::zeros(t_len, d);
+            let mut dv = Matrix::zeros(t_len, d);
+            for h in 0..heads {
+                let c0 = h * dh;
+                let p_h = &tp.probs[h];
+                for ti in 0..t_len {
+                    // dP = dO V^T (row ti), restricted to the causal span
+                    let do_row = &dconcat.row(ti)[c0..c0 + dh];
+                    let mut dp = vec![0.0f32; ti + 1];
+                    for (tj, dpj) in dp.iter_mut().enumerate() {
+                        let vrow = &tp.v.row(tj)[c0..c0 + dh];
+                        let mut acc = 0.0;
+                        for (a_, b_) in do_row.iter().zip(vrow) {
+                            acc += a_ * b_;
+                        }
+                        *dpj = acc;
+                    }
+                    // dV += P^T dO
+                    for tj in 0..=ti {
+                        let p = p_h.get(ti, tj);
+                        if p != 0.0 {
+                            let dvrow = dv.row_mut(tj);
+                            for i in 0..dh {
+                                dvrow[c0 + i] += p * do_row[i];
+                            }
+                        }
+                    }
+                    // softmax backward: dS = P ⊙ (dP - Σ dP⊙P)
+                    let mut dot = 0.0f32;
+                    for (tj, &dpj) in dp.iter().enumerate() {
+                        dot += dpj * p_h.get(ti, tj);
+                    }
+                    let mut ds = vec![0.0f32; ti + 1];
+                    for (tj, dsj) in ds.iter_mut().enumerate() {
+                        *dsj = p_h.get(ti, tj) * (dp[tj] - dot);
+                    }
+                    // dQ += dS K · scale; dK += dSᵀ Q · scale
+                    let qrow_grad = dq.row_mut(ti);
+                    for (tj, &dsj) in ds.iter().enumerate() {
+                        if dsj == 0.0 {
+                            continue;
+                        }
+                        let krow = &tp.k.row(tj)[c0..c0 + dh];
+                        for i in 0..dh {
+                            qrow_grad[c0 + i] += dsj * krow[i] * scale;
+                        }
+                    }
+                    let qrow = tp.q.row(ti)[c0..c0 + dh].to_vec();
+                    for (tj, &dsj) in ds.iter().enumerate() {
+                        if dsj == 0.0 {
+                            continue;
+                        }
+                        let krow_grad = dk.row_mut(tj);
+                        for i in 0..dh {
+                            krow_grad[c0 + i] += dsj * qrow[i] * scale;
+                        }
+                    }
+                }
+            }
+
+            gl.wq.add_assign(&tp.a.transpose().matmul(&dq)?)?;
+            gl.wk.add_assign(&tp.a.transpose().matmul(&dk)?)?;
+            gl.wv.add_assign(&tp.a.transpose().matmul(&dv)?)?;
+            let mut da = dq.matmul_t(&layer.wq)?;
+            da.add_assign(&dk.matmul_t(&layer.wk)?)?;
+            da.add_assign(&dv.matmul_t(&layer.wv)?)?;
+
+            // back through the attention pre-norm, plus the residual
+            let mut dx_in = dx_mid.clone();
+            for t in 0..t_len {
+                let dxr = rmsnorm_back(
+                    da.row(t),
+                    tp.x_in.row(t),
+                    &layer.g1,
+                    tp.rms1[t],
+                    &mut gl.g1,
+                );
+                let row = dx_in.row_mut(t);
+                for i in 0..d {
+                    row[i] += dxr[i];
+                }
+            }
+            dx = dx_in;
+        }
+
+        // Embeddings.
+        for (t, &tok) in inputs.iter().enumerate() {
+            let drow = dx.row(t);
+            let erow = grads.emb.row_mut(tok);
+            for i in 0..d {
+                erow[i] += drow[i];
+            }
+            let prow = grads.pos.row_mut(t);
+            for i in 0..d {
+                prow[i] += drow[i];
+            }
+        }
+        Ok(loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::softmax_impls::FloatSoftmax;
+
+    fn tiny_cfg() -> ModelConfig {
+        ModelConfig {
+            vocab: 11,
+            d_model: 8,
+            heads: 2,
+            layers: 2,
+            d_ff: 16,
+            max_seq: 6,
+        }
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let m = Transformer::new(&tiny_cfg(), 7).unwrap();
+        let toks = [1usize, 2, 3, 4, 5];
+        let a = m.nll(&toks, &FloatSoftmax).unwrap();
+        let b = m.nll(&toks, &FloatSoftmax).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Transformer::new(&tiny_cfg(), 1).unwrap();
+        let b = Transformer::new(&tiny_cfg(), 2).unwrap();
+        let toks = [1usize, 2, 3, 4, 5];
+        assert_ne!(
+            a.nll(&toks, &FloatSoftmax).unwrap(),
+            b.nll(&toks, &FloatSoftmax).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_tokens_and_lengths() {
+        let m = Transformer::new(&tiny_cfg(), 7).unwrap();
+        assert!(matches!(
+            m.nll(&[1], &FloatSoftmax),
+            Err(LlmError::BadConfig(_))
+        ));
+        assert!(matches!(
+            m.nll(&[1, 99], &FloatSoftmax),
+            Err(LlmError::BadToken(99))
+        ));
+        let long = vec![1usize; 20];
+        assert!(matches!(
+            m.nll(&long, &FloatSoftmax),
+            Err(LlmError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn train_loss_matches_nll() {
+        let m = Transformer::new(&tiny_cfg(), 7).unwrap();
+        let toks = [1usize, 2, 3, 4, 5];
+        let mut g = m.zero_grads();
+        let loss = m.train_step(&toks, &mut g).unwrap();
+        let nll = m.nll(&toks, &FloatSoftmax).unwrap();
+        assert!((loss - nll).abs() < 1e-6, "loss {loss} vs nll {nll}");
+    }
+
+    /// Finite-difference gradient check — the correctness anchor for the
+    /// entire backward pass.
+    #[test]
+    fn gradient_check() {
+        let cfg = ModelConfig {
+            vocab: 7,
+            d_model: 6,
+            heads: 2,
+            layers: 1,
+            d_ff: 8,
+            max_seq: 4,
+        };
+        let mut m = Transformer::new(&cfg, 3).unwrap();
+        let toks = [1usize, 4, 2, 6, 3];
+        let mut grads = m.zero_grads();
+        m.train_step(&toks, &mut grads).unwrap();
+
+        // collect analytic grads in visit order
+        let mut analytic: Vec<Vec<f32>> = Vec::new();
+        Transformer::for_each_grad(&grads, |g| analytic.push(g.to_vec()));
+
+        // numeric check on a few entries of every parameter tensor
+        let eps = 3e-3f32;
+        let n_tensors = analytic.len();
+        #[allow(clippy::needless_range_loop)]
+        for ti in 0..n_tensors {
+            let len = analytic[ti].len();
+            for &ei in &[0usize, len / 2, len - 1] {
+                let mut plus = f64::NAN;
+                let mut minus = f64::NAN;
+                for (dir, out) in [(eps, &mut plus), (-eps, &mut minus)] {
+                    let mut idx = 0usize;
+                    m.for_each_param_mut(|p| {
+                        if idx == ti {
+                            p[ei] += dir;
+                        }
+                        idx += 1;
+                    });
+                    *out = m.nll(&toks, &FloatSoftmax).unwrap();
+                    let mut idx2 = 0usize;
+                    m.for_each_param_mut(|p| {
+                        if idx2 == ti {
+                            p[ei] -= dir;
+                        }
+                        idx2 += 1;
+                    });
+                }
+                let numeric = (plus - minus) / (2.0 * f64::from(eps));
+                let got = f64::from(analytic[ti][ei]);
+                let denom = numeric.abs().max(got.abs()).max(1e-4);
+                assert!(
+                    ((numeric - got).abs() / denom) < 0.08,
+                    "tensor {ti} elem {ei}: numeric {numeric}, analytic {got}"
+                );
+            }
+        }
+        assert!(n_tensors > 0);
+    }
+
+    #[test]
+    fn gradients_nonzero_after_step() {
+        let m = Transformer::new(&tiny_cfg(), 7).unwrap();
+        let mut g = m.zero_grads();
+        m.train_step(&[1, 2, 3, 4, 5], &mut g).unwrap();
+        assert!(g.wout.norm() > 0.0);
+        assert!(g.emb.norm() > 0.0);
+        assert!(g.layers[0].wq.norm() > 0.0);
+        assert!(g.layers[1].w2.norm() > 0.0);
+    }
+}

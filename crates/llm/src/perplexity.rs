@@ -1,0 +1,141 @@
+//! The paper's perplexity protocol: split the validation stream into
+//! non-overlapping segments of the model's context width, evaluate
+//! next-token log-probabilities, and report the exponentiated mean NLL
+//! (Section IV of the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use softmap_llm::corpus::Corpus;
+//! use softmap_llm::train::{train_language_model, TrainConfig};
+//! use softmap_llm::perplexity::perplexity;
+//! use softmap_llm::softmax_impls::FloatSoftmax;
+//!
+//! let corpus = Corpus::generate(42, 4_000);
+//! let cfg = TrainConfig { steps: 20, ..TrainConfig::default() };
+//! let trained = train_language_model(&corpus, &cfg).unwrap();
+//! let (_, val) = corpus.split(0.1);
+//! let ppl = perplexity(&trained.model, val, &FloatSoftmax).unwrap();
+//! assert!(ppl > 1.0);
+//! ```
+
+use crate::model::Transformer;
+use crate::softmax_impls::SoftmaxFn;
+use crate::LlmError;
+
+/// Computes perplexity of `tokens` under `model` with the given
+/// attention softmax, using non-overlapping segments of the model's
+/// full context (the paper's protocol, step 2: "split into
+/// non-overlapping segments of width 2048, the full context size").
+///
+/// # Errors
+///
+/// * [`LlmError::BadConfig`] if fewer than one full segment fits.
+/// * Propagates evaluation errors.
+pub fn perplexity(
+    model: &Transformer,
+    tokens: &[usize],
+    softmax: &dyn SoftmaxFn,
+) -> Result<f64, LlmError> {
+    let window = model.config().max_seq + 1;
+    if tokens.len() < window {
+        return Err(LlmError::BadConfig(format!(
+            "validation stream of {} tokens is shorter than one segment ({window})",
+            tokens.len()
+        )));
+    }
+    let mut total_nll = 0.0f64;
+    let mut segments = 0usize;
+    let mut start = 0usize;
+    while start + window <= tokens.len() {
+        total_nll += model.nll(&tokens[start..start + window], softmax)?;
+        segments += 1;
+        start += window - 1; // non-overlapping prediction targets
+    }
+    Ok((total_nll / segments as f64).exp())
+}
+
+/// Perplexities of several softmax implementations on the same stream,
+/// in input order — the inner loop of the Table III/IV experiments.
+///
+/// # Errors
+///
+/// As [`perplexity`].
+pub fn perplexity_sweep(
+    model: &Transformer,
+    tokens: &[usize],
+    softmaxes: &[&dyn SoftmaxFn],
+) -> Result<Vec<f64>, LlmError> {
+    softmaxes
+        .iter()
+        .map(|s| perplexity(model, tokens, *s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use crate::softmax_impls::{ClippedSoftmax, FloatSoftmax, IntApproxSoftmax};
+    use crate::train::{train_language_model, TrainConfig};
+    use softmap_softmax::PrecisionConfig;
+
+    fn trained() -> (Transformer, Vec<usize>) {
+        let corpus = Corpus::generate(42, 8_000);
+        let cfg = TrainConfig {
+            steps: 120,
+            batch: 8,
+            ..TrainConfig::default()
+        };
+        let t = train_language_model(&corpus, &cfg).unwrap();
+        let (_, val) = corpus.split(0.1);
+        (t.model, val.to_vec())
+    }
+
+    #[test]
+    fn trained_model_beats_uniform() {
+        let (model, val) = trained();
+        let ppl = perplexity(&model, &val, &FloatSoftmax).unwrap();
+        let uniform = model.config().vocab as f64;
+        assert!(
+            ppl < uniform * 0.6,
+            "trained ppl {ppl} should beat uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn int_softmax_close_to_float_at_good_precision() {
+        let (model, val) = trained();
+        let fp = perplexity(&model, &val, &FloatSoftmax).unwrap();
+        let int8 = IntApproxSoftmax::new(PrecisionConfig::new(8, 0, 16)).unwrap();
+        let ppl8 = perplexity(&model, &val, &int8).unwrap();
+        assert!(
+            ppl8 < fp * 1.25,
+            "int M=8 ppl {ppl8} should be near FP {fp}"
+        );
+    }
+
+    #[test]
+    fn clipping_alone_is_mild() {
+        let (model, val) = trained();
+        let fp = perplexity(&model, &val, &FloatSoftmax).unwrap();
+        let clipped = perplexity(&model, &val, &ClippedSoftmax { tc: -7.0 }).unwrap();
+        assert!(clipped < fp * 1.15, "clipped {clipped} vs fp {fp}");
+    }
+
+    #[test]
+    fn too_short_stream_is_an_error() {
+        let (model, _) = trained();
+        assert!(perplexity(&model, &[1, 2, 3], &FloatSoftmax).is_err());
+    }
+
+    #[test]
+    fn sweep_matches_individual_runs() {
+        let (model, val) = trained();
+        let fp = FloatSoftmax;
+        let cl = ClippedSoftmax { tc: -7.0 };
+        let sweep = perplexity_sweep(&model, &val, &[&fp, &cl]).unwrap();
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(sweep[0], perplexity(&model, &val, &fp).unwrap());
+    }
+}

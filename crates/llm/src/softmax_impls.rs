@@ -1,0 +1,172 @@
+//! Pluggable attention-softmax implementations.
+//!
+//! The paper's Tables III/IV swap the exact softmax inside every
+//! attention head for the integer-only approximation and measure the
+//! end-to-end perplexity change. These adapters are that swap point.
+//!
+//! # Examples
+//!
+//! ```
+//! use softmap_llm::softmax_impls::{FloatSoftmax, SoftmaxFn};
+//!
+//! let p = FloatSoftmax.apply(&[0.0, 0.0]).unwrap();
+//! assert!((p[0] - 0.5).abs() < 1e-6);
+//! ```
+
+use softmap_softmax::{IntSoftmax, PrecisionConfig};
+
+/// An attention-row softmax: scores in, weights out.
+///
+/// Implementations may return weights that do not sum exactly to one
+/// (the integer pipeline's floor rounding and sum truncation are the
+/// object of study); attention consumes the weights as-is, exactly like
+/// the hardware would.
+pub trait SoftmaxFn {
+    /// Applies the softmax to one row of attention scores.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on failure (empty rows,
+    /// configuration errors).
+    fn apply(&self, scores: &[f32]) -> Result<Vec<f32>, String>;
+
+    /// Display name for tables.
+    fn name(&self) -> String;
+}
+
+/// The exact float softmax (training and FP baselines).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FloatSoftmax;
+
+impl SoftmaxFn for FloatSoftmax {
+    fn apply(&self, scores: &[f32]) -> Result<Vec<f32>, String> {
+        if scores.is_empty() {
+            return Err("empty attention row".into());
+        }
+        let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = scores.iter().map(|&s| (s - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        Ok(exps.into_iter().map(|e| e / sum).collect())
+    }
+
+    fn name(&self) -> String {
+        "FP softmax".into()
+    }
+}
+
+/// Float softmax with inputs clipped to `[tc, 0]` after stabilization —
+/// isolates the clipping error from the quantization error.
+#[derive(Debug, Clone, Copy)]
+pub struct ClippedSoftmax {
+    /// Clipping threshold (negative).
+    pub tc: f32,
+}
+
+impl SoftmaxFn for ClippedSoftmax {
+    fn apply(&self, scores: &[f32]) -> Result<Vec<f32>, String> {
+        if scores.is_empty() {
+            return Err("empty attention row".into());
+        }
+        let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = scores
+            .iter()
+            .map(|&s| (s - max).clamp(self.tc, 0.0).exp())
+            .collect();
+        let sum: f32 = exps.iter().sum();
+        Ok(exps.into_iter().map(|e| e / sum).collect())
+    }
+
+    fn name(&self) -> String {
+        format!("FP softmax clipped to [{}, 0]", self.tc)
+    }
+}
+
+/// The integer-only SoftmAP approximation at one precision point.
+#[derive(Debug, Clone)]
+pub struct IntApproxSoftmax {
+    pipeline: IntSoftmax,
+}
+
+impl IntApproxSoftmax {
+    /// Builds the adapter.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration error message if the precision point is
+    /// inconsistent.
+    pub fn new(cfg: PrecisionConfig) -> Result<Self, String> {
+        Ok(Self {
+            pipeline: IntSoftmax::new(cfg).map_err(|e| e.to_string())?,
+        })
+    }
+
+    /// The underlying precision configuration.
+    #[must_use]
+    pub fn config(&self) -> &PrecisionConfig {
+        self.pipeline.config()
+    }
+}
+
+impl SoftmaxFn for IntApproxSoftmax {
+    fn apply(&self, scores: &[f32]) -> Result<Vec<f32>, String> {
+        let scores64: Vec<f64> = scores.iter().map(|&s| f64::from(s)).collect();
+        let out = self
+            .pipeline
+            .run_floats(&scores64)
+            .map_err(|e| e.to_string())?;
+        Ok(out.probabilities.iter().map(|&p| p as f32).collect())
+    }
+
+    fn name(&self) -> String {
+        format!("IntSoftmax {}", self.pipeline.config().label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_softmax_normalizes() {
+        let p = FloatSoftmax.apply(&[1.0, 2.0, 3.0]).unwrap();
+        let total: f32 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn clipped_equals_float_when_in_range() {
+        let scores = [0.0, -1.0, -2.0];
+        let a = FloatSoftmax.apply(&scores).unwrap();
+        let b = ClippedSoftmax { tc: -7.0 }.apply(&scores).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn int_softmax_close_to_float_at_high_precision() {
+        let int = IntApproxSoftmax::new(PrecisionConfig::new(8, 0, 20)).unwrap();
+        let scores = [0.0, -0.5, -1.0, -2.0];
+        let a = FloatSoftmax.apply(&scores).unwrap();
+        let b = int.apply(&scores).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 0.03, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn empty_rows_are_errors() {
+        assert!(FloatSoftmax.apply(&[]).is_err());
+        assert!(ClippedSoftmax { tc: -7.0 }.apply(&[]).is_err());
+        let int = IntApproxSoftmax::new(PrecisionConfig::paper_best()).unwrap();
+        assert!(int.apply(&[]).is_err());
+    }
+
+    #[test]
+    fn names_are_informative() {
+        assert!(FloatSoftmax.name().contains("FP"));
+        let int = IntApproxSoftmax::new(PrecisionConfig::paper_best()).unwrap();
+        assert!(int.name().contains("M=6"));
+    }
+}

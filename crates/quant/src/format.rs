@@ -1,0 +1,162 @@
+use crate::width;
+
+/// An integer storage format: a bit width plus signedness.
+///
+/// Widths follow the paper's Table I convention: `bits` counts magnitude
+/// bits, so a signed format of width `w` holds values in
+/// `[-(2^w - 1), 2^w - 1]` and an unsigned one `[0, 2^w - 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use softmap_quant::IntFormat;
+///
+/// let f = IntFormat::signed(8);
+/// assert_eq!(f.min(), -255);
+/// assert_eq!(f.max(), 255);
+/// assert!(f.contains(-200));
+/// assert_eq!(f.saturate(999), 255);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IntFormat {
+    bits: u32,
+    signed: bool,
+}
+
+impl IntFormat {
+    /// Creates a signed format with `bits` magnitude bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 62`.
+    #[must_use]
+    pub fn signed(bits: u32) -> Self {
+        assert!(bits <= 62, "width {bits} out of range");
+        Self { bits, signed: true }
+    }
+
+    /// Creates an unsigned format with `bits` magnitude bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 62`.
+    #[must_use]
+    pub fn unsigned(bits: u32) -> Self {
+        assert!(bits <= 62, "width {bits} out of range");
+        Self {
+            bits,
+            signed: false,
+        }
+    }
+
+    /// The magnitude bit width.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Whether negative values are representable.
+    #[must_use]
+    pub fn is_signed(self) -> bool {
+        self.signed
+    }
+
+    /// Smallest representable value.
+    #[must_use]
+    pub fn min(self) -> i64 {
+        if self.signed {
+            -width::max_magnitude(self.bits)
+        } else {
+            0
+        }
+    }
+
+    /// Largest representable value.
+    #[must_use]
+    pub fn max(self) -> i64 {
+        width::max_magnitude(self.bits)
+    }
+
+    /// Whether `x` is representable in this format.
+    #[must_use]
+    pub fn contains(self, x: i64) -> bool {
+        x >= self.min() && x <= self.max()
+    }
+
+    /// Clamps `x` into this format's range (hardware saturation).
+    #[must_use]
+    pub fn saturate(self, x: i64) -> i64 {
+        x.clamp(self.min(), self.max())
+    }
+
+    /// Wraps `x` into this format's range by truncating high bits; for
+    /// unsigned formats negative inputs wrap on their magnitude and are
+    /// stored as non-negative.
+    #[must_use]
+    pub fn wrap(self, x: i64) -> i64 {
+        if self.signed {
+            width::wrap_magnitude(x, self.bits)
+        } else {
+            (x.rem_euclid(1i64 << self.bits)) & width::mask(self.bits) as i64
+        }
+    }
+
+    /// Number of distinct representable values.
+    #[must_use]
+    pub fn cardinality(self) -> u64 {
+        (self.max() - self.min()) as u64 + 1
+    }
+}
+
+impl core::fmt::Display for IntFormat {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}{}", if self.signed { "s" } else { "u" }, self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_range() {
+        let f = IntFormat::signed(4);
+        assert_eq!(f.min(), -15);
+        assert_eq!(f.max(), 15);
+        assert_eq!(f.cardinality(), 31);
+        assert_eq!(f.to_string(), "s4");
+    }
+
+    #[test]
+    fn unsigned_range() {
+        let f = IntFormat::unsigned(4);
+        assert_eq!(f.min(), 0);
+        assert_eq!(f.max(), 15);
+        assert_eq!(f.cardinality(), 16);
+        assert_eq!(f.to_string(), "u4");
+    }
+
+    #[test]
+    fn saturate_and_contains_agree() {
+        let f = IntFormat::signed(6);
+        for x in -200i64..200 {
+            assert_eq!(f.contains(x), f.saturate(x) == x);
+        }
+    }
+
+    #[test]
+    fn wrap_unsigned_is_modular() {
+        let f = IntFormat::unsigned(8);
+        assert_eq!(f.wrap(256), 0);
+        assert_eq!(f.wrap(257), 1);
+        assert_eq!(f.wrap(-1), 255);
+    }
+
+    #[test]
+    fn zero_width_format() {
+        let f = IntFormat::unsigned(0);
+        assert_eq!(f.min(), 0);
+        assert_eq!(f.max(), 0);
+        assert_eq!(f.saturate(5), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Fixed-point and quantization substrate for the SoftmAP reproduction.
+//!
+//! The SoftmAP paper (DATE 2025) quantizes softmax inputs to `M`-bit
+//! integers with a clipping threshold `TC` and tracks the exact bit width
+//! of every intermediate of its integer-only softmax (Table I). This
+//! crate provides the primitives the rest of the workspace builds on:
+//!
+//! * [`width`] — bit-width bookkeeping (how many magnitude bits a value
+//!   needs, masks, wrapping and saturating narrowing),
+//! * [`IntFormat`] — a (bits, signedness) pair with range queries,
+//! * [`LinearQuantizer`] — uniform scale quantization with clipping,
+//!   including the paper's non-positive `[TC, 0]` input scheme,
+//! * [`RangeStats`] — range calibration over sample data.
+//!
+//! # Examples
+//!
+//! Quantize softmax inputs exactly the way the paper does (clip to
+//! `[TC, 0]`, `M`-bit magnitude):
+//!
+//! ```
+//! use softmap_quant::LinearQuantizer;
+//!
+//! let q = LinearQuantizer::nonpositive_clip(-7.0, 8);
+//! let code = q.quantize(-1.5);
+//! assert!(code <= 0 && code >= -255);
+//! let back = q.dequantize(code);
+//! assert!((back - -1.5).abs() < q.scale());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod width;
+
+mod format;
+mod quantizer;
+mod stats;
+
+pub use format::IntFormat;
+pub use quantizer::LinearQuantizer;
+pub use stats::RangeStats;
+
+/// Error type for quantization configuration problems.
+///
+/// # Examples
+///
+/// ```
+/// use softmap_quant::{LinearQuantizer, QuantConfigError};
+///
+/// let err = LinearQuantizer::try_nonpositive_clip(0.0, 8).unwrap_err();
+/// assert!(matches!(err, QuantConfigError::NonNegativeThreshold(_)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantConfigError {
+    /// The clipping threshold must be strictly negative.
+    NonNegativeThreshold(f64),
+    /// Bit width must be in `1..=32`.
+    BadBits(u32),
+    /// The scale must be finite and strictly positive.
+    BadScale(f64),
+}
+
+impl core::fmt::Display for QuantConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NonNegativeThreshold(tc) => {
+                write!(f, "clipping threshold must be negative, got {tc}")
+            }
+            Self::BadBits(b) => write!(f, "bit width must be in 1..=32, got {b}"),
+            Self::BadScale(s) => write!(f, "scale must be finite and positive, got {s}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantConfigError {}

@@ -1,0 +1,203 @@
+use crate::{width, IntFormat, QuantConfigError};
+
+/// Uniform (linear) quantizer `code = round(x / scale)` with clipping.
+///
+/// SoftmAP quantizes softmax inputs after max-subtraction: values lie in
+/// `(-inf, 0]`, are clipped to `[TC, 0]`, and mapped to non-positive
+/// `M`-bit integer codes with scale `S = -TC / (2^M - 1)`. The same type
+/// also supports general symmetric quantization for other tensors.
+///
+/// # Examples
+///
+/// ```
+/// use softmap_quant::LinearQuantizer;
+///
+/// let q = LinearQuantizer::nonpositive_clip(-7.0, 6);
+/// assert_eq!(q.quantize(0.0), 0);
+/// assert_eq!(q.quantize(-7.0), -(q.format().max()));
+/// assert_eq!(q.quantize(-100.0), q.format().min()); // clipped
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearQuantizer {
+    scale: f64,
+    format: IntFormat,
+}
+
+impl LinearQuantizer {
+    /// Creates a quantizer with an explicit scale and storage format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantConfigError::BadScale`] if `scale` is not finite
+    /// and positive.
+    pub fn with_scale(scale: f64, format: IntFormat) -> Result<Self, QuantConfigError> {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(QuantConfigError::BadScale(scale));
+        }
+        Ok(Self { scale, format })
+    }
+
+    /// The paper's softmax-input scheme: clip to `[tc, 0]` and quantize
+    /// to non-positive `m`-bit codes. Scale is `-tc / (2^m - 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arguments are invalid; use
+    /// [`LinearQuantizer::try_nonpositive_clip`] for a fallible variant.
+    #[must_use]
+    pub fn nonpositive_clip(tc: f64, m: u32) -> Self {
+        Self::try_nonpositive_clip(tc, m).expect("invalid clip quantizer parameters")
+    }
+
+    /// Fallible variant of [`LinearQuantizer::nonpositive_clip`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `tc >= 0`, `tc` is not finite, or `m` is not
+    /// in `1..=32`.
+    pub fn try_nonpositive_clip(tc: f64, m: u32) -> Result<Self, QuantConfigError> {
+        if !tc.is_finite() || tc >= 0.0 {
+            return Err(QuantConfigError::NonNegativeThreshold(tc));
+        }
+        if m == 0 || m > 32 {
+            return Err(QuantConfigError::BadBits(m));
+        }
+        let scale = -tc / width::max_magnitude(m) as f64;
+        Ok(Self {
+            scale,
+            format: IntFormat::signed(m),
+        })
+    }
+
+    /// Symmetric quantizer covering `[-amax, amax]` with `m` magnitude
+    /// bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `amax` is not finite and positive or `m` is
+    /// not in `1..=32`.
+    pub fn symmetric(amax: f64, m: u32) -> Result<Self, QuantConfigError> {
+        if !(amax.is_finite() && amax > 0.0) {
+            return Err(QuantConfigError::BadScale(amax));
+        }
+        if m == 0 || m > 32 {
+            return Err(QuantConfigError::BadBits(m));
+        }
+        let scale = amax / width::max_magnitude(m) as f64;
+        Ok(Self {
+            scale,
+            format: IntFormat::signed(m),
+        })
+    }
+
+    /// The quantization step size `S`.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The integer storage format of the codes.
+    #[must_use]
+    pub fn format(&self) -> IntFormat {
+        self.format
+    }
+
+    /// Quantizes one value: round-to-nearest then clip into the format.
+    #[must_use]
+    pub fn quantize(&self, x: f64) -> i64 {
+        let code = (x / self.scale).round();
+        // Clamp in the float domain first so huge inputs cannot overflow
+        // the i64 cast.
+        let code = code.clamp(self.format.min() as f64, self.format.max() as f64);
+        code as i64
+    }
+
+    /// Dequantizes one code back to the real domain.
+    #[must_use]
+    pub fn dequantize(&self, code: i64) -> f64 {
+        code as f64 * self.scale
+    }
+
+    /// Quantizes a slice.
+    #[must_use]
+    pub fn quantize_all(&self, xs: &[f64]) -> Vec<i64> {
+        xs.iter().map(|&x| self.quantize(x)).collect()
+    }
+
+    /// Dequantizes a slice.
+    #[must_use]
+    pub fn dequantize_all(&self, codes: &[i64]) -> Vec<f64> {
+        codes.iter().map(|&c| self.dequantize(c)).collect()
+    }
+
+    /// Worst-case absolute quantization error for in-range inputs
+    /// (half a step).
+    #[must_use]
+    pub fn max_error(&self) -> f64 {
+        self.scale / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scheme_endpoints() {
+        let q = LinearQuantizer::nonpositive_clip(-7.0, 8);
+        assert_eq!(q.quantize(0.0), 0);
+        assert_eq!(q.quantize(-7.0), -255);
+        // Below the clip threshold everything maps to the most negative code.
+        assert_eq!(q.quantize(-7.0001), -255);
+        assert_eq!(q.quantize(-1e9), -255);
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let q = LinearQuantizer::nonpositive_clip(-7.0, 6);
+        let mut x = -7.0;
+        while x <= 0.0 {
+            let err = (q.dequantize(q.quantize(x)) - x).abs();
+            assert!(err <= q.max_error() + 1e-12, "x={x} err={err}");
+            x += 0.01;
+        }
+    }
+
+    #[test]
+    fn symmetric_covers_both_signs() {
+        let q = LinearQuantizer::symmetric(4.0, 4).unwrap();
+        assert_eq!(q.quantize(4.0), 15);
+        assert_eq!(q.quantize(-4.0), -15);
+        assert_eq!(q.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LinearQuantizer::try_nonpositive_clip(0.0, 8).is_err());
+        assert!(LinearQuantizer::try_nonpositive_clip(f64::NAN, 8).is_err());
+        assert!(LinearQuantizer::try_nonpositive_clip(-7.0, 0).is_err());
+        assert!(LinearQuantizer::try_nonpositive_clip(-7.0, 33).is_err());
+        assert!(LinearQuantizer::symmetric(-1.0, 8).is_err());
+        assert!(LinearQuantizer::with_scale(0.0, IntFormat::signed(8)).is_err());
+    }
+
+    #[test]
+    fn quantize_is_monotone() {
+        let q = LinearQuantizer::nonpositive_clip(-7.0, 6);
+        let mut prev = q.quantize(-8.0);
+        let mut x = -8.0;
+        while x <= 0.5 {
+            let c = q.quantize(x);
+            assert!(c >= prev, "monotonicity violated at {x}");
+            prev = c;
+            x += 0.003;
+        }
+    }
+
+    #[test]
+    fn huge_inputs_do_not_overflow() {
+        let q = LinearQuantizer::symmetric(1.0, 16).unwrap();
+        assert_eq!(q.quantize(f64::MAX), q.format().max());
+        assert_eq!(q.quantize(f64::MIN), q.format().min());
+    }
+}

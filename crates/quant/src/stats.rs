@@ -1,0 +1,150 @@
+/// Running range statistics used to calibrate clipping thresholds.
+///
+/// The paper selects `TC` by analysing the softmax-input range on a
+/// calibration set (WikiText-2); this type is the corresponding
+/// calibration primitive.
+///
+/// # Examples
+///
+/// ```
+/// use softmap_quant::RangeStats;
+///
+/// let mut s = RangeStats::new();
+/// s.extend([-3.0, -1.0, 0.0].iter().copied());
+/// assert_eq!(s.min(), Some(-3.0));
+/// assert_eq!(s.max(), Some(0.0));
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RangeStats {
+    min: f64,
+    max: f64,
+    sum: f64,
+    sum_sq: f64,
+    count: u64,
+}
+
+impl RangeStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            sum_sq: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Observes one sample. Non-finite samples are ignored.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.sum += x;
+        self.sum_sq += x * x;
+        self.count += 1;
+    }
+
+    /// Observes many samples.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Smallest observed sample, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observed sample, if any.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Number of (finite) samples observed.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of observed samples, if any.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Population standard deviation of observed samples, if any.
+    #[must_use]
+    pub fn std_dev(&self) -> Option<f64> {
+        self.mean().map(|m| {
+            let var = (self.sum_sq / self.count as f64 - m * m).max(0.0);
+            var.sqrt()
+        })
+    }
+
+    /// Suggests a clipping threshold `TC` (negative) that covers
+    /// `coverage` of the observed dynamic range below zero, mirroring the
+    /// paper's manual selection of `TC = -7` for `M ∈ {6, 8}`.
+    ///
+    /// Returns `None` when no samples were observed or the minimum is
+    /// non-negative.
+    #[must_use]
+    pub fn suggest_tc(&self, coverage: f64) -> Option<f64> {
+        let min = self.min()?;
+        (min < 0.0).then(|| min * coverage.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_have_no_values() {
+        let s = RangeStats::new();
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.std_dev(), None);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut s = RangeStats::new();
+        s.extend([f64::NAN, f64::INFINITY, -1.0, f64::NEG_INFINITY]);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.min(), Some(-1.0));
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let mut s = RangeStats::new();
+        s.extend([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean(), Some(2.5));
+        let sd = s.std_dev().unwrap();
+        assert!((sd - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suggest_tc_scales_min() {
+        let mut s = RangeStats::new();
+        s.extend([-10.0, -2.0, 0.0]);
+        assert_eq!(s.suggest_tc(0.7), Some(-7.0));
+        assert_eq!(s.suggest_tc(2.0), Some(-10.0)); // clamped coverage
+    }
+
+    #[test]
+    fn suggest_tc_none_for_nonnegative_data() {
+        let mut s = RangeStats::new();
+        s.extend([0.0, 1.0]);
+        assert_eq!(s.suggest_tc(0.9), None);
+    }
+}

@@ -1,0 +1,258 @@
+//! Bit-width bookkeeping helpers.
+//!
+//! Width conventions follow Table I of the paper: a width of `w` bits
+//! means the *magnitude* of the value fits in `w` bits, i.e.
+//! `|x| < 2^w`. Sign is tracked separately (most SoftmAP intermediates
+//! are known non-positive or non-negative by construction).
+//!
+//! # Examples
+//!
+//! ```
+//! use softmap_quant::width;
+//!
+//! assert_eq!(width::bits_for_magnitude(255), 8);
+//! assert_eq!(width::mask(8), 0xFF);
+//! assert_eq!(width::saturate_magnitude(300, 8), 255);
+//! assert_eq!(width::saturate_magnitude(-300, 8), -255);
+//! ```
+
+/// Returns the number of bits needed to hold the magnitude of `x`
+/// (`bits_for_magnitude(0) == 0`).
+///
+/// # Examples
+///
+/// ```
+/// use softmap_quant::width::bits_for_magnitude;
+/// assert_eq!(bits_for_magnitude(0), 0);
+/// assert_eq!(bits_for_magnitude(1), 1);
+/// assert_eq!(bits_for_magnitude(-255), 8);
+/// assert_eq!(bits_for_magnitude(256), 9);
+/// ```
+#[must_use]
+pub fn bits_for_magnitude(x: i64) -> u32 {
+    let m = x.unsigned_abs();
+    64 - m.leading_zeros()
+}
+
+/// Returns a mask with the low `bits` bits set.
+///
+/// # Panics
+///
+/// Panics if `bits > 63`.
+///
+/// # Examples
+///
+/// ```
+/// use softmap_quant::width::mask;
+/// assert_eq!(mask(0), 0);
+/// assert_eq!(mask(4), 0xF);
+/// ```
+#[must_use]
+pub fn mask(bits: u32) -> u64 {
+    assert!(bits <= 63, "mask width {bits} out of range");
+    (1u64 << bits) - 1
+}
+
+/// Largest magnitude representable in `bits` bits (`2^bits - 1`).
+///
+/// # Panics
+///
+/// Panics if `bits > 63`.
+///
+/// # Examples
+///
+/// ```
+/// use softmap_quant::width::max_magnitude;
+/// assert_eq!(max_magnitude(8), 255);
+/// ```
+#[must_use]
+pub fn max_magnitude(bits: u32) -> i64 {
+    assert!(bits <= 63, "width {bits} out of range");
+    ((1u64 << bits) - 1) as i64
+}
+
+/// Returns whether the magnitude of `x` fits in `bits` bits.
+///
+/// # Examples
+///
+/// ```
+/// use softmap_quant::width::fits;
+/// assert!(fits(-255, 8));
+/// assert!(!fits(256, 8));
+/// assert!(fits(0, 0));
+/// ```
+#[must_use]
+pub fn fits(x: i64, bits: u32) -> bool {
+    bits_for_magnitude(x) <= bits
+}
+
+/// Clamps `x` so its magnitude fits in `bits` bits, preserving sign.
+///
+/// This models a hardware register of `bits` magnitude bits with
+/// saturation on overflow.
+///
+/// # Examples
+///
+/// ```
+/// use softmap_quant::width::saturate_magnitude;
+/// assert_eq!(saturate_magnitude(1000, 8), 255);
+/// assert_eq!(saturate_magnitude(-1000, 8), -255);
+/// assert_eq!(saturate_magnitude(42, 8), 42);
+/// ```
+#[must_use]
+pub fn saturate_magnitude(x: i64, bits: u32) -> i64 {
+    let m = max_magnitude(bits);
+    x.clamp(-m, m)
+}
+
+/// Truncates `x` to the low `bits` bits, discarding higher bits
+/// (two's-complement wrap of the magnitude), preserving sign.
+///
+/// This models a hardware register that silently wraps on overflow and
+/// is used by the failure-injection sum mode.
+///
+/// # Examples
+///
+/// ```
+/// use softmap_quant::width::wrap_magnitude;
+/// assert_eq!(wrap_magnitude(256, 8), 0);
+/// assert_eq!(wrap_magnitude(257, 8), 1);
+/// assert_eq!(wrap_magnitude(-257, 8), -1);
+/// ```
+#[must_use]
+pub fn wrap_magnitude(x: i64, bits: u32) -> i64 {
+    let m = (x.unsigned_abs() & mask(bits)) as i64;
+    if x < 0 {
+        -m
+    } else {
+        m
+    }
+}
+
+/// Floor division that rounds toward negative infinity (like Python's
+/// `//`), which is the semantics of `⌊·⌋` in Algorithm 1 of the paper.
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use softmap_quant::width::floor_div;
+/// assert_eq!(floor_div(7, 2), 3);
+/// assert_eq!(floor_div(-7, 2), -4);
+/// assert_eq!(floor_div(-8, 2), -4);
+/// ```
+#[must_use]
+pub fn floor_div(n: i64, d: i64) -> i64 {
+    assert!(d != 0, "division by zero");
+    // `div_euclid` floors for positive divisors but rounds toward +inf for
+    // negative ones (remainder is always non-negative); correct the latter.
+    n.div_euclid(d) - if d < 0 && n.rem_euclid(d) != 0 { 1 } else { 0 }
+}
+
+/// Arithmetic right shift with floor semantics (`x >> s` rounding toward
+/// negative infinity), matching the paper's `>>` on signed values.
+///
+/// # Examples
+///
+/// ```
+/// use softmap_quant::width::floor_shr;
+/// assert_eq!(floor_shr(7, 1), 3);
+/// assert_eq!(floor_shr(-7, 1), -4);
+/// ```
+#[must_use]
+pub fn floor_shr(x: i64, s: u32) -> i64 {
+    if s >= 63 {
+        if x < 0 {
+            -1
+        } else {
+            0
+        }
+    } else {
+        x >> s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_magnitude_boundaries() {
+        assert_eq!(bits_for_magnitude(0), 0);
+        assert_eq!(bits_for_magnitude(1), 1);
+        assert_eq!(bits_for_magnitude(2), 2);
+        assert_eq!(bits_for_magnitude(3), 2);
+        assert_eq!(bits_for_magnitude(4), 3);
+        assert_eq!(bits_for_magnitude(i64::MAX), 63);
+        assert_eq!(bits_for_magnitude(-1), 1);
+        assert_eq!(bits_for_magnitude(i64::MIN + 1), 63);
+    }
+
+    #[test]
+    fn mask_values() {
+        assert_eq!(mask(0), 0);
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(16), 0xFFFF);
+        assert_eq!(mask(63), u64::MAX >> 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mask_too_wide_panics() {
+        let _ = mask(64);
+    }
+
+    #[test]
+    fn saturate_within_range_is_identity() {
+        for x in -255..=255 {
+            assert_eq!(saturate_magnitude(x, 8), x);
+        }
+    }
+
+    #[test]
+    fn saturate_clamps_both_signs() {
+        assert_eq!(saturate_magnitude(i64::MAX, 8), 255);
+        assert_eq!(saturate_magnitude(i64::MIN + 1, 8), -255);
+    }
+
+    #[test]
+    fn wrap_magnitude_examples() {
+        assert_eq!(wrap_magnitude(255, 8), 255);
+        assert_eq!(wrap_magnitude(256, 8), 0);
+        assert_eq!(wrap_magnitude(511, 8), 255);
+        assert_eq!(wrap_magnitude(-511, 8), -255);
+        assert_eq!(wrap_magnitude(0, 0), 0);
+    }
+
+    #[test]
+    fn floor_div_matches_mathematical_floor() {
+        for n in -50i64..=50 {
+            for d in [-7i64, -3, -1, 1, 2, 5, 9] {
+                let expect = ((n as f64) / (d as f64)).floor() as i64;
+                assert_eq!(floor_div(n, d), expect, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn floor_shr_matches_floor_div_by_power_of_two() {
+        for x in -1000i64..=1000 {
+            for s in 0..8u32 {
+                assert_eq!(floor_shr(x, s), floor_div(x, 1 << s), "x={x} s={s}");
+            }
+        }
+        assert_eq!(floor_shr(-1, 63), -1);
+        assert_eq!(floor_shr(-1, 100), -1);
+        assert_eq!(floor_shr(1, 100), 0);
+    }
+
+    #[test]
+    fn fits_is_consistent_with_saturate() {
+        for x in [-300i64, -256, -255, -1, 0, 1, 255, 256, 300] {
+            assert_eq!(fits(x, 8), saturate_magnitude(x, 8) == x);
+        }
+    }
+}

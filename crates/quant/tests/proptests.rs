@@ -1,0 +1,64 @@
+//! Property-based tests for the quantization substrate.
+
+use proptest::prelude::*;
+use softmap_quant::{width, IntFormat, LinearQuantizer};
+
+proptest! {
+    #[test]
+    fn bits_for_magnitude_is_minimal(x in -(1i64 << 40)..(1i64 << 40)) {
+        let b = width::bits_for_magnitude(x);
+        prop_assert!(width::fits(x, b));
+        if b > 0 {
+            prop_assert!(!width::fits(x, b - 1));
+        }
+    }
+
+    #[test]
+    fn saturate_is_idempotent(x in any::<i64>(), bits in 0u32..=62) {
+        let once = width::saturate_magnitude(x, bits.min(62));
+        let twice = width::saturate_magnitude(once, bits.min(62));
+        prop_assert_eq!(once, twice);
+        prop_assert!(width::fits(once, bits.min(62)));
+    }
+
+    #[test]
+    fn wrap_fits_in_width(x in any::<i64>(), bits in 0u32..=62) {
+        let w = width::wrap_magnitude(x, bits);
+        prop_assert!(width::fits(w, bits));
+    }
+
+    #[test]
+    fn floor_div_identity(n in -100_000i64..100_000, d in 1i64..1000) {
+        let q = width::floor_div(n, d);
+        // q is the largest integer with q*d <= n.
+        prop_assert!(q * d <= n);
+        prop_assert!((q + 1) * d > n);
+    }
+
+    #[test]
+    fn quantizer_round_trip_error(tc in -32.0f64..-0.5, m in 2u32..=16,
+                                  frac in 0.0f64..=1.0) {
+        let q = LinearQuantizer::nonpositive_clip(tc, m);
+        let x = tc * frac;
+        let err = (q.dequantize(q.quantize(x)) - x).abs();
+        prop_assert!(err <= q.max_error() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn quantizer_codes_in_format(tc in -32.0f64..-0.5, m in 2u32..=16,
+                                 x in -1000.0f64..1000.0) {
+        let q = LinearQuantizer::nonpositive_clip(tc, m);
+        let c = q.quantize(x);
+        prop_assert!(q.format().contains(c));
+    }
+
+    #[test]
+    fn format_saturate_wrap_agree_in_range(bits in 1u32..=32, x in any::<i32>()) {
+        let f = IntFormat::signed(bits);
+        let x = i64::from(x);
+        if f.contains(x) {
+            prop_assert_eq!(f.saturate(x), x);
+            prop_assert_eq!(f.wrap(x), x);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+/// How the sum of exponentials behaves when it overflows its `N`-extra-bit
+/// register (the paper's sum-truncation study, Tables III/IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SumMode {
+    /// Clamp at the register maximum — the hardware default assumed by
+    /// this reproduction (produces the paper's moderate perplexity loss
+    /// at small `N` rather than a catastrophic one).
+    #[default]
+    Saturate,
+    /// Drop high bits (failure-injection mode).
+    Wrap,
+    /// Mathematically exact sum (equivalent to
+    /// `N = log2(SequenceLength/2)` or larger, per the paper).
+    Exact,
+}
+
+/// One point of the paper's precision grid (Table I):
+/// input precision `M`, `v_corr` headroom `Δ` (the paper's
+/// `v_corr ∈ {M, M+1, M+2}`), sum headroom `N`, and clipping threshold
+/// `TC`.
+///
+/// # Examples
+///
+/// ```
+/// use softmap_softmax::PrecisionConfig;
+///
+/// let best = PrecisionConfig::paper_best();
+/// assert_eq!((best.m, best.vcorr_delta, best.n_sum_bits), (6, 0, 16));
+/// assert_eq!(best.tc, -7.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionConfig {
+    /// Input (and `v_stable`) precision in bits: the paper evaluates
+    /// `M ∈ {4, 6, 8}`.
+    pub m: u32,
+    /// Extra bits allocated to `v_corr` beyond `M` (0, 1, or 2).
+    pub vcorr_delta: u32,
+    /// Extra bits for the sum register beyond the `v_approx` width
+    /// (the paper evaluates `N ∈ {8, 12, 16, 20}`).
+    pub n_sum_bits: u32,
+    /// Clipping threshold for softmax inputs after max subtraction
+    /// (`TC = -7` for `M ∈ {6,8}`, `TC = -4` for `M = 4`).
+    pub tc: f64,
+    /// Sum overflow behaviour.
+    pub sum_mode: SumMode,
+}
+
+impl PrecisionConfig {
+    /// Creates a config with the paper's clipping convention for `m`
+    /// (`TC = -4` when `m == 4`, else `TC = -7`) and saturating sum.
+    #[must_use]
+    pub fn new(m: u32, vcorr_delta: u32, n_sum_bits: u32) -> Self {
+        Self {
+            m,
+            vcorr_delta,
+            n_sum_bits,
+            tc: if m == 4 { -4.0 } else { -7.0 },
+            sum_mode: SumMode::Saturate,
+        }
+    }
+
+    /// The paper's selected "best precision combination":
+    /// `v_corr = M`, `M = 6`, `N = 16`.
+    #[must_use]
+    pub fn paper_best() -> Self {
+        Self::new(6, 0, 16)
+    }
+
+    /// Returns a copy with a different clipping threshold.
+    #[must_use]
+    pub fn with_tc(mut self, tc: f64) -> Self {
+        self.tc = tc;
+        self
+    }
+
+    /// Returns a copy with a different sum overflow behaviour.
+    #[must_use]
+    pub fn with_sum_mode(mut self, sum_mode: SumMode) -> Self {
+        self.sum_mode = sum_mode;
+        self
+    }
+
+    /// The quantization step `S = -TC / 2^(M-1)` of the paper's signed
+    /// `M`-bit input scheme.
+    ///
+    /// The exponent `M-1` (rather than `M`) is forced by Table I's
+    /// 4-bit allocation for `v_ln2`: only with signed `M`-bit codes
+    /// (magnitude up to `2^(M-1)`) does `⌊ln2/S⌋` fit 4 bits for every
+    /// `M ∈ {4, 6, 8}` at the paper's clipping thresholds.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        -self.tc / (1u64 << (self.m - 1)) as f64
+    }
+
+    /// Largest input-code magnitude (`2^(M-1)`).
+    #[must_use]
+    pub fn max_code_magnitude(&self) -> i64 {
+        1i64 << (self.m - 1)
+    }
+
+    /// Width of the `v_corr` intermediate: `M + Δ`.
+    #[must_use]
+    pub fn vcorr_bits(&self) -> u32 {
+        self.m + self.vcorr_delta
+    }
+
+    /// Short label used by tables: e.g. `M=6/vcorr=M/N=16`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let vc = match self.vcorr_delta {
+            0 => "M".to_string(),
+            d => format!("M+{d}"),
+        };
+        format!("M={}/vcorr={}/N={}", self.m, vc, self.n_sum_bits)
+    }
+}
+
+impl Default for PrecisionConfig {
+    fn default() -> Self {
+        Self::paper_best()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tc_convention() {
+        assert_eq!(PrecisionConfig::new(4, 0, 16).tc, -4.0);
+        assert_eq!(PrecisionConfig::new(6, 0, 16).tc, -7.0);
+        assert_eq!(PrecisionConfig::new(8, 0, 16).tc, -7.0);
+    }
+
+    #[test]
+    fn scale_covers_clip_range() {
+        let cfg = PrecisionConfig::new(8, 0, 16);
+        let s = cfg.scale();
+        assert!((s * 128.0 - 7.0).abs() < 1e-12);
+        assert_eq!(cfg.max_code_magnitude(), 128);
+    }
+
+    #[test]
+    fn builders_update_fields() {
+        let cfg = PrecisionConfig::paper_best()
+            .with_tc(-5.0)
+            .with_sum_mode(SumMode::Wrap);
+        assert_eq!(cfg.tc, -5.0);
+        assert_eq!(cfg.sum_mode, SumMode::Wrap);
+        assert_eq!(cfg.vcorr_bits(), 6);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(PrecisionConfig::new(6, 0, 16).label(), "M=6/vcorr=M/N=16");
+        assert_eq!(
+            PrecisionConfig::new(8, 2, 12).label(),
+            "M=8/vcorr=M+2/N=12"
+        );
+    }
+}

@@ -1,0 +1,204 @@
+use crate::{PrecisionConfig, SoftmaxError, WidthTable};
+
+/// I-BERT polynomial coefficients for `exp(p) ≈ a(p + b)² + c` on
+/// `p ∈ [-ln 2, 0]` (Algorithm 1, line 8).
+pub const COEFF_A: f64 = 0.3585;
+/// See [`COEFF_A`].
+pub const COEFF_B: f64 = 1.353;
+/// See [`COEFF_A`].
+pub const COEFF_C: f64 = 0.344;
+
+/// The offline-precomputed integer constants of Algorithm 1
+/// (lines 5–10): since the scale `S` is fixed by the clipping threshold,
+/// all of these are computed once and simply written into the AP.
+///
+/// # Examples
+///
+/// ```
+/// use softmap_softmax::{PrecisionConfig, SoftmaxConstants};
+///
+/// let c = SoftmaxConstants::from_config(&PrecisionConfig::new(8, 0, 16))?;
+/// assert!(c.vln2 >= 1);
+/// assert!(c.mu >= 1);
+/// # Ok::<(), softmap_softmax::SoftmaxError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftmaxConstants {
+    /// `v_ln2 = ⌊ln2 / S⌋` (line 5).
+    pub vln2: u64,
+    /// Barrett constant `µ = ⌊2^(2M) / v_ln2⌋` (line 6).
+    pub mu: u64,
+    /// `v_b = ⌊b / S⌋` (line 9).
+    pub vb: u64,
+    /// `v_c = ⌊c / (a·S²)⌋` (line 10).
+    pub vc: u64,
+    /// Maximum Barrett quotient for `M`-bit inputs
+    /// (`⌊(2^M - 1)·µ / 2^(2M)⌋`, used to size shift microcode).
+    pub q_max: u64,
+    /// Largest attainable `v_approx` value (`v_b² + v_c`, reached at
+    /// `q̂ = 0, r = 0`).
+    pub vapprox_max: u64,
+    /// Bits actually used by `v_approx` (`⌈log2(vapprox_max + 1)⌉`).
+    ///
+    /// The sum register allocates its `N` guard bits above *this* width,
+    /// not above the (padded) Table I field allocation — otherwise the
+    /// paper's observed `N = 8` truncation could never trigger at
+    /// sequence lengths ≤ 4096 (see DESIGN.md).
+    pub vapprox_used_bits: u32,
+}
+
+impl SoftmaxConstants {
+    /// Computes the constants for a configuration and validates that
+    /// they fit their Table I allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoftmaxError::BadConfig`] when the scale is too coarse
+    /// (`v_ln2 == 0`) or a constant exceeds its allocated width.
+    pub fn from_config(cfg: &PrecisionConfig) -> Result<Self, SoftmaxError> {
+        let s = cfg.scale();
+        if !(s.is_finite() && s > 0.0) {
+            return Err(SoftmaxError::BadConfig(format!("bad scale {s}")));
+        }
+        let w = WidthTable::from_config(cfg);
+        let vln2 = (core::f64::consts::LN_2 / s).floor() as u64;
+        if vln2 == 0 {
+            return Err(SoftmaxError::BadConfig(
+                "vln2 = 0: scale too coarse for range reduction".to_string(),
+            ));
+        }
+        let two_2m = 1u64 << (2 * cfg.m);
+        let mu = two_2m / vln2;
+        let vb = (COEFF_B / s).floor() as u64;
+        let vc = (COEFF_C / (COEFF_A * s * s)).floor() as u64;
+        let max_in = (1u64 << cfg.m) - 1;
+        let q_max = ((u128::from(max_in) * u128::from(mu)) >> (2 * cfg.m)) as u64;
+
+        let fits = |value: u64, bits: u32| value < (1u64 << bits);
+        if !fits(vln2, w.vln2) {
+            return Err(SoftmaxError::BadConfig(format!(
+                "vln2 = {vln2} exceeds its {}-bit allocation (scale {s})",
+                w.vln2
+            )));
+        }
+        if !fits(mu, w.mu) {
+            return Err(SoftmaxError::BadConfig(format!(
+                "mu = {mu} exceeds its {}-bit allocation",
+                w.mu
+            )));
+        }
+        if !fits(vb, w.vb) {
+            return Err(SoftmaxError::BadConfig(format!(
+                "vb = {vb} exceeds its {}-bit allocation",
+                w.vb
+            )));
+        }
+        if !fits(vc, w.vc) {
+            return Err(SoftmaxError::BadConfig(format!(
+                "vc = {vc} exceeds its {}-bit allocation",
+                w.vc
+            )));
+        }
+        let vapprox_max = vb * vb + vc;
+        let vapprox_used_bits = 64 - vapprox_max.leading_zeros();
+        Ok(Self {
+            vln2,
+            mu,
+            vb,
+            vc,
+            q_max,
+            vapprox_max,
+            vapprox_used_bits,
+        })
+    }
+
+    /// Effective sum-register width for a configuration: the used
+    /// `v_approx` bits plus the `N` guard bits, capped at the Table I
+    /// allocation.
+    #[must_use]
+    pub fn effective_sum_bits(&self, cfg: &PrecisionConfig) -> u32 {
+        let w = WidthTable::from_config(cfg);
+        (self.vapprox_used_bits + cfg.n_sum_bits).min(w.sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_for_paper_configs() {
+        for (m, _tc) in [(4, -4.0), (6, -7.0), (8, -7.0)] {
+            let cfg = PrecisionConfig::new(m, 0, 16);
+            let c = SoftmaxConstants::from_config(&cfg).unwrap();
+            let s = cfg.scale();
+            assert_eq!(c.vln2, (core::f64::consts::LN_2 / s).floor() as u64);
+            assert!(c.vb > 0);
+            assert!(c.vc > 0);
+        }
+    }
+
+    #[test]
+    fn m8_tc7_concrete_values() {
+        // S = 7/128 = 0.0547; vln2 = floor(0.6931/0.0547) = 12, which
+        // fits Table I's 4-bit allocation — this is what pins down the
+        // paper's scale convention (see PrecisionConfig::scale).
+        let cfg = PrecisionConfig::new(8, 0, 16);
+        let c = SoftmaxConstants::from_config(&cfg).unwrap();
+        assert_eq!(c.vln2, 12);
+        assert_eq!(c.mu, 65536 / 12);
+    }
+
+    #[test]
+    fn vln2_fits_four_bits_for_all_paper_configs() {
+        for m in [4u32, 6, 8] {
+            let c = SoftmaxConstants::from_config(&PrecisionConfig::new(m, 0, 16)).unwrap();
+            assert!(c.vln2 < 16, "m={m} vln2={}", c.vln2);
+            assert!(c.vln2 >= 1);
+        }
+    }
+
+    #[test]
+    fn barrett_quotient_error_at_most_one() {
+        // q_hat = floor(x*mu >> 2M) must satisfy q - 1 <= q_hat <= q
+        // where q = floor(x / vln2), for all M-bit inputs.
+        for m in [4u32, 6, 8] {
+            let cfg = PrecisionConfig::new(m, 0, 16);
+            let c = SoftmaxConstants::from_config(&cfg).unwrap();
+            for x in 0..(1u64 << m) {
+                let q_exact = x / c.vln2;
+                let q_hat = ((u128::from(x) * u128::from(c.mu)) >> (2 * m)) as u64;
+                assert!(q_hat <= q_exact, "m={m} x={x}");
+                assert!(q_exact - q_hat <= 1, "m={m} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn effective_sum_bits_track_actual_vapprox_width() {
+        let cfg = PrecisionConfig::new(6, 0, 8);
+        let c = SoftmaxConstants::from_config(&cfg).unwrap();
+        // M=6, TC=-7: vb=6, vc=20 -> vapprox_max=56 -> 6 bits used
+        assert_eq!(c.vb, 6);
+        assert_eq!(c.vapprox_max, 56);
+        assert_eq!(c.vapprox_used_bits, 6);
+        assert_eq!(c.effective_sum_bits(&cfg), 14);
+        // N=20 is capped by the Table I allocation (12 + 20 = 32 > 6+20)
+        let cfg20 = PrecisionConfig::new(6, 0, 20);
+        assert_eq!(c.effective_sum_bits(&cfg20), 26);
+    }
+
+    #[test]
+    fn remainder_bounded_by_two_ln2(){
+        // r = x - q_hat * vln2 stays in [0, 2*vln2) for all inputs.
+        for m in [4u32, 6, 8] {
+            let cfg = PrecisionConfig::new(m, 0, 16);
+            let c = SoftmaxConstants::from_config(&cfg).unwrap();
+            for x in 0..(1u64 << m) {
+                let q_hat = ((u128::from(x) * u128::from(c.mu)) >> (2 * m)) as u64;
+                let r = x - q_hat * c.vln2;
+                assert!(r < 2 * c.vln2, "m={m} x={x} r={r}");
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Exact floating-point softmax references.
+//!
+//! # Examples
+//!
+//! ```
+//! let p = softmap_softmax::float_ref::softmax(&[0.0, 0.0]);
+//! assert!((p[0] - 0.5).abs() < 1e-12);
+//! ```
+
+/// Numerically stable softmax (subtracts the maximum before
+/// exponentiation, as in Algorithm 1 line 4).
+///
+/// Returns an empty vector for empty input.
+#[must_use]
+pub fn softmax(v: &[f64]) -> Vec<f64> {
+    if v.is_empty() {
+        return Vec::new();
+    }
+    let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = v.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Softmax with inputs clipped to `[tc, 0]` after stabilization — the
+/// FP counterpart of the paper's clipped quantization, useful for
+/// separating clipping error from quantization error.
+///
+/// Returns an empty vector for empty input.
+#[must_use]
+pub fn softmax_clipped(v: &[f64], tc: f64) -> Vec<f64> {
+    if v.is_empty() {
+        return Vec::new();
+    }
+    let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = v.iter().map(|&x| (x - max).clamp(tc, 0.0).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// The I-BERT second-order polynomial approximation of `exp(p)` on
+/// `p ∈ [-ln 2, 0]`, evaluated in floating point (used to separate
+/// polynomial error from integer error).
+#[must_use]
+pub fn poly_exp(p: f64) -> f64 {
+    use crate::constants::{COEFF_A, COEFF_B, COEFF_C};
+    let q = (-p / core::f64::consts::LN_2).floor();
+    let r = p + q * core::f64::consts::LN_2; // r in (-ln2, 0]
+    let e = COEFF_A * (r + COEFF_B) * (r + COEFF_B) + COEFF_C;
+    e * (-q).exp2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, -2.0, 0.3, 4.0]);
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[0.0, -1.0, -2.0]);
+        let b = softmax(&[100.0, 99.0, 98.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extremes() {
+        let p = softmax(&[0.0, -1e6]);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+        assert!(p[1] < 1e-12);
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn clipping_flattens_the_tail() {
+        let v = [0.0, -20.0];
+        let exact = softmax(&v);
+        let clipped = softmax_clipped(&v, -7.0);
+        // the clipped tail probability is larger than the exact one
+        assert!(clipped[1] > exact[1]);
+        let total: f64 = clipped.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poly_exp_accurate_on_clip_range() {
+        let mut p = -7.0;
+        while p <= 0.0 {
+            let err = (poly_exp(p) - p.exp()).abs();
+            assert!(err < 4e-3, "p={p} err={err}");
+            p += 0.01;
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Distribution error metrics used by the precision sensitivity study.
+//!
+//! # Examples
+//!
+//! ```
+//! use softmap_softmax::metrics;
+//!
+//! let p = [0.5, 0.5];
+//! let q = [0.5, 0.5];
+//! assert!(metrics::kl_divergence(&p, &q) < 1e-12);
+//! assert_eq!(metrics::max_abs_diff(&p, &q), 0.0);
+//! ```
+
+/// Kullback–Leibler divergence `KL(p ‖ q)` in nats. Both inputs are
+/// renormalized first, and `q` entries are floored at a tiny epsilon so
+/// truncated-to-zero codes do not produce infinities.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "length mismatch");
+    const EPS: f64 = 1e-12;
+    let ps: f64 = p.iter().sum();
+    let qs: f64 = q.iter().sum::<f64>().max(EPS);
+    p.iter()
+        .zip(q)
+        .map(|(&pi, &qi)| {
+            let pi = pi / ps;
+            let qi = (qi / qs).max(EPS);
+            if pi <= 0.0 {
+                0.0
+            } else {
+                pi * (pi / qi).ln()
+            }
+        })
+        .sum()
+}
+
+/// Maximum absolute difference between two vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn max_abs_diff(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "length mismatch");
+    p.iter()
+        .zip(q)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+/// L1 distance between two vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn l1_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "length mismatch");
+    p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum()
+}
+
+/// Total-variation distance (half the L1 distance of the renormalized
+/// distributions).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "length mismatch");
+    let ps: f64 = p.iter().sum();
+    let qs: f64 = q.iter().sum::<f64>().max(1e-300);
+    0.5 * p
+        .iter()
+        .zip(q)
+        .map(|(&a, &b)| (a / ps - b / qs).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_is_zero_for_identical() {
+        let p = [0.2, 0.3, 0.5];
+        assert!(kl_divergence(&p, &p) < 1e-12);
+    }
+
+    #[test]
+    fn kl_is_positive_for_different() {
+        let p = [0.9, 0.1];
+        let q = [0.5, 0.5];
+        assert!(kl_divergence(&p, &q) > 0.0);
+    }
+
+    #[test]
+    fn kl_handles_zero_in_q() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        let kl = kl_divergence(&p, &q);
+        assert!(kl.is_finite());
+        assert!(kl > 1.0);
+    }
+
+    #[test]
+    fn kl_renormalizes_inputs() {
+        let p = [2.0, 3.0, 5.0];
+        let q = [0.2, 0.3, 0.5];
+        assert!(kl_divergence(&p, &q) < 1e-12);
+    }
+
+    #[test]
+    fn tv_between_zero_and_one() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!((total_variation(&p, &q) - 1.0).abs() < 1e-12);
+        assert!(total_variation(&p, &p) < 1e-12);
+    }
+
+    #[test]
+    fn l1_and_max_abs_relate() {
+        let p = [0.1, 0.4, 0.5];
+        let q = [0.2, 0.3, 0.5];
+        assert!(max_abs_diff(&p, &q) <= l1_distance(&p, &q));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = kl_divergence(&[0.5], &[0.5, 0.5]);
+    }
+}

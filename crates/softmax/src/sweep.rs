@@ -1,0 +1,181 @@
+//! The paper's precision grid and a software-only error sweep.
+//!
+//! Tables III/IV evaluate perplexity over
+//! `M ∈ {6, 8} × v_corr ∈ {M, M+1, M+2} × N ∈ {8, 12, 16, 20}` (M = 4 is
+//! reported separately as unusable). This module provides the grid and a
+//! model-free error sweep (KL divergence of the integer softmax against
+//! the exact one on sampled score vectors), which isolates the same
+//! precision effects without a language model.
+//!
+//! # Examples
+//!
+//! ```
+//! use softmap_softmax::sweep;
+//!
+//! let grid = sweep::paper_grid();
+//! assert_eq!(grid.len(), 2 * 3 * 4); // M x delta x N
+//! ```
+
+use crate::{float_ref, metrics, IntSoftmax, PrecisionConfig, SoftmaxError};
+
+/// The `(M, Δ, N)` grid of Tables III/IV (M = 6 and 8).
+#[must_use]
+pub fn paper_grid() -> Vec<PrecisionConfig> {
+    let mut grid = Vec::new();
+    for &n in &[8u32, 12, 16, 20] {
+        for &delta in &[0u32, 1, 2] {
+            for &m in &[6u32, 8] {
+                grid.push(PrecisionConfig::new(m, delta, n));
+            }
+        }
+    }
+    grid
+}
+
+/// The full grid including the M = 4 column the paper reports as
+/// unusable (TC = −4 per the paper's convention).
+#[must_use]
+pub fn full_grid() -> Vec<PrecisionConfig> {
+    let mut grid = Vec::new();
+    for &n in &[8u32, 12, 16, 20] {
+        for &delta in &[0u32, 1, 2] {
+            for &m in &[4u32, 6, 8] {
+                grid.push(PrecisionConfig::new(m, delta, n));
+            }
+        }
+    }
+    grid
+}
+
+/// Aggregate error of one configuration over a set of score vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The configuration measured.
+    pub config: PrecisionConfig,
+    /// Mean KL divergence `KL(exact ‖ integer)` over the vectors.
+    pub mean_kl: f64,
+    /// Maximum total-variation distance observed.
+    pub max_tv: f64,
+    /// Fraction of vectors whose sum register overflowed.
+    pub overflow_rate: f64,
+}
+
+/// Runs the error sweep of `configs` over `score_vectors`.
+///
+/// # Errors
+///
+/// Propagates configuration errors from [`IntSoftmax::new`] and input
+/// errors from evaluation.
+pub fn run_error_sweep(
+    configs: &[PrecisionConfig],
+    score_vectors: &[Vec<f64>],
+) -> Result<Vec<SweepPoint>, SoftmaxError> {
+    let mut points = Vec::with_capacity(configs.len());
+    for &cfg in configs {
+        let sm = IntSoftmax::new(cfg)?;
+        let mut kl_sum = 0.0;
+        let mut max_tv: f64 = 0.0;
+        let mut overflows = 0usize;
+        for v in score_vectors {
+            let exact = float_ref::softmax(v);
+            let out = sm.run_floats(v)?;
+            kl_sum += metrics::kl_divergence(&exact, &out.probabilities);
+            max_tv = max_tv.max(metrics::total_variation(&exact, &out.probabilities));
+            overflows += usize::from(out.sum_overflowed);
+        }
+        let n = score_vectors.len().max(1) as f64;
+        points.push(SweepPoint {
+            config: cfg,
+            mean_kl: kl_sum / n,
+            max_tv,
+            overflow_rate: overflows as f64 / n,
+        });
+    }
+    Ok(points)
+}
+
+/// Deterministic synthetic attention-score vectors for sweeps: a mix of
+/// peaked and flat rows with the dynamic range the paper's calibration
+/// found (scores in roughly `[-10, 0]` after stabilization).
+#[must_use]
+pub fn synthetic_score_vectors(n_vectors: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
+    // Small deterministic LCG so the sweep does not depend on rand.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n_vectors)
+        .map(|i| {
+            let sharpness = 0.5 + 3.0 * (i % 7) as f64 / 6.0;
+            (0..len)
+                .map(|_| {
+                    let u = next();
+                    -(u.powf(0.7) * 10.0 * sharpness / 3.5)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_have_expected_sizes() {
+        assert_eq!(paper_grid().len(), 24);
+        assert_eq!(full_grid().len(), 36);
+    }
+
+    #[test]
+    fn sweep_reproduces_paper_ordering() {
+        // On medium-length vectors: N=16 is at least as good as N=8,
+        // M=8 at least as good as M=6 (in KL), and delta is irrelevant.
+        let vectors = synthetic_score_vectors(8, 512, 7);
+        let configs = [
+            PrecisionConfig::new(6, 0, 8),
+            PrecisionConfig::new(6, 0, 16),
+            PrecisionConfig::new(8, 0, 16),
+            PrecisionConfig::new(6, 1, 16),
+            PrecisionConfig::new(6, 2, 16),
+        ];
+        let pts = run_error_sweep(&configs, &vectors).unwrap();
+        let by_label: std::collections::HashMap<String, &SweepPoint> =
+            pts.iter().map(|p| (p.config.label(), p)).collect();
+        let n8 = by_label["M=6/vcorr=M/N=8"].mean_kl;
+        let n16 = by_label["M=6/vcorr=M/N=16"].mean_kl;
+        let m8 = by_label["M=8/vcorr=M/N=16"].mean_kl;
+        assert!(n16 <= n8, "N=16 ({n16}) should beat N=8 ({n8})");
+        assert!(m8 <= n16 * 1.5, "M=8 ({m8}) should be comparable or better");
+        // delta irrelevance is bit-exact
+        assert_eq!(
+            by_label["M=6/vcorr=M+1/N=16"].mean_kl,
+            by_label["M=6/vcorr=M/N=16"].mean_kl
+        );
+        assert_eq!(
+            by_label["M=6/vcorr=M+2/N=16"].mean_kl,
+            by_label["M=6/vcorr=M/N=16"].mean_kl
+        );
+    }
+
+    #[test]
+    fn synthetic_vectors_are_deterministic_and_nonpositive() {
+        let a = synthetic_score_vectors(3, 16, 42);
+        let b = synthetic_score_vectors(3, 16, 42);
+        assert_eq!(a, b);
+        for v in &a {
+            for &x in v {
+                assert!(x <= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let pts = run_error_sweep(&[], &[]).unwrap();
+        assert!(pts.is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+use crate::PrecisionConfig;
+
+/// Allocated bit widths for every intermediate of Algorithm 1 —
+/// the paper's Table I, generated from the precision configuration.
+///
+/// The closed forms (verified cell-by-cell against the published table):
+///
+/// * `v`, `v_stable`, `v_b`: `M` bits
+/// * `v_ln2`: 4 bits
+/// * `v_c`: `2M` bits
+/// * `(v_corr + v_b)² + v_c`: `2M + 3 + 2Δ` bits
+/// * `v_approx`: `M + 6 + 2Δ` bits
+/// * `sum`: `v_approx + N` bits
+///
+/// # Examples
+///
+/// ```
+/// use softmap_softmax::{PrecisionConfig, WidthTable};
+///
+/// let w = WidthTable::from_config(&PrecisionConfig::new(8, 0, 16));
+/// assert_eq!(w.poly, 19);   // Table I: 2·8+3
+/// assert_eq!(w.vapprox, 14);
+/// assert_eq!(w.sum, 30);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WidthTable {
+    /// Quantized input width (`M`).
+    pub v: u32,
+    /// Stabilized input width (`M`).
+    pub vstable: u32,
+    /// `v_ln2` width (4 bits in the paper for all `M`).
+    pub vln2: u32,
+    /// `v_b` width (`M`).
+    pub vb: u32,
+    /// `v_c` width (`2M`).
+    pub vc: u32,
+    /// `v_corr` width (`M + Δ`).
+    pub vcorr: u32,
+    /// Polynomial `(v_corr+v_b)² + v_c` width (`2M + 3 + 2Δ`).
+    pub poly: u32,
+    /// `v_approx` width (`M + 6 + 2Δ`).
+    pub vapprox: u32,
+    /// Sum register width (`v_approx + N`).
+    pub sum: u32,
+    /// Barrett constant `µ` width (`2M + 1`).
+    pub mu: u32,
+    /// Quotient `q` width (enough for `(2^M - 1) / v_ln2`).
+    pub q: u32,
+    /// Final result width (`2M + 12`, the paper's R column).
+    pub result: u32,
+}
+
+impl WidthTable {
+    /// Builds the width table for a configuration.
+    #[must_use]
+    pub fn from_config(cfg: &PrecisionConfig) -> Self {
+        let m = cfg.m;
+        let d = cfg.vcorr_delta;
+        Self {
+            v: m,
+            vstable: m,
+            vln2: 4,
+            vb: m,
+            vc: 2 * m,
+            vcorr: m + d,
+            poly: 2 * m + 3 + 2 * d,
+            vapprox: m + 6 + 2 * d,
+            sum: m + 6 + 2 * d + cfg.n_sum_bits,
+            mu: 2 * m + 1,
+            // v_ln2 >= 1, so q <= 2^M - 1; M bits always suffice.
+            q: m,
+            result: 2 * m + 12,
+        }
+    }
+
+    /// Fraction bits of the final division (`2M + 11`): the quotient of
+    /// `v_approx << F / sum` then fits the `2M + 12`-bit result column.
+    #[must_use]
+    pub fn frac_bits(&self) -> u32 {
+        self.result - 1
+    }
+
+    /// Rows of the paper's Table I for this configuration, as
+    /// `(name, width)` pairs in the paper's order.
+    #[must_use]
+    pub fn rows(&self) -> Vec<(&'static str, u32)> {
+        vec![
+            ("v", self.v),
+            ("vstable", self.vstable),
+            ("vln2", self.vln2),
+            ("vb", self.vb),
+            ("vc", self.vc),
+            ("(vcorr+vb)^2+vc", self.poly),
+            ("vapprox", self.vapprox),
+            ("sum", self.sum),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every cell of the published Table I.
+    #[test]
+    fn reproduces_paper_table_i_exactly() {
+        // (delta, m) -> expected (poly, vapprox)
+        let poly_expect = [
+            // delta 0: M=4,6,8
+            (0, 4, 11, 10),
+            (0, 6, 15, 12),
+            (0, 8, 19, 14),
+            // delta 1
+            (1, 4, 13, 12),
+            (1, 6, 17, 14),
+            (1, 8, 21, 16),
+            // delta 2
+            (2, 4, 15, 14),
+            (2, 6, 19, 16),
+            (2, 8, 23, 18),
+        ];
+        for (d, m, poly, vapprox) in poly_expect {
+            let w = WidthTable::from_config(&PrecisionConfig::new(m, d, 16));
+            assert_eq!(w.poly, poly, "poly M={m} delta={d}");
+            assert_eq!(w.vapprox, vapprox, "vapprox M={m} delta={d}");
+            assert_eq!(w.v, m);
+            assert_eq!(w.vstable, m);
+            assert_eq!(w.vln2, 4);
+            assert_eq!(w.vb, m);
+            assert_eq!(w.vc, 2 * m);
+        }
+        // Sum rows for all N, delta=0..2, M=4,6,8 (the paper's 4x9 block).
+        let sum_expect: [(u32, [[u32; 3]; 3]); 4] = [
+            (8, [[18, 20, 22], [20, 22, 24], [22, 24, 26]]),
+            (12, [[22, 24, 26], [24, 26, 28], [26, 28, 30]]),
+            (16, [[26, 28, 30], [28, 30, 32], [30, 32, 34]]),
+            (20, [[30, 32, 34], [32, 34, 36], [34, 36, 38]]),
+        ];
+        for (n, by_delta) in sum_expect {
+            for (d, row) in by_delta.iter().enumerate() {
+                for (mi, &expect) in row.iter().enumerate() {
+                    let m = [4u32, 6, 8][mi];
+                    let w = WidthTable::from_config(&PrecisionConfig::new(m, d as u32, n));
+                    assert_eq!(w.sum, expect, "sum M={m} delta={d} N={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frac_bits_fit_result_column() {
+        for m in [4, 6, 8] {
+            let w = WidthTable::from_config(&PrecisionConfig::new(m, 0, 16));
+            assert_eq!(w.result, 2 * m + 12);
+            assert_eq!(w.frac_bits(), 2 * m + 11);
+        }
+    }
+
+    #[test]
+    fn rows_cover_paper_rows() {
+        let w = WidthTable::from_config(&PrecisionConfig::paper_best());
+        let names: Vec<&str> = w.rows().iter().map(|r| r.0).collect();
+        assert_eq!(
+            names,
+            vec![
+                "v",
+                "vstable",
+                "vln2",
+                "vb",
+                "vc",
+                "(vcorr+vb)^2+vc",
+                "vapprox",
+                "sum"
+            ]
+        );
+    }
+}

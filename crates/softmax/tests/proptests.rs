@@ -1,0 +1,135 @@
+//! Property-based tests for the integer-only softmax specification.
+
+use proptest::prelude::*;
+use softmap_softmax::{float_ref, metrics, IntSoftmax, PrecisionConfig, SumMode};
+
+fn config_strategy() -> impl Strategy<Value = PrecisionConfig> {
+    (
+        prop_oneof![Just(4u32), Just(6), Just(8)],
+        0u32..=2,
+        prop_oneof![Just(8u32), Just(12), Just(16), Just(20)],
+    )
+        .prop_map(|(m, d, n)| PrecisionConfig::new(m, d, n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn probabilities_are_valid(cfg in config_strategy(),
+                               v in prop::collection::vec(-10.0f64..0.0, 1..64)) {
+        let sm = IntSoftmax::new(cfg).unwrap();
+        let out = sm.run_floats(&v).unwrap();
+        for &p in &out.probabilities {
+            prop_assert!(p >= 0.0);
+            prop_assert!(p <= 1.0 + 1e-9);
+        }
+        if !out.sum_overflowed {
+            let total: f64 = out.probabilities.iter().sum();
+            // floor rounding loses at most len * 2^-F
+            prop_assert!(total <= 1.0 + 1e-9, "total = {total}");
+            prop_assert!(total > 0.8, "total = {total}");
+        }
+    }
+
+    #[test]
+    fn codes_shift_invariant(cfg in config_strategy(),
+                             raw in prop::collection::vec(-20i64..=0, 2..32),
+                             shift in 0i64..5) {
+        let sm = IntSoftmax::new(cfg).unwrap();
+        let lo = -cfg.max_code_magnitude();
+        let codes: Vec<i64> = raw.iter().map(|&c| c.max(lo + 5)).collect();
+        let shifted: Vec<i64> = codes.iter().map(|&c| (c - shift).max(lo)).collect();
+        // only compare when the shift kept everything in range
+        if shifted.iter().zip(&codes).all(|(&s, &c)| s == c - shift) {
+            let a = sm.run_codes(&codes).unwrap();
+            let b = sm.run_codes(&shifted).unwrap();
+            prop_assert_eq!(a.codes, b.codes);
+        }
+    }
+
+    #[test]
+    fn vcorr_delta_never_changes_output(
+        m in prop_oneof![Just(6u32), Just(8)],
+        n in prop_oneof![Just(8u32), Just(16)],
+        v in prop::collection::vec(-9.0f64..0.0, 1..48),
+    ) {
+        let base = IntSoftmax::new(PrecisionConfig::new(m, 0, n)).unwrap()
+            .run_floats(&v).unwrap();
+        for d in [1u32, 2] {
+            let out = IntSoftmax::new(PrecisionConfig::new(m, d, n)).unwrap()
+                .run_floats(&v).unwrap();
+            prop_assert_eq!(&base.codes, &out.codes);
+        }
+    }
+
+    #[test]
+    fn exact_mode_never_overflows(v in prop::collection::vec(-9.0f64..0.0, 1..256)) {
+        let cfg = PrecisionConfig::new(6, 0, 8).with_sum_mode(SumMode::Exact);
+        let out = IntSoftmax::new(cfg).unwrap().run_floats(&v).unwrap();
+        prop_assert!(!out.sum_overflowed);
+        prop_assert_eq!(u128::from(out.sum), out.sum_exact);
+    }
+
+    #[test]
+    fn tv_to_exact_softmax_bounded_by_tail_mass(
+        v in prop::collection::vec(-7.0f64..0.0, 2..64),
+    ) {
+        // At M = 6 the integer exponential legitimately truncates deep
+        // tails to zero (scores more than ~4 below the max produce
+        // v_approx = 0 — the source of the paper's visible M=6
+        // perplexity gap). The structural property is therefore:
+        // total-variation error is bounded by the exact tail mass plus
+        // a small quantization slack.
+        let sm = IntSoftmax::new(PrecisionConfig::paper_best()).unwrap();
+        let out = sm.run_floats(&v).unwrap();
+        let exact = float_ref::softmax(&v);
+        let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let tail_mass: f64 = v
+            .iter()
+            .zip(&exact)
+            .filter(|(&x, _)| x - max < -3.4)
+            .map(|(_, &p)| p)
+            .sum();
+        let tv = metrics::total_variation(&exact, &out.probabilities);
+        prop_assert!(tv <= tail_mass + 0.08, "tv = {tv}, tail = {tail_mass}");
+    }
+
+    #[test]
+    fn tv_small_when_no_deep_tail(v in prop::collection::vec(-3.0f64..0.0, 2..64)) {
+        // Without deep-tail elements the best-precision integer softmax
+        // tracks the exact one closely.
+        let sm = IntSoftmax::new(PrecisionConfig::paper_best()).unwrap();
+        let out = sm.run_floats(&v).unwrap();
+        let exact = float_ref::softmax(&v);
+        let tv = metrics::total_variation(&exact, &out.probabilities);
+        prop_assert!(tv < 0.08, "tv = {tv}");
+    }
+
+    #[test]
+    fn quantize_codes_always_in_range(
+        cfg in config_strategy(),
+        v in prop::collection::vec(-1e4f64..1e4, 1..64),
+    ) {
+        let sm = IntSoftmax::new(cfg).unwrap();
+        let codes = sm.quantize(&v);
+        for &c in &codes {
+            prop_assert!(c <= 0);
+            prop_assert!(c >= -cfg.max_code_magnitude());
+        }
+        // and the pipeline accepts its own quantizer's output
+        prop_assert!(sm.run_codes(&codes).is_ok());
+    }
+
+    #[test]
+    fn saturate_dominates_wrap(v in prop::collection::vec(-0.5f64..0.0, 512..1024)) {
+        // Saturated sums are always >= wrapped sums.
+        let sat = IntSoftmax::new(PrecisionConfig::new(6, 0, 8)).unwrap()
+            .run_floats(&v).unwrap();
+        let wrap = IntSoftmax::new(
+            PrecisionConfig::new(6, 0, 8).with_sum_mode(SumMode::Wrap)).unwrap()
+            .run_floats(&v).unwrap();
+        prop_assert!(sat.sum >= wrap.sum);
+        prop_assert_eq!(sat.sum_exact, wrap.sum_exact);
+    }
+}

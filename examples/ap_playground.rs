@@ -1,0 +1,71 @@
+//! AP playground: the paper's Fig. 3 XOR walk-through plus the basic
+//! arithmetic repertoire of the associative processor.
+//!
+//! ```text
+//! cargo run --example ap_playground
+//! ```
+
+use softmap_ap::{cost, ApConfig, ApCore, DivStyle, EnergyModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Fig. 3: XOR of A = [3, 0, 2, 3] and B = [1, 1, 2, 2] --------
+    let mut ap = ApCore::new(ApConfig::new(4, 12))?;
+    let a = ap.alloc_field(2)?;
+    let b = ap.alloc_field(2)?;
+    let r = ap.alloc_field(2)?;
+    ap.load(a, &[0b11, 0b00, 0b10, 0b11])?;
+    ap.load(b, &[0b01, 0b01, 0b10, 0b10])?;
+    ap.xor(a, b, r)?;
+    println!("Fig. 3 XOR example:");
+    println!("  A = {:?}", ap.read(a));
+    println!("  B = {:?}", ap.read(b));
+    println!("  R = {:?}  (paper: [2, 1, 0, 1])", ap.read(r));
+    println!("  {}", ap.stats());
+
+    // ---- word-parallel arithmetic ------------------------------------
+    let mut ap = ApCore::new(ApConfig::new(8, 80))?;
+    let x = ap.alloc_field(6)?;
+    let y = ap.alloc_field(6)?;
+    let acc = ap.alloc_field(7)?;
+    let prod = ap.alloc_field(12)?;
+    let quot = ap.alloc_field(10)?;
+    let xs = [3u64, 7, 11, 23, 42, 51, 60, 63];
+    let ys = [1u64, 2, 5, 9, 13, 17, 29, 31];
+    ap.load(x, &xs)?;
+    ap.load(y, &ys)?;
+    ap.copy(x, acc.sub(0, 6))?;
+    ap.reset_stats();
+    ap.add_into(acc, y)?;
+    println!("\nAddition x + y = {:?}", ap.read(acc));
+    println!(
+        "  measured {} cycles; Table II formula 2M+8M+M+1 = {} (M = 6)",
+        ap.stats().cycles(),
+        cost::addition(6)
+    );
+
+    ap.reset_stats();
+    ap.mul(x, y, prod)?;
+    println!("\nMultiplication x * y = {:?}", ap.read(prod));
+    println!(
+        "  measured {} cycles; Table II formula 2M+8M^2+2M = {}",
+        ap.stats().cycles(),
+        cost::multiplication(6)
+    );
+
+    ap.reset_stats();
+    ap.divide(x, y, quot, 2, DivStyle::Restoring)?;
+    println!("\nFixed-point division (x << 2) / y = {:?}", ap.read(quot));
+    println!("  measured {} cycles (restoring divider)", ap.stats().cycles());
+
+    let (max, rows) = ap.max_search(x);
+    println!("\nMax-search: max = {max} at rows {:?}", rows.iter_set().collect::<Vec<_>>());
+
+    // ---- 2D reduction -------------------------------------------------
+    let sum_field = ap.alloc_field(12)?;
+    let sums = ap.reduce_sum_2d(x, sum_field, 8)?;
+    println!("2D reduction: sum(x) = {} (expected {})", sums[0], xs.iter().sum::<u64>());
+
+    let energy = EnergyModel::nm16().energy(&ap.stats());
+    println!("\nEnergy of this session: {energy}");
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Hardware characterization at one operating point: AP vs. A100 and
+//! RTX3090 on the full Llama2-7b softmax workload (the machinery behind
+//! Figs. 6-8).
+//!
+//! ```text
+//! cargo run --release --example characterize [seq_len] [batch]
+//! ```
+
+use softmap::characterize::{Characterizer, OperatingPoint};
+use softmap_llm::configs::llama2_7b;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let seq_len: usize = args.next().map_or(Ok(2048), |s| s.parse())?;
+    let batch: usize = args.next().map_or(Ok(8), |s| s.parse())?;
+
+    let ch = Characterizer::paper_default()?;
+    let model = llama2_7b();
+    let c = ch.compare(&model, OperatingPoint { seq_len, batch })?;
+
+    println!(
+        "{} prefill softmax, L = {seq_len}, B = {batch} (deployment: {} tiles/head)",
+        model.name,
+        ch.workload_model().deployment().tiles_per_head
+    );
+    println!(
+        "\nAP: latency {:.3} ms, energy {:.3} mJ, {} cycles/vector, {} waves/layer",
+        c.ap.latency_s * 1e3,
+        c.ap.energy_j * 1e3,
+        c.ap.cycles_per_vector,
+        c.ap.waves_per_layer
+    );
+    for g in &c.gpus {
+        println!(
+            "{}: latency {:.3} ms, energy {:.3} mJ -> normalized latency {:.2}x, energy {:.0}x, EDP {:.0}x",
+            g.gpu,
+            g.latency_s * 1e3,
+            g.energy_j * 1e3,
+            g.norm_latency,
+            g.norm_energy,
+            g.norm_edp
+        );
+    }
+    println!("\n(>1 favours the AP; paper Fig. 7 range 1.06-6.7x latency, Fig. 6 ~300x energy)");
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Quickstart: run the integer-only softmax and compare it with the
+//! exact one.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use softmap_softmax::{float_ref, metrics, IntSoftmax, PrecisionConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Attention-like scores (non-positive after max subtraction).
+    let scores = [0.0_f64, -0.4, -1.1, -2.7, -0.2, -5.0, -3.3, -0.9];
+
+    // The paper's best precision combination: M = 6, v_corr = M, N = 16.
+    let cfg = PrecisionConfig::paper_best();
+    let sm = IntSoftmax::new(cfg)?;
+
+    println!("config: {} (scale S = {:.4})", cfg.label(), cfg.scale());
+    println!(
+        "offline constants: vln2 = {}, mu = {}, vb = {}, vc = {}",
+        sm.constants().vln2,
+        sm.constants().mu,
+        sm.constants().vb,
+        sm.constants().vc
+    );
+
+    let out = sm.run_floats(&scores)?;
+    let exact = float_ref::softmax(&scores);
+
+    println!("\n{:>8} {:>12} {:>12} {:>10}", "score", "int softmax", "exact", "|diff|");
+    for i in 0..scores.len() {
+        println!(
+            "{:>8.2} {:>12.6} {:>12.6} {:>10.6}",
+            scores[i],
+            out.probabilities[i],
+            exact[i],
+            (out.probabilities[i] - exact[i]).abs()
+        );
+    }
+    println!(
+        "\nKL(exact || int) = {:.3e}, total variation = {:.3e}",
+        metrics::kl_divergence(&exact, &out.probabilities),
+        metrics::total_variation(&exact, &out.probabilities)
+    );
+    println!(
+        "sum register: {} (exact {}), overflowed: {}",
+        out.sum, out.sum_exact, out.sum_overflowed
+    );
+    Ok(())
+}

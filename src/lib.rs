@@ -1,0 +1,17 @@
+//! Workspace umbrella crate for the SoftmAP reproduction.
+//!
+//! This crate exists to host the repository-level `examples/` and
+//! `tests/` directories required by the reproduction layout. All library
+//! functionality lives in the `softmap-*` member crates; see the README
+//! for the map.
+
+/// Returns the version of the reproduction workspace.
+///
+/// # Examples
+///
+/// ```
+/// assert!(!softmap_repro::version().is_empty());
+/// ```
+pub fn version() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}

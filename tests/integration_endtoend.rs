@@ -1,0 +1,75 @@
+//! End-to-end integration: train the tiny LM, evaluate perplexity with
+//! the integer softmax, and characterize the same configuration's
+//! hardware cost — the full co-design loop in one test binary.
+
+use softmap::characterize::{Characterizer, OperatingPoint};
+use softmap_llm::corpus::Corpus;
+use softmap_llm::perplexity::perplexity;
+use softmap_llm::softmax_impls::{FloatSoftmax, IntApproxSoftmax};
+use softmap_llm::train::{train_language_model, TrainConfig};
+use softmap_llm::configs::llama2_7b;
+use softmap_softmax::PrecisionConfig;
+
+#[test]
+fn software_hardware_codesign_loop() {
+    // --- software side: accuracy of the chosen precision -------------
+    let corpus = Corpus::generate(4242, 12_000);
+    let cfg = TrainConfig {
+        steps: 80,
+        batch: 8,
+        ..TrainConfig::default()
+    };
+    let trained = train_language_model(&corpus, &cfg).unwrap();
+    assert!(trained.final_loss < trained.initial_loss);
+    let (_, val) = corpus.split(0.1);
+
+    let fp = perplexity(&trained.model, val, &FloatSoftmax).unwrap();
+    let best = PrecisionConfig::paper_best();
+    let int = IntApproxSoftmax::new(best).unwrap();
+    let int_ppl = perplexity(&trained.model, val, &int).unwrap();
+    assert!(
+        int_ppl < fp * 1.2,
+        "best-precision integer softmax ({int_ppl}) must stay near FP ({fp})"
+    );
+
+    // --- hardware side: the same precision on the AP ------------------
+    let ch = Characterizer::paper_default().unwrap();
+    let c = ch
+        .compare(
+            &llama2_7b(),
+            OperatingPoint {
+                seq_len: 2048,
+                batch: 8,
+            },
+        )
+        .unwrap();
+    for g in &c.gpus {
+        assert!(g.norm_energy > 1.0, "{}: energy must favour the AP", g.gpu);
+        assert!(g.norm_edp > 1.0, "{}: EDP must favour the AP", g.gpu);
+    }
+    assert!(
+        c.gpus[0].norm_latency > 1.0,
+        "at L = 2048 the AP should already be faster than the A100"
+    );
+}
+
+#[test]
+fn degraded_precision_shows_up_in_perplexity() {
+    let corpus = Corpus::generate(777, 12_000);
+    let cfg = TrainConfig {
+        steps: 80,
+        batch: 8,
+        ..TrainConfig::default()
+    };
+    let trained = train_language_model(&corpus, &cfg).unwrap();
+    let (_, val) = corpus.split(0.1);
+
+    let good = IntApproxSoftmax::new(PrecisionConfig::new(8, 0, 9)).unwrap();
+    let truncating = IntApproxSoftmax::new(PrecisionConfig::new(8, 0, 1)).unwrap();
+    let ppl_good = perplexity(&trained.model, val, &good).unwrap();
+    let ppl_bad = perplexity(&trained.model, val, &truncating).unwrap();
+    assert!(
+        ppl_bad > ppl_good,
+        "sum truncation (N'=1: {ppl_bad}) must degrade vs headroom (N'=9: {ppl_good})"
+    );
+}

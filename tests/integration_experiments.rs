@@ -1,0 +1,49 @@
+//! Smoke-level integration of the experiment harness: every table and
+//! figure generator runs and produces non-trivial, paper-shaped output.
+//! (Deep shape assertions live in `softmap-eval`'s unit tests; the
+//! perplexity grids are exercised there to keep this binary fast.)
+
+use softmap_eval::fig678::Quantity;
+use softmap_eval::{amdahl, area, fig1, fig678, table1, table2, table5, table6};
+use softmap_llm::configs::paper_models;
+
+#[test]
+fn every_light_experiment_renders() {
+    assert!(fig1::render(&fig1::run()).contains("Fig. 1"));
+    assert!(table1::run().render().contains("Table I"));
+    assert!(table2::render(&table2::run()).contains("Table II"));
+    assert!(table5::render(&table5::run().unwrap()).contains("Table V"));
+    assert!(table6::render(&table6::run().unwrap()).contains("Table VI"));
+    assert!(area::render(&area::run().unwrap()).contains("area"));
+    assert!(amdahl::render(&amdahl::run().unwrap()).contains("Amdahl"));
+}
+
+#[test]
+fn figures_cover_all_models_and_quantities() {
+    for q in [Quantity::Energy, Quantity::Latency, Quantity::Edp] {
+        let s = fig678::render_figure(q).unwrap();
+        for model in paper_models() {
+            assert!(s.contains(model.name), "{q:?} missing {model:?}");
+        }
+    }
+}
+
+#[test]
+fn headline_claim_holds_up_to_three_orders_of_magnitude_edp() {
+    // The abstract: "up to three orders of magnitude improvement in the
+    // energy-delay product compared to A100 and RTX3090 GPUs".
+    let rows = table5::run().unwrap();
+    let best = rows
+        .iter()
+        .map(|r| r.a100.0.max(r.rtx3090.0))
+        .fold(0.0f64, f64::max);
+    assert!(best >= 1e3, "max EDP ratio {best} below three orders of magnitude");
+}
+
+#[test]
+fn area_matches_paper_within_two_percent() {
+    for r in area::run().unwrap() {
+        let rel = (r.area_mm2 - r.paper_mm2).abs() / r.paper_mm2;
+        assert!(rel < 0.02, "{}: {} vs {}", r.model, r.area_mm2, r.paper_mm2);
+    }
+}
