@@ -1,0 +1,768 @@
+//! Dual execution backends for the AP controller.
+//!
+//! Every [`ApCore`] word-level operation can execute two ways:
+//!
+//! * [`ExecBackend::Microcode`] — the ground-truth bit-serial engine:
+//!   LUT compare/write passes over the CAM bit-planes, exactly as the
+//!   hardware sequencer would issue them. Costs are charged inline, one
+//!   [`crate::CycleStats::charge_compare`] /
+//!   [`crate::CycleStats::charge_write`] per cycle.
+//! * [`ExecBackend::FastWord`] — the production fast path: a *fused*
+//!   word-parallel engine over the same column bit-planes. Instead of
+//!   interpreting LUT passes (four compare/write pairs per bit for an
+//!   add), it computes each operation's result and its exact cost in a
+//!   single sweep — carry/borrow chains as word-parallel recurrences
+//!   over 64-row blocks, and the data-dependent write-tag populations
+//!   as closed-form popcounts (see [`fused_ripple`]). Costs are
+//!   charged through the same cost model in bulk
+//!   ([`crate::CycleStats::charge_compares_bulk`] /
+//!   [`crate::CycleStats::charge_writes_bulk`]).
+//!
+//! # The cost-model contract
+//!
+//! For any sequence of operations on identical inputs the two backends
+//! leave **bit-identical CAM state** (including the reserved
+//! carry/flag columns) and **identical [`crate::CycleStats`]** — total
+//! cycles, compare/write split, and per-cell event counts. The
+//! differential proptests in `crates/ap/tests/backend_diff.rs` enforce
+//! the contract op by op; `crates/bench/benches/backend_compare.rs`
+//! measures the speedup it buys.
+//!
+//! Because plane state is maintained exactly, controller-driven
+//! microprograms (the reciprocal divider, max/min search, the Fig. 5
+//! mapping) are written once and run on either backend.
+
+use crate::{ApCore, ApError, Field, RowSet};
+
+/// Which engine executes [`ApCore`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// Bit-serial LUT microcode over CAM planes (ground truth).
+    #[default]
+    Microcode,
+    /// Fused word-parallel execution with analytic cost charging
+    /// (bit- and cycle-exact vs. `Microcode`, roughly an order of
+    /// magnitude faster on wide operations).
+    FastWord,
+}
+
+/// One bit-position step of the fused ripple engine, over one 64-row
+/// block.
+///
+/// The in-place add/sub LUTs write, per bit, exactly the rows whose
+/// `(carry, a, b)` state changes. With the carry-in chain `c`, the
+/// written-cell count per bit collapses to two popcounts:
+///
+/// * every changing row satisfies `a ^ c = 1` (one cell written),
+/// * rows that also write the carry column (`(0,1,1)` and `(1,0,0)`
+///   for add; `(0,1,0)` and `(1,0,1)` for sub) are `a ^ c = 1` with
+///   `a == b` (add) / `a != b` (sub) — one extra cell.
+///
+/// The same formula covers the carry/borrow-ripple LUTs above the
+/// source width (where `a = 0`). Row predication is a plain AND mask
+/// on `a`: ungated rows see `a = 0` with carry-in 0 and are provably
+/// untouched, matching the gated microcode.
+macro_rules! fused_step {
+    ($SUB:ident, $av:expr, $bref:expr, $cref:expr, $ev:ident) => {{
+        let av = $av;
+        let bv = *$bref;
+        let cv = *$cref;
+        let t = av ^ bv;
+        let t1 = av ^ cv;
+        let extra = if $SUB { t1 & t } else { t1 & !t };
+        $ev += u64::from(t1.count_ones()) + u64::from(extra.count_ones());
+        *$bref = t ^ cv;
+        *$cref = if $SUB {
+            (av & !bv) | (cv & !t)
+        } else {
+            (av & bv) | (cv & t)
+        };
+    }};
+}
+
+/// Fused in-place ripple add (`SUB = false`) or subtract
+/// (`SUB = true`) of a `sw`-bit source into an `aw`-bit accumulator,
+/// word-parallel over `bl` 64-row blocks of column words laid out
+/// bit-major (`buf[bit * bl + block]`).
+///
+/// `carry` must be zeroed by the caller (this models the microcode's
+/// `clear_carry`); on return it holds the final carry/borrow column
+/// state. Returns the write-cell events of the equivalent LUT pass
+/// sequence.
+fn fused_ripple<const SUB: bool>(
+    a: &[u64],
+    sw: usize,
+    b: &mut [u64],
+    aw: usize,
+    bl: usize,
+    gate: Option<&[u64]>,
+    carry: &mut [u64],
+) -> u64 {
+    debug_assert!(a.len() >= sw * bl);
+    debug_assert!(b.len() >= aw * bl);
+    debug_assert_eq!(carry.len(), bl);
+    let mut ev = 0u64;
+    for i in 0..sw {
+        let ar = &a[i * bl..(i + 1) * bl];
+        let br = &mut b[i * bl..(i + 1) * bl];
+        match gate {
+            Some(g) => {
+                for ((bref, cref), (&av, &gv)) in br
+                    .iter_mut()
+                    .zip(carry.iter_mut())
+                    .zip(ar.iter().zip(g.iter()))
+                {
+                    fused_step!(SUB, av & gv, bref, cref, ev);
+                }
+            }
+            None => {
+                for ((bref, cref), &av) in br.iter_mut().zip(carry.iter_mut()).zip(ar.iter()) {
+                    fused_step!(SUB, av, bref, cref, ev);
+                }
+            }
+        }
+    }
+    // Carry/borrow ripple into accumulator bits above the source width.
+    for i in sw..aw {
+        let br = &mut b[i * bl..(i + 1) * bl];
+        for (bref, cref) in br.iter_mut().zip(carry.iter_mut()) {
+            fused_step!(SUB, 0u64, bref, cref, ev);
+        }
+    }
+    ev
+}
+
+impl ApCore {
+    /// 64-row block count.
+    fn fw_blocks(&self) -> usize {
+        self.rows().div_ceil(64)
+    }
+
+    /// Copies a field's bit-planes into a bit-major block buffer
+    /// (`buf[bit * blocks + block]`).
+    fn fw_gather(&self, field: Field, buf: &mut Vec<u64>) {
+        let bl = self.fw_blocks();
+        buf.clear();
+        buf.resize(field.width() * bl, 0);
+        for i in 0..field.width() {
+            buf[i * bl..(i + 1) * bl].copy_from_slice(self.cam().plane_words(field.col(i)));
+        }
+    }
+
+    /// Writes a bit-major block buffer back into a field's bit-planes.
+    fn fw_scatter(&mut self, field: Field, buf: &[u64]) {
+        let bl = self.fw_blocks();
+        for i in 0..field.width() {
+            self.cam_mut()
+                .plane_words_mut(field.col(i))
+                .copy_from_slice(&buf[i * bl..(i + 1) * bl]);
+        }
+    }
+
+    /// The gate column as block words with the requested polarity, or
+    /// `None` for ungated ops. (Tail bits beyond the row count may be
+    /// set after complementing; they are harmless because every operand
+    /// plane keeps its tail zero.)
+    fn fw_gate_words(&self, gate: Option<(usize, bool)>) -> Option<Vec<u64>> {
+        gate.map(|(col, polarity)| {
+            let words = self.cam().plane_words(col);
+            if polarity {
+                words.to_vec()
+            } else {
+                words.iter().map(|w| !w).collect()
+            }
+        })
+    }
+
+    /// Charges the cost-model totals of one gated/ungated in-place
+    /// ripple op (`clear_carry` + 4 passes per source bit + 2 ripple
+    /// passes per extra accumulator bit), with `wr_events` the write
+    /// cells from [`fused_ripple`].
+    fn fw_charge_ripple(&mut self, sw: usize, aw: usize, gated: bool, wr_events: u64) {
+        let rows = self.rows() as u64;
+        let g = u64::from(gated);
+        let low = 4 * sw as u64;
+        let ripple = 2 * (aw - sw) as u64;
+        let st = self.cam_mut().stats_mut();
+        st.charge_compares_bulk(low + ripple, rows * ((3 + g) * low + (2 + g) * ripple));
+        st.charge_writes_bulk(1 + low + ripple, rows + wr_events);
+    }
+
+    pub(crate) fn fw_add_into_gated(
+        &mut self,
+        acc: Field,
+        src: Field,
+        gate: Option<(usize, bool)>,
+    ) -> Result<(), ApError> {
+        let bl = self.fw_blocks();
+        let (sw, aw) = (src.width(), acc.width());
+        let cc = self.carry_col();
+        let gwords = self.fw_gate_words(gate);
+        let mut va = std::mem::take(&mut self.vals_a);
+        let mut vb = std::mem::take(&mut self.vals_b);
+        self.fw_gather(src, &mut va);
+        self.fw_gather(acc, &mut vb);
+        let mut carry = vec![0u64; bl];
+        let ev = fused_ripple::<false>(&va, sw, &mut vb, aw, bl, gwords.as_deref(), &mut carry);
+        self.fw_scatter(acc, &vb);
+        self.cam_mut().plane_words_mut(cc).copy_from_slice(&carry);
+        self.fw_charge_ripple(sw, aw, gate.is_some(), ev);
+        self.vals_a = va;
+        self.vals_b = vb;
+        Ok(())
+    }
+
+    pub(crate) fn fw_sub_into_gated(
+        &mut self,
+        acc: Field,
+        src: Field,
+        gate: Option<(usize, bool)>,
+    ) -> Result<RowSet, ApError> {
+        let bl = self.fw_blocks();
+        let rows = self.rows();
+        let (sw, aw) = (src.width(), acc.width());
+        let cc = self.carry_col();
+        let gwords = self.fw_gate_words(gate);
+        let mut va = std::mem::take(&mut self.vals_a);
+        let mut vb = std::mem::take(&mut self.vals_b);
+        self.fw_gather(src, &mut va);
+        self.fw_gather(acc, &mut vb);
+        let mut borrow = vec![0u64; bl];
+        let ev = fused_ripple::<true>(&va, sw, &mut vb, aw, bl, gwords.as_deref(), &mut borrow);
+        self.fw_scatter(acc, &vb);
+        self.cam_mut().plane_words_mut(cc).copy_from_slice(&borrow);
+        self.fw_charge_ripple(sw, aw, gate.is_some(), ev);
+        // Reading the borrow column back costs one compare cycle.
+        self.cam_mut()
+            .stats_mut()
+            .charge_compares_bulk(1, rows as u64);
+        let mut borrowed = RowSet::new(rows);
+        borrowed.words_mut().copy_from_slice(&borrow);
+        self.vals_a = va;
+        self.vals_b = vb;
+        Ok(borrowed)
+    }
+
+    pub(crate) fn fw_copy(&mut self, src: Field, dst: Field) -> Result<(), ApError> {
+        let rows = self.rows() as u64;
+        let sw = src.width();
+        let mut va = std::mem::take(&mut self.vals_a);
+        self.fw_gather(src, &mut va);
+        self.fw_scatter(dst.sub(0, sw), &va);
+        self.vals_a = va;
+        // Two single-column compare passes per bit; together their
+        // writes touch every row once.
+        let st = self.cam_mut().stats_mut();
+        st.charge_compares_bulk(2 * sw as u64, 2 * sw as u64 * rows);
+        st.charge_writes_bulk(2 * sw as u64, sw as u64 * rows);
+        if dst.width() > sw {
+            let hi = dst.sub(sw, dst.width() - sw);
+            self.broadcast_all(hi, 0)?;
+        }
+        Ok(())
+    }
+
+    /// Shared fast engine for XOR/AND/OR: `r` is pre-cleared, common
+    /// bits run `passes` two-column compare passes each (their writes
+    /// touch `events_mask` cells: each set result bit is written by
+    /// exactly one pass), and single-operand upper bits run the copy
+    /// LUT when the operation is identity-on-zero (`ext_copies`).
+    fn fw_bitwise2(
+        &mut self,
+        a: Field,
+        b: Field,
+        r: Field,
+        f: fn(u64, u64) -> u64,
+        passes: u64,
+        ext_copies: bool,
+    ) -> Result<(), ApError> {
+        let bl = self.fw_blocks();
+        let rows = self.rows() as u64;
+        let (awd, bw) = (a.width(), b.width());
+        let w = awd.max(bw);
+        let cm = awd.min(bw);
+        self.broadcast_all(r, 0)?;
+        let mut va = std::mem::take(&mut self.vals_a);
+        let mut vb = std::mem::take(&mut self.vals_b);
+        let mut vr = std::mem::take(&mut self.vals_r);
+        self.fw_gather(a, &mut va);
+        self.fw_gather(b, &mut vb);
+        vr.clear();
+        vr.resize(w * bl, 0);
+        let mut ev = 0u64;
+        for i in 0..cm {
+            for blk in 0..bl {
+                let x = f(va[i * bl + blk], vb[i * bl + blk]);
+                ev += u64::from(x.count_ones());
+                vr[i * bl + blk] = x;
+            }
+        }
+        if ext_copies {
+            let longer = if awd > bw { &va } else { &vb };
+            vr[cm * bl..w * bl].copy_from_slice(&longer[cm * bl..w * bl]);
+        }
+        self.fw_scatter(r.sub(0, w), &vr);
+        let ub = if ext_copies { (w - cm) as u64 } else { 0 };
+        let st = self.cam_mut().stats_mut();
+        st.charge_compares_bulk(
+            passes * cm as u64 + 2 * ub,
+            (2 * passes * cm as u64 + 2 * ub) * rows,
+        );
+        st.charge_writes_bulk(passes * cm as u64 + 2 * ub, ev + ub * rows);
+        self.vals_a = va;
+        self.vals_b = vb;
+        self.vals_r = vr;
+        Ok(())
+    }
+
+    pub(crate) fn fw_xor(&mut self, a: Field, b: Field, r: Field) -> Result<(), ApError> {
+        self.fw_bitwise2(a, b, r, |x, y| x ^ y, 2, true)
+    }
+
+    pub(crate) fn fw_and(&mut self, a: Field, b: Field, r: Field) -> Result<(), ApError> {
+        self.fw_bitwise2(a, b, r, |x, y| x & y, 1, false)
+    }
+
+    pub(crate) fn fw_or(&mut self, a: Field, b: Field, r: Field) -> Result<(), ApError> {
+        self.fw_bitwise2(a, b, r, |x, y| x | y, 3, true)
+    }
+
+    pub(crate) fn fw_not(&mut self, a: Field, r: Field) -> Result<(), ApError> {
+        let bl = self.fw_blocks();
+        let rows = self.rows();
+        let aw = a.width();
+        let valid = RowSet::all(rows);
+        let mut va = std::mem::take(&mut self.vals_a);
+        self.fw_gather(a, &mut va);
+        for i in 0..aw {
+            for blk in 0..bl {
+                va[i * bl + blk] = !va[i * bl + blk] & valid.words()[blk];
+            }
+        }
+        self.fw_scatter(r.sub(0, aw), &va);
+        self.vals_a = va;
+        // Two single-column compare passes per bit; every row written
+        // once per bit (R=0 for ones, R=1 for zeros).
+        let st = self.cam_mut().stats_mut();
+        st.charge_compares_bulk(2 * aw as u64, 2 * (aw * rows) as u64);
+        st.charge_writes_bulk(2 * aw as u64, (aw * rows) as u64);
+        Ok(())
+    }
+
+    pub(crate) fn fw_mul(&mut self, a: Field, b: Field, r: Field) -> Result<(), ApError> {
+        let bl = self.fw_blocks();
+        let (awd, bw, rw) = (a.width(), b.width(), r.width());
+        let cc = self.carry_col();
+        self.broadcast_all(r, 0)?;
+        let mut va = std::mem::take(&mut self.vals_a);
+        let mut vg = std::mem::take(&mut self.vals_b);
+        let mut vr = std::mem::take(&mut self.vals_r);
+        self.fw_gather(a, &mut va);
+        self.fw_gather(b, &mut vg);
+        vr.clear();
+        vr.resize(rw * bl, 0);
+        let mut carry = vec![0u64; bl];
+        let mut events = Vec::with_capacity(bw);
+        for j in 0..bw {
+            // Partial sums never carry past a.width() + 1 bits, and the
+            // result field guarantees rw - j >= awd + 1 for every j.
+            let acc_w = (awd + 1).min(rw - j);
+            debug_assert_eq!(acc_w, awd + 1);
+            carry.fill(0);
+            let gate = &vg[j * bl..(j + 1) * bl];
+            // A multiplier bit set in no row (common for broadcast
+            // constants) matches no LUT pass: the cycles are still
+            // issued but nothing is written, so the sweep is skipped.
+            let ev = if gate.iter().all(|&g| g == 0) {
+                0
+            } else {
+                fused_ripple::<false>(
+                    &va,
+                    awd,
+                    &mut vr[j * bl..(j + acc_w) * bl],
+                    acc_w,
+                    bl,
+                    Some(gate),
+                    &mut carry,
+                )
+            };
+            events.push((acc_w, ev));
+        }
+        self.fw_scatter(r, &vr);
+        // The carry column holds the final gated add's carry state.
+        self.cam_mut().plane_words_mut(cc).copy_from_slice(&carry);
+        for (acc_w, ev) in events {
+            self.fw_charge_ripple(awd, acc_w, true, ev);
+        }
+        self.vals_a = va;
+        self.vals_b = vg;
+        self.vals_r = vr;
+        Ok(())
+    }
+
+    pub(crate) fn fw_shr_const(&mut self, field: Field, k: usize) -> Result<(), ApError> {
+        let bl = self.fw_blocks();
+        let rows = self.rows() as u64;
+        let w = field.width();
+        debug_assert!(k > 0 && k < w);
+        let mut va = std::mem::take(&mut self.vals_a);
+        self.fw_gather(field, &mut va);
+        va.copy_within(k * bl..w * bl, 0);
+        va[(w - k) * bl..w * bl].fill(0);
+        self.fw_scatter(field, &va);
+        self.vals_a = va;
+        let moved = (w - k) as u64;
+        let st = self.cam_mut().stats_mut();
+        st.charge_compares_bulk(2 * moved, 2 * moved * rows);
+        st.charge_writes_bulk(2 * moved, moved * rows);
+        // The vacated high bits are cleared by an ungated broadcast.
+        let hi = field.sub(w - k, k);
+        self.broadcast_all(hi, 0)
+    }
+
+    pub(crate) fn fw_shr_variable(&mut self, field: Field, amount: Field) -> Result<(), ApError> {
+        let bl = self.fw_blocks();
+        let rows = self.rows() as u64;
+        let w = field.width();
+        let mut va = std::mem::take(&mut self.vals_a);
+        let mut vamt = std::mem::take(&mut self.vals_b);
+        self.fw_gather(field, &mut va);
+        self.fw_gather(amount, &mut vamt);
+
+        let mut cmp_cycles = 0u64;
+        let mut cmp_events = 0u64;
+        let mut wr_cycles = 0u64;
+        let mut wr_events = 0u64;
+        for j in 0..amount.width() {
+            let s = 1usize << j;
+            let g = &vamt[j * bl..(j + 1) * bl];
+            let n_j: u64 = g.iter().map(|w| u64::from(w.count_ones())).sum();
+            if s >= w {
+                // One tag compare, then the whole field clears for the
+                // gated rows.
+                cmp_cycles += 1;
+                cmp_events += rows;
+                wr_cycles += w as u64;
+                wr_events += w as u64 * n_j;
+                for i in 0..w {
+                    for blk in 0..bl {
+                        va[i * bl + blk] &= !g[blk];
+                    }
+                }
+                continue;
+            }
+            // Gated copy of each surviving bit (match = source bit +
+            // gate), then one tag compare and a gated clear of the
+            // vacated high bits.
+            let moved = (w - s) as u64;
+            cmp_cycles += 2 * moved + 1;
+            cmp_events += (4 * moved + 1) * rows;
+            wr_cycles += 2 * moved + s as u64;
+            wr_events += moved * n_j + s as u64 * n_j;
+            for i in 0..w - s {
+                for blk in 0..bl {
+                    let idx = i * bl + blk;
+                    va[idx] = (va[(i + s) * bl + blk] & g[blk]) | (va[idx] & !g[blk]);
+                }
+            }
+            for i in w - s..w {
+                for blk in 0..bl {
+                    va[i * bl + blk] &= !g[blk];
+                }
+            }
+        }
+        self.fw_scatter(field, &va);
+        let st = self.cam_mut().stats_mut();
+        st.charge_compares_bulk(cmp_cycles, cmp_events);
+        st.charge_writes_bulk(wr_cycles, wr_events);
+        self.vals_a = va;
+        self.vals_b = vamt;
+        Ok(())
+    }
+
+    pub(crate) fn fw_divide_restoring(
+        &mut self,
+        num: Field,
+        den: Field,
+        quot: Field,
+        frac_bits: usize,
+    ) -> Result<(), ApError> {
+        let bl = self.fw_blocks();
+        let rows = self.rows() as u64;
+        let (nw, dw, qw) = (num.width(), den.width(), quot.width());
+        let rem_w = dw + 1;
+        let (cc, fc) = (self.carry_col(), self.flag_col());
+        let rem = self.alloc_scratch(rem_w)?;
+        self.broadcast_all(rem, 0)?;
+        self.broadcast_all(quot, 0)?;
+        let valid = RowSet::all(self.rows());
+
+        let mut vd = std::mem::take(&mut self.vals_a);
+        let mut vrem = std::mem::take(&mut self.vals_b);
+        let mut vq = std::mem::take(&mut self.vals_r);
+        self.fw_gather(den, &mut vd);
+        vrem.clear();
+        vrem.resize(rem_w * bl, 0);
+        vq.clear();
+        vq.resize(qw * bl, 0);
+        let mut vpre = vec![0u64; rem_w * bl];
+        let mut borrowed = vec![0u64; bl];
+
+        let total_bits = nw + frac_bits;
+        let mut cmp_cycles = 0u64;
+        let mut cmp_events = 0u64;
+        let mut wr_cycles = 0u64;
+        let mut wr_events = 0u64;
+        // Structural cycle shape of the in-place sub/add over
+        // (den -> rem): 4 passes per divisor bit + 2 ripple passes for
+        // the extra remainder bit.
+        let low = 4 * dw as u64;
+        let ripple = 2 * (rem_w - dw) as u64;
+
+        for k in (0..total_bits).rev() {
+            // rem <<= 1 (MSB-first bit copies), then the dividend bit —
+            // or an ungated clear of rem[0] below the binary point.
+            let moved = (rem_w - 1) as u64;
+            cmp_cycles += 2 * moved;
+            cmp_events += 2 * moved * rows;
+            wr_cycles += 2 * moved;
+            wr_events += moved * rows;
+            vrem.copy_within(0..(rem_w - 1) * bl, bl);
+            if k >= frac_bits {
+                cmp_cycles += 2;
+                cmp_events += 2 * rows;
+                wr_cycles += 2;
+                wr_events += rows;
+                let (head, _) = vrem.split_at_mut(bl);
+                head.copy_from_slice(self.cam().plane_words(num.col(k - frac_bits)));
+            } else {
+                wr_cycles += 1;
+                wr_events += rows;
+                vrem[..bl].fill(0);
+            }
+
+            // try rem -= den (clear_carry + passes + borrow readback)
+            borrowed.fill(0);
+            vpre.copy_from_slice(&vrem);
+            let ev_sub = fused_ripple::<true>(&vd, dw, &mut vrem, rem_w, bl, None, &mut borrowed);
+            cmp_cycles += low + ripple + 1;
+            cmp_events += rows * (3 * low + 2 * ripple) + rows;
+            wr_cycles += 1 + low + ripple;
+            wr_events += rows + ev_sub;
+            let n_borrow: u64 = borrowed.iter().map(|w| u64::from(w.count_ones())).sum();
+
+            // Latch the borrow into the flag column (ungated clear +
+            // tagged set), restore gated on the flag if any row
+            // borrowed, then read the no-borrow set back.
+            //
+            // The restore needs no second carry ripple: for a restored
+            // row the add returns the remainder to its pre-subtraction
+            // value, so the add's carry-in chain is `den ^ post ^ pre`
+            // and its written cells collapse to the change mask
+            // `ch = pre ^ post` (accumulator writes) plus
+            // `ch & !(den ^ post)` (carry-column writes) — a blend and
+            // two popcounts per bit instead of a ripple sweep.
+            wr_cycles += 2;
+            wr_events += rows + n_borrow;
+            if n_borrow > 0 {
+                let mut ev_add = 0u64;
+                for i in 0..rem_w {
+                    let a_bits = if i < dw {
+                        &vd[i * bl..(i + 1) * bl]
+                    } else {
+                        &[][..]
+                    };
+                    let rr = &mut vrem[i * bl..(i + 1) * bl];
+                    for (blk, (rref, (&pv, &bor))) in rr
+                        .iter_mut()
+                        .zip(vpre[i * bl..(i + 1) * bl].iter().zip(borrowed.iter()))
+                        .enumerate()
+                    {
+                        let post = *rref;
+                        let av = a_bits.get(blk).copied().unwrap_or(0);
+                        let ch = (pv ^ post) & bor;
+                        ev_add += u64::from(ch.count_ones())
+                            + u64::from((ch & !(av ^ post)).count_ones());
+                        *rref = (pv & bor) | (post & !bor);
+                    }
+                }
+                cmp_cycles += low + ripple;
+                cmp_events += rows * (4 * low + 3 * ripple);
+                wr_cycles += 1 + low + ripple;
+                wr_events += rows + ev_add;
+            }
+            cmp_cycles += 1;
+            cmp_events += rows;
+
+            // Quotient bit for rows that did not borrow; above the
+            // quotient field the affected rows saturate instead.
+            let n_nob = rows - n_borrow;
+            if k < qw {
+                wr_cycles += 1;
+                wr_events += n_nob;
+                for blk in 0..bl {
+                    vq[k * bl + blk] |= !borrowed[blk] & valid.words()[blk];
+                }
+            } else if n_nob > 0 {
+                // The quotient saturates to all-ones, so the broadcast
+                // sets every quotient bit of the no-borrow rows.
+                wr_cycles += qw as u64;
+                wr_events += qw as u64 * n_nob;
+                for i in 0..qw {
+                    for blk in 0..bl {
+                        vq[i * bl + blk] |= !borrowed[blk] & valid.words()[blk];
+                    }
+                }
+            }
+        }
+
+        self.fw_scatter(rem, &vrem);
+        self.fw_scatter(quot, &vq);
+        // After the final iteration both the borrow latch and the carry
+        // column hold that iteration's borrow (the restoring add's
+        // carry-out is 1 for every restored row).
+        self.cam_mut()
+            .plane_words_mut(fc)
+            .copy_from_slice(&borrowed);
+        self.cam_mut()
+            .plane_words_mut(cc)
+            .copy_from_slice(&borrowed);
+        let st = self.cam_mut().stats_mut();
+        st.charge_compares_bulk(cmp_cycles, cmp_events);
+        st.charge_writes_bulk(wr_cycles, wr_events);
+        self.vals_a = vd;
+        self.vals_b = vrem;
+        self.vals_r = vq;
+        self.release_scratch(rem);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Packs 64 row values into bit-major plane words (one block).
+    fn pack(values: &[u64; 64], width: usize) -> Vec<u64> {
+        let mut out = vec![0u64; width];
+        for (r, &v) in values.iter().enumerate() {
+            for (i, w) in out.iter_mut().enumerate() {
+                *w |= (v >> i & 1) << r;
+            }
+        }
+        out
+    }
+
+    fn unpack(planes: &[u64], width: usize) -> [u64; 64] {
+        let mut out = [0u64; 64];
+        for (r, v) in out.iter_mut().enumerate() {
+            for (i, &p) in planes.iter().enumerate().take(width) {
+                *v |= (p >> r & 1) << i;
+            }
+        }
+        out
+    }
+
+    /// Bit-serial reference of the in-place add/sub LUT pass sequence
+    /// for one row, counting written cells.
+    fn reference(sub: bool, a: u64, b: u64, sw: usize, aw: usize) -> (u64, u64, bool) {
+        let mut b = b;
+        let mut c = false;
+        let mut ev = 0u64;
+        for i in 0..aw {
+            let ab = i < sw && a >> i & 1 == 1;
+            let bb = b >> i & 1 == 1;
+            let (diff, c2) = if sub {
+                let d = i8::from(bb) - i8::from(ab) - i8::from(c);
+                (d.rem_euclid(2) == 1, d < 0)
+            } else {
+                let s = u8::from(bb) + u8::from(ab) + u8::from(c);
+                (s & 1 == 1, s >= 2)
+            };
+            if diff != bb {
+                ev += 1;
+            }
+            if c2 != c {
+                ev += 1;
+            }
+            if diff != bb || c2 != c {
+                // exactly the changing rows are written by some pass
+            }
+            if diff {
+                b |= 1 << i;
+            } else {
+                b &= !(1 << i);
+            }
+            c = c2;
+        }
+        (b & ((1u64 << aw) - 1), ev, c)
+    }
+
+    #[test]
+    fn fused_matches_lut_reference_exhaustively() {
+        // All (a, b) pairs over 5-bit source / 6-bit accumulator, in
+        // batches of 64 rows per block.
+        for sub in [false, true] {
+            let mut cases = Vec::new();
+            for a in 0..32u64 {
+                for b in 0..64u64 {
+                    cases.push((a, b));
+                }
+            }
+            for chunk in cases.chunks(64) {
+                let mut av = [0u64; 64];
+                let mut bv = [0u64; 64];
+                for (r, &(a, b)) in chunk.iter().enumerate() {
+                    av[r] = a;
+                    bv[r] = b;
+                }
+                let pa = pack(&av, 5);
+                let mut pb = pack(&bv, 6);
+                let mut carry = vec![0u64; 1];
+                let ev = if sub {
+                    fused_ripple::<true>(&pa, 5, &mut pb, 6, 1, None, &mut carry)
+                } else {
+                    fused_ripple::<false>(&pa, 5, &mut pb, 6, 1, None, &mut carry)
+                };
+                let got = unpack(&pb, 6);
+                let mut want_ev = 0u64;
+                for (r, &(a, b)) in chunk.iter().enumerate() {
+                    let (want_b, e, want_c) = reference(sub, a, b, 5, 6);
+                    assert_eq!(got[r], want_b, "sub={sub} a={a} b={b}");
+                    assert_eq!(carry[0] >> r & 1 == 1, want_c, "sub={sub} a={a} b={b}");
+                    want_ev += e;
+                }
+                assert_eq!(ev, want_ev, "sub={sub} events");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_gate_masks_rows_exactly() {
+        let mut av = [0u64; 64];
+        let mut bv = [0u64; 64];
+        for r in 0..64 {
+            av[r] = (r as u64 * 7) % 32;
+            bv[r] = (r as u64 * 13 + 3) % 64;
+        }
+        let gate = 0xAAAA_5555_F0F0_0F0Fu64;
+        let pa = pack(&av, 5);
+        let mut pb = pack(&bv, 6);
+        let mut carry = vec![0u64; 1];
+        let ev = fused_ripple::<false>(&pa, 5, &mut pb, 6, 1, Some(&[gate]), &mut carry);
+        let got = unpack(&pb, 6);
+        let mut want_ev = 0;
+        for r in 0..64 {
+            if gate >> r & 1 == 1 {
+                let (want_b, e, want_c) = reference(false, av[r], bv[r], 5, 6);
+                assert_eq!(got[r], want_b, "gated row {r}");
+                assert_eq!(carry[0] >> r & 1 == 1, want_c);
+                want_ev += e;
+            } else {
+                assert_eq!(got[r], bv[r], "ungated row {r} must not change");
+                assert_eq!(carry[0] >> r & 1, 0);
+            }
+        }
+        assert_eq!(ev, want_ev);
+    }
+}

@@ -1,0 +1,80 @@
+//! Multi-tile batch execution.
+//!
+//! A deployed SoftmAP accelerator runs many independent AP tiles — one
+//! softmax vector (or segment) per tile — in parallel. This module is
+//! the host-side analogue: it fans a batch of independent jobs out
+//! across OS threads, one simulated tile per job, and aggregates the
+//! per-tile statistics into a [`BatchStats`] view (total work for
+//! energy, slowest tile for the concurrent-hardware makespan).
+//!
+//! The thread fan-out itself is the dependency-free
+//! [`softmap_par`] scheduler, re-exported here so tile-level callers
+//! have one import.
+//!
+//! # Examples
+//!
+//! ```
+//! use softmap_ap::batch;
+//!
+//! let squares = batch::parallel_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+pub use softmap_par::{parallel_map, tile_parallelism, try_parallel_map};
+
+use crate::CycleStats;
+
+/// Aggregate view of a batch of per-tile statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Tiles in the batch.
+    pub tiles: u64,
+    /// Sum of all tiles' counters (total work / energy proxy).
+    pub total: CycleStats,
+    /// The slowest tile's cycle count — the batch's wall-clock makespan
+    /// when tiles run concurrently in hardware.
+    pub makespan_cycles: u64,
+}
+
+impl BatchStats {
+    /// Aggregates per-tile statistics.
+    #[must_use]
+    pub fn aggregate(per_tile: &[CycleStats]) -> Self {
+        let mut total = CycleStats::default();
+        let mut makespan = 0;
+        for s in per_tile {
+            total.accumulate(s);
+            makespan = makespan.max(s.cycles());
+        }
+        Self {
+            tiles: per_tile.len() as u64,
+            total,
+            makespan_cycles: makespan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_stats_aggregate() {
+        let mut a = CycleStats::default();
+        a.charge_compare(10, 2);
+        let mut b = CycleStats::default();
+        b.charge_compare(10, 2);
+        b.charge_write(5, 1);
+        let agg = BatchStats::aggregate(&[a, b]);
+        assert_eq!(agg.tiles, 2);
+        assert_eq!(agg.total.cycles(), 3);
+        assert_eq!(agg.makespan_cycles, 2);
+    }
+
+    #[test]
+    fn reexported_parallel_map_runs_tiles() {
+        let out = parallel_map(&[1u64, 2, 3], |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        assert!(tile_parallelism(3) >= 1);
+    }
+}

@@ -1,5 +1,27 @@
 use crate::{ApError, CycleStats, Field, RowSet};
 
+/// In-place 64×64 bit-matrix transpose (Hacker's Delight 7-3, widened):
+/// afterwards, bit `j` of `a[i]` is what bit `i` of `a[j]` was.
+///
+/// This is the bit-plane ↔ row-word converter behind the word-parallel
+/// host I/O paths: 64 rows move per inner operation instead of one
+/// cell.
+pub(crate) fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = (a[k] >> j ^ a[k + j]) & m;
+            a[k] ^= t << j;
+            a[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
 /// The content-addressable memory at the heart of the AP.
 ///
 /// Data is stored column-major: one [`RowSet`] bit-plane per column.
@@ -89,13 +111,27 @@ impl CamArray {
     /// Panics if a column index is out of range.
     #[must_use]
     pub fn compare(&mut self, masked: &[(usize, bool)]) -> RowSet {
-        let mut tag = RowSet::all(self.rows);
+        let mut tag = RowSet::new(self.rows);
+        self.compare_into(masked, &mut tag);
+        tag
+    }
+
+    /// Allocation-free [`CamArray::compare`]: writes the tag into `out`
+    /// (which must range over this array's rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column index is out of range or `out` has the wrong
+    /// length.
+    pub fn compare_into(&mut self, masked: &[(usize, bool)], out: &mut RowSet) {
+        assert_eq!(out.len(), self.rows, "tag length mismatch");
+        out.fill(true);
         for &(col, key) in masked {
             self.check_col(col);
-            tag.and_with_polarity(&self.planes[col], key);
+            out.and_with_polarity(&self.planes[col], key);
         }
-        self.stats.charge_compare(self.rows as u64, masked.len() as u64);
-        tag
+        self.stats
+            .charge_compare(self.rows as u64, masked.len() as u64);
     }
 
     /// One write cycle: drives each `(column, key)` bit into all rows of
@@ -158,13 +194,30 @@ impl CamArray {
                 });
             }
         }
-        for bit in 0..field.width() {
-            let plane = &mut self.planes[field.col(bit)];
-            for (row, &w) in words.iter().enumerate() {
-                plane.set(row, w >> bit & 1 == 1);
+        // Word-parallel store: transpose each 64-row block of input
+        // words into plane words. Rows beyond the supplied words keep
+        // their contents (the valid-mask blend); each bit column is
+        // charged as one write cycle driving exactly `words.len()`
+        // rows.
+        let w = field.width();
+        let mut buf = [0u64; 64];
+        for blk in 0..words.len().div_ceil(64) {
+            let base = blk * 64;
+            let in_block = (words.len() - base).min(64);
+            buf.fill(0);
+            buf[..in_block].copy_from_slice(&words[base..base + in_block]);
+            transpose64(&mut buf);
+            let valid = if in_block == 64 {
+                u64::MAX
+            } else {
+                (1u64 << in_block) - 1
+            };
+            for (bit, &bv) in buf.iter().enumerate().take(w) {
+                let pw = &mut self.planes[field.col(bit)].words_mut()[blk];
+                *pw = (*pw & !valid) | (bv & valid);
             }
-            // Rows beyond the supplied words keep their contents; the
-            // write drives exactly `words.len()` rows.
+        }
+        for _ in 0..w {
             self.stats.charge_write(words.len() as u64, 1);
         }
         Ok(())
@@ -212,13 +265,17 @@ impl CamArray {
             self.cols
         );
         let mut out = vec![0u64; self.rows];
-        for bit in 0..field.width() {
-            let plane = &self.planes[field.col(bit)];
-            for (row, w) in out.iter_mut().enumerate() {
-                if plane.get(row) {
-                    *w |= 1 << bit;
-                }
+        let w = field.width();
+        let mut buf = [0u64; 64];
+        for blk in 0..self.rows.div_ceil(64) {
+            buf.fill(0);
+            for (bit, slot) in buf.iter_mut().enumerate().take(w) {
+                *slot = self.planes[field.col(bit)].words()[blk];
             }
+            transpose64(&mut buf);
+            let base = blk * 64;
+            let in_block = (self.rows - base).min(64);
+            out[base..base + in_block].copy_from_slice(&buf[..in_block]);
         }
         out
     }
@@ -239,6 +296,24 @@ impl CamArray {
     /// Charges 2D (row-parallel) cycles; see [`CycleStats::charge_2d`].
     pub fn charge_2d(&mut self, cycles: u64, cell_events: u64) {
         self.stats.charge_2d(cycles, cell_events);
+    }
+
+    /// Mutable access to the cycle counters for the `FastWord` backend,
+    /// which charges analytically instead of per compare/write call.
+    pub(crate) fn stats_mut(&mut self) -> &mut CycleStats {
+        &mut self.stats
+    }
+
+    /// One column's packed row-words (64 rows per word), for the
+    /// word-parallel `FastWord` engine.
+    pub(crate) fn plane_words(&self, col: usize) -> &[u64] {
+        self.planes[col].words()
+    }
+
+    /// Mutable packed row-words of one column. Callers must keep the
+    /// tail bits beyond the row count zero (the [`RowSet`] invariant).
+    pub(crate) fn plane_words_mut(&mut self, col: usize) -> &mut [u64] {
+        self.planes[col].words_mut()
     }
 
     /// Directly sets one word in one row without charging cycles.
@@ -267,6 +342,50 @@ mod tests {
     use super::*;
 
     #[test]
+    fn transpose64_is_a_transpose() {
+        // Deterministic pseudo-random matrix.
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut a = [0u64; 64];
+        for v in &mut a {
+            *v = next();
+        }
+        let orig = a;
+        transpose64(&mut a);
+        for (i, &row) in a.iter().enumerate() {
+            for (j, &col) in orig.iter().enumerate() {
+                assert_eq!(row >> j & 1, col >> i & 1, "element ({i},{j}) wrong");
+            }
+        }
+        // Involution: transposing twice restores the matrix.
+        transpose64(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn load_partial_rows_preserves_rest_and_handles_blocks() {
+        // Cross the 64-row block boundary with a partial final block.
+        let mut cam = CamArray::new(100, 6).unwrap();
+        let f = Field::new(0, 6);
+        cam.broadcast_field(f, 0b10_1010, &RowSet::all(100))
+            .unwrap();
+        let data: Vec<u64> = (0..70).map(|i| i % 64).collect();
+        cam.load_field(f, &data).unwrap();
+        let out = cam.read_field(f);
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(out[i], v, "row {i}");
+        }
+        for (row, &v) in out.iter().enumerate().skip(70) {
+            assert_eq!(v, 0b10_1010, "row {row} must keep contents");
+        }
+    }
+
+    #[test]
     fn load_read_roundtrip() {
         let mut cam = CamArray::new(5, 10).unwrap();
         let f = Field::new(2, 6);
@@ -282,7 +401,8 @@ mod tests {
     fn compare_matches_on_all_masked_columns() {
         let mut cam = CamArray::new(4, 4).unwrap();
         let f = Field::new(0, 4);
-        cam.load_field(f, &[0b1010, 0b1000, 0b0010, 0b1010]).unwrap();
+        cam.load_field(f, &[0b1010, 0b1000, 0b0010, 0b1010])
+            .unwrap();
         let tag = cam.compare(&[(1, true), (3, true)]);
         assert_eq!(tag.iter_set().collect::<Vec<_>>(), vec![0, 3]);
         let tag = cam.compare(&[(0, false)]);

@@ -1,5 +1,5 @@
 use crate::lut::{self, Lut, Slot};
-use crate::{ApError, CamArray, CycleStats, Field, RowSet};
+use crate::{ApError, CamArray, CycleStats, ExecBackend, Field, RowSet};
 
 /// Geometry of one AP tile.
 ///
@@ -78,9 +78,22 @@ pub enum Overflow {
 #[derive(Debug, Clone)]
 pub struct ApCore {
     cam: CamArray,
+    backend: ExecBackend,
     carry_col: usize,
     flag_col: usize,
     next_col: usize,
+    /// Cached all-rows set (the microcode engine's ungated tag).
+    all_rows: RowSet,
+    /// Reusable tag scratch: one compare target reused across every
+    /// cycle instead of a fresh allocation per compare.
+    tag_scratch: RowSet,
+    /// Reusable bound-column buffers for the LUT pass engine.
+    match_buf: Vec<(usize, bool)>,
+    write_buf: Vec<(usize, bool)>,
+    /// Reusable word gather buffers for the `FastWord` backend.
+    pub(crate) vals_a: Vec<u64>,
+    pub(crate) vals_b: Vec<u64>,
+    pub(crate) vals_r: Vec<u64>,
 }
 
 impl ApCore {
@@ -91,16 +104,46 @@ impl ApCore {
     ///
     /// Returns [`ApError::BadConfig`] for degenerate geometries.
     pub fn new(config: ApConfig) -> Result<Self, ApError> {
+        Self::with_backend(config, ExecBackend::default())
+    }
+
+    /// Builds an AP tile executing on the given backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApError::BadConfig`] for degenerate geometries.
+    pub fn with_backend(config: ApConfig, backend: ExecBackend) -> Result<Self, ApError> {
         if config.cols < 3 {
             return Err(ApError::BadConfig("need at least 3 columns"));
         }
         let cam = CamArray::new(config.rows, config.cols)?;
         Ok(Self {
             cam,
+            backend,
             carry_col: 0,
             flag_col: 1,
             next_col: 2,
+            all_rows: RowSet::all(config.rows),
+            tag_scratch: RowSet::new(config.rows),
+            match_buf: Vec::with_capacity(8),
+            write_buf: Vec::with_capacity(8),
+            vals_a: Vec::new(),
+            vals_b: Vec::new(),
+            vals_r: Vec::new(),
         })
+    }
+
+    /// The execution backend in use.
+    #[must_use]
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
+    }
+
+    /// Switches the execution backend. Field contents and accumulated
+    /// statistics are carried over unchanged (both backends maintain
+    /// identical CAM state).
+    pub fn set_backend(&mut self, backend: ExecBackend) {
+        self.backend = backend;
     }
 
     /// Number of rows.
@@ -155,6 +198,21 @@ impl ApCore {
         &self.cam
     }
 
+    /// Mutable CAM access for the `FastWord` engine.
+    pub(crate) fn cam_mut(&mut self) -> &mut CamArray {
+        &mut self.cam
+    }
+
+    /// The reserved carry/borrow column.
+    pub(crate) fn carry_col(&self) -> usize {
+        self.carry_col
+    }
+
+    /// The reserved predication-flag column.
+    pub(crate) fn flag_col(&self) -> usize {
+        self.flag_col
+    }
+
     // ---- host I/O -------------------------------------------------------
 
     /// Loads one word per row into `field` (bit-serial: `width` cycles).
@@ -172,8 +230,13 @@ impl ApCore {
     ///
     /// See [`CamArray::broadcast_field`].
     pub fn broadcast(&mut self, field: Field, value: u64) -> Result<(), ApError> {
-        let all = RowSet::all(self.rows());
-        self.cam.broadcast_field(field, value, &all)
+        self.broadcast_all(field, value)
+    }
+
+    /// Allocation-free ungated broadcast (the cached all-rows tag).
+    pub(crate) fn broadcast_all(&mut self, field: Field, value: u64) -> Result<(), ApError> {
+        let Self { cam, all_rows, .. } = self;
+        cam.broadcast_field(field, value, all_rows)
     }
 
     /// Broadcasts a constant into `field` on the rows of `tag`.
@@ -206,27 +269,44 @@ impl ApCore {
 
     /// Runs one LUT over one bit position. `bind` maps slots to concrete
     /// columns; `gate` adds an extra match condition (row predication).
-    fn run_lut_bit(&mut self, lut: &Lut, bind: impl Fn(Slot) -> usize, gate: Option<(usize, bool)>) {
+    ///
+    /// Allocation-free: the bound-column buffers and the tag register
+    /// are reused across every cycle.
+    fn run_lut_bit(
+        &mut self,
+        lut: &Lut,
+        bind: impl Fn(Slot) -> usize,
+        gate: Option<(usize, bool)>,
+    ) {
         for pass in &lut.passes {
-            let mut match_cols: Vec<(usize, bool)> = pass
-                .match_bits
-                .iter()
-                .map(|&(s, v)| (bind(s), v))
-                .collect();
-            if let Some(g) = gate {
-                match_cols.push(g);
+            self.match_buf.clear();
+            for &(s, v) in &pass.match_bits {
+                self.match_buf.push((bind(s), v));
             }
-            let tag = self.cam.compare(&match_cols);
-            let write_cols: Vec<(usize, bool)> =
-                pass.write_bits.iter().map(|&(s, v)| (bind(s), v)).collect();
-            self.cam.write(&tag, &write_cols);
+            if let Some(g) = gate {
+                self.match_buf.push(g);
+            }
+            self.write_buf.clear();
+            for &(s, v) in &pass.write_bits {
+                self.write_buf.push((bind(s), v));
+            }
+            let Self {
+                cam,
+                tag_scratch,
+                match_buf,
+                write_buf,
+                ..
+            } = self;
+            cam.compare_into(match_buf, tag_scratch);
+            cam.write(tag_scratch, write_buf);
         }
     }
 
     /// Clears the carry column (one write cycle).
     fn clear_carry(&mut self) {
-        let all = RowSet::all(self.rows());
-        self.cam.write(&all, &[(self.carry_col, false)]);
+        let cc = self.carry_col;
+        let Self { cam, all_rows, .. } = self;
+        cam.write(all_rows, &[(cc, false)]);
     }
 
     // ---- logic ----------------------------------------------------------
@@ -249,9 +329,13 @@ impl ApCore {
         if r.overlaps(&a) || r.overlaps(&b) {
             return Err(ApError::FieldOverlap);
         }
+        if self.backend == ExecBackend::FastWord {
+            return self.fw_xor(a, b, r);
+        }
         let all = RowSet::all(self.rows());
         self.cam.broadcast_field(r, 0, &all)?;
         let xor = lut::xor();
+        let copy = lut::copy();
         for i in 0..w {
             // Missing operand bits beyond a narrower field read as 0.
             let cc = self.carry_col;
@@ -266,7 +350,6 @@ impl ApCore {
             } else {
                 let (src, _other) = if i < a.width() { (a, b) } else { (b, a) };
                 // XOR with implicit 0: copy the remaining operand bit.
-                let copy = lut::copy();
                 let bind = move |s: Slot| match s {
                     Slot::A => src.col(i),
                     Slot::R => r.col(i),
@@ -294,6 +377,9 @@ impl ApCore {
                 value: src.width() as u64,
                 width: dst.width(),
             });
+        }
+        if self.backend == ExecBackend::FastWord {
+            return self.fw_copy(src, dst);
         }
         let copy = lut::copy();
         let cc = self.carry_col;
@@ -351,6 +437,9 @@ impl ApCore {
                 width: acc.width(),
             });
         }
+        if self.backend == ExecBackend::FastWord {
+            return self.fw_add_into_gated(acc, src, gate);
+        }
         self.clear_carry();
         let add = lut::add_in_place();
         let cc = self.carry_col;
@@ -404,6 +493,9 @@ impl ApCore {
                 value: src.width() as u64,
                 width: acc.width(),
             });
+        }
+        if self.backend == ExecBackend::FastWord {
+            return self.fw_sub_into_gated(acc, src, gate);
         }
         self.clear_carry();
         let sub = lut::sub_in_place();
@@ -469,6 +561,9 @@ impl ApCore {
                 width: r.width(),
             });
         }
+        if self.backend == ExecBackend::FastWord {
+            return self.fw_mul(a, b, r);
+        }
         let all = RowSet::all(self.rows());
         self.cam.broadcast_field(r, 0, &all)?;
         for j in 0..b.width() {
@@ -506,6 +601,9 @@ impl ApCore {
         if k >= field.width() {
             return self.cam.broadcast_field(field, 0, &all);
         }
+        if self.backend == ExecBackend::FastWord {
+            return self.fw_shr_const(field, k);
+        }
         let copy = lut::copy();
         let cc = self.carry_col;
         for i in 0..field.width() - k {
@@ -530,6 +628,9 @@ impl ApCore {
     pub fn shr_variable(&mut self, field: Field, amount: Field) -> Result<(), ApError> {
         if field.overlaps(&amount) {
             return Err(ApError::FieldOverlap);
+        }
+        if self.backend == ExecBackend::FastWord {
+            return self.fw_shr_variable(field, amount);
         }
         let copy = lut::copy();
         let cc = self.carry_col;
@@ -563,6 +664,10 @@ impl ApCore {
     ///
     /// Overlap/width errors as for [`ApCore::xor`].
     pub fn and(&mut self, a: Field, b: Field, r: Field) -> Result<(), ApError> {
+        if self.backend == ExecBackend::FastWord {
+            self.bitwise_check(a, b, r)?;
+            return self.fw_and(a, b, r);
+        }
         self.bitwise(&lut::and(), a, b, r)
     }
 
@@ -572,6 +677,10 @@ impl ApCore {
     ///
     /// Overlap/width errors as for [`ApCore::xor`].
     pub fn or(&mut self, a: Field, b: Field, r: Field) -> Result<(), ApError> {
+        if self.backend == ExecBackend::FastWord {
+            self.bitwise_check(a, b, r)?;
+            return self.fw_or(a, b, r);
+        }
         self.bitwise(&lut::or(), a, b, r)
     }
 
@@ -591,6 +700,9 @@ impl ApCore {
                 width: r.width(),
             });
         }
+        if self.backend == ExecBackend::FastWord {
+            return self.fw_not(a, r);
+        }
         let not = lut::not();
         let cc = self.carry_col;
         for i in 0..a.width() {
@@ -604,9 +716,8 @@ impl ApCore {
         Ok(())
     }
 
-    /// Shared engine for the two-operand bitwise LUTs (result
-    /// pre-cleared; operands zero-extended to the wider width).
-    fn bitwise(&mut self, lut: &Lut, a: Field, b: Field, r: Field) -> Result<(), ApError> {
+    /// Validation shared by both backends of the bitwise engine.
+    fn bitwise_check(&self, a: Field, b: Field, r: Field) -> Result<(), ApError> {
         let w = a.width().max(b.width());
         if r.width() < w {
             return Err(ApError::WidthOverflow {
@@ -617,6 +728,14 @@ impl ApCore {
         if r.overlaps(&a) || r.overlaps(&b) {
             return Err(ApError::FieldOverlap);
         }
+        Ok(())
+    }
+
+    /// Shared engine for the two-operand bitwise LUTs (result
+    /// pre-cleared; operands zero-extended to the wider width).
+    fn bitwise(&mut self, lut: &Lut, a: Field, b: Field, r: Field) -> Result<(), ApError> {
+        let w = a.width().max(b.width());
+        self.bitwise_check(a, b, r)?;
         let all = RowSet::all(self.rows());
         self.cam.broadcast_field(r, 0, &all)?;
         let cc = self.carry_col;
@@ -632,19 +751,16 @@ impl ApCore {
         // Bits where only one operand exists: AND with 0 stays 0 (done);
         // OR/XOR-style LUTs that set R on a single operand bit are
         // handled by matching that operand against the implicit zero.
+        // Does this LUT set R when the other operand is 0?
+        let sets_on_single = lut.passes.iter().any(|p| {
+            p.match_bits.contains(&(Slot::A, true)) && !p.match_bits.contains(&(Slot::B, true))
+                || p.match_bits.contains(&(Slot::B, true))
+                    && !p.match_bits.contains(&(Slot::A, true))
+        });
+        let copy = lut::copy();
         for i in a.width().min(b.width())..w {
             let src = if i < a.width() { a } else { b };
-            // Does this LUT set R when the other operand is 0?
-            let sets_on_single = lut
-                .passes
-                .iter()
-                .any(|p| {
-                    p.match_bits.contains(&(Slot::A, true)) && !p.match_bits.contains(&(Slot::B, true))
-                        || p.match_bits.contains(&(Slot::B, true))
-                            && !p.match_bits.contains(&(Slot::A, true))
-                });
             if sets_on_single {
-                let copy = lut::copy();
                 let bind = move |s: Slot| match s {
                     Slot::A => src.col(i),
                     Slot::R => r.col(i),
@@ -667,13 +783,7 @@ impl ApCore {
     ///
     /// As [`ApCore::mul`] and [`ApCore::reduce_sum_2d`]; `sum` must be
     /// wide enough for the full dot product.
-    pub fn dot(
-        &mut self,
-        a: Field,
-        b: Field,
-        prod: Field,
-        sum: Field,
-    ) -> Result<u64, ApError> {
+    pub fn dot(&mut self, a: Field, b: Field, prod: Field, sum: Field) -> Result<u64, ApError> {
         self.mul(a, b, prod)?;
         let sums = self.reduce_sum_2d(prod, sum, self.rows())?;
         Ok(sums[0])
@@ -766,9 +876,7 @@ impl ApCore {
         mode: Overflow,
     ) -> Result<Vec<u64>, ApError> {
         if segment_rows == 0 || !self.rows().is_multiple_of(segment_rows) {
-            return Err(ApError::BadConfig(
-                "segment_rows must divide the row count",
-            ));
+            return Err(ApError::BadConfig("segment_rows must divide the row count"));
         }
         let words = self.cam.read_field(field);
         let mut sums = Vec::with_capacity(self.rows() / segment_rows);
@@ -794,8 +902,10 @@ impl ApCore {
         }
         let stages = segment_rows.next_power_of_two().trailing_zeros() as u64;
         let cycles = 8 * stages + 1;
-        let events =
-            (segment_rows as u64 - 1) * field.width() as u64 * 3 * (self.rows() / segment_rows) as u64;
+        let events = (segment_rows as u64 - 1)
+            * field.width() as u64
+            * 3
+            * (self.rows() / segment_rows) as u64;
         self.cam.charge_2d(cycles, events);
         Ok(sums)
     }
@@ -839,7 +949,13 @@ impl ApCore {
             return Err(ApError::DivisionByZero);
         }
         match style {
+            DivStyle::Restoring if self.backend == ExecBackend::FastWord => {
+                self.fw_divide_restoring(num, den, quot, frac_bits)
+            }
             DivStyle::Restoring => self.divide_restoring(num, den, quot, frac_bits),
+            // The reciprocal microprogram is controller-driven: its
+            // constituent ops (mul, shifts, copies, compares) dispatch
+            // per backend themselves, so the body is shared.
             DivStyle::ControllerReciprocal => {
                 self.divide_reciprocal(num, den, quot, frac_bits, &dens)
             }
@@ -967,11 +1083,11 @@ impl ApCore {
 
     // ---- scratch management ----------------------------------------------
 
-    fn alloc_scratch(&mut self, width: usize) -> Result<Field, ApError> {
+    pub(crate) fn alloc_scratch(&mut self, width: usize) -> Result<Field, ApError> {
         self.alloc_field(width)
     }
 
-    fn release_scratch(&mut self, field: Field) {
+    pub(crate) fn release_scratch(&mut self, field: Field) {
         // Scratch fields are stack-allocated at the end of the column
         // space; release only when the field is the most recent
         // allocation (LIFO), which all internal callers respect.
@@ -1286,10 +1402,7 @@ mod tests {
             xs.iter().zip(&ys).map(|(x, y)| x | y).collect::<Vec<_>>()
         );
         ap.not(a, r).unwrap();
-        assert_eq!(
-            ap.read(r),
-            xs.iter().map(|x| !x & 63).collect::<Vec<_>>()
-        );
+        assert_eq!(ap.read(r), xs.iter().map(|x| !x & 63).collect::<Vec<_>>());
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! * [`ApCore`] — the controller: word-level operations (add, subtract,
 //!   multiply, square, shifts, copy, broadcast, max-search, 2D reduction,
 //!   division) composed from LUT passes over [`Field`]s,
+//! * [`ExecBackend`] — the dual execution engine: every `ApCore` op runs
+//!   either as interpreted bit-serial microcode (ground truth) or on a
+//!   fused word-parallel fast path that is bit- and cycle-identical by
+//!   contract (see the `backend` module docs for the cost model),
+//! * [`batch`] — the multi-tile batch driver: independent jobs fanned
+//!   across host threads, one simulated tile per job,
 //! * [`cost`] — the paper's Table II analytic runtime formulas,
 //! * [`EnergyModel`] / [`AreaModel`] — calibrated 16 nm energy and area
 //!   models driven by the counted cell events.
@@ -42,10 +48,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cost;
 pub mod lut;
 
 mod area;
+mod backend;
 mod cam;
 mod core_ops;
 mod energy;
@@ -54,6 +62,7 @@ mod rowset;
 mod stats;
 
 pub use area::AreaModel;
+pub use backend::ExecBackend;
 pub use cam::CamArray;
 pub use core_ops::{ApConfig, ApCore, DivStyle, Overflow};
 pub use energy::{EnergyBreakdown, EnergyModel};
@@ -97,7 +106,10 @@ impl core::fmt::Display for ApError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             Self::ColumnCapacity { needed, available } => {
-                write!(f, "column capacity exceeded: need {needed}, have {available}")
+                write!(
+                    f,
+                    "column capacity exceeded: need {needed}, have {available}"
+                )
             }
             Self::RowCapacity { needed, available } => {
                 write!(f, "row capacity exceeded: need {needed}, have {available}")

@@ -85,11 +85,17 @@ pub fn add_in_place() -> Lut {
         name: "add",
         passes: vec![
             // (0,1,1) -> carry 1, sum 0
-            pass(&[(C, false), (A, true), (B, true)], &[(C, true), (B, false)]),
+            pass(
+                &[(C, false), (A, true), (B, true)],
+                &[(C, true), (B, false)],
+            ),
             // (0,1,0) -> sum 1
             pass(&[(C, false), (A, true), (B, false)], &[(B, true)]),
             // (1,0,0) -> carry 0, sum 1
-            pass(&[(C, true), (A, false), (B, false)], &[(C, false), (B, true)]),
+            pass(
+                &[(C, true), (A, false), (B, false)],
+                &[(C, false), (B, true)],
+            ),
             // (1,0,1) -> sum 0 (carry stays 1)
             pass(&[(C, true), (A, false), (B, true)], &[(B, false)]),
         ],
@@ -105,11 +111,17 @@ pub fn sub_in_place() -> Lut {
         name: "sub",
         passes: vec![
             // (0,1,0): 0-1 -> diff 1, borrow 1
-            pass(&[(C, false), (A, true), (B, false)], &[(C, true), (B, true)]),
+            pass(
+                &[(C, false), (A, true), (B, false)],
+                &[(C, true), (B, true)],
+            ),
             // (0,1,1): 1-1 -> diff 0
             pass(&[(C, false), (A, true), (B, true)], &[(B, false)]),
             // (1,0,1): 1-0-1 -> diff 0, borrow 0
-            pass(&[(C, true), (A, false), (B, true)], &[(C, false), (B, false)]),
+            pass(
+                &[(C, true), (A, false), (B, true)],
+                &[(C, false), (B, false)],
+            ),
             // (1,0,0): 0-0-1 -> diff 1 (borrow stays 1)
             pass(&[(C, true), (A, false), (B, false)], &[(B, true)]),
         ],

@@ -148,6 +148,19 @@ impl RowSet {
         }
     }
 
+    /// Sets every bit to `value` in place (allocation-free counterpart
+    /// of [`RowSet::new`] / [`RowSet::all`], used by the reusable tag
+    /// scratch of the microcode engine).
+    pub fn fill(&mut self, value: bool) {
+        let word = if value { u64::MAX } else { 0 };
+        for w in &mut self.words {
+            *w = word;
+        }
+        if value {
+            self.trim();
+        }
+    }
+
     /// In-place complement.
     pub fn invert(&mut self) {
         for w in &mut self.words {

@@ -43,6 +43,25 @@ impl CycleStats {
         self.write_cell_events += tagged_rows * cols;
     }
 
+    /// Records `cycles` compare cycles touching `cell_events` cells in
+    /// total.
+    ///
+    /// This is the bulk entry point of the shared cost model: the
+    /// `FastWord` backend computes the same per-cycle charges the
+    /// microcode backend issues through [`CycleStats::charge_compare`],
+    /// but aggregated per operation.
+    pub fn charge_compares_bulk(&mut self, cycles: u64, cell_events: u64) {
+        self.compare_cycles += cycles;
+        self.compare_cell_events += cell_events;
+    }
+
+    /// Records `cycles` write cycles touching `cell_events` cells in
+    /// total (bulk counterpart of [`CycleStats::charge_write`]).
+    pub fn charge_writes_bulk(&mut self, cycles: u64, cell_events: u64) {
+        self.write_cycles += cycles;
+        self.write_cell_events += cell_events;
+    }
+
     /// Records `cycles` cycles of 2D (row-parallel) operation touching
     /// `cell_events` cells in total, split evenly between compare-like
     /// and write-like activity.

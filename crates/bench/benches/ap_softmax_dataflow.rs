@@ -11,7 +11,9 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ap_dataflow");
     g.sample_size(10);
     for len in [128usize, 512, 2048] {
-        let scores: Vec<f64> = (0..len).map(|i| -f64::from((i % 97) as u32) * 0.07).collect();
+        let scores: Vec<f64> = (0..len)
+            .map(|i| -f64::from((i % 97) as u32) * 0.07)
+            .collect();
         for (name, style) in [
             ("restoring", DivStyle::Restoring),
             ("reciprocal", DivStyle::ControllerReciprocal),
@@ -34,7 +36,9 @@ fn bench(c: &mut Criterion) {
         let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
             .unwrap()
             .with_div_style(style);
-        let scores: Vec<f64> = (0..1024).map(|i| -f64::from((i % 97) as u32) * 0.07).collect();
+        let scores: Vec<f64> = (0..1024)
+            .map(|i| -f64::from((i % 97) as u32) * 0.07)
+            .collect();
         let run = mapping.execute_floats(&scores).unwrap();
         println!(
             "division ablation {name}: {} cycles/vector ({} cell events)",

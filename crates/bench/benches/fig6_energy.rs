@@ -13,8 +13,14 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fig6/compare_point", |b| {
         b.iter(|| {
             black_box(
-                ch.compare(&model, OperatingPoint { seq_len: 2048, batch: 8 })
-                    .unwrap(),
+                ch.compare(
+                    &model,
+                    OperatingPoint {
+                        seq_len: 2048,
+                        batch: 8,
+                    },
+                )
+                .unwrap(),
             )
         })
     });

@@ -8,15 +8,19 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("scalar_softmax");
     for len in [64usize, 1024, 4096] {
-        let scores: Vec<f64> = (0..len).map(|i| -f64::from((i % 89) as u32) * 0.08).collect();
+        let scores: Vec<f64> = (0..len)
+            .map(|i| -f64::from((i % 89) as u32) * 0.08)
+            .collect();
         g.bench_with_input(BenchmarkId::new("float", len), &scores, |b, s| {
             b.iter(|| black_box(float_ref::softmax(s)))
         });
         for m in [6u32, 8] {
             let sm = IntSoftmax::new(PrecisionConfig::new(m, 0, 16)).unwrap();
-            g.bench_with_input(BenchmarkId::new(format!("int_m{m}"), len), &scores, |b, s| {
-                b.iter(|| black_box(sm.run_floats(s).unwrap().sum))
-            });
+            g.bench_with_input(
+                BenchmarkId::new(format!("int_m{m}"), len),
+                &scores,
+                |b, s| b.iter(|| black_box(sm.run_floats(s).unwrap().sum)),
+            );
         }
     }
     g.finish();

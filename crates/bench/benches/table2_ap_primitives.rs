@@ -7,7 +7,10 @@ use softmap_ap::{ApConfig, ApCore, DivStyle};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", softmap_eval::table2::render(&softmap_eval::table2::run()));
+    println!(
+        "{}",
+        softmap_eval::table2::render(&softmap_eval::table2::run())
+    );
 
     let rows = 1024usize;
     let data: Vec<u64> = (0..rows as u64).map(|i| i % 64).collect();

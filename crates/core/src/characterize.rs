@@ -235,8 +235,8 @@ mod tests {
             .iter()
             .map(|c| c.gpus[0].norm_energy)
             .fold(0.0, f64::max);
-        let a100_mean: f64 = sweep.iter().map(|c| c.gpus[0].norm_energy).sum::<f64>()
-            / sweep.len() as f64;
+        let a100_mean: f64 =
+            sweep.iter().map(|c| c.gpus[0].norm_energy).sum::<f64>() / sweep.len() as f64;
         assert!(
             a100_max > 100.0 && a100_max < 5000.0,
             "max energy ratio {a100_max}"
@@ -246,8 +246,8 @@ mod tests {
             "mean energy ratio {a100_mean}"
         );
         // 3090 ratios exceed A100 ratios (paper: 710 vs 289 on average)
-        let r3090_mean: f64 = sweep.iter().map(|c| c.gpus[1].norm_energy).sum::<f64>()
-            / sweep.len() as f64;
+        let r3090_mean: f64 =
+            sweep.iter().map(|c| c.gpus[1].norm_energy).sum::<f64>() / sweep.len() as f64;
         assert!(r3090_mean > a100_mean);
     }
 
@@ -271,7 +271,13 @@ mod tests {
         for model in [llama2_7b(), llama2_13b()] {
             for batch in [1usize, 8, 32] {
                 let short = ch
-                    .compare(&model, OperatingPoint { seq_len: 256, batch })
+                    .compare(
+                        &model,
+                        OperatingPoint {
+                            seq_len: 256,
+                            batch,
+                        },
+                    )
                     .unwrap();
                 assert!(
                     short.gpus[0].norm_latency < 1.0,
@@ -280,7 +286,13 @@ mod tests {
                     short.gpus[0].norm_latency
                 );
                 let long = ch
-                    .compare(&model, OperatingPoint { seq_len: 4096, batch })
+                    .compare(
+                        &model,
+                        OperatingPoint {
+                            seq_len: 4096,
+                            batch,
+                        },
+                    )
                     .unwrap();
                 assert!(
                     long.gpus[0].norm_latency > 1.0,
@@ -302,7 +314,13 @@ mod tests {
         // EXPERIMENTS.md. The 7b magnitude lands inside the band.
         let ch = ch();
         let c7 = ch
-            .compare(&llama2_7b(), OperatingPoint { seq_len: 4096, batch: 1 })
+            .compare(
+                &llama2_7b(),
+                OperatingPoint {
+                    seq_len: 4096,
+                    batch: 1,
+                },
+            )
             .unwrap();
         assert!(
             c7.gpus[0].norm_latency > 1.5 && c7.gpus[0].norm_latency < 15.0,
@@ -310,7 +328,13 @@ mod tests {
             c7.gpus[0].norm_latency
         );
         let c = ch
-            .compare(&llama2_70b(), OperatingPoint { seq_len: 4096, batch: 8 })
+            .compare(
+                &llama2_70b(),
+                OperatingPoint {
+                    seq_len: 4096,
+                    batch: 8,
+                },
+            )
             .unwrap();
         let a100 = c.gpus[0].norm_latency;
         let r3090 = c.gpus[1].norm_latency;

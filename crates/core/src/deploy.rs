@@ -11,7 +11,7 @@
 //! unsegmented, so the default is one vector in flight per tile).
 //! See DESIGN.md ("Reconciliation note") for the full discussion.
 
-use softmap_ap::{AreaModel, CycleStats, DivStyle, EnergyModel};
+use softmap_ap::{AreaModel, CycleStats, DivStyle, EnergyModel, ExecBackend};
 use softmap_softmax::PrecisionConfig;
 
 use crate::mapping::ApSoftmax;
@@ -44,6 +44,11 @@ pub struct ApDeployment {
     /// Whether several short vectors may share a tile (requires a
     /// segmented reduction network; ablation knob).
     pub packing: bool,
+    /// Simulation backend used to characterize the microcode. Both
+    /// backends charge identical [`CycleStats`] (the dual-backend
+    /// contract), so this only trades host simulation time; the default
+    /// is the fast word-level engine.
+    pub backend: ExecBackend,
 }
 
 impl Default for ApDeployment {
@@ -54,6 +59,7 @@ impl Default for ApDeployment {
             clock_ghz: 1.0,
             div_style: DivStyle::Restoring,
             packing: false,
+            backend: ExecBackend::FastWord,
         }
     }
 }
@@ -125,7 +131,9 @@ impl WorkloadModel {
     /// Propagates configuration errors from the mapping.
     pub fn new(cfg: PrecisionConfig, deploy: ApDeployment) -> Result<Self, CoreError> {
         Ok(Self {
-            mapping: ApSoftmax::new(cfg)?.with_div_style(deploy.div_style),
+            mapping: ApSoftmax::new(cfg)?
+                .with_div_style(deploy.div_style)
+                .with_backend(deploy.backend),
             deploy,
             energy: EnergyModel::nm16(),
             cache: std::sync::Mutex::new(std::collections::HashMap::new()),
@@ -358,13 +366,19 @@ mod tests {
             m.cost(1, 1, 8192, 1),
             Err(CoreError::BadWorkload(_))
         ));
-        assert!(matches!(m.cost(0, 1, 128, 1), Err(CoreError::BadWorkload(_))));
+        assert!(matches!(
+            m.cost(0, 1, 128, 1),
+            Err(CoreError::BadWorkload(_))
+        ));
     }
 
     #[test]
     fn area_reference_matches_paper_shape() {
-        let m = WorkloadModel::new(PrecisionConfig::paper_best(), ApDeployment::area_reference())
-            .unwrap();
+        let m = WorkloadModel::new(
+            PrecisionConfig::paper_best(),
+            ApDeployment::area_reference(),
+        )
+        .unwrap();
         let a7 = m.area_mm2(32).unwrap();
         let a13 = m.area_mm2(40).unwrap();
         let a70 = m.area_mm2(64).unwrap();

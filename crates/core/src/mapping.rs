@@ -7,7 +7,8 @@
 //! specification in `softmap-softmax` (verified by integration tests and
 //! by [`ApSoftmaxRun::codes`] comparisons in this module's tests).
 
-use softmap_ap::{ApConfig, ApCore, CycleStats, DivStyle, Field, Overflow};
+use softmap_ap::batch::{self, BatchStats};
+use softmap_ap::{ApConfig, ApCore, CycleStats, DivStyle, ExecBackend, Field, Overflow};
 use softmap_softmax::{IntSoftmax, PrecisionConfig, SumMode};
 
 use crate::CoreError;
@@ -86,6 +87,7 @@ pub struct ApSoftmax {
     sm: IntSoftmax,
     div_style: DivStyle,
     layout: Layout,
+    backend: ExecBackend,
 }
 
 struct HalfFields {
@@ -115,6 +117,7 @@ impl ApSoftmax {
             sm: IntSoftmax::new(cfg)?,
             div_style: DivStyle::Restoring,
             layout: Layout::TwoWordsPerRow,
+            backend: ExecBackend::default(),
         })
     }
 
@@ -123,6 +126,21 @@ impl ApSoftmax {
     pub fn with_div_style(mut self, style: DivStyle) -> Self {
         self.div_style = style;
         self
+    }
+
+    /// Selects the AP execution backend. `FastWord` produces bit- and
+    /// cycle-identical results at a fraction of the simulation time
+    /// (the backends share one cost model; see `softmap_ap::backend`).
+    #[must_use]
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The AP execution backend in use.
+    #[must_use]
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
     }
 
     /// Selects the row packing layout.
@@ -150,6 +168,37 @@ impl ApSoftmax {
         self.execute_codes(&self.sm.quantize(scores))
     }
 
+    /// Executes a whole batch of softmax vectors, one simulated AP tile
+    /// per vector, fanned out across host threads — the multi-tile
+    /// analogue of [`ApSoftmax::execute_floats`]. Results are returned
+    /// in input order and are identical to running each vector alone.
+    ///
+    /// # Errors
+    ///
+    /// The first (by input order) failing vector's error; see
+    /// [`ApSoftmax::execute_codes`].
+    pub fn execute_batch_floats(&self, batch: &[Vec<f64>]) -> Result<Vec<ApSoftmaxRun>, CoreError> {
+        batch::try_parallel_map(batch, |scores| self.execute_floats(scores))
+    }
+
+    /// Batched [`ApSoftmax::execute_codes`]; see
+    /// [`ApSoftmax::execute_batch_floats`].
+    ///
+    /// # Errors
+    ///
+    /// The first failing vector's error.
+    pub fn execute_batch_codes(&self, batch: &[Vec<i64>]) -> Result<Vec<ApSoftmaxRun>, CoreError> {
+        batch::try_parallel_map(batch, |codes| self.execute_codes(codes))
+    }
+
+    /// Aggregate tile statistics for a batch of runs: total work across
+    /// tiles plus the concurrent-hardware makespan.
+    #[must_use]
+    pub fn batch_stats(runs: &[ApSoftmaxRun]) -> BatchStats {
+        let per_tile: Vec<CycleStats> = runs.iter().map(|r| r.total).collect();
+        BatchStats::aggregate(&per_tile)
+    }
+
     /// Executes the sixteen-step dataflow of Fig. 5 on quantized codes.
     ///
     /// # Errors
@@ -161,8 +210,9 @@ impl ApSoftmax {
         if codes.is_empty() {
             return Err(CoreError::EmptyInput);
         }
-        // Validate codes through the scalar spec's range check.
-        let _ = self.sm.trace_codes(codes)?;
+        // Validate codes through the scalar spec's range check (cheap:
+        // no full trace).
+        self.sm.validate_codes(codes)?;
         match self.layout {
             Layout::TwoWordsPerRow if codes.len().is_multiple_of(2) && codes.len() >= 2 => {
                 self.execute_packed(codes)
@@ -237,7 +287,7 @@ impl ApSoftmax {
         let shared = (2 * m + 1) + sum_bits + sum_bits + m;
         let scratch = 2 * (sum_bits + 2) + 2 * (w.result as usize + w.vapprox as usize + 2);
         let cols = 2 + halves.len() * self.half_width() + shared + scratch;
-        let mut ap = ApCore::new(ApConfig::new(rows, cols))?;
+        let mut ap = ApCore::with_backend(ApConfig::new(rows, cols), self.backend)?;
 
         let mut fields = Vec::new();
         for _ in halves {
@@ -253,15 +303,15 @@ impl ApSoftmax {
 
         let mut steps: Vec<StepStats> = Vec::new();
         let mut mark = ap.stats();
-        let step = |ap: &ApCore, name: &'static str, steps: &mut Vec<StepStats>,
-                        mark: &mut CycleStats| {
-            let now = ap.stats();
-            steps.push(StepStats {
-                name,
-                stats: now.since(mark),
-            });
-            *mark = now;
-        };
+        let step =
+            |ap: &ApCore, name: &'static str, steps: &mut Vec<StepStats>, mark: &mut CycleStats| {
+                let now = ap.stats();
+                steps.push(StepStats {
+                    name,
+                    stats: now.since(mark),
+                });
+                *mark = now;
+            };
 
         // Step 1: write v (as magnitudes |code|; the sign is implicit in
         // the paper's non-positive input convention).
@@ -401,13 +451,21 @@ mod tests {
     #[test]
     fn packed_layout_matches_scalar() {
         let scores = [0.0, -0.7, -1.9, -3.2, -0.1, -5.5, -2.2, -6.9];
-        assert_bit_exact(PrecisionConfig::paper_best(), &scores, Layout::TwoWordsPerRow);
+        assert_bit_exact(
+            PrecisionConfig::paper_best(),
+            &scores,
+            Layout::TwoWordsPerRow,
+        );
     }
 
     #[test]
     fn unpacked_layout_matches_scalar() {
         let scores = [0.0, -0.7, -1.9, -3.2, -0.1, -5.5, -2.2];
-        assert_bit_exact(PrecisionConfig::paper_best(), &scores, Layout::OneWordPerRow);
+        assert_bit_exact(
+            PrecisionConfig::paper_best(),
+            &scores,
+            Layout::OneWordPerRow,
+        );
     }
 
     #[test]
@@ -477,7 +535,10 @@ mod tests {
         let scores = vec![0.0; 1024];
         let scalar = IntSoftmax::new(cfg).unwrap().run_floats(&scores).unwrap();
         assert!(scalar.sum_overflowed);
-        let run = ApSoftmax::new(cfg).unwrap().execute_floats(&scores).unwrap();
+        let run = ApSoftmax::new(cfg)
+            .unwrap()
+            .execute_floats(&scores)
+            .unwrap();
         assert_eq!(run.sum, scalar.sum);
         assert_eq!(run.codes, scalar.codes);
     }
@@ -487,6 +548,66 @@ mod tests {
         let apsm = ApSoftmax::new(PrecisionConfig::paper_best()).unwrap();
         assert!(matches!(
             apsm.execute_floats(&[]),
+            Err(CoreError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn fast_backend_is_bit_and_cycle_identical_end_to_end() {
+        let scores: Vec<f64> = (0..96).map(|i| -(f64::from(i) * 0.37) % 6.9).collect();
+        for style in [DivStyle::Restoring, DivStyle::ControllerReciprocal] {
+            let micro = ApSoftmax::new(PrecisionConfig::paper_best())
+                .unwrap()
+                .with_div_style(style)
+                .execute_floats(&scores)
+                .unwrap();
+            let fast = ApSoftmax::new(PrecisionConfig::paper_best())
+                .unwrap()
+                .with_div_style(style)
+                .with_backend(softmap_ap::ExecBackend::FastWord)
+                .execute_floats(&scores)
+                .unwrap();
+            assert_eq!(micro.codes, fast.codes);
+            assert_eq!(micro.vapprox, fast.vapprox);
+            assert_eq!(micro.sum, fast.sum);
+            assert_eq!(micro.total, fast.total, "cycle stats must be identical");
+            for (m, f) in micro.steps.iter().zip(&fast.steps) {
+                assert_eq!(m.stats, f.stats, "step {} diverges", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_individual_runs() {
+        let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_backend(softmap_ap::ExecBackend::FastWord);
+        let batch: Vec<Vec<f64>> = (0..9)
+            .map(|v| {
+                (0..32)
+                    .map(|i| -((v * 7 + i) as f64 * 0.21) % 6.5)
+                    .collect()
+            })
+            .collect();
+        let runs = mapping.execute_batch_floats(&batch).unwrap();
+        assert_eq!(runs.len(), batch.len());
+        for (run, scores) in runs.iter().zip(&batch) {
+            let single = mapping.execute_floats(scores).unwrap();
+            assert_eq!(run.codes, single.codes);
+            assert_eq!(run.total, single.total);
+        }
+        let agg = ApSoftmax::batch_stats(&runs);
+        assert_eq!(agg.tiles, 9);
+        assert!(agg.makespan_cycles > 0);
+        assert!(agg.total.cycles() >= agg.makespan_cycles * 9 / 10);
+    }
+
+    #[test]
+    fn batch_propagates_errors() {
+        let mapping = ApSoftmax::new(PrecisionConfig::paper_best()).unwrap();
+        let batch = vec![vec![0.0, -1.0], vec![]];
+        assert!(matches!(
+            mapping.execute_batch_floats(&batch),
             Err(CoreError::EmptyInput)
         ));
     }

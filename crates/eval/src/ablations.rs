@@ -29,7 +29,9 @@ pub struct Ablation {
 /// Propagates mapping/workload errors.
 pub fn run() -> EvalResult<Vec<Ablation>> {
     let cfg = PrecisionConfig::paper_best();
-    let scores: Vec<f64> = (0..1024).map(|i| -f64::from((i % 97) as u32) * 0.07).collect();
+    let scores: Vec<f64> = (0..1024)
+        .map(|i| -f64::from((i % 97) as u32) * 0.07)
+        .collect();
     let mut out = Vec::new();
 
     // Division style: the restoring divider dominates the dataflow; the
@@ -131,7 +133,12 @@ mod tests {
     fn reciprocal_division_is_cheaper() {
         let rows = run().unwrap();
         let div: Vec<&Ablation> = rows.iter().filter(|r| r.axis == "division").collect();
-        assert!(div[1].value < div[0].value * 0.8, "{} vs {}", div[1].value, div[0].value);
+        assert!(
+            div[1].value < div[0].value * 0.8,
+            "{} vs {}",
+            div[1].value,
+            div[0].value
+        );
     }
 
     #[test]

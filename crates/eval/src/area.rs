@@ -26,7 +26,10 @@ pub struct Row {
 ///
 /// Propagates mapping errors.
 pub fn run() -> EvalResult<Vec<Row>> {
-    let model = WorkloadModel::new(PrecisionConfig::paper_best(), ApDeployment::area_reference())?;
+    let model = WorkloadModel::new(
+        PrecisionConfig::paper_best(),
+        ApDeployment::area_reference(),
+    )?;
     let mut rows = Vec::new();
     for (i, cfg) in paper_models().iter().enumerate() {
         rows.push(Row {

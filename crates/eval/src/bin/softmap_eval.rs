@@ -35,8 +35,20 @@ fn run(which: &str) -> Result<(), Box<dyn std::error::Error>> {
         "decode" => print!("{}", decode::render(&decode::run()?)),
         "all" => {
             for e in [
-                "fig1", "table1", "table2", "table3", "table4", "fig6", "fig7", "fig8", "table5",
-                "table6", "area", "amdahl", "ablations", "decode",
+                "fig1",
+                "table1",
+                "table2",
+                "table3",
+                "table4",
+                "fig6",
+                "fig7",
+                "fig8",
+                "table5",
+                "table6",
+                "area",
+                "amdahl",
+                "ablations",
+                "decode",
             ] {
                 println!("==== {e} ====");
                 run(e)?;

@@ -76,7 +76,12 @@ mod tests {
         let pts = run();
         let at = |seq: usize| pts.iter().find(|p| p.seq_len == seq).unwrap().fraction;
         let (a1, a2) = (paper::FIG1_ANCHORS[0], paper::FIG1_ANCHORS[1]);
-        assert!(at(a1.0) <= a1.1 * 1.5, "1024: {} vs paper {}", at(a1.0), a1.1);
+        assert!(
+            at(a1.0) <= a1.1 * 1.5,
+            "1024: {} vs paper {}",
+            at(a1.0),
+            a1.1
+        );
         assert!(
             (at(a2.0) - a2.1).abs() < 0.12,
             "16384: {} vs paper {}",

@@ -66,7 +66,10 @@ pub fn render_panel(model: &LlamaConfig, q: Quantity) -> EvalResult<String> {
         "A100".into(),
         "RTX3090".into(),
     ]);
-    t.title(format!("{fig}: {name} for {} (>1 favours the AP)", model.name));
+    t.title(format!(
+        "{fig}: {name} for {} (>1 favours the AP)",
+        model.name
+    ));
     for c in &sweep {
         t.row(vec![
             c.point.seq_len.to_string(),
@@ -156,8 +159,16 @@ mod tests {
         assert!(s.max_energy_a100 > 100.0 && s.max_energy_a100 < 5000.0);
         assert!(s.mean_energy_a100 > 50.0);
         // Fig. 7 shape: crossover exists
-        assert!(s.min_latency_a100 < 1.0, "min latency ratio {}", s.min_latency_a100);
-        assert!(s.max_latency_a100 > 1.5, "max latency ratio {}", s.max_latency_a100);
+        assert!(
+            s.min_latency_a100 < 1.0,
+            "min latency ratio {}",
+            s.min_latency_a100
+        );
+        assert!(
+            s.max_latency_a100 > 1.5,
+            "max latency ratio {}",
+            s.max_latency_a100
+        );
         // Fig. 8 shape: EDP strongly favours the AP at the top end
         assert!(s.max_edp_a100 > 100.0);
     }

@@ -80,7 +80,9 @@ fn measure_reduction(m: usize, l: usize) -> u64 {
     let mut ap = ApCore::new(ApConfig::new(rows, 4 * m + 24)).unwrap();
     let h0 = ap.alloc_field(m).unwrap();
     let h1 = ap.alloc_field(m).unwrap();
-    let sum = ap.alloc_field(m + 1 + 64usize.ilog2() as usize + 8).unwrap();
+    let sum = ap
+        .alloc_field(m + 1 + 64usize.ilog2() as usize + 8)
+        .unwrap();
     let data: Vec<u64> = (0..rows as u64).map(|i| i % (1 << m)).collect();
     ap.reset_stats();
     ap.load(h0, &data).unwrap();
@@ -160,13 +162,17 @@ pub fn render(rows: &[Row]) -> String {
     t.title("Table II: AP runtimes in cycles — paper formula vs. simulated microcode");
     for r in rows {
         let measured = r.measured.map_or("-".to_string(), |m| m.to_string());
-        let ratio = r
-            .measured
-            .map_or("-".to_string(), |m| format!("{:.2}", m as f64 / r.analytic as f64));
+        let ratio = r.measured.map_or("-".to_string(), |m| {
+            format!("{:.2}", m as f64 / r.analytic as f64)
+        });
         t.row(vec![
             r.function.to_string(),
             r.m.to_string(),
-            if r.l == 0 { "-".into() } else { r.l.to_string() },
+            if r.l == 0 {
+                "-".into()
+            } else {
+                r.l.to_string()
+            },
             r.analytic.to_string(),
             measured,
             ratio,

@@ -49,11 +49,7 @@ pub fn render(rows: &[Row]) -> String {
     for (i, r) in rows.iter().enumerate() {
         t.row(vec![
             r.model.to_string(),
-            format!(
-                "{} ({})",
-                fmt_ratio(r.a100.0),
-                crate::paper::TABLE5_A100[i]
-            ),
+            format!("{} ({})", fmt_ratio(r.a100.0), crate::paper::TABLE5_A100[i]),
             format!("({}, {})", r.a100.1, r.a100.2),
             format!(
                 "{} ({})",

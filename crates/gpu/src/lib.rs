@@ -198,9 +198,12 @@ impl SoftmaxKernelModel {
         let total_bytes = w.total_elements as f64 * self.bytes_per_element;
         // Per-kernel working set: one layer's attention tensor in the
         // kernel's element width (fp16 for fused, int32 for unfused).
-        let elem_bytes = if self.bytes_per_element <= 8.0 { 2.0 } else { 4.0 };
-        let per_layer_tensor =
-            (w.total_elements as f64 / w.layers as f64) * elem_bytes;
+        let elem_bytes = if self.bytes_per_element <= 8.0 {
+            2.0
+        } else {
+            4.0
+        };
+        let per_layer_tensor = (w.total_elements as f64 / w.layers as f64) * elem_bytes;
         let bw = gpu.effective_bandwidth(per_layer_tensor);
         let launch_s = w.layers as f64 * self.kernels_per_layer * gpu.launch_us * 1e-6;
         let stream_s = total_bytes / bw;
@@ -284,6 +287,9 @@ mod tests {
         let e_mid = mid.energy_j / w(2048, 8).total_elements as f64;
         let e_big = big.energy_j / w(4096, 32).total_elements as f64;
         let ratio = e_mid / e_big;
-        assert!(ratio > 0.4 && ratio < 2.5, "per-element energy ratio {ratio}");
+        assert!(
+            ratio > 0.4 && ratio < 2.5,
+            "per-element energy ratio {ratio}"
+        );
     }
 }

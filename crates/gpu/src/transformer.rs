@@ -86,8 +86,7 @@ impl PrefillModel {
 
         // Projections: Q (d·d), K/V (d·kv each), O (d·d); MLP: SwiGLU
         // three matrices d·dff. 2 FLOPs per MAC.
-        let linear_flops =
-            layers * tokens * 2.0 * (2.0 * d * d + 2.0 * d * kv + 3.0 * d * dff);
+        let linear_flops = layers * tokens * 2.0 * (2.0 * d * d + 2.0 * d * kv + 3.0 * d * dff);
         // Attention GEMMs: QK^T and PV, 2 × 2 × L² × d per layer/batch.
         let attn_flops = layers * batch as f64 * 4.0 * (seq_len as f64).powi(2) * d;
 
@@ -99,8 +98,8 @@ impl PrefillModel {
         let softmax_s = self.softmax.cost(&self.gpu, &w).latency_s;
 
         let other_bytes = layers * tokens * self.other_bytes_per_token_layer;
-        let other_s = other_bytes / (self.gpu.mem_bw_gbs * 1e9)
-            + layers * 4.0 * self.gpu.launch_us * 1e-6;
+        let other_s =
+            other_bytes / (self.gpu.mem_bw_gbs * 1e9) + layers * 4.0 * self.gpu.launch_us * 1e-6;
 
         PrefillBreakdown {
             linear_s,

@@ -27,8 +27,18 @@ const ADJECTIVES: &[&str] = &[
     "quick", "lazy", "bright", "small", "quiet", "old", "young", "sharp", "round", "cold",
 ];
 const NOUNS: &[&str] = &[
-    "fox", "dog", "engineer", "processor", "table", "signal", "river", "model", "garden", "city",
-    "student", "paper",
+    "fox",
+    "dog",
+    "engineer",
+    "processor",
+    "table",
+    "signal",
+    "river",
+    "model",
+    "garden",
+    "city",
+    "student",
+    "paper",
 ];
 const VERBS: &[&str] = &[
     "chases", "builds", "reads", "watches", "crosses", "designs", "measures", "follows", "finds",
@@ -52,8 +62,9 @@ impl Corpus {
     pub fn generate(seed: u64, min_tokens: usize) -> Self {
         let mut vocab: Vec<String> = Vec::new();
         let mut index = std::collections::HashMap::new();
-        let intern = |w: &str, vocab: &mut Vec<String>,
-                          index: &mut std::collections::HashMap<String, usize>| {
+        let intern = |w: &str,
+                      vocab: &mut Vec<String>,
+                      index: &mut std::collections::HashMap<String, usize>| {
             *index.entry(w.to_string()).or_insert_with(|| {
                 vocab.push(w.to_string());
                 vocab.len() - 1
@@ -62,7 +73,13 @@ impl Corpus {
         // Intern the full vocabulary up front so ids are stable across
         // corpus lengths.
         for set in [
-            DETERMINERS, ADJECTIVES, NOUNS, VERBS, ADVERBS, CONNECTORS, PUNCT,
+            DETERMINERS,
+            ADJECTIVES,
+            NOUNS,
+            VERBS,
+            ADVERBS,
+            CONNECTORS,
+            PUNCT,
         ] {
             for w in set {
                 intern(w, &mut vocab, &mut index);
@@ -80,9 +97,15 @@ impl Corpus {
             let mut clause = 0;
             loop {
                 // NP
-                push(DETERMINERS[rng.random_range(0..DETERMINERS.len())], &mut tokens);
+                push(
+                    DETERMINERS[rng.random_range(0..DETERMINERS.len())],
+                    &mut tokens,
+                );
                 if rng.random::<f32>() < 0.6 {
-                    push(ADJECTIVES[rng.random_range(0..ADJECTIVES.len())], &mut tokens);
+                    push(
+                        ADJECTIVES[rng.random_range(0..ADJECTIVES.len())],
+                        &mut tokens,
+                    );
                 }
                 let subj = rng.random_range(0..NOUNS.len());
                 push(NOUNS[subj], &mut tokens);
@@ -94,16 +117,25 @@ impl Corpus {
                     push(ADVERBS[rng.random_range(0..ADVERBS.len())], &mut tokens);
                 }
                 // object NP
-                push(DETERMINERS[rng.random_range(0..DETERMINERS.len())], &mut tokens);
+                push(
+                    DETERMINERS[rng.random_range(0..DETERMINERS.len())],
+                    &mut tokens,
+                );
                 if rng.random::<f32>() < 0.4 {
-                    push(ADJECTIVES[rng.random_range(0..ADJECTIVES.len())], &mut tokens);
+                    push(
+                        ADJECTIVES[rng.random_range(0..ADJECTIVES.len())],
+                        &mut tokens,
+                    );
                 }
                 // object noun correlates with the verb
                 let obj = (verb * 2 + rng.random_range(0..2)) % NOUNS.len();
                 push(NOUNS[obj], &mut tokens);
                 clause += 1;
                 if clause < 3 && rng.random::<f32>() < 0.35 {
-                    push(CONNECTORS[rng.random_range(0..CONNECTORS.len())], &mut tokens);
+                    push(
+                        CONNECTORS[rng.random_range(0..CONNECTORS.len())],
+                        &mut tokens,
+                    );
                 } else {
                     break;
                 }

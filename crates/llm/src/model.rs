@@ -621,13 +621,8 @@ impl Transformer {
             // back through the attention pre-norm, plus the residual
             let mut dx_in = dx_mid.clone();
             for t in 0..t_len {
-                let dxr = rmsnorm_back(
-                    da.row(t),
-                    tp.x_in.row(t),
-                    &layer.g1,
-                    tp.rms1[t],
-                    &mut gl.g1,
-                );
+                let dxr =
+                    rmsnorm_back(da.row(t), tp.x_in.row(t), &layer.g1, tp.rms1[t], &mut gl.g1);
                 let row = dx_in.row_mut(t);
                 for i in 0..d {
                     row[i] += dxr[i];

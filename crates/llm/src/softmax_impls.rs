@@ -32,6 +32,32 @@ pub trait SoftmaxFn {
 
     /// Display name for tables.
     fn name(&self) -> String;
+
+    /// Applies the softmax to a batch of attention rows, in order.
+    /// The default runs sequentially (object-safe); `Sync`
+    /// implementations get a multi-threaded path via
+    /// [`apply_batch_parallel`].
+    ///
+    /// # Errors
+    ///
+    /// The first failing row's error.
+    fn apply_batch(&self, rows: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, String> {
+        rows.iter().map(|r| self.apply(r)).collect()
+    }
+}
+
+/// Applies `sm` to every attention row of a batch across host threads
+/// (one row per simulated tile), preserving input order. Identical to
+/// [`SoftmaxFn::apply_batch`], only faster on multicore hosts.
+///
+/// # Errors
+///
+/// The first (by input order) failing row's error.
+pub fn apply_batch_parallel<S: SoftmaxFn + Sync>(
+    sm: &S,
+    rows: &[Vec<f32>],
+) -> Result<Vec<Vec<f32>>, String> {
+    softmap_par::try_parallel_map(rows, |r| sm.apply(r))
 }
 
 /// The exact float softmax (training and FP baselines).
@@ -168,5 +194,26 @@ mod tests {
         assert!(FloatSoftmax.name().contains("FP"));
         let int = IntApproxSoftmax::new(PrecisionConfig::paper_best()).unwrap();
         assert!(int.name().contains("M=6"));
+    }
+
+    #[test]
+    fn batched_application_matches_per_row() {
+        let int = IntApproxSoftmax::new(PrecisionConfig::paper_best()).unwrap();
+        let rows: Vec<Vec<f32>> = (0..7)
+            .map(|v| (0..12).map(|i| -((v * 5 + i) as f32) * 0.3).collect())
+            .collect();
+        let sequential = int.apply_batch(&rows).unwrap();
+        let parallel = apply_batch_parallel(&int, &rows).unwrap();
+        assert_eq!(sequential, parallel);
+        for (row, got) in rows.iter().zip(&sequential) {
+            assert_eq!(&int.apply(row).unwrap(), got);
+        }
+    }
+
+    #[test]
+    fn batched_application_propagates_errors() {
+        let rows = vec![vec![0.0f32, -1.0], vec![]];
+        assert!(FloatSoftmax.apply_batch(&rows).is_err());
+        assert!(apply_batch_parallel(&FloatSoftmax, &rows).is_err());
     }
 }

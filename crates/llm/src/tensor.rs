@@ -106,7 +106,10 @@ impl Matrix {
     /// Panics when out of range.
     #[must_use]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -116,7 +119,10 @@ impl Matrix {
     ///
     /// Panics when out of range.
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c] = v;
     }
 

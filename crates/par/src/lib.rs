@@ -1,0 +1,131 @@
+//! Host-thread fan-out utilities.
+//!
+//! A deployed SoftmAP accelerator runs many independent tiles in
+//! parallel; on the host side, every layer of this workspace (the AP
+//! simulator's batch driver, the scalar spec's batched entry points,
+//! the LLM harness's attention rows) fans independent jobs across OS
+//! threads the same way. This crate is that one shared primitive —
+//! dependency-free so the scalar-specification crates do not have to
+//! link the full simulator to use it.
+//!
+//! The scheduler is a work-stealing index counter over scoped threads
+//! (`std::thread::scope`): no locks on the hot path, deterministic
+//! input-ordered results, and panics in worker jobs propagate.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = softmap_par::parallel_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used for `jobs` independent tasks: the
+/// machine's available parallelism, capped by the job count (and at
+/// least 1).
+#[must_use]
+pub fn tile_parallelism(jobs: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    hw.min(jobs).max(1)
+}
+
+/// Applies `f` to every item on a pool of [`tile_parallelism`] scoped
+/// threads, returning results in input order.
+///
+/// `f` runs concurrently on multiple threads. Panics in `f` propagate
+/// to the caller.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = tile_parallelism(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("worker panicked"))
+            .collect()
+    });
+    collected.sort_unstable_by_key(|&(i, _)| i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Applies a fallible `f` to every item in parallel, returning the
+/// results in input order or the error of the lowest-indexed failing
+/// item.
+///
+/// # Errors
+///
+/// The first (by input order) error produced by `f`.
+pub fn try_parallel_map<T, R, E, F>(items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    let results = parallel_map(items, f);
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = parallel_map(&items, |&x| x * 3);
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        assert_eq!(parallel_map(&[] as &[u64], |&x| x), Vec::<u64>::new());
+        assert_eq!(parallel_map(&[9u64], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn try_parallel_map_reports_first_error() {
+        let items: Vec<u64> = (0..64).collect();
+        let r = try_parallel_map(&items, |&x| if x >= 10 { Err(x) } else { Ok(x) });
+        assert_eq!(r, Err(10));
+        let ok = try_parallel_map(&items, |&x| Ok::<_, ()>(x * 2));
+        assert_eq!(ok.unwrap()[63], 126);
+    }
+
+    #[test]
+    fn tile_parallelism_bounds() {
+        assert_eq!(tile_parallelism(0), 1);
+        assert_eq!(tile_parallelism(1), 1);
+        assert!(tile_parallelism(1 << 20) >= 1);
+    }
+}

@@ -153,9 +153,6 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         assert_eq!(PrecisionConfig::new(6, 0, 16).label(), "M=6/vcorr=M/N=16");
-        assert_eq!(
-            PrecisionConfig::new(8, 2, 12).label(),
-            "M=8/vcorr=M+2/N=12"
-        );
+        assert_eq!(PrecisionConfig::new(8, 2, 12).label(), "M=8/vcorr=M+2/N=12");
     }
 }

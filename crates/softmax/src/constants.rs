@@ -189,7 +189,7 @@ mod tests {
     }
 
     #[test]
-    fn remainder_bounded_by_two_ln2(){
+    fn remainder_bounded_by_two_ln2() {
         // r = x - q_hat * vln2 stays in [0, 2*vln2) for all inputs.
         for m in [4u32, 6, 8] {
             let cfg = PrecisionConfig::new(m, 0, 16);

@@ -142,17 +142,46 @@ impl IntSoftmax {
         self.run_codes(&self.quantize(v))
     }
 
-    /// Computes the per-element intermediates of Algorithm 1 — the
-    /// specification the AP mapping is tested against.
+    /// Runs the pipeline over a batch of score rows, fanned out across
+    /// host threads (one independent softmax per row, as the deployed
+    /// accelerator would run one per tile). Results are in input order
+    /// and identical to per-row [`IntSoftmax::run_floats`] calls.
+    ///
+    /// # Errors
+    ///
+    /// The first (by input order) failing row's error.
+    pub fn run_floats_batch(
+        &self,
+        rows: &[Vec<f64>],
+    ) -> Result<Vec<IntSoftmaxOutput>, SoftmaxError> {
+        softmap_par::try_parallel_map(rows, |row| self.run_floats(row))
+    }
+
+    /// Batched [`IntSoftmax::run_codes`]; see
+    /// [`IntSoftmax::run_floats_batch`].
+    ///
+    /// # Errors
+    ///
+    /// The first failing row's error.
+    pub fn run_codes_batch(
+        &self,
+        rows: &[Vec<i64>],
+    ) -> Result<Vec<IntSoftmaxOutput>, SoftmaxError> {
+        softmap_par::try_parallel_map(rows, |row| self.run_codes(row))
+    }
+
+    /// Validates a code vector against the quantizer's range without
+    /// computing the pipeline — the cheap precondition check shared by
+    /// every entry point (the AP mapping uses it to vet its inputs
+    /// without paying for a full scalar trace).
     ///
     /// # Errors
     ///
     /// As [`IntSoftmax::run_codes`].
-    pub fn trace_codes(&self, codes: &[i64]) -> Result<StepTrace, SoftmaxError> {
+    pub fn validate_codes(&self, codes: &[i64]) -> Result<(), SoftmaxError> {
         if codes.is_empty() {
             return Err(SoftmaxError::EmptyInput);
         }
-        let m = self.cfg.m;
         let lo = -self.cfg.max_code_magnitude();
         let hi = self.cfg.max_code_magnitude() - 1;
         for &c in codes {
@@ -160,6 +189,18 @@ impl IntSoftmax {
                 return Err(SoftmaxError::CodeOutOfRange(c));
             }
         }
+        Ok(())
+    }
+
+    /// Computes the per-element intermediates of Algorithm 1 — the
+    /// specification the AP mapping is tested against.
+    ///
+    /// # Errors
+    ///
+    /// As [`IntSoftmax::run_codes`].
+    pub fn trace_codes(&self, codes: &[i64]) -> Result<StepTrace, SoftmaxError> {
+        self.validate_codes(codes)?;
+        let m = self.cfg.m;
         let max = *codes.iter().max().expect("non-empty");
         let vapprox_mask = (1u64 << self.widths.vapprox) - 1;
         let poly_max = (1u64 << self.widths.poly) - 1;
@@ -300,7 +341,12 @@ mod tests {
             let out = sm.run_floats(&v).unwrap();
             kls.push(metrics::kl_divergence(&exact, &out.probabilities));
         }
-        assert!(kls[0] > kls[2], "M=4 ({}) should be worse than M=8 ({})", kls[0], kls[2]);
+        assert!(
+            kls[0] > kls[2],
+            "M=4 ({}) should be worse than M=8 ({})",
+            kls[0],
+            kls[2]
+        );
     }
 
     #[test]
@@ -346,12 +392,10 @@ mod tests {
     #[test]
     fn wrap_mode_is_catastrophic() {
         let v = vec![0.0f64; 4096];
-        let wrap = IntSoftmax::new(
-            PrecisionConfig::new(6, 0, 8).with_sum_mode(SumMode::Wrap),
-        )
-        .unwrap()
-        .run_floats(&v)
-        .unwrap();
+        let wrap = IntSoftmax::new(PrecisionConfig::new(6, 0, 8).with_sum_mode(SumMode::Wrap))
+            .unwrap()
+            .run_floats(&v)
+            .unwrap();
         assert!(wrap.sum_overflowed);
         // wrapped sum is much smaller than the saturated one
         let sat = IntSoftmax::new(PrecisionConfig::new(6, 0, 8))
@@ -398,6 +442,29 @@ mod tests {
         assert_eq!(codes[0], 0);
         assert_eq!(codes[2], -sm.config().max_code_magnitude());
         assert!(codes[1] < 0 && codes[1] > codes[2]);
+    }
+
+    #[test]
+    fn batched_runs_match_per_row() {
+        let sm = best();
+        let rows: Vec<Vec<f64>> = (0..9)
+            .map(|v| {
+                (0..24)
+                    .map(|i| -((v * 3 + i) as f64 * 0.29) % 6.7)
+                    .collect()
+            })
+            .collect();
+        let batch = sm.run_floats_batch(&rows).unwrap();
+        assert_eq!(batch.len(), rows.len());
+        for (row, got) in rows.iter().zip(&batch) {
+            let single = sm.run_floats(row).unwrap();
+            assert_eq!(single.codes, got.codes);
+            assert_eq!(single.sum, got.sum);
+        }
+        assert!(matches!(
+            sm.run_floats_batch(&[vec![0.0], vec![]]),
+            Err(SoftmaxError::EmptyInput)
+        ));
     }
 
     #[test]

@@ -55,15 +55,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ap.reset_stats();
     ap.divide(x, y, quot, 2, DivStyle::Restoring)?;
     println!("\nFixed-point division (x << 2) / y = {:?}", ap.read(quot));
-    println!("  measured {} cycles (restoring divider)", ap.stats().cycles());
+    println!(
+        "  measured {} cycles (restoring divider)",
+        ap.stats().cycles()
+    );
 
     let (max, rows) = ap.max_search(x);
-    println!("\nMax-search: max = {max} at rows {:?}", rows.iter_set().collect::<Vec<_>>());
+    println!(
+        "\nMax-search: max = {max} at rows {:?}",
+        rows.iter_set().collect::<Vec<_>>()
+    );
 
     // ---- 2D reduction -------------------------------------------------
     let sum_field = ap.alloc_field(12)?;
     let sums = ap.reduce_sum_2d(x, sum_field, 8)?;
-    println!("2D reduction: sum(x) = {} (expected {})", sums[0], xs.iter().sum::<u64>());
+    println!(
+        "2D reduction: sum(x) = {} (expected {})",
+        sums[0],
+        xs.iter().sum::<u64>()
+    );
 
     let energy = EnergyModel::nm16().energy(&ap.stats());
     println!("\nEnergy of this session: {energy}");

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mapping = ApSoftmax::new(cfg)?;
     let run = mapping.execute_floats(&scores)?;
     let scalar = IntSoftmax::new(cfg)?.run_floats(&scores)?;
-    assert_eq!(run.codes, scalar.codes, "AP must match the scalar spec bit-exactly");
+    assert_eq!(
+        run.codes, scalar.codes,
+        "AP must match the scalar spec bit-exactly"
+    );
 
     println!(
         "attention row {row}: {} keys, config {}, AP tile {} rows x {} cols",
@@ -48,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let energy = EnergyModel::nm16();
     println!("\nper-step breakdown (Fig. 5 dataflow):");
-    println!("{:>32} {:>10} {:>14} {:>12}", "step", "cycles", "cell events", "energy");
+    println!(
+        "{:>32} {:>10} {:>14} {:>12}",
+        "step", "cycles", "cell events", "energy"
+    );
     for s in &run.steps {
         let e = energy.energy(&s.stats);
         println!(

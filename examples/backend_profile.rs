@@ -1,0 +1,63 @@
+//! Quick per-primitive timing comparison of the two AP backends.
+//! Run: `cargo run --release --example backend_profile`
+
+use softmap_ap::{ApConfig, ApCore, DivStyle, ExecBackend, Field};
+use std::time::Instant;
+
+fn time<F: FnMut()>(label: &str, reps: u32, mut f: F) -> f64 {
+    let t = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    let per = t.elapsed().as_secs_f64() / f64::from(reps);
+    println!("  {label:<28} {:>10.1} us", per * 1e6);
+    per
+}
+
+fn main() {
+    let rows = 2048usize;
+    let xs: Vec<u64> = (0..rows as u64).map(|i| i * 7 % 131071).collect();
+    let ys: Vec<u64> = (0..rows as u64).map(|i| (i * 13 + 5) % 131071).collect();
+    let ds: Vec<u64> = (0..rows as u64).map(|i| i % 251 + 1).collect();
+    let amts: Vec<u64> = (0..rows as u64).map(|i| i % 16).collect();
+
+    for backend in [ExecBackend::Microcode, ExecBackend::FastWord] {
+        println!("{backend:?} @ {rows} rows");
+        let mut ap = ApCore::with_backend(ApConfig::new(rows, 140), backend).unwrap();
+        let a: Field = ap.alloc_field(17).unwrap();
+        let b = ap.alloc_field(17).unwrap();
+        let r = ap.alloc_field(36).unwrap();
+        let q = ap.alloc_field(24).unwrap();
+        let amt = ap.alloc_field(4).unwrap();
+        let den = ap.alloc_field(8).unwrap();
+        ap.load(a, &xs).unwrap();
+        ap.load(b, &ys).unwrap();
+        ap.load(amt, &amts).unwrap();
+        ap.load(den, &ds).unwrap();
+
+        time("load 17b", 50, || ap.load(a, &xs).unwrap());
+        time("read 17b", 50, || {
+            let _ = ap.read(a);
+        });
+        time("copy 17b->24b", 20, || ap.copy(a, q).unwrap());
+        time("add_into 17b", 20, || ap.add_into(r.sub(0, 18), a).unwrap());
+        time("sub_into 17b", 20, || {
+            let _ = ap.sub_into(r.sub(0, 18), a).unwrap();
+        });
+        time("mul 17x17", 5, || ap.mul(a, b, r).unwrap());
+        time("shr_const 17b by 3", 20, || {
+            ap.shr_const(r.sub(0, 17), 3).unwrap()
+        });
+        time("shr_variable 17b", 10, || {
+            ap.shr_variable(r.sub(0, 17), amt).unwrap()
+        });
+        time("divide restoring 17/8 f4", 3, || {
+            ap.load(a, &xs).unwrap();
+            ap.divide(a, den, q, 4, DivStyle::Restoring).unwrap();
+        });
+        time("max_search 17b", 20, || {
+            let _ = ap.max_search(a);
+        });
+        time("broadcast 17b", 50, || ap.broadcast(b, 12345).unwrap());
+    }
+}

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = sm.run_floats(&scores)?;
     let exact = float_ref::softmax(&scores);
 
-    println!("\n{:>8} {:>12} {:>12} {:>10}", "score", "int softmax", "exact", "|diff|");
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>10}",
+        "score", "int softmax", "exact", "|diff|"
+    );
     for i in 0..scores.len() {
         println!(
             "{:>8.2} {:>12.6} {:>12.6} {:>10.6}",

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs the AP-relevant cargo benches and assembles BENCH_ap.json so the
+# perf trajectory is comparable across PRs.
+#
+# Usage: scripts/bench_ap.sh [output.json]
+#
+# Environment:
+#   CRITERION_MEASURE_MS  per-benchmark wall-clock budget (default 500)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_ap.json}"
+lines="$(mktemp)"
+trap 'rm -f "$lines"' EXIT
+
+export CRITERION_JSON="$lines"
+export CRITERION_MEASURE_MS="${CRITERION_MEASURE_MS:-500}"
+
+cargo bench -p softmap-bench \
+    --bench ap_softmax_dataflow \
+    --bench table2_ap_primitives \
+    --bench scalar_softmax \
+    --bench backend_compare
+
+python3 - "$lines" "$out" <<'PY'
+import json, platform, subprocess, sys
+
+lines_path, out_path = sys.argv[1], sys.argv[2]
+results = [json.loads(l) for l in open(lines_path) if l.strip()]
+
+by_name = {r["bench"]: r["ns_per_iter"] for r in results}
+speedups = {}
+for key, label in [("512", "rows256"), ("1024", "rows512"),
+                   ("2048", "rows1024"), ("4096", "rows2048")]:
+    # backend_compare labels benchmarks by row count (= len / 2).
+    rows = str(int(key) // 2)
+    micro = by_name.get(f"backend/microcode/{rows}")
+    fast = by_name.get(f"backend/fastword/{rows}")
+    if micro and fast:
+        speedups[f"fastword_speedup_{label}"] = round(micro / fast, 2)
+
+doc = {
+    "schema": "softmap-bench-ap-v1",
+    "rustc": subprocess.run(["rustc", "--version"], capture_output=True,
+                            text=True).stdout.strip(),
+    "host": platform.platform(),
+    "results_ns_per_iter": {r["bench"]: r["ns_per_iter"] for r in results},
+    "backend_speedups": speedups,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path} ({len(results)} benchmarks)")
+PY

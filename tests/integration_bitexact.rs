@@ -60,7 +60,10 @@ fn bit_exact_with_saturating_and_wrapping_sums() {
         let scores = vec![-0.05f64; 512];
         let scalar = IntSoftmax::new(cfg).unwrap().run_floats(&scores).unwrap();
         assert!(scalar.sum_overflowed, "mode {mode:?} must overflow");
-        let run = ApSoftmax::new(cfg).unwrap().execute_floats(&scores).unwrap();
+        let run = ApSoftmax::new(cfg)
+            .unwrap()
+            .execute_floats(&scores)
+            .unwrap();
         assert_eq!(run.sum, scalar.sum, "mode {mode:?}");
         assert_eq!(run.codes, scalar.codes, "mode {mode:?}");
     }

@@ -3,11 +3,11 @@
 //! hardware cost — the full co-design loop in one test binary.
 
 use softmap::characterize::{Characterizer, OperatingPoint};
+use softmap_llm::configs::llama2_7b;
 use softmap_llm::corpus::Corpus;
 use softmap_llm::perplexity::perplexity;
 use softmap_llm::softmax_impls::{FloatSoftmax, IntApproxSoftmax};
 use softmap_llm::train::{train_language_model, TrainConfig};
-use softmap_llm::configs::llama2_7b;
 use softmap_softmax::PrecisionConfig;
 
 #[test]

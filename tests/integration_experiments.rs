@@ -37,7 +37,10 @@ fn headline_claim_holds_up_to_three_orders_of_magnitude_edp() {
         .iter()
         .map(|r| r.a100.0.max(r.rtx3090.0))
         .fold(0.0f64, f64::max);
-    assert!(best >= 1e3, "max EDP ratio {best} below three orders of magnitude");
+    assert!(
+        best >= 1e3,
+        "max EDP ratio {best} below three orders of magnitude"
+    );
 }
 
 #[test]

@@ -1,0 +1,275 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace
+//! vendors a minimal wall-clock benchmarking harness covering the API
+//! its benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size`,
+//! `bench_with_input`, `finish`), [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Every measurement prints `name ... ns/iter` and, when the
+//! `CRITERION_JSON` environment variable names a file, appends one JSON
+//! line per benchmark: `{"bench":..., "ns_per_iter":...}` — the hook
+//! `scripts/bench_ap.sh` uses to assemble `BENCH_ap.json`.
+//!
+//! Tuning knobs (environment): `CRITERION_MEASURE_MS` (wall-clock
+//! budget per benchmark, default 300 ms), `CRITERION_WARMUP_MS`
+//! (default 60 ms).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map_or(Duration::from_millis(default_ms), Duration::from_millis)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure: Duration,
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measure: env_ms("CRITERION_MEASURE_MS", 300),
+            warmup: env_ms("CRITERION_WARMUP_MS", 60),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.warmup, self.measure, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            warmup: self.warmup,
+            measure: self.measure,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warmup: Duration,
+    measure: Duration,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; this harness sizes runs by
+    /// wall-clock budget, so the sample count only scales the budget
+    /// down for expensive benches (criterion's default is 100).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if n < 100 {
+            let scale = (n.max(1) as u32).max(10);
+            self.measure = self.measure * scale / 100;
+            self.warmup = self.warmup * scale / 100;
+        }
+        self
+    }
+
+    /// Benchmarks `f` with `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label());
+        run_one(&full, self.warmup, self.measure, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` without an input parameter.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.label());
+        run_one(&full, self.warmup, self.measure, |b| f(b));
+        self
+    }
+
+    /// Ends the group (no-op; results are reported eagerly).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Identifier for `function` at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Identifier carrying only a parameter rendering.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function[..], &self.parameter) {
+            ("", Some(p)) => p.clone(),
+            (f, Some(p)) => format!("{f}/{p}"),
+            (f, None) => f.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to each benchmark closure; collects the timing loop.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean wall-clock nanoseconds per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: discover the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.measure.as_secs_f64();
+        let iters = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        self.ns_per_iter = Some(elapsed * 1e9 / iters as f64);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, warmup: Duration, measure: Duration, mut f: F) {
+    let mut b = Bencher {
+        warmup,
+        measure,
+        ns_per_iter: None,
+    };
+    f(&mut b);
+    let ns = b.ns_per_iter.unwrap_or(f64::NAN);
+    let mut line = String::new();
+    let _ = write!(line, "bench {name:<52} {ns:>14.1} ns/iter");
+    println!("{line}");
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let escaped: String = name
+                    .chars()
+                    .flat_map(|c| match c {
+                        '"' | '\\' => vec!['\\', c],
+                        _ => vec![c],
+                    })
+                    .collect();
+                let _ = writeln!(file, "{{\"bench\":\"{escaped}\",\"ns_per_iter\":{ns:.1}}}");
+            }
+        }
+    }
+}
+
+/// Declares a function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export for benches importing it from criterion rather than std.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            measure: Duration::from_millis(5),
+            warmup: Duration::from_millis(1),
+        };
+        c.bench_function("smoke/add", |b| b.iter(|| std::hint::black_box(1u64 + 2)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter(|| std::hint::black_box(x * x))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("f", 7).label(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter(7).label(), "7");
+        assert_eq!(BenchmarkId::from("f").label(), "f");
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace
+//! vendors a deterministic property-testing harness covering the API
+//! surface its tests use: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(..)]` header), [`strategy::Strategy`] with
+//! `prop_map`, range/tuple/[`Just`]/[`any`] strategies, [`prop_oneof!`],
+//! `prop::collection::vec`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case panics
+//! with the sampled values visible in the assertion message), and the
+//! per-test RNG seed is derived from the test name (override with
+//! `PROPTEST_SEED`), so failures are reproducible run to run.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec<S::Value>` with a length drawn from
+    /// `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Vector of values from `element`, length uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.below(self.size.start as u64, self.size.end as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` namespace re-exports used by `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a proptest file conventionally imports.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property (panics on failure; this
+/// stand-in has no shrinking, so it behaves like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies; each runs for the configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __pt_config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __pt_rng =
+                $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __pt_case in 0..__pt_config.cases {
+                let _ = __pt_case;
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut __pt_rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u32> {
+        prop_oneof![Just(1u32), Just(2), Just(3)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in -5i64..=5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(0u64..8, 3..6)) {
+            prop_assert!(v.len() >= 3 && v.len() < 6);
+            for x in v {
+                prop_assert!(x < 8);
+            }
+        }
+
+        #[test]
+        fn tuples_and_map(p in (0u32..4, 0u32..4).prop_map(|(a, b)| a * 10 + b)) {
+            prop_assert!(p <= 33);
+        }
+
+        #[test]
+        fn oneof_draws_each_arm(x in small()) {
+            prop_assert!((1..=3).contains(&x));
+        }
+
+        #[test]
+        fn floats_in_range(x in -2.0f64..0.0) {
+            prop_assert!((-2.0..0.0).contains(&x));
+        }
+
+        #[test]
+        fn any_produces_full_range_types(x in any::<i64>(), y in any::<i32>()) {
+            // Just exercise the strategies; no structural property.
+            let _ = (x, y);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_test("determinism");
+        let mut b = crate::test_runner::TestRng::for_test("determinism");
+        let s = crate::collection::vec(0u64..100, 1..10);
+        for _ in 0..20 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}
