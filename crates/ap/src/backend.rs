@@ -32,7 +32,7 @@
 //! microprograms (the reciprocal divider, max/min search, the Fig. 5
 //! mapping) are written once and run on either backend.
 
-use crate::{ApCore, ApError, Field, RowSet};
+use crate::{ApCore, ApError, Field};
 
 /// Which engine executes [`ApCore`] operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -132,6 +132,16 @@ fn fused_ripple<const SUB: bool>(
     ev
 }
 
+/// The valid-rows mask for one 64-row block: all ones except the tail
+/// bits beyond `rows` in the final block (the arena-wide invariant).
+fn tail_mask(rows: usize, blk: usize, blocks: usize) -> u64 {
+    if blk + 1 == blocks && !rows.is_multiple_of(64) {
+        (1u64 << (rows % 64)) - 1
+    } else {
+        u64::MAX
+    }
+}
+
 impl ApCore {
     /// 64-row block count.
     fn fw_blocks(&self) -> usize {
@@ -139,39 +149,38 @@ impl ApCore {
     }
 
     /// Copies a field's bit-planes into a bit-major block buffer
-    /// (`buf[bit * blocks + block]`).
+    /// (`buf[bit * blocks + block]`). Because the CAM arena is flat and
+    /// column-major with the same stride, this is a single memcpy of
+    /// one contiguous arena range.
     fn fw_gather(&self, field: Field, buf: &mut Vec<u64>) {
-        let bl = self.fw_blocks();
         buf.clear();
-        buf.resize(field.width() * bl, 0);
-        for i in 0..field.width() {
-            buf[i * bl..(i + 1) * bl].copy_from_slice(self.cam().plane_words(field.col(i)));
-        }
+        buf.extend_from_slice(self.cam().field_words(field));
     }
 
-    /// Writes a bit-major block buffer back into a field's bit-planes.
+    /// Writes a bit-major block buffer back into a field's bit-planes
+    /// (the inverse memcpy of [`ApCore::fw_gather`]).
     fn fw_scatter(&mut self, field: Field, buf: &[u64]) {
-        let bl = self.fw_blocks();
-        for i in 0..field.width() {
-            self.cam_mut()
-                .plane_words_mut(field.col(i))
-                .copy_from_slice(&buf[i * bl..(i + 1) * bl]);
-        }
+        self.cam_mut().field_words_mut(field).copy_from_slice(buf);
     }
 
-    /// The gate column as block words with the requested polarity, or
-    /// `None` for ungated ops. (Tail bits beyond the row count may be
-    /// set after complementing; they are harmless because every operand
-    /// plane keeps its tail zero.)
-    fn fw_gate_words(&self, gate: Option<(usize, bool)>) -> Option<Vec<u64>> {
-        gate.map(|(col, polarity)| {
-            let words = self.cam().plane_words(col);
-            if polarity {
-                words.to_vec()
-            } else {
-                words.iter().map(|w| !w).collect()
+    /// Fills `buf` with the gate column's block words at the requested
+    /// polarity; returns whether the op is gated. (Tail bits beyond the
+    /// row count may be set after complementing; they are harmless
+    /// because every operand plane keeps its tail zero.)
+    fn fw_gate_into(&self, gate: Option<(usize, bool)>, buf: &mut Vec<u64>) -> bool {
+        match gate {
+            Some((col, polarity)) => {
+                buf.clear();
+                buf.extend_from_slice(self.cam().plane_words(col));
+                if !polarity {
+                    for w in buf.iter_mut() {
+                        *w = !*w;
+                    }
+                }
+                true
             }
-        })
+            None => false,
+        }
     }
 
     /// Charges the cost-model totals of one gated/ungated in-place
@@ -197,50 +206,64 @@ impl ApCore {
         let bl = self.fw_blocks();
         let (sw, aw) = (src.width(), acc.width());
         let cc = self.carry_col();
-        let gwords = self.fw_gate_words(gate);
+        let mut gbuf = std::mem::take(&mut self.gate_buf);
+        let gated = self.fw_gate_into(gate, &mut gbuf);
         let mut va = std::mem::take(&mut self.vals_a);
         let mut vb = std::mem::take(&mut self.vals_b);
+        let mut carry = std::mem::take(&mut self.vals_c);
         self.fw_gather(src, &mut va);
         self.fw_gather(acc, &mut vb);
-        let mut carry = vec![0u64; bl];
-        let ev = fused_ripple::<false>(&va, sw, &mut vb, aw, bl, gwords.as_deref(), &mut carry);
+        carry.clear();
+        carry.resize(bl, 0);
+        let gw = if gated { Some(&gbuf[..]) } else { None };
+        let ev = fused_ripple::<false>(&va, sw, &mut vb, aw, bl, gw, &mut carry);
         self.fw_scatter(acc, &vb);
         self.cam_mut().plane_words_mut(cc).copy_from_slice(&carry);
-        self.fw_charge_ripple(sw, aw, gate.is_some(), ev);
+        self.fw_charge_ripple(sw, aw, gated, ev);
         self.vals_a = va;
         self.vals_b = vb;
+        self.vals_c = carry;
+        self.gate_buf = gbuf;
         Ok(())
     }
 
+    /// Fused in-place subtraction; leaves the borrow set in
+    /// `self.borrow_scratch` (the shared convention of
+    /// `ApCore::sub_into_scratch`).
     pub(crate) fn fw_sub_into_gated(
         &mut self,
         acc: Field,
         src: Field,
         gate: Option<(usize, bool)>,
-    ) -> Result<RowSet, ApError> {
+    ) -> Result<(), ApError> {
         let bl = self.fw_blocks();
         let rows = self.rows();
         let (sw, aw) = (src.width(), acc.width());
         let cc = self.carry_col();
-        let gwords = self.fw_gate_words(gate);
+        let mut gbuf = std::mem::take(&mut self.gate_buf);
+        let gated = self.fw_gate_into(gate, &mut gbuf);
         let mut va = std::mem::take(&mut self.vals_a);
         let mut vb = std::mem::take(&mut self.vals_b);
+        let mut borrow = std::mem::take(&mut self.vals_c);
         self.fw_gather(src, &mut va);
         self.fw_gather(acc, &mut vb);
-        let mut borrow = vec![0u64; bl];
-        let ev = fused_ripple::<true>(&va, sw, &mut vb, aw, bl, gwords.as_deref(), &mut borrow);
+        borrow.clear();
+        borrow.resize(bl, 0);
+        let gw = if gated { Some(&gbuf[..]) } else { None };
+        let ev = fused_ripple::<true>(&va, sw, &mut vb, aw, bl, gw, &mut borrow);
         self.fw_scatter(acc, &vb);
         self.cam_mut().plane_words_mut(cc).copy_from_slice(&borrow);
-        self.fw_charge_ripple(sw, aw, gate.is_some(), ev);
+        self.fw_charge_ripple(sw, aw, gated, ev);
         // Reading the borrow column back costs one compare cycle.
         self.cam_mut()
             .stats_mut()
             .charge_compares_bulk(1, rows as u64);
-        let mut borrowed = RowSet::new(rows);
-        borrowed.words_mut().copy_from_slice(&borrow);
+        self.set_borrow_scratch(&borrow);
         self.vals_a = va;
         self.vals_b = vb;
-        Ok(borrowed)
+        self.vals_c = borrow;
+        self.gate_buf = gbuf;
+        Ok(())
     }
 
     pub(crate) fn fw_copy(&mut self, src: Field, dst: Field) -> Result<(), ApError> {
@@ -331,12 +354,11 @@ impl ApCore {
         let bl = self.fw_blocks();
         let rows = self.rows();
         let aw = a.width();
-        let valid = RowSet::all(rows);
         let mut va = std::mem::take(&mut self.vals_a);
         self.fw_gather(a, &mut va);
         for i in 0..aw {
             for blk in 0..bl {
-                va[i * bl + blk] = !va[i * bl + blk] & valid.words()[blk];
+                va[i * bl + blk] = !va[i * bl + blk] & tail_mask(rows, blk, bl);
             }
         }
         self.fw_scatter(r.sub(0, aw), &va);
@@ -357,12 +379,15 @@ impl ApCore {
         let mut va = std::mem::take(&mut self.vals_a);
         let mut vg = std::mem::take(&mut self.vals_b);
         let mut vr = std::mem::take(&mut self.vals_r);
+        let mut carry = std::mem::take(&mut self.vals_c);
+        let mut events = std::mem::take(&mut self.events_buf);
         self.fw_gather(a, &mut va);
         self.fw_gather(b, &mut vg);
         vr.clear();
         vr.resize(rw * bl, 0);
-        let mut carry = vec![0u64; bl];
-        let mut events = Vec::with_capacity(bw);
+        carry.clear();
+        carry.resize(bl, 0);
+        events.clear();
         for j in 0..bw {
             // Partial sums never carry past a.width() + 1 bits, and the
             // result field guarantees rw - j >= awd + 1 for every j.
@@ -391,12 +416,14 @@ impl ApCore {
         self.fw_scatter(r, &vr);
         // The carry column holds the final gated add's carry state.
         self.cam_mut().plane_words_mut(cc).copy_from_slice(&carry);
-        for (acc_w, ev) in events {
+        for &(acc_w, ev) in &events {
             self.fw_charge_ripple(awd, acc_w, true, ev);
         }
         self.vals_a = va;
         self.vals_b = vg;
         self.vals_r = vr;
+        self.vals_c = carry;
+        self.events_buf = events;
         Ok(())
     }
 
@@ -439,26 +466,33 @@ impl ApCore {
             let n_j: u64 = g.iter().map(|w| u64::from(w.count_ones())).sum();
             if s >= w {
                 // One tag compare, then the whole field clears for the
-                // gated rows.
+                // gated rows — free when no row is gated (the
+                // controller branches on the tag it just read).
                 cmp_cycles += 1;
                 cmp_events += rows;
-                wr_cycles += w as u64;
-                wr_events += w as u64 * n_j;
-                for i in 0..w {
-                    for blk in 0..bl {
-                        va[i * bl + blk] &= !g[blk];
+                if n_j > 0 {
+                    wr_cycles += w as u64;
+                    wr_events += w as u64 * n_j;
+                    for i in 0..w {
+                        for blk in 0..bl {
+                            va[i * bl + blk] &= !g[blk];
+                        }
                     }
                 }
                 continue;
             }
             // Gated copy of each surviving bit (match = source bit +
             // gate), then one tag compare and a gated clear of the
-            // vacated high bits.
+            // vacated high bits (free when the tag is empty).
             let moved = (w - s) as u64;
             cmp_cycles += 2 * moved + 1;
             cmp_events += (4 * moved + 1) * rows;
-            wr_cycles += 2 * moved + s as u64;
-            wr_events += moved * n_j + s as u64 * n_j;
+            wr_cycles += 2 * moved;
+            wr_events += moved * n_j;
+            if n_j > 0 {
+                wr_cycles += s as u64;
+                wr_events += s as u64 * n_j;
+            }
             for i in 0..w - s {
                 for blk in 0..bl {
                     let idx = i * bl + blk;
@@ -495,18 +529,21 @@ impl ApCore {
         let rem = self.alloc_scratch(rem_w)?;
         self.broadcast_all(rem, 0)?;
         self.broadcast_all(quot, 0)?;
-        let valid = RowSet::all(self.rows());
 
         let mut vd = std::mem::take(&mut self.vals_a);
         let mut vrem = std::mem::take(&mut self.vals_b);
         let mut vq = std::mem::take(&mut self.vals_r);
+        let mut borrowed = std::mem::take(&mut self.vals_c);
+        let mut vpre = std::mem::take(&mut self.vals_p);
         self.fw_gather(den, &mut vd);
         vrem.clear();
         vrem.resize(rem_w * bl, 0);
         vq.clear();
         vq.resize(qw * bl, 0);
-        let mut vpre = vec![0u64; rem_w * bl];
-        let mut borrowed = vec![0u64; bl];
+        vpre.clear();
+        vpre.resize(rem_w * bl, 0);
+        borrowed.clear();
+        borrowed.resize(bl, 0);
 
         let total_bits = nw + frac_bits;
         let mut cmp_cycles = 0u64;
@@ -601,7 +638,7 @@ impl ApCore {
                 wr_cycles += 1;
                 wr_events += n_nob;
                 for blk in 0..bl {
-                    vq[k * bl + blk] |= !borrowed[blk] & valid.words()[blk];
+                    vq[k * bl + blk] |= !borrowed[blk] & tail_mask(rows as usize, blk, bl);
                 }
             } else if n_nob > 0 {
                 // The quotient saturates to all-ones, so the broadcast
@@ -610,7 +647,7 @@ impl ApCore {
                 wr_events += qw as u64 * n_nob;
                 for i in 0..qw {
                     for blk in 0..bl {
-                        vq[i * bl + blk] |= !borrowed[blk] & valid.words()[blk];
+                        vq[i * bl + blk] |= !borrowed[blk] & tail_mask(rows as usize, blk, bl);
                     }
                 }
             }
@@ -633,6 +670,8 @@ impl ApCore {
         self.vals_a = vd;
         self.vals_b = vrem;
         self.vals_r = vq;
+        self.vals_c = borrowed;
+        self.vals_p = vpre;
         self.release_scratch(rem);
         Ok(())
     }

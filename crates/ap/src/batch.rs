@@ -20,7 +20,9 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
-pub use softmap_par::{parallel_map, tile_parallelism, try_parallel_map};
+pub use softmap_par::{
+    parallel_map, parallel_map_with, tile_parallelism, try_parallel_map, try_parallel_map_with,
+};
 
 use crate::CycleStats;
 

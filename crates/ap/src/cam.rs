@@ -24,7 +24,16 @@ pub(crate) fn transpose64(a: &mut [u64; 64]) {
 
 /// The content-addressable memory at the heart of the AP.
 ///
-/// Data is stored column-major: one [`RowSet`] bit-plane per column.
+/// Data is stored column-major in one contiguous `u64` arena: each
+/// column's bit-plane occupies `blocks = ceil(rows / 64)` consecutive
+/// words at a fixed stride, so column `c`'s plane is
+/// `arena[c * blocks .. (c + 1) * blocks]` and a [`Field`]'s planes are
+/// one contiguous arena range. Flat allocation keeps column-hopping
+/// sweeps (LUT passes, the `FastWord` gather/scatter) in cache and lets
+/// a tile be cleared for reuse with a single `fill(0)` instead of a
+/// reallocation. Tail bits beyond `rows` in each plane's last word are
+/// kept zero arena-wide (the same invariant as [`RowSet`]).
+///
 /// The two primitive cycles of the machine are:
 ///
 /// * [`CamArray::compare`] — present a key on a set of masked columns;
@@ -36,6 +45,9 @@ pub(crate) fn transpose64(a: &mut [u64; 64]) {
 /// Every cycle is charged to an internal [`CycleStats`]. Host-side bulk
 /// I/O ([`CamArray::load_field`] / [`CamArray::read_field`]) models the
 /// paper's "Write x" dataflow steps: one write cycle per bit column.
+/// Degenerate host I/O that moves no data — an empty load, a broadcast
+/// to an empty tag — charges **zero** cycles: the controller never
+/// issues cycles for work it can statically see is empty.
 ///
 /// # Examples
 ///
@@ -53,7 +65,10 @@ pub(crate) fn transpose64(a: &mut [u64; 64]) {
 pub struct CamArray {
     rows: usize,
     cols: usize,
-    planes: Vec<RowSet>,
+    /// Words per column plane (`rows.div_ceil(64)`), the arena stride.
+    blocks: usize,
+    /// Column-major plane storage: `cols * blocks` words.
+    arena: Vec<u64>,
     stats: CycleStats,
 }
 
@@ -67,12 +82,35 @@ impl CamArray {
         if rows == 0 || cols == 0 {
             return Err(ApError::BadConfig("CAM dimensions must be non-zero"));
         }
+        let blocks = rows.div_ceil(64);
         Ok(Self {
             rows,
             cols,
-            planes: vec![RowSet::new(rows); cols],
+            blocks,
+            arena: vec![0; cols * blocks],
             stats: CycleStats::default(),
         })
+    }
+
+    /// Re-shapes this CAM to `rows × cols`, zeroing all cells and the
+    /// cycle statistics. The arena buffer's capacity is kept, so
+    /// reusing a tile at the same (or any previously seen) geometry
+    /// performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApError::BadConfig`] if either dimension is zero.
+    pub(crate) fn reshape(&mut self, rows: usize, cols: usize) -> Result<(), ApError> {
+        if rows == 0 || cols == 0 {
+            return Err(ApError::BadConfig("CAM dimensions must be non-zero"));
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.blocks = rows.div_ceil(64);
+        self.arena.clear();
+        self.arena.resize(cols * self.blocks, 0);
+        self.stats = CycleStats::default();
+        Ok(())
     }
 
     /// Number of rows.
@@ -128,7 +166,7 @@ impl CamArray {
         out.fill(true);
         for &(col, key) in masked {
             self.check_col(col);
-            out.and_with_polarity(&self.planes[col], key);
+            out.and_with_plane(&self.arena[col * self.blocks..(col + 1) * self.blocks], key);
         }
         self.stats
             .charge_compare(self.rows as u64, masked.len() as u64);
@@ -144,8 +182,8 @@ impl CamArray {
         let tagged = tag.count() as u64;
         for &(col, key) in masked {
             self.check_col(col);
-            let plane = &mut self.planes[col];
-            for (p, t) in plane.words_mut().iter_mut().zip(tag.words()) {
+            let plane = &mut self.arena[col * self.blocks..(col + 1) * self.blocks];
+            for (p, t) in plane.iter_mut().zip(tag.words()) {
                 if key {
                     *p |= t;
                 } else {
@@ -156,17 +194,19 @@ impl CamArray {
         self.stats.charge_write(tagged, masked.len() as u64);
     }
 
-    /// Reads one column plane without charging cycles (observer access
-    /// for the simulator itself).
+    /// Reads one column plane's packed row-words (64 rows per word)
+    /// without charging cycles (observer access for the simulator
+    /// itself and for state-equality assertions in tests).
     #[must_use]
-    pub fn plane(&self, col: usize) -> &RowSet {
+    pub fn plane(&self, col: usize) -> &[u64] {
         self.check_col(col);
-        &self.planes[col]
+        &self.arena[col * self.blocks..(col + 1) * self.blocks]
     }
 
     /// Host-side bulk load of one word per row into `field`: charged as
     /// one write cycle per bit column (the paper's "Write x" steps cost
-    /// `width` cycles).
+    /// `width` cycles). An empty `words` slice moves no data and
+    /// charges zero cycles.
     ///
     /// # Errors
     ///
@@ -194,6 +234,10 @@ impl CamArray {
                 });
             }
         }
+        if words.is_empty() {
+            // Nothing to drive: the controller issues no cycles.
+            return Ok(());
+        }
         // Word-parallel store: transpose each 64-row block of input
         // words into plane words. Rows beyond the supplied words keep
         // their contents (the valid-mask blend); each bit column is
@@ -213,7 +257,7 @@ impl CamArray {
                 (1u64 << in_block) - 1
             };
             for (bit, &bv) in buf.iter().enumerate().take(w) {
-                let pw = &mut self.planes[field.col(bit)].words_mut()[blk];
+                let pw = &mut self.arena[field.col(bit) * self.blocks + blk];
                 *pw = (*pw & !valid) | (bv & valid);
             }
         }
@@ -224,7 +268,10 @@ impl CamArray {
     }
 
     /// Host-side broadcast of one constant into `field` for the rows of
-    /// `tag`: one write cycle per bit column.
+    /// `tag`: one write cycle per bit column. An empty tag drives no
+    /// rows and charges zero cycles (the controller branches on the
+    /// tag's emptiness, exactly as it does after a saturating
+    /// subtract).
     ///
     /// # Errors
     ///
@@ -248,6 +295,9 @@ impl CamArray {
                 width: field.width(),
             });
         }
+        if tag.is_none_set() {
+            return Ok(());
+        }
         for bit in 0..field.width() {
             self.write(tag, &[(field.col(bit), value >> bit & 1 == 1)]);
         }
@@ -259,25 +309,39 @@ impl CamArray {
     /// accounted by the deployment model, not per cell).
     #[must_use]
     pub fn read_field(&self, field: Field) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.rows);
+        self.read_field_append(field, &mut out);
+        out
+    }
+
+    /// Appends `field`'s words (one per row) to `out` without
+    /// allocating beyond `out`'s capacity — the pooled-tile read-out
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field exceeds the array's columns.
+    pub fn read_field_append(&self, field: Field, out: &mut Vec<u64>) {
         assert!(
             field.end() <= self.cols,
             "field {field} exceeds {} columns",
             self.cols
         );
-        let mut out = vec![0u64; self.rows];
+        let base_len = out.len();
+        out.resize(base_len + self.rows, 0);
+        let dst = &mut out[base_len..];
         let w = field.width();
         let mut buf = [0u64; 64];
-        for blk in 0..self.rows.div_ceil(64) {
+        for blk in 0..self.blocks {
             buf.fill(0);
             for (bit, slot) in buf.iter_mut().enumerate().take(w) {
-                *slot = self.planes[field.col(bit)].words()[blk];
+                *slot = self.arena[field.col(bit) * self.blocks + blk];
             }
             transpose64(&mut buf);
             let base = blk * 64;
             let in_block = (self.rows - base).min(64);
-            out[base..base + in_block].copy_from_slice(&buf[..in_block]);
+            dst[base..base + in_block].copy_from_slice(&buf[..in_block]);
         }
-        out
     }
 
     /// Reads one word from one row (free observer access).
@@ -286,7 +350,7 @@ impl CamArray {
         assert!(row < self.rows, "row {row} out of range {}", self.rows);
         let mut w = 0;
         for bit in 0..field.width() {
-            if self.planes[field.col(bit)].get(row) {
+            if self.arena[field.col(bit) * self.blocks + row / 64] >> (row % 64) & 1 == 1 {
                 w |= 1 << bit;
             }
         }
@@ -307,13 +371,31 @@ impl CamArray {
     /// One column's packed row-words (64 rows per word), for the
     /// word-parallel `FastWord` engine.
     pub(crate) fn plane_words(&self, col: usize) -> &[u64] {
-        self.planes[col].words()
+        self.check_col(col);
+        &self.arena[col * self.blocks..(col + 1) * self.blocks]
     }
 
     /// Mutable packed row-words of one column. Callers must keep the
-    /// tail bits beyond the row count zero (the [`RowSet`] invariant).
+    /// tail bits beyond the row count zero (the arena-wide invariant).
     pub(crate) fn plane_words_mut(&mut self, col: usize) -> &mut [u64] {
-        self.planes[col].words_mut()
+        self.check_col(col);
+        &mut self.arena[col * self.blocks..(col + 1) * self.blocks]
+    }
+
+    /// All of a field's planes as one contiguous arena slice, laid out
+    /// bit-major (`slice[bit * blocks + block]`) — exactly the
+    /// `FastWord` engine's buffer layout, so gather/scatter is a single
+    /// memcpy.
+    pub(crate) fn field_words(&self, field: Field) -> &[u64] {
+        assert!(field.end() <= self.cols, "field {field} out of range");
+        &self.arena[field.start() * self.blocks..field.end() * self.blocks]
+    }
+
+    /// Mutable contiguous arena slice of a field's planes; see
+    /// [`CamArray::field_words`]. Callers must keep tail bits zero.
+    pub(crate) fn field_words_mut(&mut self, field: Field) -> &mut [u64] {
+        assert!(field.end() <= self.cols, "field {field} out of range");
+        &mut self.arena[field.start() * self.blocks..field.end() * self.blocks]
     }
 
     /// Directly sets one word in one row without charging cycles.
@@ -332,7 +414,12 @@ impl CamArray {
             "value {value} does not fit {field}"
         );
         for bit in 0..field.width() {
-            self.planes[field.col(bit)].set(row, value >> bit & 1 == 1);
+            let w = &mut self.arena[field.col(bit) * self.blocks + row / 64];
+            if value >> bit & 1 == 1 {
+                *w |= 1 << (row % 64);
+            } else {
+                *w &= !(1 << (row % 64));
+            }
         }
     }
 }
@@ -398,6 +485,32 @@ mod tests {
     }
 
     #[test]
+    fn empty_load_is_free() {
+        let mut cam = CamArray::new(8, 8).unwrap();
+        let f = Field::new(0, 8);
+        cam.load_field(f, &[]).unwrap();
+        assert_eq!(cam.stats().cycles(), 0, "an empty load must charge zero");
+        assert_eq!(cam.stats().write_cell_events(), 0);
+    }
+
+    #[test]
+    fn empty_tag_broadcast_is_free() {
+        let mut cam = CamArray::new(8, 8).unwrap();
+        let f = Field::new(0, 8);
+        cam.broadcast_field(f, 0xFF, &RowSet::new(8)).unwrap();
+        assert_eq!(
+            cam.stats().cycles(),
+            0,
+            "a broadcast to no rows must charge zero"
+        );
+        // Validation still applies before the emptiness check.
+        assert!(matches!(
+            cam.broadcast_field(Field::new(0, 4), 16, &RowSet::new(8)),
+            Err(ApError::WidthOverflow { .. })
+        ));
+    }
+
+    #[test]
     fn compare_matches_on_all_masked_columns() {
         let mut cam = CamArray::new(4, 4).unwrap();
         let f = Field::new(0, 4);
@@ -455,6 +568,43 @@ mod tests {
     fn zero_dimensions_rejected() {
         assert!(CamArray::new(0, 4).is_err());
         assert!(CamArray::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn reshape_reuses_the_arena_and_clears_state() {
+        let mut cam = CamArray::new(100, 8).unwrap();
+        let f = Field::new(0, 8);
+        cam.broadcast_field(f, 0xFF, &RowSet::all(100)).unwrap();
+        assert!(cam.stats().cycles() > 0);
+        cam.reshape(70, 6).unwrap();
+        assert_eq!((cam.rows(), cam.cols()), (70, 6));
+        assert_eq!(cam.stats().cycles(), 0);
+        let g = Field::new(0, 6);
+        assert_eq!(cam.read_field(g), vec![0; 70], "reshape must zero cells");
+        // Same geometry round again: contents cleared, invariant holds.
+        cam.load_field(g, &(0..70).map(|i| i % 64).collect::<Vec<_>>())
+            .unwrap();
+        cam.reshape(70, 6).unwrap();
+        assert_eq!(cam.read_field(g), vec![0; 70]);
+        assert!(cam.reshape(0, 4).is_err());
+    }
+
+    #[test]
+    fn planes_are_contiguous_arena_ranges() {
+        let mut cam = CamArray::new(65, 4).unwrap();
+        let f = Field::new(1, 2);
+        cam.load_field(f, &(0..65).map(|i| i % 4).collect::<Vec<_>>())
+            .unwrap();
+        // field_words is bit-major with the plane stride: plane 0 of
+        // the field == plane_words(1), plane 1 == plane_words(2).
+        let blocks = 2; // ceil(65 / 64)
+        let fw = cam.field_words(f).to_vec();
+        assert_eq!(&fw[..blocks], cam.plane_words(1));
+        assert_eq!(&fw[blocks..], cam.plane_words(2));
+        // Tail bits beyond row 65 stay zero arena-wide.
+        for col in 0..4 {
+            assert_eq!(cam.plane(col)[1] >> 1, 0, "tail bits of col {col}");
+        }
     }
 
     #[test]

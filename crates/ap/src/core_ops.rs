@@ -1,4 +1,4 @@
-use crate::lut::{self, Lut, Slot};
+use crate::lut::{Lut, LutSet, Slot};
 use crate::{ApError, CamArray, CycleStats, ExecBackend, Field, RowSet};
 
 /// Geometry of one AP tile.
@@ -55,12 +55,50 @@ pub enum Overflow {
     Wrap,
 }
 
+/// Runs one LUT over one bit position against destructured core state.
+/// `bind` maps slots to concrete columns; `gate` adds an extra match
+/// condition (row predication).
+///
+/// Allocation-free: the bound-column buffers and the tag register are
+/// reused across every cycle, and the LUT itself comes from the core's
+/// cached [`LutSet`].
+fn run_lut_bit(
+    cam: &mut CamArray,
+    tag: &mut RowSet,
+    match_buf: &mut Vec<(usize, bool)>,
+    write_buf: &mut Vec<(usize, bool)>,
+    lut: &Lut,
+    bind: impl Fn(Slot) -> usize,
+    gate: Option<(usize, bool)>,
+) {
+    for pass in &lut.passes {
+        match_buf.clear();
+        for &(s, v) in &pass.match_bits {
+            match_buf.push((bind(s), v));
+        }
+        if let Some(g) = gate {
+            match_buf.push(g);
+        }
+        write_buf.clear();
+        for &(s, v) in &pass.write_bits {
+            write_buf.push((bind(s), v));
+        }
+        cam.compare_into(match_buf, tag);
+        cam.write(tag, write_buf);
+    }
+}
+
 /// The AP controller: word-level operations over [`Field`]s, composed
 /// from LUT compare/write passes on a [`CamArray`].
 ///
 /// All arithmetic is unsigned; subtraction exposes its borrow so callers
 /// can implement saturation (the convention used by the SoftmAP mapping,
 /// which keeps every intermediate as a magnitude).
+///
+/// A core owns all the scratch state its two backends need — the tag
+/// register, borrow/flag/search row-sets, LUT tables, and the fused
+/// engine's gather buffers — so steady-state execution (and especially
+/// reuse through [`crate::ApTile`]) performs no heap allocation.
 ///
 /// # Examples
 ///
@@ -87,6 +125,16 @@ pub struct ApCore {
     /// Reusable tag scratch: one compare target reused across every
     /// cycle instead of a fresh allocation per compare.
     tag_scratch: RowSet,
+    /// Borrow set of the most recent subtraction (also the divider's
+    /// restore tag); see [`ApCore::sub_into_ref`].
+    borrow_scratch: RowSet,
+    /// Flag-column tag scratch (divider quotient set, shift gates).
+    flag_scratch: RowSet,
+    /// Candidate sets for the bit-serial max/min search.
+    search_a: RowSet,
+    search_b: RowSet,
+    /// The LUT tables, built once and reused for every operation.
+    luts: LutSet,
     /// Reusable bound-column buffers for the LUT pass engine.
     match_buf: Vec<(usize, bool)>,
     write_buf: Vec<(usize, bool)>,
@@ -94,6 +142,15 @@ pub struct ApCore {
     pub(crate) vals_a: Vec<u64>,
     pub(crate) vals_b: Vec<u64>,
     pub(crate) vals_r: Vec<u64>,
+    /// Carry/borrow block scratch for the fused ripple engines.
+    pub(crate) vals_c: Vec<u64>,
+    /// Pre-subtraction remainder scratch for the fused divider.
+    pub(crate) vals_p: Vec<u64>,
+    /// Gate plane scratch for gated fused operations.
+    pub(crate) gate_buf: Vec<u64>,
+    /// Per-multiplier-bit `(acc_width, write_events)` scratch for the
+    /// fused multiplier.
+    pub(crate) events_buf: Vec<(usize, u64)>,
 }
 
 impl ApCore {
@@ -125,12 +182,56 @@ impl ApCore {
             next_col: 2,
             all_rows: RowSet::all(config.rows),
             tag_scratch: RowSet::new(config.rows),
+            borrow_scratch: RowSet::new(config.rows),
+            flag_scratch: RowSet::new(config.rows),
+            search_a: RowSet::new(config.rows),
+            search_b: RowSet::new(config.rows),
+            luts: LutSet::new(),
             match_buf: Vec::with_capacity(8),
             write_buf: Vec::with_capacity(8),
             vals_a: Vec::new(),
             vals_b: Vec::new(),
             vals_r: Vec::new(),
+            vals_c: Vec::new(),
+            vals_p: Vec::new(),
+            gate_buf: Vec::new(),
+            events_buf: Vec::new(),
         })
+    }
+
+    /// Re-shapes this core for a fresh program: zeroes all CAM cells
+    /// and statistics, releases every allocated field, and switches to
+    /// `backend` — while keeping every internal buffer's capacity, so
+    /// reuse at a previously seen geometry performs **zero** heap
+    /// allocations. This is the engine beneath [`crate::ApTile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApError::BadConfig`] for degenerate geometries.
+    pub fn reshape(&mut self, config: ApConfig, backend: ExecBackend) -> Result<(), ApError> {
+        if config.cols < 3 {
+            return Err(ApError::BadConfig("need at least 3 columns"));
+        }
+        self.cam.reshape(config.rows, config.cols)?;
+        self.backend = backend;
+        self.next_col = 2;
+        self.all_rows.reset(config.rows);
+        self.all_rows.fill(true);
+        self.tag_scratch.reset(config.rows);
+        self.borrow_scratch.reset(config.rows);
+        self.flag_scratch.reset(config.rows);
+        self.search_a.reset(config.rows);
+        self.search_b.reset(config.rows);
+        Ok(())
+    }
+
+    /// Clears all CAM cells, statistics, and field allocations at the
+    /// current geometry and backend (a same-shape [`ApCore::reshape`]).
+    pub fn clear(&mut self) {
+        let config = ApConfig::new(self.rows(), self.cols());
+        let backend = self.backend;
+        self.reshape(config, backend)
+            .expect("current geometry is valid");
     }
 
     /// The execution backend in use.
@@ -215,7 +316,8 @@ impl ApCore {
 
     // ---- host I/O -------------------------------------------------------
 
-    /// Loads one word per row into `field` (bit-serial: `width` cycles).
+    /// Loads one word per row into `field` (bit-serial: `width` cycles;
+    /// an empty slice is free).
     ///
     /// # Errors
     ///
@@ -259,47 +361,27 @@ impl ApCore {
         self.cam.read_field(field)
     }
 
+    /// Appends all words of `field` to `out` — the allocation-free
+    /// read-out used by the pooled execution path.
+    pub fn read_append(&self, field: Field, out: &mut Vec<u64>) {
+        self.cam.read_field_append(field, out);
+    }
+
     /// Reads one word.
     #[must_use]
     pub fn read_row(&self, row: usize, field: Field) -> u64 {
         self.cam.read_word(row, field)
     }
 
-    // ---- LUT engine -----------------------------------------------------
-
-    /// Runs one LUT over one bit position. `bind` maps slots to concrete
-    /// columns; `gate` adds an extra match condition (row predication).
+    /// Directly sets one row's word without charging cycles; see
+    /// [`CamArray::poke_word`] (the 2D-arithmetic back-door, not part
+    /// of the machine's ISA).
     ///
-    /// Allocation-free: the bound-column buffers and the tag register
-    /// are reused across every cycle.
-    fn run_lut_bit(
-        &mut self,
-        lut: &Lut,
-        bind: impl Fn(Slot) -> usize,
-        gate: Option<(usize, bool)>,
-    ) {
-        for pass in &lut.passes {
-            self.match_buf.clear();
-            for &(s, v) in &pass.match_bits {
-                self.match_buf.push((bind(s), v));
-            }
-            if let Some(g) = gate {
-                self.match_buf.push(g);
-            }
-            self.write_buf.clear();
-            for &(s, v) in &pass.write_bits {
-                self.write_buf.push((bind(s), v));
-            }
-            let Self {
-                cam,
-                tag_scratch,
-                match_buf,
-                write_buf,
-                ..
-            } = self;
-            cam.compare_into(match_buf, tag_scratch);
-            cam.write(tag_scratch, write_buf);
-        }
+    /// # Panics
+    ///
+    /// Panics if the row is out of range or the value does not fit.
+    pub fn poke_row(&mut self, row: usize, field: Field, value: u64) {
+        self.cam.poke_word(row, field, value);
     }
 
     /// Clears the carry column (one write cycle).
@@ -332,13 +414,18 @@ impl ApCore {
         if self.backend == ExecBackend::FastWord {
             return self.fw_xor(a, b, r);
         }
-        let all = RowSet::all(self.rows());
-        self.cam.broadcast_field(r, 0, &all)?;
-        let xor = lut::xor();
-        let copy = lut::copy();
+        self.broadcast_all(r, 0)?;
+        let cc = self.carry_col;
+        let Self {
+            cam,
+            tag_scratch,
+            match_buf,
+            write_buf,
+            luts,
+            ..
+        } = self;
         for i in 0..w {
             // Missing operand bits beyond a narrower field read as 0.
-            let cc = self.carry_col;
             if i < a.width() && i < b.width() {
                 let bind = move |s: Slot| match s {
                     Slot::A => a.col(i),
@@ -346,16 +433,32 @@ impl ApCore {
                     Slot::R => r.col(i),
                     Slot::C => cc,
                 };
-                self.run_lut_bit(&xor, bind, None);
+                run_lut_bit(
+                    cam,
+                    tag_scratch,
+                    match_buf,
+                    write_buf,
+                    &luts.xor,
+                    bind,
+                    None,
+                );
             } else {
-                let (src, _other) = if i < a.width() { (a, b) } else { (b, a) };
+                let src = if i < a.width() { a } else { b };
                 // XOR with implicit 0: copy the remaining operand bit.
                 let bind = move |s: Slot| match s {
                     Slot::A => src.col(i),
                     Slot::R => r.col(i),
                     _ => cc,
                 };
-                self.run_lut_bit(&copy, bind, None);
+                run_lut_bit(
+                    cam,
+                    tag_scratch,
+                    match_buf,
+                    write_buf,
+                    &luts.copy,
+                    bind,
+                    None,
+                );
             }
         }
         Ok(())
@@ -381,20 +484,36 @@ impl ApCore {
         if self.backend == ExecBackend::FastWord {
             return self.fw_copy(src, dst);
         }
-        let copy = lut::copy();
         let cc = self.carry_col;
-        for i in 0..src.width() {
-            let bind = move |s: Slot| match s {
-                Slot::A => src.col(i),
-                Slot::R => dst.col(i),
-                _ => cc,
-            };
-            self.run_lut_bit(&copy, bind, None);
+        {
+            let Self {
+                cam,
+                tag_scratch,
+                match_buf,
+                write_buf,
+                luts,
+                ..
+            } = self;
+            for i in 0..src.width() {
+                let bind = move |s: Slot| match s {
+                    Slot::A => src.col(i),
+                    Slot::R => dst.col(i),
+                    _ => cc,
+                };
+                run_lut_bit(
+                    cam,
+                    tag_scratch,
+                    match_buf,
+                    write_buf,
+                    &luts.copy,
+                    bind,
+                    None,
+                );
+            }
         }
         if dst.width() > src.width() {
-            let all = RowSet::all(self.rows());
             let hi = dst.sub(src.width(), dst.width() - src.width());
-            self.cam.broadcast_field(hi, 0, &all)?;
+            self.broadcast_all(hi, 0)?;
         }
         Ok(())
     }
@@ -441,8 +560,15 @@ impl ApCore {
             return self.fw_add_into_gated(acc, src, gate);
         }
         self.clear_carry();
-        let add = lut::add_in_place();
         let cc = self.carry_col;
+        let Self {
+            cam,
+            tag_scratch,
+            match_buf,
+            write_buf,
+            luts,
+            ..
+        } = self;
         for i in 0..src.width() {
             let bind = move |s: Slot| match s {
                 Slot::A => src.col(i),
@@ -450,15 +576,30 @@ impl ApCore {
                 Slot::R => acc.col(i),
                 Slot::C => cc,
             };
-            self.run_lut_bit(&add, bind, gate);
+            run_lut_bit(
+                cam,
+                tag_scratch,
+                match_buf,
+                write_buf,
+                &luts.add,
+                bind,
+                gate,
+            );
         }
-        let ripple = lut::carry_ripple();
         for i in src.width()..acc.width() {
             let bind = move |s: Slot| match s {
                 Slot::B => acc.col(i),
                 _ => cc,
             };
-            self.run_lut_bit(&ripple, bind, gate);
+            run_lut_bit(
+                cam,
+                tag_scratch,
+                match_buf,
+                write_buf,
+                &luts.carry_ripple,
+                bind,
+                gate,
+            );
         }
         Ok(())
     }
@@ -474,6 +615,19 @@ impl ApCore {
         self.sub_into_gated(acc, src, None)
     }
 
+    /// Allocation-free [`ApCore::sub_into`]: the borrow set is returned
+    /// as a reference to an internal scratch register (valid until the
+    /// next subtraction) instead of a fresh allocation — the pooled
+    /// execution path's variant.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ApCore::add_into`].
+    pub fn sub_into_ref(&mut self, acc: Field, src: Field) -> Result<&RowSet, ApError> {
+        self.sub_into_scratch(acc, src, None)?;
+        Ok(&self.borrow_scratch)
+    }
+
     /// Gated in-place subtraction; see [`ApCore::sub_into`].
     ///
     /// # Errors
@@ -485,6 +639,18 @@ impl ApCore {
         src: Field,
         gate: Option<(usize, bool)>,
     ) -> Result<RowSet, ApError> {
+        self.sub_into_scratch(acc, src, gate)?;
+        Ok(self.borrow_scratch.clone())
+    }
+
+    /// The shared subtraction engine: leaves the borrow set in
+    /// `self.borrow_scratch`.
+    fn sub_into_scratch(
+        &mut self,
+        acc: Field,
+        src: Field,
+        gate: Option<(usize, bool)>,
+    ) -> Result<(), ApError> {
         if acc.overlaps(&src) {
             return Err(ApError::FieldOverlap);
         }
@@ -498,27 +664,57 @@ impl ApCore {
             return self.fw_sub_into_gated(acc, src, gate);
         }
         self.clear_carry();
-        let sub = lut::sub_in_place();
         let cc = self.carry_col;
-        for i in 0..src.width() {
-            let bind = move |s: Slot| match s {
-                Slot::A => src.col(i),
-                Slot::B => acc.col(i),
-                Slot::R => acc.col(i),
-                Slot::C => cc,
-            };
-            self.run_lut_bit(&sub, bind, gate);
-        }
-        let ripple = lut::borrow_ripple();
-        for i in src.width()..acc.width() {
-            let bind = move |s: Slot| match s {
-                Slot::B => acc.col(i),
-                _ => cc,
-            };
-            self.run_lut_bit(&ripple, bind, gate);
+        {
+            let Self {
+                cam,
+                tag_scratch,
+                match_buf,
+                write_buf,
+                luts,
+                ..
+            } = self;
+            for i in 0..src.width() {
+                let bind = move |s: Slot| match s {
+                    Slot::A => src.col(i),
+                    Slot::B => acc.col(i),
+                    Slot::R => acc.col(i),
+                    Slot::C => cc,
+                };
+                run_lut_bit(
+                    cam,
+                    tag_scratch,
+                    match_buf,
+                    write_buf,
+                    &luts.sub,
+                    bind,
+                    gate,
+                );
+            }
+            for i in src.width()..acc.width() {
+                let bind = move |s: Slot| match s {
+                    Slot::B => acc.col(i),
+                    _ => cc,
+                };
+                run_lut_bit(
+                    cam,
+                    tag_scratch,
+                    match_buf,
+                    write_buf,
+                    &luts.borrow_ripple,
+                    bind,
+                    gate,
+                );
+            }
         }
         // Reading the borrow column costs one compare cycle.
-        Ok(self.cam.compare(&[(self.carry_col, true)]))
+        let Self {
+            cam,
+            borrow_scratch,
+            ..
+        } = self;
+        cam.compare_into(&[(self.carry_col, true)], borrow_scratch);
+        Ok(())
     }
 
     /// Saturating in-place subtraction: `acc = max(acc - src, 0)`.
@@ -530,17 +726,16 @@ impl ApCore {
     ///
     /// Same conditions as [`ApCore::add_into`].
     pub fn saturating_sub_into(&mut self, acc: Field, src: Field) -> Result<(), ApError> {
-        let borrowed = self.sub_into(acc, src)?;
-        if !borrowed.is_none_set() {
-            self.cam.broadcast_field(acc, 0, &borrowed)?;
-        } else {
-            // The hardware still spends the clearing cycles: the
-            // controller cannot observe emptiness without the compare it
-            // already performed, but it can skip the writes only by
-            // branching on the tag; the paper's controller does branch,
-            // so no charge here.
-        }
-        Ok(())
+        self.sub_into_scratch(acc, src, None)?;
+        // The controller branches on the borrow tag it already holds,
+        // so a broadcast to an empty set spends no cycles (the cost
+        // model charges empty bulk I/O as free).
+        let Self {
+            cam,
+            borrow_scratch,
+            ..
+        } = self;
+        cam.broadcast_field(acc, 0, borrow_scratch)
     }
 
     /// Out-of-place multiplication `r = a * b` by gated shift-add
@@ -564,8 +759,7 @@ impl ApCore {
         if self.backend == ExecBackend::FastWord {
             return self.fw_mul(a, b, r);
         }
-        let all = RowSet::all(self.rows());
-        self.cam.broadcast_field(r, 0, &all)?;
+        self.broadcast_all(r, 0)?;
         for j in 0..b.width() {
             // Partial sums below offset j never carry past bit
             // j + a.width(), so one ripple bit suffices.
@@ -597,25 +791,41 @@ impl ApCore {
         if k == 0 {
             return Ok(());
         }
-        let all = RowSet::all(self.rows());
         if k >= field.width() {
-            return self.cam.broadcast_field(field, 0, &all);
+            return self.broadcast_all(field, 0);
         }
         if self.backend == ExecBackend::FastWord {
             return self.fw_shr_const(field, k);
         }
-        let copy = lut::copy();
         let cc = self.carry_col;
-        for i in 0..field.width() - k {
-            let bind = move |s: Slot| match s {
-                Slot::A => field.col(i + k),
-                Slot::R => field.col(i),
-                _ => cc,
-            };
-            self.run_lut_bit(&copy, bind, None);
+        {
+            let Self {
+                cam,
+                tag_scratch,
+                match_buf,
+                write_buf,
+                luts,
+                ..
+            } = self;
+            for i in 0..field.width() - k {
+                let bind = move |s: Slot| match s {
+                    Slot::A => field.col(i + k),
+                    Slot::R => field.col(i),
+                    _ => cc,
+                };
+                run_lut_bit(
+                    cam,
+                    tag_scratch,
+                    match_buf,
+                    write_buf,
+                    &luts.copy,
+                    bind,
+                    None,
+                );
+            }
         }
         let hi = field.sub(field.width() - k, k);
-        self.cam.broadcast_field(hi, 0, &all)
+        self.broadcast_all(hi, 0)
     }
 
     /// In-place per-row variable right shift: `field >>= amount`, where
@@ -632,28 +842,51 @@ impl ApCore {
         if self.backend == ExecBackend::FastWord {
             return self.fw_shr_variable(field, amount);
         }
-        let copy = lut::copy();
         let cc = self.carry_col;
         for j in 0..amount.width() {
             let s = 1usize << j;
             let gate = Some((amount.col(j), true));
             if s >= field.width() {
                 // Entire field shifts out for gated rows.
-                let tag = self.cam.compare(&[(amount.col(j), true)]);
-                self.cam.broadcast_field(field, 0, &tag)?;
+                let Self {
+                    cam, flag_scratch, ..
+                } = self;
+                cam.compare_into(&[(amount.col(j), true)], flag_scratch);
+                cam.broadcast_field(field, 0, flag_scratch)?;
                 continue;
             }
-            for i in 0..field.width() - s {
-                let bind = move |slot: Slot| match slot {
-                    Slot::A => field.col(i + s),
-                    Slot::R => field.col(i),
-                    _ => cc,
-                };
-                self.run_lut_bit(&copy, bind, gate);
+            {
+                let Self {
+                    cam,
+                    tag_scratch,
+                    match_buf,
+                    write_buf,
+                    luts,
+                    ..
+                } = self;
+                for i in 0..field.width() - s {
+                    let bind = move |slot: Slot| match slot {
+                        Slot::A => field.col(i + s),
+                        Slot::R => field.col(i),
+                        _ => cc,
+                    };
+                    run_lut_bit(
+                        cam,
+                        tag_scratch,
+                        match_buf,
+                        write_buf,
+                        &luts.copy,
+                        bind,
+                        gate,
+                    );
+                }
             }
-            let tag = self.cam.compare(&[(amount.col(j), true)]);
+            let Self {
+                cam, flag_scratch, ..
+            } = self;
+            cam.compare_into(&[(amount.col(j), true)], flag_scratch);
             let hi = field.sub(field.width() - s, s);
-            self.cam.broadcast_field(hi, 0, &tag)?;
+            cam.broadcast_field(hi, 0, flag_scratch)?;
         }
         Ok(())
     }
@@ -668,7 +901,7 @@ impl ApCore {
             self.bitwise_check(a, b, r)?;
             return self.fw_and(a, b, r);
         }
-        self.bitwise(&lut::and(), a, b, r)
+        self.bitwise(|l| &l.and, a, b, r)
     }
 
     /// `r = a | b`, out of place (three passes per bit).
@@ -681,7 +914,7 @@ impl ApCore {
             self.bitwise_check(a, b, r)?;
             return self.fw_or(a, b, r);
         }
-        self.bitwise(&lut::or(), a, b, r)
+        self.bitwise(|l| &l.or, a, b, r)
     }
 
     /// `r = !a` over `a.width()` bits, out of place (two passes per bit,
@@ -703,15 +936,30 @@ impl ApCore {
         if self.backend == ExecBackend::FastWord {
             return self.fw_not(a, r);
         }
-        let not = lut::not();
         let cc = self.carry_col;
+        let Self {
+            cam,
+            tag_scratch,
+            match_buf,
+            write_buf,
+            luts,
+            ..
+        } = self;
         for i in 0..a.width() {
             let bind = move |s: Slot| match s {
                 Slot::A => a.col(i),
                 Slot::R => r.col(i),
                 _ => cc,
             };
-            self.run_lut_bit(&not, bind, None);
+            run_lut_bit(
+                cam,
+                tag_scratch,
+                match_buf,
+                write_buf,
+                &luts.not,
+                bind,
+                None,
+            );
         }
         Ok(())
     }
@@ -732,13 +980,28 @@ impl ApCore {
     }
 
     /// Shared engine for the two-operand bitwise LUTs (result
-    /// pre-cleared; operands zero-extended to the wider width).
-    fn bitwise(&mut self, lut: &Lut, a: Field, b: Field, r: Field) -> Result<(), ApError> {
+    /// pre-cleared; operands zero-extended to the wider width). The LUT
+    /// is picked from the cached set by `pick`.
+    fn bitwise(
+        &mut self,
+        pick: fn(&LutSet) -> &Lut,
+        a: Field,
+        b: Field,
+        r: Field,
+    ) -> Result<(), ApError> {
         let w = a.width().max(b.width());
         self.bitwise_check(a, b, r)?;
-        let all = RowSet::all(self.rows());
-        self.cam.broadcast_field(r, 0, &all)?;
+        self.broadcast_all(r, 0)?;
         let cc = self.carry_col;
+        let Self {
+            cam,
+            tag_scratch,
+            match_buf,
+            write_buf,
+            luts,
+            ..
+        } = self;
+        let lut = pick(luts);
         for i in 0..a.width().min(b.width()) {
             let bind = move |s: Slot| match s {
                 Slot::A => a.col(i),
@@ -746,7 +1009,7 @@ impl ApCore {
                 Slot::R => r.col(i),
                 Slot::C => cc,
             };
-            self.run_lut_bit(lut, bind, None);
+            run_lut_bit(cam, tag_scratch, match_buf, write_buf, lut, bind, None);
         }
         // Bits where only one operand exists: AND with 0 stays 0 (done);
         // OR/XOR-style LUTs that set R on a single operand bit are
@@ -757,7 +1020,6 @@ impl ApCore {
                 || p.match_bits.contains(&(Slot::B, true))
                     && !p.match_bits.contains(&(Slot::A, true))
         });
-        let copy = lut::copy();
         for i in a.width().min(b.width())..w {
             let src = if i < a.width() { a } else { b };
             if sets_on_single {
@@ -766,7 +1028,15 @@ impl ApCore {
                     Slot::R => r.col(i),
                     _ => cc,
                 };
-                self.run_lut_bit(&copy, bind, None);
+                run_lut_bit(
+                    cam,
+                    tag_scratch,
+                    match_buf,
+                    write_buf,
+                    &luts.copy,
+                    bind,
+                    None,
+                );
             }
         }
         Ok(())
@@ -791,23 +1061,52 @@ impl ApCore {
 
     // ---- search ---------------------------------------------------------
 
+    /// The shared bit-serial extreme search (MSB to LSB). Leaves the
+    /// attaining row set in `self.search_a` and returns the extreme
+    /// value. One compare cycle per bit. Allocation-free.
+    fn extreme_search(&mut self, field: Field, maximize: bool) -> u64 {
+        let Self {
+            cam,
+            search_a,
+            search_b,
+            ..
+        } = self;
+        search_a.fill(true);
+        let mut value = 0u64;
+        for i in (0..field.width()).rev() {
+            // Tag rows whose bit matches the preferred polarity, then
+            // intersect with the surviving candidates.
+            cam.compare_into(&[(field.col(i), maximize)], search_b);
+            search_b.and_with(search_a);
+            if search_b.is_none_set() {
+                if !maximize {
+                    // Every remaining candidate has a 1 here.
+                    value |= 1 << i;
+                }
+            } else {
+                if maximize {
+                    value |= 1 << i;
+                }
+                core::mem::swap(search_a, search_b);
+            }
+        }
+        value
+    }
+
     /// Bit-serial maximum search (MSB to LSB): returns the maximum value
     /// in `field` over all rows and the set of rows attaining it.
     /// One compare cycle per bit.
     #[must_use]
     pub fn max_search(&mut self, field: Field) -> (u64, RowSet) {
-        let mut candidates = RowSet::all(self.rows());
-        let mut max = 0u64;
-        for i in (0..field.width()).rev() {
-            let ones = self.cam.compare(&[(field.col(i), true)]);
-            let mut narrowed = candidates.clone();
-            narrowed.and_with(&ones);
-            if !narrowed.is_none_set() {
-                candidates = narrowed;
-                max |= 1 << i;
-            }
-        }
-        (max, candidates)
+        let max = self.extreme_search(field, true);
+        (max, self.search_a.clone())
+    }
+
+    /// Allocation-free [`ApCore::max_search`] when only the value is
+    /// needed (the attaining rows stay in an internal register).
+    #[must_use]
+    pub fn max_search_value(&mut self, field: Field) -> u64 {
+        self.extreme_search(field, true)
     }
 
     /// Bit-serial minimum search (MSB to LSB, preferring zero bits):
@@ -815,20 +1114,15 @@ impl ApCore {
     /// attaining it. One compare cycle per bit.
     #[must_use]
     pub fn min_search(&mut self, field: Field) -> (u64, RowSet) {
-        let mut candidates = RowSet::all(self.rows());
-        let mut min = 0u64;
-        for i in (0..field.width()).rev() {
-            let zeros = self.cam.compare(&[(field.col(i), false)]);
-            let mut narrowed = candidates.clone();
-            narrowed.and_with(&zeros);
-            if narrowed.is_none_set() {
-                // every remaining candidate has a 1 here
-                min |= 1 << i;
-            } else {
-                candidates = narrowed;
-            }
-        }
-        (min, candidates)
+        let min = self.extreme_search(field, false);
+        (min, self.search_a.clone())
+    }
+
+    /// Allocation-free [`ApCore::min_search`] when only the value is
+    /// needed.
+    #[must_use]
+    pub fn min_search_value(&mut self, field: Field) -> u64 {
+        self.extreme_search(field, false)
     }
 
     // ---- 2D reduction ---------------------------------------------------
@@ -875,21 +1169,45 @@ impl ApCore {
         segment_rows: usize,
         mode: Overflow,
     ) -> Result<Vec<u64>, ApError> {
+        let mut sums = Vec::new();
+        self.reduce_sum_2d_mode_into(field, sum_field, segment_rows, mode, &mut sums)?;
+        Ok(sums)
+    }
+
+    /// Allocation-free [`ApCore::reduce_sum_2d_mode`]: per-segment sums
+    /// are written into `sums` (cleared first), and the row read-out
+    /// reuses an internal buffer.
+    ///
+    /// # Errors
+    ///
+    /// As [`ApCore::reduce_sum_2d_mode`].
+    pub fn reduce_sum_2d_mode_into(
+        &mut self,
+        field: Field,
+        sum_field: Field,
+        segment_rows: usize,
+        mode: Overflow,
+        sums: &mut Vec<u64>,
+    ) -> Result<(), ApError> {
+        sums.clear();
         if segment_rows == 0 || !self.rows().is_multiple_of(segment_rows) {
             return Err(ApError::BadConfig("segment_rows must divide the row count"));
         }
-        let words = self.cam.read_field(field);
-        let mut sums = Vec::with_capacity(self.rows() / segment_rows);
+        let mut words = std::mem::take(&mut self.vals_a);
+        words.clear();
+        self.cam.read_field_append(field, &mut words);
+        let mut failed = None;
         for seg in 0..self.rows() / segment_rows {
             let base = seg * segment_rows;
             let exact: u64 = words[base..base + segment_rows].iter().sum();
             let sum = if exact > sum_field.max_value() {
                 match mode {
                     Overflow::Error => {
-                        return Err(ApError::WidthOverflow {
+                        failed = Some(ApError::WidthOverflow {
                             value: exact,
                             width: sum_field.width(),
-                        })
+                        });
+                        break;
                     }
                     Overflow::Saturate => sum_field.max_value(),
                     Overflow::Wrap => exact & sum_field.max_value(),
@@ -900,6 +1218,10 @@ impl ApCore {
             self.cam.poke_word(base, sum_field, sum);
             sums.push(sum);
         }
+        self.vals_a = words;
+        if let Some(e) = failed {
+            return Err(e);
+        }
         let stages = segment_rows.next_power_of_two().trailing_zeros() as u64;
         let cycles = 8 * stages + 1;
         let events = (segment_rows as u64 - 1)
@@ -907,7 +1229,7 @@ impl ApCore {
             * 3
             * (self.rows() / segment_rows) as u64;
         self.cam.charge_2d(cycles, events);
-        Ok(sums)
+        Ok(())
     }
 
     // ---- division -------------------------------------------------------
@@ -944,8 +1266,14 @@ impl ApCore {
         if num.overlaps(&quot) || den.overlaps(&quot) || num.overlaps(&den) {
             return Err(ApError::FieldOverlap);
         }
-        let dens = self.cam.read_field(den);
-        if dens.contains(&0) {
+        // Zero-divisor scan through a reused buffer (free observer
+        // access, no allocation in steady state).
+        let mut dens = std::mem::take(&mut self.vals_p);
+        dens.clear();
+        self.cam.read_field_append(den, &mut dens);
+        let any_zero = dens.contains(&0);
+        self.vals_p = dens;
+        if any_zero {
             return Err(ApError::DivisionByZero);
         }
         match style {
@@ -955,9 +1283,14 @@ impl ApCore {
             DivStyle::Restoring => self.divide_restoring(num, den, quot, frac_bits),
             // The reciprocal microprogram is controller-driven: its
             // constituent ops (mul, shifts, copies, compares) dispatch
-            // per backend themselves, so the body is shared.
+            // per backend themselves, so the body is shared. It
+            // consumes the divisor words already staged above instead
+            // of re-reading the field.
             DivStyle::ControllerReciprocal => {
-                self.divide_reciprocal(num, den, quot, frac_bits, &dens)
+                let mut dens = std::mem::take(&mut self.vals_p);
+                let result = self.divide_reciprocal(num, den, quot, frac_bits, &mut dens);
+                self.vals_p = dens;
+                result
             }
         }
     }
@@ -972,68 +1305,108 @@ impl ApCore {
         // Remainder scratch: one bit wider than the divisor.
         let rem_width = den.width() + 1;
         let rem = self.alloc_scratch(rem_width)?;
-        let all = RowSet::all(self.rows());
-        self.cam.broadcast_field(rem, 0, &all)?;
-        self.cam.broadcast_field(quot, 0, &all)?;
+        self.broadcast_all(rem, 0)?;
+        self.broadcast_all(quot, 0)?;
 
         let total_bits = num.width() + frac_bits;
-        let copy = lut::copy();
         let cc = self.carry_col;
         let fc = self.flag_col;
         for k in (0..total_bits).rev() {
-            // rem = (rem << 1) | dividend_bit(k); shift MSB-first so no
-            // bit is clobbered before it is read.
-            for i in (0..rem.width() - 1).rev() {
-                let bind = move |s: Slot| match s {
-                    Slot::A => rem.col(i),
-                    Slot::R => rem.col(i + 1),
-                    _ => cc,
-                };
-                self.run_lut_bit(&copy, bind, None);
-            }
-            if k >= frac_bits {
-                let bind = move |s: Slot| match s {
-                    Slot::A => num.col(k - frac_bits),
-                    Slot::R => rem.col(0),
-                    _ => cc,
-                };
-                self.run_lut_bit(&copy, bind, None);
-            } else {
-                self.cam.write(&all, &[(rem.col(0), false)]);
+            {
+                let Self {
+                    cam,
+                    tag_scratch,
+                    match_buf,
+                    write_buf,
+                    luts,
+                    all_rows,
+                    ..
+                } = self;
+                // rem = (rem << 1) | dividend_bit(k); shift MSB-first so
+                // no bit is clobbered before it is read.
+                for i in (0..rem.width() - 1).rev() {
+                    let bind = move |s: Slot| match s {
+                        Slot::A => rem.col(i),
+                        Slot::R => rem.col(i + 1),
+                        _ => cc,
+                    };
+                    run_lut_bit(
+                        cam,
+                        tag_scratch,
+                        match_buf,
+                        write_buf,
+                        &luts.copy,
+                        bind,
+                        None,
+                    );
+                }
+                if k >= frac_bits {
+                    let bind = move |s: Slot| match s {
+                        Slot::A => num.col(k - frac_bits),
+                        Slot::R => rem.col(0),
+                        _ => cc,
+                    };
+                    run_lut_bit(
+                        cam,
+                        tag_scratch,
+                        match_buf,
+                        write_buf,
+                        &luts.copy,
+                        bind,
+                        None,
+                    );
+                } else {
+                    cam.write(all_rows, &[(rem.col(0), false)]);
+                }
             }
             // Try rem -= den; latch the borrow into the flag column (the
             // carry column is recycled by the restoring add), then rows
             // that underflowed restore by adding den back, gated on the
             // flag.
-            let borrowed = self.sub_into(rem, den)?;
-            self.cam.write(&all, &[(fc, false)]);
-            self.cam.write(&borrowed, &[(fc, true)]);
-            if !borrowed.is_none_set() {
+            self.sub_into_scratch(rem, den, None)?;
+            let any_borrow = {
+                let Self {
+                    cam,
+                    all_rows,
+                    borrow_scratch,
+                    ..
+                } = self;
+                cam.write(all_rows, &[(fc, false)]);
+                cam.write(borrow_scratch, &[(fc, true)]);
+                !borrow_scratch.is_none_set()
+            };
+            if any_borrow {
                 self.add_into_gated(rem, den, Some((fc, true)))?;
             }
-            // Quotient bit = 1 for rows that did not borrow.
-            let no_borrow = self.cam.compare(&[(fc, false)]);
+            // Quotient bit = 1 for rows that did not borrow (empty-set
+            // broadcasts above the field are free, mirroring the
+            // controller's branch on the tag).
+            let Self {
+                cam, flag_scratch, ..
+            } = self;
+            cam.compare_into(&[(fc, false)], flag_scratch);
             if k < quot.width() {
-                self.cam.write(&no_borrow, &[(quot.col(k), true)]);
-            } else if !no_borrow.is_none_set() {
+                cam.write(flag_scratch, &[(quot.col(k), true)]);
+            } else {
                 // Quotient bit above the field: saturate affected rows.
-                self.cam
-                    .broadcast_field(quot, quot.max_value(), &no_borrow)?;
+                cam.broadcast_field(quot, quot.max_value(), flag_scratch)?;
             }
         }
         self.release_scratch(rem);
         Ok(())
     }
 
+    /// `dens` holds the divisor words read by [`ApCore::divide`]'s
+    /// zero scan; it is sorted and deduplicated in place (it is
+    /// scratch, so no allocation happens in steady state).
     fn divide_reciprocal(
         &mut self,
         num: Field,
         den: Field,
         quot: Field,
         frac_bits: usize,
-        dens: &[u64],
+        dens: &mut Vec<u64>,
     ) -> Result<(), ApError> {
-        let _ = den;
         // The controller computes floor(2^G / den) once per distinct
         // divisor (cheap scalar work) and broadcasts it; the AP then
         // multiplies and shifts: quot = (num * recip) >> (G - F). Guard
@@ -1045,18 +1418,23 @@ impl ApCore {
         let prod_width = num.width() + recip_width;
         let prod = self.alloc_scratch(prod_width)?;
 
-        let mut distinct: Vec<u64> = dens.to_vec();
-        distinct.sort_unstable();
-        distinct.dedup();
-        for d in distinct {
+        dens.sort_unstable();
+        dens.dedup();
+        for &d in dens.iter() {
             let r = ((1u128 << guard_bits) / u128::from(d)) as u64;
             // Tag rows holding divisor d: one compare per divisor bit.
-            let mut tag = RowSet::all(self.rows());
+            let Self {
+                cam,
+                search_a,
+                search_b,
+                ..
+            } = self;
+            search_a.fill(true);
             for i in 0..den.width() {
-                let plane = self.cam.compare(&[(den.col(i), d >> i & 1 == 1)]);
-                tag.and_with(&plane);
+                cam.compare_into(&[(den.col(i), d >> i & 1 == 1)], search_b);
+                search_a.and_with(search_b);
             }
-            self.cam.broadcast_field(recip, r, &tag)?;
+            cam.broadcast_field(recip, r, search_a)?;
         }
         self.mul(num, recip, prod)?;
         self.shr_const(prod, guard_bits - frac_bits)?;
@@ -1066,19 +1444,30 @@ impl ApCore {
         self.copy(low, quot)?;
         if prod.width() > quot.width() {
             let hi = prod.sub(quot.width(), prod.width() - quot.width());
-            let mut overflow = RowSet::new(self.rows());
+            let Self {
+                cam,
+                search_a,
+                search_b,
+                ..
+            } = self;
+            search_a.fill(false);
             for i in 0..hi.width() {
-                let ones = self.cam.compare(&[(hi.col(i), true)]);
-                overflow.or_with(&ones);
+                cam.compare_into(&[(hi.col(i), true)], search_b);
+                search_a.or_with(search_b);
             }
-            if !overflow.is_none_set() {
-                self.cam
-                    .broadcast_field(quot, quot.max_value(), &overflow)?;
+            if !search_a.is_none_set() {
+                cam.broadcast_field(quot, quot.max_value(), search_a)?;
             }
         }
         self.release_scratch(prod);
         self.release_scratch(recip);
         Ok(())
+    }
+
+    /// Copies packed borrow words into the borrow scratch register —
+    /// the fused subtract engine's hand-off to `sub_into_scratch`.
+    pub(crate) fn set_borrow_scratch(&mut self, words: &[u64]) {
+        self.borrow_scratch.copy_from_words(words);
     }
 
     // ---- scratch management ----------------------------------------------
@@ -1151,6 +1540,17 @@ mod tests {
         ap.load(acc, &[10, 3, 0, 15]).unwrap();
         let borrow = ap.sub_into(acc, a).unwrap();
         assert_eq!(ap.read(acc), vec![7, (16 + 3 - 10), 0, 0]);
+        assert_eq!(borrow.iter_set().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn sub_into_ref_matches_owned_borrow_set() {
+        let mut ap = core(4, 16);
+        let a = ap.alloc_field(4).unwrap();
+        let acc = ap.alloc_field(4).unwrap();
+        ap.load(a, &[3, 10, 0, 15]).unwrap();
+        ap.load(acc, &[10, 3, 0, 15]).unwrap();
+        let borrow = ap.sub_into_ref(acc, a).unwrap();
         assert_eq!(borrow.iter_set().collect::<Vec<_>>(), vec![1]);
     }
 
@@ -1238,6 +1638,7 @@ mod tests {
         let (max, rows) = ap.max_search(f);
         assert_eq!(max, 42);
         assert_eq!(rows.iter_set().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(ap.max_search_value(f), 42);
     }
 
     #[test]
@@ -1248,6 +1649,17 @@ mod tests {
         let (max, rows) = ap.max_search(f);
         assert_eq!(max, 0);
         assert_eq!(rows.count(), 3);
+    }
+
+    #[test]
+    fn min_search_value_matches_min_search() {
+        let mut ap = core(6, 10);
+        let f = ap.alloc_field(6).unwrap();
+        ap.load(f, &[13, 42, 7, 42, 9, 41]).unwrap();
+        let (min, rows) = ap.min_search(f);
+        assert_eq!(min, 7);
+        assert_eq!(rows.iter_set().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(ap.min_search_value(f), 7);
     }
 
     #[test]
@@ -1434,5 +1846,30 @@ mod tests {
         // 1 carry clear + 8 bits * 4 passes * 2 cycles + 1 ripple bit * 2
         // passes * 2 cycles = 1 + 64 + 4 = 69.
         assert_eq!(s.cycles(), 69);
+    }
+
+    #[test]
+    fn reshape_resets_fields_stats_and_cells() {
+        let mut ap = core(8, 24);
+        let f = ap.alloc_field(6).unwrap();
+        ap.load(f, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        assert!(ap.stats().cycles() > 0);
+        assert!(ap.free_cols() < 22);
+        ap.reshape(ApConfig::new(6, 20), ExecBackend::FastWord)
+            .unwrap();
+        assert_eq!((ap.rows(), ap.cols()), (6, 20));
+        assert_eq!(ap.stats().cycles(), 0);
+        assert_eq!(ap.free_cols(), 18);
+        let g = ap.alloc_field(6).unwrap();
+        assert_eq!(ap.read(g), vec![0; 6], "reshape must zero all cells");
+        assert!(ap
+            .reshape(ApConfig::new(4, 2), ExecBackend::Microcode)
+            .is_err());
+        // clear() is a same-shape reshape.
+        ap.load(g, &[1, 2, 3, 4, 5, 6]).unwrap();
+        ap.clear();
+        let g2 = ap.alloc_field(6).unwrap();
+        assert_eq!(g2, g, "clear releases field allocations");
+        assert_eq!(ap.read(g2), vec![0; 6]);
     }
 }

@@ -21,8 +21,10 @@
 //!   either as interpreted bit-serial microcode (ground truth) or on a
 //!   fused word-parallel fast path that is bit- and cycle-identical by
 //!   contract (see the `backend` module docs for the cost model),
+//! * [`ApTile`] — reusable tile state: one flat-arena core handed out
+//!   freshly cleared per program, zero allocations in steady state,
 //! * [`batch`] — the multi-tile batch driver: independent jobs fanned
-//!   across host threads, one simulated tile per job,
+//!   across host threads, one persistent simulated tile per worker,
 //! * [`cost`] — the paper's Table II analytic runtime formulas,
 //! * [`EnergyModel`] / [`AreaModel`] — calibrated 16 nm energy and area
 //!   models driven by the counted cell events.
@@ -60,6 +62,7 @@ mod energy;
 mod field;
 mod rowset;
 mod stats;
+mod tile;
 
 pub use area::AreaModel;
 pub use backend::ExecBackend;
@@ -69,6 +72,7 @@ pub use energy::{EnergyBreakdown, EnergyModel};
 pub use field::Field;
 pub use rowset::RowSet;
 pub use stats::CycleStats;
+pub use tile::ApTile;
 
 /// Errors reported by the AP simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]

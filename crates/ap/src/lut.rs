@@ -211,6 +211,43 @@ pub fn copy() -> Lut {
     }
 }
 
+/// One instance of every LUT, built once per [`crate::ApCore`] and
+/// reused across all operations and all vectors a tile executes.
+///
+/// The constructors above allocate their pass vectors; before this
+/// cache, every `add_into`/`mul`/`copy` call rebuilt its tables,
+/// costing a handful of heap allocations per word-level op. A reusable
+/// tile holds one `LutSet` for its whole lifetime, which is part of
+/// the zero-allocation steady state of the pooled execution path.
+#[derive(Debug, Clone)]
+pub(crate) struct LutSet {
+    pub(crate) xor: Lut,
+    pub(crate) and: Lut,
+    pub(crate) or: Lut,
+    pub(crate) not: Lut,
+    pub(crate) add: Lut,
+    pub(crate) sub: Lut,
+    pub(crate) carry_ripple: Lut,
+    pub(crate) borrow_ripple: Lut,
+    pub(crate) copy: Lut,
+}
+
+impl LutSet {
+    pub(crate) fn new() -> Self {
+        Self {
+            xor: xor(),
+            and: and(),
+            or: or(),
+            not: not(),
+            add: add_in_place(),
+            sub: sub_in_place(),
+            carry_ripple: carry_ripple(),
+            borrow_ripple: borrow_ripple(),
+            copy: copy(),
+        }
+    }
+}
+
 /// All LUTs, for enumeration in tests and documentation.
 #[must_use]
 pub fn all() -> Vec<Lut> {

@@ -183,6 +183,47 @@ impl RowSet {
         }
     }
 
+    /// Intersects `self` with a raw plane (packed row-words straight
+    /// from the CAM arena) under the given polarity.
+    ///
+    /// Complemented planes have set tail bits, but `self`'s tail is
+    /// zero and AND keeps it zero, so the invariant holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word counts differ.
+    pub(crate) fn and_with_plane(&mut self, plane: &[u64], polarity: bool) {
+        assert_eq!(self.words.len(), plane.len(), "plane word-count mismatch");
+        if polarity {
+            for (a, b) in self.words.iter_mut().zip(plane) {
+                *a &= b;
+            }
+        } else {
+            for (a, b) in self.words.iter_mut().zip(plane) {
+                *a &= !b;
+            }
+        }
+    }
+
+    /// Resizes in place to `len` rows, all bits cleared. Keeps the
+    /// word buffer's capacity, so tile-state reuse across geometries
+    /// does not reallocate once the high-water mark is reached.
+    pub(crate) fn reset(&mut self, len: usize) {
+        self.len = len;
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+    }
+
+    /// Copies packed row-words into this set and re-trims the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word counts differ.
+    pub(crate) fn copy_from_words(&mut self, words: &[u64]) {
+        self.words.copy_from_slice(words);
+        self.trim();
+    }
+
     /// Iterates over indices of set bits in ascending order.
     pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(i, &w)| {
@@ -203,11 +244,6 @@ impl RowSet {
     #[must_use]
     pub(crate) fn words(&self) -> &[u64] {
         &self.words
-    }
-
-    /// Mutable raw word access for word-parallel composition.
-    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
-        &mut self.words
     }
 }
 

@@ -1,0 +1,131 @@
+//! Reusable AP tile state.
+//!
+//! SoftmAP's deployment model treats a tile as **persistent hardware**
+//! that many softmax vectors stream through — the arrays are not
+//! rebuilt between vectors, only rewritten. [`ApTile`] is the host-side
+//! analogue: one slot that owns a simulated [`ApCore`] (the flat CAM
+//! arena, the tag/borrow/search registers, the LUT tables, and the
+//! `FastWord` gather buffers) and hands it out freshly cleared per
+//! program. Acquiring a tile at a previously seen geometry performs
+//! **zero** heap allocations; only growing past the high-water mark
+//! allocates.
+//!
+//! The batched execution layers keep one `ApTile` per worker thread
+//! (via `softmap_par::try_parallel_map_with`), so a batch of `n`
+//! vectors touches `threads` tile allocations instead of `n`.
+//!
+//! # Examples
+//!
+//! ```
+//! use softmap_ap::{ApConfig, ApTile, ExecBackend};
+//!
+//! let mut tile = ApTile::new();
+//! for round in 0..3u64 {
+//!     let ap = tile
+//!         .acquire(ApConfig::new(8, 16), ExecBackend::FastWord)
+//!         .unwrap();
+//!     let f = ap.alloc_field(6).unwrap();
+//!     ap.load(f, &[round; 8]).unwrap();
+//!     assert_eq!(ap.read(f), vec![round; 8]); // fresh state each round
+//! }
+//! ```
+
+use crate::{ApConfig, ApCore, ApError, ExecBackend};
+
+/// A reusable slot for one simulated AP tile; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct ApTile {
+    core: Option<ApCore>,
+}
+
+impl ApTile {
+    /// Creates an empty tile slot (no arena allocated yet).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out the tile's core, cleared for a fresh program at the
+    /// requested geometry and backend: all CAM cells zero, statistics
+    /// zero, no fields allocated. Buffer capacities are kept across
+    /// acquisitions, so steady-state reuse allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApError::BadConfig`] for degenerate geometries.
+    pub fn acquire(
+        &mut self,
+        config: ApConfig,
+        backend: ExecBackend,
+    ) -> Result<&mut ApCore, ApError> {
+        match &mut self.core {
+            Some(core) => core.reshape(config, backend)?,
+            None => self.core = Some(ApCore::with_backend(config, backend)?),
+        }
+        Ok(self.core.as_mut().expect("core was just ensured"))
+    }
+
+    /// Clears the held core's cells, statistics, and field allocations
+    /// in place (no-op for an empty slot). The arena stays allocated.
+    pub fn clear(&mut self) {
+        if let Some(core) = &mut self.core {
+            core.clear();
+        }
+    }
+
+    /// The held core, if one has been acquired.
+    #[must_use]
+    pub fn core(&self) -> Option<&ApCore> {
+        self.core.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_reuses_state_across_geometries() {
+        let mut tile = ApTile::new();
+        let ap = tile
+            .acquire(ApConfig::new(100, 16), ExecBackend::Microcode)
+            .unwrap();
+        let f = ap.alloc_field(8).unwrap();
+        ap.load(f, &(0..100).map(|i| i % 250).collect::<Vec<_>>())
+            .unwrap();
+        assert!(ap.stats().cycles() > 0);
+
+        // Same slot, smaller geometry, other backend: fresh state.
+        let ap = tile
+            .acquire(ApConfig::new(40, 12), ExecBackend::FastWord)
+            .unwrap();
+        assert_eq!((ap.rows(), ap.cols()), (40, 12));
+        assert_eq!(ap.stats().cycles(), 0);
+        assert_eq!(ap.backend(), ExecBackend::FastWord);
+        let g = ap.alloc_field(10).unwrap();
+        assert_eq!(ap.read(g), vec![0; 40], "acquire must clear cells");
+
+        // Bad geometry is rejected without poisoning the slot.
+        assert!(tile
+            .acquire(ApConfig::new(0, 8), ExecBackend::FastWord)
+            .is_err());
+        assert!(tile
+            .acquire(ApConfig::new(8, 8), ExecBackend::FastWord)
+            .is_ok());
+    }
+
+    #[test]
+    fn clear_resets_in_place() {
+        let mut tile = ApTile::new();
+        tile.clear(); // empty slot: no-op
+        let ap = tile
+            .acquire(ApConfig::new(8, 16), ExecBackend::FastWord)
+            .unwrap();
+        let f = ap.alloc_field(6).unwrap();
+        ap.load(f, &[9; 8]).unwrap();
+        tile.clear();
+        let ap = tile.core().unwrap();
+        assert_eq!(ap.stats().cycles(), 0);
+        assert_eq!(ap.free_cols(), 14);
+    }
+}

@@ -5,7 +5,7 @@
 //! overflow mode, and division style.
 
 use proptest::prelude::*;
-use softmap_ap::{ApConfig, ApCore, CycleStats, DivStyle, ExecBackend, Field, Overflow};
+use softmap_ap::{ApConfig, ApCore, ApTile, CycleStats, DivStyle, ExecBackend, Field, Overflow};
 
 /// Runs `op` on a fresh core per backend and asserts identical CAM
 /// state (every column plane) and identical cycle statistics.
@@ -283,6 +283,60 @@ proptest! {
             ap.load(b, &ys).unwrap();
             ap.dot(a, b, prod, sum).unwrap()
         });
+    }
+
+    #[test]
+    fn pooled_tiles_agree_across_reuse(
+        xs in prop::collection::vec(0u64..64, 2..24),
+        ys in prop::collection::vec(1u64..64, 2..24),
+    ) {
+        // The pooled/arena path: both backends execute the same
+        // program repeatedly through ONE reused ApTile each. Every
+        // round must be bit- and cycle-identical between backends and
+        // to a fresh-core run (no residual state across acquisitions).
+        let (xs, ys) = truncate_pairs(&xs, &ys);
+        let rows = xs.len();
+        let cols = 64;
+        let program = |ap: &mut ApCore| {
+            let a = ap.alloc_field(6).unwrap();
+            let b = ap.alloc_field(6).unwrap();
+            let p = ap.alloc_field(12).unwrap();
+            let q = ap.alloc_field(8).unwrap();
+            ap.load(a, &xs).unwrap();
+            ap.load(b, &ys).unwrap();
+            ap.mul(a, b, p).unwrap();
+            ap.shr_const(p, 1).unwrap();
+            ap.add_into(p.sub(0, 8), a).unwrap();
+            ap.divide(p.sub(0, 8), b, q, 1, DivStyle::Restoring).unwrap();
+            (ap.read(p), ap.read(q), ap.stats())
+        };
+        let mut fresh = ApCore::with_backend(ApConfig::new(rows, cols), ExecBackend::Microcode)
+            .expect("fresh core");
+        let reference = program(&mut fresh);
+        let mut micro_tile = ApTile::new();
+        let mut fast_tile = ApTile::new();
+        for round in 0..3 {
+            let rm = program(
+                micro_tile
+                    .acquire(ApConfig::new(rows, cols), ExecBackend::Microcode)
+                    .unwrap(),
+            );
+            let rf = program(
+                fast_tile
+                    .acquire(ApConfig::new(rows, cols), ExecBackend::FastWord)
+                    .unwrap(),
+            );
+            prop_assert_eq!(&rm, &rf, "backends diverge on round {}", round);
+            prop_assert_eq!(&rm, &reference, "tile reuse leaks state on round {}", round);
+            // Plane state (incl. carry/flag columns) must match too.
+            let (mc, fc) = (
+                micro_tile.core().unwrap().cam(),
+                fast_tile.core().unwrap().cam(),
+            );
+            for col in 0..cols {
+                prop_assert_eq!(mc.plane(col), fc.plane(col), "plane {} diverges", col);
+            }
+        }
     }
 
     #[test]

@@ -199,6 +199,64 @@ proptest! {
     }
 
     #[test]
+    fn width64_fields_roundtrip_end_to_end(
+        xs in prop::collection::vec(any::<u64>(), 1..40),
+        constant in any::<u64>(),
+        poke in any::<u64>(),
+    ) {
+        // A full-width 64-bit field: `Field::max_value()` saturates to
+        // u64::MAX, so the load overflow check can reject nothing, and
+        // every per-bit shift path (load transpose, read, broadcast,
+        // poke) must stay below the shift-overflow boundary.
+        let n = xs.len();
+        let mut ap = core(n, 67);
+        let f = ap.alloc_field(64).unwrap();
+        prop_assert_eq!(f.max_value(), u64::MAX);
+        ap.load(f, &xs).unwrap();
+        prop_assert_eq!(ap.read(f), xs.clone());
+        for (row, &x) in xs.iter().enumerate() {
+            prop_assert_eq!(ap.read_row(row, f), x);
+        }
+        ap.broadcast(f, constant).unwrap();
+        prop_assert_eq!(ap.read(f), vec![constant; n]);
+        ap.poke_row(0, f, poke);
+        prop_assert_eq!(ap.read_row(0, f), poke);
+        if n > 1 {
+            prop_assert_eq!(ap.read_row(1, f), constant, "poke must not leak");
+        }
+    }
+
+    #[test]
+    fn arena_io_handles_rows_not_divisible_by_64(
+        rows_minus_one in 0usize..200,
+        fill in 0u64..256,
+        loaded in prop::collection::vec(0u64..256, 1..200),
+    ) {
+        // Partial final arena blocks: load fewer words than rows at an
+        // arbitrary (often non-multiple-of-64) row count, and check the
+        // blend, the read-back, and a bystander column's isolation.
+        let rows = rows_minus_one + 1;
+        let n = loaded.len().min(rows);
+        let loaded = &loaded[..n];
+        let mut ap = core(rows, 20);
+        let bystander = ap.alloc_field(8).unwrap();
+        let f = ap.alloc_field(8).unwrap();
+        let by_data: Vec<u64> = (0..rows as u64).map(|i| i % 251).collect();
+        ap.load(bystander, &by_data).unwrap();
+        ap.broadcast(f, fill).unwrap();
+        ap.load(f, loaded).unwrap();
+        let out = ap.read(f);
+        prop_assert_eq!(out.len(), rows);
+        for (i, &v) in loaded.iter().enumerate() {
+            prop_assert_eq!(out[i], v, "loaded row {}", i);
+        }
+        for (i, &v) in out.iter().enumerate().skip(n) {
+            prop_assert_eq!(v, fill, "unloaded row {} must keep contents", i);
+        }
+        prop_assert_eq!(ap.read(bystander), by_data);
+    }
+
+    #[test]
     fn operations_never_touch_unrelated_fields(
         xs in prop::collection::vec(0u64..64, 4..16),
         ys in prop::collection::vec(0u64..64, 4..16),

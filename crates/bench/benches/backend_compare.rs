@@ -1,10 +1,12 @@
 //! Dual-backend comparison: the bit-serial `Microcode` engine vs. the
 //! word-level `FastWord` engine on the full Fig. 5 softmax dataflow,
-//! plus the multi-tile batch driver's throughput.
+//! plus the reused-tile series (`fastword-reused`: one persistent
+//! `TileState` + run buffer streaming vectors, the zero-allocation
+//! path) and the multi-tile batch driver's throughput.
 //!
 //! `FastWord` charges identical `CycleStats` (enforced by the
 //! differential proptests; spot-checked here) while running ~13× faster
-//! at 256 rows and ~5–7× at 2048 rows against this repo's optimized
+//! at 256 rows and ~5–6× at 2048 rows against this repo's optimized
 //! interpreter — the ratio narrows with tile height because the
 //! word-parallel interpreter amortizes its per-pass overhead. Against
 //! the seed-style allocating interpreter the 2048-row speedup is ~20×.
@@ -12,7 +14,7 @@
 //! `scripts/bench_ap.sh`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use softmap::ApSoftmax;
+use softmap::{ApSoftmax, ApSoftmaxRun, TileState};
 use softmap_ap::ExecBackend;
 use softmap_softmax::PrecisionConfig;
 use std::hint::black_box;
@@ -44,6 +46,17 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| black_box(m.execute_floats(s).unwrap().total.cycles()))
             });
         }
+        // The pooled path: one persistent tile + run buffer streaming
+        // vectors, zero allocations per iteration in steady state.
+        let m = mapping(ExecBackend::FastWord);
+        let mut state = TileState::new();
+        let mut run = ApSoftmaxRun::default();
+        g.bench_with_input(BenchmarkId::new("fastword-reused", len / 2), &s, |b, s| {
+            b.iter(|| {
+                m.execute_floats_into(&mut state, s, &mut run).unwrap();
+                black_box(run.total.cycles())
+            })
+        });
     }
 
     // Multi-tile batch driver: a full layer's worth of rows across

@@ -38,7 +38,7 @@ pub mod mapping;
 mod deploy;
 
 pub use deploy::{ApDeployment, ApWorkloadCost, WorkloadModel};
-pub use mapping::{ApSoftmax, ApSoftmaxRun, Layout, StepStats};
+pub use mapping::{ApSoftmax, ApSoftmaxRun, Layout, StepStats, TileState};
 
 /// Errors from the co-design layer.
 #[derive(Debug, Clone, PartialEq)]

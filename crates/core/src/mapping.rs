@@ -8,7 +8,7 @@
 //! by [`ApSoftmaxRun::codes`] comparisons in this module's tests).
 
 use softmap_ap::batch::{self, BatchStats};
-use softmap_ap::{ApConfig, ApCore, CycleStats, DivStyle, ExecBackend, Field, Overflow};
+use softmap_ap::{ApConfig, ApCore, ApTile, CycleStats, DivStyle, ExecBackend, Field, Overflow};
 use softmap_softmax::{IntSoftmax, PrecisionConfig, SumMode};
 
 use crate::CoreError;
@@ -28,7 +28,7 @@ pub enum Layout {
 }
 
 /// Cycle statistics for one dataflow step.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StepStats {
     /// Step name, matching Fig. 5 (e.g. `"4: multiply+shift (barrett)"`).
     pub name: &'static str,
@@ -37,7 +37,11 @@ pub struct StepStats {
 }
 
 /// The outcome of executing the mapped dataflow on the AP.
-#[derive(Debug, Clone)]
+///
+/// All buffers are plain `Vec`s so a run can be reused as an output
+/// slot by [`ApSoftmax::execute_floats_into`]: repeated executions at
+/// the same vector length overwrite in place without reallocating.
+#[derive(Debug, Clone, Default)]
 pub struct ApSoftmaxRun {
     /// Fixed-point probability codes, in input order (bit-exact vs. the
     /// scalar `IntSoftmax`).
@@ -88,6 +92,65 @@ pub struct ApSoftmax {
     div_style: DivStyle,
     layout: Layout,
     backend: ExecBackend,
+}
+
+/// Reusable per-worker execution state for the pooled path: one
+/// persistent simulated tile ([`ApTile`]) plus the host-side staging
+/// buffers (quantized codes, packed half-vectors, reduction sums).
+///
+/// SoftmAP's deployment model streams many vectors through fixed
+/// hardware tiles; this is the host analogue. After a warm-up vector
+/// establishes buffer capacities, every further vector of the same
+/// shape executes with **zero heap allocations** (asserted by the
+/// counting-allocator regression test in `crates/core/tests`).
+///
+/// # Examples
+///
+/// ```
+/// use softmap::{ApSoftmax, ApSoftmaxRun, TileState};
+/// use softmap_softmax::PrecisionConfig;
+///
+/// let mapping = ApSoftmax::new(PrecisionConfig::paper_best())?;
+/// let mut state = TileState::new();
+/// let mut run = ApSoftmaxRun::default();
+/// for scores in [[0.0, -1.0, -2.0, -3.0], [0.0, -0.5, -1.5, -2.5]] {
+///     mapping.execute_floats_into(&mut state, &scores, &mut run)?;
+///     assert_eq!(run.codes.len(), 4);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TileState {
+    tile: ApTile,
+    codes: Vec<i64>,
+    half0: Vec<u64>,
+    half1: Vec<u64>,
+    sums: Vec<u64>,
+}
+
+impl TileState {
+    /// Creates an empty state (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying tile slot (observer access).
+    #[must_use]
+    pub fn tile(&self) -> &ApTile {
+        &self.tile
+    }
+}
+
+thread_local! {
+    /// The per-thread tile pool backing the non-`_into` entry points:
+    /// every `execute_floats`/`execute_codes` call on a thread streams
+    /// through one persistent tile, exactly like vectors stream through
+    /// fixed hardware in the deployed accelerator. The arena is sized
+    /// to the largest geometry the thread has executed and lives for
+    /// the thread's lifetime.
+    static THREAD_TILE: std::cell::RefCell<TileState> =
+        std::cell::RefCell::new(TileState::new());
 }
 
 struct HalfFields {
@@ -158,37 +221,80 @@ impl ApSoftmax {
 
     /// Quantizes scores and executes the dataflow.
     ///
+    /// Executes on this thread's pooled tile (see [`TileState`]): the
+    /// CAM arena and scratch state persist across calls, so repeated
+    /// vectors reallocate nothing but the returned run's buffers. Use
+    /// [`ApSoftmax::execute_floats_into`] to also reuse those.
+    ///
     /// # Errors
     ///
     /// See [`ApSoftmax::execute_codes`].
     pub fn execute_floats(&self, scores: &[f64]) -> Result<ApSoftmaxRun, CoreError> {
+        THREAD_TILE.with(|state| {
+            let mut state = state.borrow_mut();
+            let mut run = ApSoftmaxRun::default();
+            self.execute_floats_into(&mut state, scores, &mut run)?;
+            Ok(run)
+        })
+    }
+
+    /// Pooled [`ApSoftmax::execute_floats`]: executes on `state`'s
+    /// persistent tile and writes the outcome into `run`, reusing every
+    /// buffer. In steady state (same vector shape as the previous call)
+    /// this performs zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// See [`ApSoftmax::execute_codes`].
+    pub fn execute_floats_into(
+        &self,
+        state: &mut TileState,
+        scores: &[f64],
+        run: &mut ApSoftmaxRun,
+    ) -> Result<(), CoreError> {
         if scores.is_empty() {
             return Err(CoreError::EmptyInput);
         }
-        self.execute_codes(&self.sm.quantize(scores))
+        let mut codes = std::mem::take(&mut state.codes);
+        self.sm.quantize_into(scores, &mut codes);
+        let result = self.execute_codes_into(state, &codes, run);
+        state.codes = codes;
+        result
     }
 
-    /// Executes a whole batch of softmax vectors, one simulated AP tile
-    /// per vector, fanned out across host threads — the multi-tile
-    /// analogue of [`ApSoftmax::execute_floats`]. Results are returned
-    /// in input order and are identical to running each vector alone.
+    /// Executes a whole batch of softmax vectors across host threads
+    /// with **one persistent simulated tile per worker** (not one tile
+    /// allocation per vector) — the multi-tile analogue of
+    /// [`ApSoftmax::execute_floats`], matching the deployment model
+    /// where vectors stream through fixed hardware. Results are
+    /// returned in input order and are identical to running each
+    /// vector alone.
     ///
     /// # Errors
     ///
     /// The first (by input order) failing vector's error; see
-    /// [`ApSoftmax::execute_codes`].
+    /// [`ApSoftmax::execute_codes`]. On failure the remaining vectors
+    /// are cancelled.
     pub fn execute_batch_floats(&self, batch: &[Vec<f64>]) -> Result<Vec<ApSoftmaxRun>, CoreError> {
-        batch::try_parallel_map(batch, |scores| self.execute_floats(scores))
+        batch::try_parallel_map_with(batch, TileState::new, |state, scores| {
+            let mut run = ApSoftmaxRun::default();
+            self.execute_floats_into(state, scores, &mut run)?;
+            Ok(run)
+        })
     }
 
-    /// Batched [`ApSoftmax::execute_codes`]; see
-    /// [`ApSoftmax::execute_batch_floats`].
+    /// Batched [`ApSoftmax::execute_codes`] with per-worker tile reuse;
+    /// see [`ApSoftmax::execute_batch_floats`].
     ///
     /// # Errors
     ///
     /// The first failing vector's error.
     pub fn execute_batch_codes(&self, batch: &[Vec<i64>]) -> Result<Vec<ApSoftmaxRun>, CoreError> {
-        batch::try_parallel_map(batch, |codes| self.execute_codes(codes))
+        batch::try_parallel_map_with(batch, TileState::new, |state, codes| {
+            let mut run = ApSoftmaxRun::default();
+            self.execute_codes_into(state, codes, &mut run)?;
+            Ok(run)
+        })
     }
 
     /// Aggregate tile statistics for a batch of runs: total work across
@@ -207,18 +313,58 @@ impl ApSoftmax {
     /// * [`CoreError::Softmax`] for out-of-range codes,
     /// * [`CoreError::Ap`] if the tile geometry cannot hold the layout.
     pub fn execute_codes(&self, codes: &[i64]) -> Result<ApSoftmaxRun, CoreError> {
+        THREAD_TILE.with(|state| {
+            let mut state = state.borrow_mut();
+            let mut run = ApSoftmaxRun::default();
+            self.execute_codes_into(&mut state, codes, &mut run)?;
+            Ok(run)
+        })
+    }
+
+    /// Pooled [`ApSoftmax::execute_codes`]; see
+    /// [`ApSoftmax::execute_floats_into`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ApSoftmax::execute_codes`].
+    pub fn execute_codes_into(
+        &self,
+        state: &mut TileState,
+        codes: &[i64],
+        run: &mut ApSoftmaxRun,
+    ) -> Result<(), CoreError> {
         if codes.is_empty() {
             return Err(CoreError::EmptyInput);
         }
         // Validate codes through the scalar spec's range check (cheap:
         // no full trace).
         self.sm.validate_codes(codes)?;
-        match self.layout {
-            Layout::TwoWordsPerRow if codes.len().is_multiple_of(2) && codes.len() >= 2 => {
-                self.execute_packed(codes)
-            }
-            _ => self.execute_unpacked(codes),
+        let packed = self.layout == Layout::TwoWordsPerRow
+            && codes.len().is_multiple_of(2)
+            && codes.len() >= 2;
+        let rows = if packed { codes.len() / 2 } else { codes.len() };
+        // Pack the |code| magnitudes of each half-vector (the sign is
+        // implicit in the paper's non-positive input convention).
+        state.half0.clear();
+        state
+            .half0
+            .extend(codes[..rows].iter().map(|&c| c.unsigned_abs()));
+        state.half1.clear();
+        if packed {
+            state
+                .half1
+                .extend(codes[rows..].iter().map(|&c| c.unsigned_abs()));
         }
+        let TileState {
+            tile,
+            half0,
+            half1,
+            sums,
+            ..
+        } = state;
+        let halves: [&[u64]; 2] = [half0.as_slice(), half1.as_slice()];
+        let halves = if packed { &halves[..] } else { &halves[..1] };
+        self.execute_layout(tile, sums, halves, rows, codes.len(), run)
     }
 
     fn cfg(&self) -> &PrecisionConfig {
@@ -255,27 +401,19 @@ impl ApSoftmax {
         }
     }
 
-    fn execute_packed(&self, codes: &[i64]) -> Result<ApSoftmaxRun, CoreError> {
-        let rows = codes.len() / 2;
-        let half0: Vec<u64> = codes[..rows].iter().map(|&c| c.unsigned_abs()).collect();
-        let half1: Vec<u64> = codes[rows..].iter().map(|&c| c.unsigned_abs()).collect();
-        self.execute_layout(&[half0, half1], rows, codes.len())
-    }
-
-    fn execute_unpacked(&self, codes: &[i64]) -> Result<ApSoftmaxRun, CoreError> {
-        let mags: Vec<u64> = codes.iter().map(|&c| c.unsigned_abs()).collect();
-        self.execute_layout(&[mags], codes.len(), codes.len())
-    }
-
     /// The shared engine: `halves` hold the |code| magnitudes of each
-    /// half-vector (one or two), each of length `rows`.
+    /// half-vector (one or two), each of length `rows`. Executes on the
+    /// pooled `tile` and writes everything into `run`'s reused buffers.
     #[allow(clippy::too_many_lines)]
     fn execute_layout(
         &self,
-        halves: &[Vec<u64>],
+        tile: &mut ApTile,
+        sums: &mut Vec<u64>,
+        halves: &[&[u64]],
         rows: usize,
         total_len: usize,
-    ) -> Result<ApSoftmaxRun, CoreError> {
+        run: &mut ApSoftmaxRun,
+    ) -> Result<(), CoreError> {
         let cfg = *self.cfg();
         let consts = *self.sm.constants();
         let w = *self.sm.widths();
@@ -287,12 +425,13 @@ impl ApSoftmax {
         let shared = (2 * m + 1) + sum_bits + sum_bits + m;
         let scratch = 2 * (sum_bits + 2) + 2 * (w.result as usize + w.vapprox as usize + 2);
         let cols = 2 + halves.len() * self.half_width() + shared + scratch;
-        let mut ap = ApCore::with_backend(ApConfig::new(rows, cols), self.backend)?;
+        let ap = tile.acquire(ApConfig::new(rows, cols), self.backend)?;
 
-        let mut fields = Vec::new();
-        for _ in halves {
-            fields.push(self.alloc_half(&mut ap)?);
+        let mut field_slots: [Option<HalfFields>; 2] = [None, None];
+        for slot in field_slots.iter_mut().take(halves.len()) {
+            *slot = Some(self.alloc_half(ap)?);
         }
+        let fields = &field_slots[..halves.len()];
         // Shared operand field (holds µ, vln2, vb, vc in turn), the
         // per-row pair-sum field, the broadcast divisor, and the min.
         let op = ap.alloc_field(2 * m + 1)?;
@@ -301,7 +440,7 @@ impl ApSoftmax {
         let minf = ap.alloc_field(m)?;
         let cols_used = den.end();
 
-        let mut steps: Vec<StepStats> = Vec::new();
+        run.steps.clear();
         let mut mark = ap.stats();
         let step =
             |ap: &ApCore, name: &'static str, steps: &mut Vec<StepStats>, mark: &mut CycleStats| {
@@ -315,72 +454,73 @@ impl ApSoftmax {
 
         // Step 1: write v (as magnitudes |code|; the sign is implicit in
         // the paper's non-positive input convention).
-        for (h, data) in halves.iter().enumerate() {
-            ap.load(fields[h].x, data)?;
+        for (f, data) in fields.iter().flatten().zip(halves) {
+            ap.load(f.x, data)?;
         }
-        step(&ap, "1: write v", &mut steps, &mut mark);
+        step(ap, "1: write v", &mut run.steps, &mut mark);
 
         // Step 1b/2: find min |code| (= max v) and subtract it:
         // x := neg_vstable = |code| - min.
         let mut min = u64::MAX;
-        for f in &fields {
-            let (m0, _) = ap.min_search(f.x);
-            min = min.min(m0);
+        for f in fields.iter().flatten() {
+            min = min.min(ap.min_search_value(f.x));
         }
         ap.broadcast(minf, min)?;
-        for f in &fields {
-            let borrow = ap.sub_into(f.x, minf)?;
-            debug_assert!(borrow.is_none_set());
+        for f in fields.iter().flatten() {
+            let clean = ap.sub_into_ref(f.x, minf)?.is_none_set();
+            debug_assert!(clean, "min subtraction must not underflow");
+            let _ = clean;
         }
-        step(&ap, "2: subtract max", &mut steps, &mut mark);
+        step(ap, "2: subtract max", &mut run.steps, &mut mark);
 
         // Steps 3-4: write µ, Barrett multiply + shift -> q̂.
         ap.broadcast(op, consts.mu)?;
-        step(&ap, "3: write mu", &mut steps, &mut mark);
-        for f in &fields {
+        step(ap, "3: write mu", &mut run.steps, &mut mark);
+        for f in fields.iter().flatten() {
             ap.mul(f.x, op, f.work)?;
             ap.shr_const(f.work, 2 * m)?;
             ap.copy(f.work.sub(0, w.q as usize), f.q)?;
         }
-        step(&ap, "4: multiply+shift (barrett)", &mut steps, &mut mark);
+        step(ap, "4: multiply+shift (barrett)", &mut run.steps, &mut mark);
 
         // Steps 5-6: write vln2, multiply q̂ · vln2.
         ap.broadcast(op, consts.vln2)?;
-        step(&ap, "5: write vln2", &mut steps, &mut mark);
-        for f in &fields {
+        step(ap, "5: write vln2", &mut run.steps, &mut mark);
+        for f in fields.iter().flatten() {
             ap.mul(f.q, op.sub(0, w.vln2 as usize), f.work)?;
         }
-        step(&ap, "6: multiply q*vln2", &mut steps, &mut mark);
+        step(ap, "6: multiply q*vln2", &mut run.steps, &mut mark);
 
         // Step 7: subtract -> r = neg_vstable - q̂·vln2 (fits M bits).
-        for f in &fields {
-            let borrow = ap.sub_into(f.x, f.work.sub(0, m))?;
-            debug_assert!(borrow.is_none_set());
+        for f in fields.iter().flatten() {
+            let clean = ap.sub_into_ref(f.x, f.work.sub(0, m))?.is_none_set();
+            debug_assert!(clean, "vcorr subtraction must not underflow");
+            let _ = clean;
         }
-        step(&ap, "7: subtract (vcorr)", &mut steps, &mut mark);
+        step(ap, "7: subtract (vcorr)", &mut run.steps, &mut mark);
 
         // Steps 8-9: write vb, add: t = vb - r (saturating at zero).
-        for f in &fields {
+        for f in fields.iter().flatten() {
             ap.broadcast(f.t, consts.vb)?;
             ap.saturating_sub_into(f.t, f.x)?;
         }
-        step(&ap, "8-9: write vb, add vcorr", &mut steps, &mut mark);
+        step(ap, "8-9: write vb, add vcorr", &mut run.steps, &mut mark);
 
         // Steps 10-11: copy + multiply -> t².
-        for f in &fields {
+        for f in fields.iter().flatten() {
             ap.square(f.t, f.work)?;
         }
-        step(&ap, "10-11: copy, square", &mut steps, &mut mark);
+        step(ap, "10-11: copy, square", &mut run.steps, &mut mark);
 
         // Steps 12-13: write vc, add, then variable shift by q̂.
         ap.broadcast(op, consts.vc)?;
-        step(&ap, "12: write vc", &mut steps, &mut mark);
-        for f in &fields {
+        step(ap, "12: write vc", &mut run.steps, &mut mark);
+        for f in fields.iter().flatten() {
             ap.add_into(f.work.sub(0, w.poly as usize), op.sub(0, w.vc as usize))?;
             ap.shr_variable(f.work.sub(0, w.poly as usize), f.q)?;
             ap.copy(f.work.sub(0, w.vapprox as usize), f.vapprox)?;
         }
-        step(&ap, "13: add+shift (vapprox)", &mut steps, &mut mark);
+        step(ap, "13: add+shift (vapprox)", &mut run.steps, &mut mark);
 
         // Step 14: reduction. Pair-add the halves, then tree-reduce.
         // v_approx values provably fit the effective sum width (they are
@@ -388,46 +528,45 @@ impl ApSoftmax {
         // allocated v_approx field is wider than the sum register only
         // the low bits carry information.
         let vap_low = (w.vapprox as usize).min(sum_bits);
-        ap.copy(fields[0].vapprox.sub(0, vap_low), sumw)?;
-        if fields.len() == 2 {
-            ap.add_into(sumw, fields[1].vapprox.sub(0, vap_low))?;
+        let vap0 = fields[0].as_ref().expect("half 0 allocated").vapprox;
+        ap.copy(vap0.sub(0, vap_low), sumw)?;
+        if let Some(f1) = fields.get(1).and_then(Option::as_ref) {
+            ap.add_into(sumw, f1.vapprox.sub(0, vap_low))?;
         }
-        let sums = ap.reduce_sum_2d_mode(sumw, den, rows, self.overflow_mode())?;
+        ap.reduce_sum_2d_mode_into(sumw, den, rows, self.overflow_mode(), sums)?;
         let sum = sums[0];
-        step(&ap, "14: reduction", &mut steps, &mut mark);
+        step(ap, "14: reduction", &mut run.steps, &mut mark);
 
         // Step 15: copy Σ to all rows (broadcast divisor). A wrapped sum
         // of zero is clamped to 1, mirroring the scalar divisor clamp.
         ap.broadcast(den, sum.max(1))?;
-        step(&ap, "15: copy sum", &mut steps, &mut mark);
+        step(ap, "15: copy sum", &mut run.steps, &mut mark);
 
         // Step 16: divide.
         let f_bits = w.frac_bits() as usize;
-        for f in &fields {
+        for f in fields.iter().flatten() {
             ap.divide(f.vapprox, den, f.res, f_bits, self.div_style)?;
         }
-        step(&ap, "16: divide", &mut steps, &mut mark);
+        step(ap, "16: divide", &mut run.steps, &mut mark);
 
-        // Gather outputs in input order (halves are concatenated).
-        let mut codes_out = Vec::with_capacity(total_len);
-        let mut vapprox_out = Vec::with_capacity(total_len);
-        for f in &fields {
-            codes_out.extend(ap.read(f.res));
-            vapprox_out.extend(ap.read(f.vapprox));
+        // Gather outputs in input order (halves are concatenated),
+        // appending into the run's reused buffers.
+        run.codes.clear();
+        run.vapprox.clear();
+        for f in fields.iter().flatten() {
+            ap.read_append(f.res, &mut run.codes);
         }
-        codes_out.truncate(total_len);
-        vapprox_out.truncate(total_len);
-
-        Ok(ApSoftmaxRun {
-            codes: codes_out,
-            frac_bits: w.frac_bits(),
-            vapprox: vapprox_out,
-            sum,
-            total: ap.stats(),
-            steps,
-            rows,
-            cols_used,
-        })
+        for f in fields.iter().flatten() {
+            ap.read_append(f.vapprox, &mut run.vapprox);
+        }
+        run.codes.truncate(total_len);
+        run.vapprox.truncate(total_len);
+        run.frac_bits = w.frac_bits();
+        run.sum = sum;
+        run.total = ap.stats();
+        run.rows = rows;
+        run.cols_used = cols_used;
+        Ok(())
     }
 }
 

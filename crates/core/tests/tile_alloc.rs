@@ -1,0 +1,98 @@
+//! Allocation-regression test: steady-state `TileState` reuse must
+//! execute softmax vectors with **zero** heap allocations per vector.
+//!
+//! A counting global allocator wraps the system allocator; counting is
+//! armed only around the measured window, so harness setup does not
+//! pollute the numbers. The file holds exactly one `#[test]` (the
+//! binary's allocator is process-global and the count must not race
+//! with sibling tests).
+
+use softmap::{ApSoftmax, ApSoftmaxRun, TileState};
+use softmap_ap::ExecBackend;
+use softmap_softmax::PrecisionConfig;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) && new_size > layout.size() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Counts heap allocations performed by `f`.
+fn count_allocs(f: impl FnOnce()) -> usize {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn steady_state_tile_reuse_allocates_nothing() {
+    let scores: Vec<f64> = (0..64).map(|i| -(f64::from(i) * 0.31) % 6.7).collect();
+    let alt: Vec<f64> = (0..64).map(|i| -(f64::from(i) * 0.17) % 5.9).collect();
+
+    for backend in [ExecBackend::FastWord, ExecBackend::Microcode] {
+        let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_backend(backend);
+        let mut state = TileState::new();
+        let mut run = ApSoftmaxRun::default();
+
+        // Warm-up: establishes the arena and every buffer's capacity.
+        mapping
+            .execute_floats_into(&mut state, &scores, &mut run)
+            .unwrap();
+        mapping
+            .execute_floats_into(&mut state, &alt, &mut run)
+            .unwrap();
+        let reference = run.codes.clone();
+
+        // Steady state: same shapes through the same tile.
+        let allocs = count_allocs(|| {
+            for _ in 0..5 {
+                mapping
+                    .execute_floats_into(&mut state, &scores, &mut run)
+                    .unwrap();
+                mapping
+                    .execute_floats_into(&mut state, &alt, &mut run)
+                    .unwrap();
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "steady-state {backend:?} tile reuse must not allocate (got {allocs} allocations over 10 vectors)"
+        );
+        assert_eq!(run.codes, reference, "reused path must stay bit-exact");
+    }
+
+    // Sanity: the counter itself works.
+    let sanity = count_allocs(|| {
+        let v: Vec<u64> = Vec::with_capacity(32);
+        std::hint::black_box(v);
+    });
+    assert!(sanity >= 1, "counting allocator must observe allocations");
+}

@@ -33,6 +33,24 @@ pub trait SoftmaxFn {
     /// Display name for tables.
     fn name(&self) -> String;
 
+    /// Applies the softmax to one row, reusing a caller-held scratch
+    /// buffer across calls (the pooled-worker path). The default
+    /// ignores the scratch; implementations that stage per-row
+    /// intermediates (e.g. the `f64` widening of the integer pipeline)
+    /// override it so steady-state batches stop reallocating.
+    ///
+    /// # Errors
+    ///
+    /// As [`SoftmaxFn::apply`].
+    fn apply_scratch(
+        &self,
+        scores: &[f32],
+        scratch: &mut SoftmaxScratch,
+    ) -> Result<Vec<f32>, String> {
+        let _ = scratch;
+        self.apply(scores)
+    }
+
     /// Applies the softmax to a batch of attention rows, in order.
     /// The default runs sequentially (object-safe); `Sync`
     /// implementations get a multi-threaded path via
@@ -46,9 +64,19 @@ pub trait SoftmaxFn {
     }
 }
 
-/// Applies `sm` to every attention row of a batch across host threads
-/// (one row per simulated tile), preserving input order. Identical to
-/// [`SoftmaxFn::apply_batch`], only faster on multicore hosts.
+/// Reusable per-worker staging buffers for [`SoftmaxFn::apply_scratch`].
+#[derive(Debug, Clone, Default)]
+pub struct SoftmaxScratch {
+    /// Widened scores (the integer pipeline consumes `f64`).
+    pub scores64: Vec<f64>,
+}
+
+/// Applies `sm` to every attention row of a batch across host threads,
+/// preserving input order — one persistent worker state (scratch
+/// buffers) per thread, mirroring how vectors stream through fixed
+/// tiles in the deployed accelerator. Identical to
+/// [`SoftmaxFn::apply_batch`], only faster on multicore hosts; on
+/// failure the remaining rows are cancelled.
 ///
 /// # Errors
 ///
@@ -57,7 +85,9 @@ pub fn apply_batch_parallel<S: SoftmaxFn + Sync>(
     sm: &S,
     rows: &[Vec<f32>],
 ) -> Result<Vec<Vec<f32>>, String> {
-    softmap_par::try_parallel_map(rows, |r| sm.apply(r))
+    softmap_par::try_parallel_map_with(rows, SoftmaxScratch::default, |scratch, r| {
+        sm.apply_scratch(r, scratch)
+    })
 }
 
 /// The exact float softmax (training and FP baselines).
@@ -135,10 +165,21 @@ impl IntApproxSoftmax {
 
 impl SoftmaxFn for IntApproxSoftmax {
     fn apply(&self, scores: &[f32]) -> Result<Vec<f32>, String> {
-        let scores64: Vec<f64> = scores.iter().map(|&s| f64::from(s)).collect();
+        self.apply_scratch(scores, &mut SoftmaxScratch::default())
+    }
+
+    fn apply_scratch(
+        &self,
+        scores: &[f32],
+        scratch: &mut SoftmaxScratch,
+    ) -> Result<Vec<f32>, String> {
+        scratch.scores64.clear();
+        scratch
+            .scores64
+            .extend(scores.iter().map(|&s| f64::from(s)));
         let out = self
             .pipeline
-            .run_floats(&scores64)
+            .run_floats(&scratch.scores64)
             .map_err(|e| e.to_string())?;
         Ok(out.probabilities.iter().map(|&p| p as f32).collect())
     }

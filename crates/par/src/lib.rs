@@ -12,6 +12,21 @@
 //! (`std::thread::scope`): no locks on the hot path, deterministic
 //! input-ordered results, and panics in worker jobs propagate.
 //!
+//! Two families of entry points:
+//!
+//! * [`parallel_map`] / [`try_parallel_map`] — stateless jobs,
+//! * [`parallel_map_with`] / [`try_parallel_map_with`] — jobs that
+//!   share one per-worker state value (built once per thread by an
+//!   `init` closure and handed to every job that thread claims). This
+//!   is how the AP layers keep one persistent simulated tile per
+//!   worker instead of allocating a tile per vector.
+//!
+//! The fallible variants cancel early: once any job fails, workers
+//! stop claiming new indices. Because indices are claimed in order,
+//! every index below a failing one has already been claimed and runs
+//! to completion, so the error returned is still the lowest-indexed
+//! failing item's.
+//!
 //! # Examples
 //!
 //! ```
@@ -22,7 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Number of worker threads used for `jobs` independent tasks: the
 /// machine's available parallelism, capped by the job count (and at
@@ -44,22 +59,44 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_with(items, || (), |(), item| f(item))
+}
+
+/// [`parallel_map`] with one per-worker state value: each worker
+/// thread calls `init` once and passes the state to every job it
+/// claims. Results are in input order.
+///
+/// This is the pooled execution primitive: `init` builds an expensive
+/// reusable resource (a simulated AP tile, a scratch arena) and the
+/// jobs stream through it, so steady-state batches perform no
+/// per-item setup.
+///
+/// Panics in `init` or `f` propagate to the caller.
+pub fn parallel_map_with<T, R, S, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     let threads = tile_parallelism(items.len());
     if threads <= 1 {
-        return items.iter().map(f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
     let next = AtomicUsize::new(0);
     let mut collected: Vec<(usize, R)> = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut state = init();
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
-                        local.push((i, f(&items[i])));
+                        local.push((i, f(&mut state, &items[i])));
                     }
                     local
                 })
@@ -78,6 +115,10 @@ where
 /// results in input order or the error of the lowest-indexed failing
 /// item.
 ///
+/// Cancels early: after the first failure, workers stop claiming new
+/// indices (already-claimed jobs run to completion, which is what
+/// keeps the lowest-index guarantee exact).
+///
 /// # Errors
 ///
 /// The first (by input order) error produced by `f`.
@@ -88,17 +129,86 @@ where
     E: Send,
     F: Fn(&T) -> Result<R, E> + Sync,
 {
-    let results = parallel_map(items, f);
-    let mut out = Vec::with_capacity(results.len());
-    for r in results {
-        out.push(r?);
+    try_parallel_map_with(items, || (), |(), item| f(item))
+}
+
+/// [`try_parallel_map`] with one per-worker state value (see
+/// [`parallel_map_with`]), with the same early-cancel behaviour.
+///
+/// # Errors
+///
+/// The first (by input order) error produced by `f`.
+pub fn try_parallel_map_with<T, R, E, S, I, F>(items: &[T], init: I, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> Result<R, E> + Sync,
+{
+    let threads = tile_parallelism(items.len());
+    if threads <= 1 {
+        let mut state = init();
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            out.push(f(&mut state, item)?);
+        }
+        return Ok(out);
     }
-    Ok(out)
+    let next = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
+    type WorkerOut<R, E> = (Vec<(usize, R)>, Option<(usize, E)>);
+    let per_worker: Vec<WorkerOut<R, E>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local = Vec::new();
+                    let mut first_err: Option<(usize, E)> = None;
+                    while !cancelled.load(Ordering::Relaxed) {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        match f(&mut state, &items[i]) {
+                            Ok(r) => local.push((i, r)),
+                            Err(e) => {
+                                cancelled.store(true, Ordering::Relaxed);
+                                first_err = Some((i, e));
+                                break;
+                            }
+                        }
+                    }
+                    (local, first_err)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut lowest: Option<(usize, E)> = None;
+    let mut collected: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    for (local, err) in per_worker {
+        if let Some((i, e)) = err {
+            if lowest.as_ref().is_none_or(|(j, _)| i < *j) {
+                lowest = Some((i, e));
+            }
+        }
+        collected.extend(local);
+    }
+    if let Some((_, e)) = lowest {
+        return Err(e);
+    }
+    collected.sort_unstable_by_key(|&(i, _)| i);
+    Ok(collected.into_iter().map(|(_, r)| r).collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn parallel_map_preserves_order() {
@@ -120,6 +230,94 @@ mod tests {
         assert_eq!(r, Err(10));
         let ok = try_parallel_map(&items, |&x| Ok::<_, ()>(x * 2));
         assert_eq!(ok.unwrap()[63], 126);
+    }
+
+    #[test]
+    fn try_parallel_map_cancels_remaining_jobs() {
+        // After the first failure, workers must stop claiming indices:
+        // with an early error in a long batch, the executed-job count
+        // stays far below the item count (exact on one core, bounded
+        // by in-flight claims on many).
+        let items: Vec<u64> = (0..10_000).collect();
+        let ran = AtomicUsize::new(0);
+        let r = try_parallel_map(&items, |&x| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if x == 3 {
+                Err(x)
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(r, Err(3));
+        assert!(
+            ran.load(Ordering::Relaxed) < items.len(),
+            "failure must cancel the remaining jobs"
+        );
+    }
+
+    #[test]
+    fn try_parallel_map_sequential_path_stops_at_first_error() {
+        // On a single worker the cancellation is exact: nothing after
+        // the failing index runs.
+        if tile_parallelism(8) != 1 {
+            return; // multicore host: covered by the bounded test above
+        }
+        let items: Vec<u64> = (0..8).collect();
+        let ran = AtomicUsize::new(0);
+        let r = try_parallel_map(&items, |&x| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if x == 3 {
+                Err(x)
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(r, Err(3));
+        assert_eq!(ran.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn parallel_map_with_builds_one_state_per_worker() {
+        let states = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..97).collect();
+        let out = parallel_map_with(
+            &items,
+            || {
+                states.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |acc, &x| {
+                *acc += 1;
+                x + *acc - *acc // result independent of state
+            },
+        );
+        assert_eq!(out, items);
+        let built = states.load(Ordering::Relaxed);
+        assert!(built >= 1 && built <= tile_parallelism(items.len()));
+    }
+
+    #[test]
+    fn try_parallel_map_with_threads_state_through_jobs() {
+        // Each worker's state counts its own jobs; the sum of all
+        // per-worker counts must equal the item count.
+        let total = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..33).collect();
+        struct Count<'a>(usize, &'a AtomicUsize);
+        impl Drop for Count<'_> {
+            fn drop(&mut self) {
+                self.1.fetch_add(self.0, Ordering::Relaxed);
+            }
+        }
+        let ok: Result<Vec<u64>, ()> = try_parallel_map_with(
+            &items,
+            || Count(0, &total),
+            |c, &x| {
+                c.0 += 1;
+                Ok(x)
+            },
+        );
+        assert_eq!(ok.unwrap(), items);
+        assert_eq!(total.load(Ordering::Relaxed), items.len());
     }
 
     #[test]

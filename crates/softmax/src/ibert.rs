@@ -107,15 +107,23 @@ impl IntSoftmax {
     /// `[-2^(M-1), 0]`.
     #[must_use]
     pub fn quantize(&self, v: &[f64]) -> Vec<i64> {
+        let mut out = Vec::with_capacity(v.len());
+        self.quantize_into(v, &mut out);
+        out
+    }
+
+    /// Allocation-free [`IntSoftmax::quantize`]: writes the codes into
+    /// `out` (cleared first), reusing its capacity — the pooled
+    /// execution path's entry point.
+    pub fn quantize_into(&self, v: &[f64], out: &mut Vec<i64>) {
         let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let s = self.cfg.scale();
         let lo = -self.cfg.max_code_magnitude();
-        v.iter()
-            .map(|&x| {
-                let stable = (x - max).clamp(self.cfg.tc, 0.0);
-                ((stable / s).round() as i64).clamp(lo, 0)
-            })
-            .collect()
+        out.clear();
+        out.extend(v.iter().map(|&x| {
+            let stable = (x - max).clamp(self.cfg.tc, 0.0);
+            ((stable / s).round() as i64).clamp(lo, 0)
+        }));
     }
 
     /// Runs the integer pipeline on quantized codes.

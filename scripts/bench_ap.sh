@@ -2,30 +2,55 @@
 # Runs the AP-relevant cargo benches and assembles BENCH_ap.json so the
 # perf trajectory is comparable across PRs.
 #
-# Usage: scripts/bench_ap.sh [output.json]
+# Usage: scripts/bench_ap.sh [--quick] [output.json]
+#
+#   --quick   CI smoke mode: tiny measurement budget, backend_compare
+#             only, no perf gate — just proves the bench harness runs.
 #
 # Environment:
 #   CRITERION_MEASURE_MS  per-benchmark wall-clock budget (default 500)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_ap.json}"
+quick=0
+out=""
+for arg in "$@"; do
+    case "$arg" in
+        --quick) quick=1 ;;
+        -*)
+            echo "unknown flag: $arg (usage: $0 [--quick] [output.json])" >&2
+            exit 2
+            ;;
+        *) out="$arg" ;;
+    esac
+done
+if [ -z "$out" ]; then
+    # Quick mode must not clobber the committed full perf record.
+    if [ "$quick" = 1 ]; then out="BENCH_ap.quick.json"; else out="BENCH_ap.json"; fi
+fi
+
 lines="$(mktemp)"
 trap 'rm -f "$lines"' EXIT
 
 export CRITERION_JSON="$lines"
-export CRITERION_MEASURE_MS="${CRITERION_MEASURE_MS:-500}"
 
-cargo bench -p softmap-bench \
-    --bench ap_softmax_dataflow \
-    --bench table2_ap_primitives \
-    --bench scalar_softmax \
-    --bench backend_compare
+if [ "$quick" = 1 ]; then
+    export CRITERION_MEASURE_MS="${CRITERION_MEASURE_MS:-50}"
+    export CRITERION_WARMUP_MS="${CRITERION_WARMUP_MS:-10}"
+    cargo bench -p softmap-bench --bench backend_compare
+else
+    export CRITERION_MEASURE_MS="${CRITERION_MEASURE_MS:-500}"
+    cargo bench -p softmap-bench \
+        --bench ap_softmax_dataflow \
+        --bench table2_ap_primitives \
+        --bench scalar_softmax \
+        --bench backend_compare
+fi
 
-python3 - "$lines" "$out" <<'PY'
+python3 - "$lines" "$out" "$quick" <<'PY'
 import json, platform, subprocess, sys
 
-lines_path, out_path = sys.argv[1], sys.argv[2]
+lines_path, out_path, quick = sys.argv[1], sys.argv[2], sys.argv[3] == "1"
 results = [json.loads(l) for l in open(lines_path) if l.strip()]
 
 by_name = {r["bench"]: r["ns_per_iter"] for r in results}
@@ -36,11 +61,17 @@ for key, label in [("512", "rows256"), ("1024", "rows512"),
     rows = str(int(key) // 2)
     micro = by_name.get(f"backend/microcode/{rows}")
     fast = by_name.get(f"backend/fastword/{rows}")
+    reused = by_name.get(f"backend/fastword-reused/{rows}")
     if micro and fast:
         speedups[f"fastword_speedup_{label}"] = round(micro / fast, 2)
+    if micro and reused:
+        speedups[f"fastword_reused_speedup_{label}"] = round(micro / reused, 2)
+    if fast and reused:
+        speedups[f"tile_reuse_gain_{label}"] = round(fast / reused, 2)
 
 doc = {
     "schema": "softmap-bench-ap-v1",
+    "quick": quick,
     "rustc": subprocess.run(["rustc", "--version"], capture_output=True,
                             text=True).stdout.strip(),
     "host": platform.platform(),

@@ -4,7 +4,8 @@
 //! vendors a deterministic property-testing harness covering the API
 //! surface its tests use: the [`proptest!`] macro (with an optional
 //! `#![proptest_config(..)]` header), [`strategy::Strategy`] with
-//! `prop_map`, range/tuple/[`Just`]/[`any`] strategies, [`prop_oneof!`],
+//! `prop_map`, range/tuple/[`strategy::Just`]/[`strategy::any`]
+//! strategies, [`prop_oneof!`],
 //! `prop::collection::vec`, and the `prop_assert*` macros.
 //!
 //! Differences from real proptest: no shrinking (a failing case panics
