@@ -27,7 +27,7 @@ impl ApConfig {
 }
 
 /// How word-parallel division is executed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DivStyle {
     /// Restoring long division entirely in AP microcode (the paper's
     /// step 16 "Divide").
@@ -1471,6 +1471,19 @@ impl ApCore {
     }
 
     // ---- scratch management ----------------------------------------------
+
+    /// Moves the column-allocation cursor to `next_col` — the program
+    /// replay engine's way of reserving a compiled layout's columns so
+    /// internal scratch allocations (division) land exactly where they
+    /// did while recording.
+    pub(crate) fn set_next_col(&mut self, next_col: usize) {
+        debug_assert!(
+            (2..=self.cam.cols()).contains(&next_col),
+            "reserved cursor {next_col} outside 2..={}",
+            self.cam.cols()
+        );
+        self.next_col = next_col;
+    }
 
     pub(crate) fn alloc_scratch(&mut self, width: usize) -> Result<Field, ApError> {
         self.alloc_field(width)

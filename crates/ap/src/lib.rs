@@ -23,6 +23,10 @@
 //!   contract (see the `backend` module docs for the cost model),
 //! * [`ApTile`] — reusable tile state: one flat-arena core handed out
 //!   freshly cleared per program, zero allocations in steady state,
+//! * [`program`] — the compiled-program IR: a [`Recorder`] captures an
+//!   op trace from the `ApCore` API into an [`ApProgram`] that replays
+//!   bit- and cycle-exactly on either backend and answers cost queries
+//!   ([`ApProgram::static_cost`]) without touching a CAM,
 //! * [`batch`] — the multi-tile batch driver: independent jobs fanned
 //!   across host threads, one persistent simulated tile per worker,
 //! * [`cost`] — the paper's Table II analytic runtime formulas,
@@ -53,6 +57,7 @@
 pub mod batch;
 pub mod cost;
 pub mod lut;
+pub mod program;
 
 mod area;
 mod backend;
@@ -70,6 +75,7 @@ pub use cam::CamArray;
 pub use core_ops::{ApConfig, ApCore, DivStyle, Overflow};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use field::Field;
+pub use program::{ApOp, ApProgram, ExecIo, Operand, ProgramScratch, Recorder, RegId};
 pub use rowset::RowSet;
 pub use stats::CycleStats;
 pub use tile::ApTile;

@@ -1,0 +1,1021 @@
+//! Compiled AP programs: record an op trace once, replay it many times.
+//!
+//! The SoftmAP dataflow is *static*: for a fixed (layout, rows,
+//! precision, division style) the controller issues the same sixteen-step
+//! microcode sequence for every vector — only the data changes. SOLE and
+//! VEXP exploit exactly this to precompute their schedules; this module
+//! is the equivalent layer for the simulated AP.
+//!
+//! Three pieces:
+//!
+//! * [`ApOp`] — one controller-level operation with **pre-resolved**
+//!   field column ranges, input/output slots, and scalar registers.
+//!   Host-side values that the controller derives at run time (the
+//!   min-search result, the reduction sum) flow through *registers*
+//!   ([`RegId`]) instead of being burned into the trace, so a recorded
+//!   program is valid for any input of the same shape.
+//! * [`Recorder`] — wraps an [`ApCore`] with the same op vocabulary the
+//!   mapping layer uses, executing each op as it is issued and
+//!   (optionally) appending it to a trace together with the exact
+//!   [`CycleStats`] delta it charged. `Recorder::finish` turns the
+//!   trace into an [`ApProgram`].
+//! * [`ApProgram::replay`] — runs a program on any core of the same
+//!   geometry, on either [`crate::ExecBackend`], with **bit- and
+//!   cycle-exact** results versus issuing the same ops directly
+//!   (enforced by the differential proptests in
+//!   `crates/ap/tests/program_replay.rs`).
+//!
+//! [`ApProgram::static_cost`] returns the cycle/cell-event totals
+//! recorded at compile time — a cost query that touches no CAM. Cycle
+//! counts of the mapped dataflow are shape-determined except for
+//! data-dependent microcode inside a few ops (the restoring divider's
+//! restore adds, saturating subtractions that underflow nowhere,
+//! variable shifts, the reciprocal divider's distinct-divisor count) and
+//! write-tag populations, so the static cost is exact for the input the
+//! program was compiled from and for any input following the same
+//! microcode path; `softmap`'s cost tables compile from a deterministic
+//! representative input for exactly this reason.
+//!
+//! # Examples
+//!
+//! ```
+//! use softmap_ap::{ApConfig, ApCore, CycleStats};
+//! use softmap_ap::program::{ExecIo, ProgramScratch, Recorder};
+//!
+//! // Record: x += 1 over every row, then read x back.
+//! let mut core = ApCore::new(ApConfig::new(4, 20)).unwrap();
+//! let x = core.alloc_field(6).unwrap();
+//! let one = core.alloc_field(6).unwrap();
+//! let data: Vec<u64> = vec![1, 2, 3, 4];
+//! let inputs: [&[u64]; 1] = [&data];
+//! let mut out = Vec::new();
+//! {
+//!     let mut outs: [&mut Vec<u64>; 1] = [&mut out];
+//!     let mut scratch = ProgramScratch::default();
+//!     let mut on_step = |_: &'static str, _: CycleStats| {};
+//!     let mut rec = Recorder::new(
+//!         &mut core,
+//!         ExecIo::new(&inputs, &mut outs),
+//!         &mut scratch,
+//!         &mut on_step,
+//!         true,
+//!     );
+//!     rec.load(x, 0).unwrap();
+//!     rec.broadcast(one, 1).unwrap();
+//!     rec.add_into(x, one).unwrap();
+//!     rec.read(x, 0).unwrap();
+//!     let program = rec.finish().unwrap();
+//!     assert_eq!(out, vec![2, 3, 4, 5]);
+//!     // The recorded cost is the recording execution's cost, exactly.
+//!     assert_eq!(program.static_cost(), core.stats());
+//!
+//!     // Replay on a fresh core with new data: no re-deciding, no field
+//!     // allocation — the ops carry resolved column ranges.
+//!     let mut core2 = ApCore::new(ApConfig::new(4, 20)).unwrap();
+//!     let data2: Vec<u64> = vec![10, 20, 30, 40];
+//!     let inputs2: [&[u64]; 1] = [&data2];
+//!     let mut out2 = Vec::new();
+//!     let mut outs2: [&mut Vec<u64>; 1] = [&mut out2];
+//!     program
+//!         .replay(
+//!             &mut core2,
+//!             ExecIo::new(&inputs2, &mut outs2),
+//!             &mut scratch,
+//!             |_, _| {},
+//!         )
+//!         .unwrap();
+//!     assert_eq!(out2, vec![11, 21, 31, 41]);
+//! }
+//! ```
+
+use crate::{ApConfig, ApCore, ApError, CycleStats, DivStyle, Field, Overflow};
+
+/// Index of a scalar register: a host-side value a program derives at
+/// run time (a min-search result, a reduction sum) and feeds back into
+/// later ops. Register contents live in [`ProgramScratch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegId(u32);
+
+impl RegId {
+    /// The register's index into [`ProgramScratch`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A broadcast value: a compile-time constant or a register read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// A constant resolved at compile time (the dataflow's µ, v_ln2,
+    /// v_b, v_c writes).
+    Const(u64),
+    /// The current value of a scalar register.
+    Reg(RegId),
+}
+
+/// One operation of a compiled AP program. Field operands are
+/// pre-resolved column ranges; host I/O references input/output *slots*
+/// bound at replay time; scalar values flow through registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApOp {
+    /// Bulk-load input slot `input` into `field` (the dataflow's
+    /// "Write v" steps).
+    Load {
+        /// Destination field.
+        field: Field,
+        /// Input slot index.
+        input: u32,
+    },
+    /// Broadcast a constant or register value into `field` on all rows.
+    Broadcast {
+        /// Destination field.
+        field: Field,
+        /// The value to drive.
+        value: Operand,
+    },
+    /// Out-of-place copy `dst = src`.
+    Copy {
+        /// Source field.
+        src: Field,
+        /// Destination field.
+        dst: Field,
+    },
+    /// Out-of-place multiply `r = a * b` (gated shift-add LUT sweep).
+    Mul {
+        /// Left operand.
+        a: Field,
+        /// Right operand.
+        b: Field,
+        /// Result field (`a.width() + b.width()` bits or wider).
+        r: Field,
+    },
+    /// In-place addition `acc += src`.
+    AddInto {
+        /// Accumulator.
+        acc: Field,
+        /// Addend.
+        src: Field,
+    },
+    /// In-place subtraction `acc -= src` whose borrow set must be empty
+    /// by construction (checked with a debug assertion at replay, as on
+    /// the direct-issue path).
+    SubAssertClean {
+        /// Accumulator.
+        acc: Field,
+        /// Subtrahend.
+        src: Field,
+    },
+    /// Saturating in-place subtraction `acc = max(acc - src, 0)`.
+    SaturatingSubInto {
+        /// Accumulator.
+        acc: Field,
+        /// Subtrahend.
+        src: Field,
+    },
+    /// In-place logical right shift by a constant.
+    ShrConst {
+        /// The shifted field.
+        field: Field,
+        /// Shift amount in bits.
+        k: usize,
+    },
+    /// In-place per-row variable right shift (`field >>= amount`).
+    ShrVariable {
+        /// The shifted field.
+        field: Field,
+        /// Per-row shift amounts.
+        amount: Field,
+    },
+    /// Bit-serial minimum search over `field`; the minimum value lands
+    /// in register `dst` (one compare cycle per bit).
+    MinSearch {
+        /// Searched field.
+        field: Field,
+        /// Destination register.
+        dst: RegId,
+    },
+    /// Scalar register minimum `dst = min(a, b)` (controller-side,
+    /// free).
+    RegMin {
+        /// Destination register.
+        dst: RegId,
+        /// First operand register.
+        a: RegId,
+        /// Second operand register.
+        b: RegId,
+    },
+    /// Scalar clamp `dst = max(src, 1)` — the divisor clamp after a
+    /// wrapped reduction (controller-side, free).
+    RegMax1 {
+        /// Destination register.
+        dst: RegId,
+        /// Source register.
+        src: RegId,
+    },
+    /// 2D row-parallel tree reduction of `field` over segments of
+    /// `segment_rows` rows; the first segment's sum lands in `dst`.
+    ReduceSum {
+        /// Summed field.
+        field: Field,
+        /// Per-segment sum landing field.
+        sum_field: Field,
+        /// Rows per segment.
+        segment_rows: usize,
+        /// Overflow behaviour.
+        mode: Overflow,
+        /// Destination register (first segment's sum).
+        dst: RegId,
+    },
+    /// Word-parallel fixed-point division
+    /// `quot = (num << frac_bits) / den`.
+    Divide {
+        /// Numerator field.
+        num: Field,
+        /// Divisor field.
+        den: Field,
+        /// Quotient field.
+        quot: Field,
+        /// Fixed-point fraction bits.
+        frac_bits: usize,
+        /// Division microcode style.
+        style: DivStyle,
+    },
+    /// Append `field`'s words to output slot `output` (free read-out).
+    Read {
+        /// Source field.
+        field: Field,
+        /// Output slot index.
+        output: u32,
+    },
+    /// A named step boundary: replay reports the [`CycleStats`] charged
+    /// since the previous boundary to the step callback.
+    Step {
+        /// Step name (the mapping uses Fig. 5 step labels).
+        name: &'static str,
+    },
+}
+
+/// Reusable run-time state for recording and replay: scalar registers
+/// plus the reduction-sums staging buffer. Keep one per worker (the
+/// mapping's `TileState` does) so steady-state replay allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramScratch {
+    regs: Vec<u64>,
+    sums: Vec<u64>,
+}
+
+impl ProgramScratch {
+    /// The current value of a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register was never written in the last
+    /// record/replay.
+    #[must_use]
+    pub fn reg(&self, id: RegId) -> u64 {
+        self.regs[id.index()]
+    }
+
+    fn set_reg(&mut self, id: RegId, value: u64) -> Result<(), ApError> {
+        let i = id.index();
+        match i.cmp(&self.regs.len()) {
+            core::cmp::Ordering::Less => self.regs[i] = value,
+            core::cmp::Ordering::Equal => self.regs.push(value),
+            core::cmp::Ordering::Greater => {
+                return Err(ApError::BadConfig("program register out of range"))
+            }
+        }
+        Ok(())
+    }
+
+    fn get_reg(&self, id: RegId) -> Result<u64, ApError> {
+        self.regs
+            .get(id.index())
+            .copied()
+            .ok_or(ApError::BadConfig("program register read before write"))
+    }
+}
+
+/// Borrowed input/output bindings for one program execution: `inputs`
+/// are the bulk-load word slices ([`ApOp::Load`] slots), `outputs` the
+/// read-out buffers ([`ApOp::Read`] slots, appended to).
+pub struct ExecIo<'s, 'd> {
+    inputs: &'s [&'d [u64]],
+    outputs: &'s mut [&'d mut Vec<u64>],
+}
+
+impl<'s, 'd> ExecIo<'s, 'd> {
+    /// Binds input and output slots.
+    pub fn new(inputs: &'s [&'d [u64]], outputs: &'s mut [&'d mut Vec<u64>]) -> Self {
+        Self { inputs, outputs }
+    }
+
+    fn input(&self, slot: u32) -> Result<&'d [u64], ApError> {
+        self.inputs
+            .get(slot as usize)
+            .copied()
+            .ok_or(ApError::BadConfig("program input slot out of range"))
+    }
+
+    fn output(&mut self, slot: u32) -> Result<&mut Vec<u64>, ApError> {
+        self.outputs
+            .get_mut(slot as usize)
+            .map(|v| &mut **v)
+            .ok_or(ApError::BadConfig("program output slot out of range"))
+    }
+}
+
+/// Executes one op against destructured run-time state. This is the
+/// single execution engine behind both the recording path and replay,
+/// so the two cannot diverge.
+fn apply_op(
+    core: &mut ApCore,
+    op: &ApOp,
+    io: &mut ExecIo<'_, '_>,
+    scratch: &mut ProgramScratch,
+    mark: &mut CycleStats,
+    on_step: &mut dyn FnMut(&'static str, CycleStats),
+) -> Result<(), ApError> {
+    match *op {
+        ApOp::Load { field, input } => core.load(field, io.input(input)?),
+        ApOp::Broadcast { field, value } => {
+            let v = match value {
+                Operand::Const(c) => c,
+                Operand::Reg(r) => scratch.get_reg(r)?,
+            };
+            core.broadcast(field, v)
+        }
+        ApOp::Copy { src, dst } => core.copy(src, dst),
+        ApOp::Mul { a, b, r } => core.mul(a, b, r),
+        ApOp::AddInto { acc, src } => core.add_into(acc, src),
+        ApOp::SubAssertClean { acc, src } => {
+            let clean = core.sub_into_ref(acc, src)?.is_none_set();
+            debug_assert!(clean, "recorded subtraction must not underflow");
+            let _ = clean;
+            Ok(())
+        }
+        ApOp::SaturatingSubInto { acc, src } => core.saturating_sub_into(acc, src),
+        ApOp::ShrConst { field, k } => core.shr_const(field, k),
+        ApOp::ShrVariable { field, amount } => core.shr_variable(field, amount),
+        ApOp::MinSearch { field, dst } => {
+            let v = core.min_search_value(field);
+            scratch.set_reg(dst, v)
+        }
+        ApOp::RegMin { dst, a, b } => {
+            let v = scratch.get_reg(a)?.min(scratch.get_reg(b)?);
+            scratch.set_reg(dst, v)
+        }
+        ApOp::RegMax1 { dst, src } => {
+            let v = scratch.get_reg(src)?.max(1);
+            scratch.set_reg(dst, v)
+        }
+        ApOp::ReduceSum {
+            field,
+            sum_field,
+            segment_rows,
+            mode,
+            dst,
+        } => {
+            let ProgramScratch { sums, .. } = scratch;
+            core.reduce_sum_2d_mode_into(field, sum_field, segment_rows, mode, sums)?;
+            let first = scratch.sums[0];
+            scratch.set_reg(dst, first)
+        }
+        ApOp::Divide {
+            num,
+            den,
+            quot,
+            frac_bits,
+            style,
+        } => core.divide(num, den, quot, frac_bits, style),
+        ApOp::Read { field, output } => {
+            core.read_append(field, io.output(output)?);
+            Ok(())
+        }
+        ApOp::Step { name } => {
+            let now = core.stats();
+            on_step(name, now.since(mark));
+            *mark = now;
+            Ok(())
+        }
+    }
+}
+
+/// Trace under construction: the ops issued so far and the exact cost
+/// each charged during the recording execution.
+#[derive(Debug, Default)]
+struct Trace {
+    ops: Vec<ApOp>,
+    costs: Vec<CycleStats>,
+    last: CycleStats,
+}
+
+/// Issues controller ops against an [`ApCore`], optionally recording
+/// them into an [`ApProgram`]. In pass-through mode (`record = false`)
+/// the recorder is a zero-overhead adapter: ops execute directly and
+/// nothing is retained — the mapping layer's *direct-issue* path.
+///
+/// The recorder captures the core's current column-allocation cursor at
+/// construction; replay restores it so ops that allocate scratch
+/// internally (division) land on the same columns they did while
+/// recording.
+pub struct Recorder<'s, 'd> {
+    core: &'s mut ApCore,
+    io: ExecIo<'s, 'd>,
+    scratch: &'s mut ProgramScratch,
+    on_step: &'s mut dyn FnMut(&'static str, CycleStats),
+    mark: CycleStats,
+    reserved_cols: usize,
+    num_regs: u32,
+    trace: Option<Trace>,
+}
+
+impl<'s, 'd> Recorder<'s, 'd> {
+    /// Starts issuing (and, when `record` is set, recording) on `core`.
+    /// All fields the program touches must already be allocated; the
+    /// step callback receives the per-step cost deltas exactly as
+    /// replay will report them.
+    pub fn new(
+        core: &'s mut ApCore,
+        io: ExecIo<'s, 'd>,
+        scratch: &'s mut ProgramScratch,
+        on_step: &'s mut dyn FnMut(&'static str, CycleStats),
+        record: bool,
+    ) -> Self {
+        scratch.regs.clear();
+        scratch.sums.clear();
+        let mark = core.stats();
+        let reserved_cols = core.cols() - core.free_cols();
+        Self {
+            core,
+            io,
+            scratch,
+            on_step,
+            mark,
+            reserved_cols,
+            num_regs: 0,
+            trace: record.then(|| Trace {
+                last: mark,
+                ..Trace::default()
+            }),
+        }
+    }
+
+    /// Executes `op` and appends it (with its cost) to the trace.
+    fn issue(&mut self, op: ApOp) -> Result<(), ApError> {
+        apply_op(
+            self.core,
+            &op,
+            &mut self.io,
+            self.scratch,
+            &mut self.mark,
+            self.on_step,
+        )?;
+        if let Some(t) = &mut self.trace {
+            let now = self.core.stats();
+            t.costs.push(now.since(&t.last));
+            t.last = now;
+            t.ops.push(op);
+        }
+        Ok(())
+    }
+
+    fn alloc_reg(&mut self) -> RegId {
+        let id = RegId(self.num_regs);
+        self.num_regs += 1;
+        id
+    }
+
+    /// Rows of the underlying core (for shape-derived op parameters
+    /// like the reduction segment size).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.core.rows()
+    }
+
+    /// Marks a named step boundary.
+    pub fn step(&mut self, name: &'static str) {
+        self.issue(ApOp::Step { name })
+            .expect("step marks cannot fail");
+    }
+
+    /// Bulk-loads input slot `input` into `field`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ApCore::load`]; also errors on an unbound input slot.
+    pub fn load(&mut self, field: Field, input: usize) -> Result<(), ApError> {
+        self.issue(ApOp::Load {
+            field,
+            input: u32::try_from(input).map_err(|_| ApError::BadConfig("input slot too large"))?,
+        })
+    }
+
+    /// Broadcasts a constant into `field` on all rows.
+    ///
+    /// # Errors
+    ///
+    /// See [`ApCore::broadcast`].
+    pub fn broadcast(&mut self, field: Field, value: u64) -> Result<(), ApError> {
+        self.issue(ApOp::Broadcast {
+            field,
+            value: Operand::Const(value),
+        })
+    }
+
+    /// Broadcasts a register's value into `field` on all rows.
+    ///
+    /// # Errors
+    ///
+    /// See [`ApCore::broadcast`].
+    pub fn broadcast_reg(&mut self, field: Field, reg: RegId) -> Result<(), ApError> {
+        self.issue(ApOp::Broadcast {
+            field,
+            value: Operand::Reg(reg),
+        })
+    }
+
+    /// Out-of-place copy; see [`ApCore::copy`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ApCore::copy`].
+    pub fn copy(&mut self, src: Field, dst: Field) -> Result<(), ApError> {
+        self.issue(ApOp::Copy { src, dst })
+    }
+
+    /// Out-of-place multiply; see [`ApCore::mul`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ApCore::mul`].
+    pub fn mul(&mut self, a: Field, b: Field, r: Field) -> Result<(), ApError> {
+        self.issue(ApOp::Mul { a, b, r })
+    }
+
+    /// In-place addition; see [`ApCore::add_into`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ApCore::add_into`].
+    pub fn add_into(&mut self, acc: Field, src: Field) -> Result<(), ApError> {
+        self.issue(ApOp::AddInto { acc, src })
+    }
+
+    /// In-place subtraction that must not underflow by construction
+    /// (debug-asserted); see [`ApCore::sub_into_ref`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ApCore::sub_into`].
+    pub fn sub_assert_clean(&mut self, acc: Field, src: Field) -> Result<(), ApError> {
+        self.issue(ApOp::SubAssertClean { acc, src })
+    }
+
+    /// Saturating in-place subtraction; see
+    /// [`ApCore::saturating_sub_into`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ApCore::saturating_sub_into`].
+    pub fn saturating_sub_into(&mut self, acc: Field, src: Field) -> Result<(), ApError> {
+        self.issue(ApOp::SaturatingSubInto { acc, src })
+    }
+
+    /// Constant right shift; see [`ApCore::shr_const`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ApCore::shr_const`].
+    pub fn shr_const(&mut self, field: Field, k: usize) -> Result<(), ApError> {
+        self.issue(ApOp::ShrConst { field, k })
+    }
+
+    /// Per-row variable right shift; see [`ApCore::shr_variable`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ApCore::shr_variable`].
+    pub fn shr_variable(&mut self, field: Field, amount: Field) -> Result<(), ApError> {
+        self.issue(ApOp::ShrVariable { field, amount })
+    }
+
+    /// Bit-serial minimum search into a fresh register; see
+    /// [`ApCore::min_search_value`].
+    pub fn min_search(&mut self, field: Field) -> RegId {
+        let dst = self.alloc_reg();
+        self.issue(ApOp::MinSearch { field, dst })
+            .expect("min search cannot fail");
+        dst
+    }
+
+    /// Scalar register minimum into a fresh register (controller-side,
+    /// free).
+    pub fn reg_min(&mut self, a: RegId, b: RegId) -> RegId {
+        let dst = self.alloc_reg();
+        self.issue(ApOp::RegMin { dst, a, b })
+            .expect("register ops on recorded registers cannot fail");
+        dst
+    }
+
+    /// Scalar clamp `max(src, 1)` into a fresh register
+    /// (controller-side, free).
+    pub fn reg_max1(&mut self, src: RegId) -> RegId {
+        let dst = self.alloc_reg();
+        self.issue(ApOp::RegMax1 { dst, src })
+            .expect("register ops on recorded registers cannot fail");
+        dst
+    }
+
+    /// 2D tree reduction; the first segment's sum lands in the returned
+    /// register. See [`ApCore::reduce_sum_2d_mode_into`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ApCore::reduce_sum_2d_mode_into`].
+    pub fn reduce_sum(
+        &mut self,
+        field: Field,
+        sum_field: Field,
+        segment_rows: usize,
+        mode: Overflow,
+    ) -> Result<RegId, ApError> {
+        let dst = self.alloc_reg();
+        self.issue(ApOp::ReduceSum {
+            field,
+            sum_field,
+            segment_rows,
+            mode,
+            dst,
+        })?;
+        Ok(dst)
+    }
+
+    /// Word-parallel division; see [`ApCore::divide`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ApCore::divide`].
+    pub fn divide(
+        &mut self,
+        num: Field,
+        den: Field,
+        quot: Field,
+        frac_bits: usize,
+        style: DivStyle,
+    ) -> Result<(), ApError> {
+        self.issue(ApOp::Divide {
+            num,
+            den,
+            quot,
+            frac_bits,
+            style,
+        })
+    }
+
+    /// Appends `field`'s words to output slot `output`.
+    ///
+    /// # Errors
+    ///
+    /// Errors on an unbound output slot.
+    pub fn read(&mut self, field: Field, output: usize) -> Result<(), ApError> {
+        self.issue(ApOp::Read {
+            field,
+            output: u32::try_from(output)
+                .map_err(|_| ApError::BadConfig("output slot too large"))?,
+        })
+    }
+
+    /// Ends the recording. Returns the compiled program, or `None` in
+    /// pass-through mode.
+    #[must_use]
+    pub fn finish(self) -> Option<ApProgram> {
+        let trace = self.trace?;
+        let mut static_total = CycleStats::default();
+        for c in &trace.costs {
+            static_total.accumulate(c);
+        }
+        let mut static_steps = Vec::new();
+        let mut seg = CycleStats::default();
+        let mut num_inputs = 0u32;
+        let mut num_outputs = 0u32;
+        for (op, cost) in trace.ops.iter().zip(&trace.costs) {
+            match *op {
+                ApOp::Step { name } => {
+                    static_steps.push((name, seg));
+                    seg = CycleStats::default();
+                }
+                ApOp::Load { input, .. } => {
+                    num_inputs = num_inputs.max(input + 1);
+                    seg.accumulate(cost);
+                }
+                ApOp::Read { output, .. } => {
+                    num_outputs = num_outputs.max(output + 1);
+                    seg.accumulate(cost);
+                }
+                _ => seg.accumulate(cost),
+            }
+        }
+        if seg != CycleStats::default() {
+            // Ops after the last step mark that charged cycles: keep
+            // them in the per-step accounting so the segments always
+            // sum to the static total.
+            static_steps.push(("(after last step)", seg));
+        }
+        Some(ApProgram {
+            config: ApConfig::new(self.core.rows(), self.core.cols()),
+            reserved_cols: self.reserved_cols,
+            num_regs: self.num_regs as usize,
+            num_inputs: num_inputs as usize,
+            num_outputs: num_outputs as usize,
+            ops: trace.ops,
+            costs: trace.costs,
+            static_total,
+            static_steps,
+        })
+    }
+}
+
+/// A compiled AP program: a flat op trace with pre-resolved fields plus
+/// the per-op costs recorded at compile time. See the module docs for
+/// the replay and static-cost contracts.
+#[derive(Debug, Clone)]
+pub struct ApProgram {
+    config: ApConfig,
+    reserved_cols: usize,
+    num_regs: usize,
+    num_inputs: usize,
+    num_outputs: usize,
+    ops: Vec<ApOp>,
+    costs: Vec<CycleStats>,
+    static_total: CycleStats,
+    static_steps: Vec<(&'static str, CycleStats)>,
+}
+
+impl ApProgram {
+    /// The tile geometry the program was compiled at (and must replay
+    /// at).
+    #[must_use]
+    pub fn config(&self) -> ApConfig {
+        self.config
+    }
+
+    /// Columns reserved by the program's field layout; internal scratch
+    /// (division) allocates above this cursor, exactly as it did while
+    /// recording.
+    #[must_use]
+    pub fn reserved_cols(&self) -> usize {
+        self.reserved_cols
+    }
+
+    /// Number of input slots the program loads from.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of output slots the program reads into.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// The op trace.
+    #[must_use]
+    pub fn ops(&self) -> &[ApOp] {
+        &self.ops
+    }
+
+    /// Per-op cost deltas recorded at compile time (parallel to
+    /// [`ApProgram::ops`]).
+    #[must_use]
+    pub fn op_costs(&self) -> &[CycleStats] {
+        &self.costs
+    }
+
+    /// Number of ops (including step marks).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total cycle/cell-event cost recorded at compile time — the
+    /// execution-free cost query. Exact for the compile input and for
+    /// any input following the same microcode path (see module docs).
+    #[must_use]
+    pub fn static_cost(&self) -> CycleStats {
+        self.static_total
+    }
+
+    /// Per-step compile-time costs, in step-mark order (the static
+    /// counterpart of the mapping's per-step breakdown). Cycle-charging
+    /// ops recorded after the last step mark are kept in a final
+    /// `"(after last step)"` segment, so the segments always sum to
+    /// [`ApProgram::static_cost`].
+    #[must_use]
+    pub fn static_steps(&self) -> &[(&'static str, CycleStats)] {
+        &self.static_steps
+    }
+
+    /// Replays the program on `core`, which must be freshly acquired at
+    /// [`ApProgram::config`]'s geometry (any backend). `on_step`
+    /// receives the per-step cost deltas of *this* execution.
+    ///
+    /// Replay is bit- and cycle-exact versus issuing the same ops
+    /// directly, for any input of the program's shape.
+    ///
+    /// # Errors
+    ///
+    /// * [`ApError::BadConfig`] on geometry or slot-count mismatch.
+    /// * Any error the underlying ops report (e.g. a width overflow in
+    ///   [`Overflow::Error`] reductions, division by zero).
+    pub fn replay(
+        &self,
+        core: &mut ApCore,
+        mut io: ExecIo<'_, '_>,
+        scratch: &mut ProgramScratch,
+        mut on_step: impl FnMut(&'static str, CycleStats),
+    ) -> Result<(), ApError> {
+        if core.rows() != self.config.rows || core.cols() != self.config.cols {
+            return Err(ApError::BadConfig("replay geometry mismatch"));
+        }
+        if io.inputs.len() < self.num_inputs || io.outputs.len() < self.num_outputs {
+            return Err(ApError::BadConfig("replay is missing io slots"));
+        }
+        core.set_next_col(self.reserved_cols);
+        scratch.regs.clear();
+        scratch.regs.resize(self.num_regs, 0);
+        let mut mark = core.stats();
+        for op in &self.ops {
+            apply_op(core, op, &mut io, scratch, &mut mark, &mut on_step)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExecBackend;
+
+    /// Records a tiny add/shift/read pipeline and returns
+    /// (program, outputs, recording stats).
+    fn record(data: &[u64]) -> (ApProgram, Vec<u64>, CycleStats) {
+        let mut core = ApCore::new(ApConfig::new(data.len(), 24)).unwrap();
+        let x = core.alloc_field(8).unwrap();
+        let k = core.alloc_field(8).unwrap();
+        let inputs: [&[u64]; 1] = [data];
+        let mut out = Vec::new();
+        let mut outs: [&mut Vec<u64>; 1] = [&mut out];
+        let mut scratch = ProgramScratch::default();
+        let mut steps = Vec::new();
+        let mut on_step = |name: &'static str, s: CycleStats| steps.push((name, s));
+        let mut rec = Recorder::new(
+            &mut core,
+            ExecIo::new(&inputs, &mut outs),
+            &mut scratch,
+            &mut on_step,
+            true,
+        );
+        rec.load(x, 0).unwrap();
+        rec.step("in");
+        rec.broadcast(k, 3).unwrap();
+        rec.add_into(x, k).unwrap();
+        rec.shr_const(x, 1).unwrap();
+        rec.step("compute");
+        rec.read(x, 0).unwrap();
+        let program = rec.finish().unwrap();
+        assert_eq!(steps.len(), 2);
+        (program, out, core.stats())
+    }
+
+    #[test]
+    fn static_cost_equals_recording_stats() {
+        let (program, out, stats) = record(&[0, 1, 200, 250]);
+        assert_eq!(out, vec![1, 2, 101, 126]);
+        assert_eq!(program.static_cost(), stats);
+        let step_total =
+            program
+                .static_steps()
+                .iter()
+                .fold(CycleStats::default(), |mut acc, (_, s)| {
+                    acc.accumulate(s);
+                    acc
+                });
+        // The trailing read is free, so the marked steps cover the total.
+        assert_eq!(step_total, program.static_cost());
+        assert_eq!(program.num_inputs(), 1);
+        assert_eq!(program.num_outputs(), 1);
+        assert!(!program.is_empty());
+        assert_eq!(program.len(), program.op_costs().len());
+    }
+
+    #[test]
+    fn replay_is_exact_on_both_backends() {
+        let (program, _, _) = record(&[0, 1, 200, 250]);
+        for backend in [ExecBackend::Microcode, ExecBackend::FastWord] {
+            let mut core = ApCore::with_backend(program.config(), backend).unwrap();
+            let data: Vec<u64> = vec![7, 8, 9, 10];
+            let inputs: [&[u64]; 1] = [&data];
+            let mut out = Vec::new();
+            let mut outs: [&mut Vec<u64>; 1] = [&mut out];
+            let mut scratch = ProgramScratch::default();
+            program
+                .replay(
+                    &mut core,
+                    ExecIo::new(&inputs, &mut outs),
+                    &mut scratch,
+                    |_, _| {},
+                )
+                .unwrap();
+            assert_eq!(out, vec![5, 5, 6, 6], "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn replay_rejects_geometry_and_slot_mismatches() {
+        let (program, _, _) = record(&[1, 2, 3, 4]);
+        let mut wrong = ApCore::new(ApConfig::new(8, 24)).unwrap();
+        let data: Vec<u64> = vec![0; 8];
+        let inputs: [&[u64]; 1] = [&data];
+        let mut out = Vec::new();
+        let mut outs: [&mut Vec<u64>; 1] = [&mut out];
+        let mut scratch = ProgramScratch::default();
+        assert!(matches!(
+            program.replay(
+                &mut wrong,
+                ExecIo::new(&inputs, &mut outs),
+                &mut scratch,
+                |_, _| {}
+            ),
+            Err(ApError::BadConfig(_))
+        ));
+
+        let mut right = ApCore::new(program.config()).unwrap();
+        let mut scratch = ProgramScratch::default();
+        let mut outs: [&mut Vec<u64>; 0] = [];
+        let data4: Vec<u64> = vec![0; 4];
+        let inputs4: [&[u64]; 1] = [&data4];
+        assert!(matches!(
+            program.replay(
+                &mut right,
+                ExecIo::new(&inputs4, &mut outs),
+                &mut scratch,
+                |_, _| {}
+            ),
+            Err(ApError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn registers_thread_runtime_values() {
+        let data: Vec<u64> = vec![9, 4, 7, 12];
+        let mut core = ApCore::new(ApConfig::new(4, 40)).unwrap();
+        let x = core.alloc_field(8).unwrap();
+        let m = core.alloc_field(8).unwrap();
+        let inputs: [&[u64]; 1] = [&data];
+        let mut out = Vec::new();
+        let mut outs: [&mut Vec<u64>; 1] = [&mut out];
+        let mut scratch = ProgramScratch::default();
+        let mut on_step = |_: &'static str, _: CycleStats| {};
+        let mut rec = Recorder::new(
+            &mut core,
+            ExecIo::new(&inputs, &mut outs),
+            &mut scratch,
+            &mut on_step,
+            true,
+        );
+        rec.load(x, 0).unwrap();
+        let r = rec.min_search(x);
+        rec.broadcast_reg(m, r).unwrap();
+        rec.sub_assert_clean(x, m).unwrap();
+        rec.read(x, 0).unwrap();
+        let program = rec.finish().unwrap();
+        assert_eq!(out, vec![5, 0, 3, 8]);
+        assert_eq!(scratch.reg(r), 4);
+
+        // Replay with other data re-derives the min at run time.
+        let mut core2 = ApCore::new(program.config()).unwrap();
+        let data2: Vec<u64> = vec![30, 11, 20, 11];
+        let inputs2: [&[u64]; 1] = [&data2];
+        let mut out2 = Vec::new();
+        let mut outs2: [&mut Vec<u64>; 1] = [&mut out2];
+        program
+            .replay(
+                &mut core2,
+                ExecIo::new(&inputs2, &mut outs2),
+                &mut scratch,
+                |_, _| {},
+            )
+            .unwrap();
+        assert_eq!(out2, vec![19, 0, 9, 0]);
+        assert_eq!(scratch.reg(r), 11);
+    }
+}

@@ -1,0 +1,215 @@
+//! Differential proptests for the program IR: replaying a recorded
+//! [`ApProgram`] must be bit- and cycle-exact versus issuing the same
+//! ops directly — on both backends, for any input of the recorded
+//! shape (including inputs the program has never seen), across odd and
+//! even row counts and both division styles.
+
+use proptest::prelude::*;
+use softmap_ap::program::{ExecIo, ProgramScratch, Recorder};
+use softmap_ap::{ApConfig, ApCore, ApProgram, CycleStats, DivStyle, ExecBackend, Overflow};
+
+/// One execution's observable outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Outcome {
+    out_a: Vec<u64>,
+    out_acc: Vec<u64>,
+    out_q: Vec<u64>,
+    stats: CycleStats,
+    steps: Vec<(&'static str, CycleStats)>,
+}
+
+struct Inputs<'a> {
+    xs: &'a [u64],
+    ys: &'a [u64],
+    amts: &'a [u64],
+}
+
+/// Issues a pipeline exercising every op kind (load, broadcast
+/// const/reg, min-search compare, copy-free register folds, add, clean
+/// and saturating subtract, multiply, constant and variable shifts, 2D
+/// reduction, division, read) against a fresh core. Returns the
+/// outcome plus the recorded program when `record` is set.
+fn run_pipeline(
+    rows: usize,
+    backend: ExecBackend,
+    style: DivStyle,
+    inputs: &Inputs<'_>,
+    record: bool,
+) -> (Outcome, Option<ApProgram>) {
+    let mut core = ApCore::with_backend(ApConfig::new(rows, 168), backend).unwrap();
+    let a = core.alloc_field(8).unwrap();
+    let b = core.alloc_field(8).unwrap();
+    let c = core.alloc_field(8).unwrap();
+    let acc = core.alloc_field(9).unwrap();
+    let prod = core.alloc_field(17).unwrap();
+    let q = core.alloc_field(12).unwrap();
+    let den = core.alloc_field(16).unwrap();
+    let sum = core.alloc_field(16).unwrap();
+    let amt = core.alloc_field(3).unwrap();
+
+    let in_slices: [&[u64]; 3] = [inputs.xs, inputs.ys, inputs.amts];
+    let mut out_a = Vec::new();
+    let mut out_acc = Vec::new();
+    let mut out_q = Vec::new();
+    let mut steps: Vec<(&'static str, CycleStats)> = Vec::new();
+    let program;
+    {
+        let mut outs: [&mut Vec<u64>; 3] = [&mut out_a, &mut out_acc, &mut out_q];
+        let mut scratch = ProgramScratch::default();
+        let mut on_step = |name: &'static str, s: CycleStats| steps.push((name, s));
+        let mut rec = Recorder::new(
+            &mut core,
+            ExecIo::new(&in_slices, &mut outs),
+            &mut scratch,
+            &mut on_step,
+            record,
+        );
+        rec.load(a, 0).unwrap();
+        rec.load(b, 1).unwrap();
+        rec.load(amt, 2).unwrap();
+        rec.step("stage-in");
+        // Min over both operands via registers; subtracting it from `a`
+        // can never underflow.
+        let r0 = rec.min_search(a);
+        let r1 = rec.min_search(b);
+        let rm = rec.reg_min(r0, r1);
+        rec.broadcast_reg(c, rm).unwrap();
+        rec.sub_assert_clean(a, c).unwrap();
+        rec.broadcast(acc, 17).unwrap();
+        rec.add_into(acc, b).unwrap();
+        rec.mul(a, b, prod).unwrap();
+        rec.shr_const(prod, 3).unwrap();
+        rec.saturating_sub_into(acc, a).unwrap();
+        rec.shr_variable(prod, amt).unwrap();
+        rec.step("compute");
+        let rs = rec.reduce_sum(acc, sum, rows, Overflow::Saturate).unwrap();
+        let rd = rec.reg_max1(rs);
+        rec.broadcast_reg(den, rd).unwrap();
+        rec.divide(acc, den, q, 6, style).unwrap();
+        rec.step("normalize");
+        rec.read(a, 0).unwrap();
+        rec.read(acc, 1).unwrap();
+        rec.read(q, 2).unwrap();
+        program = rec.finish();
+    }
+    (
+        Outcome {
+            out_a,
+            out_acc,
+            out_q,
+            stats: core.stats(),
+            steps,
+        },
+        program,
+    )
+}
+
+/// Replays `program` on a fresh core and returns the outcome.
+fn replay_pipeline(
+    program: &ApProgram,
+    backend: ExecBackend,
+    inputs: &Inputs<'_>,
+    scratch: &mut ProgramScratch,
+) -> Outcome {
+    let mut core = ApCore::with_backend(program.config(), backend).unwrap();
+    let in_slices: [&[u64]; 3] = [inputs.xs, inputs.ys, inputs.amts];
+    let mut out_a = Vec::new();
+    let mut out_acc = Vec::new();
+    let mut out_q = Vec::new();
+    let mut steps: Vec<(&'static str, CycleStats)> = Vec::new();
+    {
+        let mut outs: [&mut Vec<u64>; 3] = [&mut out_a, &mut out_acc, &mut out_q];
+        program
+            .replay(
+                &mut core,
+                ExecIo::new(&in_slices, &mut outs),
+                scratch,
+                |name, s| steps.push((name, s)),
+            )
+            .unwrap();
+    }
+    Outcome {
+        out_a,
+        out_acc,
+        out_q,
+        stats: core.stats(),
+        steps,
+    }
+}
+
+/// (rows, xs, ys, amts): full-length pools truncated to `rows` by the
+/// test body (the vendored proptest stub has no `prop_flat_map`).
+fn data_strategy() -> impl Strategy<Value = (usize, Vec<u64>, Vec<u64>, Vec<u64>)> {
+    (
+        1usize..48,
+        prop::collection::vec(0u64..256, 48..49),
+        prop::collection::vec(0u64..256, 48..49),
+        prop::collection::vec(0u64..8, 48..49),
+    )
+        .prop_map(|(rows, mut xs, mut ys, mut amts)| {
+            xs.truncate(rows);
+            ys.truncate(rows);
+            amts.truncate(rows);
+            (rows, xs, ys, amts)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn replay_is_bit_and_cycle_exact_vs_direct_issue(
+        data in data_strategy(),
+        data2 in data_strategy(),
+        style in prop_oneof![Just(DivStyle::Restoring), Just(DivStyle::ControllerReciprocal)],
+    ) {
+        let (rows, xs, ys, amts) = data;
+        let (_, xs2, ys2, amts2) = data2;
+        let compile_inputs = Inputs { xs: &xs, ys: &ys, amts: &amts };
+        // Record on the microcode (ground-truth) backend.
+        let (direct, program) =
+            run_pipeline(rows, ExecBackend::Microcode, style, &compile_inputs, true);
+        let program = program.expect("recording returns a program");
+        prop_assert_eq!(program.static_cost(), direct.stats,
+            "static cost must equal the recording execution's stats");
+
+        let mut scratch = ProgramScratch::default();
+        // Replay with the compile input: identical to direct issue on
+        // both backends.
+        for backend in [ExecBackend::Microcode, ExecBackend::FastWord] {
+            let replayed = replay_pipeline(&program, backend, &compile_inputs, &mut scratch);
+            prop_assert_eq!(&replayed, &direct, "compile-input replay on {:?}", backend);
+        }
+
+        // Replay with data the program has never seen (resized to the
+        // recorded shape): identical to directly issuing the same ops
+        // with that data, on both backends.
+        let mut xs2 = xs2; xs2.resize(rows, 1);
+        let mut ys2 = ys2; ys2.resize(rows, 2);
+        let mut amts2 = amts2; amts2.resize(rows, 3);
+        let fresh_inputs = Inputs { xs: &xs2, ys: &ys2, amts: &amts2 };
+        let (direct2, _) =
+            run_pipeline(rows, ExecBackend::Microcode, style, &fresh_inputs, false);
+        for backend in [ExecBackend::Microcode, ExecBackend::FastWord] {
+            let replayed = replay_pipeline(&program, backend, &fresh_inputs, &mut scratch);
+            prop_assert_eq!(&replayed, &direct2, "fresh-input replay on {:?}", backend);
+        }
+    }
+
+    #[test]
+    fn passthrough_recorder_is_invisible(
+        data in data_strategy(),
+    ) {
+        // The pass-through (direct-issue) recorder must behave exactly
+        // like the recording one minus the program.
+        let (rows, xs, ys, amts) = data;
+        let inputs = Inputs { xs: &xs, ys: &ys, amts: &amts };
+        let (recorded, program) =
+            run_pipeline(rows, ExecBackend::FastWord, DivStyle::Restoring, &inputs, true);
+        let (passthrough, none) =
+            run_pipeline(rows, ExecBackend::FastWord, DivStyle::Restoring, &inputs, false);
+        prop_assert!(none.is_none());
+        prop_assert_eq!(passthrough, recorded);
+        prop_assert!(program.is_some());
+    }
+}

@@ -1,20 +1,28 @@
 //! Dual-backend comparison: the bit-serial `Microcode` engine vs. the
 //! word-level `FastWord` engine on the full Fig. 5 softmax dataflow,
-//! plus the reused-tile series (`fastword-reused`: one persistent
-//! `TileState` + run buffer streaming vectors, the zero-allocation
-//! path) and the multi-tile batch driver's throughput.
+//! plus the plan-cache series:
+//!
+//! * `fastword-reused` — one persistent `TileState` + run buffer
+//!   streaming vectors in **direct-issue** mode (the pre-plan
+//!   per-vector interpretation; comparable with earlier records),
+//! * `fastword-replayed` — the same pooled streaming through the
+//!   **cached-plan replay** path (compile once per shape, then
+//!   load → replay → read with no per-op host dispatch),
+//! * `fastword-compile` — plan cache cleared every iteration, so each
+//!   vector pays record + execute; `fastword-compile − fastword-replayed`
+//!   is the compile cost a plan amortizes (`plan_compile_us` in
+//!   `BENCH_ap.json`),
+//! * `fastword-batch32` — the multi-tile batch driver's throughput.
 //!
 //! `FastWord` charges identical `CycleStats` (enforced by the
 //! differential proptests; spot-checked here) while running ~13× faster
 //! at 256 rows and ~5–6× at 2048 rows against this repo's optimized
-//! interpreter — the ratio narrows with tile height because the
-//! word-parallel interpreter amortizes its per-pass overhead. Against
-//! the seed-style allocating interpreter the 2048-row speedup is ~20×.
-//! Measured numbers are recorded in `BENCH_ap.json` by
-//! `scripts/bench_ap.sh`.
+//! interpreter. Measured numbers are recorded in `BENCH_ap.json` by
+//! `scripts/bench_ap.sh`, which also gates `fastword-replayed` against
+//! the recorded `fastword-reused` baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use softmap::{ApSoftmax, ApSoftmaxRun, TileState};
+use softmap::{ApSoftmax, ApSoftmaxRun, PlanMode, TileState};
 use softmap_ap::ExecBackend;
 use softmap_softmax::PrecisionConfig;
 use std::hint::black_box;
@@ -46,13 +54,39 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| black_box(m.execute_floats(s).unwrap().total.cycles()))
             });
         }
-        // The pooled path: one persistent tile + run buffer streaming
-        // vectors, zero allocations per iteration in steady state.
-        let m = mapping(ExecBackend::FastWord);
+        // Direct-issue pooled path: one persistent tile + run buffer,
+        // the dataflow re-interpreted per vector (pre-plan behaviour).
+        let m = mapping(ExecBackend::FastWord).with_plan_mode(PlanMode::DirectIssue);
         let mut state = TileState::new();
         let mut run = ApSoftmaxRun::default();
         g.bench_with_input(BenchmarkId::new("fastword-reused", len / 2), &s, |b, s| {
             b.iter(|| {
+                m.execute_floats_into(&mut state, s, &mut run).unwrap();
+                black_box(run.total.cycles())
+            })
+        });
+        // Cached-plan replay: compile once, then load → replay → read.
+        let m = mapping(ExecBackend::FastWord);
+        let mut state = TileState::new();
+        let mut run = ApSoftmaxRun::default();
+        g.bench_with_input(
+            BenchmarkId::new("fastword-replayed", len / 2),
+            &s,
+            |b, s| {
+                b.iter(|| {
+                    m.execute_floats_into(&mut state, s, &mut run).unwrap();
+                    black_box(run.total.cycles())
+                })
+            },
+        );
+        // Compile every vector: the cache is cleared per iteration, so
+        // this series pays record + execute each time.
+        let m = mapping(ExecBackend::FastWord);
+        let mut state = TileState::new();
+        let mut run = ApSoftmaxRun::default();
+        g.bench_with_input(BenchmarkId::new("fastword-compile", len / 2), &s, |b, s| {
+            b.iter(|| {
+                m.clear_plans();
                 m.execute_floats_into(&mut state, s, &mut run).unwrap();
                 black_box(run.total.cycles())
             })
@@ -89,6 +123,13 @@ fn bench(c: &mut Criterion) {
         micro_s * 1e3,
         fast_s * 1e3,
         run_fast.total
+    );
+    let plan = fast.plan(4096).expect("plan compiled above");
+    println!(
+        "plan @2048 rows: {} ops, compile {:.1} us, static cost {}",
+        plan.program().len(),
+        plan.compile_micros(),
+        plan.program().static_cost()
     );
 }
 

@@ -120,7 +120,6 @@ pub struct WorkloadModel {
     mapping: ApSoftmax,
     deploy: ApDeployment,
     energy: EnergyModel,
-    cache: std::sync::Mutex<std::collections::HashMap<usize, CycleStats>>,
 }
 
 impl WorkloadModel {
@@ -136,7 +135,6 @@ impl WorkloadModel {
                 .with_backend(deploy.backend),
             deploy,
             energy: EnergyModel::nm16(),
-            cache: std::sync::Mutex::new(std::collections::HashMap::new()),
         })
     }
 
@@ -153,28 +151,16 @@ impl WorkloadModel {
     }
 
     /// Per-vector microcode statistics for a softmax of length
-    /// `seq_len`, measured by executing the mapped dataflow once on a
-    /// representative input (memoized per length).
+    /// `seq_len`, answered by the compiled plan's static cost
+    /// ([`ApSoftmax::static_cost`]): the shape's plan is compiled once
+    /// from the mapping's deterministic representative input, and every
+    /// further query is an execution-free cache lookup.
     ///
     /// # Errors
     ///
     /// Propagates mapping execution errors.
     pub fn vector_stats(&self, seq_len: usize) -> Result<CycleStats, CoreError> {
-        if let Some(s) = self.cache.lock().expect("cache poisoned").get(&seq_len) {
-            return Ok(*s);
-        }
-        // Representative scores: a deterministic spread over the clip
-        // range; cycle counts are data-independent except for write tag
-        // populations, which this input exercises broadly.
-        let scores: Vec<f64> = (0..seq_len)
-            .map(|i| -((i % 97) as f64) * 7.0 / 97.0)
-            .collect();
-        let run = self.mapping.execute_floats(&scores)?;
-        self.cache
-            .lock()
-            .expect("cache poisoned")
-            .insert(seq_len, run.total);
-        Ok(run.total)
+        self.mapping.static_cost(seq_len)
     }
 
     /// Cost of the softmax workload of one full transformer forward
@@ -265,18 +251,18 @@ impl WorkloadModel {
     /// # Errors
     ///
     /// Propagates mapping execution errors (the column budget comes from
-    /// an actual layout).
+    /// a compiled layout).
     pub fn area_mm2(&self, heads: usize) -> Result<f64, CoreError> {
-        // Column budget measured from an executed layout at full tile
-        // occupancy.
+        // Column budget from the compiled plan at full tile occupancy
+        // (the layout is shape-determined, so the plan's metadata is
+        // exactly the executed-layout measurement).
         let probe_len = (self.deploy.rows_per_tile * 2).min(256);
-        let scores: Vec<f64> = (0..probe_len).map(|i| -((i % 89) as f64) * 0.07).collect();
-        let run = self.mapping.execute_floats(&scores)?;
+        let plan = self.mapping.plan(probe_len)?;
         let area = AreaModel::nm16();
         Ok(area.deployment_area_mm2(
             heads * self.deploy.tiles_per_head,
             self.deploy.rows_per_tile,
-            run.cols_used,
+            plan.cols_used(),
         ))
     }
 }

@@ -33,12 +33,16 @@
 #![warn(missing_docs)]
 
 pub mod characterize;
+pub mod llm_bridge;
 pub mod mapping;
+pub mod plan;
 
 mod deploy;
 
 pub use deploy::{ApDeployment, ApWorkloadCost, WorkloadModel};
-pub use mapping::{ApSoftmax, ApSoftmaxRun, Layout, StepStats, TileState};
+pub use llm_bridge::ApMappedSoftmax;
+pub use mapping::{ApSoftmax, ApSoftmaxRun, Layout, PlanMode, StepStats, TileState};
+pub use plan::{CompiledPlan, PlanCache, PlanStats};
 
 /// Errors from the co-design layer.
 #[derive(Debug, Clone, PartialEq)]

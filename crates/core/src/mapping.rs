@@ -6,15 +6,34 @@
 //! simulated AP. The result is **bit-exact** against the scalar
 //! specification in `softmap-softmax` (verified by integration tests and
 //! by [`ApSoftmaxRun::codes`] comparisons in this module's tests).
+//!
+//! # Compile once, replay many
+//!
+//! The dataflow's op sequence is *static* per shape: it depends only on
+//! `(vector length, Layout, PrecisionConfig, DivStyle)`, never on the
+//! data (run-time scalars — the min search result, the reduction sum —
+//! flow through program registers). [`ApSoftmax`] therefore records the
+//! trace once per shape into a [`softmap_ap::ApProgram`], caches it in
+//! a shape-keyed [`crate::PlanCache`], and every further vector of that
+//! shape executes as load → replay → read with no per-op host dispatch
+//! (and zero heap allocations through a warmed [`TileState`]). The
+//! compiled program also answers analytic cost queries without touching
+//! a CAM: see [`ApSoftmax::static_cost`].
+
+use std::sync::Arc;
 
 use softmap_ap::batch::{self, BatchStats};
-use softmap_ap::{ApConfig, ApCore, ApTile, CycleStats, DivStyle, ExecBackend, Field, Overflow};
+use softmap_ap::program::{ExecIo, ProgramScratch, Recorder};
+use softmap_ap::{
+    ApConfig, ApCore, ApError, ApTile, CycleStats, DivStyle, ExecBackend, Field, Overflow, RegId,
+};
 use softmap_softmax::{IntSoftmax, PrecisionConfig, SumMode};
 
+use crate::plan::{CompiledPlan, PlanCache, PlanKey, PlanStats};
 use crate::CoreError;
 
 /// How vector elements are packed into AP rows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Layout {
     /// Two words per row — the paper's layout (`rows = L/2`); requires
     /// an even vector length. The dataflow executes once per half and
@@ -25,6 +44,19 @@ pub enum Layout {
     /// One word per row (`rows = L`); used for odd lengths and as an
     /// ablation.
     OneWordPerRow,
+}
+
+/// Whether execution goes through the shape-keyed plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanMode {
+    /// Compile the dataflow once per shape and replay the cached
+    /// program for every further vector (the default).
+    #[default]
+    Cached,
+    /// Re-issue the dataflow op by op for every vector, exactly like
+    /// the pre-plan mapping — the differential-testing and benchmarking
+    /// baseline.
+    DirectIssue,
 }
 
 /// Cycle statistics for one dataflow step.
@@ -92,17 +124,22 @@ pub struct ApSoftmax {
     div_style: DivStyle,
     layout: Layout,
     backend: ExecBackend,
+    plan_mode: PlanMode,
+    plans: Arc<PlanCache>,
 }
 
 /// Reusable per-worker execution state for the pooled path: one
-/// persistent simulated tile ([`ApTile`]) plus the host-side staging
-/// buffers (quantized codes, packed half-vectors, reduction sums).
+/// persistent simulated tile ([`ApTile`]), the host-side staging
+/// buffers (quantized codes, packed half-vectors), the program
+/// scratch (registers + reduction sums), and a one-entry cached-plan
+/// slot so steady-state replay touches no lock.
 ///
 /// SoftmAP's deployment model streams many vectors through fixed
 /// hardware tiles; this is the host analogue. After a warm-up vector
-/// establishes buffer capacities, every further vector of the same
-/// shape executes with **zero heap allocations** (asserted by the
-/// counting-allocator regression test in `crates/core/tests`).
+/// establishes buffer capacities and compiles the shape's plan, every
+/// further vector of the same shape *replays* the cached program with
+/// **zero heap allocations** (asserted by the counting-allocator
+/// regression test in `crates/core/tests`).
 ///
 /// # Examples
 ///
@@ -117,6 +154,7 @@ pub struct ApSoftmax {
 ///     mapping.execute_floats_into(&mut state, &scores, &mut run)?;
 ///     assert_eq!(run.codes.len(), 4);
 /// }
+/// assert!(state.cached_plan().is_some());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone, Default)]
@@ -125,8 +163,13 @@ pub struct TileState {
     codes: Vec<i64>,
     half0: Vec<u64>,
     half1: Vec<u64>,
-    sums: Vec<u64>,
+    scratch: ProgramScratch,
+    plan: Option<PlanSlot>,
 }
+
+/// The tile-local cached-plan slot: (cache identity token, shape key,
+/// plan).
+type PlanSlot = ((u64, u64), PlanKey, Arc<CompiledPlan>);
 
 impl TileState {
     /// Creates an empty state (buffers grow on first use).
@@ -139,6 +182,12 @@ impl TileState {
     #[must_use]
     pub fn tile(&self) -> &ApTile {
         &self.tile
+    }
+
+    /// The plan cached in this tile's slot, if one has been resolved.
+    #[must_use]
+    pub fn cached_plan(&self) -> Option<&CompiledPlan> {
+        self.plan.as_ref().map(|(_, _, p)| &**p)
     }
 }
 
@@ -170,7 +219,8 @@ struct HalfFields {
 
 impl ApSoftmax {
     /// Builds the mapping for a precision configuration with the default
-    /// layout (two words per row) and restoring division.
+    /// layout (two words per row), restoring division, and plan caching
+    /// enabled.
     ///
     /// # Errors
     ///
@@ -181,19 +231,25 @@ impl ApSoftmax {
             div_style: DivStyle::Restoring,
             layout: Layout::TwoWordsPerRow,
             backend: ExecBackend::default(),
+            plan_mode: PlanMode::default(),
+            plans: Arc::new(PlanCache::new()),
         })
     }
 
-    /// Selects the division microcode style.
+    /// Selects the division microcode style. Compiled plans depend on
+    /// the style, so the plan cache starts fresh.
     #[must_use]
     pub fn with_div_style(mut self, style: DivStyle) -> Self {
         self.div_style = style;
+        self.plans = Arc::new(PlanCache::new());
         self
     }
 
     /// Selects the AP execution backend. `FastWord` produces bit- and
     /// cycle-identical results at a fraction of the simulation time
     /// (the backends share one cost model; see `softmap_ap::backend`).
+    /// Compiled plans are backend-agnostic — a program recorded under
+    /// one backend replays exactly on the other — so the cache is kept.
     #[must_use]
     pub fn with_backend(mut self, backend: ExecBackend) -> Self {
         self.backend = backend;
@@ -206,11 +262,41 @@ impl ApSoftmax {
         self.backend
     }
 
-    /// Selects the row packing layout.
+    /// Selects the row packing layout. Compiled plans depend on the
+    /// layout, so the plan cache starts fresh.
     #[must_use]
     pub fn with_layout(mut self, layout: Layout) -> Self {
         self.layout = layout;
+        self.plans = Arc::new(PlanCache::new());
         self
+    }
+
+    /// Selects whether execution goes through the plan cache
+    /// ([`PlanMode::Cached`], the default) or re-issues the dataflow op
+    /// by op per vector ([`PlanMode::DirectIssue`]).
+    #[must_use]
+    pub fn with_plan_mode(mut self, mode: PlanMode) -> Self {
+        self.plan_mode = mode;
+        self
+    }
+
+    /// The plan-cache mode in use.
+    #[must_use]
+    pub fn plan_mode(&self) -> PlanMode {
+        self.plan_mode
+    }
+
+    /// Counters of the shared plan cache (plans, compiles, hits,
+    /// compile time).
+    #[must_use]
+    pub fn plan_stats(&self) -> PlanStats {
+        self.plans.stats()
+    }
+
+    /// Drops every cached plan (compile-cost benchmarking; tile slots
+    /// warmed earlier re-resolve on their next vector).
+    pub fn clear_plans(&self) {
+        self.plans.clear();
     }
 
     /// The underlying scalar specification.
@@ -241,7 +327,7 @@ impl ApSoftmax {
     /// Pooled [`ApSoftmax::execute_floats`]: executes on `state`'s
     /// persistent tile and writes the outcome into `run`, reusing every
     /// buffer. In steady state (same vector shape as the previous call)
-    /// this performs zero heap allocations.
+    /// this replays the cached plan with zero heap allocations.
     ///
     /// # Errors
     ///
@@ -266,9 +352,10 @@ impl ApSoftmax {
     /// with **one persistent simulated tile per worker** (not one tile
     /// allocation per vector) — the multi-tile analogue of
     /// [`ApSoftmax::execute_floats`], matching the deployment model
-    /// where vectors stream through fixed hardware. Results are
-    /// returned in input order and are identical to running each
-    /// vector alone.
+    /// where vectors stream through fixed hardware. Workers replay
+    /// plans from the shared cache: a shape is compiled once per batch,
+    /// not once per worker. Results are returned in input order and are
+    /// identical to running each vector alone.
     ///
     /// # Errors
     ///
@@ -333,6 +420,19 @@ impl ApSoftmax {
         codes: &[i64],
         run: &mut ApSoftmaxRun,
     ) -> Result<(), CoreError> {
+        self.execute_codes_mode(state, codes, run, self.plan_mode)
+    }
+
+    /// The shared entry point: packs codes into half-vectors, then
+    /// either replays the shape's cached plan or issues the dataflow
+    /// directly (compiling it on a cache miss).
+    fn execute_codes_mode(
+        &self,
+        state: &mut TileState,
+        codes: &[i64],
+        run: &mut ApSoftmaxRun,
+        mode: PlanMode,
+    ) -> Result<(), CoreError> {
         if codes.is_empty() {
             return Err(CoreError::EmptyInput);
         }
@@ -343,6 +443,7 @@ impl ApSoftmax {
             && codes.len().is_multiple_of(2)
             && codes.len() >= 2;
         let rows = if packed { codes.len() / 2 } else { codes.len() };
+        let total_len = codes.len();
         // Pack the |code| magnitudes of each half-vector (the sign is
         // implicit in the paper's non-positive input convention).
         state.half0.clear();
@@ -359,12 +460,67 @@ impl ApSoftmax {
             tile,
             half0,
             half1,
-            sums,
+            scratch,
+            plan: plan_slot,
             ..
         } = state;
-        let halves: [&[u64]; 2] = [half0.as_slice(), half1.as_slice()];
-        let halves = if packed { &halves[..] } else { &halves[..1] };
-        self.execute_layout(tile, sums, halves, rows, codes.len(), run)
+        let halves_arr: [&[u64]; 2] = [half0.as_slice(), half1.as_slice()];
+        let halves = if packed {
+            &halves_arr[..]
+        } else {
+            &halves_arr[..1]
+        };
+
+        if mode == PlanMode::DirectIssue {
+            self.issue_once(tile, scratch, halves, rows, total_len, run, false)?;
+            return Ok(());
+        }
+
+        let key = PlanKey {
+            len: total_len,
+            layout: self.layout,
+            div: self.div_style,
+        };
+        let token = self.plans.slot_token();
+        if let Some((slot_token, slot_key, plan)) = plan_slot.as_ref() {
+            if *slot_token == token && *slot_key == key {
+                self.plans.note_hit();
+                let plan = Arc::clone(plan);
+                return self.replay_plan(&plan, tile, scratch, halves, total_len, run);
+            }
+        }
+        if let Some(plan) = self.plans.get(&key) {
+            *plan_slot = Some((token, key, Arc::clone(&plan)));
+            return self.replay_plan(&plan, tile, scratch, halves, total_len, run);
+        }
+        // Cache miss: take the compile lock and re-check, so workers
+        // racing on the same fresh shape converge on one plan (one
+        // compile per batch, not one per worker).
+        let compile_guard = self.plans.lock_for_compile();
+        if let Some(plan) = self.plans.get(&key) {
+            drop(compile_guard);
+            *plan_slot = Some((token, key, Arc::clone(&plan)));
+            return self.replay_plan(&plan, tile, scratch, halves, total_len, run);
+        }
+        // Still missing: record the trace while executing this vector.
+        let started = std::time::Instant::now();
+        let (program, sum_reg) = self
+            .issue_once(tile, scratch, halves, rows, total_len, run, true)?
+            .expect("recording execution returns a program");
+        let plan = Arc::new(CompiledPlan::new(
+            program,
+            sum_reg,
+            run.rows,
+            run.cols_used,
+            started.elapsed().as_secs_f64() * 1e6,
+        ));
+        self.plans.insert(key, Arc::clone(&plan));
+        drop(compile_guard);
+        // Stamp the slot with the token captured before the lookup: a
+        // clear_plans() racing in after the insert must still
+        // invalidate this slot on its next vector.
+        *plan_slot = Some((token, key, plan));
+        Ok(())
     }
 
     fn cfg(&self) -> &PrecisionConfig {
@@ -401,37 +557,37 @@ impl ApSoftmax {
         }
     }
 
-    /// The shared engine: `halves` hold the |code| magnitudes of each
-    /// half-vector (one or two), each of length `rows`. Executes on the
-    /// pooled `tile` and writes everything into `run`'s reused buffers.
-    #[allow(clippy::too_many_lines)]
-    fn execute_layout(
+    /// Executes the dataflow once by direct issue, optionally recording
+    /// the trace into a program. `halves` hold the |code| magnitudes of
+    /// each half-vector (one or two), each of length `rows`. Executes
+    /// on the pooled `tile` and writes everything into `run`'s reused
+    /// buffers.
+    #[allow(clippy::too_many_arguments)]
+    fn issue_once(
         &self,
         tile: &mut ApTile,
-        sums: &mut Vec<u64>,
+        scratch: &mut ProgramScratch,
         halves: &[&[u64]],
         rows: usize,
         total_len: usize,
         run: &mut ApSoftmaxRun,
-    ) -> Result<(), CoreError> {
-        let cfg = *self.cfg();
-        let consts = *self.sm.constants();
+        record: bool,
+    ) -> Result<Option<(softmap_ap::ApProgram, RegId)>, CoreError> {
+        let m = self.cfg().m as usize;
         let w = *self.sm.widths();
-        let m = cfg.m as usize;
-        let sum_bits = consts.effective_sum_bits(&cfg) as usize;
+        let sum_bits = self.sm.constants().effective_sum_bits(self.cfg()) as usize;
 
         // Tile geometry: per-half fields + shared operand/sum/divisor
         // fields + reserved carry/flag + scratch headroom for division.
         let shared = (2 * m + 1) + sum_bits + sum_bits + m;
-        let scratch = 2 * (sum_bits + 2) + 2 * (w.result as usize + w.vapprox as usize + 2);
-        let cols = 2 + halves.len() * self.half_width() + shared + scratch;
+        let scratch_cols = 2 * (sum_bits + 2) + 2 * (w.result as usize + w.vapprox as usize + 2);
+        let cols = 2 + halves.len() * self.half_width() + shared + scratch_cols;
         let ap = tile.acquire(ApConfig::new(rows, cols), self.backend)?;
 
         let mut field_slots: [Option<HalfFields>; 2] = [None, None];
         for slot in field_slots.iter_mut().take(halves.len()) {
             *slot = Some(self.alloc_half(ap)?);
         }
-        let fields = &field_slots[..halves.len()];
         // Shared operand field (holds µ, vln2, vb, vc in turn), the
         // per-row pair-sum field, the broadcast divisor, and the min.
         let op = ap.alloc_field(2 * m + 1)?;
@@ -440,87 +596,173 @@ impl ApSoftmax {
         let minf = ap.alloc_field(m)?;
         let cols_used = den.end();
 
-        run.steps.clear();
-        let mut mark = ap.stats();
-        let step =
-            |ap: &ApCore, name: &'static str, steps: &mut Vec<StepStats>, mark: &mut CycleStats| {
-                let now = ap.stats();
-                steps.push(StepStats {
-                    name,
-                    stats: now.since(mark),
-                });
-                *mark = now;
-            };
+        let sum_reg;
+        let program;
+        {
+            let ApSoftmaxRun {
+                codes,
+                vapprox,
+                steps,
+                ..
+            } = run;
+            codes.clear();
+            vapprox.clear();
+            steps.clear();
+            let mut outs: [&mut Vec<u64>; 2] = [codes, vapprox];
+            let mut on_step =
+                |name: &'static str, stats: CycleStats| steps.push(StepStats { name, stats });
+            let mut rec = Recorder::new(
+                ap,
+                ExecIo::new(halves, &mut outs),
+                scratch,
+                &mut on_step,
+                record,
+            );
+            sum_reg =
+                self.issue_dataflow(&mut rec, &field_slots[..halves.len()], op, sumw, den, minf)?;
+            program = rec.finish();
+        }
+        run.codes.truncate(total_len);
+        run.vapprox.truncate(total_len);
+        run.frac_bits = w.frac_bits();
+        run.sum = scratch.reg(sum_reg);
+        run.total = ap.stats();
+        run.rows = rows;
+        run.cols_used = cols_used;
+        Ok(program.map(|p| (p, sum_reg)))
+    }
+
+    /// Replays a cached plan: load → replay → read, no per-op host
+    /// dispatch. Bit- and cycle-exact versus [`PlanMode::DirectIssue`]
+    /// by the program-replay contract.
+    fn replay_plan(
+        &self,
+        plan: &CompiledPlan,
+        tile: &mut ApTile,
+        scratch: &mut ProgramScratch,
+        halves: &[&[u64]],
+        total_len: usize,
+        run: &mut ApSoftmaxRun,
+    ) -> Result<(), CoreError> {
+        let ap = tile.acquire(plan.program().config(), self.backend)?;
+        {
+            let ApSoftmaxRun {
+                codes,
+                vapprox,
+                steps,
+                ..
+            } = run;
+            codes.clear();
+            vapprox.clear();
+            steps.clear();
+            let mut outs: [&mut Vec<u64>; 2] = [codes, vapprox];
+            plan.program().replay(
+                ap,
+                ExecIo::new(halves, &mut outs),
+                scratch,
+                |name, stats| steps.push(StepStats { name, stats }),
+            )?;
+        }
+        run.codes.truncate(total_len);
+        run.vapprox.truncate(total_len);
+        run.frac_bits = self.sm.widths().frac_bits();
+        run.sum = scratch.reg(plan.sum_reg());
+        run.total = ap.stats();
+        run.rows = plan.rows();
+        run.cols_used = plan.cols_used();
+        Ok(())
+    }
+
+    /// The sixteen dataflow steps of Fig. 5, issued through a
+    /// [`Recorder`] (which either just executes them or additionally
+    /// captures the trace). Returns the register holding the reduction
+    /// sum.
+    fn issue_dataflow(
+        &self,
+        rec: &mut Recorder<'_, '_>,
+        fields: &[Option<HalfFields>],
+        op: Field,
+        sumw: Field,
+        den: Field,
+        minf: Field,
+    ) -> Result<RegId, ApError> {
+        let cfg = *self.cfg();
+        let consts = *self.sm.constants();
+        let w = *self.sm.widths();
+        let m = cfg.m as usize;
+        let sum_bits = consts.effective_sum_bits(&cfg) as usize;
 
         // Step 1: write v (as magnitudes |code|; the sign is implicit in
         // the paper's non-positive input convention).
-        for (f, data) in fields.iter().flatten().zip(halves) {
-            ap.load(f.x, data)?;
+        for (slot, f) in fields.iter().flatten().enumerate() {
+            rec.load(f.x, slot)?;
         }
-        step(ap, "1: write v", &mut run.steps, &mut mark);
+        rec.step("1: write v");
 
         // Step 1b/2: find min |code| (= max v) and subtract it:
-        // x := neg_vstable = |code| - min.
-        let mut min = u64::MAX;
+        // x := neg_vstable = |code| - min. The fold over halves runs in
+        // program registers.
+        let mut min_reg: Option<RegId> = None;
         for f in fields.iter().flatten() {
-            min = min.min(ap.min_search_value(f.x));
+            let r = rec.min_search(f.x);
+            min_reg = Some(match min_reg {
+                Some(prev) => rec.reg_min(prev, r),
+                None => r,
+            });
         }
-        ap.broadcast(minf, min)?;
+        let min_reg = min_reg.expect("at least one half");
+        rec.broadcast_reg(minf, min_reg)?;
         for f in fields.iter().flatten() {
-            let clean = ap.sub_into_ref(f.x, minf)?.is_none_set();
-            debug_assert!(clean, "min subtraction must not underflow");
-            let _ = clean;
+            rec.sub_assert_clean(f.x, minf)?;
         }
-        step(ap, "2: subtract max", &mut run.steps, &mut mark);
+        rec.step("2: subtract max");
 
         // Steps 3-4: write µ, Barrett multiply + shift -> q̂.
-        ap.broadcast(op, consts.mu)?;
-        step(ap, "3: write mu", &mut run.steps, &mut mark);
+        rec.broadcast(op, consts.mu)?;
+        rec.step("3: write mu");
         for f in fields.iter().flatten() {
-            ap.mul(f.x, op, f.work)?;
-            ap.shr_const(f.work, 2 * m)?;
-            ap.copy(f.work.sub(0, w.q as usize), f.q)?;
+            rec.mul(f.x, op, f.work)?;
+            rec.shr_const(f.work, 2 * m)?;
+            rec.copy(f.work.sub(0, w.q as usize), f.q)?;
         }
-        step(ap, "4: multiply+shift (barrett)", &mut run.steps, &mut mark);
+        rec.step("4: multiply+shift (barrett)");
 
         // Steps 5-6: write vln2, multiply q̂ · vln2.
-        ap.broadcast(op, consts.vln2)?;
-        step(ap, "5: write vln2", &mut run.steps, &mut mark);
+        rec.broadcast(op, consts.vln2)?;
+        rec.step("5: write vln2");
         for f in fields.iter().flatten() {
-            ap.mul(f.q, op.sub(0, w.vln2 as usize), f.work)?;
+            rec.mul(f.q, op.sub(0, w.vln2 as usize), f.work)?;
         }
-        step(ap, "6: multiply q*vln2", &mut run.steps, &mut mark);
+        rec.step("6: multiply q*vln2");
 
         // Step 7: subtract -> r = neg_vstable - q̂·vln2 (fits M bits).
         for f in fields.iter().flatten() {
-            let clean = ap.sub_into_ref(f.x, f.work.sub(0, m))?.is_none_set();
-            debug_assert!(clean, "vcorr subtraction must not underflow");
-            let _ = clean;
+            rec.sub_assert_clean(f.x, f.work.sub(0, m))?;
         }
-        step(ap, "7: subtract (vcorr)", &mut run.steps, &mut mark);
+        rec.step("7: subtract (vcorr)");
 
         // Steps 8-9: write vb, add: t = vb - r (saturating at zero).
         for f in fields.iter().flatten() {
-            ap.broadcast(f.t, consts.vb)?;
-            ap.saturating_sub_into(f.t, f.x)?;
+            rec.broadcast(f.t, consts.vb)?;
+            rec.saturating_sub_into(f.t, f.x)?;
         }
-        step(ap, "8-9: write vb, add vcorr", &mut run.steps, &mut mark);
+        rec.step("8-9: write vb, add vcorr");
 
         // Steps 10-11: copy + multiply -> t².
         for f in fields.iter().flatten() {
-            ap.square(f.t, f.work)?;
+            rec.mul(f.t, f.t, f.work)?;
         }
-        step(ap, "10-11: copy, square", &mut run.steps, &mut mark);
+        rec.step("10-11: copy, square");
 
         // Steps 12-13: write vc, add, then variable shift by q̂.
-        ap.broadcast(op, consts.vc)?;
-        step(ap, "12: write vc", &mut run.steps, &mut mark);
+        rec.broadcast(op, consts.vc)?;
+        rec.step("12: write vc");
         for f in fields.iter().flatten() {
-            ap.add_into(f.work.sub(0, w.poly as usize), op.sub(0, w.vc as usize))?;
-            ap.shr_variable(f.work.sub(0, w.poly as usize), f.q)?;
-            ap.copy(f.work.sub(0, w.vapprox as usize), f.vapprox)?;
+            rec.add_into(f.work.sub(0, w.poly as usize), op.sub(0, w.vc as usize))?;
+            rec.shr_variable(f.work.sub(0, w.poly as usize), f.q)?;
+            rec.copy(f.work.sub(0, w.vapprox as usize), f.vapprox)?;
         }
-        step(ap, "13: add+shift (vapprox)", &mut run.steps, &mut mark);
+        rec.step("13: add+shift (vapprox)");
 
         // Step 14: reduction. Pair-add the halves, then tree-reduce.
         // v_approx values provably fit the effective sum width (they are
@@ -529,44 +771,117 @@ impl ApSoftmax {
         // the low bits carry information.
         let vap_low = (w.vapprox as usize).min(sum_bits);
         let vap0 = fields[0].as_ref().expect("half 0 allocated").vapprox;
-        ap.copy(vap0.sub(0, vap_low), sumw)?;
+        rec.copy(vap0.sub(0, vap_low), sumw)?;
         if let Some(f1) = fields.get(1).and_then(Option::as_ref) {
-            ap.add_into(sumw, f1.vapprox.sub(0, vap_low))?;
+            rec.add_into(sumw, f1.vapprox.sub(0, vap_low))?;
         }
-        ap.reduce_sum_2d_mode_into(sumw, den, rows, self.overflow_mode(), sums)?;
-        let sum = sums[0];
-        step(ap, "14: reduction", &mut run.steps, &mut mark);
+        let rows = rec.rows();
+        let sum_reg = rec.reduce_sum(sumw, den, rows, self.overflow_mode())?;
+        rec.step("14: reduction");
 
         // Step 15: copy Σ to all rows (broadcast divisor). A wrapped sum
         // of zero is clamped to 1, mirroring the scalar divisor clamp.
-        ap.broadcast(den, sum.max(1))?;
-        step(ap, "15: copy sum", &mut run.steps, &mut mark);
+        let den_reg = rec.reg_max1(sum_reg);
+        rec.broadcast_reg(den, den_reg)?;
+        rec.step("15: copy sum");
 
         // Step 16: divide.
         let f_bits = w.frac_bits() as usize;
         for f in fields.iter().flatten() {
-            ap.divide(f.vapprox, den, f.res, f_bits, self.div_style)?;
+            rec.divide(f.vapprox, den, f.res, f_bits, self.div_style)?;
         }
-        step(ap, "16: divide", &mut run.steps, &mut mark);
+        rec.step("16: divide");
 
         // Gather outputs in input order (halves are concatenated),
         // appending into the run's reused buffers.
-        run.codes.clear();
-        run.vapprox.clear();
         for f in fields.iter().flatten() {
-            ap.read_append(f.res, &mut run.codes);
+            rec.read(f.res, 0)?;
         }
         for f in fields.iter().flatten() {
-            ap.read_append(f.vapprox, &mut run.vapprox);
+            rec.read(f.vapprox, 1)?;
         }
-        run.codes.truncate(total_len);
-        run.vapprox.truncate(total_len);
-        run.frac_bits = w.frac_bits();
-        run.sum = sum;
-        run.total = ap.stats();
-        run.rows = rows;
-        run.cols_used = cols_used;
-        Ok(())
+        Ok(sum_reg)
+    }
+
+    // ---- analytic cost queries ------------------------------------------
+
+    /// The deterministic representative input the cost tables compile
+    /// plans from: a spread over the clip range exercising write-tag
+    /// populations broadly (the formula `softmap_eval`'s latency tables
+    /// have always characterized with).
+    #[must_use]
+    pub fn representative_scores(len: usize) -> Vec<f64> {
+        (0..len).map(|i| -((i % 97) as f64) * 7.0 / 97.0).collect()
+    }
+
+    /// The compiled plan for vectors of length `len`, compiling one
+    /// from [`ApSoftmax::representative_scores`] on this thread's
+    /// pooled tile if the shape has not been seen yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation (execution) errors.
+    pub fn plan(&self, len: usize) -> Result<Arc<CompiledPlan>, CoreError> {
+        if len == 0 {
+            return Err(CoreError::EmptyInput);
+        }
+        let key = PlanKey {
+            len,
+            layout: self.layout,
+            div: self.div_style,
+        };
+        // Observer lookup: a cost query is not a replay, so it must
+        // not count as a cache hit.
+        if let Some(plan) = self.plans.peek(&key) {
+            return Ok(plan);
+        }
+        let scores = Self::representative_scores(len);
+        THREAD_TILE.with(|state| {
+            let mut state = state.borrow_mut();
+            let mut run = ApSoftmaxRun::default();
+            let mut codes = std::mem::take(&mut state.codes);
+            self.sm.quantize_into(&scores, &mut codes);
+            let result = self.execute_codes_mode(&mut state, &codes, &mut run, PlanMode::Cached);
+            state.codes = codes;
+            result
+        })?;
+        // Observer fetch of the plan the compile just inserted — not a
+        // replay, so it must not count as a cache hit.
+        self.plans
+            .peek(&key)
+            .ok_or_else(|| CoreError::BadWorkload("plan compilation did not cache".into()))
+    }
+
+    /// Cycle/cell-event totals for one vector of length `len`, answered
+    /// from the compiled plan **without executing anything** once the
+    /// shape's plan exists — [`softmap_ap::ApProgram::static_cost`]
+    /// surfaced at the mapping level. The cost is exact for the input
+    /// the plan was compiled from (the cost tables compile from
+    /// [`ApSoftmax::representative_scores`], so table queries are
+    /// deterministic); see the static-cost contract in the `softmap_ap`
+    /// program-module docs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors from [`ApSoftmax::plan`].
+    pub fn static_cost(&self, len: usize) -> Result<CycleStats, CoreError> {
+        Ok(self.plan(len)?.program().static_cost())
+    }
+
+    /// Per-step static costs for one vector of length `len` (the
+    /// analytic counterpart of [`ApSoftmaxRun::steps`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors from [`ApSoftmax::plan`].
+    pub fn static_step_stats(&self, len: usize) -> Result<Vec<StepStats>, CoreError> {
+        Ok(self
+            .plan(len)?
+            .program()
+            .static_steps()
+            .iter()
+            .map(|&(name, stats)| StepStats { name, stats })
+            .collect())
     }
 }
 
@@ -739,6 +1054,9 @@ mod tests {
         assert_eq!(agg.tiles, 9);
         assert!(agg.makespan_cycles > 0);
         assert!(agg.total.cycles() >= agg.makespan_cycles * 9 / 10);
+        // One shape across the whole batch: exactly one compile, the
+        // rest replays from the shared cache.
+        assert_eq!(mapping.plan_stats().compiles, 1);
     }
 
     #[test]
@@ -749,5 +1067,82 @@ mod tests {
             mapping.execute_batch_floats(&batch),
             Err(CoreError::EmptyInput)
         ));
+    }
+
+    #[test]
+    fn replay_matches_direct_issue_exactly() {
+        let cfg = PrecisionConfig::paper_best();
+        let warm: Vec<f64> = (0..24).map(|i| -(f64::from(i) * 0.11) % 6.0).collect();
+        let scores: Vec<f64> = (0..24).map(|i| -(f64::from(i) * 0.29) % 6.8).collect();
+        for layout in [Layout::TwoWordsPerRow, Layout::OneWordPerRow] {
+            for style in [DivStyle::Restoring, DivStyle::ControllerReciprocal] {
+                let direct = ApSoftmax::new(cfg)
+                    .unwrap()
+                    .with_layout(layout)
+                    .with_div_style(style)
+                    .with_plan_mode(PlanMode::DirectIssue)
+                    .execute_floats(&scores)
+                    .unwrap();
+                let cached = ApSoftmax::new(cfg)
+                    .unwrap()
+                    .with_layout(layout)
+                    .with_div_style(style)
+                    .unwrap_execute_pair(&warm, &scores);
+                assert_eq!(cached.codes, direct.codes);
+                assert_eq!(cached.vapprox, direct.vapprox);
+                assert_eq!(cached.sum, direct.sum);
+                assert_eq!(cached.total, direct.total);
+                assert_eq!(cached.steps, direct.steps);
+            }
+        }
+    }
+
+    #[test]
+    fn static_cost_matches_executed_representative() {
+        let mapping = ApSoftmax::new(PrecisionConfig::paper_best()).unwrap();
+        let len = 64;
+        let cost = mapping.static_cost(len).unwrap();
+        let run = mapping
+            .execute_floats(&ApSoftmax::representative_scores(len))
+            .unwrap();
+        assert_eq!(cost, run.total);
+        let steps = mapping.static_step_stats(len).unwrap();
+        assert_eq!(steps, run.steps);
+        assert_eq!(mapping.plan_stats().compiles, 1);
+        assert!(mapping.plan(len).unwrap().compile_micros() > 0.0);
+    }
+
+    #[test]
+    fn clear_plans_invalidates_slots_and_recompiles() {
+        let mapping = ApSoftmax::new(PrecisionConfig::paper_best()).unwrap();
+        let mut state = TileState::new();
+        let mut run = ApSoftmaxRun::default();
+        let scores = [0.0, -1.0, -2.0, -3.0];
+        mapping
+            .execute_floats_into(&mut state, &scores, &mut run)
+            .unwrap();
+        let first = run.codes.clone();
+        assert_eq!(mapping.plan_stats().compiles, 1);
+        mapping.clear_plans();
+        mapping
+            .execute_floats_into(&mut state, &scores, &mut run)
+            .unwrap();
+        assert_eq!(run.codes, first);
+        assert_eq!(
+            mapping.plan_stats().compiles,
+            2,
+            "cleared cache must recompile, not reuse the stale slot"
+        );
+    }
+
+    impl ApSoftmax {
+        /// Test helper: executes `warm` (compiling the plan), then
+        /// `scores` (replaying it), returning the second run.
+        fn unwrap_execute_pair(&self, warm: &[f64], scores: &[f64]) -> ApSoftmaxRun {
+            self.execute_floats(warm).unwrap();
+            let run = self.execute_floats(scores).unwrap();
+            assert!(self.plan_stats().hits >= 1, "second run must replay");
+            run
+        }
     }
 }

@@ -1,0 +1,247 @@
+//! Shape-keyed plan caching for the mapped dataflow.
+//!
+//! The Fig. 5 dataflow is static per shape: the op sequence depends
+//! only on `(vector length, layout, division style)` for a given
+//! precision configuration, never on the data. [`crate::ApSoftmax`]
+//! therefore *compiles* the dataflow once per shape into a
+//! [`softmap_ap::ApProgram`] and replays it for every further vector —
+//! this module is the cache those compiled plans live in.
+//!
+//! Sharing happens at two levels, mirroring the tile pool:
+//!
+//! * one [`PlanCache`] per `ApSoftmax` (shared by all of its clones via
+//!   `Arc`, so every batch worker sees plans compiled by any other
+//!   worker), and
+//! * a one-entry *slot* inside each [`crate::TileState`], so the
+//!   steady-state per-vector path touches no lock at all — the slot is
+//!   validated against the cache's identity and the shape key by plain
+//!   comparisons.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use softmap_ap::{ApProgram, DivStyle, RegId};
+
+use crate::mapping::Layout;
+
+/// The shape a compiled plan is valid for. The precision configuration
+/// is not part of the key because each `ApSoftmax` (and thus each
+/// cache) is built for exactly one configuration; builder methods that
+/// change the shape axes swap in a fresh cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct PlanKey {
+    /// Vector length (determines rows and packing).
+    pub len: usize,
+    /// Row packing layout.
+    pub layout: Layout,
+    /// Division microcode style.
+    pub div: DivStyle,
+}
+
+/// A compiled dataflow plan: the recorded [`ApProgram`] plus the
+/// mapping-level metadata replay needs to assemble an
+/// [`crate::ApSoftmaxRun`] without re-deriving anything.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    program: ApProgram,
+    sum_reg: RegId,
+    rows: usize,
+    cols_used: usize,
+    compile_micros: f64,
+}
+
+impl CompiledPlan {
+    pub(crate) fn new(
+        program: ApProgram,
+        sum_reg: RegId,
+        rows: usize,
+        cols_used: usize,
+        compile_micros: f64,
+    ) -> Self {
+        Self {
+            program,
+            sum_reg,
+            rows,
+            cols_used,
+            compile_micros,
+        }
+    }
+
+    /// The recorded program.
+    #[must_use]
+    pub fn program(&self) -> &ApProgram {
+        &self.program
+    }
+
+    /// The register holding the (pre-clamp) reduction sum after replay.
+    pub(crate) fn sum_reg(&self) -> RegId {
+        self.sum_reg
+    }
+
+    /// Rows the plan's tile occupies.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns used by the field layout (excluding scratch headroom).
+    #[must_use]
+    pub fn cols_used(&self) -> usize {
+        self.cols_used
+    }
+
+    /// Wall-clock microseconds the compile (record + first execution)
+    /// took — the amortized cost replay saves.
+    #[must_use]
+    pub fn compile_micros(&self) -> f64 {
+        self.compile_micros
+    }
+}
+
+/// Aggregate counters of a [`PlanCache`]; see
+/// [`crate::ApSoftmax::plan_stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanStats {
+    /// Plans currently cached.
+    pub plans: usize,
+    /// Shape-miss compilations performed.
+    pub compiles: u64,
+    /// Cache hits (lock-free tile-slot hits included).
+    pub hits: u64,
+    /// Total wall-clock microseconds spent compiling over the cache's
+    /// lifetime (survives [`PlanCache::clear`] and recompiles).
+    pub compile_micros: f64,
+}
+
+static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The shape-keyed store of compiled plans; see the module docs.
+///
+/// One cache exists per [`crate::ApSoftmax`] and is shared by all of
+/// its clones. The cache carries a process-unique identity so tile
+/// slots warmed by one mapping are never mistaken for another's.
+///
+/// # Examples
+///
+/// ```
+/// use softmap::ApSoftmax;
+/// use softmap_softmax::PrecisionConfig;
+///
+/// let mapping = ApSoftmax::new(PrecisionConfig::paper_best())?;
+/// mapping.execute_floats(&[0.0, -1.0, -2.0, -3.0])?; // compiles
+/// mapping.execute_floats(&[0.0, -0.5, -1.5, -2.5])?; // replays
+/// let stats = mapping.plan_stats();
+/// assert_eq!((stats.plans, stats.compiles), (1, 1));
+/// assert!(stats.hits >= 1);
+/// # Ok::<(), softmap::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct PlanCache {
+    id: u64,
+    epoch: AtomicU64,
+    plans: Mutex<HashMap<PlanKey, Arc<CompiledPlan>>>,
+    /// Serializes compilations so concurrent workers missing the same
+    /// shape produce one plan, not one each (the map lock itself is
+    /// never held across a compile).
+    compiling: Mutex<()>,
+    compiles: AtomicU64,
+    hits: AtomicU64,
+    /// Total compile time across the cache's lifetime, in nanoseconds
+    /// (survives [`PlanCache::clear`] and same-key recompiles, unlike
+    /// summing over the currently cached plans).
+    compile_nanos: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanCache {
+    /// Creates an empty cache with a fresh identity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            id: NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: AtomicU64::new(0),
+            plans: Mutex::new(HashMap::new()),
+            compiling: Mutex::new(()),
+            compiles: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            compile_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Takes the compile lock: the caller re-checks the map under it
+    /// and compiles only if the shape is still missing, so racing
+    /// workers converge on a single plan per shape.
+    pub(crate) fn lock_for_compile(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.compiling.lock().expect("plan compile lock poisoned")
+    }
+
+    /// The cache's identity for tile-slot validation: the
+    /// process-unique id plus the clear-epoch, so [`PlanCache::clear`]
+    /// also invalidates slots warmed before it.
+    pub(crate) fn slot_token(&self) -> (u64, u64) {
+        (self.id, self.epoch.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn get(&self, key: &PlanKey) -> Option<Arc<CompiledPlan>> {
+        let found = self
+            .plans
+            .lock()
+            .expect("plan cache poisoned")
+            .get(key)
+            .cloned();
+        if found.is_some() {
+            self.note_hit();
+        }
+        found
+    }
+
+    /// Looks a plan up without counting a hit (observer access for
+    /// cost queries that just compiled it).
+    pub(crate) fn peek(&self, key: &PlanKey) -> Option<Arc<CompiledPlan>> {
+        self.plans
+            .lock()
+            .expect("plan cache poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    pub(crate) fn insert(&self, key: PlanKey, plan: Arc<CompiledPlan>) {
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        self.compile_nanos
+            .fetch_add((plan.compile_micros * 1e3) as u64, Ordering::Relaxed);
+        self.plans
+            .lock()
+            .expect("plan cache poisoned")
+            .insert(key, plan);
+    }
+
+    /// Counts a lock-free tile-slot hit.
+    pub(crate) fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drops every cached plan and advances the epoch so tile slots
+    /// warmed before the clear re-resolve. Counters are kept.
+    pub fn clear(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        self.plans.lock().expect("plan cache poisoned").clear();
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> PlanStats {
+        let plans = self.plans.lock().expect("plan cache poisoned").len();
+        PlanStats {
+            plans,
+            compiles: self.compiles.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            compile_micros: self.compile_nanos.load(Ordering::Relaxed) as f64 / 1e3,
+        }
+    }
+}

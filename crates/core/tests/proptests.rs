@@ -3,7 +3,8 @@
 //! like a cost function should.
 
 use proptest::prelude::*;
-use softmap::{ApDeployment, ApSoftmax, Layout, WorkloadModel};
+use softmap::{ApDeployment, ApSoftmax, Layout, PlanMode, WorkloadModel};
+use softmap_ap::{DivStyle, ExecBackend};
 use softmap_softmax::{IntSoftmax, PrecisionConfig};
 
 fn config_strategy() -> impl Strategy<Value = PrecisionConfig> {
@@ -57,6 +58,40 @@ proptest! {
         // heads add energy but not latency (they run in parallel)
         prop_assert!(more_heads.energy_j > base.energy_j);
         prop_assert!((more_heads.latency_s - base.latency_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_plan_replay_matches_direct_issue(
+        cfg in config_strategy(),
+        scores in prop::collection::vec(-9.0f64..0.0, 2..40),
+        warm in prop::collection::vec(-9.0f64..0.0, 40..41),
+        style in prop_oneof![Just(DivStyle::Restoring), Just(DivStyle::ControllerReciprocal)],
+        layout in prop_oneof![Just(Layout::TwoWordsPerRow), Just(Layout::OneWordPerRow)],
+        backend in prop_oneof![Just(ExecBackend::FastWord), Just(ExecBackend::Microcode)],
+    ) {
+        // Direct issue: the pre-plan per-vector interpretation.
+        let direct = ApSoftmax::new(cfg).unwrap()
+            .with_layout(layout)
+            .with_div_style(style)
+            .with_backend(backend)
+            .with_plan_mode(PlanMode::DirectIssue)
+            .execute_floats(&scores).unwrap();
+        // Cached: compile the shape's plan from *different* data, then
+        // replay it for `scores` — must be bit- and cycle-exact.
+        let cached = ApSoftmax::new(cfg).unwrap()
+            .with_layout(layout)
+            .with_div_style(style)
+            .with_backend(backend);
+        let mut warm = warm;
+        warm.truncate(scores.len());
+        cached.execute_floats(&warm).unwrap();
+        let replayed = cached.execute_floats(&scores).unwrap();
+        prop_assert!(cached.plan_stats().hits >= 1, "second run must replay");
+        prop_assert_eq!(&replayed.codes, &direct.codes);
+        prop_assert_eq!(&replayed.vapprox, &direct.vapprox);
+        prop_assert_eq!(replayed.sum, direct.sum);
+        prop_assert_eq!(replayed.total, direct.total, "cycle-exactness");
+        prop_assert_eq!(&replayed.steps, &direct.steps, "per-step exactness");
     }
 
     #[test]

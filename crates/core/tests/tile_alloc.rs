@@ -1,11 +1,13 @@
 //! Allocation-regression test: steady-state `TileState` reuse must
-//! execute softmax vectors with **zero** heap allocations per vector.
+//! replay each softmax vector's cached plan with **zero** heap
+//! allocations.
 //!
 //! A counting global allocator wraps the system allocator; counting is
 //! armed only around the measured window, so harness setup does not
-//! pollute the numbers. The file holds exactly one `#[test]` (the
-//! binary's allocator is process-global and the count must not race
-//! with sibling tests).
+//! pollute the numbers. The test runs without the libtest harness
+//! (`harness = false`): the allocator is process-global, and libtest's
+//! main thread lazily allocates its channel context at an
+//! unpredictable moment that can race into the armed window.
 
 use softmap::{ApSoftmax, ApSoftmaxRun, TileState};
 use softmap_ap::ExecBackend;
@@ -50,8 +52,7 @@ fn count_allocs(f: impl FnOnce()) -> usize {
     ALLOCS.load(Ordering::SeqCst)
 }
 
-#[test]
-fn steady_state_tile_reuse_allocates_nothing() {
+fn main() {
     let scores: Vec<f64> = (0..64).map(|i| -(f64::from(i) * 0.31) % 6.7).collect();
     let alt: Vec<f64> = (0..64).map(|i| -(f64::from(i) * 0.17) % 5.9).collect();
 
@@ -62,7 +63,8 @@ fn steady_state_tile_reuse_allocates_nothing() {
         let mut state = TileState::new();
         let mut run = ApSoftmaxRun::default();
 
-        // Warm-up: establishes the arena and every buffer's capacity.
+        // Warm-up: compiles the shape's plan and establishes the arena
+        // and every buffer's capacity.
         mapping
             .execute_floats_into(&mut state, &scores, &mut run)
             .unwrap();
@@ -70,8 +72,17 @@ fn steady_state_tile_reuse_allocates_nothing() {
             .execute_floats_into(&mut state, &alt, &mut run)
             .unwrap();
         let reference = run.codes.clone();
+        assert_eq!(
+            mapping.plan_stats().compiles,
+            1,
+            "one shape must compile exactly one plan"
+        );
+        assert!(
+            state.cached_plan().is_some(),
+            "the tile slot must hold the compiled plan after warm-up"
+        );
 
-        // Steady state: same shapes through the same tile.
+        // Steady state: same shapes replayed through the same tile.
         let allocs = count_allocs(|| {
             for _ in 0..5 {
                 mapping
@@ -84,9 +95,20 @@ fn steady_state_tile_reuse_allocates_nothing() {
         });
         assert_eq!(
             allocs, 0,
-            "steady-state {backend:?} tile reuse must not allocate (got {allocs} allocations over 10 vectors)"
+            "steady-state {backend:?} plan replay must not allocate (got {allocs} allocations over 10 vectors)"
         );
-        assert_eq!(run.codes, reference, "reused path must stay bit-exact");
+        assert_eq!(run.codes, reference, "replayed path must stay bit-exact");
+        let stats = mapping.plan_stats();
+        assert_eq!(stats.compiles, 1, "steady state must not recompile");
+        assert!(
+            stats.hits >= 11,
+            "steady-state vectors must hit the cached plan (hits = {})",
+            stats.hits
+        );
+        println!(
+            "tile_alloc: {backend:?} ok (plan hits {}, compile {:.1} us)",
+            stats.hits, stats.compile_micros
+        );
     }
 
     // Sanity: the counter itself works.
@@ -95,4 +117,5 @@ fn steady_state_tile_reuse_allocates_nothing() {
         std::hint::black_box(v);
     });
     assert!(sanity >= 1, "counting allocator must observe allocations");
+    println!("tile_alloc: all checks passed");
 }

@@ -55,13 +55,16 @@ pub fn run() -> EvalResult<Vec<Row>> {
         .collect();
 
     // Measure the SoftmAP row from the mapped dataflow at the best
-    // precision on a representative 1024-long vector.
+    // precision on a representative 1024-long vector, through the
+    // compiled plan's static cost (the query compiles the plan from
+    // `ApSoftmax::representative_scores` once and is execution-free
+    // afterwards; static == simulated is asserted by
+    // `tests/static_cost.rs`).
     let mapping = ApSoftmax::new(PrecisionConfig::paper_best())?;
-    let scores: Vec<f64> = (0..1024).map(|i| -((i % 97) as f64) * 7.0 / 97.0).collect();
-    let run = mapping.execute_floats(&scores)?;
+    let stats = mapping.static_cost(1024)?;
     let energy = EnergyModel::nm16();
     let pj = energy
-        .energy_per_op_pj(&run.total)
+        .energy_per_op_pj(&stats)
         .expect("dataflow produces events");
     rows.push(Row {
         method: "SoftmAP (this reproduction)",

@@ -1,0 +1,88 @@
+//! The static-cost contract behind the eval tables: for every
+//! precision configuration the tables sweep, the compiled plan's
+//! [`softmap_ap::ApProgram::static_cost`] must equal the `CycleStats`
+//! of actually simulating the representative input the plan was
+//! compiled from — on both backends, per step, and through the
+//! deployment model's `vector_stats` query.
+
+use softmap::{ApDeployment, ApSoftmax, WorkloadModel};
+use softmap_ap::ExecBackend;
+use softmap_softmax::PrecisionConfig;
+
+/// The precision grid the perplexity/latency tables sweep
+/// (Tables I/III/IV axes).
+fn table_configs() -> Vec<PrecisionConfig> {
+    let mut configs = Vec::new();
+    for m in [4, 6, 8] {
+        for delta in [0, 1, 2] {
+            for n in [8, 16] {
+                configs.push(PrecisionConfig::new(m, delta, n));
+            }
+        }
+    }
+    configs
+}
+
+#[test]
+fn static_cost_equals_simulated_for_every_table_configuration() {
+    for cfg in table_configs() {
+        for len in [128usize, 256] {
+            let mapping = ApSoftmax::new(cfg)
+                .unwrap()
+                .with_backend(ExecBackend::FastWord);
+            let stat = mapping.static_cost(len).unwrap();
+            let run = mapping
+                .execute_floats(&ApSoftmax::representative_scores(len))
+                .unwrap();
+            assert_eq!(
+                stat,
+                run.total,
+                "static != simulated at {} len {len}",
+                cfg.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn static_cost_is_backend_independent_and_stepwise_exact() {
+    let cfg = PrecisionConfig::paper_best();
+    let len = 1024;
+    let fast = ApSoftmax::new(cfg)
+        .unwrap()
+        .with_backend(ExecBackend::FastWord);
+    let micro = ApSoftmax::new(cfg)
+        .unwrap()
+        .with_backend(ExecBackend::Microcode);
+    assert_eq!(
+        fast.static_cost(len).unwrap(),
+        micro.static_cost(len).unwrap(),
+        "the dual-backend contract extends to static costs"
+    );
+    // The per-step static breakdown matches a simulated run of the
+    // representative input exactly.
+    let run = fast
+        .execute_floats(&ApSoftmax::representative_scores(len))
+        .unwrap();
+    let steps = fast.static_step_stats(len).unwrap();
+    assert_eq!(steps, run.steps);
+}
+
+#[test]
+fn workload_model_latency_tables_use_the_static_path() {
+    // `vector_stats` (the entry every Fig. 6/7/8 and Table V number
+    // funnels through) must agree with an actual simulation of the
+    // representative input, and repeated queries must not recompile.
+    let model = WorkloadModel::new(PrecisionConfig::paper_best(), ApDeployment::default()).unwrap();
+    for len in [128usize, 512, 1024] {
+        let stats = model.vector_stats(len).unwrap();
+        let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_backend(ApDeployment::default().backend);
+        let run = mapping
+            .execute_floats(&ApSoftmax::representative_scores(len))
+            .unwrap();
+        assert_eq!(stats, run.total, "vector_stats diverges at len {len}");
+        assert_eq!(model.vector_stats(len).unwrap(), stats);
+    }
+}

@@ -65,10 +65,26 @@ pub trait SoftmaxFn {
 }
 
 /// Reusable per-worker staging buffers for [`SoftmaxFn::apply_scratch`].
-#[derive(Debug, Clone, Default)]
+#[derive(Default)]
 pub struct SoftmaxScratch {
     /// Widened scores (the integer pipeline consumes `f64`).
     pub scores64: Vec<f64>,
+    /// Implementation-defined worker state for softmax backends that
+    /// live above this crate (e.g. the AP mapping keeps a persistent
+    /// simulated tile plus its cached-plan slot here, so batched
+    /// replay stays zero-allocation per row). Initialized lazily by
+    /// the implementation; a foreign type in the slot is simply
+    /// replaced.
+    pub ext: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl core::fmt::Debug for SoftmaxScratch {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SoftmaxScratch")
+            .field("scores64", &self.scores64)
+            .field("ext", &self.ext.as_ref().map(|_| "<worker state>"))
+            .finish()
+    }
 }
 
 /// Applies `sm` to every attention row of a batch across host threads,

@@ -7,7 +7,7 @@
 //! cargo run --release --example attention_block
 //! ```
 
-use softmap::ApSoftmax;
+use softmap::{ApSoftmax, ApSoftmaxRun, TileState};
 use softmap_ap::EnergyModel;
 use softmap_softmax::{float_ref, metrics, IntSoftmax, PrecisionConfig};
 
@@ -23,23 +23,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let k_mat = q.clone(); // self-attention
 
-    // One query row's scores against all keys.
-    let row = 37;
-    let scores: Vec<f64> = (0..seq_len)
-        .map(|j| {
-            let dot: f64 = q[row].iter().zip(&k_mat[j]).map(|(a, b)| a * b).sum();
-            dot * scale * 4.0 // spread the dynamic range
-        })
-        .collect();
-
+    // Score each query row against all keys and stream every row
+    // through ONE pooled tile + run buffer (the zero-allocation
+    // steady-state path): row 0 compiles the shape's plan, every
+    // further row replays it.
+    let row_scores = |i: usize| -> Vec<f64> {
+        (0..seq_len)
+            .map(|j| {
+                let dot: f64 = q[i].iter().zip(&k_mat[j]).map(|(a, b)| a * b).sum();
+                dot * scale * 4.0 // spread the dynamic range
+            })
+            .collect()
+    };
     let cfg = PrecisionConfig::paper_best();
     let mapping = ApSoftmax::new(cfg)?;
-    let run = mapping.execute_floats(&scores)?;
-    let scalar = IntSoftmax::new(cfg)?.run_floats(&scores)?;
-    assert_eq!(
-        run.codes, scalar.codes,
-        "AP must match the scalar spec bit-exactly"
-    );
+    let spec = IntSoftmax::new(cfg)?;
+    let mut state = TileState::new();
+    let mut run = ApSoftmaxRun::default();
+    let row = 37;
+    for i in 0..seq_len {
+        let s = row_scores(i);
+        mapping.execute_floats_into(&mut state, &s, &mut run)?;
+        let scalar = spec.run_floats(&s)?;
+        assert_eq!(
+            run.codes, scalar.codes,
+            "AP must match the scalar spec bit-exactly on row {i}"
+        );
+    }
+    // Leave row `row`'s result in `run` for the report below.
+    let scores = row_scores(row);
+    mapping.execute_floats_into(&mut state, &scores, &mut run)?;
+    let plans = mapping.plan_stats();
+    assert_eq!(plans.compiles, 1, "one shape, one compiled plan");
 
     println!(
         "attention row {row}: {} keys, config {}, AP tile {} rows x {} cols",
@@ -84,6 +99,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "latency at 1 GHz: {:.2} us per softmax vector",
         run.total.cycles() as f64 / 1e3
+    );
+    println!(
+        "plan cache: {} compile / {} replays ({:.1} us compile, amortized across {} rows)",
+        plans.compiles,
+        plans.hits,
+        plans.compile_micros,
+        seq_len + 1
     );
     Ok(())
 }

@@ -1,7 +1,12 @@
-//! Quick per-primitive timing comparison of the two AP backends.
+//! Quick per-primitive timing comparison of the two AP backends, using
+//! the pooled tile API (one [`ApTile`] reused across backends, no
+//! arena reallocation between programs), plus a compile-vs-replay
+//! profile of the full mapped dataflow.
 //! Run: `cargo run --release --example backend_profile`
 
-use softmap_ap::{ApConfig, ApCore, DivStyle, ExecBackend, Field};
+use softmap::{ApSoftmax, ApSoftmaxRun, PlanMode, TileState};
+use softmap_ap::{ApConfig, ApTile, DivStyle, ExecBackend, Field};
+use softmap_softmax::PrecisionConfig;
 use std::time::Instant;
 
 fn time<F: FnMut()>(label: &str, reps: u32, mut f: F) -> f64 {
@@ -21,9 +26,13 @@ fn main() {
     let ds: Vec<u64> = (0..rows as u64).map(|i| i % 251 + 1).collect();
     let amts: Vec<u64> = (0..rows as u64).map(|i| i % 16).collect();
 
+    // One pooled tile serves both backends: `acquire` clears state but
+    // keeps every buffer's capacity (zero steady-state allocations).
+    let mut tile = ApTile::new();
+    let mut readout: Vec<u64> = Vec::new();
     for backend in [ExecBackend::Microcode, ExecBackend::FastWord] {
         println!("{backend:?} @ {rows} rows");
-        let mut ap = ApCore::with_backend(ApConfig::new(rows, 140), backend).unwrap();
+        let ap = tile.acquire(ApConfig::new(rows, 140), backend).unwrap();
         let a: Field = ap.alloc_field(17).unwrap();
         let b = ap.alloc_field(17).unwrap();
         let r = ap.alloc_field(36).unwrap();
@@ -36,13 +45,14 @@ fn main() {
         ap.load(den, &ds).unwrap();
 
         time("load 17b", 50, || ap.load(a, &xs).unwrap());
-        time("read 17b", 50, || {
-            let _ = ap.read(a);
+        time("read 17b (pooled)", 50, || {
+            readout.clear();
+            ap.read_append(a, &mut readout);
         });
         time("copy 17b->24b", 20, || ap.copy(a, q).unwrap());
         time("add_into 17b", 20, || ap.add_into(r.sub(0, 18), a).unwrap());
         time("sub_into 17b", 20, || {
-            let _ = ap.sub_into(r.sub(0, 18), a).unwrap();
+            let _ = ap.sub_into_ref(r.sub(0, 18), a).unwrap();
         });
         time("mul 17x17", 5, || ap.mul(a, b, r).unwrap());
         time("shr_const 17b by 3", 20, || {
@@ -56,8 +66,47 @@ fn main() {
             ap.divide(a, den, q, 4, DivStyle::Restoring).unwrap();
         });
         time("max_search 17b", 20, || {
-            let _ = ap.max_search(a);
+            let _ = ap.max_search_value(a);
         });
         time("broadcast 17b", 50, || ap.broadcast(b, 12345).unwrap());
     }
+
+    // Full dataflow: direct per-vector issue vs cached-plan replay on
+    // the pooled execute path (the compile-once/replay-many contract).
+    println!("full dataflow @ {rows} rows (len {})", rows * 2);
+    let scores: Vec<f64> = (0..rows * 2)
+        .map(|i| -f64::from((i % 97) as u32) * 0.07)
+        .collect();
+    let direct = ApSoftmax::new(PrecisionConfig::paper_best())
+        .unwrap()
+        .with_backend(ExecBackend::FastWord)
+        .with_plan_mode(PlanMode::DirectIssue);
+    let cached = ApSoftmax::new(PrecisionConfig::paper_best())
+        .unwrap()
+        .with_backend(ExecBackend::FastWord);
+    let mut state = TileState::new();
+    let mut run = ApSoftmaxRun::default();
+    direct
+        .execute_floats_into(&mut state, &scores, &mut run)
+        .unwrap();
+    time("direct issue (per-vector)", 10, || {
+        direct
+            .execute_floats_into(&mut state, &scores, &mut run)
+            .unwrap();
+    });
+    cached
+        .execute_floats_into(&mut state, &scores, &mut run)
+        .unwrap(); // compiles
+    time("cached-plan replay", 10, || {
+        cached
+            .execute_floats_into(&mut state, &scores, &mut run)
+            .unwrap();
+    });
+    let plan = cached.plan(rows * 2).unwrap();
+    println!(
+        "  plan: {} ops, compiled once in {:.1} us, static cost {}",
+        plan.program().len(),
+        plan.compile_micros(),
+        plan.program().static_cost()
+    );
 }

@@ -5,10 +5,17 @@
 # Usage: scripts/bench_ap.sh [--quick] [output.json]
 #
 #   --quick   CI smoke mode: tiny measurement budget, backend_compare
-#             only, no perf gate — just proves the bench harness runs.
+#             only. The replay perf gate still applies (see below).
+#
+# Perf gate: backend/fastword-replayed/2048 must be no slower than the
+# recorded backend/fastword-reused/2048 baseline in the committed
+# BENCH_ap.json (tolerance SOFTMAP_REPLAY_TOL, default 1.5 to absorb
+# cross-host variance; the same-run comparison is printed alongside).
+# Set SOFTMAP_REPLAY_TOL=0 to disable the gate.
 #
 # Environment:
 #   CRITERION_MEASURE_MS  per-benchmark wall-clock budget (default 500)
+#   SOFTMAP_REPLAY_TOL    replay-vs-baseline gate tolerance (default 1.5)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,13 +55,22 @@ else
 fi
 
 python3 - "$lines" "$out" "$quick" <<'PY'
-import json, platform, subprocess, sys
+import json, os, platform, subprocess, sys
 
 lines_path, out_path, quick = sys.argv[1], sys.argv[2], sys.argv[3] == "1"
 results = [json.loads(l) for l in open(lines_path) if l.strip()]
 
+# Read the committed baseline BEFORE any overwrite of BENCH_ap.json.
+baseline = {}
+if os.path.exists("BENCH_ap.json"):
+    try:
+        baseline = json.load(open("BENCH_ap.json")).get("results_ns_per_iter", {})
+    except (json.JSONDecodeError, OSError):
+        baseline = {}
+
 by_name = {r["bench"]: r["ns_per_iter"] for r in results}
 speedups = {}
+plan = {}
 for key, label in [("512", "rows256"), ("1024", "rows512"),
                    ("2048", "rows1024"), ("4096", "rows2048")]:
     # backend_compare labels benchmarks by row count (= len / 2).
@@ -62,12 +78,22 @@ for key, label in [("512", "rows256"), ("1024", "rows512"),
     micro = by_name.get(f"backend/microcode/{rows}")
     fast = by_name.get(f"backend/fastword/{rows}")
     reused = by_name.get(f"backend/fastword-reused/{rows}")
+    replayed = by_name.get(f"backend/fastword-replayed/{rows}")
+    compile_ = by_name.get(f"backend/fastword-compile/{rows}")
     if micro and fast:
         speedups[f"fastword_speedup_{label}"] = round(micro / fast, 2)
     if micro and reused:
         speedups[f"fastword_reused_speedup_{label}"] = round(micro / reused, 2)
     if fast and reused:
         speedups[f"tile_reuse_gain_{label}"] = round(fast / reused, 2)
+    if reused and replayed:
+        speedups[f"plan_replay_gain_{label}"] = round(reused / replayed, 2)
+    if compile_ and replayed:
+        # Compile amortization: what one record+execute costs beyond a
+        # replay of the cached plan, in microseconds.
+        plan[f"plan_compile_us_{label}"] = round(max(compile_ - replayed, 0.0) / 1e3, 1)
+if "plan_compile_us_rows1024" in plan:
+    plan["plan_compile_us"] = plan["plan_compile_us_rows1024"]
 
 doc = {
     "schema": "softmap-bench-ap-v1",
@@ -77,9 +103,42 @@ doc = {
     "host": platform.platform(),
     "results_ns_per_iter": {r["bench"]: r["ns_per_iter"] for r in results},
     "backend_speedups": speedups,
+    "plan_cache": plan,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
     f.write("\n")
 print(f"wrote {out_path} ({len(results)} benchmarks)")
+
+# ---- replay perf gate ----------------------------------------------------
+tol = float(os.environ.get("SOFTMAP_REPLAY_TOL", "1.5"))
+if tol > 0:
+    replayed = by_name.get("backend/fastword-replayed/2048")
+    reused_now = by_name.get("backend/fastword-reused/2048")
+    reused_rec = baseline.get("backend/fastword-reused/2048") or reused_now
+    if not (replayed and reused_now and reused_rec):
+        # A gate that cannot find its series must fail, not skip.
+        print("REPLAY GATE FAILED: missing benchmark series "
+              f"(fastword-replayed/2048 = {replayed}, "
+              f"same-run fastword-reused/2048 = {reused_now}, "
+              f"recorded baseline = {reused_rec}). "
+              "Did a series get renamed without updating the gate?",
+              file=sys.stderr)
+        sys.exit(1)
+    # Host-invariant threshold: the same-run reused measurement is the
+    # primary reference (a slower CI runner slows both series alike);
+    # the recorded baseline still gates same-host regressions.
+    limit = max(reused_now, reused_rec) * tol
+    print(f"replay gate: fastword-replayed/2048 = {replayed:.0f} ns vs "
+          f"recorded fastword-reused/2048 baseline = {reused_rec:.0f} ns, "
+          f"same-run reused = {reused_now:.0f} ns (limit {limit:.0f} ns, tol {tol}x)")
+    if replayed > limit:
+        print("REPLAY GATE FAILED: cached-plan replay "
+              f"({replayed:.0f} ns) exceeds {tol}x the slower of the "
+              f"same-run reused measurement ({reused_now:.0f} ns) and the "
+              f"recorded fastword-reused baseline ({reused_rec:.0f} ns). "
+              "Compile-once/replay-many must not lose to per-vector issue.",
+              file=sys.stderr)
+        sys.exit(1)
+    print("replay gate: OK")
 PY
