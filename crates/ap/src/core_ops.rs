@@ -49,7 +49,7 @@ pub enum Overflow {
     #[default]
     Error,
     /// Clamp to the largest representable value (the hardware default
-    /// assumed by the reproduction; see DESIGN.md).
+    /// assumed by the reproduction; see the README substitution notes).
     Saturate,
     /// Keep only the low bits (failure-injection mode).
     Wrap,

@@ -1,0 +1,277 @@
+//! The capacity-bounded device model: a finite tile grid, shard
+//! partitioning, wave scheduling, and the cross-tile reduction network.
+//!
+//! Real SoftmAP hardware is sized, not elastic: the paper deploys
+//! fixed 2048-row tiles per attention head (Fig. 4, Section V-B). A
+//! softmax vector longer than one tile's capacity must be **sharded**
+//! across tiles, and when a vector needs more shards than the grid has
+//! free tiles, the shards execute in **waves**. This module is that
+//! sizing made explicit:
+//!
+//! * [`DeviceConfig`] — the grid: `tiles × rows_per_tile`,
+//! * [`DeviceConfig::partition_into`] — how a vector of `len` elements
+//!   splits into per-tile shards (contiguous, capacity-bounded, with
+//!   an even/odd tail rule so packed layouts always fit),
+//! * [`wave_makespan`] — the latency of running independent shard jobs
+//!   on `tiles` concurrent slots (greedy list scheduling),
+//! * [`DeviceConfig::reduction_network`] — the documented cost contract
+//!   for combining per-tile scalars (shard minima, partial sums)
+//!   across tiles and broadcasting the result back.
+//!
+//! # The cross-tile reduction cost contract
+//!
+//! Within a tile, the 2D AP reduces `n` rows in `8·log2(n) + 1` cycles
+//! (Table II). The cross-tile reduction network is modeled the same
+//! way: combining one `bits`-bit scalar per shard over `s` shards costs
+//! `8·ceil(log2(s))` cycles for the combine tree plus `1` cycle to
+//! broadcast the result back to all tiles, charged as 2D (network)
+//! cycles with `s · bits` cell events (each tile's port drives its
+//! word once). The contract is deliberately simple and *deterministic*:
+//! the same formula is charged by sharded execution and by the static
+//! cost path, so `static == simulated` extends to sharded shapes.
+
+use crate::stats::CycleStats;
+use crate::ApError;
+
+/// The fixed tile grid one softmax vector may be sharded across.
+///
+/// # Examples
+///
+/// ```
+/// use softmap_ap::device::DeviceConfig;
+///
+/// let dev = DeviceConfig::default();
+/// assert_eq!((dev.tiles, dev.rows_per_tile), (48, 2048));
+/// // 16384 elements at two words per row: four 2048-row shards.
+/// let mut shards = Vec::new();
+/// dev.partition_into(16384, 2, &mut shards).unwrap();
+/// assert_eq!(shards.len(), 4);
+/// assert_eq!(shards[0], (0, 4096));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceConfig {
+    /// Concurrent tiles available to one vector (the paper's
+    /// tiles-per-head knob).
+    pub tiles: usize,
+    /// Rows per tile (2048 in the paper's area tables; sequence length
+    /// 4096 at two words per row).
+    pub rows_per_tile: usize,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self {
+            tiles: 48,
+            rows_per_tile: 2048,
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// A grid of `tiles` tiles with `rows_per_tile` rows each.
+    #[must_use]
+    pub fn new(tiles: usize, rows_per_tile: usize) -> Self {
+        Self {
+            tiles,
+            rows_per_tile,
+        }
+    }
+
+    /// Elements one tile holds at `words_per_row` packing.
+    #[must_use]
+    pub fn shard_capacity(&self, words_per_row: usize) -> usize {
+        self.rows_per_tile * words_per_row
+    }
+
+    /// Splits a vector of `len` elements into contiguous per-tile
+    /// shards, written into `out` (cleared first; reusable so the
+    /// steady-state path performs no allocation) as `(start, end)`
+    /// element ranges.
+    ///
+    /// Every shard but the last holds exactly
+    /// [`DeviceConfig::shard_capacity`] elements. If the remainder is
+    /// odd, longer than `rows_per_tile`, and the layout packs two words
+    /// per row (which needs an even length), the tail is split into one
+    /// even packed shard and one single-element shard so every shard
+    /// fits its tile.
+    ///
+    /// # Errors
+    ///
+    /// [`ApError::BadConfig`] for a zero-row grid, zero `words_per_row`
+    /// or an empty vector.
+    pub fn partition_into(
+        &self,
+        len: usize,
+        words_per_row: usize,
+        out: &mut Vec<(usize, usize)>,
+    ) -> Result<(), ApError> {
+        out.clear();
+        if self.rows_per_tile == 0 {
+            return Err(ApError::BadConfig("device has zero rows per tile"));
+        }
+        if !(1..=2).contains(&words_per_row) {
+            return Err(ApError::BadConfig("words_per_row must be 1 or 2"));
+        }
+        if len == 0 {
+            return Err(ApError::BadConfig("cannot partition an empty vector"));
+        }
+        let cap = self.shard_capacity(words_per_row);
+        let mut pos = 0;
+        while len - pos > cap {
+            out.push((pos, pos + cap));
+            pos += cap;
+        }
+        let rem = len - pos;
+        if words_per_row == 2 && rem % 2 == 1 && rem > self.rows_per_tile {
+            // An odd tail longer than the row count cannot run unpacked;
+            // peel one element into a final single-row shard.
+            out.push((pos, len - 1));
+            out.push((len - 1, len));
+        } else {
+            out.push((pos, len));
+        }
+        Ok(())
+    }
+
+    /// Number of sequential waves `shards` shard jobs need on this
+    /// grid (at least 1).
+    #[must_use]
+    pub fn waves(&self, shards: usize) -> u64 {
+        let tiles = self.tiles.max(1);
+        (shards.max(1)).div_ceil(tiles) as u64
+    }
+
+    /// Cost of the cross-tile reduction network combining one
+    /// `bits`-bit scalar per shard and broadcasting the result back;
+    /// see the module-level contract.
+    #[must_use]
+    pub fn reduction_network(&self, shards: usize, bits: u32) -> CycleStats {
+        let mut s = CycleStats::default();
+        let levels = crate::cost::ceil_log2(shards as u64);
+        s.charge_2d(8 * levels + 1, shards as u64 * u64::from(bits));
+        s
+    }
+}
+
+/// Makespan of `jobs` independent per-shard cycle counts on `tiles`
+/// concurrent slots: greedy list scheduling in arrival order (each job
+/// goes to the least-loaded tile), the natural policy for a stream of
+/// near-identical shards. `loads` is reusable scratch (cleared first).
+///
+/// With fewer jobs than tiles this degenerates to `max(jobs)`; the
+/// unbounded-grid makespan of `BatchStats::aggregate`.
+///
+/// # Examples
+///
+/// ```
+/// use softmap_ap::device::wave_makespan;
+///
+/// let mut loads = Vec::new();
+/// // 4 equal shards on 2 tiles: two waves.
+/// assert_eq!(wave_makespan(&[10, 10, 10, 10], 2, &mut loads), 20);
+/// // 3 shards on 4 tiles: one wave.
+/// assert_eq!(wave_makespan(&[10, 7, 9], 4, &mut loads), 10);
+/// ```
+#[must_use]
+pub fn wave_makespan(jobs: &[u64], tiles: usize, loads: &mut Vec<u64>) -> u64 {
+    let tiles = tiles.max(1).min(jobs.len().max(1));
+    loads.clear();
+    loads.resize(tiles, 0);
+    for &c in jobs {
+        let slot = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &l)| l)
+            .map(|(i, _)| i)
+            .expect("at least one tile");
+        loads[slot] += c;
+    }
+    loads.iter().copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_full_shards_then_tail() {
+        let dev = DeviceConfig::new(8, 4);
+        let mut out = Vec::new();
+        dev.partition_into(20, 2, &mut out).unwrap();
+        assert_eq!(out, vec![(0, 8), (8, 16), (16, 20)]);
+        dev.partition_into(8, 2, &mut out).unwrap();
+        assert_eq!(out, vec![(0, 8)]);
+        dev.partition_into(3, 2, &mut out).unwrap();
+        assert_eq!(out, vec![(0, 3)]); // odd but <= rows: unpacked fits
+    }
+
+    #[test]
+    fn partition_peels_odd_oversized_tail() {
+        let dev = DeviceConfig::new(8, 4);
+        let mut out = Vec::new();
+        // tail of 7 elements: odd and > 4 rows, so it cannot run
+        // unpacked; peel the last element off.
+        dev.partition_into(15, 2, &mut out).unwrap();
+        assert_eq!(out, vec![(0, 8), (8, 14), (14, 15)]);
+        // every shard fits: even shards packed, the singleton unpacked
+        for &(s, e) in &out {
+            let n = e - s;
+            let rows = if n % 2 == 0 { n / 2 } else { n };
+            assert!(rows <= 4, "shard {s}..{e} needs {rows} rows");
+        }
+    }
+
+    #[test]
+    fn partition_one_word_per_row() {
+        let dev = DeviceConfig::new(2, 4);
+        let mut out = Vec::new();
+        dev.partition_into(9, 1, &mut out).unwrap();
+        assert_eq!(out, vec![(0, 4), (4, 8), (8, 9)]);
+    }
+
+    #[test]
+    fn partition_rejects_degenerate_inputs() {
+        let mut out = Vec::new();
+        assert!(DeviceConfig::new(1, 0)
+            .partition_into(4, 2, &mut out)
+            .is_err());
+        assert!(DeviceConfig::new(1, 4)
+            .partition_into(0, 2, &mut out)
+            .is_err());
+        assert!(DeviceConfig::new(1, 4)
+            .partition_into(4, 3, &mut out)
+            .is_err());
+    }
+
+    #[test]
+    fn waves_count_grid_rounds() {
+        let dev = DeviceConfig::new(4, 2048);
+        assert_eq!(dev.waves(1), 1);
+        assert_eq!(dev.waves(4), 1);
+        assert_eq!(dev.waves(5), 2);
+        assert_eq!(dev.waves(9), 3);
+        assert_eq!(DeviceConfig::new(0, 2048).waves(3), 3);
+    }
+
+    #[test]
+    fn reduction_network_grows_logarithmically() {
+        let dev = DeviceConfig::default();
+        let r2 = dev.reduction_network(2, 16);
+        let r4 = dev.reduction_network(4, 16);
+        let r8 = dev.reduction_network(8, 16);
+        assert_eq!(r2.cycles(), 9);
+        assert_eq!(r4.cycles(), 17);
+        assert_eq!(r8.cycles(), 25);
+        assert_eq!(r8.cell_events(), 8 * 16);
+    }
+
+    #[test]
+    fn wave_makespan_schedules_greedily() {
+        let mut loads = Vec::new();
+        assert_eq!(wave_makespan(&[], 4, &mut loads), 0);
+        assert_eq!(wave_makespan(&[5], 4, &mut loads), 5);
+        assert_eq!(wave_makespan(&[5, 5, 5], 1, &mut loads), 15);
+        // uneven jobs: greedy balances them
+        assert_eq!(wave_makespan(&[9, 1, 1, 1], 2, &mut loads), 9);
+    }
+}

@@ -27,6 +27,9 @@
 //!   op trace from the `ApCore` API into an [`ApProgram`] that replays
 //!   bit- and cycle-exactly on either backend and answers cost queries
 //!   ([`ApProgram::static_cost`]) without touching a CAM,
+//! * [`device`] — the capacity-bounded device model: the finite tile
+//!   grid, shard partitioning for long vectors, wave scheduling, and
+//!   the cross-tile reduction-network cost contract,
 //! * [`batch`] — the multi-tile batch driver: independent jobs fanned
 //!   across host threads, one persistent simulated tile per worker,
 //! * [`cost`] — the paper's Table II analytic runtime formulas,
@@ -56,6 +59,7 @@
 
 pub mod batch;
 pub mod cost;
+pub mod device;
 pub mod lut;
 pub mod program;
 
@@ -73,6 +77,7 @@ pub use area::AreaModel;
 pub use backend::ExecBackend;
 pub use cam::CamArray;
 pub use core_ops::{ApConfig, ApCore, DivStyle, Overflow};
+pub use device::DeviceConfig;
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use field::Field;
 pub use program::{ApOp, ApProgram, ExecIo, Operand, ProgramScratch, Recorder, RegId};

@@ -213,6 +213,17 @@ pub enum ApOp {
         /// Source register.
         src: RegId,
     },
+    /// Load scalar input slot `slot` into register `dst` — how values
+    /// computed outside this program (a cross-tile reduction result
+    /// arriving over the reduction network) enter a shard's replay.
+    /// Controller-side and free here; the network transfer itself is
+    /// charged by the device model's reduction-cost contract.
+    RegLoad {
+        /// Destination register.
+        dst: RegId,
+        /// Scalar input slot index.
+        slot: u32,
+    },
     /// 2D row-parallel tree reduction of `field` over segments of
     /// `segment_rows` rows; the first segment's sum lands in `dst`.
     ReduceSum {
@@ -299,16 +310,30 @@ impl ProgramScratch {
 
 /// Borrowed input/output bindings for one program execution: `inputs`
 /// are the bulk-load word slices ([`ApOp::Load`] slots), `outputs` the
-/// read-out buffers ([`ApOp::Read`] slots, appended to).
+/// read-out buffers ([`ApOp::Read`] slots, appended to), and `scalars`
+/// the externally computed register values ([`ApOp::RegLoad`] slots —
+/// cross-tile reduction results fed back into a shard).
 pub struct ExecIo<'s, 'd> {
     inputs: &'s [&'d [u64]],
     outputs: &'s mut [&'d mut Vec<u64>],
+    scalars: &'s [u64],
 }
 
 impl<'s, 'd> ExecIo<'s, 'd> {
-    /// Binds input and output slots.
+    /// Binds input and output slots (no scalar inputs).
     pub fn new(inputs: &'s [&'d [u64]], outputs: &'s mut [&'d mut Vec<u64>]) -> Self {
-        Self { inputs, outputs }
+        Self {
+            inputs,
+            outputs,
+            scalars: &[],
+        }
+    }
+
+    /// Binds scalar input slots on top of the word I/O.
+    #[must_use]
+    pub fn with_scalars(mut self, scalars: &'s [u64]) -> Self {
+        self.scalars = scalars;
+        self
     }
 
     fn input(&self, slot: u32) -> Result<&'d [u64], ApError> {
@@ -323,6 +348,13 @@ impl<'s, 'd> ExecIo<'s, 'd> {
             .get_mut(slot as usize)
             .map(|v| &mut **v)
             .ok_or(ApError::BadConfig("program output slot out of range"))
+    }
+
+    fn scalar(&self, slot: u32) -> Result<u64, ApError> {
+        self.scalars
+            .get(slot as usize)
+            .copied()
+            .ok_or(ApError::BadConfig("program scalar slot out of range"))
     }
 }
 
@@ -368,6 +400,10 @@ fn apply_op(
         }
         ApOp::RegMax1 { dst, src } => {
             let v = scratch.get_reg(src)?.max(1);
+            scratch.set_reg(dst, v)
+        }
+        ApOp::RegLoad { dst, slot } => {
+            let v = io.scalar(slot)?;
             scratch.set_reg(dst, v)
         }
         ApOp::ReduceSum {
@@ -628,6 +664,22 @@ impl<'s, 'd> Recorder<'s, 'd> {
         dst
     }
 
+    /// Loads scalar input slot `slot` into a fresh register — how a
+    /// cross-tile value (global minimum, combined sum) enters a shard's
+    /// program.
+    ///
+    /// # Errors
+    ///
+    /// Errors on an unbound scalar slot.
+    pub fn reg_input(&mut self, slot: usize) -> Result<RegId, ApError> {
+        let dst = self.alloc_reg();
+        self.issue(ApOp::RegLoad {
+            dst,
+            slot: u32::try_from(slot).map_err(|_| ApError::BadConfig("scalar slot too large"))?,
+        })?;
+        Ok(dst)
+    }
+
     /// 2D tree reduction; the first segment's sum lands in the returned
     /// register. See [`ApCore::reduce_sum_2d_mode_into`].
     ///
@@ -700,6 +752,7 @@ impl<'s, 'd> Recorder<'s, 'd> {
         let mut seg = CycleStats::default();
         let mut num_inputs = 0u32;
         let mut num_outputs = 0u32;
+        let mut num_scalars = 0u32;
         for (op, cost) in trace.ops.iter().zip(&trace.costs) {
             match *op {
                 ApOp::Step { name } => {
@@ -712,6 +765,10 @@ impl<'s, 'd> Recorder<'s, 'd> {
                 }
                 ApOp::Read { output, .. } => {
                     num_outputs = num_outputs.max(output + 1);
+                    seg.accumulate(cost);
+                }
+                ApOp::RegLoad { slot, .. } => {
+                    num_scalars = num_scalars.max(slot + 1);
                     seg.accumulate(cost);
                 }
                 _ => seg.accumulate(cost),
@@ -729,6 +786,7 @@ impl<'s, 'd> Recorder<'s, 'd> {
             num_regs: self.num_regs as usize,
             num_inputs: num_inputs as usize,
             num_outputs: num_outputs as usize,
+            num_scalars: num_scalars as usize,
             ops: trace.ops,
             costs: trace.costs,
             static_total,
@@ -747,6 +805,7 @@ pub struct ApProgram {
     num_regs: usize,
     num_inputs: usize,
     num_outputs: usize,
+    num_scalars: usize,
     ops: Vec<ApOp>,
     costs: Vec<CycleStats>,
     static_total: CycleStats,
@@ -779,6 +838,12 @@ impl ApProgram {
     #[must_use]
     pub fn num_outputs(&self) -> usize {
         self.num_outputs
+    }
+
+    /// Number of scalar input slots the program loads registers from.
+    #[must_use]
+    pub fn num_scalars(&self) -> usize {
+        self.num_scalars
     }
 
     /// The op trace.
@@ -846,7 +911,10 @@ impl ApProgram {
         if core.rows() != self.config.rows || core.cols() != self.config.cols {
             return Err(ApError::BadConfig("replay geometry mismatch"));
         }
-        if io.inputs.len() < self.num_inputs || io.outputs.len() < self.num_outputs {
+        if io.inputs.len() < self.num_inputs
+            || io.outputs.len() < self.num_outputs
+            || io.scalars.len() < self.num_scalars
+        {
             return Err(ApError::BadConfig("replay is missing io slots"));
         }
         core.set_next_col(self.reserved_cols);
@@ -969,6 +1037,63 @@ mod tests {
                 ExecIo::new(&inputs4, &mut outs),
                 &mut scratch,
                 |_, _| {}
+            ),
+            Err(ApError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn scalar_inputs_feed_registers_at_replay() {
+        // Record: x -= scalar_input(0), broadcast through a register.
+        let data: Vec<u64> = vec![9, 4, 7, 12];
+        let mut core = ApCore::new(ApConfig::new(4, 40)).unwrap();
+        let x = core.alloc_field(8).unwrap();
+        let m = core.alloc_field(8).unwrap();
+        let inputs: [&[u64]; 1] = [&data];
+        let mut out = Vec::new();
+        let mut outs: [&mut Vec<u64>; 1] = [&mut out];
+        let mut scratch = ProgramScratch::default();
+        let mut on_step = |_: &'static str, _: CycleStats| {};
+        let mut rec = Recorder::new(
+            &mut core,
+            ExecIo::new(&inputs, &mut outs).with_scalars(&[3]),
+            &mut scratch,
+            &mut on_step,
+            true,
+        );
+        rec.load(x, 0).unwrap();
+        let r = rec.reg_input(0).unwrap();
+        rec.broadcast_reg(m, r).unwrap();
+        rec.sub_assert_clean(x, m).unwrap();
+        rec.read(x, 0).unwrap();
+        let program = rec.finish().unwrap();
+        assert_eq!(out, vec![6, 1, 4, 9]);
+        assert_eq!(program.num_scalars(), 1);
+
+        // Replay with another scalar binding: the register re-derives.
+        let mut core2 = ApCore::new(program.config()).unwrap();
+        let mut out2 = Vec::new();
+        let mut outs2: [&mut Vec<u64>; 1] = [&mut out2];
+        program
+            .replay(
+                &mut core2,
+                ExecIo::new(&inputs, &mut outs2).with_scalars(&[4]),
+                &mut scratch,
+                |_, _| {},
+            )
+            .unwrap();
+        assert_eq!(out2, vec![5, 0, 3, 8]);
+
+        // A replay missing the scalar binding is rejected.
+        let mut core3 = ApCore::new(program.config()).unwrap();
+        let mut out3 = Vec::new();
+        let mut outs3: [&mut Vec<u64>; 1] = [&mut out3];
+        assert!(matches!(
+            program.replay(
+                &mut core3,
+                ExecIo::new(&inputs, &mut outs3),
+                &mut scratch,
+                |_, _| {},
             ),
             Err(ApError::BadConfig(_))
         ));

@@ -12,7 +12,10 @@
 //!   vector pays record + execute; `fastword-compile − fastword-replayed`
 //!   is the compile cost a plan amortizes (`plan_compile_us` in
 //!   `BENCH_ap.json`),
-//! * `fastword-batch32` — the multi-tile batch driver's throughput.
+//! * `fastword-batch32` — the multi-tile batch driver's throughput,
+//! * `fastword-sharded` — long sequences (8192/16384 scores) sharded
+//!   across fixed 2048-row tiles through the cached sharded plan
+//!   (`shard_*` fields and the shard-scaling gate in `BENCH_ap.json`).
 //!
 //! `FastWord` charges identical `CycleStats` (enforced by the
 //! differential proptests; spot-checked here) while running ~13× faster
@@ -93,6 +96,23 @@ fn bench(c: &mut Criterion) {
         });
     }
 
+    // Sharded long-sequence series at the paper's fixed 2048-row
+    // tiles: seq 8192 (2 shards) and 16384 (4 shards) through the
+    // pooled replay path — per-shard min search, cross-tile min,
+    // per-shard exp + partial sums, cross-tile sum, per-shard divide.
+    for len in [8192usize, 16384] {
+        let s = scores(len);
+        let m = mapping(ExecBackend::FastWord);
+        let mut state = TileState::new();
+        let mut run = ApSoftmaxRun::default();
+        g.bench_with_input(BenchmarkId::new("fastword-sharded", len / 2), &s, |b, s| {
+            b.iter(|| {
+                m.execute_floats_into(&mut state, s, &mut run).unwrap();
+                black_box(run.latency_cycles)
+            })
+        });
+    }
+
     // Multi-tile batch driver: a full layer's worth of rows across
     // host threads vs. sequential single-tile execution.
     let batch: Vec<Vec<f64>> = (0..32).map(|_| scores(1024)).collect();
@@ -130,6 +150,19 @@ fn bench(c: &mut Criterion) {
         plan.program().len(),
         plan.compile_micros(),
         plan.program().static_cost()
+    );
+    let sharded = fast
+        .sharded_plan(16384)
+        .expect("sharded plan compiled above");
+    println!(
+        "sharded plan @16384: {} shards, {} waves, latency {} cyc, work {} cyc \
+         (reduction {} cyc), compile {:.1} us",
+        sharded.shards(),
+        sharded.waves(),
+        sharded.latency_cycles(),
+        sharded.total().cycles(),
+        sharded.reduction().cycles(),
+        sharded.compile_micros()
     );
 }
 

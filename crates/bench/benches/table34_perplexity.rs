@@ -1,5 +1,5 @@
 //! Bench + regeneration of the Table III perplexity grid (tiny stand-in
-//! for Llama2-7b; see DESIGN.md substitutions). Training happens once;
+//! for Llama2-7b; see the README substitution notes). Training happens once;
 //! the benchmark times one full-grid perplexity evaluation cell.
 
 use criterion::{criterion_group, criterion_main, Criterion};

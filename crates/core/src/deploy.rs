@@ -5,13 +5,20 @@
 //! area tables accordingly (one 2048-row tile per head reproduces the
 //! 0.64/0.81/1.28 mm² of Section V-B), while its latency comparisons
 //! imply several vectors in flight per head. Both knobs are explicit
-//! here: `tiles_per_head` (1 for the area table, 8 by default for the
-//! latency figures) and `packing` (whether multiple short vectors share
-//! a tile — an ablation; the baseline 2D reduction network is
-//! unsegmented, so the default is one vector in flight per tile).
-//! See DESIGN.md ("Reconciliation note") for the full discussion.
+//! here: `tiles_per_head` (1 for the area table, more for the latency
+//! figures) and `packing` (whether multiple short vectors share a tile
+//! — an ablation; the baseline 2D reduction network is unsegmented, so
+//! the default is one vector in flight per tile). See the README's
+//! "Reconciliation note" under the device-model section for the full
+//! discussion.
+//!
+//! The tile capacity is **enforced**: the model hands its geometry to
+//! the mapping as a [`softmap_ap::DeviceConfig`], so sequences past
+//! `2 × rows_per_tile` tokens execute (and are costed) **sharded**
+//! across the head's tiles — per-phase waves plus the cross-tile
+//! reduction-network cycles — instead of being rejected.
 
-use softmap_ap::{AreaModel, CycleStats, DivStyle, EnergyModel, ExecBackend};
+use softmap_ap::{AreaModel, CycleStats, DeviceConfig, DivStyle, EnergyModel, ExecBackend};
 use softmap_softmax::PrecisionConfig;
 
 use crate::mapping::ApSoftmax;
@@ -35,7 +42,8 @@ pub struct ApDeployment {
     /// the GPU models falls at the paper's L ≈ 1024.
     pub tiles_per_head: usize,
     /// Rows per tile (2048 rows = sequence length 4096 at two words per
-    /// row, the paper's maximum).
+    /// row, the paper's maximum for a single tile; longer sequences
+    /// execute sharded across the head's tiles).
     pub rows_per_tile: usize,
     /// Clock frequency in GHz (the paper's Table VI: 1000 MHz).
     pub clock_ghz: f64,
@@ -84,12 +92,15 @@ pub struct ApWorkloadCost {
     /// Total energy, joules (scales with every processed vector across
     /// all heads and layers).
     pub energy_j: f64,
-    /// Microcode cycles for one vector.
+    /// Critical-path cycles for one vector (for a sharded vector this
+    /// includes intra-vector waves and the cross-tile reductions).
     pub cycles_per_vector: u64,
     /// Cell events for one vector.
     pub events_per_vector: u64,
     /// Number of sequential waves per layer.
     pub waves_per_layer: u64,
+    /// Tiles (shards) one vector occupies (1 when it fits one tile).
+    pub shards_per_vector: u64,
 }
 
 impl ApWorkloadCost {
@@ -132,7 +143,11 @@ impl WorkloadModel {
         Ok(Self {
             mapping: ApSoftmax::new(cfg)?
                 .with_div_style(deploy.div_style)
-                .with_backend(deploy.backend),
+                .with_backend(deploy.backend)
+                .with_device(DeviceConfig::new(
+                    deploy.tiles_per_head,
+                    deploy.rows_per_tile,
+                )),
             deploy,
             energy: EnergyModel::nm16(),
         })
@@ -154,13 +169,25 @@ impl WorkloadModel {
     /// `seq_len`, answered by the compiled plan's static cost
     /// ([`ApSoftmax::static_cost`]): the shape's plan is compiled once
     /// from the mapping's deterministic representative input, and every
-    /// further query is an execution-free cache lookup.
+    /// further query is an execution-free cache lookup. Sequences past
+    /// the tile capacity answer with the **sharded** total (every
+    /// shard's work plus the cross-tile reduction charges).
     ///
     /// # Errors
     ///
     /// Propagates mapping execution errors.
     pub fn vector_stats(&self, seq_len: usize) -> Result<CycleStats, CoreError> {
         self.mapping.static_cost(seq_len)
+    }
+
+    /// The full static device view per vector ([`crate::VectorCost`]):
+    /// shards, waves, reduction charges, and the critical path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping execution errors.
+    pub fn vector_cost(&self, seq_len: usize) -> Result<crate::VectorCost, CoreError> {
+        self.mapping.static_vector_cost(seq_len)
     }
 
     /// Cost of the softmax workload of one full transformer forward
@@ -212,27 +239,32 @@ impl WorkloadModel {
                 "layers, heads, seq_len and batch must be non-zero".into(),
             ));
         }
-        let rows_needed = seq_len.div_ceil(2);
-        if rows_needed > self.deploy.rows_per_tile {
-            return Err(CoreError::BadWorkload(format!(
-                "sequence length {seq_len} needs {rows_needed} rows > tile capacity {}",
-                self.deploy.rows_per_tile
-            )));
-        }
-        let stats = self.vector_stats(seq_len)?;
-        let vectors_per_tile = if self.deploy.packing {
-            (self.deploy.rows_per_tile / rows_needed).max(1)
+        let vc = self.mapping.static_vector_cost(seq_len)?;
+        let (slots, cycles_per_vector) = if vc.shards > 1 {
+            // A sharded vector occupies `shards` of the head's tiles at
+            // a time; its critical path already includes intra-vector
+            // waves and the cross-tile reductions. Remaining tiles run
+            // other vectors concurrently.
+            let concurrent = (self.deploy.tiles_per_head / vc.shards).max(1);
+            (concurrent, vc.latency_cycles)
         } else {
-            1
+            let rows_needed = seq_len.div_ceil(2);
+            let vectors_per_tile = if self.deploy.packing {
+                (self.deploy.rows_per_tile / rows_needed).max(1)
+            } else {
+                1
+            };
+            (
+                self.deploy.tiles_per_head * vectors_per_tile,
+                vc.total.cycles(),
+            )
         };
-        let slots = self.deploy.tiles_per_head * vectors_per_tile;
         let waves = vectors_per_head_layer.div_ceil(slots) as u64;
 
-        let cycles_per_vector = stats.cycles();
         let latency_s =
             (layers as u64 * waves * cycles_per_vector) as f64 / (self.deploy.clock_ghz * 1e9);
 
-        let per_vec_energy = self.energy.energy(&stats).total_j;
+        let per_vec_energy = self.energy.energy(&vc.total).total_j;
         let total_vectors = (layers * heads * vectors_per_head_layer) as f64;
         let energy_j = per_vec_energy * total_vectors;
 
@@ -240,8 +272,9 @@ impl WorkloadModel {
             latency_s,
             energy_j,
             cycles_per_vector,
-            events_per_vector: stats.cell_events(),
+            events_per_vector: vc.total.cell_events(),
             waves_per_layer: waves,
+            shards_per_vector: vc.shards as u64,
         })
     }
 
@@ -346,16 +379,42 @@ mod tests {
     }
 
     #[test]
-    fn oversized_sequences_rejected() {
+    fn long_sequences_shard_instead_of_failing() {
+        // The seed rejected anything past 2 × rows_per_tile; the device
+        // model runs it sharded — the very regime (8k–32k tokens) where
+        // softmax dominates transformer latency.
         let m = model();
-        assert!(matches!(
-            m.cost(1, 1, 8192, 1),
-            Err(CoreError::BadWorkload(_))
-        ));
+        let c8k = m.cost(1, 1, 8192, 1).unwrap();
+        assert_eq!(c8k.shards_per_vector, 2);
+        let c16k = m.cost(1, 1, 16384, 1).unwrap();
+        assert_eq!(c16k.shards_per_vector, 4);
+        // Work (energy) scales ~linearly with the token count; the
+        // critical path includes the cross-tile reductions.
+        let c4k = m.cost(1, 1, 4096, 1).unwrap();
+        assert_eq!(c4k.shards_per_vector, 1);
+        let per_tok_4k = c4k.energy_j / (4096.0 * 4096.0);
+        let per_tok_16k = c16k.energy_j / (16384.0 * 16384.0);
+        assert!(
+            (per_tok_16k / per_tok_4k - 1.0).abs() < 0.25,
+            "sharded energy per token drifted: {per_tok_16k} vs {per_tok_4k}"
+        );
+        assert!(c16k.cycles_per_vector > c8k.cycles_per_vector);
+        // Degenerate workloads still error.
         assert!(matches!(
             m.cost(0, 1, 128, 1),
             Err(CoreError::BadWorkload(_))
         ));
+    }
+
+    #[test]
+    fn sharded_vector_cost_exposes_device_view() {
+        let m = model();
+        let vc = m.vector_cost(16384).unwrap();
+        assert_eq!(vc.shards, 4);
+        assert_eq!(vc.waves, 1, "48 tiles hold 4 shards in one wave");
+        assert!(vc.reduction.cycles() > 0);
+        assert!(vc.latency_cycles < vc.total.cycles());
+        assert_eq!(m.vector_stats(16384).unwrap(), vc.total);
     }
 
     #[test]

@@ -41,8 +41,8 @@ mod deploy;
 
 pub use deploy::{ApDeployment, ApWorkloadCost, WorkloadModel};
 pub use llm_bridge::ApMappedSoftmax;
-pub use mapping::{ApSoftmax, ApSoftmaxRun, Layout, PlanMode, StepStats, TileState};
-pub use plan::{CompiledPlan, PlanCache, PlanStats};
+pub use mapping::{ApSoftmax, ApSoftmaxRun, Layout, PlanMode, StepStats, TileState, VectorCost};
+pub use plan::{CompiledPlan, PlanCache, PlanStats, ShardedPlan};
 
 /// Errors from the co-design layer.
 #[derive(Debug, Clone, PartialEq)]

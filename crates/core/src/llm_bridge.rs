@@ -32,6 +32,12 @@ struct ApWorkerState {
 /// A [`SoftmaxFn`] that executes rows on the simulated AP via
 /// [`ApSoftmax`], replaying cached plans per worker.
 ///
+/// Rows longer than the device's tile capacity (the default is the
+/// paper's 48 × 2048-row grid, i.e. 4096 scores per tile) execute
+/// **sharded** across tiles, so long-context attention (8k–32k tokens)
+/// runs through the same adapter, still bit-exact versus the scalar
+/// specification.
+///
 /// # Examples
 ///
 /// ```
@@ -192,5 +198,45 @@ mod tests {
     fn empty_rows_are_errors() {
         let ap = ApMappedSoftmax::new(PrecisionConfig::paper_best()).unwrap();
         assert!(ap.apply(&[]).is_err());
+    }
+
+    #[test]
+    fn long_context_rows_shard_and_match_scalar() {
+        // A 6000-score attention row exceeds one 2048-row tile (4096
+        // packed scores) on the default device: the adapter shards it
+        // and stays bit-exact with the scalar implementation.
+        let cfg = PrecisionConfig::paper_best();
+        let ap = ApMappedSoftmax::new(cfg).unwrap();
+        let scalar = IntApproxSoftmax::new(cfg).unwrap();
+        let row: Vec<f32> = (0..6000).map(|i| -((i % 83) as f32) * 0.08).collect();
+        assert_eq!(ap.apply(&row).unwrap(), scalar.apply(&row).unwrap());
+        assert_eq!(ap.mapping().sharded_plan(6000).unwrap().shards(), 2);
+    }
+
+    #[test]
+    fn long_context_batch_replays_sharded_plans_per_worker() {
+        // Tiny device so the sharded path is exercised cheaply: every
+        // batch row shards, workers share the compiled phase programs.
+        let cfg = PrecisionConfig::paper_best();
+        let mapping = crate::ApSoftmax::new(cfg)
+            .unwrap()
+            .with_backend(softmap_ap::ExecBackend::FastWord)
+            .with_device(softmap_ap::DeviceConfig::new(2, 8));
+        let ap = ApMappedSoftmax::with_mapping(mapping);
+        let scalar = IntApproxSoftmax::new(cfg).unwrap();
+        let rows: Vec<Vec<f32>> = (0..6)
+            .map(|r| {
+                (0..48)
+                    .map(|i| -(((r * 5 + i) % 67) as f32) * 0.1)
+                    .collect()
+            })
+            .collect();
+        let batched = apply_batch_parallel(&ap, &rows).unwrap();
+        for (row, got) in rows.iter().zip(&batched) {
+            assert_eq!(&scalar.apply(row).unwrap(), got);
+        }
+        // One row shape: at most one sharded plan + six phase programs.
+        assert!(ap.mapping().plan_stats().compiles <= 7);
+        assert!(ap.mapping().plan_stats().hits >= 5);
     }
 }

@@ -23,13 +23,17 @@
 use std::sync::Arc;
 
 use softmap_ap::batch::{self, BatchStats};
+use softmap_ap::device::{self, DeviceConfig};
 use softmap_ap::program::{ExecIo, ProgramScratch, Recorder};
 use softmap_ap::{
-    ApConfig, ApCore, ApError, ApTile, CycleStats, DivStyle, ExecBackend, Field, Overflow, RegId,
+    ApConfig, ApCore, ApError, ApProgram, ApTile, CycleStats, DivStyle, ExecBackend, Field,
+    Overflow, RegId,
 };
 use softmap_softmax::{IntSoftmax, PrecisionConfig, SumMode};
 
-use crate::plan::{CompiledPlan, PlanCache, PlanKey, PlanStats};
+use crate::plan::{
+    CachedPlan, CompiledPlan, PlanCache, PlanKey, PlanPhase, PlanStats, ShardedPlan,
+};
 use crate::CoreError;
 
 /// How vector elements are packed into AP rows.
@@ -88,10 +92,22 @@ pub struct ApSoftmaxRun {
     pub total: CycleStats,
     /// Per-step breakdown in dataflow order.
     pub steps: Vec<StepStats>,
-    /// Rows occupied in the AP tile.
+    /// Rows occupied in the AP tile (the largest shard's tile for a
+    /// sharded run).
     pub rows: usize,
-    /// Columns used by the field layout (excluding scratch headroom).
+    /// Columns used by the field layout (excluding scratch headroom;
+    /// the widest phase for a sharded run).
     pub cols_used: usize,
+    /// Tiles (shards) the vector occupied — 1 when it fits one tile.
+    pub shards: usize,
+    /// Sequential waves per phase on the device's tile grid.
+    pub waves: u64,
+    /// Device critical path in cycles: per-phase wave makespans plus
+    /// the cross-tile reduction-network cycles. Equals
+    /// `total.cycles()` for an unsharded run.
+    pub latency_cycles: u64,
+    /// Cross-tile reduction-network charges (zero when unsharded).
+    pub reduction: CycleStats,
 }
 
 impl ApSoftmaxRun {
@@ -125,7 +141,29 @@ pub struct ApSoftmax {
     layout: Layout,
     backend: ExecBackend,
     plan_mode: PlanMode,
+    device: DeviceConfig,
     plans: Arc<PlanCache>,
+}
+
+/// Static per-vector cost of one softmax, covering both regimes: a
+/// vector that fits one tile (`shards == 1`, `latency_cycles ==
+/// total.cycles()`) and a sharded long vector (waves + cross-tile
+/// reduction cycles on the device's critical path). Answered from
+/// compiled plans without executing anything; see
+/// [`ApSoftmax::static_vector_cost`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VectorCost {
+    /// Total work: every shard's cycles/cell events plus the
+    /// cross-tile reduction charges (the energy-model input).
+    pub total: CycleStats,
+    /// The device critical path in cycles (the latency-model input).
+    pub latency_cycles: u64,
+    /// Tiles (shards) the vector occupies.
+    pub shards: usize,
+    /// Sequential waves per phase on the tile grid.
+    pub waves: u64,
+    /// Cross-tile reduction-network charges (zero when unsharded).
+    pub reduction: CycleStats,
 }
 
 /// Reusable per-worker execution state for the pooled path: one
@@ -164,12 +202,28 @@ pub struct TileState {
     half0: Vec<u64>,
     half1: Vec<u64>,
     scratch: ProgramScratch,
+    shard: ShardScratch,
     plan: Option<PlanSlot>,
 }
 
 /// The tile-local cached-plan slot: (cache identity token, shape key,
-/// plan).
-type PlanSlot = ((u64, u64), PlanKey, Arc<CompiledPlan>);
+/// plan — whole-vector program or sharded vector plan).
+type PlanSlot = ((u64, u64), PlanKey, CachedPlan);
+
+/// Reusable per-worker buffers for sharded execution: the shard
+/// partition, the per-shard scalars exchanged over the reduction
+/// network, the per-shard per-phase cycle counts the wave scheduler
+/// consumes, and the scheduler's tile-load scratch. All capacities
+/// persist across vectors, so steady-state sharded execution performs
+/// zero heap allocations.
+#[derive(Debug, Clone, Default)]
+struct ShardScratch {
+    ranges: Vec<(usize, usize)>,
+    minima: Vec<u64>,
+    partials: Vec<u64>,
+    phase_cycles: [Vec<u64>; 3],
+    loads: Vec<u64>,
+}
 
 impl TileState {
     /// Creates an empty state (buffers grow on first use).
@@ -184,10 +238,25 @@ impl TileState {
         &self.tile
     }
 
-    /// The plan cached in this tile's slot, if one has been resolved.
+    /// The whole-vector plan cached in this tile's slot, if one has
+    /// been resolved (`None` when the slot holds a sharded plan; see
+    /// [`TileState::cached_sharded_plan`]).
     #[must_use]
     pub fn cached_plan(&self) -> Option<&CompiledPlan> {
-        self.plan.as_ref().map(|(_, _, p)| &**p)
+        match self.plan.as_ref() {
+            Some((_, _, CachedPlan::Program(p))) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The sharded vector plan cached in this tile's slot, if one has
+    /// been resolved.
+    #[must_use]
+    pub fn cached_sharded_plan(&self) -> Option<&ShardedPlan> {
+        match self.plan.as_ref() {
+            Some((_, _, CachedPlan::Sharded(p))) => Some(p),
+            _ => None,
+        }
     }
 }
 
@@ -202,7 +271,10 @@ thread_local! {
         std::cell::RefCell::new(TileState::new());
 }
 
-struct HalfFields {
+/// The per-half fields of the exponential sub-dataflow (steps 1–13) —
+/// shared between the whole-vector program and the sharded exp phase.
+#[derive(Clone, Copy)]
+struct ExpFields {
     /// Working value: |code|, then `neg_vstable`, then `r`.
     x: Field,
     /// Barrett quotient.
@@ -213,8 +285,45 @@ struct HalfFields {
     t: Field,
     /// `v_approx`.
     vapprox: Field,
-    /// Final result (the paper's `R` column, `2M + 12` bits).
+}
+
+/// Whole-vector per-half fields: the exp sub-dataflow plus the final
+/// result (the paper's `R` column, `2M + 12` bits).
+struct HalfFields {
+    exp: ExpFields,
     res: Field,
+}
+
+/// Accumulates one step's cost into the named entry of `steps`
+/// (appending on first sight). Per-program step names are unique, so
+/// the whole-vector path degenerates to a plain push; sharded runs
+/// merge the per-shard repetitions of each phase step into one entry.
+fn accumulate_step(steps: &mut Vec<StepStats>, name: &'static str, stats: CycleStats) {
+    if let Some(s) = steps.iter_mut().find(|s| s.name == name) {
+        s.stats.accumulate(&stats);
+    } else {
+        steps.push(StepStats { name, stats });
+    }
+}
+
+/// How one sharded pass executes each shard's phase program.
+enum ShardExec<'a> {
+    /// Issue every op directly (no cache, no recording) — the
+    /// differential-testing baseline.
+    Direct,
+    /// Replay the cached sharded plan's phase programs.
+    Replay(&'a ShardedPlan),
+    /// Get-or-record each shard shape's phase program while executing,
+    /// collecting the `Arc`s for the sharded plan under construction.
+    Compile(&'a mut ShardPlanBuilder),
+}
+
+/// Phase-program `Arc`s collected while compiling a sharded plan.
+#[derive(Default)]
+struct ShardPlanBuilder {
+    min_plans: Vec<Arc<CompiledPlan>>,
+    exp_plans: Vec<Arc<CompiledPlan>>,
+    div_plans: Vec<Arc<CompiledPlan>>,
 }
 
 impl ApSoftmax {
@@ -232,8 +341,37 @@ impl ApSoftmax {
             layout: Layout::TwoWordsPerRow,
             backend: ExecBackend::default(),
             plan_mode: PlanMode::default(),
+            device: DeviceConfig::default(),
             plans: Arc::new(PlanCache::new()),
         })
+    }
+
+    /// Bounds execution by a device geometry (tile grid). Vectors whose
+    /// rows exceed `rows_per_tile` execute **sharded** across tiles;
+    /// shards beyond `tiles` run in waves. The default is the paper's
+    /// deployment ([`DeviceConfig::default`]: 48 × 2048-row tiles).
+    /// Shard shapes depend on the geometry, so the plan cache starts
+    /// fresh.
+    #[must_use]
+    pub fn with_device(mut self, device: DeviceConfig) -> Self {
+        self.device = device;
+        self.plans = Arc::new(PlanCache::with_capacity(self.plans.capacity()));
+        self
+    }
+
+    /// The device geometry bounding execution.
+    #[must_use]
+    pub fn device(&self) -> DeviceConfig {
+        self.device
+    }
+
+    /// Bounds the plan cache to `capacity` entries (LRU eviction; the
+    /// default is [`PlanCache::DEFAULT_CAPACITY`]). The cache starts
+    /// fresh.
+    #[must_use]
+    pub fn with_plan_capacity(mut self, capacity: usize) -> Self {
+        self.plans = Arc::new(PlanCache::with_capacity(capacity));
+        self
     }
 
     /// Selects the division microcode style. Compiled plans depend on
@@ -241,7 +379,7 @@ impl ApSoftmax {
     #[must_use]
     pub fn with_div_style(mut self, style: DivStyle) -> Self {
         self.div_style = style;
-        self.plans = Arc::new(PlanCache::new());
+        self.plans = Arc::new(PlanCache::with_capacity(self.plans.capacity()));
         self
     }
 
@@ -267,7 +405,7 @@ impl ApSoftmax {
     #[must_use]
     pub fn with_layout(mut self, layout: Layout) -> Self {
         self.layout = layout;
-        self.plans = Arc::new(PlanCache::new());
+        self.plans = Arc::new(PlanCache::with_capacity(self.plans.capacity()));
         self
     }
 
@@ -385,11 +523,21 @@ impl ApSoftmax {
     }
 
     /// Aggregate tile statistics for a batch of runs: total work across
-    /// tiles plus the concurrent-hardware makespan.
+    /// tiles plus the concurrent-hardware makespan (one tile per run —
+    /// the unbounded-grid view).
     #[must_use]
     pub fn batch_stats(runs: &[ApSoftmaxRun]) -> BatchStats {
         let per_tile: Vec<CycleStats> = runs.iter().map(|r| r.total).collect();
         BatchStats::aggregate(&per_tile)
+    }
+
+    /// [`ApSoftmax::batch_stats`] on a **finite** grid of `tiles`
+    /// concurrent tiles: runs beyond the grid execute in waves and the
+    /// makespan is the wave-scheduled critical path.
+    #[must_use]
+    pub fn batch_stats_on(runs: &[ApSoftmaxRun], tiles: usize) -> BatchStats {
+        let per_tile: Vec<CycleStats> = runs.iter().map(|r| r.total).collect();
+        BatchStats::aggregate_on(&per_tile, tiles)
     }
 
     /// Executes the sixteen-step dataflow of Fig. 5 on quantized codes.
@@ -423,9 +571,25 @@ impl ApSoftmax {
         self.execute_codes_mode(state, codes, run, self.plan_mode)
     }
 
-    /// The shared entry point: packs codes into half-vectors, then
-    /// either replays the shape's cached plan or issues the dataflow
-    /// directly (compiling it on a cache miss).
+    /// Words per row of the selected layout.
+    fn words_per_row(&self) -> usize {
+        match self.layout {
+            Layout::TwoWordsPerRow => 2,
+            Layout::OneWordPerRow => 1,
+        }
+    }
+
+    /// Whether a vector of `len` elements is packed two words per row
+    /// under the selected layout, and the rows it then occupies.
+    fn packing(&self, len: usize) -> (bool, usize) {
+        let packed = self.layout == Layout::TwoWordsPerRow && len.is_multiple_of(2) && len >= 2;
+        (packed, if packed { len / 2 } else { len })
+    }
+
+    /// The shared entry point: routes through the capacity-bounded
+    /// device — a vector that fits one tile packs into half-vectors and
+    /// replays (or directly issues) the whole-vector dataflow; a longer
+    /// vector executes **sharded** across the tile grid.
     fn execute_codes_mode(
         &self,
         state: &mut TileState,
@@ -439,10 +603,10 @@ impl ApSoftmax {
         // Validate codes through the scalar spec's range check (cheap:
         // no full trace).
         self.sm.validate_codes(codes)?;
-        let packed = self.layout == Layout::TwoWordsPerRow
-            && codes.len().is_multiple_of(2)
-            && codes.len() >= 2;
-        let rows = if packed { codes.len() / 2 } else { codes.len() };
+        let (packed, rows) = self.packing(codes.len());
+        if rows > self.device.rows_per_tile {
+            return self.execute_sharded(state, codes, run, mode);
+        }
         let total_len = codes.len();
         // Pack the |code| magnitudes of each half-vector (the sign is
         // implicit in the paper's non-positive input convention).
@@ -480,26 +644,27 @@ impl ApSoftmax {
             len: total_len,
             layout: self.layout,
             div: self.div_style,
+            phase: PlanPhase::Vector,
         };
         let token = self.plans.slot_token();
-        if let Some((slot_token, slot_key, plan)) = plan_slot.as_ref() {
+        if let Some((slot_token, slot_key, CachedPlan::Program(plan))) = plan_slot.as_ref() {
             if *slot_token == token && *slot_key == key {
                 self.plans.note_hit();
                 let plan = Arc::clone(plan);
                 return self.replay_plan(&plan, tile, scratch, halves, total_len, run);
             }
         }
-        if let Some(plan) = self.plans.get(&key) {
-            *plan_slot = Some((token, key, Arc::clone(&plan)));
+        if let Some(CachedPlan::Program(plan)) = self.plans.get(&key) {
+            *plan_slot = Some((token, key, CachedPlan::Program(Arc::clone(&plan))));
             return self.replay_plan(&plan, tile, scratch, halves, total_len, run);
         }
         // Cache miss: take the compile lock and re-check, so workers
         // racing on the same fresh shape converge on one plan (one
         // compile per batch, not one per worker).
         let compile_guard = self.plans.lock_for_compile();
-        if let Some(plan) = self.plans.get(&key) {
+        if let Some(CachedPlan::Program(plan)) = self.plans.get(&key) {
             drop(compile_guard);
-            *plan_slot = Some((token, key, Arc::clone(&plan)));
+            *plan_slot = Some((token, key, CachedPlan::Program(Arc::clone(&plan))));
             return self.replay_plan(&plan, tile, scratch, halves, total_len, run);
         }
         // Still missing: record the trace while executing this vector.
@@ -514,12 +679,13 @@ impl ApSoftmax {
             run.cols_used,
             started.elapsed().as_secs_f64() * 1e6,
         ));
-        self.plans.insert(key, Arc::clone(&plan));
+        self.plans
+            .insert(key, CachedPlan::Program(Arc::clone(&plan)));
         drop(compile_guard);
         // Stamp the slot with the token captured before the lookup: a
         // clear_plans() racing in after the insert must still
         // invalidate this slot on its next vector.
-        *plan_slot = Some((token, key, plan));
+        *plan_slot = Some((token, key, CachedPlan::Program(plan)));
         Ok(())
     }
 
@@ -535,16 +701,32 @@ impl ApSoftmax {
         m + w.q as usize + work + m + w.vapprox as usize + w.result as usize
     }
 
-    fn alloc_half(&self, ap: &mut ApCore) -> Result<HalfFields, CoreError> {
+    /// Column budget of one half-vector's exp-phase fields (the
+    /// whole-vector budget minus the result column).
+    fn exp_half_width(&self) -> usize {
+        let m = self.cfg().m as usize;
+        let w = self.sm.widths();
+        let work = (3 * m + 2).max(w.poly as usize + 1);
+        m + w.q as usize + work + m + w.vapprox as usize
+    }
+
+    fn alloc_exp_half(&self, ap: &mut ApCore) -> Result<ExpFields, CoreError> {
         let m = self.cfg().m as usize;
         let w = self.sm.widths();
         let work_w = (3 * m + 2).max(w.poly as usize + 1);
-        Ok(HalfFields {
+        Ok(ExpFields {
             x: ap.alloc_field(m)?,
             q: ap.alloc_field(w.q as usize)?,
             work: ap.alloc_field(work_w)?,
             t: ap.alloc_field(m)?,
             vapprox: ap.alloc_field(w.vapprox as usize)?,
+        })
+    }
+
+    fn alloc_half(&self, ap: &mut ApCore) -> Result<HalfFields, CoreError> {
+        let w = self.sm.widths();
+        Ok(HalfFields {
+            exp: self.alloc_exp_half(ap)?,
             res: ap.alloc_field(w.result as usize)?,
         })
     }
@@ -629,7 +811,16 @@ impl ApSoftmax {
         run.total = ap.stats();
         run.rows = rows;
         run.cols_used = cols_used;
+        Self::finish_unsharded(run);
         Ok(program.map(|p| (p, sum_reg)))
+    }
+
+    /// Stamps the single-tile device view onto an unsharded run.
+    fn finish_unsharded(run: &mut ApSoftmaxRun) {
+        run.shards = 1;
+        run.waves = 1;
+        run.latency_cycles = run.total.cycles();
+        run.reduction = CycleStats::default();
     }
 
     /// Replays a cached plan: load → replay → read, no per-op host
@@ -666,11 +857,651 @@ impl ApSoftmax {
         run.codes.truncate(total_len);
         run.vapprox.truncate(total_len);
         run.frac_bits = self.sm.widths().frac_bits();
-        run.sum = scratch.reg(plan.sum_reg());
+        run.sum = scratch.reg(plan.result_reg());
         run.total = ap.stats();
         run.rows = plan.rows();
         run.cols_used = plan.cols_used();
+        Self::finish_unsharded(run);
         Ok(())
+    }
+
+    // ---- sharded long-sequence execution --------------------------------
+
+    /// Executes a vector that exceeds one tile's row capacity, sharded
+    /// across the device's tile grid. The dataflow has two cross-tile
+    /// synchronization points (Fig. 5 adapted to a tile grid):
+    ///
+    /// 1. **min phase** — every shard loads its slice and runs the
+    ///    bit-serial min search; the shard minima combine over the
+    ///    reduction network into the global minimum,
+    /// 2. **exp phase** — every shard re-stages its slice, subtracts
+    ///    the global minimum (arriving as a program *scalar input*),
+    ///    runs the integer exponential, and tree-reduces its partial
+    ///    sum; the partials combine over the network (in the scalar
+    ///    spec's overflow mode) into the divisor,
+    /// 3. **divide phase** — every shard stages its `v_approx` slice
+    ///    and divides by the broadcast divisor.
+    ///
+    /// Bit-exactness versus the scalar spec holds because the global
+    /// minimum is the min of shard minima and the saturating/wrapping
+    /// sum of non-negative values is order-independent. The cost
+    /// contract charges each phase's staging (tiles do not retain state
+    /// across global synchronization points) plus the deterministic
+    /// reduction-network formula; the device critical path adds wave
+    /// scheduling when shards exceed the grid.
+    fn execute_sharded(
+        &self,
+        state: &mut TileState,
+        codes: &[i64],
+        run: &mut ApSoftmaxRun,
+        mode: PlanMode,
+    ) -> Result<(), CoreError> {
+        let mut ranges = std::mem::take(&mut state.shard.ranges);
+        let part = self
+            .device
+            .partition_into(codes.len(), self.words_per_row(), &mut ranges)
+            .map_err(CoreError::Ap);
+        let result =
+            part.and_then(|()| self.execute_sharded_with(state, codes, run, mode, &ranges));
+        state.shard.ranges = ranges;
+        result
+    }
+
+    fn execute_sharded_with(
+        &self,
+        state: &mut TileState,
+        codes: &[i64],
+        run: &mut ApSoftmaxRun,
+        mode: PlanMode,
+        ranges: &[(usize, usize)],
+    ) -> Result<(), CoreError> {
+        if mode == PlanMode::DirectIssue {
+            return self.run_sharded(state, codes, run, ranges, ShardExec::Direct);
+        }
+        let vkey = PlanKey {
+            len: codes.len(),
+            layout: self.layout,
+            div: self.div_style,
+            phase: PlanPhase::Vector,
+        };
+        let token = self.plans.slot_token();
+        if let Some((slot_token, slot_key, CachedPlan::Sharded(plan))) = state.plan.as_ref() {
+            if *slot_token == token && *slot_key == vkey {
+                self.plans.note_hit();
+                let plan = Arc::clone(plan);
+                return self.run_sharded(state, codes, run, ranges, ShardExec::Replay(&plan));
+            }
+        }
+        if let Some(CachedPlan::Sharded(plan)) = self.plans.get(&vkey) {
+            state.plan = Some((token, vkey, CachedPlan::Sharded(Arc::clone(&plan))));
+            return self.run_sharded(state, codes, run, ranges, ShardExec::Replay(&plan));
+        }
+        // Vector-shape miss: compile under the lock so racing workers
+        // converge on one sharded plan (phase programs compiled along
+        // the way are themselves cached and shared).
+        let compile_guard = self.plans.lock_for_compile();
+        if let Some(CachedPlan::Sharded(plan)) = self.plans.get(&vkey) {
+            drop(compile_guard);
+            state.plan = Some((token, vkey, CachedPlan::Sharded(Arc::clone(&plan))));
+            return self.run_sharded(state, codes, run, ranges, ShardExec::Replay(&plan));
+        }
+        let started = std::time::Instant::now();
+        let mut builder = ShardPlanBuilder::default();
+        self.run_sharded(state, codes, run, ranges, ShardExec::Compile(&mut builder))?;
+        let plan = Arc::new(ShardedPlan {
+            ranges: ranges.to_vec(),
+            min_plans: builder.min_plans,
+            exp_plans: builder.exp_plans,
+            div_plans: builder.div_plans,
+            steps: run.steps.clone(),
+            total: run.total,
+            reduction: run.reduction,
+            latency_cycles: run.latency_cycles,
+            waves: run.waves,
+            rows: run.rows,
+            cols_used: run.cols_used,
+            compile_micros: started.elapsed().as_secs_f64() * 1e6,
+        });
+        self.plans
+            .insert(vkey, CachedPlan::Sharded(Arc::clone(&plan)));
+        drop(compile_guard);
+        state.plan = Some((token, vkey, CachedPlan::Sharded(plan)));
+        Ok(())
+    }
+
+    /// The three sharded passes; `exec` selects direct issue, cached
+    /// replay, or compile (get-or-record each shard shape's phase
+    /// program while executing).
+    fn run_sharded(
+        &self,
+        state: &mut TileState,
+        codes: &[i64],
+        run: &mut ApSoftmaxRun,
+        ranges: &[(usize, usize)],
+        mut exec: ShardExec<'_>,
+    ) -> Result<(), CoreError> {
+        // A cached sharded plan is only valid for the exact partition
+        // it was compiled at; the phase-program vectors are indexed by
+        // shard position below.
+        if let ShardExec::Replay(plan) = &exec {
+            if plan.ranges != ranges {
+                return Err(CoreError::BadWorkload(
+                    "cached sharded plan does not match the device partition".into(),
+                ));
+            }
+        }
+        let shards = ranges.len();
+        let total_len = codes.len();
+        let m_bits = self.cfg().m;
+        let sum_bits = self.sm.constants().effective_sum_bits(self.cfg());
+        let w = *self.sm.widths();
+
+        let TileState {
+            tile,
+            half0,
+            half1,
+            scratch,
+            shard,
+            ..
+        } = state;
+        let ApSoftmaxRun {
+            codes: out_codes,
+            vapprox: out_vap,
+            steps,
+            ..
+        } = run;
+        out_codes.clear();
+        out_vap.clear();
+        steps.clear();
+        shard.minima.clear();
+        shard.partials.clear();
+        for pc in &mut shard.phase_cycles {
+            pc.clear();
+        }
+        let mut total = CycleStats::default();
+        let mut rows_max = 0usize;
+        let mut cols_max = 0usize;
+
+        // Pass 1: per-shard min search.
+        for (i, &(s, e)) in ranges.iter().enumerate() {
+            let (packed, rows) = self.packing(e - s);
+            rows_max = rows_max.max(rows);
+            half0.clear();
+            half0.extend(codes[s..s + rows].iter().map(|&c| c.unsigned_abs()));
+            half1.clear();
+            if packed {
+                half1.extend(codes[s + rows..e].iter().map(|&c| c.unsigned_abs()));
+            }
+            let halves_arr: [&[u64]; 2] = [half0.as_slice(), half1.as_slice()];
+            let halves = if packed {
+                &halves_arr[..]
+            } else {
+                &halves_arr[..1]
+            };
+            let (stats, cols_used, minv) = match &mut exec {
+                ShardExec::Direct => {
+                    let (stats, cols, minv, _) =
+                        self.issue_min_phase(tile, scratch, halves, rows, steps, false)?;
+                    (stats, cols, minv)
+                }
+                ShardExec::Replay(plan) => {
+                    let p = &plan.min_plans[i];
+                    let mut outs: [&mut Vec<u64>; 0] = [];
+                    let stats =
+                        self.replay_shard_phase(p, tile, scratch, halves, &[], &mut outs, steps)?;
+                    (stats, p.cols_used(), scratch.reg(p.result_reg()))
+                }
+                ShardExec::Compile(builder) => {
+                    let key = self.shard_key(e - s, PlanPhase::ShardMin);
+                    if let Some(CachedPlan::Program(p)) = self.plans.peek(&key) {
+                        let mut outs: [&mut Vec<u64>; 0] = [];
+                        let stats = self.replay_shard_phase(
+                            &p,
+                            tile,
+                            scratch,
+                            halves,
+                            &[],
+                            &mut outs,
+                            steps,
+                        )?;
+                        let minv = scratch.reg(p.result_reg());
+                        builder.min_plans.push(Arc::clone(&p));
+                        (stats, p.cols_used(), minv)
+                    } else {
+                        let started = std::time::Instant::now();
+                        let (stats, cols, minv, prog) =
+                            self.issue_min_phase(tile, scratch, halves, rows, steps, true)?;
+                        let (program, reg) = prog.expect("recording returns a program");
+                        let p = Arc::new(CompiledPlan::new(
+                            program,
+                            reg,
+                            rows,
+                            cols,
+                            started.elapsed().as_secs_f64() * 1e6,
+                        ));
+                        self.plans.insert(key, CachedPlan::Program(Arc::clone(&p)));
+                        builder.min_plans.push(p);
+                        (stats, cols, minv)
+                    }
+                }
+            };
+            shard.minima.push(minv);
+            shard.phase_cycles[0].push(stats.cycles());
+            cols_max = cols_max.max(cols_used);
+            total.accumulate(&stats);
+        }
+
+        // Cross-tile min over the reduction network.
+        let global_min = shard.minima.iter().copied().min().expect("shards >= 1");
+        let red_min = self.device.reduction_network(shards, m_bits);
+        accumulate_step(steps, "device: cross-tile min", red_min);
+        total.accumulate(&red_min);
+
+        // Pass 2: per-shard exp + partial sum (global min arrives as a
+        // program scalar input).
+        for (i, &(s, e)) in ranges.iter().enumerate() {
+            let (packed, rows) = self.packing(e - s);
+            half0.clear();
+            half0.extend(codes[s..s + rows].iter().map(|&c| c.unsigned_abs()));
+            half1.clear();
+            if packed {
+                half1.extend(codes[s + rows..e].iter().map(|&c| c.unsigned_abs()));
+            }
+            let halves_arr: [&[u64]; 2] = [half0.as_slice(), half1.as_slice()];
+            let halves = if packed {
+                &halves_arr[..]
+            } else {
+                &halves_arr[..1]
+            };
+            let scalars = [global_min];
+            let (stats, cols_used, partial) = match &mut exec {
+                ShardExec::Direct => {
+                    let (stats, cols, partial, _) = self.issue_exp_phase(
+                        tile, scratch, halves, rows, &scalars, out_vap, steps, false,
+                    )?;
+                    (stats, cols, partial)
+                }
+                ShardExec::Replay(plan) => {
+                    let p = &plan.exp_plans[i];
+                    let mut outs: [&mut Vec<u64>; 1] = [out_vap];
+                    let stats = self
+                        .replay_shard_phase(p, tile, scratch, halves, &scalars, &mut outs, steps)?;
+                    (stats, p.cols_used(), scratch.reg(p.result_reg()))
+                }
+                ShardExec::Compile(builder) => {
+                    let key = self.shard_key(e - s, PlanPhase::ShardExp);
+                    if let Some(CachedPlan::Program(p)) = self.plans.peek(&key) {
+                        let mut outs: [&mut Vec<u64>; 1] = [out_vap];
+                        let stats = self.replay_shard_phase(
+                            &p, tile, scratch, halves, &scalars, &mut outs, steps,
+                        )?;
+                        let partial = scratch.reg(p.result_reg());
+                        builder.exp_plans.push(Arc::clone(&p));
+                        (stats, p.cols_used(), partial)
+                    } else {
+                        let started = std::time::Instant::now();
+                        let (stats, cols, partial, prog) = self.issue_exp_phase(
+                            tile, scratch, halves, rows, &scalars, out_vap, steps, true,
+                        )?;
+                        let (program, reg) = prog.expect("recording returns a program");
+                        let p = Arc::new(CompiledPlan::new(
+                            program,
+                            reg,
+                            rows,
+                            cols,
+                            started.elapsed().as_secs_f64() * 1e6,
+                        ));
+                        self.plans.insert(key, CachedPlan::Program(Arc::clone(&p)));
+                        builder.exp_plans.push(p);
+                        (stats, cols, partial)
+                    }
+                }
+            };
+            shard.partials.push(partial);
+            shard.phase_cycles[1].push(stats.cycles());
+            cols_max = cols_max.max(cols_used);
+            total.accumulate(&stats);
+        }
+
+        // Cross-tile sum over the reduction network, in the scalar
+        // spec's overflow mode.
+        let combined = self.combine_partials(&shard.partials)?;
+        let red_sum = self.device.reduction_network(shards, sum_bits);
+        accumulate_step(steps, "device: cross-tile sum", red_sum);
+        total.accumulate(&red_sum);
+
+        // Pass 3: per-shard divide by the broadcast divisor.
+        for (i, &(s, e)) in ranges.iter().enumerate() {
+            let (packed, rows) = self.packing(e - s);
+            let vap = &out_vap[s..e];
+            let vap_halves_arr: [&[u64]; 2] = [&vap[..rows], &vap[rows.min(vap.len())..]];
+            let vap_halves = if packed {
+                &vap_halves_arr[..]
+            } else {
+                &vap_halves_arr[..1]
+            };
+            let scalars = [combined];
+            let (stats, cols_used) = match &mut exec {
+                ShardExec::Direct => {
+                    let (stats, cols, _) = self.issue_div_phase(
+                        tile, scratch, vap_halves, rows, &scalars, out_codes, steps, false,
+                    )?;
+                    (stats, cols)
+                }
+                ShardExec::Replay(plan) => {
+                    let p = &plan.div_plans[i];
+                    let mut outs: [&mut Vec<u64>; 1] = [out_codes];
+                    let stats = self.replay_shard_phase(
+                        p, tile, scratch, vap_halves, &scalars, &mut outs, steps,
+                    )?;
+                    (stats, p.cols_used())
+                }
+                ShardExec::Compile(builder) => {
+                    let key = self.shard_key(e - s, PlanPhase::ShardDiv);
+                    if let Some(CachedPlan::Program(p)) = self.plans.peek(&key) {
+                        let mut outs: [&mut Vec<u64>; 1] = [out_codes];
+                        let stats = self.replay_shard_phase(
+                            &p, tile, scratch, vap_halves, &scalars, &mut outs, steps,
+                        )?;
+                        builder.div_plans.push(Arc::clone(&p));
+                        (stats, p.cols_used())
+                    } else {
+                        let started = std::time::Instant::now();
+                        let (stats, cols, prog) = self.issue_div_phase(
+                            tile, scratch, vap_halves, rows, &scalars, out_codes, steps, true,
+                        )?;
+                        let (program, reg) = prog.expect("recording returns a program");
+                        let p = Arc::new(CompiledPlan::new(
+                            program,
+                            reg,
+                            rows,
+                            cols,
+                            started.elapsed().as_secs_f64() * 1e6,
+                        ));
+                        self.plans.insert(key, CachedPlan::Program(Arc::clone(&p)));
+                        builder.div_plans.push(p);
+                        (stats, cols)
+                    }
+                }
+            };
+            shard.phase_cycles[2].push(stats.cycles());
+            cols_max = cols_max.max(cols_used);
+            total.accumulate(&stats);
+        }
+        debug_assert_eq!(out_codes.len(), total_len);
+        debug_assert_eq!(out_vap.len(), total_len);
+
+        // Device view: critical path = per-phase wave makespans plus
+        // the reduction-network cycles.
+        let mut latency = red_min.cycles() + red_sum.cycles();
+        for pc in &shard.phase_cycles {
+            latency += device::wave_makespan(pc, self.device.tiles, &mut shard.loads);
+        }
+        let mut reduction = red_min;
+        reduction.accumulate(&red_sum);
+
+        run.frac_bits = w.frac_bits();
+        run.sum = combined;
+        run.total = total;
+        run.rows = rows_max;
+        run.cols_used = cols_max;
+        run.shards = shards;
+        run.waves = self.device.waves(shards);
+        run.latency_cycles = latency;
+        run.reduction = reduction;
+        Ok(())
+    }
+
+    fn shard_key(&self, shard_len: usize, phase: PlanPhase) -> PlanKey {
+        PlanKey {
+            len: shard_len,
+            layout: self.layout,
+            div: self.div_style,
+            phase,
+        }
+    }
+
+    /// Combines per-shard partial sums over the reduction network in
+    /// the scalar spec's overflow mode — bit-identical to the
+    /// whole-vector reduction because saturating/wrapping addition of
+    /// non-negative values is order-independent.
+    fn combine_partials(&self, partials: &[u64]) -> Result<u64, CoreError> {
+        let sum_bits = self.sm.constants().effective_sum_bits(self.cfg());
+        let mask: u128 = if sum_bits >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << sum_bits) - 1
+        };
+        let exact: u128 = partials.iter().map(|&p| u128::from(p)).sum();
+        match self.overflow_mode() {
+            Overflow::Error => {
+                if exact > mask {
+                    Err(CoreError::Ap(ApError::WidthOverflow {
+                        value: u64::try_from(exact).unwrap_or(u64::MAX),
+                        width: sum_bits as usize,
+                    }))
+                } else {
+                    Ok(exact as u64)
+                }
+            }
+            Overflow::Saturate => Ok(exact.min(mask) as u64),
+            Overflow::Wrap => Ok((exact & mask) as u64),
+        }
+    }
+
+    /// Replays one shard-phase program on the pooled tile.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_shard_phase<'d>(
+        &self,
+        plan: &CompiledPlan,
+        tile: &mut ApTile,
+        scratch: &mut ProgramScratch,
+        inputs: &[&'d [u64]],
+        scalars: &[u64],
+        outs: &mut [&'d mut Vec<u64>],
+        steps: &mut Vec<StepStats>,
+    ) -> Result<CycleStats, CoreError> {
+        let ap = tile.acquire(plan.program().config(), self.backend)?;
+        plan.program().replay(
+            ap,
+            ExecIo::new(inputs, outs).with_scalars(scalars),
+            scratch,
+            |name, stats| accumulate_step(steps, name, stats),
+        )?;
+        Ok(ap.stats())
+    }
+
+    /// Min phase: load the shard's halves and min-search them. Returns
+    /// (stats, cols_used, shard minimum, recorded program).
+    #[allow(clippy::type_complexity)]
+    fn issue_min_phase(
+        &self,
+        tile: &mut ApTile,
+        scratch: &mut ProgramScratch,
+        halves: &[&[u64]],
+        rows: usize,
+        steps: &mut Vec<StepStats>,
+        record: bool,
+    ) -> Result<(CycleStats, usize, u64, Option<(ApProgram, RegId)>), CoreError> {
+        let m = self.cfg().m as usize;
+        let cols = 2 + halves.len() * m;
+        let ap = tile.acquire(ApConfig::new(rows, cols), self.backend)?;
+        let mut fields: [Option<Field>; 2] = [None, None];
+        for slot in fields.iter_mut().take(halves.len()) {
+            *slot = Some(ap.alloc_field(m)?);
+        }
+        let cols_used = fields
+            .iter()
+            .flatten()
+            .last()
+            .map_or(0, softmap_ap::Field::end);
+        let min_reg;
+        let program;
+        {
+            let mut outs: [&mut Vec<u64>; 0] = [];
+            let mut on_step =
+                |name: &'static str, stats: CycleStats| accumulate_step(steps, name, stats);
+            let mut rec = Recorder::new(
+                ap,
+                ExecIo::new(halves, &mut outs),
+                scratch,
+                &mut on_step,
+                record,
+            );
+            for (slot, f) in fields.iter().flatten().enumerate() {
+                rec.load(*f, slot)?;
+            }
+            rec.step("shard: write v");
+            let mut reg: Option<RegId> = None;
+            for f in fields.iter().flatten() {
+                let r = rec.min_search(*f);
+                reg = Some(match reg {
+                    Some(prev) => rec.reg_min(prev, r),
+                    None => r,
+                });
+            }
+            min_reg = reg.expect("at least one half");
+            rec.step("shard: min search");
+            program = rec.finish();
+        }
+        let stats = ap.stats();
+        Ok((
+            stats,
+            cols_used,
+            scratch.reg(min_reg),
+            program.map(|p| (p, min_reg)),
+        ))
+    }
+
+    /// Exp phase: re-stage the shard, subtract the global minimum
+    /// (scalar input 0), run the integer exponential, tree-reduce the
+    /// partial sum, and read `v_approx` out (output slot 0). Returns
+    /// (stats, cols_used, partial sum, recorded program).
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    fn issue_exp_phase(
+        &self,
+        tile: &mut ApTile,
+        scratch: &mut ProgramScratch,
+        halves: &[&[u64]],
+        rows: usize,
+        scalars: &[u64],
+        vap_out: &mut Vec<u64>,
+        steps: &mut Vec<StepStats>,
+        record: bool,
+    ) -> Result<(CycleStats, usize, u64, Option<(ApProgram, RegId)>), CoreError> {
+        let m = self.cfg().m as usize;
+        let sum_bits = self.sm.constants().effective_sum_bits(self.cfg()) as usize;
+        let shared = (2 * m + 1) + sum_bits + sum_bits + m;
+        let cols = 2 + halves.len() * self.exp_half_width() + shared + (sum_bits + 2);
+        let ap = tile.acquire(ApConfig::new(rows, cols), self.backend)?;
+        let mut exp_arr: [Option<ExpFields>; 2] = [None, None];
+        for slot in exp_arr.iter_mut().take(halves.len()) {
+            *slot = Some(self.alloc_exp_half(ap)?);
+        }
+        let exp = &exp_arr[..halves.len()];
+        let op = ap.alloc_field(2 * m + 1)?;
+        let sumw = ap.alloc_field(sum_bits)?;
+        let den = ap.alloc_field(sum_bits)?;
+        let minf = ap.alloc_field(m)?;
+        let cols_used = minf.end();
+        let sum_reg;
+        let program;
+        {
+            let mut outs: [&mut Vec<u64>; 1] = [vap_out];
+            let mut on_step =
+                |name: &'static str, stats: CycleStats| accumulate_step(steps, name, stats);
+            let mut rec = Recorder::new(
+                ap,
+                ExecIo::new(halves, &mut outs).with_scalars(scalars),
+                scratch,
+                &mut on_step,
+                record,
+            );
+            for (slot, f) in exp.iter().flatten().enumerate() {
+                rec.load(f.x, slot)?;
+            }
+            rec.step("shard: rewrite v");
+            let g = rec.reg_input(0)?;
+            Self::issue_stabilize(&mut rec, exp, minf, g, "2: subtract max")?;
+            self.issue_exp_approx(&mut rec, exp, op)?;
+            sum_reg =
+                self.issue_partial_reduce(&mut rec, exp, sumw, den, "14: partial reduction")?;
+            for f in exp.iter().flatten() {
+                rec.read(f.vapprox, 0)?;
+            }
+            program = rec.finish();
+        }
+        let stats = ap.stats();
+        Ok((
+            stats,
+            cols_used,
+            scratch.reg(sum_reg),
+            program.map(|p| (p, sum_reg)),
+        ))
+    }
+
+    /// Divide phase: stage the shard's `v_approx` slice, broadcast the
+    /// clamped divisor (scalar input 0), divide, and read the codes out
+    /// (output slot 0). Returns (stats, cols_used, recorded program).
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    fn issue_div_phase(
+        &self,
+        tile: &mut ApTile,
+        scratch: &mut ProgramScratch,
+        vap_halves: &[&[u64]],
+        rows: usize,
+        scalars: &[u64],
+        codes_out: &mut Vec<u64>,
+        steps: &mut Vec<StepStats>,
+        record: bool,
+    ) -> Result<(CycleStats, usize, Option<(ApProgram, RegId)>), CoreError> {
+        let w = *self.sm.widths();
+        let sum_bits = self.sm.constants().effective_sum_bits(self.cfg()) as usize;
+        let per_half = w.vapprox as usize + w.result as usize;
+        let scratch_cols = (sum_bits + 2) + 2 * (w.result as usize + w.vapprox as usize + 2);
+        let cols = 2 + vap_halves.len() * per_half + sum_bits + scratch_cols;
+        let ap = tile.acquire(ApConfig::new(rows, cols), self.backend)?;
+        let mut fields: [Option<(Field, Field)>; 2] = [None, None];
+        for slot in fields.iter_mut().take(vap_halves.len()) {
+            *slot = Some((
+                ap.alloc_field(w.vapprox as usize)?,
+                ap.alloc_field(w.result as usize)?,
+            ));
+        }
+        let den = ap.alloc_field(sum_bits)?;
+        let cols_used = den.end();
+        let sum_reg;
+        let program;
+        {
+            let mut outs: [&mut Vec<u64>; 1] = [codes_out];
+            let mut on_step =
+                |name: &'static str, stats: CycleStats| accumulate_step(steps, name, stats);
+            let mut rec = Recorder::new(
+                ap,
+                ExecIo::new(vap_halves, &mut outs).with_scalars(scalars),
+                scratch,
+                &mut on_step,
+                record,
+            );
+            for (slot, (vap, _)) in fields.iter().flatten().enumerate() {
+                rec.load(*vap, slot)?;
+            }
+            sum_reg = rec.reg_input(0)?;
+            let den_reg = rec.reg_max1(sum_reg);
+            rec.broadcast_reg(den, den_reg)?;
+            rec.step("shard: write v_approx + divisor");
+            let f_bits = w.frac_bits() as usize;
+            for (vap, res) in fields.iter().flatten() {
+                rec.divide(*vap, den, *res, f_bits, self.div_style)?;
+            }
+            rec.step("16: divide");
+            for (_, res) in fields.iter().flatten() {
+                rec.read(*res, 0)?;
+            }
+            program = rec.finish();
+        }
+        let stats = ap.stats();
+        Ok((stats, cols_used, program.map(|p| (p, sum_reg))))
     }
 
     /// The sixteen dataflow steps of Fig. 5, issued through a
@@ -686,15 +1517,18 @@ impl ApSoftmax {
         den: Field,
         minf: Field,
     ) -> Result<RegId, ApError> {
-        let cfg = *self.cfg();
-        let consts = *self.sm.constants();
         let w = *self.sm.widths();
-        let m = cfg.m as usize;
-        let sum_bits = consts.effective_sum_bits(&cfg) as usize;
+        let mut exp_arr: [Option<ExpFields>; 2] = [None, None];
+        let mut halves = 0;
+        for f in fields.iter().flatten() {
+            exp_arr[halves] = Some(f.exp);
+            halves += 1;
+        }
+        let exp = &exp_arr[..halves];
 
         // Step 1: write v (as magnitudes |code|; the sign is implicit in
         // the paper's non-positive input convention).
-        for (slot, f) in fields.iter().flatten().enumerate() {
+        for (slot, f) in exp.iter().flatten().enumerate() {
             rec.load(f.x, slot)?;
         }
         rec.step("1: write v");
@@ -703,7 +1537,7 @@ impl ApSoftmax {
         // x := neg_vstable = |code| - min. The fold over halves runs in
         // program registers.
         let mut min_reg: Option<RegId> = None;
-        for f in fields.iter().flatten() {
+        for f in exp.iter().flatten() {
             let r = rec.min_search(f.x);
             min_reg = Some(match min_reg {
                 Some(prev) => rec.reg_min(prev, r),
@@ -711,73 +1545,14 @@ impl ApSoftmax {
             });
         }
         let min_reg = min_reg.expect("at least one half");
-        rec.broadcast_reg(minf, min_reg)?;
-        for f in fields.iter().flatten() {
-            rec.sub_assert_clean(f.x, minf)?;
-        }
-        rec.step("2: subtract max");
+        Self::issue_stabilize(rec, exp, minf, min_reg, "2: subtract max")?;
 
-        // Steps 3-4: write µ, Barrett multiply + shift -> q̂.
-        rec.broadcast(op, consts.mu)?;
-        rec.step("3: write mu");
-        for f in fields.iter().flatten() {
-            rec.mul(f.x, op, f.work)?;
-            rec.shr_const(f.work, 2 * m)?;
-            rec.copy(f.work.sub(0, w.q as usize), f.q)?;
-        }
-        rec.step("4: multiply+shift (barrett)");
+        // Steps 3-13: the integer exponential (shared with the sharded
+        // exp phase).
+        self.issue_exp_approx(rec, exp, op)?;
 
-        // Steps 5-6: write vln2, multiply q̂ · vln2.
-        rec.broadcast(op, consts.vln2)?;
-        rec.step("5: write vln2");
-        for f in fields.iter().flatten() {
-            rec.mul(f.q, op.sub(0, w.vln2 as usize), f.work)?;
-        }
-        rec.step("6: multiply q*vln2");
-
-        // Step 7: subtract -> r = neg_vstable - q̂·vln2 (fits M bits).
-        for f in fields.iter().flatten() {
-            rec.sub_assert_clean(f.x, f.work.sub(0, m))?;
-        }
-        rec.step("7: subtract (vcorr)");
-
-        // Steps 8-9: write vb, add: t = vb - r (saturating at zero).
-        for f in fields.iter().flatten() {
-            rec.broadcast(f.t, consts.vb)?;
-            rec.saturating_sub_into(f.t, f.x)?;
-        }
-        rec.step("8-9: write vb, add vcorr");
-
-        // Steps 10-11: copy + multiply -> t².
-        for f in fields.iter().flatten() {
-            rec.mul(f.t, f.t, f.work)?;
-        }
-        rec.step("10-11: copy, square");
-
-        // Steps 12-13: write vc, add, then variable shift by q̂.
-        rec.broadcast(op, consts.vc)?;
-        rec.step("12: write vc");
-        for f in fields.iter().flatten() {
-            rec.add_into(f.work.sub(0, w.poly as usize), op.sub(0, w.vc as usize))?;
-            rec.shr_variable(f.work.sub(0, w.poly as usize), f.q)?;
-            rec.copy(f.work.sub(0, w.vapprox as usize), f.vapprox)?;
-        }
-        rec.step("13: add+shift (vapprox)");
-
-        // Step 14: reduction. Pair-add the halves, then tree-reduce.
-        // v_approx values provably fit the effective sum width (they are
-        // bounded by vb²+vc < 2^used_bits ≤ 2^sum_bits), so when the
-        // allocated v_approx field is wider than the sum register only
-        // the low bits carry information.
-        let vap_low = (w.vapprox as usize).min(sum_bits);
-        let vap0 = fields[0].as_ref().expect("half 0 allocated").vapprox;
-        rec.copy(vap0.sub(0, vap_low), sumw)?;
-        if let Some(f1) = fields.get(1).and_then(Option::as_ref) {
-            rec.add_into(sumw, f1.vapprox.sub(0, vap_low))?;
-        }
-        let rows = rec.rows();
-        let sum_reg = rec.reduce_sum(sumw, den, rows, self.overflow_mode())?;
-        rec.step("14: reduction");
+        // Step 14: reduction over all rows.
+        let sum_reg = self.issue_partial_reduce(rec, exp, sumw, den, "14: reduction")?;
 
         // Step 15: copy Σ to all rows (broadcast divisor). A wrapped sum
         // of zero is clamped to 1, mirroring the scalar divisor clamp.
@@ -788,7 +1563,7 @@ impl ApSoftmax {
         // Step 16: divide.
         let f_bits = w.frac_bits() as usize;
         for f in fields.iter().flatten() {
-            rec.divide(f.vapprox, den, f.res, f_bits, self.div_style)?;
+            rec.divide(f.exp.vapprox, den, f.res, f_bits, self.div_style)?;
         }
         rec.step("16: divide");
 
@@ -798,8 +1573,116 @@ impl ApSoftmax {
             rec.read(f.res, 0)?;
         }
         for f in fields.iter().flatten() {
-            rec.read(f.vapprox, 1)?;
+            rec.read(f.exp.vapprox, 1)?;
         }
+        Ok(sum_reg)
+    }
+
+    /// Broadcast the (global or per-vector) minimum from `min_reg` and
+    /// subtract it from every `x`: `x := neg_vstable = |code| - min`.
+    fn issue_stabilize(
+        rec: &mut Recorder<'_, '_>,
+        exp: &[Option<ExpFields>],
+        minf: Field,
+        min_reg: RegId,
+        mark: &'static str,
+    ) -> Result<(), ApError> {
+        rec.broadcast_reg(minf, min_reg)?;
+        for f in exp.iter().flatten() {
+            rec.sub_assert_clean(f.x, minf)?;
+        }
+        rec.step(mark);
+        Ok(())
+    }
+
+    /// Steps 3-13 of Fig. 5: Barrett range reduction, the polynomial,
+    /// and the variable shift producing `v_approx` — identical between
+    /// the whole-vector dataflow and the sharded exp phase.
+    fn issue_exp_approx(
+        &self,
+        rec: &mut Recorder<'_, '_>,
+        exp: &[Option<ExpFields>],
+        op: Field,
+    ) -> Result<(), ApError> {
+        let consts = *self.sm.constants();
+        let w = *self.sm.widths();
+        let m = self.cfg().m as usize;
+
+        // Steps 3-4: write µ, Barrett multiply + shift -> q̂.
+        rec.broadcast(op, consts.mu)?;
+        rec.step("3: write mu");
+        for f in exp.iter().flatten() {
+            rec.mul(f.x, op, f.work)?;
+            rec.shr_const(f.work, 2 * m)?;
+            rec.copy(f.work.sub(0, w.q as usize), f.q)?;
+        }
+        rec.step("4: multiply+shift (barrett)");
+
+        // Steps 5-6: write vln2, multiply q̂ · vln2.
+        rec.broadcast(op, consts.vln2)?;
+        rec.step("5: write vln2");
+        for f in exp.iter().flatten() {
+            rec.mul(f.q, op.sub(0, w.vln2 as usize), f.work)?;
+        }
+        rec.step("6: multiply q*vln2");
+
+        // Step 7: subtract -> r = neg_vstable - q̂·vln2 (fits M bits).
+        for f in exp.iter().flatten() {
+            rec.sub_assert_clean(f.x, f.work.sub(0, m))?;
+        }
+        rec.step("7: subtract (vcorr)");
+
+        // Steps 8-9: write vb, add: t = vb - r (saturating at zero).
+        for f in exp.iter().flatten() {
+            rec.broadcast(f.t, consts.vb)?;
+            rec.saturating_sub_into(f.t, f.x)?;
+        }
+        rec.step("8-9: write vb, add vcorr");
+
+        // Steps 10-11: copy + multiply -> t².
+        for f in exp.iter().flatten() {
+            rec.mul(f.t, f.t, f.work)?;
+        }
+        rec.step("10-11: copy, square");
+
+        // Steps 12-13: write vc, add, then variable shift by q̂.
+        rec.broadcast(op, consts.vc)?;
+        rec.step("12: write vc");
+        for f in exp.iter().flatten() {
+            rec.add_into(f.work.sub(0, w.poly as usize), op.sub(0, w.vc as usize))?;
+            rec.shr_variable(f.work.sub(0, w.poly as usize), f.q)?;
+            rec.copy(f.work.sub(0, w.vapprox as usize), f.vapprox)?;
+        }
+        rec.step("13: add+shift (vapprox)");
+        Ok(())
+    }
+
+    /// Step 14: pair-add the halves, then tree-reduce all rows. The
+    /// first (only) segment's sum lands in the returned register.
+    ///
+    /// v_approx values provably fit the effective sum width (they are
+    /// bounded by vb²+vc < 2^used_bits ≤ 2^sum_bits), so when the
+    /// allocated v_approx field is wider than the sum register only
+    /// the low bits carry information.
+    fn issue_partial_reduce(
+        &self,
+        rec: &mut Recorder<'_, '_>,
+        exp: &[Option<ExpFields>],
+        sumw: Field,
+        den: Field,
+        mark: &'static str,
+    ) -> Result<RegId, ApError> {
+        let w = *self.sm.widths();
+        let sum_bits = self.sm.constants().effective_sum_bits(self.cfg()) as usize;
+        let vap_low = (w.vapprox as usize).min(sum_bits);
+        let vap0 = exp[0].as_ref().expect("half 0 allocated").vapprox;
+        rec.copy(vap0.sub(0, vap_low), sumw)?;
+        if let Some(f1) = exp.get(1).and_then(Option::as_ref) {
+            rec.add_into(sumw, f1.vapprox.sub(0, vap_low))?;
+        }
+        let rows = rec.rows();
+        let sum_reg = rec.reduce_sum(sumw, den, rows, self.overflow_mode())?;
+        rec.step(mark);
         Ok(sum_reg)
     }
 
@@ -814,14 +1697,10 @@ impl ApSoftmax {
         (0..len).map(|i| -((i % 97) as f64) * 7.0 / 97.0).collect()
     }
 
-    /// The compiled plan for vectors of length `len`, compiling one
-    /// from [`ApSoftmax::representative_scores`] on this thread's
-    /// pooled tile if the shape has not been seen yet.
-    ///
-    /// # Errors
-    ///
-    /// Propagates compilation (execution) errors.
-    pub fn plan(&self, len: usize) -> Result<Arc<CompiledPlan>, CoreError> {
+    /// Resolves the vector-level cache entry for length `len`,
+    /// compiling one from [`ApSoftmax::representative_scores`] on this
+    /// thread's pooled tile if the shape has not been seen yet.
+    fn resolve_vector_entry(&self, len: usize) -> Result<CachedPlan, CoreError> {
         if len == 0 {
             return Err(CoreError::EmptyInput);
         }
@@ -829,6 +1708,7 @@ impl ApSoftmax {
             len,
             layout: self.layout,
             div: self.div_style,
+            phase: PlanPhase::Vector,
         };
         // Observer lookup: a cost query is not a replay, so it must
         // not count as a cache hit.
@@ -852,36 +1732,105 @@ impl ApSoftmax {
             .ok_or_else(|| CoreError::BadWorkload("plan compilation did not cache".into()))
     }
 
+    /// The compiled whole-vector plan for vectors of length `len`,
+    /// compiling one from [`ApSoftmax::representative_scores`] on this
+    /// thread's pooled tile if the shape has not been seen yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation (execution) errors;
+    /// [`CoreError::BadWorkload`] for lengths exceeding one tile (use
+    /// [`ApSoftmax::sharded_plan`] or the [`ApSoftmax::static_vector_cost`]
+    /// query, which cover both regimes).
+    pub fn plan(&self, len: usize) -> Result<Arc<CompiledPlan>, CoreError> {
+        match self.resolve_vector_entry(len)? {
+            CachedPlan::Program(p) => Ok(p),
+            CachedPlan::Sharded(_) => Err(CoreError::BadWorkload(format!(
+                "length {len} shards across tiles; query sharded_plan/static_vector_cost instead"
+            ))),
+        }
+    }
+
+    /// The compiled sharded plan for vectors of length `len` (the
+    /// capacity-exceeding counterpart of [`ApSoftmax::plan`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors; [`CoreError::BadWorkload`] for
+    /// lengths that fit one tile.
+    pub fn sharded_plan(&self, len: usize) -> Result<Arc<ShardedPlan>, CoreError> {
+        match self.resolve_vector_entry(len)? {
+            CachedPlan::Sharded(p) => Ok(p),
+            CachedPlan::Program(_) => Err(CoreError::BadWorkload(format!(
+                "length {len} fits one tile; query plan/static_vector_cost instead"
+            ))),
+        }
+    }
+
     /// Cycle/cell-event totals for one vector of length `len`, answered
     /// from the compiled plan **without executing anything** once the
     /// shape's plan exists — [`softmap_ap::ApProgram::static_cost`]
-    /// surfaced at the mapping level. The cost is exact for the input
-    /// the plan was compiled from (the cost tables compile from
-    /// [`ApSoftmax::representative_scores`], so table queries are
-    /// deterministic); see the static-cost contract in the `softmap_ap`
-    /// program-module docs.
+    /// surfaced at the mapping level, extended to sharded shapes (all
+    /// shards plus the cross-tile reduction charges). The cost is exact
+    /// for the input the plan was compiled from (the cost tables
+    /// compile from [`ApSoftmax::representative_scores`], so table
+    /// queries are deterministic); see the static-cost contract in the
+    /// `softmap_ap` program-module docs.
     ///
     /// # Errors
     ///
-    /// Propagates compilation errors from [`ApSoftmax::plan`].
+    /// Propagates compilation (execution) errors.
     pub fn static_cost(&self, len: usize) -> Result<CycleStats, CoreError> {
-        Ok(self.plan(len)?.program().static_cost())
+        Ok(self.static_vector_cost(len)?.total)
+    }
+
+    /// The full static device view for one vector of length `len`:
+    /// total work, shard count, waves, reduction charges, and the
+    /// device critical path — for both regimes (`shards == 1` when the
+    /// vector fits one tile).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation (execution) errors.
+    pub fn static_vector_cost(&self, len: usize) -> Result<VectorCost, CoreError> {
+        match self.resolve_vector_entry(len)? {
+            CachedPlan::Program(p) => {
+                let total = p.program().static_cost();
+                Ok(VectorCost {
+                    total,
+                    latency_cycles: total.cycles(),
+                    shards: 1,
+                    waves: 1,
+                    reduction: CycleStats::default(),
+                })
+            }
+            CachedPlan::Sharded(p) => Ok(VectorCost {
+                total: p.total(),
+                latency_cycles: p.latency_cycles(),
+                shards: p.shards(),
+                waves: p.waves(),
+                reduction: p.reduction(),
+            }),
+        }
     }
 
     /// Per-step static costs for one vector of length `len` (the
-    /// analytic counterpart of [`ApSoftmaxRun::steps`]).
+    /// analytic counterpart of [`ApSoftmaxRun::steps`]; phase-level
+    /// aggregated steps for a sharded shape).
     ///
     /// # Errors
     ///
-    /// Propagates compilation errors from [`ApSoftmax::plan`].
+    /// Propagates compilation (execution) errors.
     pub fn static_step_stats(&self, len: usize) -> Result<Vec<StepStats>, CoreError> {
-        Ok(self
-            .plan(len)?
-            .program()
-            .static_steps()
-            .iter()
-            .map(|&(name, stats)| StepStats { name, stats })
-            .collect())
+        match self.resolve_vector_entry(len)? {
+            CachedPlan::Program(p) => Ok(p
+                .program()
+                .static_steps()
+                .iter()
+                .map(|&(name, stats)| StepStats { name, stats })
+                .collect()),
+            CachedPlan::Sharded(p) => Ok(p.steps.clone()),
+        }
     }
 }
 
@@ -1144,5 +2093,213 @@ mod tests {
             assert!(self.plan_stats().hits >= 1, "second run must replay");
             run
         }
+    }
+
+    // ---- sharded long-sequence execution ---------------------------------
+
+    fn tiny_device() -> DeviceConfig {
+        DeviceConfig::new(2, 4)
+    }
+
+    #[test]
+    fn sharded_execution_matches_scalar_spec() {
+        let cfg = PrecisionConfig::paper_best();
+        let spec = IntSoftmax::new(cfg).unwrap();
+        for backend in [ExecBackend::Microcode, ExecBackend::FastWord] {
+            for layout in [Layout::TwoWordsPerRow, Layout::OneWordPerRow] {
+                // 9: odd tail; 16: exact shards; 33: odd oversized tail
+                // at the packed layout (peeled singleton shard).
+                for len in [9usize, 16, 33] {
+                    let scores: Vec<f64> = (0..len).map(|i| -((i as f64) * 0.37) % 6.9).collect();
+                    let scalar = spec.run_floats(&scores).unwrap();
+                    let run = ApSoftmax::new(cfg)
+                        .unwrap()
+                        .with_layout(layout)
+                        .with_backend(backend)
+                        .with_device(tiny_device())
+                        .execute_floats(&scores)
+                        .unwrap();
+                    assert!(run.shards > 1, "{backend:?}/{layout:?}/{len} must shard");
+                    assert_eq!(run.vapprox, scalar.vapprox, "{backend:?}/{layout:?}/{len}");
+                    assert_eq!(run.sum, scalar.sum, "{backend:?}/{layout:?}/{len}");
+                    assert_eq!(run.codes, scalar.codes, "{backend:?}/{layout:?}/{len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_whole_vector_bit_exact() {
+        // The same vector through both regimes: whole (default device,
+        // fits one tile) and forced sharding (tiny device).
+        let cfg = PrecisionConfig::paper_best();
+        let scores: Vec<f64> = (0..64).map(|i| -(f64::from(i) * 0.21) % 6.3).collect();
+        for style in [DivStyle::Restoring, DivStyle::ControllerReciprocal] {
+            let whole = ApSoftmax::new(cfg)
+                .unwrap()
+                .with_div_style(style)
+                .execute_floats(&scores)
+                .unwrap();
+            assert_eq!(whole.shards, 1);
+            assert_eq!(whole.latency_cycles, whole.total.cycles());
+            let sharded = ApSoftmax::new(cfg)
+                .unwrap()
+                .with_div_style(style)
+                .with_device(DeviceConfig::new(2, 8))
+                .execute_floats(&scores)
+                .unwrap();
+            assert_eq!(sharded.shards, 4);
+            assert_eq!(sharded.waves, 2);
+            assert_eq!(sharded.codes, whole.codes, "{style:?}");
+            assert_eq!(sharded.vapprox, whole.vapprox, "{style:?}");
+            assert_eq!(sharded.sum, whole.sum, "{style:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_replay_matches_direct_issue_exactly() {
+        let cfg = PrecisionConfig::paper_best();
+        let warm: Vec<f64> = (0..24).map(|i| -(f64::from(i) * 0.11) % 6.0).collect();
+        let scores: Vec<f64> = (0..24).map(|i| -(f64::from(i) * 0.29) % 6.8).collect();
+        for backend in [ExecBackend::Microcode, ExecBackend::FastWord] {
+            let direct = ApSoftmax::new(cfg)
+                .unwrap()
+                .with_backend(backend)
+                .with_device(tiny_device())
+                .with_plan_mode(PlanMode::DirectIssue)
+                .execute_floats(&scores)
+                .unwrap();
+            let cached = ApSoftmax::new(cfg)
+                .unwrap()
+                .with_backend(backend)
+                .with_device(tiny_device())
+                .unwrap_execute_pair(&warm, &scores);
+            assert!(direct.shards > 1);
+            assert_eq!(cached.codes, direct.codes);
+            assert_eq!(cached.vapprox, direct.vapprox);
+            assert_eq!(cached.sum, direct.sum);
+            assert_eq!(cached.total, direct.total, "{backend:?} cycle stats");
+            assert_eq!(cached.latency_cycles, direct.latency_cycles);
+            assert_eq!(cached.steps, direct.steps);
+        }
+    }
+
+    #[test]
+    fn sharded_static_vector_cost_matches_simulated() {
+        let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_device(tiny_device());
+        let len = 40;
+        let vc = mapping.static_vector_cost(len).unwrap();
+        assert!(vc.shards > 1);
+        assert!(vc.reduction.cycles() > 0);
+        let run = mapping
+            .execute_floats(&ApSoftmax::representative_scores(len))
+            .unwrap();
+        assert_eq!(vc.total, run.total, "static total != simulated");
+        assert_eq!(vc.latency_cycles, run.latency_cycles);
+        assert_eq!(vc.shards, run.shards);
+        assert_eq!(vc.waves, run.waves);
+        assert_eq!(vc.reduction, run.reduction);
+        assert_eq!(mapping.static_cost(len).unwrap(), run.total);
+        assert_eq!(mapping.static_step_stats(len).unwrap(), run.steps);
+        // Step segments account for every cycle, reductions included.
+        let step_total: u64 = run.steps.iter().map(|s| s.stats.cycles()).sum();
+        assert_eq!(step_total, run.total.cycles());
+        // The sharded plan is queryable; the whole-vector query rejects.
+        assert_eq!(mapping.sharded_plan(len).unwrap().shards(), vc.shards);
+        assert!(matches!(mapping.plan(len), Err(CoreError::BadWorkload(_))));
+    }
+
+    #[test]
+    fn sharded_latency_beats_single_tile_serialization() {
+        // With more tiles, the same shards spread across the grid: the
+        // critical path must shrink while total work stays identical.
+        let cfg = PrecisionConfig::paper_best();
+        let scores: Vec<f64> = (0..64).map(|i| -(f64::from(i) * 0.17) % 5.9).collect();
+        let narrow = ApSoftmax::new(cfg)
+            .unwrap()
+            .with_device(DeviceConfig::new(1, 8))
+            .execute_floats(&scores)
+            .unwrap();
+        let wide = ApSoftmax::new(cfg)
+            .unwrap()
+            .with_device(DeviceConfig::new(4, 8))
+            .execute_floats(&scores)
+            .unwrap();
+        assert_eq!(narrow.total, wide.total, "work is grid-independent");
+        assert!(wide.latency_cycles < narrow.latency_cycles);
+        assert_eq!(narrow.waves, 4);
+        assert_eq!(wide.waves, 1);
+    }
+
+    #[test]
+    fn sharded_batch_matches_individual_runs() {
+        let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_backend(ExecBackend::FastWord)
+            .with_device(tiny_device());
+        let batch: Vec<Vec<f64>> = (0..6)
+            .map(|v| {
+                (0..24)
+                    .map(|i| -((v * 7 + i) as f64 * 0.21) % 6.5)
+                    .collect()
+            })
+            .collect();
+        let runs = mapping.execute_batch_floats(&batch).unwrap();
+        for (run, scores) in runs.iter().zip(&batch) {
+            let single = mapping.execute_floats(scores).unwrap();
+            assert_eq!(run.codes, single.codes);
+            assert_eq!(run.total, single.total);
+        }
+        // One vector shape: one sharded plan + its phase programs, no
+        // recompiles across workers.
+        let stats = mapping.plan_stats();
+        assert!(
+            stats.compiles <= 7,
+            "one shape must compile at most 1 sharded + 6 phase plans (got {})",
+            stats.compiles
+        );
+    }
+
+    #[test]
+    fn plan_cache_eviction_bounds_memory() {
+        let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_plan_capacity(2);
+        for len in [8usize, 10, 12] {
+            let scores: Vec<f64> = (0..len).map(|i| -(i as f64) * 0.3).collect();
+            mapping.execute_floats(&scores).unwrap();
+        }
+        let stats = mapping.plan_stats();
+        assert!(
+            stats.plans <= 2,
+            "LRU cap must hold (plans = {})",
+            stats.plans
+        );
+        assert!(stats.evictions >= 1, "three shapes at cap 2 must evict");
+        assert_eq!(stats.compiles, 3);
+        // The evicted shape recompiles and still answers correctly.
+        let scores: Vec<f64> = (0..8).map(|i| -(f64::from(i)) * 0.3).collect();
+        let run = mapping.execute_floats(&scores).unwrap();
+        let scalar = IntSoftmax::new(*mapping.spec().config())
+            .unwrap()
+            .run_floats(&scores)
+            .unwrap();
+        assert_eq!(run.codes, scalar.codes);
+        assert_eq!(mapping.plan_stats().compiles, 4, "evicted shape recompiles");
+    }
+
+    #[test]
+    fn batch_stats_on_respects_grid() {
+        let mapping = ApSoftmax::new(PrecisionConfig::paper_best()).unwrap();
+        let batch: Vec<Vec<f64>> = (0..4).map(|_| vec![0.0, -1.0, -2.0, -3.0]).collect();
+        let runs = mapping.execute_batch_floats(&batch).unwrap();
+        let unbounded = ApSoftmax::batch_stats(&runs);
+        let grid = ApSoftmax::batch_stats_on(&runs, 2);
+        assert_eq!(unbounded.waves, 1);
+        assert_eq!(grid.waves, 2);
+        assert_eq!(grid.total, unbounded.total);
+        assert!(grid.makespan_cycles >= unbounded.makespan_cycles * 2);
     }
 }

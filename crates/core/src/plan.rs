@@ -7,6 +7,17 @@
 //! [`softmap_ap::ApProgram`] and replays it for every further vector —
 //! this module is the cache those compiled plans live in.
 //!
+//! Two kinds of entries share the cache:
+//!
+//! * **whole-vector programs** ([`CompiledPlan`]) for shapes that fit
+//!   one tile, plus the per-phase shard programs (min search, exp +
+//!   partial sum, divide) sharded execution replays, and
+//! * **sharded vector plans** ([`ShardedPlan`]) for shapes that exceed
+//!   the device's tile capacity: the shard partition, the per-shard
+//!   phase programs (as `Arc`s into the same cache), and the cost
+//!   metadata (waves, cross-tile reduction charges, critical path)
+//!   recorded at compile time so static queries stay execution-free.
+//!
 //! Sharing happens at two levels, mirroring the tile pool:
 //!
 //! * one [`PlanCache`] per `ApSoftmax` (shared by all of its clones via
@@ -16,14 +27,38 @@
 //!   steady-state per-vector path touches no lock at all — the slot is
 //!   validated against the cache's identity and the shape key by plain
 //!   comparisons.
+//!
+//! The cache is **bounded**: a small LRU (default
+//! [`PlanCache::DEFAULT_CAPACITY`] entries) evicts the least recently
+//! used shape once the cap is exceeded, so serving arbitrarily many
+//! distinct sequence lengths cannot grow memory without bound. Evicted
+//! shapes simply recompile on their next use; `Arc`s held by tile
+//! slots or sharded plans keep in-flight programs alive.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use softmap_ap::{ApProgram, DivStyle, RegId};
+use softmap_ap::{ApProgram, CycleStats, DivStyle, RegId};
 
-use crate::mapping::Layout;
+use crate::mapping::{Layout, StepStats};
+
+/// Which program a cache entry holds: the whole-vector dataflow, one
+/// of the three per-shard phase programs, or the vector-level sharded
+/// plan (under [`PlanPhase::Vector`], disjoint from whole-vector
+/// entries by length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum PlanPhase {
+    /// A vector-level entry: the whole-vector program for lengths that
+    /// fit one tile, or the [`ShardedPlan`] for lengths that do not.
+    Vector,
+    /// Per-shard load + min-search program.
+    ShardMin,
+    /// Per-shard stabilize + exponential + partial-sum program.
+    ShardExp,
+    /// Per-shard divide program.
+    ShardDiv,
+}
 
 /// The shape a compiled plan is valid for. The precision configuration
 /// is not part of the key because each `ApSoftmax` (and thus each
@@ -31,12 +66,15 @@ use crate::mapping::Layout;
 /// change the shape axes swap in a fresh cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct PlanKey {
-    /// Vector length (determines rows and packing).
+    /// Vector length — the whole vector for [`PlanPhase::Vector`], the
+    /// shard length for the per-shard phases.
     pub len: usize,
     /// Row packing layout.
     pub layout: Layout,
     /// Division microcode style.
     pub div: DivStyle,
+    /// Which program of the dataflow this entry is.
+    pub phase: PlanPhase,
 }
 
 /// A compiled dataflow plan: the recorded [`ApProgram`] plus the
@@ -45,7 +83,7 @@ pub(crate) struct PlanKey {
 #[derive(Debug, Clone)]
 pub struct CompiledPlan {
     program: ApProgram,
-    sum_reg: RegId,
+    result_reg: RegId,
     rows: usize,
     cols_used: usize,
     compile_micros: f64,
@@ -54,14 +92,14 @@ pub struct CompiledPlan {
 impl CompiledPlan {
     pub(crate) fn new(
         program: ApProgram,
-        sum_reg: RegId,
+        result_reg: RegId,
         rows: usize,
         cols_used: usize,
         compile_micros: f64,
     ) -> Self {
         Self {
             program,
-            sum_reg,
+            result_reg,
             rows,
             cols_used,
             compile_micros,
@@ -74,9 +112,11 @@ impl CompiledPlan {
         &self.program
     }
 
-    /// The register holding the (pre-clamp) reduction sum after replay.
-    pub(crate) fn sum_reg(&self) -> RegId {
-        self.sum_reg
+    /// The register holding the program's scalar result after replay:
+    /// the (pre-clamp) reduction sum for the whole-vector program, the
+    /// shard minimum / partial sum for the shard phases.
+    pub(crate) fn result_reg(&self) -> RegId {
+        self.result_reg
     }
 
     /// Rows the plan's tile occupies.
@@ -99,16 +139,105 @@ impl CompiledPlan {
     }
 }
 
+/// A compiled **sharded** vector plan: the shard partition, one phase
+/// program triple per shard (`Arc`-shared between same-shape shards),
+/// and the device-level cost metadata recorded at compile time.
+///
+/// The static numbers are exact for the input the plan was compiled
+/// from (and any input following the same microcode path) — the same
+/// contract as [`CompiledPlan`]'s static cost, extended with the
+/// deterministic cross-tile reduction charges and wave scheduling of
+/// the device model.
+#[derive(Debug)]
+pub struct ShardedPlan {
+    pub(crate) ranges: Vec<(usize, usize)>,
+    pub(crate) min_plans: Vec<Arc<CompiledPlan>>,
+    pub(crate) exp_plans: Vec<Arc<CompiledPlan>>,
+    pub(crate) div_plans: Vec<Arc<CompiledPlan>>,
+    pub(crate) steps: Vec<StepStats>,
+    pub(crate) total: CycleStats,
+    pub(crate) reduction: CycleStats,
+    pub(crate) latency_cycles: u64,
+    pub(crate) waves: u64,
+    pub(crate) rows: usize,
+    pub(crate) cols_used: usize,
+    pub(crate) compile_micros: f64,
+}
+
+impl ShardedPlan {
+    /// Number of shards the vector splits into.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Sequential waves per phase on the device's tile grid.
+    #[must_use]
+    pub fn waves(&self) -> u64 {
+        self.waves
+    }
+
+    /// Total work (all shards + cross-tile reductions) recorded at
+    /// compile time.
+    #[must_use]
+    pub fn total(&self) -> CycleStats {
+        self.total
+    }
+
+    /// The cross-tile reduction-network charges (min + sum combines).
+    #[must_use]
+    pub fn reduction(&self) -> CycleStats {
+        self.reduction
+    }
+
+    /// The device critical path: per-phase wave makespans plus the
+    /// reduction-network cycles.
+    #[must_use]
+    pub fn latency_cycles(&self) -> u64 {
+        self.latency_cycles
+    }
+
+    /// Rows of the largest shard's tile.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Widest column layout across the phase programs.
+    #[must_use]
+    pub fn cols_used(&self) -> usize {
+        self.cols_used
+    }
+
+    /// Wall-clock microseconds the sharded compile took.
+    #[must_use]
+    pub fn compile_micros(&self) -> f64 {
+        self.compile_micros
+    }
+}
+
+/// One cache entry: a single compiled program or a sharded plan.
+#[derive(Debug, Clone)]
+pub(crate) enum CachedPlan {
+    /// A whole-vector or shard-phase program.
+    Program(Arc<CompiledPlan>),
+    /// A vector-level sharded plan.
+    Sharded(Arc<ShardedPlan>),
+}
+
 /// Aggregate counters of a [`PlanCache`]; see
 /// [`crate::ApSoftmax::plan_stats`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlanStats {
     /// Plans currently cached.
     pub plans: usize,
-    /// Shape-miss compilations performed.
+    /// Shape-miss compilations performed (phase programs and sharded
+    /// vector plans each count one).
     pub compiles: u64,
     /// Cache hits (lock-free tile-slot hits included).
     pub hits: u64,
+    /// LRU evictions over the cache's lifetime.
+    pub evictions: u64,
     /// Total wall-clock microseconds spent compiling over the cache's
     /// lifetime (survives [`PlanCache::clear`] and recompiles).
     pub compile_micros: f64,
@@ -116,7 +245,14 @@ pub struct PlanStats {
 
 static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(1);
 
-/// The shape-keyed store of compiled plans; see the module docs.
+#[derive(Debug)]
+struct Entry {
+    plan: CachedPlan,
+    used: u64,
+}
+
+/// The bounded, shape-keyed store of compiled plans; see the module
+/// docs.
 ///
 /// One cache exists per [`crate::ApSoftmax`] and is shared by all of
 /// its clones. The cache carries a process-unique identity so tile
@@ -140,13 +276,16 @@ static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(1);
 pub struct PlanCache {
     id: u64,
     epoch: AtomicU64,
-    plans: Mutex<HashMap<PlanKey, Arc<CompiledPlan>>>,
+    capacity: usize,
+    tick: AtomicU64,
+    plans: Mutex<HashMap<PlanKey, Entry>>,
     /// Serializes compilations so concurrent workers missing the same
     /// shape produce one plan, not one each (the map lock itself is
     /// never held across a compile).
     compiling: Mutex<()>,
     compiles: AtomicU64,
     hits: AtomicU64,
+    evictions: AtomicU64,
     /// Total compile time across the cache's lifetime, in nanoseconds
     /// (survives [`PlanCache::clear`] and same-key recompiles, unlike
     /// summing over the currently cached plans).
@@ -160,18 +299,42 @@ impl Default for PlanCache {
 }
 
 impl PlanCache {
-    /// Creates an empty cache with a fresh identity.
+    /// Default LRU capacity: comfortably above any single workload's
+    /// working set (a sharded shape needs at most seven entries: the
+    /// vector plan plus two shard lengths × three phases) while keeping
+    /// a long-running server's memory bounded under arbitrary length
+    /// mixes.
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// Creates an empty cache with a fresh identity and the default
+    /// capacity.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty cache holding at most `capacity` plans
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
         Self {
             id: NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed),
             epoch: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
             plans: Mutex::new(HashMap::new()),
             compiling: Mutex::new(()),
             compiles: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             compile_nanos: AtomicU64::new(0),
         }
+    }
+
+    /// The LRU capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Takes the compile lock: the caller re-checks the map under it
@@ -188,13 +351,8 @@ impl PlanCache {
         (self.id, self.epoch.load(Ordering::Relaxed))
     }
 
-    pub(crate) fn get(&self, key: &PlanKey) -> Option<Arc<CompiledPlan>> {
-        let found = self
-            .plans
-            .lock()
-            .expect("plan cache poisoned")
-            .get(key)
-            .cloned();
+    pub(crate) fn get(&self, key: &PlanKey) -> Option<CachedPlan> {
+        let found = self.touch(key);
         if found.is_some() {
             self.note_hit();
         }
@@ -202,23 +360,38 @@ impl PlanCache {
     }
 
     /// Looks a plan up without counting a hit (observer access for
-    /// cost queries that just compiled it).
-    pub(crate) fn peek(&self, key: &PlanKey) -> Option<Arc<CompiledPlan>> {
-        self.plans
-            .lock()
-            .expect("plan cache poisoned")
-            .get(key)
-            .cloned()
+    /// cost queries that just compiled it); still refreshes recency.
+    pub(crate) fn peek(&self, key: &PlanKey) -> Option<CachedPlan> {
+        self.touch(key)
     }
 
-    pub(crate) fn insert(&self, key: PlanKey, plan: Arc<CompiledPlan>) {
+    fn touch(&self, key: &PlanKey) -> Option<CachedPlan> {
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.plans.lock().expect("plan cache poisoned");
+        map.get_mut(key).map(|e| {
+            e.used = now;
+            e.plan.clone()
+        })
+    }
+
+    pub(crate) fn insert(&self, key: PlanKey, plan: CachedPlan) {
+        let micros = match &plan {
+            CachedPlan::Program(p) => p.compile_micros(),
+            CachedPlan::Sharded(p) => p.compile_micros(),
+        };
         self.compiles.fetch_add(1, Ordering::Relaxed);
         self.compile_nanos
-            .fetch_add((plan.compile_micros * 1e3) as u64, Ordering::Relaxed);
-        self.plans
-            .lock()
-            .expect("plan cache poisoned")
-            .insert(key, plan);
+            .fetch_add((micros * 1e3) as u64, Ordering::Relaxed);
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.plans.lock().expect("plan cache poisoned");
+        map.insert(key, Entry { plan, used: now });
+        while map.len() > self.capacity {
+            let Some(victim) = map.iter().min_by_key(|(_, e)| e.used).map(|(k, _)| *k) else {
+                break;
+            };
+            map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Counts a lock-free tile-slot hit.
@@ -241,6 +414,7 @@ impl PlanCache {
             plans,
             compiles: self.compiles.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             compile_micros: self.compile_nanos.load(Ordering::Relaxed) as f64 / 1e3,
         }
     }

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use softmap::{ApDeployment, ApSoftmax, Layout, PlanMode, WorkloadModel};
-use softmap_ap::{DivStyle, ExecBackend};
+use softmap_ap::{DeviceConfig, DivStyle, ExecBackend};
 use softmap_softmax::{IntSoftmax, PrecisionConfig};
 
 fn config_strategy() -> impl Strategy<Value = PrecisionConfig> {
@@ -91,6 +91,81 @@ proptest! {
         prop_assert_eq!(&replayed.vapprox, &direct.vapprox);
         prop_assert_eq!(replayed.sum, direct.sum);
         prop_assert_eq!(replayed.total, direct.total, "cycle-exactness");
+        prop_assert_eq!(&replayed.steps, &direct.steps, "per-step exactness");
+    }
+
+    #[test]
+    fn sharded_execution_bit_exact_vs_whole_vector(
+        scores in prop::collection::vec(-9.0f64..0.0, 2..48),
+        rows_per_tile in 2usize..12,
+        tiles in 1usize..4,
+        layout in prop_oneof![Just(Layout::TwoWordsPerRow), Just(Layout::OneWordPerRow)],
+        backend in prop_oneof![Just(ExecBackend::FastWord), Just(ExecBackend::Microcode)],
+    ) {
+        // Every length here fits one default tile, so the whole-vector
+        // single-tile run is the reference; a tiny device grid forces
+        // the same vector through the sharded two-phase dataflow.
+        let cfg = PrecisionConfig::paper_best();
+        let whole = ApSoftmax::new(cfg).unwrap()
+            .with_layout(layout)
+            .with_backend(backend)
+            .execute_floats(&scores).unwrap();
+        prop_assert_eq!(whole.shards, 1);
+        let sharded = ApSoftmax::new(cfg).unwrap()
+            .with_layout(layout)
+            .with_backend(backend)
+            .with_device(DeviceConfig::new(tiles, rows_per_tile))
+            .execute_floats(&scores).unwrap();
+        prop_assert_eq!(&sharded.codes, &whole.codes);
+        prop_assert_eq!(&sharded.vapprox, &whole.vapprox);
+        prop_assert_eq!(sharded.sum, whole.sum);
+    }
+
+    #[test]
+    fn sharded_execution_bit_exact_vs_scalar_spec(
+        cfg in config_strategy(),
+        scores in prop::collection::vec(-9.0f64..0.0, 12..64),
+        rows_per_tile in 2usize..5,
+    ) {
+        // Lengths that do NOT fit the (tiny) tile: the scalar I-BERT
+        // specification is the reference.
+        let scalar = IntSoftmax::new(cfg).unwrap().run_floats(&scores).unwrap();
+        let run = ApSoftmax::new(cfg).unwrap()
+            .with_device(DeviceConfig::new(2, rows_per_tile))
+            .execute_floats(&scores).unwrap();
+        prop_assert!(run.shards > 1, "must shard at {} rows", rows_per_tile);
+        prop_assert_eq!(&run.codes, &scalar.codes);
+        prop_assert_eq!(&run.vapprox, &scalar.vapprox);
+        prop_assert_eq!(run.sum, scalar.sum);
+    }
+
+    #[test]
+    fn sharded_replay_matches_direct_issue(
+        scores in prop::collection::vec(-9.0f64..0.0, 10..40),
+        warm in prop::collection::vec(-9.0f64..0.0, 40..41),
+        backend in prop_oneof![Just(ExecBackend::FastWord), Just(ExecBackend::Microcode)],
+    ) {
+        let cfg = PrecisionConfig::paper_best();
+        let dev = DeviceConfig::new(2, 4);
+        let direct = ApSoftmax::new(cfg).unwrap()
+            .with_backend(backend)
+            .with_device(dev)
+            .with_plan_mode(PlanMode::DirectIssue)
+            .execute_floats(&scores).unwrap();
+        // Compile the sharded plan from different data, then replay.
+        let cached = ApSoftmax::new(cfg).unwrap()
+            .with_backend(backend)
+            .with_device(dev);
+        let mut warm = warm;
+        warm.truncate(scores.len());
+        cached.execute_floats(&warm).unwrap();
+        let replayed = cached.execute_floats(&scores).unwrap();
+        prop_assert!(cached.plan_stats().hits >= 1, "second run must replay");
+        prop_assert_eq!(&replayed.codes, &direct.codes);
+        prop_assert_eq!(&replayed.vapprox, &direct.vapprox);
+        prop_assert_eq!(replayed.sum, direct.sum);
+        prop_assert_eq!(replayed.total, direct.total, "cycle-exactness");
+        prop_assert_eq!(replayed.latency_cycles, direct.latency_cycles);
         prop_assert_eq!(&replayed.steps, &direct.steps, "per-step exactness");
     }
 

@@ -111,6 +111,80 @@ fn main() {
         );
     }
 
+    // Sharded long-sequence steady state: the acceptance shape
+    // (seq_len 16384 on 2048-row tiles → four shards, three phases,
+    // two cross-tile reductions per vector) must also replay with zero
+    // heap allocations once the sharded plan and every buffer are warm.
+    {
+        let long: Vec<f64> = (0..16384)
+            .map(|i| -f64::from((i % 97) as u32) * 0.07)
+            .collect();
+        let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_backend(ExecBackend::FastWord);
+        let mut state = TileState::new();
+        let mut run = ApSoftmaxRun::default();
+        mapping
+            .execute_floats_into(&mut state, &long, &mut run)
+            .unwrap();
+        mapping
+            .execute_floats_into(&mut state, &long, &mut run)
+            .unwrap();
+        assert_eq!(run.shards, 4, "16384 @ 2048 rows must run four shards");
+        let reference = run.codes.clone();
+        assert!(
+            state.cached_sharded_plan().is_some(),
+            "the tile slot must hold the sharded plan after warm-up"
+        );
+        let allocs = count_allocs(|| {
+            for _ in 0..3 {
+                mapping
+                    .execute_floats_into(&mut state, &long, &mut run)
+                    .unwrap();
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "steady-state sharded replay must not allocate (got {allocs} over 3 vectors)"
+        );
+        assert_eq!(run.codes, reference, "sharded replay must stay bit-exact");
+        println!(
+            "tile_alloc: sharded 16384 ok (shards {}, waves {}, latency {} cyc)",
+            run.shards, run.waves, run.latency_cycles
+        );
+    }
+
+    // The Microcode backend shards identically; keep its window cheap
+    // with a tiny device (64 scores over 8-row tiles → four shards).
+    {
+        let scores: Vec<f64> = (0..64).map(|i| -(f64::from(i) * 0.23) % 6.1).collect();
+        let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_backend(ExecBackend::Microcode)
+            .with_device(softmap_ap::DeviceConfig::new(2, 8));
+        let mut state = TileState::new();
+        let mut run = ApSoftmaxRun::default();
+        mapping
+            .execute_floats_into(&mut state, &scores, &mut run)
+            .unwrap();
+        mapping
+            .execute_floats_into(&mut state, &scores, &mut run)
+            .unwrap();
+        assert_eq!(run.shards, 4);
+        let allocs = count_allocs(|| {
+            for _ in 0..3 {
+                mapping
+                    .execute_floats_into(&mut state, &scores, &mut run)
+                    .unwrap();
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "steady-state Microcode sharded replay must not allocate (got {allocs})"
+        );
+        println!("tile_alloc: sharded Microcode ok");
+    }
+
     // Sanity: the counter itself works.
     let sanity = count_allocs(|| {
         let v: Vec<u64> = Vec::with_capacity(32);

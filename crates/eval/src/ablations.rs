@@ -1,4 +1,4 @@
-//! Ablations of the co-design choices DESIGN.md calls out: division
+//! Ablations of the co-design choices the README substitution notes call out: division
 //! microcode style, row packing/layout, tile packing for short
 //! sequences, and the 1D-vs-2D reduction the paper cites when motivating
 //! the 2D AP.

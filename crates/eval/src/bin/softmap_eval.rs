@@ -3,12 +3,13 @@
 //! ```text
 //! softmap-eval <experiment>
 //! experiments: fig1 table1 table2 table3 table4 fig6 fig7 fig8
-//!              table5 table6 area amdahl ablations decode all
+//!              table5 table6 area amdahl ablations decode longseq all
 //! ```
 
 use softmap_eval::fig678::Quantity;
 use softmap_eval::{
-    ablations, amdahl, area, decode, fig1, fig678, paper, table1, table2, table34, table5, table6,
+    ablations, amdahl, area, decode, fig1, fig678, longseq, paper, table1, table2, table34, table5,
+    table6,
 };
 
 fn run(which: &str) -> Result<(), Box<dyn std::error::Error>> {
@@ -33,6 +34,7 @@ fn run(which: &str) -> Result<(), Box<dyn std::error::Error>> {
         "amdahl" => print!("{}", amdahl::render(&amdahl::run()?)),
         "ablations" => print!("{}", ablations::render(&ablations::run()?)),
         "decode" => print!("{}", decode::render(&decode::run()?)),
+        "longseq" => print!("{}", longseq::render(&longseq::run()?)),
         "all" => {
             for e in [
                 "fig1",
@@ -49,6 +51,7 @@ fn run(which: &str) -> Result<(), Box<dyn std::error::Error>> {
                 "amdahl",
                 "ablations",
                 "decode",
+                "longseq",
             ] {
                 println!("==== {e} ====");
                 run(e)?;
@@ -58,7 +61,7 @@ fn run(which: &str) -> Result<(), Box<dyn std::error::Error>> {
         other => {
             eprintln!(
                 "unknown experiment '{other}'\n\
-                 usage: softmap-eval <fig1|table1|table2|table3|table4|fig6|fig7|fig8|table5|table6|area|amdahl|ablations|decode|all>"
+                 usage: softmap-eval <fig1|table1|table2|table3|table4|fig6|fig7|fig8|table5|table6|area|amdahl|ablations|decode|longseq|all>"
             );
             std::process::exit(2);
         }

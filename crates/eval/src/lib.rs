@@ -15,7 +15,7 @@
 //! | [`fig1`] | Softmax runtime share of Llama2-7b on A100 |
 //! | [`table1`] | Bit-width allocations per intermediate |
 //! | [`table2`] | AP runtime formulas vs. measured microcode |
-//! | [`table34`] | Perplexity grids (tiny-LM stand-ins, see DESIGN.md) |
+//! | [`table34`] | Perplexity grids (tiny-LM stand-ins, see the README substitution notes) |
 //! | [`fig678`] | Normalized energy / latency / EDP sweeps |
 //! | [`table5`] | Highest EDP ratios |
 //! | [`table6`] | Energy per operation vs. ConSmax / Softermax |
@@ -23,6 +23,7 @@
 //! | [`amdahl`] | End-to-end speedup consistency check |
 //! | [`ablations`] | Division/layout/packing/reduction design ablations (extension) |
 //! | [`decode`] | Decode-phase characterization (extension) |
+//! | [`longseq`] | Sharded long-sequence softmax at fixed hardware (extension) |
 //!
 //! # Examples
 //!
@@ -40,6 +41,7 @@ pub mod area;
 pub mod decode;
 pub mod fig1;
 pub mod fig678;
+pub mod longseq;
 pub mod paper;
 pub mod table;
 pub mod table1;

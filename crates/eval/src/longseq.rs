@@ -1,0 +1,146 @@
+//! Extension experiment: **long-sequence sharded softmax at fixed
+//! hardware**. The paper evaluates up to 4096 tokens — exactly one
+//! 2048-row tile at two words per row. Past that point the device
+//! model shards each softmax vector across the head's tiles: per-shard
+//! min search, a cross-tile min broadcast, per-shard exponentials and
+//! partial sums, a cross-tile sum reduction, then per-shard division.
+//! This table characterizes that regime (8k–32k tokens, the lengths
+//! where softmax dominates transformer latency per VEXP/SOLE) on the
+//! unchanged 48 × 2048-row deployment.
+//!
+//! All numbers funnel through the static cost path
+//! ([`WorkloadModel::vector_cost`]): shards, waves, reduction-network
+//! cycles, and the device critical path are answered from the compiled
+//! sharded plan without executing anything after the one-time compile.
+
+use crate::table::AsciiTable;
+use crate::EvalResult;
+use softmap::{ApDeployment, WorkloadModel};
+use softmap_llm::configs::llama2_7b;
+use softmap_softmax::PrecisionConfig;
+
+/// One long-sequence operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LongSeqPoint {
+    /// Sequence length (tokens; one softmax vector per row).
+    pub seq_len: usize,
+    /// Shards (tiles) one vector occupies.
+    pub shards: usize,
+    /// Sequential waves per phase on the 48-tile head grid.
+    pub waves: u64,
+    /// Total work cycles per vector (all shards + reductions).
+    pub work_cycles: u64,
+    /// Cross-tile reduction-network cycles per vector.
+    pub reduction_cycles: u64,
+    /// Device critical-path cycles per vector.
+    pub latency_cycles: u64,
+    /// Llama2-7b full-prefill softmax latency, seconds.
+    pub prefill_latency_s: f64,
+    /// Llama2-7b full-prefill softmax energy, joules.
+    pub prefill_energy_j: f64,
+}
+
+/// Sweeps sequence lengths across the single-tile boundary on the
+/// paper's deployment.
+///
+/// # Errors
+///
+/// Propagates workload errors.
+pub fn run() -> EvalResult<Vec<LongSeqPoint>> {
+    let model = llama2_7b();
+    let wm = WorkloadModel::new(PrecisionConfig::paper_best(), ApDeployment::default())?;
+    let mut out = Vec::new();
+    for &seq_len in &[2048usize, 4096, 8192, 16384, 32768] {
+        let vc = wm.vector_cost(seq_len)?;
+        let cost = wm.cost(model.layers, model.heads, seq_len, 1)?;
+        out.push(LongSeqPoint {
+            seq_len,
+            shards: vc.shards,
+            waves: vc.waves,
+            work_cycles: vc.total.cycles(),
+            reduction_cycles: vc.reduction.cycles(),
+            latency_cycles: vc.latency_cycles,
+            prefill_latency_s: cost.latency_s,
+            prefill_energy_j: cost.energy_j,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders the long-sequence table.
+#[must_use]
+pub fn render(points: &[LongSeqPoint]) -> String {
+    let mut t = AsciiTable::new(vec![
+        "seq len".into(),
+        "shards".into(),
+        "waves".into(),
+        "work cyc/vec".into(),
+        "reduce cyc".into(),
+        "latency cyc/vec".into(),
+        "prefill latency".into(),
+        "prefill energy".into(),
+    ]);
+    t.title(
+        "Long-sequence sharded softmax (extension; Llama2-7b prefill, \
+         48 x 2048-row tiles per head)",
+    );
+    for p in points {
+        t.row(vec![
+            p.seq_len.to_string(),
+            p.shards.to_string(),
+            p.waves.to_string(),
+            p.work_cycles.to_string(),
+            p.reduction_cycles.to_string(),
+            p.latency_cycles.to_string(),
+            crate::table::fmt_seconds(p.prefill_latency_s),
+            crate::table::fmt_joules(p.prefill_energy_j),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharding_starts_past_one_tile() {
+        let points = run().unwrap();
+        for p in &points {
+            if p.seq_len <= 4096 {
+                assert_eq!(p.shards, 1, "L={} fits one tile", p.seq_len);
+                assert_eq!(p.reduction_cycles, 0);
+            } else {
+                assert_eq!(p.shards, p.seq_len / 4096, "L={}", p.seq_len);
+                assert!(p.reduction_cycles > 0);
+                // All shards fit the 48-tile grid in one wave.
+                assert_eq!(p.waves, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn latency_grows_sublinearly_while_work_grows_linearly() {
+        let points = run().unwrap();
+        let p4k = points.iter().find(|p| p.seq_len == 4096).unwrap();
+        let p16k = points.iter().find(|p| p.seq_len == 16384).unwrap();
+        // 4x the tokens: ~4x the work...
+        let work_ratio = p16k.work_cycles as f64 / p4k.work_cycles as f64;
+        assert!(
+            work_ratio > 3.0 && work_ratio < 5.5,
+            "work ratio {work_ratio}"
+        );
+        // ...but the shards run concurrently, so the per-vector
+        // critical path grows far slower than the work.
+        let lat_ratio = p16k.latency_cycles as f64 / p4k.latency_cycles as f64;
+        assert!(lat_ratio < work_ratio / 2.0, "latency ratio {lat_ratio}");
+    }
+
+    #[test]
+    fn render_covers_the_long_regime() {
+        let s = render(&run().unwrap());
+        for l in ["8192", "16384", "32768"] {
+            assert!(s.contains(l), "missing {l}");
+        }
+    }
+}

@@ -1,5 +1,5 @@
 //! Tables III/IV: perplexity sensitivity of the integer-only softmax —
-//! measured on the tiny trained stand-in models (see DESIGN.md
+//! measured on the tiny trained stand-in models (see the README
 //! substitutions).
 //!
 //! ## N scaling

@@ -69,6 +69,52 @@ fn static_cost_is_backend_independent_and_stepwise_exact() {
 }
 
 #[test]
+fn static_cost_equals_simulated_for_sharded_shapes() {
+    // The acceptance contract for the device model: a sequence past
+    // the tile capacity answers its static cost (work, waves, reduction
+    // cycles, critical path) from the compiled sharded plan, and every
+    // number equals actually simulating the representative input.
+    let deploy = ApDeployment::default();
+    let model = WorkloadModel::new(PrecisionConfig::paper_best(), deploy).unwrap();
+    for len in [8192usize, 16384] {
+        let vc = model.vector_cost(len).unwrap();
+        assert_eq!(vc.shards, len / 4096, "len {len}");
+        assert!(vc.reduction.cycles() > 0);
+        let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_backend(deploy.backend);
+        let run = mapping
+            .execute_floats(&ApSoftmax::representative_scores(len))
+            .unwrap();
+        assert_eq!(vc.total, run.total, "static != simulated at len {len}");
+        assert_eq!(vc.latency_cycles, run.latency_cycles, "len {len}");
+        assert_eq!(vc.shards, run.shards);
+        assert_eq!(vc.waves, run.waves);
+        assert_eq!(model.vector_stats(len).unwrap(), run.total);
+    }
+}
+
+#[test]
+fn sharded_static_cost_is_backend_independent() {
+    // Tiny device so the Microcode sweep stays cheap.
+    let dev = softmap_ap::DeviceConfig::new(2, 8);
+    let fast = ApSoftmax::new(PrecisionConfig::paper_best())
+        .unwrap()
+        .with_backend(ExecBackend::FastWord)
+        .with_device(dev);
+    let micro = ApSoftmax::new(PrecisionConfig::paper_best())
+        .unwrap()
+        .with_backend(ExecBackend::Microcode)
+        .with_device(dev);
+    let len = 48;
+    assert_eq!(
+        fast.static_vector_cost(len).unwrap(),
+        micro.static_vector_cost(len).unwrap(),
+        "the dual-backend contract extends to sharded static costs"
+    );
+}
+
+#[test]
 fn workload_model_latency_tables_use_the_static_path() {
     // `vector_stats` (the entry every Fig. 6/7/8 and Table V number
     // funnels through) must agree with an actual simulation of the

@@ -1,7 +1,7 @@
 //! Analytic GPU latency/energy model for A100 and RTX3090.
 //!
 //! The paper measures the integer-approximated softmax on real GPUs; we
-//! cannot, so this crate is the calibrated substitute (see DESIGN.md
+//! cannot, so this crate is the calibrated substitute (see the README
 //! substitutions). The model is a bandwidth roofline with three
 //! empirically motivated corrections, each an explicit parameter:
 //!

@@ -153,7 +153,7 @@ impl SoftmaxWorkload {
 }
 
 /// The tiny trainable stand-in configs used for the Table III/IV
-/// perplexity analogs (see DESIGN.md substitutions). Two sizes mirror
+/// perplexity analogs (see the README substitution notes). Two sizes mirror
 /// the 7b/13b pairing.
 #[must_use]
 pub fn tiny_a() -> LlamaConfig {

@@ -5,7 +5,7 @@
 //! verbs, adjective order, punctuation). Perplexity differences caused
 //! by attention-softmax quantization show up on any corpus the model has
 //! actually learned; determinism (seeded generation) keeps the
-//! experiment reproducible. See DESIGN.md substitution notes.
+//! experiment reproducible. See the README substitution notes.
 //!
 //! # Examples
 //!

@@ -13,7 +13,7 @@
 //!   attention with a *pluggable softmax*, GELU MLP) with full manual
 //!   backpropagation,
 //! * [`corpus`] — a deterministic synthetic corpus + word tokenizer
-//!   (the WikiText-2 stand-in; see DESIGN.md substitution notes),
+//!   (the WikiText-2 stand-in; see the README substitution notes),
 //! * [`train`] — Adam and the training loop,
 //! * [`perplexity`] — the paper's evaluation protocol (non-overlapping
 //!   segments, exponentiated mean NLL),

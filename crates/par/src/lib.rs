@@ -39,12 +39,26 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
+/// Environment variable overriding the worker-thread count used by
+/// [`tile_parallelism`] (any positive integer; other values are
+/// ignored). Lets multi-core batch/shard scaling be exercised — or
+/// pinned down for reproducibility — independently of what
+/// `available_parallelism` reports for the host or container.
+pub const THREADS_ENV: &str = "SOFTMAP_THREADS";
+
 /// Number of worker threads used for `jobs` independent tasks: the
-/// machine's available parallelism, capped by the job count (and at
-/// least 1).
+/// [`THREADS_ENV`] override if set (and a positive integer), otherwise
+/// the machine's available parallelism — capped by the job count and
+/// at least 1.
 #[must_use]
 pub fn tile_parallelism(jobs: usize) -> usize {
-    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let hw = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
     hw.min(jobs).max(1)
 }
 
@@ -293,7 +307,10 @@ mod tests {
         );
         assert_eq!(out, items);
         let built = states.load(Ordering::Relaxed);
-        assert!(built >= 1 && built <= tile_parallelism(items.len()));
+        // Bounded by the worker count at spawn time; use the item count
+        // as the env-independent ceiling so this cannot race with
+        // `threads_env_overrides_parallelism` mutating SOFTMAP_THREADS.
+        assert!(built >= 1 && built <= items.len());
     }
 
     #[test]
@@ -325,5 +342,38 @@ mod tests {
         assert_eq!(tile_parallelism(0), 1);
         assert_eq!(tile_parallelism(1), 1);
         assert!(tile_parallelism(1 << 20) >= 1);
+    }
+
+    #[test]
+    fn threads_env_overrides_parallelism() {
+        // The override lets shard/batch fan-out be exercised beyond (or
+        // pinned below) the container's core count. Only values larger
+        // than the real parallelism are set here so concurrently
+        // running tests can never observe a *smaller* bound than they
+        // computed.
+        let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let forced = hw + 3;
+        std::env::set_var(THREADS_ENV, forced.to_string());
+        assert_eq!(tile_parallelism(1 << 20), forced);
+        assert_eq!(tile_parallelism(2), 2, "job count still caps");
+        // The fan-out really builds that many worker states.
+        let states = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..(forced as u64 * 4)).collect();
+        let out = parallel_map_with(
+            &items,
+            || {
+                states.fetch_add(1, Ordering::Relaxed);
+            },
+            |(), &x| x,
+        );
+        assert_eq!(out, items);
+        assert_eq!(states.load(Ordering::Relaxed), forced);
+        // Garbage and non-positive values fall back to the hardware.
+        std::env::set_var(THREADS_ENV, "0");
+        assert_eq!(tile_parallelism(1 << 20), hw);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert_eq!(tile_parallelism(1 << 20), hw);
+        std::env::remove_var(THREADS_ENV);
+        assert_eq!(tile_parallelism(1 << 20), hw);
     }
 }

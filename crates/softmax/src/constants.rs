@@ -43,7 +43,7 @@ pub struct SoftmaxConstants {
     /// The sum register allocates its `N` guard bits above *this* width,
     /// not above the (padded) Table I field allocation — otherwise the
     /// paper's observed `N = 8` truncation could never trigger at
-    /// sequence lengths ≤ 4096 (see DESIGN.md).
+    /// sequence lengths ≤ 4096 (see the README substitution notes).
     pub vapprox_used_bits: u32,
 }
 

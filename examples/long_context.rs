@@ -1,0 +1,78 @@
+//! Long-context softmax on fixed hardware: a 16k-token attention row
+//! sharded across the paper's 2048-row tiles.
+//!
+//! The paper evaluates up to 4096 tokens — exactly one tile at two
+//! words per row. This example runs 4x that on the *unchanged* device:
+//! the vector splits into four shards, the shard minima and partial
+//! sums cross the reduction network, and the result is still bit-exact
+//! against the scalar I-BERT specification.
+//!
+//! ```console
+//! cargo run --release --example long_context
+//! ```
+
+use softmap::{ApSoftmax, ApSoftmaxRun, TileState};
+use softmap_ap::ExecBackend;
+use softmap_softmax::{IntSoftmax, PrecisionConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = PrecisionConfig::paper_best();
+    let seq_len = 16384usize;
+    let scores: Vec<f64> = (0..seq_len)
+        .map(|i| -f64::from((i % 97) as u32) * 0.07)
+        .collect();
+
+    // The default device is the paper's deployment: 48 tiles per head,
+    // 2048 rows each. 16384 scores need 8192 packed rows = 4 tiles.
+    let mapping = ApSoftmax::new(cfg)?.with_backend(ExecBackend::FastWord);
+    let mut state = TileState::new();
+    let mut run = ApSoftmaxRun::default();
+
+    // First vector compiles the sharded plan (three phase programs per
+    // shard shape); every further vector replays it with zero heap
+    // allocations.
+    let t0 = std::time::Instant::now();
+    mapping.execute_floats_into(&mut state, &scores, &mut run)?;
+    let compile = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    mapping.execute_floats_into(&mut state, &scores, &mut run)?;
+    let replay = t1.elapsed();
+
+    println!(
+        "seq_len {seq_len} on {} x {}-row tiles",
+        mapping.device().tiles,
+        mapping.device().rows_per_tile
+    );
+    println!(
+        "  shards {} | waves {} | work {} cyc | critical path {} cyc (reduction {} cyc)",
+        run.shards,
+        run.waves,
+        run.total.cycles(),
+        run.latency_cycles,
+        run.reduction.cycles()
+    );
+    println!("  host simulation: compile+execute {compile:?}, steady-state replay {replay:?}");
+
+    // Bit-exactness against the scalar specification.
+    let scalar = IntSoftmax::new(cfg)?.run_floats(&scores)?;
+    assert_eq!(run.codes, scalar.codes);
+    assert_eq!(run.sum, scalar.sum);
+    println!("  bit-exact vs the scalar I-BERT spec over all {seq_len} codes");
+
+    // The static cost path answers the same shape without executing.
+    let vc = mapping.static_vector_cost(seq_len)?;
+    assert_eq!(vc.total, run.total);
+    assert_eq!(vc.latency_cycles, run.latency_cycles);
+    println!(
+        "  static == simulated: {} cycles, {} cell events",
+        vc.total.cycles(),
+        vc.total.cell_events()
+    );
+
+    // Per-step breakdown: per-shard phases + the cross-tile reductions.
+    println!("  step breakdown (accumulated across shards):");
+    for s in &run.steps {
+        println!("    {:<32} {}", s.name, s.stats);
+    }
+    Ok(())
+}

@@ -13,9 +13,16 @@
 # cross-host variance; the same-run comparison is printed alongside).
 # Set SOFTMAP_REPLAY_TOL=0 to disable the gate.
 #
+# Shard gate (host-invariant): the sharded long-sequence series
+# (backend/fastword-sharded/{4096,8192} = seq 8192/16384 on 2048-row
+# tiles) must exist and scale ~linearly — the 16384/8192 same-run time
+# ratio must stay within [1.2, 4.5]; the ratio cancels host speed.
+# Both gates run in --quick too. Set SOFTMAP_SHARD_GATE=0 to disable.
+#
 # Environment:
 #   CRITERION_MEASURE_MS  per-benchmark wall-clock budget (default 500)
 #   SOFTMAP_REPLAY_TOL    replay-vs-baseline gate tolerance (default 1.5)
+#   SOFTMAP_SHARD_GATE    set 0 to disable the shard scaling gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -95,6 +102,23 @@ for key, label in [("512", "rows256"), ("1024", "rows512"),
 if "plan_compile_us_rows1024" in plan:
     plan["plan_compile_us"] = plan["plan_compile_us_rows1024"]
 
+# Sharded long-sequence series (seq = 2 x rows label; 2048-row tiles).
+shard = {}
+shard8k = by_name.get("backend/fastword-sharded/4096")
+shard16k = by_name.get("backend/fastword-sharded/8192")
+if shard8k:
+    shard["shard_seq8192_ns"] = round(shard8k, 1)
+if shard16k:
+    shard["shard_seq16384_ns"] = round(shard16k, 1)
+if shard8k and shard16k:
+    shard["shard_scale_16384_over_8192"] = round(shard16k / shard8k, 2)
+whole4k = by_name.get("backend/fastword-replayed/2048")
+if whole4k and shard8k:
+    # Host time per score crossing the single-tile boundary (the
+    # sharded path re-stages operands between phases, so > 1x).
+    shard["shard_overhead_vs_whole_per_score"] = round(
+        (shard8k / 8192.0) / (whole4k / 4096.0), 2)
+
 doc = {
     "schema": "softmap-bench-ap-v1",
     "quick": quick,
@@ -104,6 +128,7 @@ doc = {
     "results_ns_per_iter": {r["bench"]: r["ns_per_iter"] for r in results},
     "backend_speedups": speedups,
     "plan_cache": plan,
+    "sharding": shard,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
@@ -141,4 +166,31 @@ if tol > 0:
               file=sys.stderr)
         sys.exit(1)
     print("replay gate: OK")
+
+# ---- shard scaling gate ----------------------------------------------------
+# Host-invariant by construction: both series come from the same run on
+# the same machine, so their RATIO cancels host speed. Doubling the
+# token count (8192 -> 16384 scores, 2 -> 4 shards on 2048-row tiles)
+# must roughly double the simulation time; a super-linear blow-up means
+# the sharded path lost its zero-allocation / plan-replay properties.
+if os.environ.get("SOFTMAP_SHARD_GATE", "1") != "0":
+    if not (shard8k and shard16k):
+        print("SHARD GATE FAILED: missing benchmark series "
+              f"(fastword-sharded/4096 = {shard8k}, "
+              f"fastword-sharded/8192 = {shard16k}). "
+              "Did a series get renamed without updating the gate?",
+              file=sys.stderr)
+        sys.exit(1)
+    ratio = shard16k / shard8k
+    lo, hi = 1.2, 4.5
+    print(f"shard gate: sharded 16384 / sharded 8192 = {ratio:.2f}x "
+          f"(allowed {lo}-{hi}x; 8192 = {shard8k:.0f} ns, 16384 = {shard16k:.0f} ns)")
+    if not (lo <= ratio <= hi):
+        print("SHARD GATE FAILED: doubling the sharded sequence scaled "
+              f"{ratio:.2f}x (allowed {lo}-{hi}x). Sub-linear means a "
+              "series is mislabeled; super-linear means the sharded path "
+              "regressed (per-vector allocation or recompilation).",
+              file=sys.stderr)
+        sys.exit(1)
+    print("shard gate: OK")
 PY
