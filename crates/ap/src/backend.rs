@@ -427,6 +427,73 @@ impl ApCore {
         Ok(())
     }
 
+    /// Fused-schedule constant multiplier behind `ApOp::MulConst`.
+    /// Plane-exact — the final carry column included — versus
+    /// broadcasting `bits` and running [`ApCore::mul`], on both
+    /// backends: this word-parallel engine is the single
+    /// implementation, charged as the schedule the optimizing
+    /// controller actually issues. Set multiplier bits run one ungated
+    /// ripple each (the controller needs no gate column for a bit it
+    /// knows is one); zero bits issue nothing at all — the elision the
+    /// gated multiply cannot perform, because it must still spend the
+    /// compare cycles to discover an empty gate.
+    pub(crate) fn fw_mul_const(
+        &mut self,
+        a: Field,
+        r: Field,
+        bits: u64,
+        width: usize,
+    ) -> Result<(), ApError> {
+        let bl = self.fw_blocks();
+        let (awd, rw) = (a.width(), r.width());
+        let cc = self.carry_col();
+        self.broadcast_all(r, 0)?;
+        let mut va = std::mem::take(&mut self.vals_a);
+        let mut vr = std::mem::take(&mut self.vals_r);
+        let mut carry = std::mem::take(&mut self.vals_c);
+        let mut events = std::mem::take(&mut self.events_buf);
+        self.fw_gather(a, &mut va);
+        vr.clear();
+        vr.resize(rw * bl, 0);
+        carry.clear();
+        carry.resize(bl, 0);
+        events.clear();
+        for j in 0..width {
+            let acc_w = (awd + 1).min(rw - j);
+            debug_assert_eq!(acc_w, awd + 1);
+            // A cleared carry matches the gated multiply for unset bits
+            // too: its per-bit clear_carry runs before the (skipped)
+            // sweep, so after an unset top bit the carry column is zero
+            // in both schedules.
+            carry.fill(0);
+            if bits >> j & 1 == 1 {
+                // Ungated is plane-exact vs. the all-rows gate: operand
+                // planes keep their tail bits zero, so padding rows add
+                // 0 + 0 and stay untouched.
+                let ev = fused_ripple::<false>(
+                    &va,
+                    awd,
+                    &mut vr[j * bl..(j + acc_w) * bl],
+                    acc_w,
+                    bl,
+                    None,
+                    &mut carry,
+                );
+                events.push((acc_w, ev));
+            }
+        }
+        self.fw_scatter(r, &vr);
+        self.cam_mut().plane_words_mut(cc).copy_from_slice(&carry);
+        for &(acc_w, ev) in &events {
+            self.fw_charge_ripple(awd, acc_w, false, ev);
+        }
+        self.vals_a = va;
+        self.vals_r = vr;
+        self.vals_c = carry;
+        self.events_buf = events;
+        Ok(())
+    }
+
     pub(crate) fn fw_shr_const(&mut self, field: Field, k: usize) -> Result<(), ApError> {
         let bl = self.fw_blocks();
         let rows = self.rows() as u64;
@@ -674,6 +741,179 @@ impl ApCore {
         self.vals_p = vpre;
         self.release_scratch(rem);
         Ok(())
+    }
+
+    /// Fused-schedule restoring divider behind `ApOp::FusedDivide`.
+    ///
+    /// Plane-exact versus running [`ApCore::fw_divide_restoring`] once
+    /// per channel back to back (remainder scratch, quotients, and the
+    /// final carry/flag columns included), but charged as the schedule
+    /// the optimizing controller issues: the per-iteration `rem <<= 1`
+    /// bit copies become a *window rename* — the controller re-labels
+    /// which columns form the remainder window instead of moving bits —
+    /// with one physical canonicalization sweep per channel at the end
+    /// to put the remainder back in its home columns. Batched channels
+    /// additionally share the single divisor gather and scratch
+    /// allocation.
+    pub(crate) fn fw_fused_divide(
+        &mut self,
+        channels: &[(Field, Field)],
+        den: Field,
+        frac_bits: usize,
+    ) -> Result<(), ApError> {
+        let bl = self.fw_blocks();
+        let rows = self.rows() as u64;
+        let dw = den.width();
+        let rem_w = dw + 1;
+        let (cc, fc) = (self.carry_col(), self.flag_col());
+        let rem = self.alloc_scratch(rem_w)?;
+
+        let mut vd = std::mem::take(&mut self.vals_a);
+        let mut vrem = std::mem::take(&mut self.vals_b);
+        let mut vq = std::mem::take(&mut self.vals_r);
+        let mut borrowed = std::mem::take(&mut self.vals_c);
+        let mut vpre = std::mem::take(&mut self.vals_p);
+        self.fw_gather(den, &mut vd);
+        vpre.clear();
+        vpre.resize(rem_w * bl, 0);
+
+        let mut cmp_cycles = 0u64;
+        let mut cmp_events = 0u64;
+        let mut wr_cycles = 0u64;
+        let mut wr_events = 0u64;
+        let low = 4 * dw as u64;
+        let ripple = 2 * (rem_w - dw) as u64;
+
+        let mut result = Ok(());
+        'channels: for &(num, quot) in channels {
+            let (nw, qw) = (num.width(), quot.width());
+            if let Err(e) = self
+                .broadcast_all(rem, 0)
+                .and_then(|()| self.broadcast_all(quot, 0))
+            {
+                result = Err(e);
+                break 'channels;
+            }
+            vrem.clear();
+            vrem.resize(rem_w * bl, 0);
+            vq.clear();
+            vq.resize(qw * bl, 0);
+            borrowed.clear();
+            borrowed.resize(bl, 0);
+
+            for k in (0..(nw + frac_bits)).rev() {
+                // rem <<= 1 by window rename: the plane math still
+                // moves the bits (column identity is canonicalized once
+                // per channel), but the rename itself is free.
+                vrem.copy_within(0..(rem_w - 1) * bl, bl);
+                if k >= frac_bits {
+                    cmp_cycles += 2;
+                    cmp_events += 2 * rows;
+                    wr_cycles += 2;
+                    wr_events += rows;
+                    let (head, _) = vrem.split_at_mut(bl);
+                    head.copy_from_slice(self.cam().plane_words(num.col(k - frac_bits)));
+                } else {
+                    wr_cycles += 1;
+                    wr_events += rows;
+                    vrem[..bl].fill(0);
+                }
+
+                // try rem -= den (clear_carry + passes + borrow
+                // readback) — identical charge shape to the standalone
+                // divider.
+                borrowed.fill(0);
+                vpre.copy_from_slice(&vrem);
+                let ev_sub =
+                    fused_ripple::<true>(&vd, dw, &mut vrem, rem_w, bl, None, &mut borrowed);
+                cmp_cycles += low + ripple + 1;
+                cmp_events += rows * (3 * low + 2 * ripple) + rows;
+                wr_cycles += 1 + low + ripple;
+                wr_events += rows + ev_sub;
+                let n_borrow: u64 = borrowed.iter().map(|w| u64::from(w.count_ones())).sum();
+
+                // Borrow latch + gated restore-blend (see
+                // `fw_divide_restoring` for the carry-chain argument).
+                wr_cycles += 2;
+                wr_events += rows + n_borrow;
+                if n_borrow > 0 {
+                    let mut ev_add = 0u64;
+                    for i in 0..rem_w {
+                        let a_bits = if i < dw {
+                            &vd[i * bl..(i + 1) * bl]
+                        } else {
+                            &[][..]
+                        };
+                        let rr = &mut vrem[i * bl..(i + 1) * bl];
+                        for (blk, (rref, (&pv, &bor))) in rr
+                            .iter_mut()
+                            .zip(vpre[i * bl..(i + 1) * bl].iter().zip(borrowed.iter()))
+                            .enumerate()
+                        {
+                            let post = *rref;
+                            let av = a_bits.get(blk).copied().unwrap_or(0);
+                            let ch = (pv ^ post) & bor;
+                            ev_add += u64::from(ch.count_ones())
+                                + u64::from((ch & !(av ^ post)).count_ones());
+                            *rref = (pv & bor) | (post & !bor);
+                        }
+                    }
+                    cmp_cycles += low + ripple;
+                    cmp_events += rows * (4 * low + 3 * ripple);
+                    wr_cycles += 1 + low + ripple;
+                    wr_events += rows + ev_add;
+                }
+                cmp_cycles += 1;
+                cmp_events += rows;
+
+                let n_nob = rows - n_borrow;
+                if k < qw {
+                    wr_cycles += 1;
+                    wr_events += n_nob;
+                    for blk in 0..bl {
+                        vq[k * bl + blk] |= !borrowed[blk] & tail_mask(rows as usize, blk, bl);
+                    }
+                } else if n_nob > 0 {
+                    wr_cycles += qw as u64;
+                    wr_events += qw as u64 * n_nob;
+                    for i in 0..qw {
+                        for blk in 0..bl {
+                            vq[i * bl + blk] |= !borrowed[blk] & tail_mask(rows as usize, blk, bl);
+                        }
+                    }
+                }
+            }
+
+            // Canonicalize the renamed remainder window back into its
+            // home columns: one gated copy pass per remainder bit.
+            cmp_cycles += 2 * rem_w as u64;
+            cmp_events += 2 * rem_w as u64 * rows;
+            wr_cycles += 2 * rem_w as u64;
+            wr_events += rem_w as u64 * rows;
+
+            self.fw_scatter(rem, &vrem);
+            self.fw_scatter(quot, &vq);
+            // The final channel leaves its last iteration's borrow in
+            // both the flag latch and the carry column — exactly the
+            // state back-to-back standalone divides leave behind.
+            self.cam_mut()
+                .plane_words_mut(fc)
+                .copy_from_slice(&borrowed);
+            self.cam_mut()
+                .plane_words_mut(cc)
+                .copy_from_slice(&borrowed);
+        }
+
+        let st = self.cam_mut().stats_mut();
+        st.charge_compares_bulk(cmp_cycles, cmp_events);
+        st.charge_writes_bulk(wr_cycles, wr_events);
+        self.vals_a = vd;
+        self.vals_b = vrem;
+        self.vals_r = vq;
+        self.vals_c = borrowed;
+        self.vals_p = vpre;
+        self.release_scratch(rem);
+        result
     }
 }
 

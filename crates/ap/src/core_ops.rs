@@ -780,6 +780,36 @@ impl ApCore {
         self.mul(a, a, r)
     }
 
+    /// Optimizer entry (`ApOp::MulConst`): fused constant multiply
+    /// `r = a * bits` over `width` multiplier bits. Plane-exact — the
+    /// carry column included — versus broadcasting `bits` into a field
+    /// and running [`ApCore::mul`], on either backend; zero multiplier
+    /// bits issue no sweep and charge nothing.
+    pub(crate) fn mul_const(
+        &mut self,
+        a: Field,
+        r: Field,
+        bits: u64,
+        width: usize,
+    ) -> Result<(), ApError> {
+        if r.overlaps(&a) {
+            return Err(ApError::FieldOverlap);
+        }
+        if width == 0 || width > 64 {
+            return Err(ApError::BadConfig("fused multiplier width out of range"));
+        }
+        if width < 64 && bits >> width != 0 {
+            return Err(ApError::WidthOverflow { value: bits, width });
+        }
+        if r.width() < a.width() + width {
+            return Err(ApError::WidthOverflow {
+                value: (a.width() + width) as u64,
+                width: r.width(),
+            });
+        }
+        self.fw_mul_const(a, r, bits, width)
+    }
+
     // ---- shifts ---------------------------------------------------------
 
     /// In-place logical right shift by a constant, over all rows.
@@ -1295,6 +1325,33 @@ impl ApCore {
         }
     }
 
+    /// Optimizer entry (`ApOp::FusedDivide`): batched fused restoring
+    /// division of up to two `(num, quot)` channels by the shared
+    /// divisor `den`, with the same overlap and zero-divisor checks as
+    /// [`ApCore::divide`]. Plane-exact versus issuing the restoring
+    /// divisions back to back, on either backend.
+    pub(crate) fn fused_divide(
+        &mut self,
+        channels: &[(Field, Field)],
+        den: Field,
+        frac_bits: usize,
+    ) -> Result<(), ApError> {
+        for &(num, quot) in channels {
+            if num.overlaps(&quot) || den.overlaps(&quot) || num.overlaps(&den) {
+                return Err(ApError::FieldOverlap);
+            }
+        }
+        let mut dens = std::mem::take(&mut self.vals_p);
+        dens.clear();
+        self.cam.read_field_append(den, &mut dens);
+        let any_zero = dens.contains(&0);
+        self.vals_p = dens;
+        if any_zero {
+            return Err(ApError::DivisionByZero);
+        }
+        self.fw_fused_divide(channels, den, frac_bits)
+    }
+
     fn divide_restoring(
         &mut self,
         num: Field,
@@ -1476,6 +1533,12 @@ impl ApCore {
     /// replay engine's way of reserving a compiled layout's columns so
     /// internal scratch allocations (division) land exactly where they
     /// did while recording.
+    /// Restores a statistics snapshot — the cost-model rollback behind
+    /// resident (hoisted-broadcast) replay. Plane state is untouched.
+    pub(crate) fn restore_stats(&mut self, snapshot: CycleStats) {
+        *self.cam.stats_mut() = snapshot;
+    }
+
     pub(crate) fn set_next_col(&mut self, next_col: usize) {
         debug_assert!(
             (2..=self.cam.cols()).contains(&next_col),

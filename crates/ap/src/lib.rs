@@ -80,6 +80,7 @@ pub use core_ops::{ApConfig, ApCore, DivStyle, Overflow};
 pub use device::DeviceConfig;
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use field::Field;
+pub use program::optimizer::{OptLevel, PassReport};
 pub use program::{ApOp, ApProgram, ExecIo, Operand, ProgramScratch, Recorder, RegId};
 pub use rowset::RowSet;
 pub use stats::CycleStats;

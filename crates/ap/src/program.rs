@@ -88,6 +88,8 @@
 //! }
 //! ```
 
+pub mod optimizer;
+
 use crate::{ApConfig, ApCore, ApError, CycleStats, DivStyle, Field, Overflow};
 
 /// Index of a scalar register: a host-side value a program derives at
@@ -251,6 +253,40 @@ pub enum ApOp {
         frac_bits: usize,
         /// Division microcode style.
         style: DivStyle,
+    },
+    /// Optimizer-generated fused constant multiply `r = a * bits`
+    /// (folded from a `Broadcast(Const)` + [`ApOp::Mul`] pair): the
+    /// controller knows every multiplier bit at compile time, so zero
+    /// bits issue no LUT sweep at all and set bits run ungated. The
+    /// result planes — the carry column included — are identical to
+    /// the broadcast-then-multiply pair on both backends.
+    MulConst {
+        /// Multiplicand field.
+        a: Field,
+        /// Result field (`a.width() + width` bits or wider).
+        r: Field,
+        /// The constant multiplier, resolved at compile time.
+        bits: u64,
+        /// Multiplier width in bits (the folded `b` operand's width).
+        width: usize,
+    },
+    /// Optimizer-generated fused restoring division: the same plane
+    /// math as [`ApOp::Divide`] with [`DivStyle::Restoring`], but the
+    /// controller renames the remainder window each iteration instead
+    /// of physically shifting it (one canonicalization copy per
+    /// channel replaces the per-iteration shift sweeps), and up to two
+    /// divisions sharing one divisor run as a single batched arena
+    /// pass.
+    FusedDivide {
+        /// Shared divisor field.
+        den: Field,
+        /// Fixed-point fraction bits.
+        frac_bits: usize,
+        /// `(numerator, quotient)` channel pairs; only the first
+        /// `n_channels` entries are live.
+        channels: [(Field, Field); 2],
+        /// Number of live channels (1 or 2).
+        n_channels: u8,
     },
     /// Append `field`'s words to output slot `output` (free read-out).
     Read {
@@ -425,6 +461,13 @@ fn apply_op(
             frac_bits,
             style,
         } => core.divide(num, den, quot, frac_bits, style),
+        ApOp::MulConst { a, r, bits, width } => core.mul_const(a, r, bits, width),
+        ApOp::FusedDivide {
+            den,
+            frac_bits,
+            ref channels,
+            n_channels,
+        } => core.fused_divide(&channels[..n_channels as usize], den, frac_bits),
         ApOp::Read { field, output } => {
             core.read_append(field, io.output(output)?);
             Ok(())
@@ -744,54 +787,76 @@ impl<'s, 'd> Recorder<'s, 'd> {
     #[must_use]
     pub fn finish(self) -> Option<ApProgram> {
         let trace = self.trace?;
-        let mut static_total = CycleStats::default();
-        for c in &trace.costs {
-            static_total.accumulate(c);
-        }
-        let mut static_steps = Vec::new();
-        let mut seg = CycleStats::default();
-        let mut num_inputs = 0u32;
-        let mut num_outputs = 0u32;
-        let mut num_scalars = 0u32;
-        for (op, cost) in trace.ops.iter().zip(&trace.costs) {
-            match *op {
-                ApOp::Step { name } => {
-                    static_steps.push((name, seg));
-                    seg = CycleStats::default();
-                }
-                ApOp::Load { input, .. } => {
-                    num_inputs = num_inputs.max(input + 1);
-                    seg.accumulate(cost);
-                }
-                ApOp::Read { output, .. } => {
-                    num_outputs = num_outputs.max(output + 1);
-                    seg.accumulate(cost);
-                }
-                ApOp::RegLoad { slot, .. } => {
-                    num_scalars = num_scalars.max(slot + 1);
-                    seg.accumulate(cost);
-                }
-                _ => seg.accumulate(cost),
-            }
-        }
-        if seg != CycleStats::default() {
-            // Ops after the last step mark that charged cycles: keep
-            // them in the per-step accounting so the segments always
-            // sum to the static total.
-            static_steps.push(("(after last step)", seg));
-        }
+        let summary = summarize(&trace.ops, &trace.costs);
         Some(ApProgram {
             config: ApConfig::new(self.core.rows(), self.core.cols()),
             reserved_cols: self.reserved_cols,
             num_regs: self.num_regs as usize,
-            num_inputs: num_inputs as usize,
-            num_outputs: num_outputs as usize,
-            num_scalars: num_scalars as usize,
+            num_inputs: summary.num_inputs as usize,
+            num_outputs: summary.num_outputs as usize,
+            num_scalars: summary.num_scalars as usize,
             ops: trace.ops,
             costs: trace.costs,
-            static_total,
-            static_steps,
+            static_total: summary.static_total,
+            static_steps: summary.static_steps,
+            hoisted: Vec::new(),
         })
+    }
+}
+
+/// Static summary of a trace: totals, per-step segments, and slot
+/// counts — shared by [`Recorder::finish`] and [`ApProgram::recost`].
+struct TraceSummary {
+    static_total: CycleStats,
+    static_steps: Vec<(&'static str, CycleStats)>,
+    num_inputs: u32,
+    num_outputs: u32,
+    num_scalars: u32,
+}
+
+fn summarize(ops: &[ApOp], costs: &[CycleStats]) -> TraceSummary {
+    let mut static_total = CycleStats::default();
+    for c in costs {
+        static_total.accumulate(c);
+    }
+    let mut static_steps = Vec::new();
+    let mut seg = CycleStats::default();
+    let mut num_inputs = 0u32;
+    let mut num_outputs = 0u32;
+    let mut num_scalars = 0u32;
+    for (op, cost) in ops.iter().zip(costs) {
+        match *op {
+            ApOp::Step { name } => {
+                static_steps.push((name, seg));
+                seg = CycleStats::default();
+            }
+            ApOp::Load { input, .. } => {
+                num_inputs = num_inputs.max(input + 1);
+                seg.accumulate(cost);
+            }
+            ApOp::Read { output, .. } => {
+                num_outputs = num_outputs.max(output + 1);
+                seg.accumulate(cost);
+            }
+            ApOp::RegLoad { slot, .. } => {
+                num_scalars = num_scalars.max(slot + 1);
+                seg.accumulate(cost);
+            }
+            _ => seg.accumulate(cost),
+        }
+    }
+    if seg != CycleStats::default() {
+        // Ops after the last step mark that charged cycles: keep
+        // them in the per-step accounting so the segments always
+        // sum to the static total.
+        static_steps.push(("(after last step)", seg));
+    }
+    TraceSummary {
+        static_total,
+        static_steps,
+        num_inputs,
+        num_outputs,
+        num_scalars,
     }
 }
 
@@ -810,6 +875,9 @@ pub struct ApProgram {
     costs: Vec<CycleStats>,
     static_total: CycleStats,
     static_steps: Vec<(&'static str, CycleStats)>,
+    /// Op indices the optimizer marked as hoistable out of per-shard
+    /// phase bodies (sorted); see [`ApProgram::replay_resident`].
+    hoisted: Vec<u32>,
 }
 
 impl ApProgram {
@@ -904,6 +972,88 @@ impl ApProgram {
     pub fn replay(
         &self,
         core: &mut ApCore,
+        io: ExecIo<'_, '_>,
+        scratch: &mut ProgramScratch,
+        mut on_step: impl FnMut(&'static str, CycleStats),
+    ) -> Result<(), ApError> {
+        self.replay_inner(core, io, scratch, &mut on_step, false)
+    }
+
+    /// [`ApProgram::replay`] with the resident-operand discount: ops
+    /// the optimizer marked as hoistable (broadcasts of shard-invariant
+    /// values — see `optimizer`) execute their plane writes but charge
+    /// no cycles. The mapping layer replays every shard after a wave's
+    /// first with this variant: an identical-value broadcast drives all
+    /// tiles' write drivers in parallel, so only the first shard pays.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ApProgram::replay`].
+    pub fn replay_resident(
+        &self,
+        core: &mut ApCore,
+        io: ExecIo<'_, '_>,
+        scratch: &mut ProgramScratch,
+        mut on_step: impl FnMut(&'static str, CycleStats),
+    ) -> Result<(), ApError> {
+        self.replay_inner(core, io, scratch, &mut on_step, true)
+    }
+
+    fn replay_inner(
+        &self,
+        core: &mut ApCore,
+        mut io: ExecIo<'_, '_>,
+        scratch: &mut ProgramScratch,
+        on_step: &mut dyn FnMut(&'static str, CycleStats),
+        resident: bool,
+    ) -> Result<(), ApError> {
+        if core.rows() != self.config.rows || core.cols() != self.config.cols {
+            return Err(ApError::BadConfig("replay geometry mismatch"));
+        }
+        if io.inputs.len() < self.num_inputs
+            || io.outputs.len() < self.num_outputs
+            || io.scalars.len() < self.num_scalars
+        {
+            return Err(ApError::BadConfig("replay is missing io slots"));
+        }
+        core.set_next_col(self.reserved_cols);
+        scratch.regs.clear();
+        scratch.regs.resize(self.num_regs, 0);
+        let mut mark = core.stats();
+        let mut hoisted = self.hoisted.iter().copied().peekable();
+        for (i, op) in self.ops.iter().enumerate() {
+            let hoist = resident && hoisted.peek() == Some(&(i as u32));
+            if hoisted.peek() == Some(&(i as u32)) {
+                hoisted.next();
+            }
+            if hoist {
+                // Plane writes happen; the charge is rolled back (the
+                // cost-model statement "this shard rides the
+                // device-wide broadcast for free").
+                let snapshot = core.stats();
+                apply_op(core, op, &mut io, scratch, &mut mark, on_step)?;
+                core.restore_stats(snapshot);
+            } else {
+                apply_op(core, op, &mut io, scratch, &mut mark, on_step)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-derives the per-op costs, static total, and step segments by
+    /// replaying the (optimized) trace once on `core` — how the static
+    /// cost contract survives optimization: after the pass pipeline
+    /// rewrites `ops`, one recost execution charges the *fused*
+    /// schedule and re-anchors [`ApProgram::static_cost`] /
+    /// [`ApProgram::static_steps`] to it. Outputs are appended and
+    /// registers derived exactly as in a normal replay.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ApProgram::replay`].
+    pub fn recost(
+        &mut self,
+        core: &mut ApCore,
         mut io: ExecIo<'_, '_>,
         scratch: &mut ProgramScratch,
         mut on_step: impl FnMut(&'static str, CycleStats),
@@ -921,10 +1071,26 @@ impl ApProgram {
         scratch.regs.clear();
         scratch.regs.resize(self.num_regs, 0);
         let mut mark = core.stats();
+        let mut last = mark;
+        let mut costs = Vec::with_capacity(self.ops.len());
         for op in &self.ops {
             apply_op(core, op, &mut io, scratch, &mut mark, &mut on_step)?;
+            let now = core.stats();
+            costs.push(now.since(&last));
+            last = now;
         }
+        self.costs = costs;
+        let summary = summarize(&self.ops, &self.costs);
+        self.static_total = summary.static_total;
+        self.static_steps = summary.static_steps;
         Ok(())
+    }
+
+    /// Op indices marked as hoistable by the optimizer (discounted
+    /// under [`ApProgram::replay_resident`]).
+    #[must_use]
+    pub fn hoisted(&self) -> &[u32] {
+        &self.hoisted
     }
 }
 

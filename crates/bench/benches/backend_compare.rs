@@ -12,10 +12,21 @@
 //!   vector pays record + execute; `fastword-compile − fastword-replayed`
 //!   is the compile cost a plan amortizes (`plan_compile_us` in
 //!   `BENCH_ap.json`),
+//! * `fastword-optimized` — the same pooled replay through the
+//!   optimizer's fused schedule (`OptLevel::Full`); against the
+//!   `OptLevel::None` pin on `fastword-replayed` this isolates what the
+//!   pass pipeline buys (`opt_gain_rows*` in `BENCH_ap.json`),
 //! * `fastword-batch32` — the multi-tile batch driver's throughput,
-//! * `fastword-sharded` — long sequences (8192/16384 scores) sharded
-//!   across fixed 2048-row tiles through the cached sharded plan
+//! * `fastword-sharded` / `fastword-sharded-optimized` — long
+//!   sequences (8192/16384 scores) sharded across fixed 2048-row tiles
+//!   through the cached sharded plan, unoptimized and fused
 //!   (`shard_*` fields and the shard-scaling gate in `BENCH_ap.json`).
+//!
+//! Besides wall-clock series, the bench appends `cycles/...` records to
+//! `CRITERION_JSON`: simulated cycle counts from the compiled plans'
+//! static costs (static == simulated is enforced by
+//! `crates/eval/tests/static_cost.rs`). `scripts/bench_ap.sh` gates the
+//! optimizer on these, so the gate is host-invariant.
 //!
 //! `FastWord` charges identical `CycleStats` (enforced by the
 //! differential proptests; spot-checked here) while running ~13× faster
@@ -26,7 +37,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use softmap::{ApSoftmax, ApSoftmaxRun, PlanMode, TileState};
-use softmap_ap::ExecBackend;
+use softmap_ap::{ExecBackend, OptLevel};
 use softmap_softmax::PrecisionConfig;
 use std::hint::black_box;
 use std::time::Instant;
@@ -43,16 +54,40 @@ fn mapping(backend: ExecBackend) -> ApSoftmax {
         .with_backend(backend)
 }
 
+/// Appends a simulated-cycle record to the `CRITERION_JSON` stream in
+/// the same `{"bench":..., "ns_per_iter":...}` shape the harness emits,
+/// so `scripts/bench_ap.sh` can gate on numbers that do not depend on
+/// host speed.
+fn emit_cycles(name: &str, cycles: u64) {
+    use std::io::Write;
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(file, "{{\"bench\":\"{name}\",\"ns_per_iter\":{cycles}}}");
+    }
+}
+
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("backend");
     g.sample_size(10);
     for len in [512usize, 1024, 2048, 4096] {
         let s = scores(len);
+        // The two raw-engine series stay pinned at `OptLevel::None` so
+        // their trajectory is comparable with earlier records; the
+        // optimizer's effect is its own series below.
         for (name, backend) in [
             ("microcode", ExecBackend::Microcode),
             ("fastword", ExecBackend::FastWord),
         ] {
-            let m = mapping(backend);
+            let m = mapping(backend).with_opt_level(OptLevel::None);
             g.bench_with_input(BenchmarkId::new(name, len / 2), &s, |b, s| {
                 b.iter(|| black_box(m.execute_floats(s).unwrap().total.cycles()))
             });
@@ -69,7 +104,9 @@ fn bench(c: &mut Criterion) {
             })
         });
         // Cached-plan replay: compile once, then load → replay → read.
-        let m = mapping(ExecBackend::FastWord);
+        // Pinned to `OptLevel::None` so the series keeps measuring the
+        // replay mechanism itself, comparable with earlier records.
+        let m = mapping(ExecBackend::FastWord).with_opt_level(OptLevel::None);
         let mut state = TileState::new();
         let mut run = ApSoftmaxRun::default();
         g.bench_with_input(
@@ -82,9 +119,27 @@ fn bench(c: &mut Criterion) {
                 })
             },
         );
+        // Optimized cached-plan replay: the fused schedule the pass
+        // pipeline produces; vs `fastword-replayed` this is the
+        // optimizer's wall-clock gain on the same pooled path.
+        let m = mapping(ExecBackend::FastWord).with_opt_level(OptLevel::Full);
+        let mut state = TileState::new();
+        let mut run = ApSoftmaxRun::default();
+        g.bench_with_input(
+            BenchmarkId::new("fastword-optimized", len / 2),
+            &s,
+            |b, s| {
+                b.iter(|| {
+                    m.execute_floats_into(&mut state, s, &mut run).unwrap();
+                    black_box(run.total.cycles())
+                })
+            },
+        );
         // Compile every vector: the cache is cleared per iteration, so
-        // this series pays record + execute each time.
-        let m = mapping(ExecBackend::FastWord);
+        // this series pays record + execute each time (OptLevel::None,
+        // so `fastword-compile − fastword-replayed` stays the plain
+        // record cost without the optimize + recost overhead).
+        let m = mapping(ExecBackend::FastWord).with_opt_level(OptLevel::None);
         let mut state = TileState::new();
         let mut run = ApSoftmaxRun::default();
         g.bench_with_input(BenchmarkId::new("fastword-compile", len / 2), &s, |b, s| {
@@ -102,7 +157,7 @@ fn bench(c: &mut Criterion) {
     // per-shard exp + partial sums, cross-tile sum, per-shard divide.
     for len in [8192usize, 16384] {
         let s = scores(len);
-        let m = mapping(ExecBackend::FastWord);
+        let m = mapping(ExecBackend::FastWord).with_opt_level(OptLevel::None);
         let mut state = TileState::new();
         let mut run = ApSoftmaxRun::default();
         g.bench_with_input(BenchmarkId::new("fastword-sharded", len / 2), &s, |b, s| {
@@ -111,12 +166,25 @@ fn bench(c: &mut Criterion) {
                 black_box(run.latency_cycles)
             })
         });
+        let m = mapping(ExecBackend::FastWord).with_opt_level(OptLevel::Full);
+        let mut state = TileState::new();
+        let mut run = ApSoftmaxRun::default();
+        g.bench_with_input(
+            BenchmarkId::new("fastword-sharded-optimized", len / 2),
+            &s,
+            |b, s| {
+                b.iter(|| {
+                    m.execute_floats_into(&mut state, s, &mut run).unwrap();
+                    black_box(run.latency_cycles)
+                })
+            },
+        );
     }
 
     // Multi-tile batch driver: a full layer's worth of rows across
     // host threads vs. sequential single-tile execution.
     let batch: Vec<Vec<f64>> = (0..32).map(|_| scores(1024)).collect();
-    let fast = mapping(ExecBackend::FastWord);
+    let fast = mapping(ExecBackend::FastWord).with_opt_level(OptLevel::None);
     g.bench_with_input(
         BenchmarkId::new("fastword-batch32", 512),
         &batch,
@@ -151,6 +219,38 @@ fn bench(c: &mut Criterion) {
         plan.compile_micros(),
         plan.program().static_cost()
     );
+    println!("plan @2048 rows: {}", plan.pass_report());
+
+    // Host-invariant simulated-cycle records for the optimizer gate:
+    // static == simulated is enforced by the eval tests, so the plans'
+    // static costs ARE the simulated cycle counts.
+    for len in [512usize, 1024, 2048, 4096] {
+        let unopt = mapping(ExecBackend::FastWord).with_opt_level(OptLevel::None);
+        let opt = mapping(ExecBackend::FastWord).with_opt_level(OptLevel::Full);
+        let u = unopt.static_cost(len).unwrap().cycles();
+        let o = opt.static_cost(len).unwrap().cycles();
+        emit_cycles(&format!("cycles/fastword/{}", len / 2), u);
+        emit_cycles(&format!("cycles/fastword-optimized/{}", len / 2), o);
+        if len == 4096 {
+            println!(
+                "optimizer @2048 rows: {o} fused vs {u} unoptimized simulated \
+                 cycles ({}% remaining)",
+                o * 100 / u
+            );
+        }
+    }
+    for len in [8192usize, 16384] {
+        let unopt = mapping(ExecBackend::FastWord).with_opt_level(OptLevel::None);
+        let opt = mapping(ExecBackend::FastWord).with_opt_level(OptLevel::Full);
+        emit_cycles(
+            &format!("cycles/fastword-sharded/{}", len / 2),
+            unopt.static_vector_cost(len).unwrap().total.cycles(),
+        );
+        emit_cycles(
+            &format!("cycles/fastword-sharded-optimized/{}", len / 2),
+            opt.static_vector_cost(len).unwrap().total.cycles(),
+        );
+    }
     let sharded = fast
         .sharded_plan(16384)
         .expect("sharded plan compiled above");

@@ -24,10 +24,10 @@ use std::sync::Arc;
 
 use softmap_ap::batch::{self, BatchStats};
 use softmap_ap::device::{self, DeviceConfig};
-use softmap_ap::program::{ExecIo, ProgramScratch, Recorder};
+use softmap_ap::program::{optimizer, ExecIo, ProgramScratch, Recorder};
 use softmap_ap::{
     ApConfig, ApCore, ApError, ApProgram, ApTile, CycleStats, DivStyle, ExecBackend, Field,
-    Overflow, RegId,
+    OptLevel, Overflow, PassReport, RegId,
 };
 use softmap_softmax::{IntSoftmax, PrecisionConfig, SumMode};
 
@@ -141,6 +141,7 @@ pub struct ApSoftmax {
     layout: Layout,
     backend: ExecBackend,
     plan_mode: PlanMode,
+    opt_level: OptLevel,
     device: DeviceConfig,
     plans: Arc<PlanCache>,
 }
@@ -306,6 +307,18 @@ fn accumulate_step(steps: &mut Vec<StepStats>, name: &'static str, stats: CycleS
     }
 }
 
+/// Whether shard `i` replays its phase program with the
+/// resident-operand discount ([`ApProgram::replay_resident`]): every
+/// shard after the *first occurrence of its shape* rides the
+/// device-wide broadcast of shard-invariant operands for free, while
+/// first occurrences pay full price (their recording execution anchors
+/// the phase program's cost). The rule is a pure function of the
+/// partition, so compile-time totals and replay totals agree.
+fn shard_resident(ranges: &[(usize, usize)], i: usize) -> bool {
+    let len = ranges[i].1 - ranges[i].0;
+    ranges[..i].iter().any(|&(s, e)| e - s == len)
+}
+
 /// How one sharded pass executes each shard's phase program.
 enum ShardExec<'a> {
     /// Issue every op directly (no cache, no recording) — the
@@ -341,6 +354,7 @@ impl ApSoftmax {
             layout: Layout::TwoWordsPerRow,
             backend: ExecBackend::default(),
             plan_mode: PlanMode::default(),
+            opt_level: OptLevel::from_env(),
             device: DeviceConfig::default(),
             plans: Arc::new(PlanCache::new()),
         })
@@ -422,6 +436,25 @@ impl ApSoftmax {
     #[must_use]
     pub fn plan_mode(&self) -> PlanMode {
         self.plan_mode
+    }
+
+    /// Selects the trace-optimization level plans compile at. The
+    /// default reads the `SOFTMAP_OPT` environment variable
+    /// ([`OptLevel::ENV`]) and falls back to [`OptLevel::Full`];
+    /// [`OptLevel::None`] replays the recorded trace byte-for-byte (the
+    /// differential-testing baseline). The level is part of the plan
+    /// key, so plans compiled at different levels coexist and the
+    /// cache is kept.
+    #[must_use]
+    pub fn with_opt_level(mut self, level: OptLevel) -> Self {
+        self.opt_level = level;
+        self
+    }
+
+    /// The trace-optimization level in use.
+    #[must_use]
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt_level
     }
 
     /// Counters of the shared plan cache (plans, compiles, hits,
@@ -644,6 +677,7 @@ impl ApSoftmax {
             len: total_len,
             layout: self.layout,
             div: self.div_style,
+            opt: self.opt_level,
             phase: PlanPhase::Vector,
         };
         let token = self.plans.slot_token();
@@ -669,14 +703,22 @@ impl ApSoftmax {
         }
         // Still missing: record the trace while executing this vector.
         let started = std::time::Instant::now();
-        let (program, sum_reg) = self
+        let (mut program, sum_reg) = self
             .issue_once(tile, scratch, halves, rows, total_len, run, true)?
             .expect("recording execution returns a program");
+        let report = optimizer::optimize(&mut program, self.opt_level);
+        if report.changed() {
+            // The pass pipeline rewrote the trace and invalidated the
+            // recorded costs: one recost execution charges the fused
+            // schedule and overwrites this vector's run with it.
+            self.recost_whole(&mut program, sum_reg, tile, scratch, halves, total_len, run)?;
+        }
         let plan = Arc::new(CompiledPlan::new(
             program,
             sum_reg,
             run.rows,
             run.cols_used,
+            report,
             started.elapsed().as_secs_f64() * 1e6,
         ));
         self.plans
@@ -865,6 +907,51 @@ impl ApSoftmax {
         Ok(())
     }
 
+    /// Re-executes a freshly optimized whole-vector program once
+    /// ([`ApProgram::recost`]): the recorded per-op costs described the
+    /// unoptimized trace, so one execution of the fused schedule
+    /// re-anchors the program's static cost and overwrites `run` with
+    /// the optimized outcome this vector returns.
+    #[allow(clippy::too_many_arguments)]
+    fn recost_whole(
+        &self,
+        program: &mut ApProgram,
+        sum_reg: RegId,
+        tile: &mut ApTile,
+        scratch: &mut ProgramScratch,
+        halves: &[&[u64]],
+        total_len: usize,
+        run: &mut ApSoftmaxRun,
+    ) -> Result<(), CoreError> {
+        let ap = tile.acquire(program.config(), self.backend)?;
+        {
+            let ApSoftmaxRun {
+                codes,
+                vapprox,
+                steps,
+                ..
+            } = run;
+            codes.clear();
+            vapprox.clear();
+            steps.clear();
+            let mut outs: [&mut Vec<u64>; 2] = [codes, vapprox];
+            program.recost(
+                ap,
+                ExecIo::new(halves, &mut outs),
+                scratch,
+                |name, stats| {
+                    steps.push(StepStats { name, stats });
+                },
+            )?;
+        }
+        run.codes.truncate(total_len);
+        run.vapprox.truncate(total_len);
+        run.sum = scratch.reg(sum_reg);
+        run.total = ap.stats();
+        Self::finish_unsharded(run);
+        Ok(())
+    }
+
     // ---- sharded long-sequence execution --------------------------------
 
     /// Executes a vector that exceeds one tile's row capacity, sharded
@@ -922,6 +1009,7 @@ impl ApSoftmax {
             len: codes.len(),
             layout: self.layout,
             div: self.div_style,
+            opt: self.opt_level,
             phase: PlanPhase::Vector,
         };
         let token = self.plans.slot_token();
@@ -1047,14 +1135,24 @@ impl ApSoftmax {
                 ShardExec::Replay(plan) => {
                     let p = &plan.min_plans[i];
                     let mut outs: [&mut Vec<u64>; 0] = [];
-                    let stats =
-                        self.replay_shard_phase(p, tile, scratch, halves, &[], &mut outs, steps)?;
+                    let resident = shard_resident(ranges, i);
+                    let stats = self.replay_shard_phase(
+                        p,
+                        tile,
+                        scratch,
+                        halves,
+                        &[],
+                        &mut outs,
+                        steps,
+                        resident,
+                    )?;
                     (stats, p.cols_used(), scratch.reg(p.result_reg()))
                 }
                 ShardExec::Compile(builder) => {
                     let key = self.shard_key(e - s, PlanPhase::ShardMin);
                     if let Some(CachedPlan::Program(p)) = self.plans.peek(&key) {
                         let mut outs: [&mut Vec<u64>; 0] = [];
+                        let resident = shard_resident(ranges, i);
                         let stats = self.replay_shard_phase(
                             &p,
                             tile,
@@ -1063,20 +1161,37 @@ impl ApSoftmax {
                             &[],
                             &mut outs,
                             steps,
+                            resident,
                         )?;
                         let minv = scratch.reg(p.result_reg());
                         builder.min_plans.push(Arc::clone(&p));
                         (stats, p.cols_used(), minv)
                     } else {
+                        let steps_snapshot = steps.clone();
                         let started = std::time::Instant::now();
-                        let (stats, cols, minv, prog) =
+                        let (stats, cols, _, prog) =
                             self.issue_min_phase(tile, scratch, halves, rows, steps, true)?;
-                        let (program, reg) = prog.expect("recording returns a program");
+                        let (mut program, reg) = prog.expect("recording returns a program");
+                        let mut outs: [&mut Vec<u64>; 0] = [];
+                        let (report, stats, minv) = self.optimize_phase(
+                            &mut program,
+                            reg,
+                            tile,
+                            scratch,
+                            halves,
+                            &[],
+                            &mut outs,
+                            &[],
+                            steps,
+                            steps_snapshot,
+                            stats,
+                        )?;
                         let p = Arc::new(CompiledPlan::new(
                             program,
                             reg,
                             rows,
                             cols,
+                            report,
                             started.elapsed().as_secs_f64() * 1e6,
                         ));
                         self.plans.insert(key, CachedPlan::Program(Arc::clone(&p)));
@@ -1124,31 +1239,51 @@ impl ApSoftmax {
                 ShardExec::Replay(plan) => {
                     let p = &plan.exp_plans[i];
                     let mut outs: [&mut Vec<u64>; 1] = [out_vap];
-                    let stats = self
-                        .replay_shard_phase(p, tile, scratch, halves, &scalars, &mut outs, steps)?;
+                    let resident = shard_resident(ranges, i);
+                    let stats = self.replay_shard_phase(
+                        p, tile, scratch, halves, &scalars, &mut outs, steps, resident,
+                    )?;
                     (stats, p.cols_used(), scratch.reg(p.result_reg()))
                 }
                 ShardExec::Compile(builder) => {
                     let key = self.shard_key(e - s, PlanPhase::ShardExp);
                     if let Some(CachedPlan::Program(p)) = self.plans.peek(&key) {
                         let mut outs: [&mut Vec<u64>; 1] = [out_vap];
+                        let resident = shard_resident(ranges, i);
                         let stats = self.replay_shard_phase(
-                            &p, tile, scratch, halves, &scalars, &mut outs, steps,
+                            &p, tile, scratch, halves, &scalars, &mut outs, steps, resident,
                         )?;
                         let partial = scratch.reg(p.result_reg());
                         builder.exp_plans.push(Arc::clone(&p));
                         (stats, p.cols_used(), partial)
                     } else {
+                        let steps_snapshot = steps.clone();
+                        let vap_mark = out_vap.len();
                         let started = std::time::Instant::now();
-                        let (stats, cols, partial, prog) = self.issue_exp_phase(
+                        let (stats, cols, _, prog) = self.issue_exp_phase(
                             tile, scratch, halves, rows, &scalars, out_vap, steps, true,
                         )?;
-                        let (program, reg) = prog.expect("recording returns a program");
+                        let (mut program, reg) = prog.expect("recording returns a program");
+                        let mut outs: [&mut Vec<u64>; 1] = [out_vap];
+                        let (report, stats, partial) = self.optimize_phase(
+                            &mut program,
+                            reg,
+                            tile,
+                            scratch,
+                            halves,
+                            &scalars,
+                            &mut outs,
+                            &[vap_mark],
+                            steps,
+                            steps_snapshot,
+                            stats,
+                        )?;
                         let p = Arc::new(CompiledPlan::new(
                             program,
                             reg,
                             rows,
                             cols,
+                            report,
                             started.elapsed().as_secs_f64() * 1e6,
                         ));
                         self.plans.insert(key, CachedPlan::Program(Arc::clone(&p)));
@@ -1191,8 +1326,9 @@ impl ApSoftmax {
                 ShardExec::Replay(plan) => {
                     let p = &plan.div_plans[i];
                     let mut outs: [&mut Vec<u64>; 1] = [out_codes];
+                    let resident = shard_resident(ranges, i);
                     let stats = self.replay_shard_phase(
-                        p, tile, scratch, vap_halves, &scalars, &mut outs, steps,
+                        p, tile, scratch, vap_halves, &scalars, &mut outs, steps, resident,
                     )?;
                     (stats, p.cols_used())
                 }
@@ -1200,22 +1336,40 @@ impl ApSoftmax {
                     let key = self.shard_key(e - s, PlanPhase::ShardDiv);
                     if let Some(CachedPlan::Program(p)) = self.plans.peek(&key) {
                         let mut outs: [&mut Vec<u64>; 1] = [out_codes];
+                        let resident = shard_resident(ranges, i);
                         let stats = self.replay_shard_phase(
-                            &p, tile, scratch, vap_halves, &scalars, &mut outs, steps,
+                            &p, tile, scratch, vap_halves, &scalars, &mut outs, steps, resident,
                         )?;
                         builder.div_plans.push(Arc::clone(&p));
                         (stats, p.cols_used())
                     } else {
+                        let steps_snapshot = steps.clone();
+                        let codes_mark = out_codes.len();
                         let started = std::time::Instant::now();
                         let (stats, cols, prog) = self.issue_div_phase(
                             tile, scratch, vap_halves, rows, &scalars, out_codes, steps, true,
                         )?;
-                        let (program, reg) = prog.expect("recording returns a program");
+                        let (mut program, reg) = prog.expect("recording returns a program");
+                        let mut outs: [&mut Vec<u64>; 1] = [out_codes];
+                        let (report, stats, _) = self.optimize_phase(
+                            &mut program,
+                            reg,
+                            tile,
+                            scratch,
+                            vap_halves,
+                            &scalars,
+                            &mut outs,
+                            &[codes_mark],
+                            steps,
+                            steps_snapshot,
+                            stats,
+                        )?;
                         let p = Arc::new(CompiledPlan::new(
                             program,
                             reg,
                             rows,
                             cols,
+                            report,
                             started.elapsed().as_secs_f64() * 1e6,
                         ));
                         self.plans.insert(key, CachedPlan::Program(Arc::clone(&p)));
@@ -1257,6 +1411,7 @@ impl ApSoftmax {
             len: shard_len,
             layout: self.layout,
             div: self.div_style,
+            opt: self.opt_level,
             phase,
         }
     }
@@ -1289,7 +1444,8 @@ impl ApSoftmax {
         }
     }
 
-    /// Replays one shard-phase program on the pooled tile.
+    /// Replays one shard-phase program on the pooled tile. `resident`
+    /// selects the resident-operand discount (see [`shard_resident`]).
     #[allow(clippy::too_many_arguments)]
     fn replay_shard_phase<'d>(
         &self,
@@ -1300,15 +1456,57 @@ impl ApSoftmax {
         scalars: &[u64],
         outs: &mut [&'d mut Vec<u64>],
         steps: &mut Vec<StepStats>,
+        resident: bool,
     ) -> Result<CycleStats, CoreError> {
         let ap = tile.acquire(plan.program().config(), self.backend)?;
-        plan.program().replay(
+        let io = ExecIo::new(inputs, outs).with_scalars(scalars);
+        let on_step = |name: &'static str, stats: CycleStats| accumulate_step(steps, name, stats);
+        if resident {
+            plan.program().replay_resident(ap, io, scratch, on_step)?;
+        } else {
+            plan.program().replay(ap, io, scratch, on_step)?;
+        }
+        Ok(ap.stats())
+    }
+
+    /// Optimizes a freshly recorded shard-phase program. When the pass
+    /// pipeline changed the trace, the recording execution's outputs
+    /// and step deltas no longer describe it: they are rolled back (to
+    /// `out_marks` / `steps_snapshot`) and one recost execution of the
+    /// fused schedule replaces them, also re-anchoring the program's
+    /// static cost. Returns the pass report plus the (possibly
+    /// re-derived) phase stats and result scalar.
+    #[allow(clippy::too_many_arguments)]
+    fn optimize_phase<'d>(
+        &self,
+        program: &mut ApProgram,
+        reg: RegId,
+        tile: &mut ApTile,
+        scratch: &mut ProgramScratch,
+        inputs: &[&'d [u64]],
+        scalars: &[u64],
+        outs: &mut [&'d mut Vec<u64>],
+        out_marks: &[usize],
+        steps: &mut Vec<StepStats>,
+        steps_snapshot: Vec<StepStats>,
+        stats: CycleStats,
+    ) -> Result<(PassReport, CycleStats, u64), CoreError> {
+        let report = optimizer::optimize(program, self.opt_level);
+        if !report.changed() {
+            return Ok((report, stats, scratch.reg(reg)));
+        }
+        *steps = steps_snapshot;
+        for (out, &mark) in outs.iter_mut().zip(out_marks) {
+            out.truncate(mark);
+        }
+        let ap = tile.acquire(program.config(), self.backend)?;
+        program.recost(
             ap,
             ExecIo::new(inputs, outs).with_scalars(scalars),
             scratch,
             |name, stats| accumulate_step(steps, name, stats),
         )?;
-        Ok(ap.stats())
+        Ok((report, ap.stats(), scratch.reg(reg)))
     }
 
     /// Min phase: load the shard's halves and min-search them. Returns
@@ -1708,6 +1906,7 @@ impl ApSoftmax {
             len,
             layout: self.layout,
             div: self.div_style,
+            opt: self.opt_level,
             phase: PlanPhase::Vector,
         };
         // Observer lookup: a cost query is not a replay, so it must
@@ -2032,18 +2231,93 @@ mod tests {
                     .with_plan_mode(PlanMode::DirectIssue)
                     .execute_floats(&scores)
                     .unwrap();
+                // OptLevel::None replays the recorded trace
+                // byte-for-byte: every number matches direct issue.
                 let cached = ApSoftmax::new(cfg)
                     .unwrap()
                     .with_layout(layout)
                     .with_div_style(style)
+                    .with_opt_level(OptLevel::None)
                     .unwrap_execute_pair(&warm, &scores);
                 assert_eq!(cached.codes, direct.codes);
                 assert_eq!(cached.vapprox, direct.vapprox);
                 assert_eq!(cached.sum, direct.sum);
                 assert_eq!(cached.total, direct.total);
                 assert_eq!(cached.steps, direct.steps);
+                // The default level stays bit-exact on every output
+                // while the fused schedule costs strictly less.
+                let optimized = ApSoftmax::new(cfg)
+                    .unwrap()
+                    .with_layout(layout)
+                    .with_div_style(style)
+                    .with_opt_level(OptLevel::Full)
+                    .unwrap_execute_pair(&warm, &scores);
+                assert_eq!(optimized.codes, direct.codes);
+                assert_eq!(optimized.vapprox, direct.vapprox);
+                assert_eq!(optimized.sum, direct.sum);
+                assert!(
+                    optimized.total.cycles() < direct.total.cycles(),
+                    "{layout:?}/{style:?}: fused schedule must be cheaper"
+                );
             }
         }
+    }
+
+    #[test]
+    fn opt_env_selects_mapping_default() {
+        // Race-safe: only the default-equivalent value is set, so
+        // mappings constructed by concurrently running tests still
+        // resolve OptLevel::Full.
+        std::env::set_var(OptLevel::ENV, "full");
+        let mapping = ApSoftmax::new(PrecisionConfig::paper_best()).unwrap();
+        assert_eq!(mapping.opt_level(), OptLevel::Full);
+        std::env::remove_var(OptLevel::ENV);
+        let mapping = ApSoftmax::new(PrecisionConfig::paper_best()).unwrap();
+        assert_eq!(mapping.opt_level(), OptLevel::Full, "unset falls back");
+        // The builder override wins regardless of the environment.
+        let pinned = mapping.with_opt_level(OptLevel::None);
+        assert_eq!(pinned.opt_level(), OptLevel::None);
+    }
+
+    #[test]
+    fn opt_levels_coexist_in_plan_cache() {
+        let scores: Vec<f64> = (0..16).map(|i| -(f64::from(i) * 0.31) % 6.1).collect();
+        let optimized = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_opt_level(OptLevel::Full);
+        // Clones share the cache; the opt level is part of the key.
+        let baseline = optimized.clone().with_opt_level(OptLevel::None);
+        let fast = optimized.execute_floats(&scores).unwrap();
+        let slow = baseline.execute_floats(&scores).unwrap();
+        assert_eq!(fast.codes, slow.codes);
+        assert!(fast.total.cycles() < slow.total.cycles());
+        let stats = optimized.plan_stats();
+        assert_eq!(stats.plans, 2, "same shape, two levels: two entries");
+        assert_eq!(stats.compiles, 2);
+        assert_eq!(stats.evictions, 0);
+        // Each level replays its own entry — no eviction confusion, no
+        // recompiles.
+        optimized.execute_floats(&scores).unwrap();
+        baseline.execute_floats(&scores).unwrap();
+        let stats = optimized.plan_stats();
+        assert_eq!(stats.compiles, 2, "replays must hit, not recompile");
+        assert!(stats.hits >= 2);
+        assert_eq!(stats.evictions, 0);
+
+        // At capacity 1 the two levels thrash the LRU: each compile
+        // evicts the other level's entry and the counter stays exact.
+        let tight = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_plan_capacity(1)
+            .with_opt_level(OptLevel::Full);
+        let tight_base = tight.clone().with_opt_level(OptLevel::None);
+        tight.execute_floats(&scores).unwrap();
+        tight_base.execute_floats(&scores).unwrap();
+        tight.execute_floats(&scores).unwrap();
+        let stats = tight.plan_stats();
+        assert_eq!(stats.plans, 1);
+        assert_eq!(stats.compiles, 3, "thrashing recompiles every time");
+        assert_eq!(stats.evictions, 2);
     }
 
     #[test]
@@ -2173,6 +2447,7 @@ mod tests {
                 .unwrap()
                 .with_backend(backend)
                 .with_device(tiny_device())
+                .with_opt_level(OptLevel::None)
                 .unwrap_execute_pair(&warm, &scores);
             assert!(direct.shards > 1);
             assert_eq!(cached.codes, direct.codes);
@@ -2181,6 +2456,23 @@ mod tests {
             assert_eq!(cached.total, direct.total, "{backend:?} cycle stats");
             assert_eq!(cached.latency_cycles, direct.latency_cycles);
             assert_eq!(cached.steps, direct.steps);
+            // The default level: bit-exact outputs, strictly cheaper
+            // (fused phase schedules plus the resident-broadcast
+            // discount on every shard after the first).
+            let optimized = ApSoftmax::new(cfg)
+                .unwrap()
+                .with_backend(backend)
+                .with_device(tiny_device())
+                .with_opt_level(OptLevel::Full)
+                .unwrap_execute_pair(&warm, &scores);
+            assert_eq!(optimized.codes, direct.codes);
+            assert_eq!(optimized.vapprox, direct.vapprox);
+            assert_eq!(optimized.sum, direct.sum);
+            assert!(
+                optimized.total.cycles() < direct.total.cycles(),
+                "{backend:?}: sharded fused schedule must be cheaper"
+            );
+            assert!(optimized.latency_cycles < direct.latency_cycles);
         }
     }
 

@@ -39,7 +39,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use softmap_ap::{ApProgram, CycleStats, DivStyle, RegId};
+use softmap_ap::{ApProgram, CycleStats, DivStyle, OptLevel, PassReport, RegId};
 
 use crate::mapping::{Layout, StepStats};
 
@@ -73,6 +73,10 @@ pub(crate) struct PlanKey {
     pub layout: Layout,
     /// Division microcode style.
     pub div: DivStyle,
+    /// Optimization level the plan was compiled at. Part of the key so
+    /// optimized and unoptimized plans for the same shape coexist (the
+    /// differential-testing baseline never evicts the fast path).
+    pub opt: OptLevel,
     /// Which program of the dataflow this entry is.
     pub phase: PlanPhase,
 }
@@ -86,6 +90,7 @@ pub struct CompiledPlan {
     result_reg: RegId,
     rows: usize,
     cols_used: usize,
+    report: PassReport,
     compile_micros: f64,
 }
 
@@ -95,6 +100,7 @@ impl CompiledPlan {
         result_reg: RegId,
         rows: usize,
         cols_used: usize,
+        report: PassReport,
         compile_micros: f64,
     ) -> Self {
         Self {
@@ -102,6 +108,7 @@ impl CompiledPlan {
             result_reg,
             rows,
             cols_used,
+            report,
             compile_micros,
         }
     }
@@ -129,6 +136,14 @@ impl CompiledPlan {
     #[must_use]
     pub fn cols_used(&self) -> usize {
         self.cols_used
+    }
+
+    /// Per-pass statistics of the optimizer run that produced this
+    /// plan's program ([`softmap_ap::PassReport`]; an identity report at
+    /// [`softmap_ap::OptLevel::None`]).
+    #[must_use]
+    pub fn pass_report(&self) -> PassReport {
+        self.report
     }
 
     /// Wall-clock microseconds the compile (record + first execution)

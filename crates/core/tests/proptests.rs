@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use softmap::{ApDeployment, ApSoftmax, Layout, PlanMode, WorkloadModel};
-use softmap_ap::{DeviceConfig, DivStyle, ExecBackend};
+use softmap_ap::{DeviceConfig, DivStyle, ExecBackend, OptLevel};
 use softmap_softmax::{IntSoftmax, PrecisionConfig};
 
 fn config_strategy() -> impl Strategy<Value = PrecisionConfig> {
@@ -76,12 +76,14 @@ proptest! {
             .with_backend(backend)
             .with_plan_mode(PlanMode::DirectIssue)
             .execute_floats(&scores).unwrap();
-        // Cached: compile the shape's plan from *different* data, then
-        // replay it for `scores` — must be bit- and cycle-exact.
+        // Cached at OptLevel::None: compile the shape's plan from
+        // *different* data, then replay it for `scores` — must be bit-
+        // and cycle-exact against direct issue.
         let cached = ApSoftmax::new(cfg).unwrap()
             .with_layout(layout)
             .with_div_style(style)
-            .with_backend(backend);
+            .with_backend(backend)
+            .with_opt_level(OptLevel::None);
         let mut warm = warm;
         warm.truncate(scores.len());
         cached.execute_floats(&warm).unwrap();
@@ -92,6 +94,19 @@ proptest! {
         prop_assert_eq!(replayed.sum, direct.sum);
         prop_assert_eq!(replayed.total, direct.total, "cycle-exactness");
         prop_assert_eq!(&replayed.steps, &direct.steps, "per-step exactness");
+        // The default optimized plan: bit-exact outputs, strictly
+        // cheaper fused schedule.
+        let optimized = ApSoftmax::new(cfg).unwrap()
+            .with_layout(layout)
+            .with_div_style(style)
+            .with_backend(backend)
+            .with_opt_level(OptLevel::Full);
+        optimized.execute_floats(&warm).unwrap();
+        let opt = optimized.execute_floats(&scores).unwrap();
+        prop_assert_eq!(&opt.codes, &direct.codes);
+        prop_assert_eq!(&opt.vapprox, &direct.vapprox);
+        prop_assert_eq!(opt.sum, direct.sum);
+        prop_assert!(opt.total.cycles() < direct.total.cycles(), "fused schedule must be cheaper");
     }
 
     #[test]
@@ -152,10 +167,12 @@ proptest! {
             .with_device(dev)
             .with_plan_mode(PlanMode::DirectIssue)
             .execute_floats(&scores).unwrap();
-        // Compile the sharded plan from different data, then replay.
+        // Compile the sharded plan (OptLevel::None for cycle-exactness
+        // against direct issue) from different data, then replay.
         let cached = ApSoftmax::new(cfg).unwrap()
             .with_backend(backend)
-            .with_device(dev);
+            .with_device(dev)
+            .with_opt_level(OptLevel::None);
         let mut warm = warm;
         warm.truncate(scores.len());
         cached.execute_floats(&warm).unwrap();
@@ -167,6 +184,18 @@ proptest! {
         prop_assert_eq!(replayed.total, direct.total, "cycle-exactness");
         prop_assert_eq!(replayed.latency_cycles, direct.latency_cycles);
         prop_assert_eq!(&replayed.steps, &direct.steps, "per-step exactness");
+        // The default optimized sharded plan: bit-exact outputs,
+        // strictly cheaper (fused phases + resident broadcasts).
+        let optimized = ApSoftmax::new(cfg).unwrap()
+            .with_backend(backend)
+            .with_device(dev)
+            .with_opt_level(OptLevel::Full);
+        optimized.execute_floats(&warm).unwrap();
+        let opt = optimized.execute_floats(&scores).unwrap();
+        prop_assert_eq!(&opt.codes, &direct.codes);
+        prop_assert_eq!(&opt.vapprox, &direct.vapprox);
+        prop_assert_eq!(opt.sum, direct.sum);
+        prop_assert!(opt.total.cycles() < direct.total.cycles(), "fused schedule must be cheaper");
     }
 
     #[test]

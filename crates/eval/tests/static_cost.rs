@@ -6,7 +6,7 @@
 //! deployment model's `vector_stats` query.
 
 use softmap::{ApDeployment, ApSoftmax, WorkloadModel};
-use softmap_ap::ExecBackend;
+use softmap_ap::{ExecBackend, OptLevel};
 use softmap_softmax::PrecisionConfig;
 
 /// The precision grid the perplexity/latency tables sweep
@@ -66,6 +66,53 @@ fn static_cost_is_backend_independent_and_stepwise_exact() {
         .unwrap();
     let steps = fast.static_step_stats(len).unwrap();
     assert_eq!(steps, run.steps);
+}
+
+#[test]
+fn static_cost_tracks_simulated_at_every_opt_level() {
+    // Static == simulated must survive every pass combination the
+    // optimizer can produce, per step and in total.
+    let cfg = PrecisionConfig::paper_best();
+    let len = 256;
+    for level in [OptLevel::None, OptLevel::Basic, OptLevel::Full] {
+        let mapping = ApSoftmax::new(cfg)
+            .unwrap()
+            .with_backend(ExecBackend::FastWord)
+            .with_opt_level(level);
+        let stat = mapping.static_cost(len).unwrap();
+        let run = mapping
+            .execute_floats(&ApSoftmax::representative_scores(len))
+            .unwrap();
+        assert_eq!(stat, run.total, "static != simulated at {level:?}");
+        assert_eq!(
+            mapping.static_step_stats(len).unwrap(),
+            run.steps,
+            "{level:?}"
+        );
+    }
+}
+
+#[test]
+fn optimizer_gate_default_deployment_tile() {
+    // Acceptance gate: at the default deployment's full tile (2048 rows
+    // = length 4096 packed), the fused schedule must cut simulated
+    // cycles by at least 15% versus the unoptimized replay. Both sides
+    // are simulated cycle counts from the shared cost model, so the
+    // gate is host-invariant.
+    let len = 4096;
+    let base = ApSoftmax::new(PrecisionConfig::paper_best())
+        .unwrap()
+        .with_backend(ExecBackend::FastWord)
+        .with_opt_level(OptLevel::None);
+    let opt = base.clone().with_opt_level(OptLevel::Full);
+    let unopt = base.static_cost(len).unwrap().cycles();
+    let fused = opt.static_cost(len).unwrap().cycles();
+    assert!(
+        fused * 100 <= unopt * 85,
+        "optimizer gate: {fused} fused vs {unopt} unoptimized cycles \
+         ({}% remaining, need <= 85%)",
+        fused * 100 / unopt
+    );
 }
 
 #[test]

@@ -109,4 +109,5 @@ fn main() {
         plan.compile_micros(),
         plan.program().static_cost()
     );
+    println!("  passes: {}", plan.pass_report());
 }

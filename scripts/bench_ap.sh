@@ -17,12 +17,20 @@
 # (backend/fastword-sharded/{4096,8192} = seq 8192/16384 on 2048-row
 # tiles) must exist and scale ~linearly — the 16384/8192 same-run time
 # ratio must stay within [1.2, 4.5]; the ratio cancels host speed.
-# Both gates run in --quick too. Set SOFTMAP_SHARD_GATE=0 to disable.
+#
+# Optimizer gate (host-invariant): the `cycles/...` records the bench
+# appends are simulated cycle counts from the compiled plans (static ==
+# simulated is test-enforced), so they do not depend on host speed.
+# cycles/fastword-optimized/2048 must be <= 0.85x cycles/fastword/2048
+# — the pass pipeline's >= 15% cut at the default deployment tile.
+# All gates run in --quick too. Set SOFTMAP_SHARD_GATE=0 /
+# SOFTMAP_OPT_GATE=0 to disable individually.
 #
 # Environment:
 #   CRITERION_MEASURE_MS  per-benchmark wall-clock budget (default 500)
 #   SOFTMAP_REPLAY_TOL    replay-vs-baseline gate tolerance (default 1.5)
 #   SOFTMAP_SHARD_GATE    set 0 to disable the shard scaling gate
+#   SOFTMAP_OPT_GATE      set 0 to disable the optimizer cycle gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -78,6 +86,7 @@ if os.path.exists("BENCH_ap.json"):
 by_name = {r["bench"]: r["ns_per_iter"] for r in results}
 speedups = {}
 plan = {}
+opt = {}
 for key, label in [("512", "rows256"), ("1024", "rows512"),
                    ("2048", "rows1024"), ("4096", "rows2048")]:
     # backend_compare labels benchmarks by row count (= len / 2).
@@ -86,7 +95,10 @@ for key, label in [("512", "rows256"), ("1024", "rows512"),
     fast = by_name.get(f"backend/fastword/{rows}")
     reused = by_name.get(f"backend/fastword-reused/{rows}")
     replayed = by_name.get(f"backend/fastword-replayed/{rows}")
+    optimized = by_name.get(f"backend/fastword-optimized/{rows}")
     compile_ = by_name.get(f"backend/fastword-compile/{rows}")
+    cyc_unopt = by_name.get(f"cycles/fastword/{rows}")
+    cyc_opt = by_name.get(f"cycles/fastword-optimized/{rows}")
     if micro and fast:
         speedups[f"fastword_speedup_{label}"] = round(micro / fast, 2)
     if micro and reused:
@@ -99,8 +111,22 @@ for key, label in [("512", "rows256"), ("1024", "rows512"),
         # Compile amortization: what one record+execute costs beyond a
         # replay of the cached plan, in microseconds.
         plan[f"plan_compile_us_{label}"] = round(max(compile_ - replayed, 0.0) / 1e3, 1)
+    if cyc_unopt and cyc_opt:
+        # Simulated-cycle ratio: unoptimized replay / fused schedule at
+        # the same shape. Host-invariant (static == simulated).
+        opt[f"opt_gain_{label}"] = round(cyc_unopt / cyc_opt, 3)
+        opt[f"opt_cycles_{label}"] = int(cyc_opt)
+        opt[f"unopt_cycles_{label}"] = int(cyc_unopt)
+    if replayed and optimized:
+        # Wall-clock companion to the cycle ratio (host-dependent).
+        opt[f"opt_replay_gain_{label}"] = round(replayed / optimized, 2)
 if "plan_compile_us_rows1024" in plan:
     plan["plan_compile_us"] = plan["plan_compile_us_rows1024"]
+for seq in ("8192", "16384"):
+    cyc_u = by_name.get(f"cycles/fastword-sharded/{int(seq) // 2}")
+    cyc_o = by_name.get(f"cycles/fastword-sharded-optimized/{int(seq) // 2}")
+    if cyc_u and cyc_o:
+        opt[f"opt_gain_shard_seq{seq}"] = round(cyc_u / cyc_o, 3)
 
 # Sharded long-sequence series (seq = 2 x rows label; 2048-row tiles).
 shard = {}
@@ -129,6 +155,7 @@ doc = {
     "backend_speedups": speedups,
     "plan_cache": plan,
     "sharding": shard,
+    "optimizer": opt,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
@@ -193,4 +220,32 @@ if os.environ.get("SOFTMAP_SHARD_GATE", "1") != "0":
               file=sys.stderr)
         sys.exit(1)
     print("shard gate: OK")
+
+# ---- optimizer cycle gate --------------------------------------------------
+# Host-invariant by construction: both numbers are simulated cycle
+# counts from the compiled plans' static costs (static == simulated is
+# enforced by crates/eval/tests/static_cost.rs), so host speed never
+# enters. The pass pipeline must cut the default deployment tile
+# (2048 rows) by at least 15%.
+if os.environ.get("SOFTMAP_OPT_GATE", "1") != "0":
+    cyc_unopt = by_name.get("cycles/fastword/2048")
+    cyc_opt = by_name.get("cycles/fastword-optimized/2048")
+    if not (cyc_unopt and cyc_opt):
+        print("OPT GATE FAILED: missing simulated-cycle records "
+              f"(cycles/fastword/2048 = {cyc_unopt}, "
+              f"cycles/fastword-optimized/2048 = {cyc_opt}). "
+              "Did backend_compare stop emitting cycle lines?",
+              file=sys.stderr)
+        sys.exit(1)
+    ratio = cyc_opt / cyc_unopt
+    print(f"opt gate: fused {cyc_opt:.0f} vs unoptimized {cyc_unopt:.0f} "
+          f"simulated cycles @2048 rows = {ratio:.3f}x (limit 0.85x)")
+    if ratio > 0.85:
+        print("OPT GATE FAILED: the fused schedule keeps "
+              f"{ratio:.3f}x of the unoptimized simulated cycles at the "
+              "default deployment tile (allowed <= 0.85x). A pass "
+              "stopped firing or the fused ops lost their cost model "
+              "discount.", file=sys.stderr)
+        sys.exit(1)
+    print("opt gate: OK")
 PY
