@@ -293,6 +293,18 @@ impl ApCore {
         self.cam.reset_stats();
     }
 
+    /// Re-arms the core for the next resident phase: statistics reset
+    /// to zero and the field-allocation cursor rewound to the first
+    /// data column, while **keeping every CAM cell** — the residency
+    /// contract's "the next phase's input planes are this phase's
+    /// output planes, still in the arena". Geometry and backend stay
+    /// as they are; callers validate them (see
+    /// [`crate::ApTile::rearm_resident`]).
+    pub fn rearm(&mut self) {
+        self.cam.reset_stats();
+        self.next_col = 2;
+    }
+
     /// Direct access to the underlying CAM (observer use).
     #[must_use]
     pub fn cam(&self) -> &CamArray {

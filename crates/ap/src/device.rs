@@ -29,6 +29,29 @@
 //! word once). The contract is deliberately simple and *deterministic*:
 //! the same formula is charged by sharded execution and by the static
 //! cost path, so `static == simulated` extends to sharded shapes.
+//!
+//! # The residency plan
+//!
+//! When a vector's shards fit the tile grid in a single wave
+//! (`shards <= tiles`), the wave schedule pins each shard to one tile
+//! for the vector's whole lifetime: the tile is *not* cleared between
+//! the min-search, exp, and divide phases, so the phase-boundary
+//! `Load`/`Read` staging ops are elided — the exp phase's input planes
+//! are the min phase's output planes, still in the arena (the field
+//! layout that makes this sound is documented in
+//! `softmap_ap::program`'s residency contract). On top of staging
+//! elision, same-length resident shards execute the identical phase
+//! program in SIMD lockstep across their tiles, so each phase charges
+//! the program's full cost once per distinct shard length per wave
+//! (the "leader"); the remaining shards ride the shared drivers and
+//! pay only their per-tile-distinct input staging
+//! (`ApProgram::replay_lockstep`). The cross-tile reductions are
+//! unchanged — minima and partial sums still traverse the reduction
+//! network above. When the vector needs more than one wave, a tile
+//! cannot stay pinned (the next wave's shard evicts it), so execution
+//! falls back to the re-staged path automatically, per vector; the
+//! `SOFTMAP_RESIDENT=0` knob (or `ApSoftmax::with_resident(false)`)
+//! forces that path for differential testing.
 
 use crate::stats::CycleStats;
 use crate::ApError;

@@ -36,6 +36,32 @@
 //! microcode path; `softmap`'s cost tables compile from a deterministic
 //! representative input for exactly this reason.
 //!
+//! # The residency contract
+//!
+//! Sharded phase programs can execute **resident**: the shard's tile is
+//! not cleared between the min-search, exp, and divide phases, so each
+//! phase's input planes are the previous phase's output planes, still
+//! in the arena. For this to be sound the three phase programs of one
+//! shard length must compile against a *shared field layout* — the same
+//! allocation order at the same union geometry in every phase — so
+//! column ranges line up across phase boundaries. The persistent fields
+//! are the per-half score planes `x` (written once by the min phase,
+//! stabilized in place and consumed by the exp phase) and the per-half
+//! `v_approx` planes (written by the exp phase, consumed by the divide
+//! phase); every other field is written before it is read within its
+//! own phase, so junk left by a previous phase is harmless — both
+//! backends' dividers zero their remainder/quotient scratch before use.
+//! Cost-wise, residency elides the phase-boundary `Load`/`Read` staging
+//! ops entirely (they are simply not recorded in the resident phase
+//! programs), and same-length resident shards execute the identical
+//! program in SIMD lockstep across tiles: the wave's first shard of a
+//! length replays at full price, the rest through
+//! [`ApProgram::replay_lockstep`], which charges only per-tile-distinct
+//! input staging. Both discounts charge identical [`CycleStats`] on
+//! both backends. The re-staged path (and the automatic fallback when a
+//! vector's shards exceed the tile grid) is unchanged from before
+//! residency existed.
+//!
 //! # Examples
 //!
 //! ```
@@ -860,6 +886,16 @@ fn summarize(ops: &[ApOp], costs: &[CycleStats]) -> TraceSummary {
     }
 }
 
+/// How a replay charges the cost model: full price, the hoisted-op
+/// discount of [`ApProgram::replay_resident`], or the wave-lockstep
+/// discount of [`ApProgram::replay_lockstep`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReplayCharge {
+    Full,
+    Hoisted,
+    Lockstep,
+}
+
 /// A compiled AP program: a flat op trace with pre-resolved fields plus
 /// the per-op costs recorded at compile time. See the module docs for
 /// the replay and static-cost contracts.
@@ -976,7 +1012,7 @@ impl ApProgram {
         scratch: &mut ProgramScratch,
         mut on_step: impl FnMut(&'static str, CycleStats),
     ) -> Result<(), ApError> {
-        self.replay_inner(core, io, scratch, &mut on_step, false)
+        self.replay_inner(core, io, scratch, &mut on_step, ReplayCharge::Full)
     }
 
     /// [`ApProgram::replay`] with the resident-operand discount: ops
@@ -996,7 +1032,31 @@ impl ApProgram {
         scratch: &mut ProgramScratch,
         mut on_step: impl FnMut(&'static str, CycleStats),
     ) -> Result<(), ApError> {
-        self.replay_inner(core, io, scratch, &mut on_step, true)
+        self.replay_inner(core, io, scratch, &mut on_step, ReplayCharge::Hoisted)
+    }
+
+    /// [`ApProgram::replay`] with the wave-lockstep discount: every op
+    /// except input staging ([`ApOp::Load`]) executes its plane writes
+    /// but charges no cycles and no cell events. Under the residency
+    /// contract (see the `softmap_ap::device` module docs), all
+    /// resident shards of one length execute the *same* phase program
+    /// in SIMD lockstep across tiles — the compare, write, and 2D
+    /// drivers are shared — so only the wave's first shard of each
+    /// length (the "leader") pays the program's cost; followers replay
+    /// through this variant and are charged only for streaming their
+    /// per-tile-distinct input planes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ApProgram::replay`].
+    pub fn replay_lockstep(
+        &self,
+        core: &mut ApCore,
+        io: ExecIo<'_, '_>,
+        scratch: &mut ProgramScratch,
+        mut on_step: impl FnMut(&'static str, CycleStats),
+    ) -> Result<(), ApError> {
+        self.replay_inner(core, io, scratch, &mut on_step, ReplayCharge::Lockstep)
     }
 
     fn replay_inner(
@@ -1005,7 +1065,7 @@ impl ApProgram {
         mut io: ExecIo<'_, '_>,
         scratch: &mut ProgramScratch,
         on_step: &mut dyn FnMut(&'static str, CycleStats),
-        resident: bool,
+        charge: ReplayCharge,
     ) -> Result<(), ApError> {
         if core.rows() != self.config.rows || core.cols() != self.config.cols {
             return Err(ApError::BadConfig("replay geometry mismatch"));
@@ -1022,14 +1082,19 @@ impl ApProgram {
         let mut mark = core.stats();
         let mut hoisted = self.hoisted.iter().copied().peekable();
         for (i, op) in self.ops.iter().enumerate() {
-            let hoist = resident && hoisted.peek() == Some(&(i as u32));
-            if hoisted.peek() == Some(&(i as u32)) {
+            let hoist = hoisted.peek() == Some(&(i as u32));
+            if hoist {
                 hoisted.next();
             }
-            if hoist {
+            let discount = match charge {
+                ReplayCharge::Full => false,
+                ReplayCharge::Hoisted => hoist,
+                ReplayCharge::Lockstep => !matches!(op, ApOp::Load { .. }),
+            };
+            if discount {
                 // Plane writes happen; the charge is rolled back (the
-                // cost-model statement "this shard rides the
-                // device-wide broadcast for free").
+                // cost-model statement "this shard rides the shared
+                // device-wide drivers for free").
                 let snapshot = core.stats();
                 apply_op(core, op, &mut io, scratch, &mut mark, on_step)?;
                 core.restore_stats(snapshot);

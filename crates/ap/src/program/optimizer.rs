@@ -89,13 +89,26 @@ impl OptLevel {
     }
 
     /// Reads [`OptLevel::ENV`], falling back to the default
-    /// ([`OptLevel::Full`]) when unset or unparsable.
+    /// ([`OptLevel::Full`]) when unset. An unparsable value also falls
+    /// back, but **loudly**: a one-time diagnostic on stderr names the
+    /// variable and the accepted values, so a typo like
+    /// `SOFTMAP_OPT=ful` cannot silently benchmark the wrong level.
     #[must_use]
     pub fn from_env() -> Self {
-        std::env::var(Self::ENV)
-            .ok()
-            .and_then(|s| Self::parse(&s))
-            .unwrap_or_default()
+        let Ok(raw) = std::env::var(Self::ENV) else {
+            return Self::default();
+        };
+        Self::parse(&raw).unwrap_or_else(|| {
+            static WARN: std::sync::Once = std::sync::Once::new();
+            WARN.call_once(|| {
+                eprintln!(
+                    "softmap: invalid {}={raw:?}; accepted values are \
+                     none/0, basic/1, full/2 — keeping the default (full)",
+                    Self::ENV
+                );
+            });
+            Self::default()
+        })
     }
 }
 

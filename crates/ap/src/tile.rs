@@ -65,6 +65,35 @@ impl ApTile {
         Ok(self.core.as_mut().expect("core was just ensured"))
     }
 
+    /// Hands out the tile's core for the next **resident** phase: the
+    /// CAM cells are kept (the previous phase's output planes are the
+    /// next phase's input planes), only the statistics and the field
+    /// cursor are reset. The held core must already be at exactly
+    /// `config`'s geometry and `backend` — residency never silently
+    /// reshapes, because a reshape would clear the very planes
+    /// residency exists to keep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApError::BadConfig`] when the slot is empty or the
+    /// held core's geometry or backend differs from the request.
+    pub fn rearm_resident(
+        &mut self,
+        config: ApConfig,
+        backend: ExecBackend,
+    ) -> Result<&mut ApCore, ApError> {
+        let Some(core) = &mut self.core else {
+            return Err(ApError::BadConfig("resident rearm on an empty tile slot"));
+        };
+        if core.rows() != config.rows || core.cols() != config.cols || core.backend() != backend {
+            return Err(ApError::BadConfig(
+                "resident rearm geometry/backend mismatch",
+            ));
+        }
+        core.rearm();
+        Ok(core)
+    }
+
     /// Clears the held core's cells, statistics, and field allocations
     /// in place (no-op for an empty slot). The arena stays allocated.
     pub fn clear(&mut self) {

@@ -19,8 +19,15 @@
 //! * `fastword-batch32` — the multi-tile batch driver's throughput,
 //! * `fastword-sharded` / `fastword-sharded-optimized` — long
 //!   sequences (8192/16384 scores) sharded across fixed 2048-row tiles
-//!   through the cached sharded plan, unoptimized and fused
-//!   (`shard_*` fields and the shard-scaling gate in `BENCH_ap.json`).
+//!   through the cached sharded plan, unoptimized and fused, pinned to
+//!   the **re-staged** regime (`with_resident(false)`) so the series
+//!   stays comparable with earlier records
+//!   (`shard_*` fields and the shard-scaling gate in `BENCH_ap.json`),
+//! * `fastword-sharded-resident` — the same long sequences through the
+//!   default **resident** regime: shards stay pinned in their tiles
+//!   across the min → exp → divide phases, so phase-boundary Load/Read
+//!   staging is elided (`resident_*` fields and the residency gate in
+//!   `BENCH_ap.json`).
 //!
 //! Besides wall-clock series, the bench appends `cycles/...` records to
 //! `CRITERION_JSON`: simulated cycle counts from the compiled plans'
@@ -157,7 +164,9 @@ fn bench(c: &mut Criterion) {
     // per-shard exp + partial sums, cross-tile sum, per-shard divide.
     for len in [8192usize, 16384] {
         let s = scores(len);
-        let m = mapping(ExecBackend::FastWord).with_opt_level(OptLevel::None);
+        let m = mapping(ExecBackend::FastWord)
+            .with_opt_level(OptLevel::None)
+            .with_resident(false);
         let mut state = TileState::new();
         let mut run = ApSoftmaxRun::default();
         g.bench_with_input(BenchmarkId::new("fastword-sharded", len / 2), &s, |b, s| {
@@ -166,11 +175,28 @@ fn bench(c: &mut Criterion) {
                 black_box(run.latency_cycles)
             })
         });
-        let m = mapping(ExecBackend::FastWord).with_opt_level(OptLevel::Full);
+        let m = mapping(ExecBackend::FastWord)
+            .with_opt_level(OptLevel::Full)
+            .with_resident(false);
         let mut state = TileState::new();
         let mut run = ApSoftmaxRun::default();
         g.bench_with_input(
             BenchmarkId::new("fastword-sharded-optimized", len / 2),
+            &s,
+            |b, s| {
+                b.iter(|| {
+                    m.execute_floats_into(&mut state, s, &mut run).unwrap();
+                    black_box(run.latency_cycles)
+                })
+            },
+        );
+        // Resident regime (the default): shards keep their tiles across
+        // phases, followers replay in lockstep, staging is elided.
+        let m = mapping(ExecBackend::FastWord).with_opt_level(OptLevel::Full);
+        let mut state = TileState::new();
+        let mut run = ApSoftmaxRun::default();
+        g.bench_with_input(
+            BenchmarkId::new("fastword-sharded-resident", len / 2),
             &s,
             |b, s| {
                 b.iter(|| {
@@ -240,8 +266,13 @@ fn bench(c: &mut Criterion) {
         }
     }
     for len in [8192usize, 16384] {
-        let unopt = mapping(ExecBackend::FastWord).with_opt_level(OptLevel::None);
-        let opt = mapping(ExecBackend::FastWord).with_opt_level(OptLevel::Full);
+        let unopt = mapping(ExecBackend::FastWord)
+            .with_opt_level(OptLevel::None)
+            .with_resident(false);
+        let opt = mapping(ExecBackend::FastWord)
+            .with_opt_level(OptLevel::Full)
+            .with_resident(false);
+        let res = mapping(ExecBackend::FastWord).with_opt_level(OptLevel::Full);
         emit_cycles(
             &format!("cycles/fastword-sharded/{}", len / 2),
             unopt.static_vector_cost(len).unwrap().total.cycles(),
@@ -250,6 +281,19 @@ fn bench(c: &mut Criterion) {
             &format!("cycles/fastword-sharded-optimized/{}", len / 2),
             opt.static_vector_cost(len).unwrap().total.cycles(),
         );
+        emit_cycles(
+            &format!("cycles/fastword-sharded-resident/{}", len / 2),
+            res.static_vector_cost(len).unwrap().total.cycles(),
+        );
+        if len == 16384 {
+            let r = res.static_vector_cost(len).unwrap().total.cycles();
+            let o = opt.static_vector_cost(len).unwrap().total.cycles();
+            println!(
+                "residency @16384: {r} resident vs {o} re-staged simulated \
+                 cycles ({}% remaining)",
+                r * 100 / o
+            );
+        }
     }
     let sharded = fast
         .sharded_plan(16384)

@@ -57,6 +57,16 @@ pub struct ApDeployment {
     /// contract), so this only trades host simulation time; the default
     /// is the fast word-level engine.
     pub backend: ExecBackend,
+    /// Whether sharded vectors keep their shards **pinned** in tiles
+    /// across the three phases (the residency plan; see
+    /// `softmap_ap::device`). On: phase-boundary staging is elided and
+    /// same-length shards run in SIMD lockstep, cutting sharded work
+    /// and energy sharply. Off: the re-staged path, kept for
+    /// differential testing and as the automatic per-vector fallback
+    /// whenever a vector needs more shards than the head has tiles.
+    /// Occupancy is unchanged either way — a resident vector holds the
+    /// same `shards` tiles its waves would.
+    pub resident: bool,
 }
 
 impl Default for ApDeployment {
@@ -68,6 +78,7 @@ impl Default for ApDeployment {
             div_style: DivStyle::Restoring,
             packing: false,
             backend: ExecBackend::FastWord,
+            resident: true,
         }
     }
 }
@@ -144,6 +155,7 @@ impl WorkloadModel {
             mapping: ApSoftmax::new(cfg)?
                 .with_div_style(deploy.div_style)
                 .with_backend(deploy.backend)
+                .with_resident(deploy.resident)
                 .with_device(DeviceConfig::new(
                     deploy.tiles_per_head,
                     deploy.rows_per_tile,
@@ -388,15 +400,34 @@ mod tests {
         assert_eq!(c8k.shards_per_vector, 2);
         let c16k = m.cost(1, 1, 16384, 1).unwrap();
         assert_eq!(c16k.shards_per_vector, 4);
-        // Work (energy) scales ~linearly with the token count; the
-        // critical path includes the cross-tile reductions.
+        // On the re-staged path, work (energy) scales ~linearly with
+        // the token count; the critical path includes the cross-tile
+        // reductions.
+        let restaged = WorkloadModel::new(
+            PrecisionConfig::paper_best(),
+            ApDeployment {
+                resident: false,
+                ..ApDeployment::default()
+            },
+        )
+        .unwrap();
         let c4k = m.cost(1, 1, 4096, 1).unwrap();
         assert_eq!(c4k.shards_per_vector, 1);
+        let r16k = restaged.cost(1, 1, 16384, 1).unwrap();
         let per_tok_4k = c4k.energy_j / (4096.0 * 4096.0);
-        let per_tok_16k = c16k.energy_j / (16384.0 * 16384.0);
+        let per_tok_16k = r16k.energy_j / (16384.0 * 16384.0);
         assert!(
             (per_tok_16k / per_tok_4k - 1.0).abs() < 0.25,
             "sharded energy per token drifted: {per_tok_16k} vs {per_tok_4k}"
+        );
+        // The default deployment keeps shards resident: at four shards
+        // in one wave, lockstep execution cuts sharded energy well
+        // below the re-staged characterization.
+        assert!(
+            c16k.energy_j < 0.5 * r16k.energy_j,
+            "resident energy {} should undercut re-staged {}",
+            c16k.energy_j,
+            r16k.energy_j
         );
         assert!(c16k.cycles_per_vector > c8k.cycles_per_vector);
         // Degenerate workloads still error.

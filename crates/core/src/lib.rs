@@ -41,7 +41,9 @@ mod deploy;
 
 pub use deploy::{ApDeployment, ApWorkloadCost, WorkloadModel};
 pub use llm_bridge::ApMappedSoftmax;
-pub use mapping::{ApSoftmax, ApSoftmaxRun, Layout, PlanMode, StepStats, TileState, VectorCost};
+pub use mapping::{
+    ApSoftmax, ApSoftmaxRun, CacheStats, Layout, PlanMode, StepStats, TileState, VectorCost,
+};
 pub use plan::{CompiledPlan, PlanCache, PlanStats, ShardedPlan};
 
 /// Errors from the co-design layer.

@@ -143,7 +143,63 @@ pub struct ApSoftmax {
     plan_mode: PlanMode,
     opt_level: OptLevel,
     device: DeviceConfig,
+    resident: bool,
     plans: Arc<PlanCache>,
+}
+
+/// Environment variable enabling/disabling resident sharded execution:
+/// `0`/`false` forces the re-staging path, `1`/`true` (the default)
+/// keeps shards pinned in their tiles across phases whenever they fit
+/// the grid in one wave. Invalid values warn once and keep the
+/// default.
+pub const RESIDENT_ENV: &str = "SOFTMAP_RESIDENT";
+
+/// Reads [`RESIDENT_ENV`]; invalid values fail loudly (one warning per
+/// process) instead of silently falling back.
+fn resident_from_env() -> bool {
+    let Ok(raw) = std::env::var(RESIDENT_ENV) else {
+        return true;
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "0" | "false" => false,
+        "1" | "true" => true,
+        _ => {
+            static WARN: std::sync::Once = std::sync::Once::new();
+            WARN.call_once(|| {
+                eprintln!(
+                    "softmap: invalid {RESIDENT_ENV}={raw:?}; accepted values are \
+                     0/false/1/true — keeping the default (1)"
+                );
+            });
+            true
+        }
+    }
+}
+
+/// Aggregate plan-cache counters surfaced as one struct; see
+/// [`ApSoftmax::cache_stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheStats {
+    /// Plans currently cached.
+    pub plans: usize,
+    /// Shape-miss compilations performed.
+    pub compiles: u64,
+    /// Cache hits (lock-free tile-slot hits included).
+    pub hits: u64,
+    /// LRU evictions over the cache's lifetime.
+    pub evictions: u64,
+    /// Currently cached entries compiled for resident execution.
+    pub resident_entries: usize,
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} plans ({} resident), {} compiles, {} hits, {} evictions",
+            self.plans, self.resident_entries, self.compiles, self.hits, self.evictions
+        )
+    }
 }
 
 /// Static per-vector cost of one softmax, covering both regimes: a
@@ -224,6 +280,12 @@ struct ShardScratch {
     partials: Vec<u64>,
     phase_cycles: [Vec<u64>; 3],
     loads: Vec<u64>,
+    /// Persistent tile-per-shard pool for resident execution: shard
+    /// `i` owns `tiles[i]` for the vector's lifetime, so neither the
+    /// simulated arenas nor the host-side staging buffers are
+    /// rewritten between phases. The pool only grows (never shrinks),
+    /// keeping steady-state resident execution zero-alloc.
+    tiles: Vec<ApTile>,
 }
 
 impl TileState {
@@ -289,7 +351,11 @@ struct ExpFields {
 }
 
 /// Whole-vector per-half fields: the exp sub-dataflow plus the final
-/// result (the paper's `R` column, `2M + 12` bits).
+/// result (the paper's `R` column, `2M + 12` bits). Also the per-half
+/// layout of the resident shard phases, which allocate the *union*
+/// geometry in every phase so column ranges line up across phase
+/// boundaries (the residency contract).
+#[derive(Clone, Copy)]
 struct HalfFields {
     exp: ExpFields,
     res: Field,
@@ -307,16 +373,38 @@ fn accumulate_step(steps: &mut Vec<StepStats>, name: &'static str, stats: CycleS
     }
 }
 
-/// Whether shard `i` replays its phase program with the
-/// resident-operand discount ([`ApProgram::replay_resident`]): every
-/// shard after the *first occurrence of its shape* rides the
-/// device-wide broadcast of shard-invariant operands for free, while
-/// first occurrences pay full price (their recording execution anchors
-/// the phase program's cost). The rule is a pure function of the
-/// partition, so compile-time totals and replay totals agree.
-fn shard_resident(ranges: &[(usize, usize)], i: usize) -> bool {
+/// Whether shard `i` is a *follower*: every shard after the first
+/// occurrence of its shape shares that leader's device-wide drivers.
+/// On the re-staging path followers ride the broadcast of
+/// shard-invariant operands for free
+/// ([`ApProgram::replay_resident`]); on the resident path they
+/// execute the whole phase in SIMD lockstep and are charged only
+/// their input staging ([`ApProgram::replay_lockstep`]). Leaders pay
+/// full price (their recording execution anchors the phase program's
+/// cost). The rule is a pure function of the partition, so
+/// compile-time totals and replay totals agree.
+fn shard_follower(ranges: &[(usize, usize)], i: usize) -> bool {
     let len = ranges[i].1 - ranges[i].0;
     ranges[..i].iter().any(|&(s, e)| e - s == len)
+}
+
+/// How one shard's phase program replays: full price (leaders), the
+/// hoisted-broadcast discount (re-staged followers), or the
+/// wave-lockstep discount (resident followers).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PhaseReplay {
+    Full,
+    Hoisted,
+    Lockstep,
+}
+
+/// Replay pricing for shard `i` of a partition under a residency mode.
+fn phase_replay(ranges: &[(usize, usize)], i: usize, resident: bool) -> PhaseReplay {
+    match (shard_follower(ranges, i), resident) {
+        (false, _) => PhaseReplay::Full,
+        (true, false) => PhaseReplay::Hoisted,
+        (true, true) => PhaseReplay::Lockstep,
+    }
 }
 
 /// How one sharded pass executes each shard's phase program.
@@ -356,8 +444,41 @@ impl ApSoftmax {
             plan_mode: PlanMode::default(),
             opt_level: OptLevel::from_env(),
             device: DeviceConfig::default(),
+            resident: resident_from_env(),
             plans: Arc::new(PlanCache::new()),
         })
+    }
+
+    /// Enables or disables resident sharded execution. When enabled
+    /// (the default, overridable via [`RESIDENT_ENV`]), a vector whose
+    /// shards fit the tile grid in one wave keeps each shard pinned in
+    /// its tile across the three phases — phase-boundary staging is
+    /// elided and same-length shards after the wave's first are
+    /// charged in lockstep (see the residency contract in the
+    /// `softmap_ap` program/device module docs). Disabled, or whenever
+    /// shards exceed the grid, execution takes the re-staging path
+    /// exactly as before residency existed. Residency is part of the
+    /// plan key, so resident and re-staged plans coexist and the cache
+    /// is kept.
+    #[must_use]
+    pub fn with_resident(mut self, resident: bool) -> Self {
+        self.resident = resident;
+        self
+    }
+
+    /// Whether resident sharded execution is enabled (the knob, not
+    /// the per-vector fallback decision).
+    #[must_use]
+    pub fn resident(&self) -> bool {
+        self.resident
+    }
+
+    /// Whether a vector splitting into `shards` shards executes
+    /// resident: the knob is on and the whole vector fits the tile
+    /// grid in a single wave (a tile can stay pinned only if no later
+    /// wave evicts it).
+    fn resident_for(&self, shards: usize) -> bool {
+        self.resident && shards <= self.device.tiles
     }
 
     /// Bounds execution by a device geometry (tile grid). Vectors whose
@@ -462,6 +583,21 @@ impl ApSoftmax {
     #[must_use]
     pub fn plan_stats(&self) -> PlanStats {
         self.plans.stats()
+    }
+
+    /// One-stop plan-cache counters (compiles, hits, evictions,
+    /// resident entries) — the single query tests and profiling
+    /// examples read instead of scattering per-counter probes.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        let s = self.plans.stats();
+        CacheStats {
+            plans: s.plans,
+            compiles: s.compiles,
+            hits: s.hits,
+            evictions: s.evictions,
+            resident_entries: self.plans.resident_entries(),
+        }
     }
 
     /// Drops every cached plan (compile-cost benchmarking; tile slots
@@ -679,6 +815,7 @@ impl ApSoftmax {
             div: self.div_style,
             opt: self.opt_level,
             phase: PlanPhase::Vector,
+            resident: false,
         };
         let token = self.plans.slot_token();
         if let Some((slot_token, slot_key, CachedPlan::Program(plan))) = plan_slot.as_ref() {
@@ -1003,26 +1140,46 @@ impl ApSoftmax {
         ranges: &[(usize, usize)],
     ) -> Result<(), CoreError> {
         if mode == PlanMode::DirectIssue {
-            return self.run_sharded(state, codes, run, ranges, ShardExec::Direct);
+            // Direct issue stays on the re-staging path: residency is
+            // a plan-level optimization, and the direct-vs-replay
+            // differential baseline keeps characterizing PR 5's
+            // contract exactly.
+            return self.run_sharded(state, codes, run, ranges, ShardExec::Direct, false);
         }
+        let resident = self.resident_for(ranges.len());
         let vkey = PlanKey {
             len: codes.len(),
             layout: self.layout,
             div: self.div_style,
             opt: self.opt_level,
             phase: PlanPhase::Vector,
+            resident,
         };
         let token = self.plans.slot_token();
         if let Some((slot_token, slot_key, CachedPlan::Sharded(plan))) = state.plan.as_ref() {
             if *slot_token == token && *slot_key == vkey {
                 self.plans.note_hit();
                 let plan = Arc::clone(plan);
-                return self.run_sharded(state, codes, run, ranges, ShardExec::Replay(&plan));
+                return self.run_sharded(
+                    state,
+                    codes,
+                    run,
+                    ranges,
+                    ShardExec::Replay(&plan),
+                    resident,
+                );
             }
         }
         if let Some(CachedPlan::Sharded(plan)) = self.plans.get(&vkey) {
             state.plan = Some((token, vkey, CachedPlan::Sharded(Arc::clone(&plan))));
-            return self.run_sharded(state, codes, run, ranges, ShardExec::Replay(&plan));
+            return self.run_sharded(
+                state,
+                codes,
+                run,
+                ranges,
+                ShardExec::Replay(&plan),
+                resident,
+            );
         }
         // Vector-shape miss: compile under the lock so racing workers
         // converge on one sharded plan (phase programs compiled along
@@ -1031,11 +1188,25 @@ impl ApSoftmax {
         if let Some(CachedPlan::Sharded(plan)) = self.plans.get(&vkey) {
             drop(compile_guard);
             state.plan = Some((token, vkey, CachedPlan::Sharded(Arc::clone(&plan))));
-            return self.run_sharded(state, codes, run, ranges, ShardExec::Replay(&plan));
+            return self.run_sharded(
+                state,
+                codes,
+                run,
+                ranges,
+                ShardExec::Replay(&plan),
+                resident,
+            );
         }
         let started = std::time::Instant::now();
         let mut builder = ShardPlanBuilder::default();
-        self.run_sharded(state, codes, run, ranges, ShardExec::Compile(&mut builder))?;
+        self.run_sharded(
+            state,
+            codes,
+            run,
+            ranges,
+            ShardExec::Compile(&mut builder),
+            resident,
+        )?;
         let plan = Arc::new(ShardedPlan {
             ranges: ranges.to_vec(),
             min_plans: builder.min_plans,
@@ -1049,6 +1220,7 @@ impl ApSoftmax {
             rows: run.rows,
             cols_used: run.cols_used,
             compile_micros: started.elapsed().as_secs_f64() * 1e6,
+            resident,
         });
         self.plans
             .insert(vkey, CachedPlan::Sharded(Arc::clone(&plan)));
@@ -1059,7 +1231,10 @@ impl ApSoftmax {
 
     /// The three sharded passes; `exec` selects direct issue, cached
     /// replay, or compile (get-or-record each shard shape's phase
-    /// program while executing).
+    /// program while executing). `resident` selects the residency
+    /// plan: shard tiles pinned across phases (from the per-shard tile
+    /// pool), phase-boundary staging elided, followers charged in
+    /// lockstep — versus the PR 5 re-staging path.
     fn run_sharded(
         &self,
         state: &mut TileState,
@@ -1067,12 +1242,13 @@ impl ApSoftmax {
         run: &mut ApSoftmaxRun,
         ranges: &[(usize, usize)],
         mut exec: ShardExec<'_>,
+        resident: bool,
     ) -> Result<(), CoreError> {
         // A cached sharded plan is only valid for the exact partition
-        // it was compiled at; the phase-program vectors are indexed by
-        // shard position below.
+        // (and residency mode) it was compiled at; the phase-program
+        // vectors are indexed by shard position below.
         if let ShardExec::Replay(plan) = &exec {
-            if plan.ranges != ranges {
+            if plan.ranges != ranges || plan.resident != resident {
                 return Err(CoreError::BadWorkload(
                     "cached sharded plan does not match the device partition".into(),
                 ));
@@ -1092,6 +1268,14 @@ impl ApSoftmax {
             shard,
             ..
         } = state;
+        let ShardScratch {
+            minima,
+            partials,
+            phase_cycles,
+            loads,
+            tiles: shard_tiles,
+            ..
+        } = shard;
         let ApSoftmaxRun {
             codes: out_codes,
             vapprox: out_vap,
@@ -1101,16 +1285,23 @@ impl ApSoftmax {
         out_codes.clear();
         out_vap.clear();
         steps.clear();
-        shard.minima.clear();
-        shard.partials.clear();
-        for pc in &mut shard.phase_cycles {
+        minima.clear();
+        partials.clear();
+        for pc in phase_cycles.iter_mut() {
             pc.clear();
+        }
+        if resident && shard_tiles.len() < shards {
+            // The pool only grows; steady-state resident execution
+            // re-acquires existing arenas with zero allocations.
+            shard_tiles.resize_with(shards, ApTile::new);
         }
         let mut total = CycleStats::default();
         let mut rows_max = 0usize;
         let mut cols_max = 0usize;
 
-        // Pass 1: per-shard min search.
+        // Pass 1: per-shard min search. Resident shards acquire their
+        // pinned tile at the shared union geometry here (the one clear
+        // of the vector's lifetime); passes 2 and 3 only re-arm it.
         for (i, &(s, e)) in ranges.iter().enumerate() {
             let (packed, rows) = self.packing(e - s);
             rows_max = rows_max.max(rows);
@@ -1126,42 +1317,47 @@ impl ApSoftmax {
             } else {
                 &halves_arr[..1]
             };
+            let tile_i: &mut ApTile = if resident {
+                &mut shard_tiles[i]
+            } else {
+                &mut *tile
+            };
             let (stats, cols_used, minv) = match &mut exec {
                 ShardExec::Direct => {
                     let (stats, cols, minv, _) =
-                        self.issue_min_phase(tile, scratch, halves, rows, steps, false)?;
+                        self.issue_min_phase(tile_i, scratch, halves, rows, steps, false)?;
                     (stats, cols, minv)
                 }
                 ShardExec::Replay(plan) => {
                     let p = &plan.min_plans[i];
                     let mut outs: [&mut Vec<u64>; 0] = [];
-                    let resident = shard_resident(ranges, i);
                     let stats = self.replay_shard_phase(
                         p,
-                        tile,
+                        tile_i,
                         scratch,
                         halves,
                         &[],
                         &mut outs,
                         steps,
-                        resident,
+                        phase_replay(ranges, i, resident),
+                        false,
                     )?;
                     (stats, p.cols_used(), scratch.reg(p.result_reg()))
                 }
                 ShardExec::Compile(builder) => {
-                    let key = self.shard_key(e - s, PlanPhase::ShardMin);
+                    let key = self.shard_key(e - s, PlanPhase::ShardMin, resident);
                     if let Some(CachedPlan::Program(p)) = self.plans.peek(&key) {
                         let mut outs: [&mut Vec<u64>; 0] = [];
-                        let resident = shard_resident(ranges, i);
                         let stats = self.replay_shard_phase(
                             &p,
-                            tile,
+                            tile_i,
                             scratch,
                             halves,
                             &[],
                             &mut outs,
                             steps,
-                            resident,
+                            phase_replay(ranges, i, resident),
+                            false,
                         )?;
                         let minv = scratch.reg(p.result_reg());
                         builder.min_plans.push(Arc::clone(&p));
@@ -1169,18 +1365,24 @@ impl ApSoftmax {
                     } else {
                         let steps_snapshot = steps.clone();
                         let started = std::time::Instant::now();
-                        let (stats, cols, _, prog) =
-                            self.issue_min_phase(tile, scratch, halves, rows, steps, true)?;
+                        let (stats, cols, _, prog) = if resident {
+                            self.issue_resident_min_phase(
+                                tile_i, scratch, halves, rows, steps, true,
+                            )?
+                        } else {
+                            self.issue_min_phase(tile_i, scratch, halves, rows, steps, true)?
+                        };
                         let (mut program, reg) = prog.expect("recording returns a program");
                         let mut outs: [&mut Vec<u64>; 0] = [];
                         let (report, stats, minv) = self.optimize_phase(
                             &mut program,
                             reg,
-                            tile,
+                            tile_i,
                             scratch,
                             halves,
                             &[],
                             &mut outs,
+                            &[],
                             &[],
                             steps,
                             steps_snapshot,
@@ -1200,27 +1402,36 @@ impl ApSoftmax {
                     }
                 }
             };
-            shard.minima.push(minv);
-            shard.phase_cycles[0].push(stats.cycles());
+            minima.push(minv);
+            phase_cycles[0].push(stats.cycles());
             cols_max = cols_max.max(cols_used);
             total.accumulate(&stats);
         }
 
         // Cross-tile min over the reduction network.
-        let global_min = shard.minima.iter().copied().min().expect("shards >= 1");
+        let global_min = minima.iter().copied().min().expect("shards >= 1");
         let red_min = self.device.reduction_network(shards, m_bits);
         accumulate_step(steps, "device: cross-tile min", red_min);
         total.accumulate(&red_min);
 
         // Pass 2: per-shard exp + partial sum (global min arrives as a
-        // program scalar input).
+        // program scalar input). Resident shards re-arm their pinned
+        // tile: the score planes written by the min phase are the exp
+        // phase's input, so no host staging and no `Load` ops happen —
+        // the halves are only (re)packed on the compile path, where
+        // the optimizer's recost needs them to prestage a cleared
+        // tile.
+        let no_inputs: [&[u64]; 0] = [];
         for (i, &(s, e)) in ranges.iter().enumerate() {
             let (packed, rows) = self.packing(e - s);
+            let stage_hosts = !resident || matches!(exec, ShardExec::Compile(_));
             half0.clear();
-            half0.extend(codes[s..s + rows].iter().map(|&c| c.unsigned_abs()));
             half1.clear();
-            if packed {
-                half1.extend(codes[s + rows..e].iter().map(|&c| c.unsigned_abs()));
+            if stage_hosts {
+                half0.extend(codes[s..s + rows].iter().map(|&c| c.unsigned_abs()));
+                if packed {
+                    half1.extend(codes[s + rows..e].iter().map(|&c| c.unsigned_abs()));
+                }
             }
             let halves_arr: [&[u64]; 2] = [half0.as_slice(), half1.as_slice()];
             let halves = if packed {
@@ -1228,30 +1439,51 @@ impl ApSoftmax {
             } else {
                 &halves_arr[..1]
             };
+            let halves_n = halves.len();
+            let replay_inputs: &[&[u64]] = if resident { &no_inputs } else { halves };
+            let tile_i: &mut ApTile = if resident {
+                &mut shard_tiles[i]
+            } else {
+                &mut *tile
+            };
             let scalars = [global_min];
             let (stats, cols_used, partial) = match &mut exec {
                 ShardExec::Direct => {
                     let (stats, cols, partial, _) = self.issue_exp_phase(
-                        tile, scratch, halves, rows, &scalars, out_vap, steps, false,
+                        tile_i, scratch, halves, rows, &scalars, out_vap, steps, false,
                     )?;
                     (stats, cols, partial)
                 }
                 ShardExec::Replay(plan) => {
                     let p = &plan.exp_plans[i];
                     let mut outs: [&mut Vec<u64>; 1] = [out_vap];
-                    let resident = shard_resident(ranges, i);
                     let stats = self.replay_shard_phase(
-                        p, tile, scratch, halves, &scalars, &mut outs, steps, resident,
+                        p,
+                        tile_i,
+                        scratch,
+                        replay_inputs,
+                        &scalars,
+                        &mut outs,
+                        steps,
+                        phase_replay(ranges, i, resident),
+                        resident,
                     )?;
                     (stats, p.cols_used(), scratch.reg(p.result_reg()))
                 }
                 ShardExec::Compile(builder) => {
-                    let key = self.shard_key(e - s, PlanPhase::ShardExp);
+                    let key = self.shard_key(e - s, PlanPhase::ShardExp, resident);
                     if let Some(CachedPlan::Program(p)) = self.plans.peek(&key) {
                         let mut outs: [&mut Vec<u64>; 1] = [out_vap];
-                        let resident = shard_resident(ranges, i);
                         let stats = self.replay_shard_phase(
-                            &p, tile, scratch, halves, &scalars, &mut outs, steps, resident,
+                            &p,
+                            tile_i,
+                            scratch,
+                            replay_inputs,
+                            &scalars,
+                            &mut outs,
+                            steps,
+                            phase_replay(ranges, i, resident),
+                            resident,
                         )?;
                         let partial = scratch.reg(p.result_reg());
                         builder.exp_plans.push(Arc::clone(&p));
@@ -1260,20 +1492,37 @@ impl ApSoftmax {
                         let steps_snapshot = steps.clone();
                         let vap_mark = out_vap.len();
                         let started = std::time::Instant::now();
-                        let (stats, cols, _, prog) = self.issue_exp_phase(
-                            tile, scratch, halves, rows, &scalars, out_vap, steps, true,
-                        )?;
+                        let (stats, cols, _, prog) = if resident {
+                            self.issue_resident_exp_phase(
+                                tile_i, scratch, halves_n, rows, &scalars, out_vap, steps, true,
+                            )?
+                        } else {
+                            self.issue_exp_phase(
+                                tile_i, scratch, halves, rows, &scalars, out_vap, steps, true,
+                            )?
+                        };
                         let (mut program, reg) = prog.expect("recording returns a program");
                         let mut outs: [&mut Vec<u64>; 1] = [out_vap];
+                        // The resident recost re-creates the pre-phase
+                        // plane state on a cleared tile by prestaging
+                        // the score planes the min phase left behind.
+                        let prestage: Vec<(Field, &[u64])> = if resident {
+                            (0..halves_n)
+                                .map(|h| (self.resident_x_field(h), halves[h]))
+                                .collect()
+                        } else {
+                            Vec::new()
+                        };
                         let (report, stats, partial) = self.optimize_phase(
                             &mut program,
                             reg,
-                            tile,
+                            tile_i,
                             scratch,
-                            halves,
+                            replay_inputs,
                             &scalars,
                             &mut outs,
                             &[vap_mark],
+                            &prestage,
                             steps,
                             steps_snapshot,
                             stats,
@@ -1292,53 +1541,82 @@ impl ApSoftmax {
                     }
                 }
             };
-            shard.partials.push(partial);
-            shard.phase_cycles[1].push(stats.cycles());
+            partials.push(partial);
+            phase_cycles[1].push(stats.cycles());
             cols_max = cols_max.max(cols_used);
             total.accumulate(&stats);
         }
 
         // Cross-tile sum over the reduction network, in the scalar
         // spec's overflow mode.
-        let combined = self.combine_partials(&shard.partials)?;
+        let combined = self.combine_partials(partials)?;
         let red_sum = self.device.reduction_network(shards, sum_bits);
         accumulate_step(steps, "device: cross-tile sum", red_sum);
         total.accumulate(&red_sum);
 
-        // Pass 3: per-shard divide by the broadcast divisor.
+        // Pass 3: per-shard divide by the broadcast divisor. Resident
+        // shards divide the `v_approx` planes the exp phase left in
+        // their pinned tiles, so the host never re-stages them.
         for (i, &(s, e)) in ranges.iter().enumerate() {
             let (packed, rows) = self.packing(e - s);
+            let stage_hosts = !resident || matches!(exec, ShardExec::Compile(_));
             let vap = &out_vap[s..e];
             let vap_halves_arr: [&[u64]; 2] = [&vap[..rows], &vap[rows.min(vap.len())..]];
-            let vap_halves = if packed {
+            let vap_halves_all = if packed {
                 &vap_halves_arr[..]
             } else {
                 &vap_halves_arr[..1]
+            };
+            let halves_n = vap_halves_all.len();
+            let vap_halves: &[&[u64]] = if stage_hosts {
+                vap_halves_all
+            } else {
+                &no_inputs
+            };
+            let replay_inputs: &[&[u64]] = if resident { &no_inputs } else { vap_halves };
+            let tile_i: &mut ApTile = if resident {
+                &mut shard_tiles[i]
+            } else {
+                &mut *tile
             };
             let scalars = [combined];
             let (stats, cols_used) = match &mut exec {
                 ShardExec::Direct => {
                     let (stats, cols, _) = self.issue_div_phase(
-                        tile, scratch, vap_halves, rows, &scalars, out_codes, steps, false,
+                        tile_i, scratch, vap_halves, rows, &scalars, out_codes, steps, false,
                     )?;
                     (stats, cols)
                 }
                 ShardExec::Replay(plan) => {
                     let p = &plan.div_plans[i];
                     let mut outs: [&mut Vec<u64>; 1] = [out_codes];
-                    let resident = shard_resident(ranges, i);
                     let stats = self.replay_shard_phase(
-                        p, tile, scratch, vap_halves, &scalars, &mut outs, steps, resident,
+                        p,
+                        tile_i,
+                        scratch,
+                        replay_inputs,
+                        &scalars,
+                        &mut outs,
+                        steps,
+                        phase_replay(ranges, i, resident),
+                        resident,
                     )?;
                     (stats, p.cols_used())
                 }
                 ShardExec::Compile(builder) => {
-                    let key = self.shard_key(e - s, PlanPhase::ShardDiv);
+                    let key = self.shard_key(e - s, PlanPhase::ShardDiv, resident);
                     if let Some(CachedPlan::Program(p)) = self.plans.peek(&key) {
                         let mut outs: [&mut Vec<u64>; 1] = [out_codes];
-                        let resident = shard_resident(ranges, i);
                         let stats = self.replay_shard_phase(
-                            &p, tile, scratch, vap_halves, &scalars, &mut outs, steps, resident,
+                            &p,
+                            tile_i,
+                            scratch,
+                            replay_inputs,
+                            &scalars,
+                            &mut outs,
+                            steps,
+                            phase_replay(ranges, i, resident),
+                            resident,
                         )?;
                         builder.div_plans.push(Arc::clone(&p));
                         (stats, p.cols_used())
@@ -1346,20 +1624,36 @@ impl ApSoftmax {
                         let steps_snapshot = steps.clone();
                         let codes_mark = out_codes.len();
                         let started = std::time::Instant::now();
-                        let (stats, cols, prog) = self.issue_div_phase(
-                            tile, scratch, vap_halves, rows, &scalars, out_codes, steps, true,
-                        )?;
+                        let (stats, cols, prog) = if resident {
+                            self.issue_resident_div_phase(
+                                tile_i, scratch, halves_n, rows, &scalars, out_codes, steps, true,
+                            )?
+                        } else {
+                            self.issue_div_phase(
+                                tile_i, scratch, vap_halves, rows, &scalars, out_codes, steps, true,
+                            )?
+                        };
                         let (mut program, reg) = prog.expect("recording returns a program");
                         let mut outs: [&mut Vec<u64>; 1] = [out_codes];
+                        // Recost on a cleared tile prestages the
+                        // `v_approx` planes the exp phase persisted.
+                        let prestage: Vec<(Field, &[u64])> = if resident {
+                            (0..halves_n)
+                                .map(|h| (self.resident_vapprox_field(h), vap_halves_all[h]))
+                                .collect()
+                        } else {
+                            Vec::new()
+                        };
                         let (report, stats, _) = self.optimize_phase(
                             &mut program,
                             reg,
-                            tile,
+                            tile_i,
                             scratch,
-                            vap_halves,
+                            replay_inputs,
                             &scalars,
                             &mut outs,
                             &[codes_mark],
+                            &prestage,
                             steps,
                             steps_snapshot,
                             stats,
@@ -1378,7 +1672,7 @@ impl ApSoftmax {
                     }
                 }
             };
-            shard.phase_cycles[2].push(stats.cycles());
+            phase_cycles[2].push(stats.cycles());
             cols_max = cols_max.max(cols_used);
             total.accumulate(&stats);
         }
@@ -1386,10 +1680,12 @@ impl ApSoftmax {
         debug_assert_eq!(out_vap.len(), total_len);
 
         // Device view: critical path = per-phase wave makespans plus
-        // the reduction-network cycles.
+        // the reduction-network cycles. Under residency the followers'
+        // per-phase cycles are tiny (input staging only) or zero, so
+        // the makespan collapses to the per-wave leader.
         let mut latency = red_min.cycles() + red_sum.cycles();
-        for pc in &shard.phase_cycles {
-            latency += device::wave_makespan(pc, self.device.tiles, &mut shard.loads);
+        for pc in phase_cycles.iter() {
+            latency += device::wave_makespan(pc, self.device.tiles, loads);
         }
         let mut reduction = red_min;
         reduction.accumulate(&red_sum);
@@ -1406,13 +1702,14 @@ impl ApSoftmax {
         Ok(())
     }
 
-    fn shard_key(&self, shard_len: usize, phase: PlanPhase) -> PlanKey {
+    fn shard_key(&self, shard_len: usize, phase: PlanPhase, resident: bool) -> PlanKey {
         PlanKey {
             len: shard_len,
             layout: self.layout,
             div: self.div_style,
             opt: self.opt_level,
             phase,
+            resident,
         }
     }
 
@@ -1444,8 +1741,11 @@ impl ApSoftmax {
         }
     }
 
-    /// Replays one shard-phase program on the pooled tile. `resident`
-    /// selects the resident-operand discount (see [`shard_resident`]).
+    /// Replays one shard-phase program on a tile. `mode` selects the
+    /// pricing (see [`phase_replay`]); `rearm` keeps the tile's CAM
+    /// cells across the call (resident phases re-arm their pinned tile
+    /// instead of clearing it, so the previous phase's output planes
+    /// survive as this phase's inputs).
     #[allow(clippy::too_many_arguments)]
     fn replay_shard_phase<'d>(
         &self,
@@ -1456,15 +1756,21 @@ impl ApSoftmax {
         scalars: &[u64],
         outs: &mut [&'d mut Vec<u64>],
         steps: &mut Vec<StepStats>,
-        resident: bool,
+        mode: PhaseReplay,
+        rearm: bool,
     ) -> Result<CycleStats, CoreError> {
-        let ap = tile.acquire(plan.program().config(), self.backend)?;
+        let config = plan.program().config();
+        let ap = if rearm {
+            tile.rearm_resident(config, self.backend)?
+        } else {
+            tile.acquire(config, self.backend)?
+        };
         let io = ExecIo::new(inputs, outs).with_scalars(scalars);
         let on_step = |name: &'static str, stats: CycleStats| accumulate_step(steps, name, stats);
-        if resident {
-            plan.program().replay_resident(ap, io, scratch, on_step)?;
-        } else {
-            plan.program().replay(ap, io, scratch, on_step)?;
+        match mode {
+            PhaseReplay::Full => plan.program().replay(ap, io, scratch, on_step)?,
+            PhaseReplay::Hoisted => plan.program().replay_resident(ap, io, scratch, on_step)?,
+            PhaseReplay::Lockstep => plan.program().replay_lockstep(ap, io, scratch, on_step)?,
         }
         Ok(ap.stats())
     }
@@ -1474,8 +1780,16 @@ impl ApSoftmax {
     /// and step deltas no longer describe it: they are rolled back (to
     /// `out_marks` / `steps_snapshot`) and one recost execution of the
     /// fused schedule replaces them, also re-anchoring the program's
-    /// static cost. Returns the pass report plus the (possibly
-    /// re-derived) phase stats and result scalar.
+    /// static cost. A resident phase reads planes a previous phase left
+    /// in the tile; `prestage` re-creates that pre-phase state on the
+    /// recost's cleared tile by loading `(field, data)` pairs before
+    /// the run (and resetting the statistics, so the prestage loads —
+    /// which a resident replay never performs — are not charged). The
+    /// recost total still matches a resident replay exactly because
+    /// write costs are content-independent: charging a program on a
+    /// cleared-then-prestaged tile and on a re-armed tile with stale
+    /// scratch planes prices identically. Returns the pass report plus
+    /// the (possibly re-derived) phase stats and result scalar.
     #[allow(clippy::too_many_arguments)]
     fn optimize_phase<'d>(
         &self,
@@ -1487,6 +1801,7 @@ impl ApSoftmax {
         scalars: &[u64],
         outs: &mut [&'d mut Vec<u64>],
         out_marks: &[usize],
+        prestage: &[(Field, &[u64])],
         steps: &mut Vec<StepStats>,
         steps_snapshot: Vec<StepStats>,
         stats: CycleStats,
@@ -1500,6 +1815,12 @@ impl ApSoftmax {
             out.truncate(mark);
         }
         let ap = tile.acquire(program.config(), self.backend)?;
+        for &(field, data) in prestage {
+            ap.load(field, data)?;
+        }
+        if !prestage.is_empty() {
+            ap.reset_stats();
+        }
         program.recost(
             ap,
             ExecIo::new(inputs, outs).with_scalars(scalars),
@@ -1695,6 +2016,231 @@ impl ApSoftmax {
             rec.step("16: divide");
             for (_, res) in fields.iter().flatten() {
                 rec.read(*res, 0)?;
+            }
+            program = rec.finish();
+        }
+        let stats = ap.stats();
+        Ok((stats, cols_used, program.map(|p| (p, sum_reg))))
+    }
+
+    /// The **union** tile geometry every resident shard phase runs at:
+    /// the whole-vector layout of [`ApSoftmax::issue_once`] (per-half
+    /// [`HalfFields`], then the shared operand/sum/divisor/min fields,
+    /// then division scratch headroom). All three resident phase
+    /// programs allocate these fields in the identical order, so a
+    /// column range means the same thing in every phase and planes
+    /// written by one phase are readable by the next (the residency
+    /// contract in `softmap_ap::program`).
+    fn resident_config(&self, halves: usize, rows: usize) -> ApConfig {
+        let m = self.cfg().m as usize;
+        let w = self.sm.widths();
+        let sum_bits = self.sm.constants().effective_sum_bits(self.cfg()) as usize;
+        let shared = (2 * m + 1) + sum_bits + sum_bits + m;
+        let scratch_cols = 2 * (sum_bits + 2) + 2 * (w.result as usize + w.vapprox as usize + 2);
+        let cols = 2 + halves * self.half_width() + shared + scratch_cols;
+        ApConfig::new(rows, cols)
+    }
+
+    /// Allocates the union layout on a (cleared or re-armed) core.
+    /// Returns the per-half fields and the shared
+    /// (`op`, `sumw`, `den`, `minf`) fields, in allocation order.
+    #[allow(clippy::type_complexity)]
+    fn alloc_resident_fields(
+        &self,
+        ap: &mut ApCore,
+        halves: usize,
+    ) -> Result<([Option<HalfFields>; 2], Field, Field, Field, Field), CoreError> {
+        let m = self.cfg().m as usize;
+        let sum_bits = self.sm.constants().effective_sum_bits(self.cfg()) as usize;
+        let mut slots: [Option<HalfFields>; 2] = [None, None];
+        for slot in slots.iter_mut().take(halves) {
+            *slot = Some(self.alloc_half(ap)?);
+        }
+        let op = ap.alloc_field(2 * m + 1)?;
+        let sumw = ap.alloc_field(sum_bits)?;
+        let den = ap.alloc_field(sum_bits)?;
+        let minf = ap.alloc_field(m)?;
+        Ok((slots, op, sumw, den, minf))
+    }
+
+    /// Column range of half `h`'s score plane (`x`) in the union
+    /// layout — what the min phase loads and the exp phase consumes in
+    /// place. Used to prestage the optimizer's recost tile.
+    fn resident_x_field(&self, half: usize) -> Field {
+        let m = self.cfg().m as usize;
+        Field::new(2 + half * self.half_width(), m)
+    }
+
+    /// Column range of half `h`'s `v_approx` plane in the union
+    /// layout — what the exp phase writes and the divide phase consumes
+    /// in place.
+    fn resident_vapprox_field(&self, half: usize) -> Field {
+        let m = self.cfg().m as usize;
+        let w = self.sm.widths();
+        let work_w = (3 * m + 2).max(w.poly as usize + 1);
+        let offset = m + w.q as usize + work_w + m;
+        Field::new(2 + half * self.half_width() + offset, w.vapprox as usize)
+    }
+
+    /// Resident min phase: acquire the shard's pinned tile at the
+    /// union geometry, load the score planes (the only host staging the
+    /// resident lifetime performs), and min-search them. Same return
+    /// shape as [`ApSoftmax::issue_min_phase`].
+    #[allow(clippy::type_complexity)]
+    fn issue_resident_min_phase(
+        &self,
+        tile: &mut ApTile,
+        scratch: &mut ProgramScratch,
+        halves: &[&[u64]],
+        rows: usize,
+        steps: &mut Vec<StepStats>,
+        record: bool,
+    ) -> Result<(CycleStats, usize, u64, Option<(ApProgram, RegId)>), CoreError> {
+        let ap = tile.acquire(self.resident_config(halves.len(), rows), self.backend)?;
+        let (fields, _op, _sumw, _den, minf) = self.alloc_resident_fields(ap, halves.len())?;
+        let cols_used = minf.end();
+        let min_reg;
+        let program;
+        {
+            let mut outs: [&mut Vec<u64>; 0] = [];
+            let mut on_step =
+                |name: &'static str, stats: CycleStats| accumulate_step(steps, name, stats);
+            let mut rec = Recorder::new(
+                ap,
+                ExecIo::new(halves, &mut outs),
+                scratch,
+                &mut on_step,
+                record,
+            );
+            for (slot, f) in fields.iter().flatten().enumerate() {
+                rec.load(f.exp.x, slot)?;
+            }
+            rec.step("shard: write v");
+            let mut reg: Option<RegId> = None;
+            for f in fields.iter().flatten() {
+                let r = rec.min_search(f.exp.x);
+                reg = Some(match reg {
+                    Some(prev) => rec.reg_min(prev, r),
+                    None => r,
+                });
+            }
+            min_reg = reg.expect("at least one half");
+            rec.step("shard: min search");
+            program = rec.finish();
+        }
+        let stats = ap.stats();
+        Ok((
+            stats,
+            cols_used,
+            scratch.reg(min_reg),
+            program.map(|p| (p, min_reg)),
+        ))
+    }
+
+    /// Resident exp phase: re-arm the pinned tile (score planes stay
+    /// put — **no** staging loads), subtract the global minimum (scalar
+    /// input 0) in place, run the integer exponential, tree-reduce the
+    /// partial sum, and read `v_approx` out (output slot 0). Same
+    /// return shape as [`ApSoftmax::issue_exp_phase`].
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    fn issue_resident_exp_phase(
+        &self,
+        tile: &mut ApTile,
+        scratch: &mut ProgramScratch,
+        halves: usize,
+        rows: usize,
+        scalars: &[u64],
+        vap_out: &mut Vec<u64>,
+        steps: &mut Vec<StepStats>,
+        record: bool,
+    ) -> Result<(CycleStats, usize, u64, Option<(ApProgram, RegId)>), CoreError> {
+        let ap = tile.rearm_resident(self.resident_config(halves, rows), self.backend)?;
+        let (fields, op, sumw, den, minf) = self.alloc_resident_fields(ap, halves)?;
+        let cols_used = minf.end();
+        let mut exp_arr: [Option<ExpFields>; 2] = [None, None];
+        for (slot, f) in fields.iter().flatten().enumerate() {
+            exp_arr[slot] = Some(f.exp);
+        }
+        let exp = &exp_arr[..halves];
+        let sum_reg;
+        let program;
+        {
+            let inputs: [&[u64]; 0] = [];
+            let mut outs: [&mut Vec<u64>; 1] = [vap_out];
+            let mut on_step =
+                |name: &'static str, stats: CycleStats| accumulate_step(steps, name, stats);
+            let mut rec = Recorder::new(
+                ap,
+                ExecIo::new(&inputs, &mut outs).with_scalars(scalars),
+                scratch,
+                &mut on_step,
+                record,
+            );
+            let g = rec.reg_input(0)?;
+            Self::issue_stabilize(&mut rec, exp, minf, g, "2: subtract max")?;
+            self.issue_exp_approx(&mut rec, exp, op)?;
+            sum_reg =
+                self.issue_partial_reduce(&mut rec, exp, sumw, den, "14: partial reduction")?;
+            for f in exp.iter().flatten() {
+                rec.read(f.vapprox, 0)?;
+            }
+            program = rec.finish();
+        }
+        let stats = ap.stats();
+        Ok((
+            stats,
+            cols_used,
+            scratch.reg(sum_reg),
+            program.map(|p| (p, sum_reg)),
+        ))
+    }
+
+    /// Resident divide phase: re-arm the pinned tile (`v_approx`
+    /// planes stay put — **no** staging loads), broadcast the clamped
+    /// divisor (scalar input 0), divide, and read the codes out
+    /// (output slot 0). Same return shape as
+    /// [`ApSoftmax::issue_div_phase`].
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    fn issue_resident_div_phase(
+        &self,
+        tile: &mut ApTile,
+        scratch: &mut ProgramScratch,
+        halves: usize,
+        rows: usize,
+        scalars: &[u64],
+        codes_out: &mut Vec<u64>,
+        steps: &mut Vec<StepStats>,
+        record: bool,
+    ) -> Result<(CycleStats, usize, Option<(ApProgram, RegId)>), CoreError> {
+        let w = *self.sm.widths();
+        let ap = tile.rearm_resident(self.resident_config(halves, rows), self.backend)?;
+        let (fields, _op, _sumw, den, minf) = self.alloc_resident_fields(ap, halves)?;
+        let cols_used = minf.end();
+        let sum_reg;
+        let program;
+        {
+            let inputs: [&[u64]; 0] = [];
+            let mut outs: [&mut Vec<u64>; 1] = [codes_out];
+            let mut on_step =
+                |name: &'static str, stats: CycleStats| accumulate_step(steps, name, stats);
+            let mut rec = Recorder::new(
+                ap,
+                ExecIo::new(&inputs, &mut outs).with_scalars(scalars),
+                scratch,
+                &mut on_step,
+                record,
+            );
+            sum_reg = rec.reg_input(0)?;
+            let den_reg = rec.reg_max1(sum_reg);
+            rec.broadcast_reg(den, den_reg)?;
+            rec.step("shard: write divisor");
+            let f_bits = w.frac_bits() as usize;
+            for f in fields.iter().flatten() {
+                rec.divide(f.exp.vapprox, den, f.res, f_bits, self.div_style)?;
+            }
+            rec.step("16: divide");
+            for f in fields.iter().flatten() {
+                rec.read(f.res, 0)?;
             }
             program = rec.finish();
         }
@@ -1898,17 +2444,36 @@ impl ApSoftmax {
     /// Resolves the vector-level cache entry for length `len`,
     /// compiling one from [`ApSoftmax::representative_scores`] on this
     /// thread's pooled tile if the shape has not been seen yet.
-    fn resolve_vector_entry(&self, len: usize) -> Result<CachedPlan, CoreError> {
-        if len == 0 {
-            return Err(CoreError::EmptyInput);
-        }
-        let key = PlanKey {
+    /// The cache key a vector of `len` elements executes under:
+    /// whole-vector entries are never resident (a single tile re-stages
+    /// by definition); sharded entries carry the effective residency of
+    /// their partition, mirroring `execute_sharded_with`.
+    fn vector_key(&self, len: usize) -> Result<PlanKey, CoreError> {
+        let (_, rows) = self.packing(len);
+        let resident = if rows > self.device.rows_per_tile {
+            let mut ranges = Vec::new();
+            self.device
+                .partition_into(len, self.words_per_row(), &mut ranges)
+                .map_err(CoreError::Ap)?;
+            self.resident_for(ranges.len())
+        } else {
+            false
+        };
+        Ok(PlanKey {
             len,
             layout: self.layout,
             div: self.div_style,
             opt: self.opt_level,
             phase: PlanPhase::Vector,
-        };
+            resident,
+        })
+    }
+
+    fn resolve_vector_entry(&self, len: usize) -> Result<CachedPlan, CoreError> {
+        if len == 0 {
+            return Err(CoreError::EmptyInput);
+        }
+        let key = self.vector_key(len)?;
         // Observer lookup: a cost query is not a replay, so it must
         // not count as a cache hit.
         if let Some(plan) = self.plans.peek(&key) {
@@ -2037,6 +2602,25 @@ impl ApSoftmax {
 mod tests {
     use super::*;
     use softmap_softmax::IntSoftmax;
+
+    #[test]
+    fn resident_env_overrides() {
+        // Race-safe mirror of the SOFTMAP_OPT / SOFTMAP_THREADS
+        // override tests: only values equivalent to the default (on)
+        // plus garbage/unset are ever set, so tests reading
+        // SOFTMAP_RESIDENT concurrently can never observe `false`.
+        let fresh = || ApSoftmax::new(PrecisionConfig::paper_best()).unwrap();
+        std::env::set_var(RESIDENT_ENV, "1");
+        assert!(fresh().resident());
+        std::env::set_var(RESIDENT_ENV, " TRUE ");
+        assert!(fresh().resident());
+        std::env::set_var(RESIDENT_ENV, "not-a-bool");
+        assert!(fresh().resident(), "garbage warns once and keeps on");
+        std::env::remove_var(RESIDENT_ENV);
+        assert!(fresh().resident(), "unset keeps the default");
+        // The in-process escape hatch wins over the environment.
+        assert!(!fresh().with_resident(false).resident());
+    }
 
     fn assert_bit_exact(cfg: PrecisionConfig, scores: &[f64], layout: Layout) {
         let scalar = IntSoftmax::new(cfg).unwrap().run_floats(scores).unwrap();
@@ -2507,15 +3091,20 @@ mod tests {
     fn sharded_latency_beats_single_tile_serialization() {
         // With more tiles, the same shards spread across the grid: the
         // critical path must shrink while total work stays identical.
+        // Pinned re-staged: under residency, work is grid-*dependent*
+        // by design (a one-tile grid cannot keep four shards pinned),
+        // which the resident assertions below characterize.
         let cfg = PrecisionConfig::paper_best();
         let scores: Vec<f64> = (0..64).map(|i| -(f64::from(i) * 0.17) % 5.9).collect();
         let narrow = ApSoftmax::new(cfg)
             .unwrap()
+            .with_resident(false)
             .with_device(DeviceConfig::new(1, 8))
             .execute_floats(&scores)
             .unwrap();
         let wide = ApSoftmax::new(cfg)
             .unwrap()
+            .with_resident(false)
             .with_device(DeviceConfig::new(4, 8))
             .execute_floats(&scores)
             .unwrap();
@@ -2523,6 +3112,29 @@ mod tests {
         assert!(wide.latency_cycles < narrow.latency_cycles);
         assert_eq!(narrow.waves, 4);
         assert_eq!(wide.waves, 1);
+
+        // Residency: the one-tile grid falls back to re-staging (bit-
+        // and cycle-identical to the pinned path above); the wide grid
+        // pins its shards and does strictly less work.
+        let narrow_res = ApSoftmax::new(cfg)
+            .unwrap()
+            .with_device(DeviceConfig::new(1, 8))
+            .execute_floats(&scores)
+            .unwrap();
+        assert_eq!(narrow_res.codes, narrow.codes);
+        assert_eq!(narrow_res.total, narrow.total, "fallback re-stages");
+        let wide_res = ApSoftmax::new(cfg)
+            .unwrap()
+            .with_device(DeviceConfig::new(4, 8))
+            .execute_floats(&scores)
+            .unwrap();
+        assert_eq!(wide_res.codes, wide.codes, "residency is bit-exact");
+        assert!(
+            wide_res.total.cycles() < wide.total.cycles(),
+            "resident work {} should undercut re-staged {}",
+            wide_res.total.cycles(),
+            wide.total.cycles()
+        );
     }
 
     #[test]

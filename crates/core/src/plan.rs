@@ -79,6 +79,12 @@ pub(crate) struct PlanKey {
     pub opt: OptLevel,
     /// Which program of the dataflow this entry is.
     pub phase: PlanPhase,
+    /// Whether the plan was compiled for resident sharded execution
+    /// (shard tiles pinned across phases, staging elided). Part of the
+    /// key so resident and re-staged plans for the same shape coexist
+    /// in the LRU — the differential baseline never evicts the fast
+    /// path. Always `false` for whole-vector entries.
+    pub resident: bool,
 }
 
 /// A compiled dataflow plan: the recorded [`ApProgram`] plus the
@@ -177,6 +183,7 @@ pub struct ShardedPlan {
     pub(crate) rows: usize,
     pub(crate) cols_used: usize,
     pub(crate) compile_micros: f64,
+    pub(crate) resident: bool,
 }
 
 impl ShardedPlan {
@@ -184,6 +191,16 @@ impl ShardedPlan {
     #[must_use]
     pub fn shards(&self) -> usize {
         self.ranges.len()
+    }
+
+    /// Whether this plan executes resident: shard tiles pinned across
+    /// the three phases, phase-boundary staging elided, same-length
+    /// shards after the wave's first charged in lockstep. `false` is
+    /// the PR 5 re-staging path (also the automatic fallback when the
+    /// vector's shards exceed the tile grid).
+    #[must_use]
+    pub fn resident(&self) -> bool {
+        self.resident
     }
 
     /// Sequential waves per phase on the device's tile grid.
@@ -315,10 +332,11 @@ impl Default for PlanCache {
 
 impl PlanCache {
     /// Default LRU capacity: comfortably above any single workload's
-    /// working set (a sharded shape needs at most seven entries: the
-    /// vector plan plus two shard lengths × three phases) while keeping
-    /// a long-running server's memory bounded under arbitrary length
-    /// mixes.
+    /// working set (a sharded shape needs at most seven entries per
+    /// residency mode — the vector plan plus two shard lengths × three
+    /// phases — so fourteen when resident and re-staged plans coexist)
+    /// while keeping a long-running server's memory bounded under
+    /// arbitrary length mixes.
     pub const DEFAULT_CAPACITY: usize = 64;
 
     /// Creates an empty cache with a fresh identity and the default
@@ -419,6 +437,18 @@ impl PlanCache {
     pub fn clear(&self) {
         self.epoch.fetch_add(1, Ordering::Relaxed);
         self.plans.lock().expect("plan cache poisoned").clear();
+    }
+
+    /// Number of currently cached entries compiled for resident
+    /// execution (see [`crate::ApSoftmax::cache_stats`]).
+    #[must_use]
+    pub fn resident_entries(&self) -> usize {
+        self.plans
+            .lock()
+            .expect("plan cache poisoned")
+            .keys()
+            .filter(|k| k.resident)
+            .count()
     }
 
     /// Current counters.

@@ -168,10 +168,12 @@ proptest! {
             .with_plan_mode(PlanMode::DirectIssue)
             .execute_floats(&scores).unwrap();
         // Compile the sharded plan (OptLevel::None for cycle-exactness
-        // against direct issue) from different data, then replay.
+        // against direct issue, re-staged because direct issue always
+        // re-stages) from different data, then replay.
         let cached = ApSoftmax::new(cfg).unwrap()
             .with_backend(backend)
             .with_device(dev)
+            .with_resident(false)
             .with_opt_level(OptLevel::None);
         let mut warm = warm;
         warm.truncate(scores.len());
@@ -184,11 +186,12 @@ proptest! {
         prop_assert_eq!(replayed.total, direct.total, "cycle-exactness");
         prop_assert_eq!(replayed.latency_cycles, direct.latency_cycles);
         prop_assert_eq!(&replayed.steps, &direct.steps, "per-step exactness");
-        // The default optimized sharded plan: bit-exact outputs,
-        // strictly cheaper (fused phases + resident broadcasts).
+        // The optimized re-staged sharded plan: bit-exact outputs,
+        // strictly cheaper (fused phases + hoisted broadcasts).
         let optimized = ApSoftmax::new(cfg).unwrap()
             .with_backend(backend)
             .with_device(dev)
+            .with_resident(false)
             .with_opt_level(OptLevel::Full);
         optimized.execute_floats(&warm).unwrap();
         let opt = optimized.execute_floats(&scores).unwrap();
@@ -196,6 +199,58 @@ proptest! {
         prop_assert_eq!(&opt.vapprox, &direct.vapprox);
         prop_assert_eq!(opt.sum, direct.sum);
         prop_assert!(opt.total.cycles() < direct.total.cycles(), "fused schedule must be cheaper");
+    }
+
+    #[test]
+    fn resident_sharded_bit_exact_and_cheaper_vs_restaged(
+        scores in prop::collection::vec(-9.0f64..0.0, 10..56),
+        rows_per_tile in 2usize..5,
+        backend in prop_oneof![Just(ExecBackend::FastWord), Just(ExecBackend::Microcode)],
+        opt in prop_oneof![Just(OptLevel::None), Just(OptLevel::Full)],
+    ) {
+        // A grid with more tiles than any partition needs, so every
+        // sharded vector qualifies for residency. Lengths 10..56 over
+        // rows_per_tile 2..4 cover even partitions, odd tails, and the
+        // peeled singleton-tail rule.
+        let cfg = PrecisionConfig::paper_best();
+        let dev = DeviceConfig::new(16, rows_per_tile);
+        let restaged = ApSoftmax::new(cfg).unwrap()
+            .with_backend(backend)
+            .with_device(dev)
+            .with_resident(false)
+            .with_opt_level(opt);
+        let resident = ApSoftmax::new(cfg).unwrap()
+            .with_backend(backend)
+            .with_device(dev)
+            .with_opt_level(opt);
+        prop_assert!(resident.resident());
+        let base = restaged.execute_floats(&scores).unwrap();
+        let res = resident.execute_floats(&scores).unwrap();
+        prop_assert!(res.shards > 1, "must shard at {} rows", rows_per_tile);
+        // Bit-exact across the whole observable state...
+        prop_assert_eq!(&res.codes, &base.codes);
+        prop_assert_eq!(&res.vapprox, &base.vapprox);
+        prop_assert_eq!(res.sum, base.sum);
+        prop_assert_eq!(res.shards, base.shards);
+        prop_assert_eq!(res.waves, base.waves);
+        prop_assert_eq!(res.reduction, base.reduction);
+        // ...and against the scalar I-BERT specification.
+        let scalar = IntSoftmax::new(cfg).unwrap().run_floats(&scores).unwrap();
+        prop_assert_eq!(&res.codes, &scalar.codes);
+        prop_assert_eq!(&res.vapprox, &scalar.vapprox);
+        // Cycle accounting: elided staging plus lockstep followers
+        // make the resident plan strictly cheaper whenever a follower
+        // exists (equal-length shards); a partition of all-distinct
+        // lengths still elides staging.
+        prop_assert!(res.total.cycles() < base.total.cycles(),
+            "resident {} vs re-staged {}", res.total.cycles(), base.total.cycles());
+        prop_assert!(res.latency_cycles <= base.latency_cycles);
+        // Replaying the cached resident plan is cycle-stable.
+        let again = resident.execute_floats(&scores).unwrap();
+        prop_assert!(resident.plan_stats().hits >= 1, "second run must replay");
+        prop_assert_eq!(again.total, res.total);
+        prop_assert_eq!(&again.steps, &res.steps);
+        prop_assert_eq!(&again.codes, &res.codes);
     }
 
     #[test]

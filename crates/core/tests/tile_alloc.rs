@@ -113,15 +113,18 @@ fn main() {
 
     // Sharded long-sequence steady state: the acceptance shape
     // (seq_len 16384 on 2048-row tiles → four shards, three phases,
-    // two cross-tile reductions per vector) must also replay with zero
-    // heap allocations once the sharded plan and every buffer are warm.
-    {
+    // two cross-tile reductions per vector) must replay with zero heap
+    // allocations once the sharded plan and every buffer are warm — on
+    // the default **resident** plan (whose per-shard pinned-tile pool
+    // only grows during warm-up) and on the re-staged plan.
+    for resident in [true, false] {
         let long: Vec<f64> = (0..16384)
             .map(|i| -f64::from((i % 97) as u32) * 0.07)
             .collect();
         let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
             .unwrap()
-            .with_backend(ExecBackend::FastWord);
+            .with_backend(ExecBackend::FastWord)
+            .with_resident(resident);
         let mut state = TileState::new();
         let mut run = ApSoftmaxRun::default();
         mapping
@@ -136,6 +139,12 @@ fn main() {
             state.cached_sharded_plan().is_some(),
             "the tile slot must hold the sharded plan after warm-up"
         );
+        let cache = mapping.cache_stats();
+        assert_eq!(
+            cache.resident_entries > 0,
+            resident,
+            "residency must show in the cache statistics: {cache}"
+        );
         let allocs = count_allocs(|| {
             for _ in 0..3 {
                 mapping
@@ -145,12 +154,17 @@ fn main() {
         });
         assert_eq!(
             allocs, 0,
-            "steady-state sharded replay must not allocate (got {allocs} over 3 vectors)"
+            "steady-state sharded replay (resident {resident}) must not \
+             allocate (got {allocs} over 3 vectors)"
         );
         assert_eq!(run.codes, reference, "sharded replay must stay bit-exact");
         println!(
-            "tile_alloc: sharded 16384 ok (shards {}, waves {}, latency {} cyc)",
-            run.shards, run.waves, run.latency_cycles
+            "tile_alloc: sharded 16384 resident={resident} ok (shards {}, waves {}, \
+             total {} cyc, latency {} cyc)",
+            run.shards,
+            run.waves,
+            run.total.cycles(),
+            run.latency_cycles
         );
     }
 

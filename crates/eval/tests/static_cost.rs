@@ -142,23 +142,73 @@ fn static_cost_equals_simulated_for_sharded_shapes() {
 }
 
 #[test]
+fn resident_static_cost_tracks_simulated_at_every_opt_level() {
+    // The residency-aware cost contract: at both sharded acceptance
+    // lengths, for every pass combination, the resident plan's static
+    // cost (total and per step/phase) equals actually simulating the
+    // representative input — and undercuts the re-staged plan's work
+    // by at least 10%.
+    for level in [OptLevel::None, OptLevel::Basic, OptLevel::Full] {
+        for len in [8192usize, 16384] {
+            let mut totals = [0u64; 2];
+            for (slot, resident) in [(0, true), (1, false)] {
+                let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
+                    .unwrap()
+                    .with_backend(ExecBackend::FastWord)
+                    .with_resident(resident)
+                    .with_opt_level(level);
+                let vc = mapping.static_vector_cost(len).unwrap();
+                let run = mapping
+                    .execute_floats(&ApSoftmax::representative_scores(len))
+                    .unwrap();
+                assert_eq!(
+                    vc.total, run.total,
+                    "static != simulated at {level:?} len {len} resident {resident}"
+                );
+                assert_eq!(vc.latency_cycles, run.latency_cycles, "{level:?} len {len}");
+                assert_eq!(
+                    mapping.static_step_stats(len).unwrap(),
+                    run.steps,
+                    "per-phase static != simulated at {level:?} len {len} resident {resident}"
+                );
+                totals[slot] = vc.total.cycles();
+            }
+            assert!(
+                totals[0] * 100 <= totals[1] * 90,
+                "residency gate at {level:?} len {len}: resident {} vs re-staged {}",
+                totals[0],
+                totals[1]
+            );
+        }
+    }
+}
+
+#[test]
 fn sharded_static_cost_is_backend_independent() {
-    // Tiny device so the Microcode sweep stays cheap.
-    let dev = softmap_ap::DeviceConfig::new(2, 8);
-    let fast = ApSoftmax::new(PrecisionConfig::paper_best())
-        .unwrap()
-        .with_backend(ExecBackend::FastWord)
-        .with_device(dev);
-    let micro = ApSoftmax::new(PrecisionConfig::paper_best())
-        .unwrap()
-        .with_backend(ExecBackend::Microcode)
-        .with_device(dev);
-    let len = 48;
-    assert_eq!(
-        fast.static_vector_cost(len).unwrap(),
-        micro.static_vector_cost(len).unwrap(),
-        "the dual-backend contract extends to sharded static costs"
-    );
+    // Tiny device so the Microcode sweep stays cheap. Two grids: one
+    // forcing the multi-wave re-staged fallback (2 tiles, 3 shards),
+    // one keeping all shards resident (8 tiles).
+    for dev in [
+        softmap_ap::DeviceConfig::new(2, 8),
+        softmap_ap::DeviceConfig::new(8, 8),
+    ] {
+        let fast = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_backend(ExecBackend::FastWord)
+            .with_device(dev);
+        let micro = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_backend(ExecBackend::Microcode)
+            .with_device(dev);
+        let len = 48;
+        assert_eq!(
+            fast.static_vector_cost(len).unwrap(),
+            micro.static_vector_cost(len).unwrap(),
+            "the dual-backend contract extends to sharded static costs \
+             ({} tiles)",
+            dev.tiles
+        );
+    }
 }
 
 #[test]

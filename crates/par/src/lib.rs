@@ -40,25 +40,39 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Environment variable overriding the worker-thread count used by
-/// [`tile_parallelism`] (any positive integer; other values are
-/// ignored). Lets multi-core batch/shard scaling be exercised — or
-/// pinned down for reproducibility — independently of what
+/// [`tile_parallelism`] (any positive integer; an invalid value falls
+/// back to the host parallelism with a one-time stderr diagnostic).
+/// Lets multi-core batch/shard scaling be exercised — or pinned down
+/// for reproducibility — independently of what
 /// `available_parallelism` reports for the host or container.
 pub const THREADS_ENV: &str = "SOFTMAP_THREADS";
 
 /// Number of worker threads used for `jobs` independent tasks: the
 /// [`THREADS_ENV`] override if set (and a positive integer), otherwise
 /// the machine's available parallelism — capped by the job count and
-/// at least 1.
+/// at least 1. A set-but-invalid override (not a positive integer)
+/// falls back **loudly**: a one-time diagnostic on stderr names the
+/// variable and the accepted values, so `SOFTMAP_THREADS=four` cannot
+/// silently run at a different width than the experiment recorded.
 #[must_use]
 pub fn tile_parallelism(jobs: usize) -> usize {
-    let hw = std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        });
+    let host = || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let hw = match std::env::var(THREADS_ENV) {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                static WARN: std::sync::Once = std::sync::Once::new();
+                WARN.call_once(|| {
+                    eprintln!(
+                        "softmap: invalid {THREADS_ENV}={raw:?}; accepted values \
+                         are positive integers — using the host parallelism"
+                    );
+                });
+                host()
+            }
+        },
+        Err(_) => host(),
+    };
     hw.min(jobs).max(1)
 }
 

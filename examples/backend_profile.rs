@@ -110,4 +110,37 @@ fn main() {
         plan.program().static_cost()
     );
     println!("  passes: {}", plan.pass_report());
+
+    // Sharded residency: replay a 16384-token vector on the default
+    // (resident) and re-staged plans, then summarize the plan cache in
+    // one line (the single `cache_stats` probe).
+    println!("sharded residency @ len 16384");
+    let long: Vec<f64> = (0..16384)
+        .map(|i| -f64::from((i % 97) as u32) * 0.07)
+        .collect();
+    let restaged = cached.clone().with_resident(false);
+    cached
+        .execute_floats_into(&mut state, &long, &mut run)
+        .unwrap(); // compiles the resident sharded plan
+    time("resident sharded replay", 5, || {
+        cached
+            .execute_floats_into(&mut state, &long, &mut run)
+            .unwrap();
+    });
+    let resident_cycles = run.total.cycles();
+    restaged
+        .execute_floats_into(&mut state, &long, &mut run)
+        .unwrap();
+    time("re-staged sharded replay", 5, || {
+        restaged
+            .execute_floats_into(&mut state, &long, &mut run)
+            .unwrap();
+    });
+    println!(
+        "  simulated work: resident {} cyc vs re-staged {} cyc",
+        resident_cycles,
+        run.total.cycles()
+    );
+    println!("  cache: {}", cached.cache_stats());
+    println!("  cache (re-staged mapping): {}", restaged.cache_stats());
 }

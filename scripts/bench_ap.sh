@@ -23,14 +23,21 @@
 # simulated is test-enforced), so they do not depend on host speed.
 # cycles/fastword-optimized/2048 must be <= 0.85x cycles/fastword/2048
 # — the pass pipeline's >= 15% cut at the default deployment tile.
+# Residency gate (host-invariant): the resident sharded regime must
+# keep at most 0.90x the re-staged simulated cycles at seq 16384 —
+# cycles/fastword-sharded-resident/8192 <= 0.90x
+# cycles/fastword-sharded-optimized/8192. Like the optimizer gate these
+# are static == simulated cycle counts, so host speed never enters.
+#
 # All gates run in --quick too. Set SOFTMAP_SHARD_GATE=0 /
-# SOFTMAP_OPT_GATE=0 to disable individually.
+# SOFTMAP_OPT_GATE=0 / SOFTMAP_RESIDENT_GATE=0 to disable individually.
 #
 # Environment:
 #   CRITERION_MEASURE_MS  per-benchmark wall-clock budget (default 500)
 #   SOFTMAP_REPLAY_TOL    replay-vs-baseline gate tolerance (default 1.5)
 #   SOFTMAP_SHARD_GATE    set 0 to disable the shard scaling gate
 #   SOFTMAP_OPT_GATE      set 0 to disable the optimizer cycle gate
+#   SOFTMAP_RESIDENT_GATE set 0 to disable the residency cycle gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -145,6 +152,22 @@ if whole4k and shard8k:
     shard["shard_overhead_vs_whole_per_score"] = round(
         (shard8k / 8192.0) / (whole4k / 4096.0), 2)
 
+# Resident sharded regime: shards keep their tiles across phases, so
+# phase-boundary Load/Read staging is elided. Cycle fields are
+# host-invariant (static == simulated); wall-clock fields are not.
+resident = {}
+for seq in ("8192", "16384"):
+    rows = str(int(seq) // 2)
+    wall = by_name.get(f"backend/fastword-sharded-resident/{rows}")
+    cyc_r = by_name.get(f"cycles/fastword-sharded-resident/{rows}")
+    cyc_o = by_name.get(f"cycles/fastword-sharded-optimized/{rows}")
+    if wall:
+        resident[f"resident_seq{seq}_ns"] = round(wall, 1)
+    if cyc_r:
+        resident[f"resident_cycles_seq{seq}"] = int(cyc_r)
+    if cyc_r and cyc_o:
+        resident[f"resident_over_restaged_seq{seq}"] = round(cyc_r / cyc_o, 3)
+
 doc = {
     "schema": "softmap-bench-ap-v1",
     "quick": quick,
@@ -155,6 +178,7 @@ doc = {
     "backend_speedups": speedups,
     "plan_cache": plan,
     "sharding": shard,
+    "residency": resident,
     "optimizer": opt,
 }
 with open(out_path, "w") as f:
@@ -248,4 +272,34 @@ if os.environ.get("SOFTMAP_OPT_GATE", "1") != "0":
               "discount.", file=sys.stderr)
         sys.exit(1)
     print("opt gate: OK")
+
+# ---- residency cycle gate --------------------------------------------------
+# Host-invariant by construction: both numbers are simulated cycle
+# counts from the compiled sharded plans' static costs (static ==
+# simulated is enforced by crates/eval/tests/static_cost.rs). Keeping
+# shards resident across phases must cut the re-staged seq-16384
+# schedule by at least 10%.
+if os.environ.get("SOFTMAP_RESIDENT_GATE", "1") != "0":
+    cyc_res = by_name.get("cycles/fastword-sharded-resident/8192")
+    cyc_restaged = by_name.get("cycles/fastword-sharded-optimized/8192")
+    if not (cyc_res and cyc_restaged):
+        print("RESIDENT GATE FAILED: missing simulated-cycle records "
+              f"(cycles/fastword-sharded-resident/8192 = {cyc_res}, "
+              f"cycles/fastword-sharded-optimized/8192 = {cyc_restaged}). "
+              "Did backend_compare stop emitting the resident series?",
+              file=sys.stderr)
+        sys.exit(1)
+    ratio = cyc_res / cyc_restaged
+    print(f"resident gate: resident {cyc_res:.0f} vs re-staged "
+          f"{cyc_restaged:.0f} simulated cycles @seq 16384 = {ratio:.3f}x "
+          "(limit 0.90x)")
+    if ratio > 0.90:
+        print("RESIDENT GATE FAILED: the resident sharded schedule keeps "
+              f"{ratio:.3f}x of the re-staged simulated cycles at seq "
+              f"16384 (resident = {cyc_res:.0f} cyc, re-staged = "
+              f"{cyc_restaged:.0f} cyc; allowed <= 0.90x). Residency "
+              "stopped eliding phase-boundary staging or the lockstep "
+              "replay lost its zero-charge accounting.", file=sys.stderr)
+        sys.exit(1)
+    print("resident gate: OK")
 PY
