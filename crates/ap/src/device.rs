@@ -156,6 +156,75 @@ impl DeviceConfig {
         Ok(())
     }
 
+    /// Splits a vector of `len` elements into exactly `shards`
+    /// contiguous, **near-equal** shards, written into `out` (cleared
+    /// first) as `(start, end)` element ranges.
+    ///
+    /// [`DeviceConfig::partition_into`] greedily fills tiles to
+    /// capacity, which can leave one short tail shard; this variant
+    /// balances the lengths instead (every shard within one element —
+    /// or one packing pair — of the others), which maximizes SIMD
+    /// lockstep sharing on the resident plan: equal-length shards
+    /// replay one leader program. For `words_per_row == 2` every shard
+    /// but the last is rounded up to an even length so it runs packed.
+    ///
+    /// # Errors
+    ///
+    /// [`ApError::BadConfig`] for the degenerate inputs
+    /// [`DeviceConfig::partition_into`] rejects, for `shards == 0` or
+    /// `shards > len`, and when any resulting shard exceeds the tile's
+    /// row capacity (too few shards requested).
+    pub fn balanced_partition_into(
+        &self,
+        len: usize,
+        words_per_row: usize,
+        shards: usize,
+        out: &mut Vec<(usize, usize)>,
+    ) -> Result<(), ApError> {
+        out.clear();
+        if self.rows_per_tile == 0 {
+            return Err(ApError::BadConfig("device has zero rows per tile"));
+        }
+        if !(1..=2).contains(&words_per_row) {
+            return Err(ApError::BadConfig("words_per_row must be 1 or 2"));
+        }
+        if len == 0 {
+            return Err(ApError::BadConfig("cannot partition an empty vector"));
+        }
+        if shards == 0 || shards > len {
+            return Err(ApError::BadConfig(
+                "balanced partition needs 1..=len shards",
+            ));
+        }
+        let mut pos = 0;
+        for i in 0..shards {
+            let remaining = len - pos;
+            let slots = shards - i;
+            let mut take = remaining.div_ceil(slots);
+            // Non-final shards of a packed layout must be even so they
+            // pack two words per row.
+            if words_per_row == 2 && slots > 1 && take % 2 == 1 {
+                take += 1;
+            }
+            // Leave at least one element for every remaining shard.
+            take = take.min(remaining - (slots - 1));
+            let rows = if words_per_row == 2 && take.is_multiple_of(2) {
+                take / 2
+            } else {
+                take
+            };
+            if rows > self.rows_per_tile {
+                return Err(ApError::BadConfig(
+                    "balanced shard exceeds tile rows (too few shards)",
+                ));
+            }
+            out.push((pos, pos + take));
+            pos += take;
+        }
+        debug_assert_eq!(pos, len);
+        Ok(())
+    }
+
     /// Number of sequential waves `shards` shard jobs need on this
     /// grid (at least 1).
     #[must_use]
@@ -264,6 +333,40 @@ mod tests {
         assert!(DeviceConfig::new(1, 4)
             .partition_into(4, 3, &mut out)
             .is_err());
+    }
+
+    #[test]
+    fn balanced_partition_equalizes_shard_lengths() {
+        let dev = DeviceConfig::default();
+        let mut out = Vec::new();
+        // The greedy default for 6000 @ 2 words/row is (4096, 1904);
+        // balanced over the same two tiles it is (3000, 3000).
+        dev.balanced_partition_into(6000, 2, 2, &mut out).unwrap();
+        assert_eq!(out, vec![(0, 3000), (3000, 6000)]);
+        // Odd interior shards round up to even so they still pack.
+        dev.balanced_partition_into(9, 2, 3, &mut out).unwrap();
+        assert_eq!(out, vec![(0, 4), (4, 8), (8, 9)]);
+        // One word per row has no parity constraint.
+        dev.balanced_partition_into(10, 1, 3, &mut out).unwrap();
+        assert_eq!(out, vec![(0, 4), (4, 7), (7, 10)]);
+        for &(s, e) in &out {
+            assert!(e > s);
+        }
+    }
+
+    #[test]
+    fn balanced_partition_rejects_bad_requests() {
+        let dev = DeviceConfig::new(2, 4);
+        let mut out = Vec::new();
+        assert!(dev.balanced_partition_into(9, 2, 0, &mut out).is_err());
+        assert!(dev.balanced_partition_into(9, 2, 10, &mut out).is_err());
+        // One shard of 9 elements cannot fit a 4-row tile even packed.
+        assert!(dev.balanced_partition_into(9, 2, 1, &mut out).is_err());
+        assert!(dev.balanced_partition_into(0, 2, 1, &mut out).is_err());
+        assert!(DeviceConfig::new(1, 0)
+            .balanced_partition_into(4, 2, 1, &mut out)
+            .is_err());
+        assert!(dev.balanced_partition_into(4, 3, 1, &mut out).is_err());
     }
 
     #[test]

@@ -110,6 +110,18 @@ impl OptLevel {
             Self::default()
         })
     }
+
+    /// The optimization ladder in ascending aggressiveness. Every
+    /// level's passes are a superset of the previous level's and each
+    /// pass only removes or fuses work, so the static cost of a shape
+    /// is non-increasing along the ladder (asserted by the
+    /// `fused_schedule_is_cheaper` gates). Mapping autotuners can
+    /// therefore prune the opt axis to the single configured level
+    /// instead of compiling a candidate per level.
+    #[must_use]
+    pub const fn ladder() -> [Self; 3] {
+        [Self::None, Self::Basic, Self::Full]
+    }
 }
 
 /// Per-pass statistics of one [`optimize`] run, attached to compiled

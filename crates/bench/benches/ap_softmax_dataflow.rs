@@ -20,6 +20,7 @@ fn bench(c: &mut Criterion) {
         ] {
             let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
                 .unwrap()
+                .with_autotune(false)
                 .with_div_style(style);
             g.bench_with_input(BenchmarkId::new(name, len), &scores, |b, s| {
                 b.iter(|| black_box(mapping.execute_floats(s).unwrap().total.cycles()))
@@ -35,6 +36,7 @@ fn bench(c: &mut Criterion) {
     ] {
         let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
             .unwrap()
+            .with_autotune(false)
             .with_div_style(style);
         let scores: Vec<f64> = (0..1024)
             .map(|i| -f64::from((i % 97) as u32) * 0.07)

@@ -29,6 +29,12 @@
 //!   staging is elided (`resident_*` fields and the residency gate in
 //!   `BENCH_ap.json`).
 //!
+//! * `fastword-autotuned` — the pooled replay of the **autotuned**
+//!   winner at 4096 and 16384 (the mapping autotuner's chosen layout /
+//!   partition / residency per shape; `cycles/fastword-autotuned/...`
+//!   vs `cycles/fastword-default/...` records feed the autotune gate in
+//!   `scripts/bench_ap.sh`).
+//!
 //! Besides wall-clock series, the bench appends `cycles/...` records to
 //! `CRITERION_JSON`: simulated cycle counts from the compiled plans'
 //! static costs (static == simulated is enforced by
@@ -55,10 +61,21 @@ fn scores(len: usize) -> Vec<f64> {
         .collect()
 }
 
+/// The paper-default mapping, autotuning pinned off: every legacy
+/// series below measures the fixed mapping so its trajectory stays
+/// comparable with earlier records. The autotuned series construct
+/// their mapping explicitly.
 fn mapping(backend: ExecBackend) -> ApSoftmax {
     ApSoftmax::new(PrecisionConfig::paper_best())
         .unwrap()
+        .with_autotune(false)
         .with_backend(backend)
+}
+
+fn tuned_mapping() -> ApSoftmax {
+    ApSoftmax::new(PrecisionConfig::paper_best())
+        .unwrap()
+        .with_backend(ExecBackend::FastWord)
 }
 
 /// Appends a simulated-cycle record to the `CRITERION_JSON` stream in
@@ -295,6 +312,55 @@ fn bench(c: &mut Criterion) {
             );
         }
     }
+    // Autotuner series: wall-clock replay of the tuned winner at the
+    // single-tile boundary and the four-shard acceptance length ...
+    {
+        let mut g = c.benchmark_group("backend");
+        g.sample_size(10);
+        let m = tuned_mapping();
+        for len in [4096usize, 16384] {
+            let s = scores(len);
+            let mut state = TileState::new();
+            let mut run = ApSoftmaxRun::default();
+            g.bench_with_input(
+                BenchmarkId::new("fastword-autotuned", len / 2),
+                &s,
+                |b, s| {
+                    b.iter(|| {
+                        m.execute_floats_into(&mut state, s, &mut run).unwrap();
+                        black_box(run.total.cycles())
+                    })
+                },
+            );
+        }
+        g.finish();
+    }
+    // ... and host-invariant simulated-cycle records for the autotune
+    // gate: at every measured length the tuned winner's static cycles
+    // must not exceed the paper-default mapping's (checked by
+    // `scripts/bench_ap.sh`; `static == simulated` makes both numbers
+    // exact device cycles, independent of host speed).
+    {
+        let tuned = tuned_mapping();
+        let default = tuned_mapping().with_autotune(false);
+        for len in [64usize, 512, 1024, 2048, 4096, 8192, 16384, 32768] {
+            let t = tuned.static_cost(len).unwrap().cycles();
+            let d = default.static_cost(len).unwrap().cycles();
+            emit_cycles(&format!("cycles/fastword-autotuned/{}", len / 2), t);
+            emit_cycles(&format!("cycles/fastword-default/{}", len / 2), d);
+        }
+        let plan = tuned.tuned_plan(4096).expect("tuned above");
+        println!(
+            "autotune @4096: chose [{}] — {} vs default {} simulated cycles \
+             ({} candidates scored, search {:.1} us)",
+            plan.choice(),
+            plan.winner_cost().total.cycles(),
+            plan.default_cost().total.cycles(),
+            plan.scores().len(),
+            plan.compile_micros()
+        );
+    }
+
     let sharded = fast
         .sharded_plan(16384)
         .expect("sharded plan compiled above");

@@ -11,7 +11,9 @@ fn bench(c: &mut Criterion) {
         "{}",
         softmap_eval::table6::render(&softmap_eval::table6::run().unwrap())
     );
-    let mapping = ApSoftmax::new(PrecisionConfig::paper_best()).unwrap();
+    let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
+        .unwrap()
+        .with_autotune(false);
     let scores: Vec<f64> = (0..256).map(|i| -f64::from(i % 97) * 0.07).collect();
     let energy = EnergyModel::nm16();
     c.bench_function("table6/dataflow_energy_256", |b| {

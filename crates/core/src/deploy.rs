@@ -67,6 +67,14 @@ pub struct ApDeployment {
     /// Occupancy is unchanged either way — a resident vector holds the
     /// same `shards` tiles its waves would.
     pub resident: bool,
+    /// Whether the mapping autotuner searches candidate mappings per
+    /// shape ([`softmap_ap::DivStyle`]-preserving layout/partition
+    /// search; see `softmap::AUTOTUNE_ENV`). **Off by default at the
+    /// deployment level** so the paper-reproduction tables keep the
+    /// paper's fixed mapping byte-for-byte; opt in per deployment with
+    /// `ApDeployment { autotune: true, ..ApDeployment::default() }`.
+    /// (Bare [`crate::ApSoftmax`] mappings default to *on*.)
+    pub autotune: bool,
 }
 
 impl Default for ApDeployment {
@@ -79,6 +87,7 @@ impl Default for ApDeployment {
             packing: false,
             backend: ExecBackend::FastWord,
             resident: true,
+            autotune: false,
         }
     }
 }
@@ -156,6 +165,7 @@ impl WorkloadModel {
                 .with_div_style(deploy.div_style)
                 .with_backend(deploy.backend)
                 .with_resident(deploy.resident)
+                .with_autotune(deploy.autotune)
                 .with_device(DeviceConfig::new(
                     deploy.tiles_per_head,
                     deploy.rows_per_tile,
@@ -169,6 +179,13 @@ impl WorkloadModel {
     #[must_use]
     pub fn deployment(&self) -> ApDeployment {
         self.deploy
+    }
+
+    /// The underlying per-vector mapping (e.g. to inspect the tuned
+    /// plan chosen for a shape when `autotune` is on).
+    #[must_use]
+    pub fn mapping(&self) -> &ApSoftmax {
+        &self.mapping
     }
 
     /// The energy model in use.

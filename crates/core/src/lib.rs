@@ -43,8 +43,12 @@ pub use deploy::{ApDeployment, ApWorkloadCost, WorkloadModel};
 pub use llm_bridge::ApMappedSoftmax;
 pub use mapping::{
     ApSoftmax, ApSoftmaxRun, CacheStats, Layout, PlanMode, StepStats, TileState, VectorCost,
+    AUTOTUNE_ENV,
 };
-pub use plan::{CompiledPlan, PlanCache, PlanStats, ShardedPlan};
+pub use plan::{
+    AutotuneStats, CandidateScore, CompiledPlan, MappingChoice, PlanCache, PlanStats, ShardedPlan,
+    TunedPlan,
+};
 
 /// Errors from the co-design layer.
 #[derive(Debug, Clone, PartialEq)]

@@ -32,9 +32,13 @@ use softmap_ap::{
 use softmap_softmax::{IntSoftmax, PrecisionConfig, SumMode};
 
 use crate::plan::{
-    CachedPlan, CompiledPlan, PlanCache, PlanKey, PlanPhase, PlanStats, ShardedPlan,
+    CachedPlan, CompiledPlan, PlanCache, PlanKey, PlanPhase, PlanStats, ShardedPlan, TunedPlan,
 };
 use crate::CoreError;
+
+pub(crate) mod autotune;
+
+pub use autotune::AUTOTUNE_ENV;
 
 /// How vector elements are packed into AP rows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -144,6 +148,16 @@ pub struct ApSoftmax {
     opt_level: OptLevel,
     device: DeviceConfig,
     resident: bool,
+    /// Whether cached compilation searches candidate mappings and
+    /// installs the statically cheapest one (see
+    /// [`crate::mapping::autotune`]).
+    autotune: bool,
+    /// Set by [`ApSoftmax::with_layout`]: the caller pinned the layout
+    /// explicitly, so the autotuner must not search the layout axis.
+    layout_pinned: bool,
+    /// Internal candidate-view hook: when set, sharded execution uses
+    /// this partition instead of [`DeviceConfig::partition_into`].
+    partition_override: Option<Arc<Vec<(usize, usize)>>>,
     plans: Arc<PlanCache>,
 }
 
@@ -190,14 +204,29 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Currently cached entries compiled for resident execution.
     pub resident_entries: usize,
+    /// Shapes the autotuner searched candidate mappings for.
+    pub shapes_tuned: u64,
+    /// Candidate mappings compiled and scored across all searches.
+    pub candidates_scored: u64,
+    /// Searches whose winner strictly beat the configured default
+    /// mapping in total work cycles.
+    pub tuned_wins: u64,
 }
 
 impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} plans ({} resident), {} compiles, {} hits, {} evictions",
-            self.plans, self.resident_entries, self.compiles, self.hits, self.evictions
+            "{} plans ({} resident), {} compiles, {} hits, {} evictions, \
+             {} shapes tuned ({} candidates, {} wins)",
+            self.plans,
+            self.resident_entries,
+            self.compiles,
+            self.hits,
+            self.evictions,
+            self.shapes_tuned,
+            self.candidates_scored,
+            self.tuned_wins
         )
     }
 }
@@ -303,21 +332,30 @@ impl TileState {
 
     /// The whole-vector plan cached in this tile's slot, if one has
     /// been resolved (`None` when the slot holds a sharded plan; see
-    /// [`TileState::cached_sharded_plan`]).
+    /// [`TileState::cached_sharded_plan`]). A tuned slot resolves to
+    /// its winner.
     #[must_use]
     pub fn cached_plan(&self) -> Option<&CompiledPlan> {
         match self.plan.as_ref() {
             Some((_, _, CachedPlan::Program(p))) => Some(p),
+            Some((_, _, CachedPlan::Tuned(t))) => match &t.plan {
+                CachedPlan::Program(p) => Some(p),
+                _ => None,
+            },
             _ => None,
         }
     }
 
     /// The sharded vector plan cached in this tile's slot, if one has
-    /// been resolved.
+    /// been resolved. A tuned slot resolves to its winner.
     #[must_use]
     pub fn cached_sharded_plan(&self) -> Option<&ShardedPlan> {
         match self.plan.as_ref() {
             Some((_, _, CachedPlan::Sharded(p))) => Some(p),
+            Some((_, _, CachedPlan::Tuned(t))) => match &t.plan {
+                CachedPlan::Sharded(p) => Some(p),
+                _ => None,
+            },
             _ => None,
         }
     }
@@ -445,8 +483,32 @@ impl ApSoftmax {
             opt_level: OptLevel::from_env(),
             device: DeviceConfig::default(),
             resident: resident_from_env(),
+            autotune: autotune::autotune_from_env(),
+            layout_pinned: false,
+            partition_override: None,
             plans: Arc::new(PlanCache::new()),
         })
+    }
+
+    /// Enables or disables the mapping autotuner (the default is on,
+    /// overridable via [`AUTOTUNE_ENV`]). Enabled, each cached shape's
+    /// first vector searches the candidate mappings enumerated by
+    /// the `mapping::autotune` layer, scores every candidate with the
+    /// static-cost contract, and installs the cheapest bit-exact plan;
+    /// further vectors replay the winner. Disabled, compilation uses
+    /// the configured mapping exactly as before the autotuner existed
+    /// — byte-identical plans, keys, and counters. Tuned entries live
+    /// under their own key axis, so toggling keeps the cache.
+    #[must_use]
+    pub fn with_autotune(mut self, autotune: bool) -> Self {
+        self.autotune = autotune;
+        self
+    }
+
+    /// Whether the mapping autotuner is enabled.
+    #[must_use]
+    pub fn autotune(&self) -> bool {
+        self.autotune
     }
 
     /// Enables or disables resident sharded execution. When enabled
@@ -536,10 +598,13 @@ impl ApSoftmax {
     }
 
     /// Selects the row packing layout. Compiled plans depend on the
-    /// layout, so the plan cache starts fresh.
+    /// layout, so the plan cache starts fresh. An explicit layout also
+    /// **pins** the autotuner's layout axis: a caller who asked for a
+    /// layout gets that layout, tuned or not.
     #[must_use]
     pub fn with_layout(mut self, layout: Layout) -> Self {
         self.layout = layout;
+        self.layout_pinned = true;
         self.plans = Arc::new(PlanCache::with_capacity(self.plans.capacity()));
         self
     }
@@ -586,17 +651,22 @@ impl ApSoftmax {
     }
 
     /// One-stop plan-cache counters (compiles, hits, evictions,
-    /// resident entries) — the single query tests and profiling
-    /// examples read instead of scattering per-counter probes.
+    /// resident entries, autotune activity) — the single query tests
+    /// and profiling examples read instead of scattering per-counter
+    /// probes.
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
         let s = self.plans.stats();
+        let a = self.plans.autotune_stats();
         CacheStats {
             plans: s.plans,
             compiles: s.compiles,
             hits: s.hits,
             evictions: s.evictions,
             resident_entries: self.plans.resident_entries(),
+            shapes_tuned: a.shapes_tuned,
+            candidates_scored: a.candidates_scored,
+            tuned_wins: a.wins,
         }
     }
 
@@ -751,7 +821,14 @@ impl ApSoftmax {
     /// Whether a vector of `len` elements is packed two words per row
     /// under the selected layout, and the rows it then occupies.
     fn packing(&self, len: usize) -> (bool, usize) {
-        let packed = self.layout == Layout::TwoWordsPerRow && len.is_multiple_of(2) && len >= 2;
+        Self::packing_of(self.layout, len)
+    }
+
+    /// [`ApSoftmax::packing`] for an arbitrary layout — replaying a
+    /// tuned plan packs by the *winner's* layout, not the configured
+    /// one.
+    fn packing_of(layout: Layout, len: usize) -> (bool, usize) {
+        let packed = layout == Layout::TwoWordsPerRow && len.is_multiple_of(2) && len >= 2;
         (packed, if packed { len / 2 } else { len })
     }
 
@@ -772,6 +849,9 @@ impl ApSoftmax {
         // Validate codes through the scalar spec's range check (cheap:
         // no full trace).
         self.sm.validate_codes(codes)?;
+        if mode == PlanMode::Cached && self.autotune {
+            return self.execute_autotuned(state, codes, run);
+        }
         let (packed, rows) = self.packing(codes.len());
         if rows > self.device.rows_per_tile {
             return self.execute_sharded(state, codes, run, mode);
@@ -816,6 +896,7 @@ impl ApSoftmax {
             opt: self.opt_level,
             phase: PlanPhase::Vector,
             resident: false,
+            tuned: false,
         };
         let token = self.plans.slot_token();
         if let Some((slot_token, slot_key, CachedPlan::Program(plan))) = plan_slot.as_ref() {
@@ -1121,14 +1202,29 @@ impl ApSoftmax {
         mode: PlanMode,
     ) -> Result<(), CoreError> {
         let mut ranges = std::mem::take(&mut state.shard.ranges);
-        let part = self
-            .device
-            .partition_into(codes.len(), self.words_per_row(), &mut ranges)
-            .map_err(CoreError::Ap);
+        let part = self.effective_partition(codes.len(), &mut ranges);
         let result =
             part.and_then(|()| self.execute_sharded_with(state, codes, run, mode, &ranges));
         state.shard.ranges = ranges;
         result
+    }
+
+    /// The shard partition this mapping executes `len` elements with:
+    /// the candidate-view override when the autotuner is evaluating a
+    /// specific partition, the device's greedy default otherwise.
+    fn effective_partition(
+        &self,
+        len: usize,
+        ranges: &mut Vec<(usize, usize)>,
+    ) -> Result<(), CoreError> {
+        if let Some(ov) = &self.partition_override {
+            ranges.clear();
+            ranges.extend_from_slice(ov);
+            return Ok(());
+        }
+        self.device
+            .partition_into(len, self.words_per_row(), ranges)
+            .map_err(CoreError::Ap)
     }
 
     fn execute_sharded_with(
@@ -1144,7 +1240,15 @@ impl ApSoftmax {
             // a plan-level optimization, and the direct-vs-replay
             // differential baseline keeps characterizing PR 5's
             // contract exactly.
-            return self.run_sharded(state, codes, run, ranges, ShardExec::Direct, false);
+            return self.run_sharded(
+                state,
+                codes,
+                run,
+                ranges,
+                ShardExec::Direct,
+                false,
+                self.layout,
+            );
         }
         let resident = self.resident_for(ranges.len());
         let vkey = PlanKey {
@@ -1154,6 +1258,7 @@ impl ApSoftmax {
             opt: self.opt_level,
             phase: PlanPhase::Vector,
             resident,
+            tuned: false,
         };
         let token = self.plans.slot_token();
         if let Some((slot_token, slot_key, CachedPlan::Sharded(plan))) = state.plan.as_ref() {
@@ -1167,6 +1272,7 @@ impl ApSoftmax {
                     ranges,
                     ShardExec::Replay(&plan),
                     resident,
+                    self.layout,
                 );
             }
         }
@@ -1179,6 +1285,7 @@ impl ApSoftmax {
                 ranges,
                 ShardExec::Replay(&plan),
                 resident,
+                self.layout,
             );
         }
         // Vector-shape miss: compile under the lock so racing workers
@@ -1195,6 +1302,7 @@ impl ApSoftmax {
                 ranges,
                 ShardExec::Replay(&plan),
                 resident,
+                self.layout,
             );
         }
         let started = std::time::Instant::now();
@@ -1206,6 +1314,7 @@ impl ApSoftmax {
             ranges,
             ShardExec::Compile(&mut builder),
             resident,
+            self.layout,
         )?;
         let plan = Arc::new(ShardedPlan {
             ranges: ranges.to_vec(),
@@ -1234,7 +1343,10 @@ impl ApSoftmax {
     /// program while executing). `resident` selects the residency
     /// plan: shard tiles pinned across phases (from the per-shard tile
     /// pool), phase-boundary staging elided, followers charged in
-    /// lockstep — versus the PR 5 re-staging path.
+    /// lockstep — versus the PR 5 re-staging path. `layout` is the row
+    /// packing the shards stage under — the configured layout on every
+    /// path except tuned replay, which packs by the winner's layout.
+    #[allow(clippy::too_many_arguments)]
     fn run_sharded(
         &self,
         state: &mut TileState,
@@ -1243,6 +1355,7 @@ impl ApSoftmax {
         ranges: &[(usize, usize)],
         mut exec: ShardExec<'_>,
         resident: bool,
+        layout: Layout,
     ) -> Result<(), CoreError> {
         // A cached sharded plan is only valid for the exact partition
         // (and residency mode) it was compiled at; the phase-program
@@ -1303,7 +1416,7 @@ impl ApSoftmax {
         // pinned tile at the shared union geometry here (the one clear
         // of the vector's lifetime); passes 2 and 3 only re-arm it.
         for (i, &(s, e)) in ranges.iter().enumerate() {
-            let (packed, rows) = self.packing(e - s);
+            let (packed, rows) = Self::packing_of(layout, e - s);
             rows_max = rows_max.max(rows);
             half0.clear();
             half0.extend(codes[s..s + rows].iter().map(|&c| c.unsigned_abs()));
@@ -1423,7 +1536,7 @@ impl ApSoftmax {
         // tile.
         let no_inputs: [&[u64]; 0] = [];
         for (i, &(s, e)) in ranges.iter().enumerate() {
-            let (packed, rows) = self.packing(e - s);
+            let (packed, rows) = Self::packing_of(layout, e - s);
             let stage_hosts = !resident || matches!(exec, ShardExec::Compile(_));
             half0.clear();
             half1.clear();
@@ -1558,7 +1671,7 @@ impl ApSoftmax {
         // shards divide the `v_approx` planes the exp phase left in
         // their pinned tiles, so the host never re-stages them.
         for (i, &(s, e)) in ranges.iter().enumerate() {
-            let (packed, rows) = self.packing(e - s);
+            let (packed, rows) = Self::packing_of(layout, e - s);
             let stage_hosts = !resident || matches!(exec, ShardExec::Compile(_));
             let vap = &out_vap[s..e];
             let vap_halves_arr: [&[u64]; 2] = [&vap[..rows], &vap[rows.min(vap.len())..]];
@@ -1710,6 +1823,7 @@ impl ApSoftmax {
             opt: self.opt_level,
             phase,
             resident,
+            tuned: false,
         }
     }
 
@@ -2449,12 +2563,13 @@ impl ApSoftmax {
     /// by definition); sharded entries carry the effective residency of
     /// their partition, mirroring `execute_sharded_with`.
     fn vector_key(&self, len: usize) -> Result<PlanKey, CoreError> {
+        if self.autotune {
+            return Ok(self.tuned_key(len));
+        }
         let (_, rows) = self.packing(len);
         let resident = if rows > self.device.rows_per_tile {
             let mut ranges = Vec::new();
-            self.device
-                .partition_into(len, self.words_per_row(), &mut ranges)
-                .map_err(CoreError::Ap)?;
+            self.effective_partition(len, &mut ranges)?;
             self.resident_for(ranges.len())
         } else {
             false
@@ -2466,7 +2581,24 @@ impl ApSoftmax {
             opt: self.opt_level,
             phase: PlanPhase::Vector,
             resident,
+            tuned: false,
         })
+    }
+
+    /// The key an autotuned vector-level entry lives under: the
+    /// configured axes plus the `tuned` flag (the winner's layout /
+    /// partition / residency live *inside* the [`TunedPlan`], so the
+    /// key stays a pure function of the configuration).
+    pub(crate) fn tuned_key(&self, len: usize) -> PlanKey {
+        PlanKey {
+            len,
+            layout: self.layout,
+            div: self.div_style,
+            opt: self.opt_level,
+            phase: PlanPhase::Vector,
+            resident: false,
+            tuned: true,
+        }
     }
 
     fn resolve_vector_entry(&self, len: usize) -> Result<CachedPlan, CoreError> {
@@ -2507,9 +2639,13 @@ impl ApSoftmax {
     /// [`ApSoftmax::sharded_plan`] or the [`ApSoftmax::static_vector_cost`]
     /// query, which cover both regimes).
     pub fn plan(&self, len: usize) -> Result<Arc<CompiledPlan>, CoreError> {
-        match self.resolve_vector_entry(len)? {
+        let entry = match self.resolve_vector_entry(len)? {
+            CachedPlan::Tuned(t) => t.plan.clone(),
+            other => other,
+        };
+        match entry {
             CachedPlan::Program(p) => Ok(p),
-            CachedPlan::Sharded(_) => Err(CoreError::BadWorkload(format!(
+            _ => Err(CoreError::BadWorkload(format!(
                 "length {len} shards across tiles; query sharded_plan/static_vector_cost instead"
             ))),
         }
@@ -2523,11 +2659,34 @@ impl ApSoftmax {
     /// Propagates compilation errors; [`CoreError::BadWorkload`] for
     /// lengths that fit one tile.
     pub fn sharded_plan(&self, len: usize) -> Result<Arc<ShardedPlan>, CoreError> {
-        match self.resolve_vector_entry(len)? {
+        let entry = match self.resolve_vector_entry(len)? {
+            CachedPlan::Tuned(t) => t.plan.clone(),
+            other => other,
+        };
+        match entry {
             CachedPlan::Sharded(p) => Ok(p),
-            CachedPlan::Program(_) => Err(CoreError::BadWorkload(format!(
+            _ => Err(CoreError::BadWorkload(format!(
                 "length {len} fits one tile; query plan/static_vector_cost instead"
             ))),
+        }
+    }
+
+    /// The autotuned plan for vectors of length `len` — the winning
+    /// mapping, its static cost, the configured default's cost, and
+    /// every candidate's score — compiling (searching) one from
+    /// [`ApSoftmax::representative_scores`] if the shape has not been
+    /// seen yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors; [`CoreError::BadWorkload`] when
+    /// autotuning is disabled on this mapping.
+    pub fn tuned_plan(&self, len: usize) -> Result<Arc<TunedPlan>, CoreError> {
+        match self.resolve_vector_entry(len)? {
+            CachedPlan::Tuned(t) => Ok(t),
+            _ => Err(CoreError::BadWorkload(
+                "mapping has autotuning disabled; no tuned plan exists".into(),
+            )),
         }
     }
 
@@ -2557,24 +2716,31 @@ impl ApSoftmax {
     ///
     /// Propagates compilation (execution) errors.
     pub fn static_vector_cost(&self, len: usize) -> Result<VectorCost, CoreError> {
-        match self.resolve_vector_entry(len)? {
+        Ok(Self::entry_vector_cost(&self.resolve_vector_entry(len)?))
+    }
+
+    /// The static device view a cache entry answers with (a tuned
+    /// entry answers with its winner's recorded cost).
+    fn entry_vector_cost(entry: &CachedPlan) -> VectorCost {
+        match entry {
             CachedPlan::Program(p) => {
                 let total = p.program().static_cost();
-                Ok(VectorCost {
+                VectorCost {
                     total,
                     latency_cycles: total.cycles(),
                     shards: 1,
                     waves: 1,
                     reduction: CycleStats::default(),
-                })
+                }
             }
-            CachedPlan::Sharded(p) => Ok(VectorCost {
+            CachedPlan::Sharded(p) => VectorCost {
                 total: p.total(),
                 latency_cycles: p.latency_cycles(),
                 shards: p.shards(),
                 waves: p.waves(),
                 reduction: p.reduction(),
-            }),
+            },
+            CachedPlan::Tuned(t) => t.winner_cost,
         }
     }
 
@@ -2586,7 +2752,13 @@ impl ApSoftmax {
     ///
     /// Propagates compilation (execution) errors.
     pub fn static_step_stats(&self, len: usize) -> Result<Vec<StepStats>, CoreError> {
-        match self.resolve_vector_entry(len)? {
+        let entry = match self.resolve_vector_entry(len)? {
+            // A tuned entry replays its winner, so its step breakdown
+            // is the winner's.
+            CachedPlan::Tuned(t) => t.plan.clone(),
+            other => other,
+        };
+        match entry {
             CachedPlan::Program(p) => Ok(p
                 .program()
                 .static_steps()
@@ -2594,6 +2766,7 @@ impl ApSoftmax {
                 .map(|&(name, stats)| StepStats { name, stats })
                 .collect()),
             CachedPlan::Sharded(p) => Ok(p.steps.clone()),
+            CachedPlan::Tuned(_) => unreachable!("tuned plans never nest"),
         }
     }
 }
@@ -2995,6 +3168,7 @@ mod tests {
         for style in [DivStyle::Restoring, DivStyle::ControllerReciprocal] {
             let whole = ApSoftmax::new(cfg)
                 .unwrap()
+                .with_autotune(false)
                 .with_div_style(style)
                 .execute_floats(&scores)
                 .unwrap();
@@ -3002,6 +3176,7 @@ mod tests {
             assert_eq!(whole.latency_cycles, whole.total.cycles());
             let sharded = ApSoftmax::new(cfg)
                 .unwrap()
+                .with_autotune(false)
                 .with_div_style(style)
                 .with_device(DeviceConfig::new(2, 8))
                 .execute_floats(&scores)
@@ -3029,6 +3204,7 @@ mod tests {
                 .unwrap();
             let cached = ApSoftmax::new(cfg)
                 .unwrap()
+                .with_autotune(false)
                 .with_backend(backend)
                 .with_device(tiny_device())
                 .with_opt_level(OptLevel::None)
@@ -3045,6 +3221,7 @@ mod tests {
             // discount on every shard after the first).
             let optimized = ApSoftmax::new(cfg)
                 .unwrap()
+                .with_autotune(false)
                 .with_backend(backend)
                 .with_device(tiny_device())
                 .with_opt_level(OptLevel::Full)
@@ -3098,12 +3275,14 @@ mod tests {
         let scores: Vec<f64> = (0..64).map(|i| -(f64::from(i) * 0.17) % 5.9).collect();
         let narrow = ApSoftmax::new(cfg)
             .unwrap()
+            .with_autotune(false)
             .with_resident(false)
             .with_device(DeviceConfig::new(1, 8))
             .execute_floats(&scores)
             .unwrap();
         let wide = ApSoftmax::new(cfg)
             .unwrap()
+            .with_autotune(false)
             .with_resident(false)
             .with_device(DeviceConfig::new(4, 8))
             .execute_floats(&scores)
@@ -3118,6 +3297,7 @@ mod tests {
         // pins its shards and does strictly less work.
         let narrow_res = ApSoftmax::new(cfg)
             .unwrap()
+            .with_autotune(false)
             .with_device(DeviceConfig::new(1, 8))
             .execute_floats(&scores)
             .unwrap();
@@ -3125,6 +3305,7 @@ mod tests {
         assert_eq!(narrow_res.total, narrow.total, "fallback re-stages");
         let wide_res = ApSoftmax::new(cfg)
             .unwrap()
+            .with_autotune(false)
             .with_device(DeviceConfig::new(4, 8))
             .execute_floats(&scores)
             .unwrap();
@@ -3192,6 +3373,124 @@ mod tests {
             .unwrap();
         assert_eq!(run.codes, scalar.codes);
         assert_eq!(mapping.plan_stats().compiles, 4, "evicted shape recompiles");
+    }
+
+    #[test]
+    fn autotune_env_overrides() {
+        // Race-safe mirror of resident_env_overrides: only values
+        // equivalent to the default (on) plus garbage/unset are ever
+        // set, so tests reading SOFTMAP_AUTOTUNE concurrently can
+        // never observe `false`.
+        let fresh = || ApSoftmax::new(PrecisionConfig::paper_best()).unwrap();
+        std::env::set_var(AUTOTUNE_ENV, "1");
+        assert!(fresh().autotune());
+        std::env::set_var(AUTOTUNE_ENV, " TRUE ");
+        assert!(fresh().autotune());
+        std::env::set_var(AUTOTUNE_ENV, "definitely");
+        assert!(fresh().autotune(), "garbage warns once and keeps on");
+        std::env::remove_var(AUTOTUNE_ENV);
+        assert!(fresh().autotune(), "unset keeps the default");
+        // The in-process escape hatch wins over the environment.
+        assert!(!fresh().with_autotune(false).autotune());
+    }
+
+    #[test]
+    fn autotuned_strictly_beats_default_at_4096() {
+        // The pinned strict-improvement length: 4096 packed fills one
+        // tile exactly; the tuner's one-word-per-row candidate runs the
+        // sixteen-step dataflow once (sharded resident in lockstep)
+        // instead of once per packed half, roughly halving cycles.
+        let tuned = ApSoftmax::new(PrecisionConfig::paper_best()).unwrap();
+        assert!(tuned.autotune(), "autotuning is on by default");
+        let untuned = tuned.clone().with_autotune(false);
+        let scores = ApSoftmax::representative_scores(4096);
+        let t = tuned.execute_floats(&scores).unwrap();
+        let u = untuned.execute_floats(&scores).unwrap();
+        assert_eq!(t.codes, u.codes, "tuned output must stay bit-exact");
+        assert_eq!(t.vapprox, u.vapprox);
+        assert_eq!(t.sum, u.sum);
+        assert!(
+            t.total.cycles() < u.total.cycles(),
+            "tuned {} must strictly beat default {}",
+            t.total.cycles(),
+            u.total.cycles()
+        );
+        // static == simulated for the winner, and the tuned entry
+        // records the search it won.
+        let plan = tuned.tuned_plan(4096).unwrap();
+        assert!(plan.improved());
+        assert_eq!(plan.winner_cost().total, t.total);
+        assert_eq!(plan.default_cost().total, u.total);
+        assert!(plan.scores().len() >= 2, "search must have scored > 1");
+        assert_eq!(tuned.static_cost(4096).unwrap(), t.total);
+        let stats = tuned.cache_stats();
+        assert_eq!(stats.shapes_tuned, 1);
+        assert_eq!(stats.tuned_wins, 1);
+        assert!(stats.candidates_scored >= 2);
+        // The untuned view never consults the tuner.
+        assert!(matches!(
+            untuned.tuned_plan(4096),
+            Err(CoreError::BadWorkload(_))
+        ));
+    }
+
+    #[test]
+    fn autotuned_pinned_layout_keeps_default_mapping() {
+        // with_layout pins the tuner's layout axis; with no partition
+        // alternatives for a whole-vector shape the search degenerates
+        // to the default candidate and the winner ties it.
+        let tuned = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_layout(Layout::TwoWordsPerRow);
+        let scores = ApSoftmax::representative_scores(256);
+        tuned.execute_floats(&scores).unwrap();
+        let plan = tuned.tuned_plan(256).unwrap();
+        assert_eq!(plan.scores().len(), 1, "pinned whole-vector: default only");
+        assert!(!plan.improved());
+        assert_eq!(plan.choice().layout, Layout::TwoWordsPerRow);
+        assert_eq!(tuned.cache_stats().tuned_wins, 0);
+    }
+
+    #[test]
+    fn tuned_and_untuned_keys_coexist_and_thrash_is_counted() {
+        // Satellite regression: the tuned axis enlarges the key space,
+        // so a tuned and an untuned mapping sharing one cache must (a)
+        // coexist without shadowing each other at default capacity and
+        // (b) keep the eviction counter honest when the capacity is too
+        // small to hold both.
+        let cfg = PrecisionConfig::paper_best();
+        let scores = ApSoftmax::representative_scores(64);
+
+        // (a) coexistence: one shape, two entries, bit-equal outputs.
+        let tuned = ApSoftmax::new(cfg).unwrap();
+        let untuned = tuned.clone().with_autotune(false);
+        let t = tuned.execute_floats(&scores).unwrap();
+        let u = untuned.execute_floats(&scores).unwrap();
+        assert_eq!(t.codes, u.codes);
+        let stats = tuned.plan_stats();
+        assert_eq!(stats.plans, 2, "tuned + untuned entries coexist");
+        assert_eq!(stats.evictions, 0);
+        // Replays hit their own entries, no recompiles.
+        tuned.execute_floats(&scores).unwrap();
+        untuned.execute_floats(&scores).unwrap();
+        let stats = tuned.plan_stats();
+        assert_eq!(stats.compiles, 2);
+        assert!(stats.hits >= 2);
+
+        // (b) capacity thrash: cap 1 forces the two keys to evict each
+        // other; every eviction is counted and outputs stay correct.
+        let tuned = ApSoftmax::new(cfg).unwrap().with_plan_capacity(1);
+        let untuned = tuned.clone().with_autotune(false);
+        let t1 = tuned.execute_floats(&scores).unwrap();
+        let u1 = untuned.execute_floats(&scores).unwrap();
+        let t2 = tuned.execute_floats(&scores).unwrap();
+        assert_eq!(t1.codes, u1.codes);
+        assert_eq!(t1.codes, t2.codes);
+        assert_eq!(t1.total, t2.total, "re-searched winner is deterministic");
+        let stats = tuned.plan_stats();
+        assert_eq!(stats.plans, 1, "cap 1 holds one entry");
+        assert_eq!(stats.compiles, 3, "each swap recompiles");
+        assert_eq!(stats.evictions, 2, "both swaps must be counted");
     }
 
     #[test]

@@ -7,16 +7,23 @@
 //! [`softmap_ap::ApProgram`] and replays it for every further vector —
 //! this module is the cache those compiled plans live in.
 //!
-//! Two kinds of entries share the cache:
+//! Three kinds of entries share the cache:
 //!
 //! * **whole-vector programs** ([`CompiledPlan`]) for shapes that fit
 //!   one tile, plus the per-phase shard programs (min search, exp +
-//!   partial sum, divide) sharded execution replays, and
+//!   partial sum, divide) sharded execution replays,
 //! * **sharded vector plans** ([`ShardedPlan`]) for shapes that exceed
 //!   the device's tile capacity: the shard partition, the per-shard
 //!   phase programs (as `Arc`s into the same cache), and the cost
 //!   metadata (waves, cross-tile reduction charges, critical path)
-//!   recorded at compile time so static queries stay execution-free.
+//!   recorded at compile time so static queries stay execution-free,
+//!   and
+//! * **tuned vector plans** ([`TunedPlan`]) installed by the mapping
+//!   autotuner (`crate::mapping::autotune`): the winning whole-vector
+//!   or sharded plan plus the [`MappingChoice`] it corresponds to and
+//!   the scores of every losing candidate. Tuned entries live under
+//!   their own `tuned` key axis so a tuned mapping and its pinned
+//!   paper-default baseline coexist in the same LRU.
 //!
 //! Sharing happens at two levels, mirroring the tile pool:
 //!
@@ -36,12 +43,13 @@
 //! slots or sharded plans keep in-flight programs alive.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use softmap_ap::{ApProgram, CycleStats, DivStyle, OptLevel, PassReport, RegId};
 
-use crate::mapping::{Layout, StepStats};
+use crate::mapping::{Layout, StepStats, VectorCost};
 
 /// Which program a cache entry holds: the whole-vector dataflow, one
 /// of the three per-shard phase programs, or the vector-level sharded
@@ -85,6 +93,12 @@ pub(crate) struct PlanKey {
     /// in the LRU — the differential baseline never evicts the fast
     /// path. Always `false` for whole-vector entries.
     pub resident: bool,
+    /// Whether this is an autotuned vector-level entry (a
+    /// [`TunedPlan`] installed by the mapping autotuner). Its own key
+    /// axis so a tuned mapping and its `with_autotune(false)` baseline
+    /// coexist without evicting each other. Always `false` for shard
+    /// phase programs and untuned vector entries.
+    pub tuned: bool,
 }
 
 /// A compiled dataflow plan: the recorded [`ApProgram`] plus the
@@ -248,13 +262,149 @@ impl ShardedPlan {
     }
 }
 
-/// One cache entry: a single compiled program or a sharded plan.
+/// The mapping an autotuned plan selected: the searched configuration
+/// axes plus the shard geometry of the winning plan. Returned by
+/// [`TunedPlan::choice`] and rendered (via `Display`) in the eval
+/// `autotune` table and `examples/backend_profile.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappingChoice {
+    /// Row packing layout of the winning plan.
+    pub layout: Layout,
+    /// Division microcode style. Never searched: only the configured
+    /// style preserves the mapping's exactness contract (the
+    /// controller-reciprocal divider is within 1 ULP, not bit-exact).
+    pub div: DivStyle,
+    /// Optimization level. Never searched: cost is non-increasing
+    /// along [`OptLevel::ladder`], so the configured level dominates.
+    pub opt: OptLevel,
+    /// Whether the winning plan executes resident (sharded shapes
+    /// only; `false` for whole-vector winners).
+    pub resident: bool,
+    /// Shards the winning plan splits the vector into (1 =
+    /// whole-vector).
+    pub shards: usize,
+    /// Whether the winner uses a balanced shard partition instead of
+    /// the device's greedy capacity-filling default.
+    pub balanced: bool,
+}
+
+impl fmt::Display for MappingChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let layout = match self.layout {
+            Layout::TwoWordsPerRow => "two-words/row",
+            Layout::OneWordPerRow => "one-word/row",
+        };
+        let div = match self.div {
+            DivStyle::Restoring => "restoring",
+            DivStyle::ControllerReciprocal => "reciprocal",
+        };
+        let opt = match self.opt {
+            OptLevel::None => "opt=none",
+            OptLevel::Basic => "opt=basic",
+            OptLevel::Full => "opt=full",
+        };
+        write!(f, "{layout} {div} {opt}")?;
+        if self.shards == 1 {
+            write!(f, " 1 shard")
+        } else {
+            write!(
+                f,
+                " {} shards ({}, {})",
+                self.shards,
+                if self.balanced { "balanced" } else { "greedy" },
+                if self.resident {
+                    "resident"
+                } else {
+                    "re-staged"
+                }
+            )
+        }
+    }
+}
+
+/// One scored candidate from an autotune search. The winner and every
+/// losing candidate are recorded on the installed [`TunedPlan`], so
+/// "why did the tuner pick this" is answerable without re-searching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateScore {
+    /// The candidate mapping.
+    pub choice: MappingChoice,
+    /// Static total work cycles of the candidate's compiled plan.
+    pub cycles: u64,
+    /// Static device critical-path cycles.
+    pub latency_cycles: u64,
+    /// Static cell events (the energy proxy).
+    pub cell_events: u64,
+}
+
+/// An autotuned vector-level cache entry: the winning compiled plan
+/// (whole-vector or sharded), the [`MappingChoice`] it realizes, its
+/// static cost next to the configured default's, and the full score
+/// table of the search.
+#[derive(Debug)]
+pub struct TunedPlan {
+    pub(crate) choice: MappingChoice,
+    pub(crate) plan: CachedPlan,
+    pub(crate) winner_cost: VectorCost,
+    pub(crate) default_cost: VectorCost,
+    pub(crate) scores: Vec<CandidateScore>,
+    pub(crate) compile_micros: f64,
+}
+
+impl TunedPlan {
+    /// The winning mapping.
+    #[must_use]
+    pub fn choice(&self) -> MappingChoice {
+        self.choice
+    }
+
+    /// Static cost of the winning plan (exact for the input the search
+    /// compiled from; the static == simulated contract carries over
+    /// from the winner's plan kind).
+    #[must_use]
+    pub fn winner_cost(&self) -> &VectorCost {
+        &self.winner_cost
+    }
+
+    /// Static cost of the configured default mapping on the same
+    /// input, for comparison (the default candidate is always scored).
+    #[must_use]
+    pub fn default_cost(&self) -> &VectorCost {
+        &self.default_cost
+    }
+
+    /// Every candidate scored by the search, in enumeration order (the
+    /// configured default mapping first).
+    #[must_use]
+    pub fn scores(&self) -> &[CandidateScore] {
+        &self.scores
+    }
+
+    /// Whether the winner strictly beat the configured default in
+    /// total work cycles.
+    #[must_use]
+    pub fn improved(&self) -> bool {
+        self.winner_cost.total.cycles() < self.default_cost.total.cycles()
+    }
+
+    /// Wall-clock microseconds the whole search (every candidate
+    /// compile included) took.
+    #[must_use]
+    pub fn compile_micros(&self) -> f64 {
+        self.compile_micros
+    }
+}
+
+/// One cache entry: a single compiled program, a sharded plan, or an
+/// autotuned winner.
 #[derive(Debug, Clone)]
 pub(crate) enum CachedPlan {
     /// A whole-vector or shard-phase program.
     Program(Arc<CompiledPlan>),
     /// A vector-level sharded plan.
     Sharded(Arc<ShardedPlan>),
+    /// A vector-level autotuned plan wrapping its winner.
+    Tuned(Arc<TunedPlan>),
 }
 
 /// Aggregate counters of a [`PlanCache`]; see
@@ -273,6 +423,20 @@ pub struct PlanStats {
     /// Total wall-clock microseconds spent compiling over the cache's
     /// lifetime (survives [`PlanCache::clear`] and recompiles).
     pub compile_micros: f64,
+}
+
+/// Autotune counters of a [`PlanCache`]; all zero until a mapping with
+/// autotuning enabled compiles a shape. See
+/// [`crate::ApSoftmax::cache_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AutotuneStats {
+    /// Shapes that went through a candidate search.
+    pub shapes_tuned: u64,
+    /// Candidate mappings compiled and scored across all searches.
+    pub candidates_scored: u64,
+    /// Searches whose winner strictly beat the configured default
+    /// mapping in total work cycles.
+    pub wins: u64,
 }
 
 static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(1);
@@ -322,6 +486,9 @@ pub struct PlanCache {
     /// (survives [`PlanCache::clear`] and same-key recompiles, unlike
     /// summing over the currently cached plans).
     compile_nanos: AtomicU64,
+    shapes_tuned: AtomicU64,
+    candidates_scored: AtomicU64,
+    tuned_wins: AtomicU64,
 }
 
 impl Default for PlanCache {
@@ -334,9 +501,10 @@ impl PlanCache {
     /// Default LRU capacity: comfortably above any single workload's
     /// working set (a sharded shape needs at most seven entries per
     /// residency mode — the vector plan plus two shard lengths × three
-    /// phases — so fourteen when resident and re-staged plans coexist)
-    /// while keeping a long-running server's memory bounded under
-    /// arbitrary length mixes.
+    /// phases — so fourteen when resident and re-staged plans coexist,
+    /// plus one tuned entry per shape when the autotuner is on) while
+    /// keeping a long-running server's memory bounded under arbitrary
+    /// length mixes.
     pub const DEFAULT_CAPACITY: usize = 64;
 
     /// Creates an empty cache with a fresh identity and the default
@@ -361,6 +529,9 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             compile_nanos: AtomicU64::new(0),
+            shapes_tuned: AtomicU64::new(0),
+            candidates_scored: AtomicU64::new(0),
+            tuned_wins: AtomicU64::new(0),
         }
     }
 
@@ -411,6 +582,7 @@ impl PlanCache {
         let micros = match &plan {
             CachedPlan::Program(p) => p.compile_micros(),
             CachedPlan::Sharded(p) => p.compile_micros(),
+            CachedPlan::Tuned(p) => p.compile_micros(),
         };
         self.compiles.fetch_add(1, Ordering::Relaxed);
         self.compile_nanos
@@ -430,6 +602,27 @@ impl PlanCache {
     /// Counts a lock-free tile-slot hit.
     pub(crate) fn note_hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one finished autotune search: `candidates` mappings
+    /// scored, `win` when the winner strictly beat the default.
+    pub(crate) fn note_autotune(&self, candidates: u64, win: bool) {
+        self.shapes_tuned.fetch_add(1, Ordering::Relaxed);
+        self.candidates_scored
+            .fetch_add(candidates, Ordering::Relaxed);
+        if win {
+            self.tuned_wins.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Lifetime autotune counters (kept across [`PlanCache::clear`]).
+    #[must_use]
+    pub fn autotune_stats(&self) -> AutotuneStats {
+        AutotuneStats {
+            shapes_tuned: self.shapes_tuned.load(Ordering::Relaxed),
+            candidates_scored: self.candidates_scored.load(Ordering::Relaxed),
+            wins: self.tuned_wins.load(Ordering::Relaxed),
+        }
     }
 
     /// Drops every cached plan and advances the epoch so tile slots

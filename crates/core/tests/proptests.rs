@@ -171,6 +171,7 @@ proptest! {
         // against direct issue, re-staged because direct issue always
         // re-stages) from different data, then replay.
         let cached = ApSoftmax::new(cfg).unwrap()
+            .with_autotune(false)
             .with_backend(backend)
             .with_device(dev)
             .with_resident(false)
@@ -189,6 +190,7 @@ proptest! {
         // The optimized re-staged sharded plan: bit-exact outputs,
         // strictly cheaper (fused phases + hoisted broadcasts).
         let optimized = ApSoftmax::new(cfg).unwrap()
+            .with_autotune(false)
             .with_backend(backend)
             .with_device(dev)
             .with_resident(false)
@@ -215,11 +217,13 @@ proptest! {
         let cfg = PrecisionConfig::paper_best();
         let dev = DeviceConfig::new(16, rows_per_tile);
         let restaged = ApSoftmax::new(cfg).unwrap()
+            .with_autotune(false)
             .with_backend(backend)
             .with_device(dev)
             .with_resident(false)
             .with_opt_level(opt);
         let resident = ApSoftmax::new(cfg).unwrap()
+            .with_autotune(false)
             .with_backend(backend)
             .with_device(dev)
             .with_opt_level(opt);
@@ -251,6 +255,56 @@ proptest! {
         prop_assert_eq!(again.total, res.total);
         prop_assert_eq!(&again.steps, &res.steps);
         prop_assert_eq!(&again.codes, &res.codes);
+    }
+
+    #[test]
+    fn autotuned_matches_paper_default_mapping(
+        len in 64usize..20_000,
+        seed in 0u64..1_000,
+    ) {
+        // The autotuner's contract, differentially: for arbitrary
+        // lengths across the whole-vector and sharded regimes, the
+        // tuned mapping is bit-exact against the paper-default mapping
+        // and its static cost never exceeds the default's.
+        let cfg = PrecisionConfig::paper_best();
+        let scores: Vec<f64> = (0..len)
+            .map(|i| -(((i as u64).wrapping_mul(seed + 7) % 97) as f64) * 7.0 / 97.0)
+            .collect();
+        let tuned = ApSoftmax::new(cfg).unwrap()
+            .with_backend(ExecBackend::FastWord);
+        prop_assert!(tuned.autotune());
+        let default = tuned.clone().with_autotune(false);
+        let t = tuned.execute_floats(&scores).unwrap();
+        let d = default.execute_floats(&scores).unwrap();
+        prop_assert_eq!(&t.codes, &d.codes);
+        prop_assert_eq!(&t.vapprox, &d.vapprox);
+        prop_assert_eq!(t.sum, d.sum);
+        prop_assert!(t.total.cycles() <= d.total.cycles(),
+            "tuned {} must not exceed default {}", t.total.cycles(), d.total.cycles());
+        // static == simulated for the installed winner.
+        prop_assert_eq!(tuned.static_cost(len).unwrap(), t.total);
+    }
+
+    #[test]
+    fn autotuned_matches_default_on_microcode_backend(
+        len in 8usize..320,
+        seed in 0u64..1_000,
+    ) {
+        // Same contract on the bit-serial Microcode backend with a
+        // small grid, so the search crosses the sharded regime cheaply.
+        let cfg = PrecisionConfig::paper_best();
+        let scores: Vec<f64> = (0..len)
+            .map(|i| -(((i as u64).wrapping_mul(seed + 3) % 89) as f64) * 6.5 / 89.0)
+            .collect();
+        let tuned = ApSoftmax::new(cfg).unwrap()
+            .with_backend(ExecBackend::Microcode)
+            .with_device(DeviceConfig::new(8, 64));
+        let default = tuned.clone().with_autotune(false);
+        let t = tuned.execute_floats(&scores).unwrap();
+        let d = default.execute_floats(&scores).unwrap();
+        prop_assert_eq!(&t.codes, &d.codes);
+        prop_assert_eq!(t.sum, d.sum);
+        prop_assert!(t.total.cycles() <= d.total.cycles());
     }
 
     #[test]

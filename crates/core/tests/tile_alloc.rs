@@ -121,8 +121,12 @@ fn main() {
         let long: Vec<f64> = (0..16384)
             .map(|i| -f64::from((i % 97) as u32) * 0.07)
             .collect();
+        // Pinned to the paper-default mapping: this section
+        // characterizes the four-shard packed replay (the tuned winner
+        // re-partitions; its zero-alloc replay is covered above).
         let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
             .unwrap()
+            .with_autotune(false)
             .with_backend(ExecBackend::FastWord)
             .with_resident(resident);
         let mut state = TileState::new();
@@ -174,6 +178,7 @@ fn main() {
         let scores: Vec<f64> = (0..64).map(|i| -(f64::from(i) * 0.23) % 6.1).collect();
         let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
             .unwrap()
+            .with_autotune(false)
             .with_backend(ExecBackend::Microcode)
             .with_device(softmap_ap::DeviceConfig::new(2, 8));
         let mut state = TileState::new();

@@ -40,6 +40,7 @@ pub fn run() -> EvalResult<Vec<Ablation>> {
         ("controller reciprocal", DivStyle::ControllerReciprocal),
     ] {
         let stats = ApSoftmax::new(cfg)?
+            .with_autotune(false)
             .with_div_style(style)
             .static_cost(1024)?;
         out.push(Ablation {

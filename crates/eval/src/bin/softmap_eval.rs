@@ -3,13 +3,14 @@
 //! ```text
 //! softmap-eval <experiment>
 //! experiments: fig1 table1 table2 table3 table4 fig6 fig7 fig8
-//!              table5 table6 area amdahl ablations decode longseq all
+//!              table5 table6 area amdahl ablations decode longseq
+//!              autotune all
 //! ```
 
 use softmap_eval::fig678::Quantity;
 use softmap_eval::{
-    ablations, amdahl, area, decode, fig1, fig678, longseq, paper, table1, table2, table34, table5,
-    table6,
+    ablations, amdahl, area, autotune, decode, fig1, fig678, longseq, paper, table1, table2,
+    table34, table5, table6,
 };
 
 fn run(which: &str) -> Result<(), Box<dyn std::error::Error>> {
@@ -35,6 +36,7 @@ fn run(which: &str) -> Result<(), Box<dyn std::error::Error>> {
         "ablations" => print!("{}", ablations::render(&ablations::run()?)),
         "decode" => print!("{}", decode::render(&decode::run()?)),
         "longseq" => print!("{}", longseq::render(&longseq::run()?)),
+        "autotune" => print!("{}", autotune::render(&autotune::run()?)),
         "all" => {
             for e in [
                 "fig1",
@@ -52,6 +54,7 @@ fn run(which: &str) -> Result<(), Box<dyn std::error::Error>> {
                 "ablations",
                 "decode",
                 "longseq",
+                "autotune",
             ] {
                 println!("==== {e} ====");
                 run(e)?;
@@ -61,7 +64,7 @@ fn run(which: &str) -> Result<(), Box<dyn std::error::Error>> {
         other => {
             eprintln!(
                 "unknown experiment '{other}'\n\
-                 usage: softmap-eval <fig1|table1|table2|table3|table4|fig6|fig7|fig8|table5|table6|area|amdahl|ablations|decode|longseq|all>"
+                 usage: softmap-eval <fig1|table1|table2|table3|table4|fig6|fig7|fig8|table5|table6|area|amdahl|ablations|decode|longseq|autotune|all>"
             );
             std::process::exit(2);
         }

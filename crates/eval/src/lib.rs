@@ -24,6 +24,7 @@
 //! | [`ablations`] | Division/layout/packing/reduction design ablations (extension) |
 //! | [`decode`] | Decode-phase characterization (extension) |
 //! | [`longseq`] | Sharded long-sequence softmax at fixed hardware (extension) |
+//! | [`autotune`] | Mapping autotuner vs the paper's fixed mapping (extension) |
 //!
 //! # Examples
 //!
@@ -38,6 +39,7 @@
 pub mod ablations;
 pub mod amdahl;
 pub mod area;
+pub mod autotune;
 pub mod decode;
 pub mod fig1;
 pub mod fig678;

@@ -102,6 +102,7 @@ fn optimizer_gate_default_deployment_tile() {
     let len = 4096;
     let base = ApSoftmax::new(PrecisionConfig::paper_best())
         .unwrap()
+        .with_autotune(false)
         .with_backend(ExecBackend::FastWord)
         .with_opt_level(OptLevel::None);
     let opt = base.clone().with_opt_level(OptLevel::Full);
@@ -127,8 +128,11 @@ fn static_cost_equals_simulated_for_sharded_shapes() {
         let vc = model.vector_cost(len).unwrap();
         assert_eq!(vc.shards, len / 4096, "len {len}");
         assert!(vc.reduction.cycles() > 0);
+        // Pinned: the deployment model keeps the paper's fixed
+        // mapping, so the reference simulation must too.
         let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
             .unwrap()
+            .with_autotune(false)
             .with_backend(deploy.backend);
         let run = mapping
             .execute_floats(&ApSoftmax::representative_scores(len))
@@ -221,6 +225,7 @@ fn workload_model_latency_tables_use_the_static_path() {
         let stats = model.vector_stats(len).unwrap();
         let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
             .unwrap()
+            .with_autotune(false)
             .with_backend(ApDeployment::default().backend);
         let run = mapping
             .execute_floats(&ApSoftmax::representative_scores(len))

@@ -81,8 +81,11 @@ fn main() {
         .unwrap()
         .with_backend(ExecBackend::FastWord)
         .with_plan_mode(PlanMode::DirectIssue);
+    // Autotuning pinned off here: these sections profile the paper's
+    // fixed mapping; the autotuner gets its own section below.
     let cached = ApSoftmax::new(PrecisionConfig::paper_best())
         .unwrap()
+        .with_autotune(false)
         .with_backend(ExecBackend::FastWord);
     let mut state = TileState::new();
     let mut run = ApSoftmaxRun::default();
@@ -143,4 +146,34 @@ fn main() {
     );
     println!("  cache: {}", cached.cache_stats());
     println!("  cache (re-staged mapping): {}", restaged.cache_stats());
+
+    // Mapping autotuner: search per shape, replay the winner. Prints
+    // the chosen mapping per shape and the tuner's cache statistics.
+    println!("mapping autotuner");
+    let tuned = ApSoftmax::new(PrecisionConfig::paper_best())
+        .unwrap()
+        .with_backend(ExecBackend::FastWord);
+    for len in [1024usize, 4096, 6000, 16384] {
+        let scores: Vec<f64> = (0..len)
+            .map(|i| -f64::from((i % 97) as u32) * 0.07)
+            .collect();
+        tuned
+            .execute_floats_into(&mut state, &scores, &mut run)
+            .unwrap(); // first vector of the shape runs the search
+        time(&format!("autotuned replay len {len}"), 5, || {
+            tuned
+                .execute_floats_into(&mut state, &scores, &mut run)
+                .unwrap();
+        });
+        let plan = tuned.tuned_plan(len).unwrap();
+        println!(
+            "  len {len}: chose [{}] — {} cyc vs default {} cyc ({} candidates, search {:.1} us)",
+            plan.choice(),
+            plan.winner_cost().total.cycles(),
+            plan.default_cost().total.cycles(),
+            plan.scores().len(),
+            plan.compile_micros()
+        );
+    }
+    println!("  cache (tuned mapping): {}", tuned.cache_stats());
 }

@@ -28,9 +28,15 @@
 # cycles/fastword-sharded-resident/8192 <= 0.90x
 # cycles/fastword-sharded-optimized/8192. Like the optimizer gate these
 # are static == simulated cycle counts, so host speed never enters.
+# Autotune gate (host-invariant): the mapping autotuner's winner must
+# keep cycles/fastword-autotuned/<rows> <= cycles/fastword-default/<rows>
+# at every emitted length (64 - 32768 tokens) — the tuner's "never
+# statically worse than the paper default" contract, on static ==
+# simulated cycle counts.
 #
 # All gates run in --quick too. Set SOFTMAP_SHARD_GATE=0 /
-# SOFTMAP_OPT_GATE=0 / SOFTMAP_RESIDENT_GATE=0 to disable individually.
+# SOFTMAP_OPT_GATE=0 / SOFTMAP_RESIDENT_GATE=0 / SOFTMAP_AUTOTUNE_GATE=0
+# to disable individually.
 #
 # Environment:
 #   CRITERION_MEASURE_MS  per-benchmark wall-clock budget (default 500)
@@ -38,6 +44,7 @@
 #   SOFTMAP_SHARD_GATE    set 0 to disable the shard scaling gate
 #   SOFTMAP_OPT_GATE      set 0 to disable the optimizer cycle gate
 #   SOFTMAP_RESIDENT_GATE set 0 to disable the residency cycle gate
+#   SOFTMAP_AUTOTUNE_GATE set 0 to disable the autotune cycle gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -168,6 +175,20 @@ for seq in ("8192", "16384"):
     if cyc_r and cyc_o:
         resident[f"resident_over_restaged_seq{seq}"] = round(cyc_r / cyc_o, 3)
 
+# Mapping autotuner: tuned-winner vs paper-default simulated cycles at
+# every emitted length. Host-invariant (static == simulated).
+autotune = {}
+for rows, ns in sorted(by_name.items()):
+    if not rows.startswith("cycles/fastword-autotuned/"):
+        continue
+    label = rows.rsplit("/", 1)[1]
+    default_ns = by_name.get(f"cycles/fastword-default/{label}")
+    seq = int(label) * 2
+    autotune[f"autotune_cycles_seq{seq}"] = int(ns)
+    if default_ns:
+        autotune[f"autotune_default_cycles_seq{seq}"] = int(default_ns)
+        autotune[f"autotune_over_default_seq{seq}"] = round(ns / default_ns, 3)
+
 doc = {
     "schema": "softmap-bench-ap-v1",
     "quick": quick,
@@ -180,6 +201,7 @@ doc = {
     "sharding": shard,
     "residency": resident,
     "optimizer": opt,
+    "autotune": autotune,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
@@ -302,4 +324,43 @@ if os.environ.get("SOFTMAP_RESIDENT_GATE", "1") != "0":
               "replay lost its zero-charge accounting.", file=sys.stderr)
         sys.exit(1)
     print("resident gate: OK")
+
+# ---- autotune cycle gate ---------------------------------------------------
+# Host-invariant by construction: both numbers are simulated cycle
+# counts from compiled plans' static costs (static == simulated is
+# enforced by crates/eval/tests/static_cost.rs and the autotuner's own
+# tests). The tuned winner must never be statically worse than the
+# paper-default mapping, at any emitted length.
+if os.environ.get("SOFTMAP_AUTOTUNE_GATE", "1") != "0":
+    tuned_series = {k: v for k, v in by_name.items()
+                    if k.startswith("cycles/fastword-autotuned/")}
+    if not tuned_series:
+        print("AUTOTUNE GATE FAILED: no cycles/fastword-autotuned/* "
+              "records found. Did backend_compare stop emitting the "
+              "autotuned series?", file=sys.stderr)
+        sys.exit(1)
+    failed = False
+    for name, tuned_cyc in sorted(tuned_series.items(),
+                                  key=lambda kv: int(kv[0].rsplit("/", 1)[1])):
+        label = name.rsplit("/", 1)[1]
+        default_cyc = by_name.get(f"cycles/fastword-default/{label}")
+        if not default_cyc:
+            print(f"AUTOTUNE GATE FAILED: cycles/fastword-default/{label} "
+                  f"is missing for {name}.", file=sys.stderr)
+            sys.exit(1)
+        seq = int(label) * 2
+        print(f"autotune gate: seq {seq}: tuned {tuned_cyc:.0f} vs "
+              f"default {default_cyc:.0f} simulated cycles "
+              f"({tuned_cyc / default_cyc:.3f}x)")
+        if tuned_cyc > default_cyc:
+            print(f"AUTOTUNE GATE FAILED: at seq {seq} the tuned winner "
+                  f"({tuned_cyc:.0f} cyc) exceeds the paper-default "
+                  f"mapping ({default_cyc:.0f} cyc). The autotuner must "
+                  "never install a statically worse plan — the default "
+                  "candidate is always scored and wins ties.",
+                  file=sys.stderr)
+            failed = True
+    if failed:
+        sys.exit(1)
+    print("autotune gate: OK")
 PY
