@@ -21,7 +21,8 @@
 //! ```
 
 pub use softmap_par::{
-    parallel_map, parallel_map_with, tile_parallelism, try_parallel_map, try_parallel_map_with,
+    fan_out_with, parallel_map, parallel_map_with, tile_parallelism, try_parallel_map,
+    try_parallel_map_with,
 };
 
 use crate::device;

@@ -14,6 +14,9 @@
 //!   an even/odd tail rule so packed layouts always fit),
 //! * [`wave_makespan`] — the latency of running independent shard jobs
 //!   on `tiles` concurrent slots (greedy list scheduling),
+//! * [`TileClocks`] — the same greedy policy extended to an open
+//!   arrival stream of multi-shard lockstep requests (the serving
+//!   layer's continuous-batching admission clock),
 //! * [`DeviceConfig::reduction_network`] — the documented cost contract
 //!   for combining per-tile scalars (shard minima, partial sums)
 //!   across tiles and broadcasting the result back.
@@ -281,6 +284,109 @@ pub fn wave_makespan(jobs: &[u64], tiles: usize, loads: &mut Vec<u64>) -> u64 {
     loads.iter().copied().max().unwrap_or(0)
 }
 
+/// Per-tile virtual clocks for continuous wave scheduling: the
+/// stream-of-requests generalization of [`wave_makespan`].
+///
+/// Where [`wave_makespan`] schedules one fixed batch of independent
+/// shard jobs, `TileClocks` accounts an *open-ended arrival stream* in
+/// which each request occupies several tiles **in lockstep** (its
+/// shards synchronize twice at the cross-tile min and sum reductions,
+/// so they must start together). The scheduling rule is the same
+/// greedy least-loaded policy: [`TileClocks::assign`] picks the
+/// `shards` tiles with the earliest clocks, starts the request at the
+/// latest of them (the lockstep constraint), and advances each chosen
+/// clock to `start + cycles`.
+///
+/// The struct also tracks total busy cycles charged, so a scheduler
+/// can report the tile-occupancy ratio
+/// `busy / (makespan × tiles)` — the host-invariant saturation metric
+/// the serving gate checks.
+///
+/// # Examples
+///
+/// ```
+/// use softmap_ap::device::TileClocks;
+///
+/// let mut clocks = TileClocks::new(2);
+/// // Two single-shard requests land on distinct tiles: they overlap.
+/// assert_eq!(clocks.assign(1, 10), 10);
+/// assert_eq!(clocks.assign(1, 4), 4);
+/// // A two-shard request needs both tiles; lockstep start at the
+/// // later clock (10), finishing at 15.
+/// assert_eq!(clocks.assign(2, 5), 15);
+/// assert_eq!(clocks.makespan(), 15);
+/// assert_eq!(clocks.busy(), 10 + 4 + 2 * 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TileClocks {
+    clocks: Vec<u64>,
+    picked: Vec<usize>,
+    busy: u64,
+}
+
+impl TileClocks {
+    /// A grid of `tiles` idle tiles (clamped to at least one).
+    #[must_use]
+    pub fn new(tiles: usize) -> Self {
+        let tiles = tiles.max(1);
+        Self {
+            clocks: vec![0; tiles],
+            picked: Vec::with_capacity(tiles),
+            busy: 0,
+        }
+    }
+
+    /// Number of tiles in the grid.
+    #[must_use]
+    pub fn tiles(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Schedules one request occupying `shards` tiles in lockstep for
+    /// `cycles` device cycles and returns its completion time.
+    ///
+    /// Greedy least-loaded: the `shards` earliest clocks are chosen
+    /// (clamped to the grid size — a request already folds its own
+    /// internal waves into `cycles` via its latency model), the start
+    /// is the latest chosen clock, and every chosen clock advances to
+    /// `start + cycles`. Performs no allocation in steady state.
+    pub fn assign(&mut self, shards: usize, cycles: u64) -> u64 {
+        let take = shards.clamp(1, self.clocks.len());
+        self.picked.clear();
+        let mut start = 0u64;
+        for _ in 0..take {
+            let (slot, clock) = self
+                .clocks
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &t)| t)
+                .map(|(i, &t)| (i, t))
+                .expect("at least one tile");
+            start = start.max(clock);
+            self.picked.push(slot);
+            self.clocks[slot] = u64::MAX; // exclude from this pick round
+        }
+        let done = start.saturating_add(cycles);
+        for &i in &self.picked {
+            self.clocks[i] = done;
+        }
+        self.busy += cycles * take as u64;
+        done
+    }
+
+    /// Latest clock over all tiles: the schedule's makespan so far.
+    #[must_use]
+    pub fn makespan(&self) -> u64 {
+        self.clocks.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total busy cycles charged across all tiles.
+    #[must_use]
+    pub fn busy(&self) -> u64 {
+        self.busy
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,5 +505,129 @@ mod tests {
         assert_eq!(wave_makespan(&[5, 5, 5], 1, &mut loads), 15);
         // uneven jobs: greedy balances them
         assert_eq!(wave_makespan(&[9, 1, 1, 1], 2, &mut loads), 9);
+    }
+
+    /// Greedy list scheduling is bounded below by the critical path
+    /// (no schedule beats `max(longest job, ceil(total / tiles))`) and
+    /// above by naive sequential execution (`total`).
+    fn assert_makespan_bounds(jobs: &[u64], tiles: usize) {
+        let mut loads = Vec::new();
+        let got = wave_makespan(jobs, tiles, &mut loads);
+        let total: u64 = jobs.iter().sum();
+        let longest = jobs.iter().copied().max().unwrap_or(0);
+        let slots = tiles.max(1).min(jobs.len().max(1)) as u64;
+        let critical = longest.max(total.div_ceil(slots.max(1)));
+        assert!(
+            got >= critical,
+            "makespan {got} beats critical path {critical} for {jobs:?} on {tiles} tiles"
+        );
+        assert!(
+            got <= total,
+            "makespan {got} worse than sequential {total} for {jobs:?} on {tiles} tiles"
+        );
+    }
+
+    #[test]
+    fn wave_makespan_empty_batch_is_free() {
+        let mut loads = Vec::new();
+        assert_eq!(wave_makespan(&[], 48, &mut loads), 0);
+        assert_eq!(wave_makespan(&[], 0, &mut loads), 0);
+        assert_makespan_bounds(&[], 48);
+    }
+
+    #[test]
+    fn wave_makespan_single_oversized_job_is_its_own_makespan() {
+        // One request longer than everything else the grid could do:
+        // no amount of tiles shortens a single sequential job.
+        let mut loads = Vec::new();
+        let huge = 1 << 40;
+        assert_eq!(wave_makespan(&[huge], 48, &mut loads), huge);
+        assert_eq!(wave_makespan(&[huge, 1, 1, 1], 48, &mut loads), huge);
+        assert_makespan_bounds(&[huge, 1, 1, 1], 48);
+    }
+
+    #[test]
+    fn wave_makespan_identical_lengths_fill_whole_waves() {
+        let mut loads = Vec::new();
+        // 96 identical jobs on 48 tiles: exactly two full waves.
+        let jobs = vec![7u64; 96];
+        assert_eq!(wave_makespan(&jobs, 48, &mut loads), 14);
+        // 49 jobs: one straggler forces a second wave.
+        let jobs = vec![7u64; 49];
+        assert_eq!(wave_makespan(&jobs, 48, &mut loads), 14);
+        assert_makespan_bounds(&jobs, 48);
+    }
+
+    #[test]
+    fn wave_makespan_adversarial_mixes_stay_bounded() {
+        // Mixes chosen to trip greedy schedulers: descending giants,
+        // one giant amid dust, alternating magnitudes, primes.
+        let cases: &[(&[u64], usize)] = &[
+            (&[100, 90, 80, 70, 60, 50, 40, 30, 20, 10], 3),
+            (&[1000, 1, 1, 1, 1, 1, 1, 1], 4),
+            (&[1, 64, 2, 32, 4, 16, 8, 8, 16, 4, 32, 2, 64, 1], 5),
+            (&[13, 7, 29, 3, 31, 2, 23, 5, 19, 11, 17], 2),
+            (&[5, 5, 5, 5], 1000), // more tiles than jobs
+        ];
+        for &(jobs, tiles) in cases {
+            assert_makespan_bounds(jobs, tiles);
+        }
+        // Spot-check the degenerate grid: zero tiles clamps to one.
+        let mut loads = Vec::new();
+        assert_eq!(wave_makespan(&[3, 4], 0, &mut loads), 7);
+    }
+
+    #[test]
+    fn tile_clocks_overlap_independent_requests() {
+        let mut clocks = TileClocks::new(4);
+        assert_eq!(clocks.tiles(), 4);
+        // Four single-shard requests run concurrently.
+        for _ in 0..4 {
+            assert_eq!(clocks.assign(1, 10), 10);
+        }
+        assert_eq!(clocks.makespan(), 10);
+        // The fifth queues behind the earliest tile.
+        assert_eq!(clocks.assign(1, 10), 20);
+        assert_eq!(clocks.busy(), 50);
+    }
+
+    #[test]
+    fn tile_clocks_lockstep_requests_start_at_latest_tile() {
+        let mut clocks = TileClocks::new(3);
+        clocks.assign(1, 30); // tile busy until 30
+        clocks.assign(1, 5); // tile busy until 5
+                             // A 3-shard request needs all tiles; lockstep start at 30.
+        assert_eq!(clocks.assign(3, 10), 40);
+        assert_eq!(clocks.makespan(), 40);
+        assert_eq!(clocks.busy(), 30 + 5 + 3 * 10);
+    }
+
+    #[test]
+    fn tile_clocks_match_wave_makespan_on_single_shard_streams() {
+        // On single-shard jobs TileClocks *is* wave_makespan: same
+        // greedy least-loaded rule, one tile per job.
+        let jobs = [13u64, 7, 29, 3, 31, 2, 23, 5, 19, 11, 17];
+        let mut loads = Vec::new();
+        let batch = wave_makespan(&jobs, 4, &mut loads);
+        let mut clocks = TileClocks::new(4);
+        for &j in &jobs {
+            clocks.assign(1, j);
+        }
+        assert_eq!(clocks.makespan(), batch);
+        assert_eq!(clocks.busy(), jobs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn tile_clocks_clamp_oversized_and_zero_requests() {
+        let mut clocks = TileClocks::new(2);
+        // More shards than tiles: the request's own latency already
+        // folds internal waves in, so it just occupies the whole grid.
+        assert_eq!(clocks.assign(5, 8), 8);
+        assert_eq!(clocks.makespan(), 8);
+        assert_eq!(clocks.busy(), 16);
+        // Zero shards clamps to one tile.
+        assert_eq!(clocks.assign(0, 4), 12);
+        let zero_grid = TileClocks::new(0);
+        assert_eq!(zero_grid.tiles(), 1);
     }
 }

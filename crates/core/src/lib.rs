@@ -36,6 +36,7 @@ pub mod characterize;
 pub mod llm_bridge;
 pub mod mapping;
 pub mod plan;
+pub mod serve;
 
 mod deploy;
 
@@ -49,6 +50,9 @@ pub use plan::{
     AutotuneStats, CandidateScore, CompiledPlan, MappingChoice, PlanCache, PlanStats, ShardedPlan,
     TunedPlan,
 };
+pub use serve::{
+    ServeConfig, ServeStats, SoftmaxServer, Ticket, SERVE_QUEUE_ENV, SERVE_WORKERS_ENV,
+};
 
 /// Errors from the co-design layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +61,10 @@ pub enum CoreError {
     EmptyInput,
     /// A workload parameter is invalid.
     BadWorkload(String),
+    /// A non-blocking submission found the serving queue at its bound
+    /// (see [`SoftmaxServer::try_submit`]); the caller should back off
+    /// and retry, or use the blocking [`SoftmaxServer::submit`].
+    QueueFull,
     /// An error from the AP simulator.
     Ap(softmap_ap::ApError),
     /// An error from the scalar softmax specification.
@@ -68,6 +76,7 @@ impl core::fmt::Display for CoreError {
         match self {
             Self::EmptyInput => write!(f, "input vector is empty"),
             Self::BadWorkload(msg) => write!(f, "bad workload: {msg}"),
+            Self::QueueFull => write!(f, "serving queue is full (backpressure)"),
             Self::Ap(e) => write!(f, "AP error: {e}"),
             Self::Softmax(e) => write!(f, "softmax error: {e}"),
         }

@@ -13,10 +13,13 @@
 //! persistent [`TileState`] in its [`SoftmaxScratch`] extension slot
 //! and replays the shape's cached plan for every row it claims.
 
+use std::sync::Arc;
+
 use softmap_llm::softmax_impls::{SoftmaxFn, SoftmaxScratch};
 use softmap_softmax::PrecisionConfig;
 
 use crate::mapping::{ApSoftmax, ApSoftmaxRun, TileState};
+use crate::serve::SoftmaxServer;
 use crate::CoreError;
 
 /// Per-worker state parked in [`SoftmaxScratch::ext`]: the persistent
@@ -58,6 +61,10 @@ struct ApWorkerState {
 #[derive(Debug, Clone)]
 pub struct ApMappedSoftmax {
     mapping: ApSoftmax,
+    /// When set, rows go through the serving layer's queue instead of
+    /// executing inline — many harness workers then share the server's
+    /// continuous wave batching.
+    serve: Option<Arc<SoftmaxServer>>,
 }
 
 impl ApMappedSoftmax {
@@ -71,6 +78,7 @@ impl ApMappedSoftmax {
     pub fn new(cfg: PrecisionConfig) -> Result<Self, CoreError> {
         Ok(Self {
             mapping: ApSoftmax::new(cfg)?.with_backend(softmap_ap::ExecBackend::FastWord),
+            serve: None,
         })
     }
 
@@ -78,7 +86,27 @@ impl ApMappedSoftmax {
     /// backend, plan mode).
     #[must_use]
     pub fn with_mapping(mapping: ApSoftmax) -> Self {
-        Self { mapping }
+        Self {
+            mapping,
+            serve: None,
+        }
+    }
+
+    /// Routes every row through `server`'s submission queue instead of
+    /// executing inline: harness workers become serving clients, and
+    /// concurrent rows coalesce into device waves. The server should
+    /// wrap the same precision/mapping configuration for the
+    /// bit-exactness contract to refer to this adapter's mapping.
+    #[must_use]
+    pub fn with_server(mut self, server: Arc<SoftmaxServer>) -> Self {
+        self.serve = Some(server);
+        self
+    }
+
+    /// The serving layer this adapter routes through, if any.
+    #[must_use]
+    pub fn server(&self) -> Option<&Arc<SoftmaxServer>> {
+        self.serve.as_ref()
     }
 
     /// The underlying mapping (plan-cache statistics live here).
@@ -120,9 +148,14 @@ impl SoftmaxFn for ApMappedSoftmax {
         } = state;
         scores64.clear();
         scores64.extend(scores.iter().map(|&s| f64::from(s)));
-        self.mapping
-            .execute_floats_into(tile, scores64, run)
-            .map_err(|e| e.to_string())?;
+        if let Some(server) = &self.serve {
+            let ticket = server.submit(scores64).map_err(|e| e.to_string())?;
+            ticket.wait_into(run).map_err(|e| e.to_string())?;
+        } else {
+            self.mapping
+                .execute_floats_into(tile, scores64, run)
+                .map_err(|e| e.to_string())?;
+        }
         let scale = f64::from(run.frac_bits).exp2().recip();
         Ok(run
             .codes

@@ -37,6 +37,7 @@ use crate::plan::{
 use crate::CoreError;
 
 pub(crate) mod autotune;
+pub(crate) mod fanout;
 
 pub use autotune::AUTOTUNE_ENV;
 
@@ -211,6 +212,19 @@ pub struct CacheStats {
     /// Searches whose winner strictly beat the configured default
     /// mapping in total work cycles.
     pub tuned_wins: u64,
+    /// Requests accepted into the serving queue (zero unless queried
+    /// through a [`crate::SoftmaxServer`]).
+    pub queued: u64,
+    /// Admission passes that dispatched at least one request into a
+    /// device wave (zero unless queried through a server).
+    pub waves_formed: u64,
+    /// Requests packed into a wave beyond each admission pass's first
+    /// (zero unless queried through a server).
+    pub coalesced: u64,
+    /// Submissions that found the queue at its bound — blocked callers
+    /// and [`crate::CoreError::QueueFull`] rejections (zero unless
+    /// queried through a server).
+    pub backpressure: u64,
 }
 
 impl std::fmt::Display for CacheStats {
@@ -218,7 +232,8 @@ impl std::fmt::Display for CacheStats {
         write!(
             f,
             "{} plans ({} resident), {} compiles, {} hits, {} evictions, \
-             {} shapes tuned ({} candidates, {} wins)",
+             {} shapes tuned ({} candidates, {} wins), \
+             {} queued ({} waves, {} coalesced, {} backpressure)",
             self.plans,
             self.resident_entries,
             self.compiles,
@@ -226,7 +241,11 @@ impl std::fmt::Display for CacheStats {
             self.evictions,
             self.shapes_tuned,
             self.candidates_scored,
-            self.tuned_wins
+            self.tuned_wins,
+            self.queued,
+            self.waves_formed,
+            self.coalesced,
+            self.backpressure
         )
     }
 }
@@ -667,6 +686,10 @@ impl ApSoftmax {
             shapes_tuned: a.shapes_tuned,
             candidates_scored: a.candidates_scored,
             tuned_wins: a.wins,
+            queued: 0,
+            waves_formed: 0,
+            coalesced: 0,
+            backpressure: 0,
         }
     }
 
@@ -674,6 +697,47 @@ impl ApSoftmax {
     /// warmed earlier re-resolve on their next vector).
     pub fn clear_plans(&self) {
         self.plans.clear();
+    }
+
+    /// Precompiles the plan for every vector length in `shapes` — and
+    /// autotunes each, when autotuning is enabled — so the first real
+    /// vector of a warmed shape replays instead of paying the compile
+    /// (or search) on the request path. The serving layer calls this
+    /// at startup ([`crate::ServeConfig::warmup_shapes`]); it is also
+    /// useful before latency-sensitive benchmarking. Shapes already
+    /// cached are skipped; one compile is counted per fresh shape
+    /// (`cache_stats().compiles`), none count as cache hits.
+    ///
+    /// # Errors
+    ///
+    /// The first failing shape's compile error (e.g.
+    /// [`CoreError::EmptyInput`] for a zero length).
+    pub fn warmup(&self, shapes: &[usize]) -> Result<(), CoreError> {
+        for &len in shapes {
+            self.resolve_vector_entry(len)?;
+        }
+        Ok(())
+    }
+
+    /// Tiles a request of `len` elements occupies under the configured
+    /// mapping: 1 when the vector fits one tile, the shard partition's
+    /// length otherwise (written into the reusable `ranges` scratch).
+    /// The serving layer's admission policy claims this many tiles per
+    /// request.
+    pub(crate) fn shard_count_into(
+        &self,
+        len: usize,
+        ranges: &mut Vec<(usize, usize)>,
+    ) -> Result<usize, CoreError> {
+        if len == 0 {
+            return Err(CoreError::EmptyInput);
+        }
+        let (_, rows) = self.packing(len);
+        if rows <= self.device.rows_per_tile {
+            return Ok(1);
+        }
+        self.effective_partition(len, ranges)?;
+        Ok(ranges.len())
     }
 
     /// The underlying scalar specification.
@@ -1832,13 +1896,20 @@ impl ApSoftmax {
     /// whole-vector reduction because saturating/wrapping addition of
     /// non-negative values is order-independent.
     fn combine_partials(&self, partials: &[u64]) -> Result<u64, CoreError> {
+        self.combine_partials_from(partials.iter().copied())
+    }
+
+    /// [`ApSoftmax::combine_partials`] over any per-shard value source
+    /// — the shard-parallel fan-out combines straight from its atomic
+    /// deposit array without staging a slice.
+    fn combine_partials_from(&self, partials: impl Iterator<Item = u64>) -> Result<u64, CoreError> {
         let sum_bits = self.sm.constants().effective_sum_bits(self.cfg());
         let mask: u128 = if sum_bits >= 128 {
             u128::MAX
         } else {
             (1u128 << sum_bits) - 1
         };
-        let exact: u128 = partials.iter().map(|&p| u128::from(p)).sum();
+        let exact: u128 = partials.map(u128::from).sum();
         match self.overflow_mode() {
             Overflow::Error => {
                 if exact > mask {

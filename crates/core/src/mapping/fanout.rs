@@ -1,0 +1,753 @@
+//! Shard-parallel host execution: the three phases of one long vector
+//! fanned across host workers over disjoint output slices.
+//!
+//! Sequential sharded replay ([`ApSoftmax::run_sharded`]) walks the
+//! shards of a long vector one at a time, so a 32k-element request
+//! holds its host worker for the whole vector. This module replays the
+//! *same cached sharded plan* with the shards split into contiguous
+//! per-worker chunks: every worker owns its shards' tiles, staging
+//! buffers, and output slices exclusively, and the workers meet exactly
+//! twice — at the dataflow's two cross-tile synchronization points (the
+//! global-minimum and partial-sum reductions), realized as
+//! [`std::sync::Barrier`] waits over lock-free atomic deposit arrays.
+//!
+//! The fan-out is **replay-only**: a shape whose sharded plan is not
+//! cached yet (or whose autotuned winner is a whole-vector program)
+//! falls back to the ordinary sequential path, which compiles and
+//! caches it; the next vector of the shape fans out. Results are
+//! bit-exact and cost-identical versus sequential replay — the shard
+//! programs, replay pricing ([`super::phase_replay`]), reduction
+//! charges, and wave-scheduled latency are all the same, merely
+//! evaluated concurrently — which the differential tests in
+//! `crates/core/tests/serve.rs` assert step for step.
+//!
+//! Worker errors cannot deadlock the barriers: a failing worker records
+//! its error, raises the shared cancel flag, and keeps participating in
+//! every remaining barrier while skipping the work.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use softmap_ap::batch;
+use softmap_ap::device;
+use softmap_ap::program::ProgramScratch;
+use softmap_ap::{ApTile, CycleStats};
+
+use super::{
+    accumulate_step, phase_replay, ApSoftmax, ApSoftmaxRun, Layout, PlanMode, StepStats, TileState,
+};
+use crate::plan::{CachedPlan, PlanKey, PlanPhase, ShardedPlan};
+use crate::CoreError;
+
+/// Per-worker persistent execution state for the shard-parallel
+/// fan-out: the worker's tile pool (one pinned tile per owned shard
+/// when the plan is resident, one reused tile otherwise), staging
+/// buffers, program scratch, per-phase step/cycle accounting, and the
+/// error slot. Buffer capacities persist across vectors, like
+/// [`TileState`]'s.
+#[derive(Debug, Default)]
+struct ShardWorker {
+    tiles: Vec<ApTile>,
+    scratch: ProgramScratch,
+    half0: Vec<u64>,
+    half1: Vec<u64>,
+    /// Per-shard replay output staging (program reads append to a
+    /// `Vec`; the worker copies it into its disjoint output slice).
+    tmp: Vec<u64>,
+    steps: [Vec<StepStats>; 3],
+    stats: CycleStats,
+    rows_max: usize,
+    cols_max: usize,
+    err: Option<CoreError>,
+}
+
+/// Reusable state for the shard-parallel fan-out: the worker pool plus
+/// the cross-worker deposit arrays (shard minima, partial sums,
+/// per-phase cycles) the two synchronization points exchange. All
+/// capacities persist across vectors.
+#[derive(Debug, Default)]
+pub(crate) struct FanoutState {
+    workers: Vec<ShardWorker>,
+    minima: Vec<AtomicU64>,
+    partials: Vec<AtomicU64>,
+    phase_cycles: [Vec<AtomicU64>; 3],
+    /// Wave-scheduler tile-load scratch (as `ShardScratch::loads`).
+    loads: Vec<u64>,
+    /// Staging for one phase's deposited cycle counts.
+    pc: Vec<u64>,
+    /// Shard-partition scratch for plan resolution.
+    ranges: Vec<(usize, usize)>,
+}
+
+fn grow_atomics(v: &mut Vec<AtomicU64>, n: usize) {
+    if v.len() < n {
+        v.resize_with(n, || AtomicU64::new(0));
+    }
+}
+
+impl FanoutState {
+    fn ensure(&mut self, shards: usize, workers: usize) {
+        if self.workers.len() < workers {
+            self.workers.resize_with(workers, ShardWorker::default);
+        }
+        grow_atomics(&mut self.minima, shards);
+        grow_atomics(&mut self.partials, shards);
+        for pc in &mut self.phase_cycles {
+            grow_atomics(pc, shards);
+        }
+    }
+}
+
+/// One worker's view of the fan-out: its contiguous shard chunk, its
+/// disjoint slices of the run's output buffers, and its persistent
+/// state.
+struct WorkerArg<'a> {
+    state: &'a mut ShardWorker,
+    /// Owned shards: `ranges[chunk.0..chunk.1]`.
+    chunk: (usize, usize),
+    /// First owned element (`ranges[chunk.0].0`) — offsets the slices.
+    base: usize,
+    codes_out: &'a mut [u64],
+    vap_out: &'a mut [u64],
+}
+
+/// Shared read-only context one fan-out's workers execute under.
+struct FanoutCtx<'a> {
+    plan: &'a ShardedPlan,
+    layout: Layout,
+    codes: &'a [i64],
+    barrier: &'a Barrier,
+    cancel: &'a AtomicBool,
+    minima: &'a [AtomicU64],
+    partials: &'a [AtomicU64],
+    phase_cycles: &'a [Vec<AtomicU64>; 3],
+}
+
+impl ApSoftmax {
+    /// Executes `codes` with the shards of a long vector fanned across
+    /// up to `threads` host workers (see the module docs). Falls back
+    /// to the ordinary sequential path on `state` whenever the fan-out
+    /// does not apply: unsharded shapes, direct-issue mode, a plan not
+    /// cached yet (the fallback compiles it), an autotuned winner that
+    /// is not sharded, or a single effective worker.
+    ///
+    /// # Errors
+    ///
+    /// As [`ApSoftmax::execute_codes_into`]; on the fan-out path, the
+    /// lowest-indexed failing worker's error.
+    pub(crate) fn execute_codes_fanout(
+        &self,
+        state: &mut TileState,
+        pool: &mut FanoutState,
+        codes: &[i64],
+        run: &mut ApSoftmaxRun,
+        threads: usize,
+    ) -> Result<(), CoreError> {
+        if codes.is_empty() {
+            return Err(CoreError::EmptyInput);
+        }
+        self.sm.validate_codes(codes)?;
+        let Some((plan, layout)) = self.resolve_fanout_plan(codes.len(), pool)? else {
+            return self.execute_codes_into(state, codes, run);
+        };
+        let workers = threads.max(1).min(plan.ranges.len());
+        if workers <= 1 {
+            return self.execute_codes_into(state, codes, run);
+        }
+        self.plans.note_hit();
+        self.run_fanout(pool, &plan, layout, codes, run, workers)
+    }
+
+    /// Resolves the cached sharded plan (and the layout its shards
+    /// stage under) that a fan-out of `len` elements replays, without
+    /// compiling anything: `None` routes to the sequential fallback.
+    /// Mirrors the cached-mode resolution of
+    /// [`ApSoftmax::execute_codes_mode`] / `execute_autotuned` as a
+    /// pure observer.
+    fn resolve_fanout_plan(
+        &self,
+        len: usize,
+        pool: &mut FanoutState,
+    ) -> Result<Option<(Arc<ShardedPlan>, Layout)>, CoreError> {
+        if self.plan_mode != PlanMode::Cached {
+            return Ok(None);
+        }
+        if self.autotune {
+            return Ok(match self.plans.peek(&self.tuned_key(len)) {
+                Some(CachedPlan::Tuned(t)) => match &t.plan {
+                    CachedPlan::Sharded(p) => Some((Arc::clone(p), t.choice.layout)),
+                    _ => None,
+                },
+                _ => None,
+            });
+        }
+        let (_, rows) = self.packing(len);
+        if rows <= self.device.rows_per_tile {
+            return Ok(None);
+        }
+        let mut ranges = std::mem::take(&mut pool.ranges);
+        let part = self.effective_partition(len, &mut ranges);
+        let shards = ranges.len();
+        pool.ranges = ranges;
+        part?;
+        let resident = self.resident_for(shards);
+        let vkey = PlanKey {
+            len,
+            layout: self.layout,
+            div: self.div_style,
+            opt: self.opt_level,
+            phase: PlanPhase::Vector,
+            resident,
+            tuned: false,
+        };
+        Ok(match self.plans.peek(&vkey) {
+            // A plan compiled for a different partition (a
+            // `partition_override` change) or residency mode cannot fan
+            // out; the sequential path raises the mismatch error.
+            Some(CachedPlan::Sharded(p)) if p.ranges == pool.ranges && p.resident == resident => {
+                Some((p, self.layout))
+            }
+            _ => None,
+        })
+    }
+
+    /// The fan-out proper: split the plan's shards into `workers`
+    /// contiguous chunks, give each worker disjoint output slices, run
+    /// the three phases with two barrier waits, and merge the
+    /// accounting back into sequential order.
+    fn run_fanout(
+        &self,
+        pool: &mut FanoutState,
+        plan: &ShardedPlan,
+        layout: Layout,
+        codes: &[i64],
+        run: &mut ApSoftmaxRun,
+        workers: usize,
+    ) -> Result<(), CoreError> {
+        let ranges = &plan.ranges;
+        let shards = ranges.len();
+        let resident = plan.resident;
+        let total_len = codes.len();
+        let m_bits = self.cfg().m;
+        let sum_bits = self.sm.constants().effective_sum_bits(self.cfg());
+        pool.ensure(shards, workers);
+        let FanoutState {
+            workers: worker_pool,
+            minima,
+            partials,
+            phase_cycles,
+            loads,
+            pc,
+            ..
+        } = pool;
+
+        // Contiguous near-even chunks keep a stable shard→worker
+        // affinity, so resident tile pools stay warm across vectors of
+        // the shape (workers ≤ shards ⇒ every chunk is non-empty).
+        let chunk_start = |j: usize| j * shards / workers;
+
+        run.codes.clear();
+        run.codes.resize(total_len, 0);
+        run.vapprox.clear();
+        run.vapprox.resize(total_len, 0);
+        run.steps.clear();
+
+        let mut args: Vec<WorkerArg<'_>> = Vec::with_capacity(workers);
+        {
+            let mut codes_rest: &mut [u64] = &mut run.codes;
+            let mut vap_rest: &mut [u64] = &mut run.vapprox;
+            let mut consumed = 0usize;
+            for (j, ws) in worker_pool.iter_mut().take(workers).enumerate() {
+                let (cs, ce) = (chunk_start(j), chunk_start(j + 1));
+                let base = ranges[cs].0;
+                let end = if j + 1 == workers {
+                    total_len
+                } else {
+                    ranges[ce].0
+                };
+                let (c_mine, c_rest) = std::mem::take(&mut codes_rest).split_at_mut(end - consumed);
+                let (v_mine, v_rest) = std::mem::take(&mut vap_rest).split_at_mut(end - consumed);
+                codes_rest = c_rest;
+                vap_rest = v_rest;
+                consumed = end;
+                ws.stats = CycleStats::default();
+                ws.rows_max = 0;
+                ws.cols_max = 0;
+                ws.err = None;
+                for s in &mut ws.steps {
+                    s.clear();
+                }
+                if resident {
+                    if ws.tiles.len() < ce - cs {
+                        ws.tiles.resize_with(ce - cs, ApTile::new);
+                    }
+                } else if ws.tiles.is_empty() {
+                    ws.tiles.push(ApTile::new());
+                }
+                args.push(WorkerArg {
+                    state: ws,
+                    chunk: (cs, ce),
+                    base,
+                    codes_out: c_mine,
+                    vap_out: v_mine,
+                });
+            }
+        }
+
+        let barrier = Barrier::new(workers);
+        let cancel = AtomicBool::new(false);
+        let ctx = FanoutCtx {
+            plan,
+            layout,
+            codes,
+            barrier: &barrier,
+            cancel: &cancel,
+            minima: &minima[..shards],
+            partials: &partials[..shards],
+            phase_cycles,
+        };
+
+        batch::fan_out_with(&mut args, |_, arg| self.fanout_worker(&ctx, arg));
+
+        if let Some(err) = args.iter_mut().find_map(|a| a.state.err.take()) {
+            return Err(err);
+        }
+        drop(args);
+
+        // Merge the per-worker accounting back into sequential order:
+        // phase by phase, workers in shard order, the cross-tile
+        // reduction steps between the phases — identical names,
+        // identical totals, identical first-appearance order.
+        let red_min = self.device.reduction_network(shards, m_bits);
+        let red_sum = self.device.reduction_network(shards, sum_bits);
+        let mut total = CycleStats::default();
+        let mut rows_max = 0usize;
+        let mut cols_max = 0usize;
+        for ws in worker_pool.iter().take(workers) {
+            total.accumulate(&ws.stats);
+            rows_max = rows_max.max(ws.rows_max);
+            cols_max = cols_max.max(ws.cols_max);
+        }
+        total.accumulate(&red_min);
+        total.accumulate(&red_sum);
+        let reductions = [
+            Some(("device: cross-tile min", red_min)),
+            Some(("device: cross-tile sum", red_sum)),
+            None,
+        ];
+        for (phase, red) in reductions.into_iter().enumerate() {
+            for ws in worker_pool.iter().take(workers) {
+                for st in &ws.steps[phase] {
+                    accumulate_step(&mut run.steps, st.name, st.stats);
+                }
+            }
+            if let Some((name, stats)) = red {
+                accumulate_step(&mut run.steps, name, stats);
+            }
+        }
+
+        let combined =
+            self.combine_partials_from(ctx.partials.iter().map(|p| p.load(Ordering::Relaxed)))?;
+        let mut latency = red_min.cycles() + red_sum.cycles();
+        for pcs in phase_cycles.iter() {
+            pc.clear();
+            pc.extend(pcs[..shards].iter().map(|c| c.load(Ordering::Relaxed)));
+            latency += device::wave_makespan(pc, self.device.tiles, loads);
+        }
+        let mut reduction = red_min;
+        reduction.accumulate(&red_sum);
+
+        run.frac_bits = self.sm.widths().frac_bits();
+        run.sum = combined;
+        run.total = total;
+        run.rows = rows_max;
+        run.cols_used = cols_max;
+        run.shards = shards;
+        run.waves = self.device.waves(shards);
+        run.latency_cycles = latency;
+        run.reduction = reduction;
+        Ok(())
+    }
+
+    /// One worker's three phases over its shard chunk. Mirrors the
+    /// `ShardExec::Replay` arms of [`ApSoftmax::run_sharded`] exactly:
+    /// same replay pricing, same re-arm flags, same staging rules. On
+    /// error (or a peer's cancel) the worker skips remaining work but
+    /// still reaches both barriers.
+    fn fanout_worker(&self, ctx: &FanoutCtx<'_>, arg: &mut WorkerArg<'_>) {
+        let FanoutCtx {
+            plan,
+            layout,
+            codes,
+            barrier,
+            cancel,
+            minima,
+            partials,
+            phase_cycles,
+        } = *ctx;
+        let ranges: &[(usize, usize)] = &plan.ranges;
+        let resident = plan.resident;
+        let (cs, ce) = arg.chunk;
+        let base = arg.base;
+        let no_inputs: [&[u64]; 0] = [];
+
+        // Phase 1: per-shard min search over the owned chunk.
+        for s in cs..ce {
+            if cancel.load(Ordering::Relaxed) {
+                break;
+            }
+            let (start, end) = ranges[s];
+            let (packed, rows) = Self::packing_of(layout, end - start);
+            let ws = &mut *arg.state;
+            ws.rows_max = ws.rows_max.max(rows);
+            ws.half0.clear();
+            ws.half0
+                .extend(codes[start..start + rows].iter().map(|&c| c.unsigned_abs()));
+            ws.half1.clear();
+            if packed {
+                ws.half1
+                    .extend(codes[start + rows..end].iter().map(|&c| c.unsigned_abs()));
+            }
+            let halves_arr: [&[u64]; 2] = [ws.half0.as_slice(), ws.half1.as_slice()];
+            let halves = if packed {
+                &halves_arr[..]
+            } else {
+                &halves_arr[..1]
+            };
+            let tile = if resident {
+                &mut ws.tiles[s - cs]
+            } else {
+                &mut ws.tiles[0]
+            };
+            let p = &plan.min_plans[s];
+            let mut outs: [&mut Vec<u64>; 0] = [];
+            match self.replay_shard_phase(
+                p,
+                tile,
+                &mut ws.scratch,
+                halves,
+                &[],
+                &mut outs,
+                &mut ws.steps[0],
+                phase_replay(ranges, s, resident),
+                false,
+            ) {
+                Ok(stats) => {
+                    minima[s].store(ws.scratch.reg(p.result_reg()), Ordering::Relaxed);
+                    phase_cycles[0][s].store(stats.cycles(), Ordering::Relaxed);
+                    ws.cols_max = ws.cols_max.max(p.cols_used());
+                    ws.stats.accumulate(&stats);
+                }
+                Err(e) => {
+                    ws.err = Some(e);
+                    cancel.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        barrier.wait(); // sync point 1: every shard minimum deposited
+
+        let global_min = if cancel.load(Ordering::Relaxed) {
+            0
+        } else {
+            minima
+                .iter()
+                .map(|m| m.load(Ordering::Relaxed))
+                .min()
+                .expect("shards >= 1")
+        };
+
+        // Phase 2: exp + partial sum (global min as program scalar).
+        for s in cs..ce {
+            if cancel.load(Ordering::Relaxed) {
+                break;
+            }
+            let (start, end) = ranges[s];
+            let (packed, rows) = Self::packing_of(layout, end - start);
+            let ws = &mut *arg.state;
+            ws.half0.clear();
+            ws.half1.clear();
+            if !resident {
+                ws.half0
+                    .extend(codes[start..start + rows].iter().map(|&c| c.unsigned_abs()));
+                if packed {
+                    ws.half1
+                        .extend(codes[start + rows..end].iter().map(|&c| c.unsigned_abs()));
+                }
+            }
+            let halves_arr: [&[u64]; 2] = [ws.half0.as_slice(), ws.half1.as_slice()];
+            let replay_inputs: &[&[u64]] = if resident {
+                &no_inputs
+            } else if packed {
+                &halves_arr[..]
+            } else {
+                &halves_arr[..1]
+            };
+            let tile = if resident {
+                &mut ws.tiles[s - cs]
+            } else {
+                &mut ws.tiles[0]
+            };
+            let p = &plan.exp_plans[s];
+            let scalars = [global_min];
+            ws.tmp.clear();
+            let mut outs: [&mut Vec<u64>; 1] = [&mut ws.tmp];
+            match self.replay_shard_phase(
+                p,
+                tile,
+                &mut ws.scratch,
+                replay_inputs,
+                &scalars,
+                &mut outs,
+                &mut ws.steps[1],
+                phase_replay(ranges, s, resident),
+                resident,
+            ) {
+                Ok(stats) => {
+                    arg.vap_out[start - base..end - base].copy_from_slice(&ws.tmp);
+                    partials[s].store(ws.scratch.reg(p.result_reg()), Ordering::Relaxed);
+                    phase_cycles[1][s].store(stats.cycles(), Ordering::Relaxed);
+                    ws.cols_max = ws.cols_max.max(p.cols_used());
+                    ws.stats.accumulate(&stats);
+                }
+                Err(e) => {
+                    ws.err = Some(e);
+                    cancel.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        barrier.wait(); // sync point 2: every partial sum deposited
+
+        let combined = if cancel.load(Ordering::Relaxed) {
+            Ok(0)
+        } else {
+            self.combine_partials_from(partials.iter().map(|p| p.load(Ordering::Relaxed)))
+        };
+        let combined = match combined {
+            Ok(c) => c,
+            Err(e) => {
+                // Every worker detects the same overflow; each records
+                // it (the merge keeps the lowest-indexed copy), and no
+                // barrier remains to deadlock on.
+                arg.state.err = Some(e);
+                cancel.store(true, Ordering::Relaxed);
+                return;
+            }
+        };
+
+        // Phase 3: divide by the broadcast divisor.
+        for s in cs..ce {
+            if cancel.load(Ordering::Relaxed) {
+                break;
+            }
+            let (start, end) = ranges[s];
+            let (packed, rows) = Self::packing_of(layout, end - start);
+            let vap = &arg.vap_out[start - base..end - base];
+            let vap_halves_arr: [&[u64]; 2] = [&vap[..rows], &vap[rows.min(vap.len())..]];
+            let vap_halves_all: &[&[u64]] = if packed {
+                &vap_halves_arr[..]
+            } else {
+                &vap_halves_arr[..1]
+            };
+            let replay_inputs: &[&[u64]] = if resident { &no_inputs } else { vap_halves_all };
+            let ws = &mut *arg.state;
+            let tile = if resident {
+                &mut ws.tiles[s - cs]
+            } else {
+                &mut ws.tiles[0]
+            };
+            let p = &plan.div_plans[s];
+            let scalars = [combined];
+            ws.tmp.clear();
+            let mut outs: [&mut Vec<u64>; 1] = [&mut ws.tmp];
+            match self.replay_shard_phase(
+                p,
+                tile,
+                &mut ws.scratch,
+                replay_inputs,
+                &scalars,
+                &mut outs,
+                &mut ws.steps[2],
+                phase_replay(ranges, s, resident),
+                resident,
+            ) {
+                Ok(stats) => {
+                    arg.codes_out[start - base..end - base].copy_from_slice(&ws.tmp);
+                    phase_cycles[2][s].store(stats.cycles(), Ordering::Relaxed);
+                    ws.cols_max = ws.cols_max.max(p.cols_used());
+                    ws.stats.accumulate(&stats);
+                }
+                Err(e) => {
+                    ws.err = Some(e);
+                    cancel.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softmap_ap::{DeviceConfig, ExecBackend};
+    use softmap_softmax::PrecisionConfig;
+
+    fn scores(len: usize) -> Vec<f64> {
+        (0..len).map(|i| -(((i * 7) % 97) as f64) * 0.07).collect()
+    }
+
+    fn quantized(sm: &ApSoftmax, len: usize) -> Vec<i64> {
+        let mut codes = Vec::new();
+        sm.spec().quantize_into(&scores(len), &mut codes);
+        codes
+    }
+
+    /// Field-by-field run equality: bit-exact outputs *and* identical
+    /// cost accounting (the fan-out merely evaluates the same plan
+    /// concurrently).
+    fn assert_runs_equal(a: &ApSoftmaxRun, b: &ApSoftmaxRun, what: &str) {
+        assert_eq!(a.codes, b.codes, "{what}: codes");
+        assert_eq!(a.vapprox, b.vapprox, "{what}: vapprox");
+        assert_eq!(a.steps, b.steps, "{what}: steps");
+        assert_eq!(a.sum, b.sum, "{what}: sum");
+        assert_eq!(a.frac_bits, b.frac_bits, "{what}: frac_bits");
+        assert_eq!(a.total, b.total, "{what}: total");
+        assert_eq!(a.rows, b.rows, "{what}: rows");
+        assert_eq!(a.cols_used, b.cols_used, "{what}: cols_used");
+        assert_eq!(a.shards, b.shards, "{what}: shards");
+        assert_eq!(a.waves, b.waves, "{what}: waves");
+        assert_eq!(a.latency_cycles, b.latency_cycles, "{what}: latency_cycles");
+        assert_eq!(a.reduction, b.reduction, "{what}: reduction");
+    }
+
+    #[test]
+    fn fanout_matches_sequential_replay_bit_and_cost_exact() {
+        for resident in [true, false] {
+            let sm = ApSoftmax::new(PrecisionConfig::paper_best())
+                .unwrap()
+                .with_autotune(false)
+                .with_backend(ExecBackend::FastWord)
+                .with_device(DeviceConfig::new(2, 8))
+                .with_resident(resident);
+            let codes = quantized(&sm, 48);
+            let mut state = TileState::new();
+            let mut seq = ApSoftmaxRun::default();
+            // First call compiles, second replays: the reference.
+            sm.execute_codes_into(&mut state, &codes, &mut seq).unwrap();
+            sm.execute_codes_into(&mut state, &codes, &mut seq).unwrap();
+            assert!(seq.shards > 1, "48 scores on 8-row tiles must shard");
+            let mut pool = FanoutState::default();
+            let mut fan_state = TileState::new();
+            // More workers than shards clamps; odd counts exercise the
+            // uneven contiguous chunking.
+            for threads in [2, 3, 16] {
+                let mut out = ApSoftmaxRun::default();
+                sm.execute_codes_fanout(&mut fan_state, &mut pool, &codes, &mut out, threads)
+                    .unwrap();
+                assert_runs_equal(
+                    &out,
+                    &seq,
+                    &format!("resident={resident} threads={threads}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_replays_the_autotuned_sharded_winner() {
+        // Default mapping autotunes: the fan-out must resolve the tuned
+        // entry's sharded winner and replay under the winning layout.
+        let sm = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_backend(ExecBackend::FastWord)
+            .with_device(DeviceConfig::new(2, 8));
+        let codes = quantized(&sm, 48);
+        let mut state = TileState::new();
+        let mut seq = ApSoftmaxRun::default();
+        sm.execute_codes_into(&mut state, &codes, &mut seq).unwrap();
+        sm.execute_codes_into(&mut state, &codes, &mut seq).unwrap();
+        let hits_before = sm.plan_stats().hits;
+        let mut pool = FanoutState::default();
+        let mut out = ApSoftmaxRun::default();
+        sm.execute_codes_fanout(&mut state, &mut pool, &codes, &mut out, 2)
+            .unwrap();
+        assert_runs_equal(&out, &seq, "tuned winner");
+        assert!(
+            sm.plan_stats().hits > hits_before,
+            "the fan-out replay must count as a plan-cache hit"
+        );
+    }
+
+    #[test]
+    fn fanout_matches_sequential_on_the_default_grid() {
+        // The acceptance shape: 16384 scores on the paper's 48-tile
+        // grid, through the default (autotuned) configuration.
+        let sm = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_backend(ExecBackend::FastWord);
+        let codes = quantized(&sm, 16384);
+        let mut state = TileState::new();
+        let mut seq = ApSoftmaxRun::default();
+        sm.execute_codes_into(&mut state, &codes, &mut seq).unwrap();
+        sm.execute_codes_into(&mut state, &codes, &mut seq).unwrap();
+        assert!(seq.shards > 1);
+        let mut pool = FanoutState::default();
+        let mut out = ApSoftmaxRun::default();
+        sm.execute_codes_fanout(&mut state, &mut pool, &codes, &mut out, 4)
+            .unwrap();
+        assert_runs_equal(&out, &seq, "default grid 16384");
+    }
+
+    #[test]
+    fn fanout_falls_back_when_it_cannot_fan_out() {
+        let sm = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_autotune(false)
+            .with_backend(ExecBackend::FastWord)
+            .with_device(DeviceConfig::new(2, 8));
+        let codes = quantized(&sm, 48);
+        let mut state = TileState::new();
+        let mut pool = FanoutState::default();
+
+        // First sight of a shape: the fallback compiles it.
+        let mut first = ApSoftmaxRun::default();
+        sm.execute_codes_fanout(&mut state, &mut pool, &codes, &mut first, 4)
+            .unwrap();
+        assert!(
+            sm.plan_stats().compiles >= 1,
+            "the sequential fallback must compile the shape"
+        );
+        let mut seq = ApSoftmaxRun::default();
+        sm.execute_codes_into(&mut state, &codes, &mut seq).unwrap();
+        assert_eq!(first.codes, seq.codes, "compile and replay stay bit-exact");
+
+        // The shape is cached now; a second fan-out takes the parallel
+        // path and matches the sequential replay exactly.
+        let mut out = ApSoftmaxRun::default();
+        sm.execute_codes_fanout(&mut state, &mut pool, &codes, &mut out, 4)
+            .unwrap();
+        assert_runs_equal(&out, &seq, "post-compile fan-out");
+
+        // A single effective worker replays sequentially.
+        let mut one = ApSoftmaxRun::default();
+        sm.execute_codes_fanout(&mut state, &mut pool, &codes, &mut one, 1)
+            .unwrap();
+        assert_runs_equal(&one, &seq, "threads=1 fallback");
+
+        // Unsharded shapes route to the whole-vector path.
+        let short = quantized(&sm, 8);
+        let mut whole = ApSoftmaxRun::default();
+        sm.execute_codes_fanout(&mut state, &mut pool, &short, &mut whole, 4)
+            .unwrap();
+        assert_eq!(whole.shards, 1, "8 scores fit one 8-row tile");
+
+        // Empty input errors identically to the sequential entry point.
+        let mut sink = ApSoftmaxRun::default();
+        assert!(matches!(
+            sm.execute_codes_fanout(&mut state, &mut pool, &[], &mut sink, 2),
+            Err(CoreError::EmptyInput)
+        ));
+    }
+}

@@ -204,6 +204,47 @@ fn main() {
         println!("tile_alloc: sharded Microcode ok");
     }
 
+    // Serving steady state: once the queue slots, the worker's
+    // persistent buffers, and the caller's collection target are warm,
+    // the whole submit → execute → collect loop must not allocate. One
+    // worker and whole-vector requests keep the armed window
+    // deterministic (the counting allocator is process-global).
+    {
+        let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_backend(ExecBackend::FastWord);
+        let server = softmap::SoftmaxServer::new(
+            mapping,
+            softmap::ServeConfig {
+                workers: 1,
+                queue_depth: 2,
+                warmup_shapes: vec![64],
+                shard_parallel: false,
+            },
+        )
+        .unwrap();
+        let mut run = ApSoftmaxRun::default();
+        for _ in 0..8 {
+            let ticket = server.submit(&scores).unwrap();
+            ticket.wait_into(&mut run).unwrap();
+        }
+        let reference = run.codes.clone();
+        let allocs = count_allocs(|| {
+            for _ in 0..5 {
+                let ticket = server.submit(&scores).unwrap();
+                ticket.wait_into(&mut run).unwrap();
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "steady-state serving loop must not allocate (got {allocs} over 5 requests)"
+        );
+        assert_eq!(run.codes, reference, "served replay must stay bit-exact");
+        let stats = server.stats();
+        assert_eq!(stats.completed, 13, "every submission must complete");
+        println!("tile_alloc: serving ok ({stats})");
+    }
+
     // Sanity: the counter itself works.
     let sanity = count_allocs(|| {
         let v: Vec<u64> = Vec::with_capacity(32);

@@ -1,0 +1,78 @@
+//! Device-accounting invariants of the serving layer's simulated wave
+//! schedule: the makespan must sit between the critical path (the
+//! slowest single request) and the fully-sequential sum, the busy
+//! ledger must dominate the per-request latencies, and the occupancy
+//! ratio must be well-formed. These are the host-invariant quantities
+//! the benchmark gate (`scripts/bench_ap.sh`, `serving.*`) relies on.
+
+use softmap::{ApSoftmax, ServeConfig, SoftmaxServer};
+use softmap_ap::ExecBackend;
+use softmap_softmax::PrecisionConfig;
+
+#[test]
+fn serving_device_schedule_is_conservative() {
+    let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
+        .unwrap()
+        .with_backend(ExecBackend::FastWord);
+    let lens = [64usize, 256, 1024, 64, 4096, 256, 8200, 64, 1024, 300];
+    // All tickets stay outstanding until every request is submitted, and
+    // a slot is only recycled when its ticket is collected — so the
+    // queue must be at least as deep as the burst.
+    let server = SoftmaxServer::new(
+        mapping,
+        ServeConfig {
+            workers: 2,
+            queue_depth: 16,
+            warmup_shapes: vec![64, 256, 300, 1024, 4096, 8200],
+            shard_parallel: true,
+        },
+    )
+    .unwrap();
+
+    let tickets: Vec<_> = lens
+        .iter()
+        .enumerate()
+        .map(|(salt, &len)| {
+            let row: Vec<f64> = (0..len)
+                .map(|i| -(((i * 3 + salt) % 89) as f64) * 0.09)
+                .collect();
+            server.submit(&row).unwrap()
+        })
+        .collect();
+    let latencies: Vec<u64> = tickets
+        .into_iter()
+        .map(|t| t.wait().unwrap().latency_cycles)
+        .collect();
+
+    let stats = server.stats();
+    assert_eq!(stats.queued, lens.len() as u64);
+    assert_eq!(stats.completed, lens.len() as u64);
+
+    // Makespan bounds: no faster than the slowest request (critical
+    // path), no slower than running everything back to back.
+    let sequential: u64 = latencies.iter().sum();
+    let critical = latencies.iter().copied().max().unwrap();
+    assert!(latencies.iter().all(|&l| l > 0), "latencies must be priced");
+    assert!(
+        stats.makespan_cycles >= critical,
+        "makespan {} below the critical path {critical}",
+        stats.makespan_cycles
+    );
+    assert!(
+        stats.makespan_cycles <= sequential,
+        "makespan {} exceeds the sequential sum {sequential}",
+        stats.makespan_cycles
+    );
+
+    // The busy ledger charges each request's latency on every tile it
+    // claimed, so it dominates the plain latency sum.
+    assert!(stats.busy_cycles >= sequential);
+    let occ = stats.occupancy();
+    assert!(occ > 0.0 && occ <= 1.0, "occupancy {occ} out of (0, 1]");
+
+    // Wave accounting: at least one wave, never more waves than
+    // admissions, and waves + coalesced == admissions.
+    assert!(stats.waves_formed >= 1);
+    assert!(stats.waves_formed + stats.coalesced == stats.completed);
+    assert_eq!(stats.tiles, server.mapping().device().tiles as u64);
+}

@@ -176,4 +176,45 @@ fn main() {
         );
     }
     println!("  cache (tuned mapping): {}", tuned.cache_stats());
+
+    // Serving layer: a mixed burst through the bounded queue — waves
+    // coalesce at admission, long vectors fan their shards across the
+    // workers, and the cache summary now carries the serving counters.
+    println!("serving layer (mixed burst)");
+    let server = softmap::SoftmaxServer::new(
+        ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_backend(ExecBackend::FastWord),
+        softmap::ServeConfig {
+            warmup_shapes: vec![64, 1024, 4096, 16384],
+            ..softmap::ServeConfig::from_env()
+        },
+    )
+    .unwrap();
+    let burst: Vec<Vec<f64>> = (0..24)
+        .map(|r| {
+            let len = [64usize, 1024, 4096, 16384][r % 4];
+            (0..len)
+                .map(|i| -f64::from(((i + r * 31) % 97) as u32) * 0.07)
+                .collect()
+        })
+        .collect();
+    let t = Instant::now();
+    let served = server.execute_batch(&burst).unwrap();
+    let wall = t.elapsed().as_secs_f64();
+    let stats = server.stats();
+    println!(
+        "  {} requests in {:.1} ms ({:.0} req/s wall)",
+        served.len(),
+        wall * 1e3,
+        served.len() as f64 / wall
+    );
+    println!(
+        "  device schedule: makespan {} cyc, occupancy {:.2} over {} tiles",
+        stats.makespan_cycles,
+        stats.occupancy(),
+        stats.tiles
+    );
+    println!("  serving: {stats}");
+    println!("  cache (served mapping): {}", server.cache_stats());
 }

@@ -34,9 +34,28 @@
 # statically worse than the paper default" contract, on static ==
 # simulated cycle counts.
 #
+# Serving gate (host-invariant): the multi-tenant serving layer's
+# load-gen bench (serving_load) emits device-model records — simulated
+# cycles and admission counters, independent of host speed. The
+# continuous-batching schedule must beat the sequential one-request-
+# at-a-time device baseline by >= 1.3x
+# (serving/device_speedup_x1000 >= 1300), keep the tile grid >= 40%
+# occupied (serving/occupancy_x1000 >= 400), and actually batch
+# (serving/waves_formed >= 1, serving/coalesced >= 1). Wall-clock
+# serving records (throughput_rps, p50/p99) are recorded but not gated.
+#
 # All gates run in --quick too. Set SOFTMAP_SHARD_GATE=0 /
 # SOFTMAP_OPT_GATE=0 / SOFTMAP_RESIDENT_GATE=0 / SOFTMAP_AUTOTUNE_GATE=0
-# to disable individually.
+# / SOFTMAP_SERVE_GATE=0 to disable individually.
+#
+# Measurement methodology: the vendored harness sizes each series by a
+# wall-clock budget scaled by `sample_size(n)` (n% of
+# CRITERION_MEASURE_MS). The pooled plan-cache series backing
+# plan_replay_gain_* / plan_compile_us_* are consumed as RATIOS of each
+# other, so backend_compare runs them at a 4x budget (sample_size 40) —
+# a single scheduler preemption inside one short window previously
+# skewed the recorded plan_replay_gain_rows1024 to 0.53 (replay cannot
+# be ~2x slower than direct issue of the same schedule).
 #
 # Environment:
 #   CRITERION_MEASURE_MS  per-benchmark wall-clock budget (default 500)
@@ -45,6 +64,10 @@
 #   SOFTMAP_OPT_GATE      set 0 to disable the optimizer cycle gate
 #   SOFTMAP_RESIDENT_GATE set 0 to disable the residency cycle gate
 #   SOFTMAP_AUTOTUNE_GATE set 0 to disable the autotune cycle gate
+#   SOFTMAP_SERVE_GATE    set 0 to disable the serving gate
+#   SOFTMAP_SERVE_WORKERS / SOFTMAP_SERVE_QUEUE  serving-layer knobs
+#                         (positive integers; invalid values warn loudly
+#                         and keep the defaults)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -73,14 +96,15 @@ export CRITERION_JSON="$lines"
 if [ "$quick" = 1 ]; then
     export CRITERION_MEASURE_MS="${CRITERION_MEASURE_MS:-50}"
     export CRITERION_WARMUP_MS="${CRITERION_WARMUP_MS:-10}"
-    cargo bench -p softmap-bench --bench backend_compare
+    cargo bench -p softmap-bench --bench backend_compare --bench serving_load
 else
     export CRITERION_MEASURE_MS="${CRITERION_MEASURE_MS:-500}"
     cargo bench -p softmap-bench \
         --bench ap_softmax_dataflow \
         --bench table2_ap_primitives \
         --bench scalar_softmax \
-        --bench backend_compare
+        --bench backend_compare \
+        --bench serving_load
 fi
 
 python3 - "$lines" "$out" "$quick" <<'PY'
@@ -175,6 +199,28 @@ for seq in ("8192", "16384"):
     if cyc_r and cyc_o:
         resident[f"resident_over_restaged_seq{seq}"] = round(cyc_r / cyc_o, 3)
 
+# Multi-tenant serving layer: wall-clock throughput/latency (host-
+# dependent, informational) plus the device-model schedule quality the
+# serving gate runs on (host-invariant: simulated cycles and admission
+# counters from the load-gen bench).
+serving = {}
+for key, label in [("serving/requests", "requests"),
+                   ("serving/throughput_rps", "throughput_rps"),
+                   ("serving/p50_us", "p50_us"),
+                   ("serving/p99_us", "p99_us"),
+                   ("serving/wall_speedup_x1000", "wall_speedup_x1000"),
+                   ("serving/device_speedup_x1000", "device_speedup_x1000"),
+                   ("serving/occupancy_x1000", "occupancy_x1000"),
+                   ("serving/waves_formed", "waves_formed"),
+                   ("serving/coalesced", "coalesced")]:
+    v = by_name.get(key)
+    if v is not None:
+        serving[label] = int(v)
+if "device_speedup_x1000" in serving:
+    serving["device_speedup"] = round(serving["device_speedup_x1000"] / 1000.0, 2)
+if "occupancy_x1000" in serving:
+    serving["occupancy"] = round(serving["occupancy_x1000"] / 1000.0, 3)
+
 # Mapping autotuner: tuned-winner vs paper-default simulated cycles at
 # every emitted length. Host-invariant (static == simulated).
 autotune = {}
@@ -202,6 +248,7 @@ doc = {
     "residency": resident,
     "optimizer": opt,
     "autotune": autotune,
+    "serving": serving,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
@@ -363,4 +410,49 @@ if os.environ.get("SOFTMAP_AUTOTUNE_GATE", "1") != "0":
     if failed:
         sys.exit(1)
     print("autotune gate: OK")
+
+# ---- serving gate ----------------------------------------------------------
+# Host-invariant by construction: every gated quantity is a device-model
+# number — simulated cycles (request latencies, TileClocks makespan) and
+# admission counters — so host speed and core count never enter. The
+# continuous-batching scheduler must beat the sequential one-request-
+# at-a-time device baseline by >= 1.3x, keep the grid >= 40% occupied,
+# and demonstrably batch (at least one wave, at least one coalesced
+# request). Wall-clock serving numbers are recorded, never gated.
+if os.environ.get("SOFTMAP_SERVE_GATE", "1") != "0":
+    speedup = by_name.get("serving/device_speedup_x1000")
+    occupancy = by_name.get("serving/occupancy_x1000")
+    waves = by_name.get("serving/waves_formed")
+    coalesced = by_name.get("serving/coalesced")
+    if speedup is None or occupancy is None or waves is None or coalesced is None:
+        print("SERVING GATE FAILED: missing serving records "
+              f"(device_speedup_x1000 = {speedup}, "
+              f"occupancy_x1000 = {occupancy}, waves_formed = {waves}, "
+              f"coalesced = {coalesced}). "
+              "Did serving_load stop emitting, or stop being run?",
+              file=sys.stderr)
+        sys.exit(1)
+    print(f"serving gate: device speedup {speedup / 1000:.2f}x "
+          f"(limit >= 1.30x), occupancy {occupancy / 1000:.3f} "
+          f"(limit >= 0.400), {waves:.0f} waves, "
+          f"{coalesced:.0f} coalesced requests")
+    if speedup < 1300:
+        print("SERVING GATE FAILED: the continuous-batching schedule's "
+              f"device speedup is {speedup / 1000:.2f}x over the "
+              "sequential baseline (required >= 1.30x). The admission "
+              "scheduler stopped packing concurrent requests onto the "
+              "grid.", file=sys.stderr)
+        sys.exit(1)
+    if occupancy < 400:
+        print("SERVING GATE FAILED: tile occupancy is "
+              f"{occupancy / 1000:.3f} (required >= 0.400). The wave "
+              "packer is leaving most of the grid idle.", file=sys.stderr)
+        sys.exit(1)
+    if waves < 1 or coalesced < 1:
+        print("SERVING GATE FAILED: the scheduler formed "
+              f"{waves:.0f} waves with {coalesced:.0f} coalesced "
+              "requests — continuous batching never coalesced anything.",
+              file=sys.stderr)
+        sys.exit(1)
+    print("serving gate: OK")
 PY
