@@ -32,6 +32,7 @@
 //! microprograms (the reciprocal divider, max/min search, the Fig. 5
 //! mapping) are written once and run on either backend.
 
+use crate::program::{ApOp, BlockRegion, Operand};
 use crate::{ApCore, ApError, Field};
 
 /// Which engine executes [`ApCore`] operations.
@@ -132,6 +133,60 @@ fn fused_ripple<const SUB: bool>(
     ev
 }
 
+/// Out-of-place counterpart of [`fused_ripple`]`::<true>` for the
+/// strip divider's trial subtraction: reads the pre-subtract remainder
+/// from `pre`, writes the difference into `post` (every one of the
+/// `aw` planes is overwritten), and leaves the final borrow column in
+/// `carry`. Identical event count and bit algebra to the in-place
+/// kernel — but the caller keeps the pre-image for the restore blend
+/// without a separate save copy per iteration.
+fn fused_sub_into(
+    a: &[u64],
+    sw: usize,
+    pre: &[u64],
+    post: &mut [u64],
+    aw: usize,
+    bl: usize,
+    carry: &mut [u64],
+) -> u64 {
+    debug_assert!(a.len() >= sw * bl);
+    debug_assert!(pre.len() >= aw * bl);
+    debug_assert!(post.len() >= aw * bl);
+    debug_assert_eq!(carry.len(), bl);
+    let mut ev = 0u64;
+    for i in 0..sw {
+        let ar = &a[i * bl..(i + 1) * bl];
+        let pr = &pre[i * bl..(i + 1) * bl];
+        let po = &mut post[i * bl..(i + 1) * bl];
+        for (((&pv, dst), cref), &av) in pr
+            .iter()
+            .zip(po.iter_mut())
+            .zip(carry.iter_mut())
+            .zip(ar.iter())
+        {
+            let cv = *cref;
+            let t = av ^ pv;
+            let t1 = av ^ cv;
+            ev += u64::from(t1.count_ones()) + u64::from((t1 & t).count_ones());
+            *dst = t ^ cv;
+            *cref = (av & !pv) | (cv & !t);
+        }
+    }
+    // Borrow ripple into the remainder bit above the divisor width
+    // (the `a = 0` tail of the in-place kernel).
+    for i in sw..aw {
+        let pr = &pre[i * bl..(i + 1) * bl];
+        let po = &mut post[i * bl..(i + 1) * bl];
+        for ((&pv, dst), cref) in pr.iter().zip(po.iter_mut()).zip(carry.iter_mut()) {
+            let cv = *cref;
+            ev += u64::from(cv.count_ones()) + u64::from((cv & pv).count_ones());
+            *dst = pv ^ cv;
+            *cref = cv & !pv;
+        }
+    }
+    ev
+}
+
 /// The valid-rows mask for one 64-row block: all ones except the tail
 /// bits beyond `rows` in the final block (the arena-wide invariant).
 fn tail_mask(rows: usize, blk: usize, blocks: usize) -> u64 {
@@ -186,8 +241,9 @@ impl ApCore {
     /// Charges the cost-model totals of one gated/ungated in-place
     /// ripple op (`clear_carry` + 4 passes per source bit + 2 ripple
     /// passes per extra accumulator bit), with `wr_events` the write
-    /// cells from [`fused_ripple`].
-    fn fw_charge_ripple(&mut self, sw: usize, aw: usize, gated: bool, wr_events: u64) {
+    /// cells from [`fused_ripple`]. Also the charge primitive behind
+    /// the blocked executor's region charge walk (`program` module).
+    pub(crate) fn fw_charge_ripple(&mut self, sw: usize, aw: usize, gated: bool, wr_events: u64) {
         let rows = self.rows() as u64;
         let g = u64::from(gated);
         let low = 4 * sw as u64;
@@ -579,6 +635,590 @@ impl ApCore {
         self.vals_a = va;
         self.vals_b = vamt;
         Ok(())
+    }
+
+    /// Splits the strip image into a disjoint (source, accumulator)
+    /// pair of plane ranges — the in-place analogue of the op-by-op
+    /// engine's gather-into-`vals` staging copies, which the blocked
+    /// path exists to eliminate. Ranges are word offsets into the
+    /// image; region validation guarantees the fields never overlap.
+    fn strip_split(
+        sbuf: &mut [u64],
+        src: std::ops::Range<usize>,
+        acc: std::ops::Range<usize>,
+    ) -> (&[u64], &mut [u64]) {
+        if src.end <= acc.start {
+            let (lo, hi) = sbuf.split_at_mut(acc.start);
+            (&lo[src], &mut hi[..acc.end - acc.start])
+        } else {
+            debug_assert!(acc.end <= src.start);
+            let (lo, hi) = sbuf.split_at_mut(src.start);
+            (&hi[..src.end - src.start], &mut lo[acc])
+        }
+    }
+
+    /// Word-parallel check that every live row of `field` holds a
+    /// non-zero value — the blocked-region preflight's stand-in for the
+    /// op-by-op zero-divisor scan (both are free observer accesses;
+    /// neither charges the cost model).
+    pub(crate) fn fw_field_all_nonzero(&self, field: Field) -> bool {
+        let bl = self.fw_blocks();
+        let rows = self.rows();
+        (0..bl).all(|blk| {
+            let mut acc = 0u64;
+            for col in field.start()..field.end() {
+                acc |= self.cam().plane_words(col)[blk];
+            }
+            let live = tail_mask(rows, blk, bl);
+            acc & live == live
+        })
+    }
+
+    /// Region-blocked strip-mined executor: runs one row-parallel
+    /// region of a compiled program over the arena in strips of
+    /// `region.strip_blocks` 64-row blocks. Per strip, the region's
+    /// first-read planes are gathered into the pooled strip image
+    /// **once**, every op of the region runs on the cache-resident
+    /// strip (plane-exact kernels mirroring the op-by-op `fw_*`
+    /// engines, the carry column included), and the written planes
+    /// scatter back **once** — eliminating the per-op arena re-sweeps.
+    ///
+    /// When the planner picks a single full-width strip (the whole
+    /// tile fits the strip budget), even those two copies are skipped:
+    /// the arena is detached and the region's kernels run on it in
+    /// place, since the strip image at `sb == bl` would be a
+    /// column-for-column copy of the arena anyway.
+    ///
+    /// Charges **nothing**: data-dependent tallies (ripple write
+    /// events, borrow populations, shift-gate populations) accumulate
+    /// in `self.tally_buf` across strips, and the caller's charge walk
+    /// (`program::charge_region`) replays the op-by-op cost schedule
+    /// from them, keeping `CycleStats` bit-identical to the unblocked
+    /// path.
+    ///
+    /// Within a strip, planes are packed at stride `sb` (the strip's
+    /// block count): column `c` lives at `strip_buf[c * sb..(c+1) * sb]`.
+    /// Every plane the ops touch is either gathered or written before
+    /// it is read (guaranteed by the region's footprint analysis), so
+    /// stale strip-buffer contents are never observed.
+    pub(crate) fn fw_run_region_strips(
+        &mut self,
+        ops: &[ApOp],
+        region: &BlockRegion,
+        regs: &[u64],
+    ) -> Result<(), ApError> {
+        let bl = self.fw_blocks();
+        let sblocks = region.strip_blocks.clamp(1, bl);
+        let mut tally = std::mem::take(&mut self.tally_buf);
+        let mut vb = std::mem::take(&mut self.vals_b);
+        let mut vc = std::mem::take(&mut self.vals_c);
+        let mut vq = std::mem::take(&mut self.vals_r);
+        let mut vp = std::mem::take(&mut self.vals_p);
+        tally.clear();
+        tally.resize(region.tally_len, 0);
+        let result = if sblocks == bl {
+            // Single full-width strip: the strip image would be a
+            // column-for-column copy of the arena (same stride, same
+            // plane layout), so skip the image entirely — detach the
+            // arena and run the region's kernels on it in place.
+            // Gather and scatter vanish, and an in-region division's
+            // remainder scratch writes straight into the detached
+            // planes (`rem_direct`).
+            let mut arena = self.cam_mut().take_arena();
+            let r = self.fw_region_ops(
+                ops, region, regs, &mut arena, bl, 0, &mut tally, &mut vb, &mut vc, &mut vq,
+                &mut vp, true,
+            );
+            self.cam_mut().restore_arena(arena);
+            r
+        } else {
+            let cols = self.cols();
+            let mut sbuf = std::mem::take(&mut self.strip_buf);
+            if sbuf.len() < cols * sblocks {
+                sbuf.resize(cols * sblocks, 0);
+            }
+            let mut r = Ok(());
+            let mut s0 = 0usize;
+            while s0 < bl {
+                let sb = sblocks.min(bl - s0);
+                for iv in &region.gather {
+                    for col in iv.start()..iv.end() {
+                        let src = &self.cam().plane_words(col)[s0..s0 + sb];
+                        sbuf[col * sb..(col + 1) * sb].copy_from_slice(src);
+                    }
+                }
+                if let Err(e) = self.fw_region_ops(
+                    ops, region, regs, &mut sbuf, sb, s0, &mut tally, &mut vb, &mut vc, &mut vq,
+                    &mut vp, false,
+                ) {
+                    r = Err(e);
+                    break;
+                }
+                for iv in &region.scatter {
+                    for col in iv.start()..iv.end() {
+                        let src = &sbuf[col * sb..(col + 1) * sb];
+                        self.cam_mut().plane_words_mut(col)[s0..s0 + sb].copy_from_slice(src);
+                    }
+                }
+                s0 += sb;
+            }
+            self.strip_buf = sbuf;
+            r
+        };
+        self.tally_buf = tally;
+        self.vals_b = vb;
+        self.vals_c = vc;
+        self.vals_r = vq;
+        self.vals_p = vp;
+        result
+    }
+
+    /// Runs every op of one region over a single strip of the tile
+    /// (`sbuf` planes at stride `sb`, covering arena blocks
+    /// `s0..s0 + sb`), accumulating the region's data-dependent
+    /// tallies. `rem_direct` marks the arena-direct mode, where `sbuf`
+    /// *is* the detached full-width arena: a division's remainder
+    /// scratch is then written into `sbuf` itself rather than through
+    /// the (temporarily empty) CAM.
+    #[allow(clippy::too_many_arguments)]
+    fn fw_region_ops(
+        &mut self,
+        ops: &[ApOp],
+        region: &BlockRegion,
+        regs: &[u64],
+        sbuf: &mut [u64],
+        sb: usize,
+        s0: usize,
+        tally: &mut [u64],
+        vb: &mut Vec<u64>,
+        vc: &mut Vec<u64>,
+        vq: &mut Vec<u64>,
+        vp: &mut Vec<u64>,
+        rem_direct: bool,
+    ) -> Result<(), ApError> {
+        let bl = self.fw_blocks();
+        let rows = self.rows();
+        let cc = self.carry_col();
+        vc.clear();
+        vc.resize(sb, 0);
+        let mut cursor = 0usize;
+        for op in ops {
+            match *op {
+                ApOp::Broadcast { field, value } => {
+                    let v = match value {
+                        Operand::Const(c) => c,
+                        Operand::Reg(r) => regs[r.index()],
+                    };
+                    for i in 0..field.width() {
+                        let col = field.col(i);
+                        let plane = &mut sbuf[col * sb..(col + 1) * sb];
+                        if v >> i & 1 == 1 {
+                            for (blk, w) in plane.iter_mut().enumerate() {
+                                *w = tail_mask(rows, s0 + blk, bl);
+                            }
+                        } else {
+                            plane.fill(0);
+                        }
+                    }
+                }
+                ApOp::Copy { src, dst } => {
+                    let sw = src.width();
+                    sbuf.copy_within(src.start() * sb..src.end() * sb, dst.start() * sb);
+                    sbuf[(dst.start() + sw) * sb..dst.end() * sb].fill(0);
+                }
+                ApOp::Mul { a, b, r } => {
+                    let (awd, bw) = (a.width(), b.width());
+                    sbuf[r.start() * sb..r.end() * sb].fill(0);
+                    for j in 0..bw {
+                        vc.fill(0);
+                        // Stage only the gate plane (one strip word
+                        // run); operands stay in the image.
+                        let gc = b.col(j);
+                        vb.clear();
+                        vb.extend_from_slice(&sbuf[gc * sb..(gc + 1) * sb]);
+                        if vb.iter().all(|&g| g == 0) {
+                            continue;
+                        }
+                        let (vsrc, vacc) = Self::strip_split(
+                            sbuf,
+                            a.start() * sb..a.end() * sb,
+                            (r.start() + j) * sb..(r.start() + j + awd + 1) * sb,
+                        );
+                        let ev = fused_ripple::<false>(
+                            vsrc,
+                            awd,
+                            vacc,
+                            awd + 1,
+                            sb,
+                            Some(vb.as_slice()),
+                            vc.as_mut_slice(),
+                        );
+                        tally[cursor + j] += ev;
+                    }
+                    cursor += bw;
+                    sbuf[cc * sb..(cc + 1) * sb].copy_from_slice(vc.as_slice());
+                }
+                ApOp::MulConst { a, r, bits, width } => {
+                    let awd = a.width();
+                    sbuf[r.start() * sb..r.end() * sb].fill(0);
+                    let mut set = 0usize;
+                    for j in 0..width {
+                        vc.fill(0);
+                        if bits >> j & 1 == 1 {
+                            let (vsrc, vacc) = Self::strip_split(
+                                sbuf,
+                                a.start() * sb..a.end() * sb,
+                                (r.start() + j) * sb..(r.start() + j + awd + 1) * sb,
+                            );
+                            let ev = fused_ripple::<false>(
+                                vsrc,
+                                awd,
+                                vacc,
+                                awd + 1,
+                                sb,
+                                None,
+                                vc.as_mut_slice(),
+                            );
+                            tally[cursor + set] += ev;
+                            set += 1;
+                        }
+                    }
+                    cursor += set;
+                    sbuf[cc * sb..(cc + 1) * sb].copy_from_slice(vc.as_slice());
+                }
+                ApOp::AddInto { acc, src } => {
+                    let (sw, aw) = (src.width(), acc.width());
+                    vc.fill(0);
+                    let (vsrc, vacc) = Self::strip_split(
+                        sbuf,
+                        src.start() * sb..src.end() * sb,
+                        acc.start() * sb..acc.end() * sb,
+                    );
+                    let ev = fused_ripple::<false>(vsrc, sw, vacc, aw, sb, None, vc.as_mut_slice());
+                    tally[cursor] += ev;
+                    cursor += 1;
+                    sbuf[cc * sb..(cc + 1) * sb].copy_from_slice(vc.as_slice());
+                }
+                ApOp::SubAssertClean { acc, src } => {
+                    let (sw, aw) = (src.width(), acc.width());
+                    vc.fill(0);
+                    let (vsrc, vacc) = Self::strip_split(
+                        sbuf,
+                        src.start() * sb..src.end() * sb,
+                        acc.start() * sb..acc.end() * sb,
+                    );
+                    let ev = fused_ripple::<true>(vsrc, sw, vacc, aw, sb, None, vc.as_mut_slice());
+                    debug_assert!(
+                        vc.iter().all(|&w| w == 0),
+                        "recorded subtraction must not underflow"
+                    );
+                    tally[cursor] += ev;
+                    cursor += 1;
+                    sbuf[cc * sb..(cc + 1) * sb].copy_from_slice(vc.as_slice());
+                }
+                ApOp::SaturatingSubInto { acc, src } => {
+                    let (sw, aw) = (src.width(), acc.width());
+                    vc.fill(0);
+                    let (vsrc, vacc) = Self::strip_split(
+                        sbuf,
+                        src.start() * sb..src.end() * sb,
+                        acc.start() * sb..acc.end() * sb,
+                    );
+                    let ev = fused_ripple::<true>(vsrc, sw, vacc, aw, sb, None, vc.as_mut_slice());
+                    let n_borrow: u64 = vc.iter().map(|w| u64::from(w.count_ones())).sum();
+                    tally[cursor] += ev;
+                    tally[cursor + 1] += n_borrow;
+                    cursor += 2;
+                    // Clamp the underflowed rows back to zero (the
+                    // gated clear broadcast of the op-by-op path).
+                    for i in 0..aw {
+                        let col = acc.col(i);
+                        for (blk, w) in sbuf[col * sb..(col + 1) * sb].iter_mut().enumerate() {
+                            *w &= !vc[blk];
+                        }
+                    }
+                    sbuf[cc * sb..(cc + 1) * sb].copy_from_slice(vc.as_slice());
+                }
+                ApOp::ShrConst { field, k } => {
+                    let w = field.width();
+                    if k == 0 {
+                        // Free no-op, as on the direct path.
+                    } else if k >= w {
+                        sbuf[field.start() * sb..field.end() * sb].fill(0);
+                    } else {
+                        sbuf.copy_within(
+                            (field.start() + k) * sb..field.end() * sb,
+                            field.start() * sb,
+                        );
+                        sbuf[(field.start() + w - k) * sb..field.end() * sb].fill(0);
+                    }
+                }
+                ApOp::ShrVariable { field, amount } => {
+                    let w = field.width();
+                    let fs = field.start();
+                    for j in 0..amount.width() {
+                        let s = 1usize << j;
+                        let gc = amount.col(j);
+                        vb.clear();
+                        vb.extend_from_slice(&sbuf[gc * sb..(gc + 1) * sb]);
+                        let n_j: u64 = vb.iter().map(|w| u64::from(w.count_ones())).sum();
+                        tally[cursor + j] += n_j;
+                        if s >= w {
+                            if n_j > 0 {
+                                for i in 0..w {
+                                    for blk in 0..sb {
+                                        sbuf[(fs + i) * sb + blk] &= !vb[blk];
+                                    }
+                                }
+                            }
+                            continue;
+                        }
+                        for i in 0..w - s {
+                            for blk in 0..sb {
+                                let hi = sbuf[(fs + i + s) * sb + blk] & vb[blk];
+                                let idx = (fs + i) * sb + blk;
+                                sbuf[idx] = hi | (sbuf[idx] & !vb[blk]);
+                            }
+                        }
+                        for i in w - s..w {
+                            for blk in 0..sb {
+                                sbuf[(fs + i) * sb + blk] &= !vb[blk];
+                            }
+                        }
+                    }
+                    cursor += amount.width();
+                }
+                ApOp::Divide {
+                    num,
+                    den,
+                    quot,
+                    frac_bits,
+                    ..
+                } => {
+                    // Region admission guarantees Restoring style,
+                    // a non-zero divisor in every row, and scratch
+                    // capacity — the alloc cannot fail here, but an
+                    // error still unwinds through the pooled-buffer
+                    // restore below.
+                    let rem = match self.alloc_scratch(den.width() + 1) {
+                        Ok(rem) => rem,
+                        Err(e) => {
+                            return Err(e);
+                        }
+                    };
+                    let slots = 3 * (num.width() + frac_bits);
+                    self.fw_strip_divide_channel(
+                        sbuf,
+                        &mut tally[cursor..cursor + slots],
+                        sb,
+                        s0,
+                        rem,
+                        num,
+                        den,
+                        quot,
+                        frac_bits,
+                        vb,
+                        vq,
+                        vp,
+                        vc,
+                        rem_direct,
+                    );
+                    self.release_scratch(rem);
+                    cursor += slots;
+                }
+                ApOp::FusedDivide {
+                    den,
+                    frac_bits,
+                    channels,
+                    n_channels,
+                } => {
+                    let rem = match self.alloc_scratch(den.width() + 1) {
+                        Ok(rem) => rem,
+                        Err(e) => {
+                            return Err(e);
+                        }
+                    };
+                    for &(num, quot) in &channels[..n_channels as usize] {
+                        let slots = 3 * (num.width() + frac_bits);
+                        self.fw_strip_divide_channel(
+                            sbuf,
+                            &mut tally[cursor..cursor + slots],
+                            sb,
+                            s0,
+                            rem,
+                            num,
+                            den,
+                            quot,
+                            frac_bits,
+                            vb,
+                            vq,
+                            vp,
+                            vc,
+                            rem_direct,
+                        );
+                        cursor += slots;
+                    }
+                    self.release_scratch(rem);
+                }
+                ApOp::Step { .. } => {}
+                _ => unreachable!("non-blockable op inside a region"),
+            }
+        }
+        debug_assert_eq!(
+            cursor, region.tally_len,
+            "strip executor and tally layout out of sync"
+        );
+        Ok(())
+    }
+
+    /// One restoring-division channel of the strip executor: the
+    /// strip-local counterpart of [`ApCore::fw_divide_restoring`]'s
+    /// plane math, reading the numerator and divisor planes from the
+    /// strip image and charging nothing (the per-iteration `ev_sub` /
+    /// `n_borrow` / `ev_add` tallies land in `tally[3*it..]` for the
+    /// charge walk). Per-block carry independence of [`fused_ripple`]
+    /// makes the strip-partitioned tallies sum to exactly the
+    /// full-width values; the restore blend and quotient writes are
+    /// identities on blocks without a borrow, so strip-local gating is
+    /// plane-exact too.
+    ///
+    /// The quotient and the carry/flag latches land in the strip image
+    /// (they are in the region's compile-time scatter list); the
+    /// remainder scratch columns are runtime-allocated, so they write
+    /// through to the arena directly — or, in the arena-direct mode
+    /// (`rem_direct`, where `sbuf` *is* the detached arena), into the
+    /// strip image itself. Either way the released scratch state left
+    /// behind is identical to the op-by-op divider's.
+    #[allow(clippy::too_many_arguments)]
+    fn fw_strip_divide_channel(
+        &mut self,
+        sbuf: &mut [u64],
+        tally: &mut [u64],
+        sb: usize,
+        s0: usize,
+        rem: Field,
+        num: Field,
+        den: Field,
+        quot: Field,
+        frac_bits: usize,
+        vrem: &mut Vec<u64>,
+        vq: &mut Vec<u64>,
+        vpre: &mut Vec<u64>,
+        borrowed: &mut Vec<u64>,
+        rem_direct: bool,
+    ) {
+        let bl = self.fw_blocks();
+        let rows = self.rows();
+        let (nw, dw, qw) = (num.width(), den.width(), quot.width());
+        let rem_w = dw + 1;
+        let (cc, fc) = (self.carry_col(), self.flag_col());
+        vrem.clear();
+        vrem.resize(rem_w * sb, 0);
+        vq.clear();
+        vq.resize(qw * sb, 0);
+        vpre.clear();
+        vpre.resize(rem_w * sb, 0);
+        borrowed.clear();
+        borrowed.resize(sb, 0);
+        // Exact-length slice views: keeps the hot loops free of
+        // `Vec` indirection and lets the quotient/blend passes
+        // vectorize.
+        let vrem = &mut vrem[..rem_w * sb];
+        let vq = &mut vq[..qw * sb];
+        let vpre = &mut vpre[..rem_w * sb];
+        let borrowed = &mut borrowed[..sb];
+        // Only the strip covering the arena's final block can carry a
+        // partial-row tail; every quotient pass masks its last word
+        // with this (a no-op for interior strips).
+        let last_tail = tail_mask(rows, s0 + sb - 1, bl);
+
+        for (it, k) in (0..nw + frac_bits).rev().enumerate() {
+            // rem <<= 1, then the dividend bit (or a clear below the
+            // binary point) — the bit comes from the strip image, which
+            // holds any in-region updates to the numerator. The shifted
+            // value is built directly into the pre-image buffer: one
+            // copy does both the shift and the pre-subtract save the
+            // restore blend needs.
+            vpre[sb..rem_w * sb].copy_from_slice(&vrem[..(rem_w - 1) * sb]);
+            if k >= frac_bits {
+                let nc = num.col(k - frac_bits);
+                vpre[..sb].copy_from_slice(&sbuf[nc * sb..(nc + 1) * sb]);
+            } else {
+                vpre[..sb].fill(0);
+            }
+
+            // try rem -= den, out of place: the difference lands in
+            // `vrem` (every plane overwritten), the pre-image stays put.
+            borrowed.fill(0);
+            let vd = &sbuf[den.start() * sb..den.end() * sb];
+            let ev_sub = fused_sub_into(vd, dw, vpre, vrem, rem_w, sb, borrowed);
+            let n_borrow: u64 = borrowed.iter().map(|w| u64::from(w.count_ones())).sum();
+            tally[3 * it] += ev_sub;
+            tally[3 * it + 1] += n_borrow;
+
+            // Gated restore blend (see `fw_divide_restoring` for the
+            // carry-chain argument behind the change-mask event count).
+            if n_borrow > 0 {
+                let mut ev_add = 0u64;
+                for i in 0..rem_w {
+                    let rr = &mut vrem[i * sb..(i + 1) * sb];
+                    let pp = &vpre[i * sb..(i + 1) * sb];
+                    if i < dw {
+                        let aa = &sbuf[(den.start() + i) * sb..(den.start() + i + 1) * sb];
+                        for (((rref, &pv), &av), &bor) in
+                            rr.iter_mut().zip(pp).zip(aa).zip(borrowed.iter())
+                        {
+                            let post = *rref;
+                            let ch = (pv ^ post) & bor;
+                            ev_add += u64::from(ch.count_ones())
+                                + u64::from((ch & !(av ^ post)).count_ones());
+                            *rref = (pv & bor) | (post & !bor);
+                        }
+                    } else {
+                        for ((rref, &pv), &bor) in rr.iter_mut().zip(pp).zip(borrowed.iter()) {
+                            let post = *rref;
+                            let ch = (pv ^ post) & bor;
+                            ev_add +=
+                                u64::from(ch.count_ones()) + u64::from((ch & !post).count_ones());
+                            *rref = (pv & bor) | (post & !bor);
+                        }
+                    }
+                }
+                tally[3 * it + 2] += ev_add;
+            }
+
+            // Quotient bit (saturating to all-ones above the field) for
+            // the strip's no-borrow rows.
+            if k < qw {
+                for (q, &bor) in vq[k * sb..(k + 1) * sb].iter_mut().zip(borrowed.iter()) {
+                    *q |= !bor;
+                }
+                vq[(k + 1) * sb - 1] &= last_tail;
+            } else {
+                for i in 0..qw {
+                    for (q, &bor) in vq[i * sb..(i + 1) * sb].iter_mut().zip(borrowed.iter()) {
+                        *q |= !bor;
+                    }
+                    vq[(i + 1) * sb - 1] &= last_tail;
+                }
+            }
+        }
+
+        for i in 0..qw {
+            let qc = quot.col(i);
+            sbuf[qc * sb..(qc + 1) * sb].copy_from_slice(&vq[i * sb..(i + 1) * sb]);
+        }
+        if rem_direct {
+            let rs = rem.start();
+            sbuf[rs * sb..(rs + rem_w) * sb].copy_from_slice(&vrem[..rem_w * sb]);
+        } else {
+            for i in 0..rem_w {
+                self.cam_mut().plane_words_mut(rem.col(i))[s0..s0 + sb]
+                    .copy_from_slice(&vrem[i * sb..(i + 1) * sb]);
+            }
+        }
+        sbuf[cc * sb..(cc + 1) * sb].copy_from_slice(borrowed);
+        sbuf[fc * sb..(fc + 1) * sb].copy_from_slice(borrowed);
     }
 
     pub(crate) fn fw_divide_restoring(

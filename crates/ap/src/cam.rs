@@ -398,6 +398,21 @@ impl CamArray {
         &mut self.arena[field.start() * self.blocks..field.end() * self.blocks]
     }
 
+    /// Detaches the whole plane storage (leaving an empty arena behind)
+    /// so the blocked executor can run strip kernels directly on it
+    /// while the CAM stays borrowable for geometry queries. The caller
+    /// must hand the vector back via [`CamArray::restore_arena`] before
+    /// any plane accessor runs again.
+    pub(crate) fn take_arena(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.arena)
+    }
+
+    /// Reattaches plane storage detached by [`CamArray::take_arena`].
+    pub(crate) fn restore_arena(&mut self, arena: Vec<u64>) {
+        debug_assert_eq!(arena.len(), self.cols * self.blocks);
+        self.arena = arena;
+    }
+
     /// Directly sets one word in one row without charging cycles.
     ///
     /// This is the simulator's back-door for modelling 2D row-parallel

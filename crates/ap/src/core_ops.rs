@@ -151,6 +151,14 @@ pub struct ApCore {
     /// Per-multiplier-bit `(acc_width, write_events)` scratch for the
     /// fused multiplier.
     pub(crate) events_buf: Vec<(usize, u64)>,
+    /// Pooled strip scratch for the region-blocked executor: one
+    /// bit-major plane image of the active strip (`cols * strip_blocks`
+    /// words).
+    pub(crate) strip_buf: Vec<u64>,
+    /// Data-dependent tallies (write events, borrow populations)
+    /// accumulated across strips by the blocked executor and consumed
+    /// by the region charge pass.
+    pub(crate) tally_buf: Vec<u64>,
 }
 
 impl ApCore {
@@ -196,6 +204,8 @@ impl ApCore {
             vals_p: Vec::new(),
             gate_buf: Vec::new(),
             events_buf: Vec::new(),
+            strip_buf: Vec::new(),
+            tally_buf: Vec::new(),
         })
     }
 
@@ -1562,6 +1572,13 @@ impl ApCore {
 
     pub(crate) fn alloc_scratch(&mut self, width: usize) -> Result<Field, ApError> {
         self.alloc_field(width)
+    }
+
+    /// Whether a scratch allocation of `width` columns would succeed at
+    /// the current cursor — the blocked-region preflight's guarantee
+    /// that an in-region division cannot fail on column capacity.
+    pub(crate) fn scratch_fits(&self, width: usize) -> bool {
+        width <= self.cam.cols() - self.next_col
     }
 
     pub(crate) fn release_scratch(&mut self, field: Field) {

@@ -116,7 +116,7 @@
 
 pub mod optimizer;
 
-use crate::{ApConfig, ApCore, ApError, CycleStats, DivStyle, Field, Overflow};
+use crate::{ApConfig, ApCore, ApError, CycleStats, DivStyle, ExecBackend, Field, Overflow};
 
 /// Index of a scalar register: a host-side value a program derives at
 /// run time (a min-search result, a reduction sum) and feeds back into
@@ -826,6 +826,7 @@ impl<'s, 'd> Recorder<'s, 'd> {
             static_total: summary.static_total,
             static_steps: summary.static_steps,
             hoisted: Vec::new(),
+            blocking: None,
         })
     }
 }
@@ -886,6 +887,666 @@ fn summarize(ops: &[ApOp], costs: &[CycleStats]) -> TraceSummary {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Region-blocked execution planning
+// ---------------------------------------------------------------------------
+
+/// Environment variable overriding the blocked executor's strip width,
+/// in 64-row blocks (`auto` or a positive integer). See
+/// [`strip_from_env`].
+pub const STRIP_ENV: &str = "SOFTMAP_STRIP";
+
+/// Strip-image byte budget for automatic strip sizing: the blocked
+/// executor picks the widest strip whose footprint-plane image stays
+/// within this (comfortably L2-resident), so a whole region's ops run
+/// out of cache-resident planes. Mid-size tiles (≤ 4096 rows) usually
+/// fit a region's whole image and run a single full-width strip —
+/// there the win is the per-op arena re-sweep elision — while
+/// large-row tiles strip-mine to stay under the budget.
+const STRIP_TARGET_BYTES: usize = 48 * 1024;
+
+/// Auto-sizing floor, in 64-row blocks: below this width the ripple
+/// kernels' per-plane loop overhead stops amortizing and strip-mining
+/// loses more than cache residency gains (an explicit
+/// [`STRIP_ENV`]/`strip_override` width is taken as given instead).
+const MIN_STRIP_BLOCKS: usize = 16;
+
+/// Smallest tile (in 64-row blocks) the auto planner will engage at
+/// all: under ~512 rows a region's whole image already sits in L1/L2
+/// during op-by-op replay, so strip-mining only adds per-region setup
+/// (gather/scatter lists, preflight, tally replay) with nothing to
+/// win back — measured ~5% *slower* at 256 rows. The plan is still
+/// recorded for such tiles (observability), but replay stays op-by-op
+/// (`BlockStats::engaged` is `false`) unless an explicit strip
+/// override asks for blocking anyway.
+const MIN_TILE_BLOCKS: usize = 8;
+
+/// The reserved carry/borrow column (see `ApCore`: column 0 is always
+/// the carry column, column 1 the predication flag).
+const CARRY_COL: usize = 0;
+
+/// The reserved predication-flag column (the restoring divider latches
+/// its final borrow set there).
+const FLAG_COL: usize = 1;
+
+/// Parses a [`STRIP_ENV`] value: `auto` (automatic sizing, the
+/// default) or a positive strip width in 64-row blocks. Returns
+/// `None` for anything else.
+#[must_use]
+pub fn parse_strip(raw: &str) -> Option<Option<usize>> {
+    let t = raw.trim().to_ascii_lowercase();
+    if t == "auto" {
+        return Some(None);
+    }
+    match t.parse::<usize>() {
+        Ok(n) if n > 0 => Some(Some(n)),
+        _ => None,
+    }
+}
+
+/// Reads the strip-width override from [`STRIP_ENV`]. Unset or `auto`
+/// means automatic sizing; an invalid value warns once on stderr
+/// (naming the variable and the accepted values) and keeps the
+/// default.
+#[must_use]
+pub fn strip_from_env() -> Option<usize> {
+    let Ok(raw) = std::env::var(STRIP_ENV) else {
+        return None;
+    };
+    parse_strip(&raw).unwrap_or_else(|| {
+        static WARN: std::sync::Once = std::sync::Once::new();
+        WARN.call_once(|| {
+            eprintln!(
+                "softmap: invalid {STRIP_ENV}={raw:?}; accepted values are auto or a \
+                 positive strip width in 64-row blocks (e.g. 8) — keeping the default (auto)"
+            );
+        });
+        None
+    })
+}
+
+/// Aggregate statistics of a program's region-blocking plan (see
+/// [`ApProgram::plan_blocking`]). All counts are per full replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockStats {
+    /// Row-parallel regions formed.
+    pub regions: usize,
+    /// Non-`Step` ops covered by regions (executed strip-mined).
+    pub blocked_ops: usize,
+    /// Largest region, in non-`Step` ops.
+    pub max_ops_per_region: usize,
+    /// Largest per-strip plane image, in bytes.
+    pub footprint_bytes_max: usize,
+    /// Narrowest strip chosen across regions, in 64-row blocks.
+    pub strip_blocks_min: usize,
+    /// Widest strip chosen across regions, in 64-row blocks.
+    pub strip_blocks_max: usize,
+    /// Column-plane arena gathers elided versus op-by-op execution
+    /// (each op's operand planes re-read from the arena).
+    pub gathers_elided: usize,
+    /// Column-plane arena scatters elided versus op-by-op execution
+    /// (each op's result planes re-written to the arena).
+    pub scatters_elided: usize,
+    /// Whether replay will actually run the regions strip-mined.
+    /// `false` when the tile is under the small-tile admission floor
+    /// (see [`ApProgram::plan_blocking`]) — the plan is still recorded
+    /// for observability, but replay stays op-by-op.
+    pub engaged: bool,
+}
+
+impl std::fmt::Display for BlockStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} regions ({} ops, max {}/region), footprint ≤ {} B, \
+             strips {}–{} blocks, {} gathers + {} scatters elided{}",
+            self.regions,
+            self.blocked_ops,
+            self.max_ops_per_region,
+            self.footprint_bytes_max,
+            self.strip_blocks_min,
+            self.strip_blocks_max,
+            self.gathers_elided,
+            self.scatters_elided,
+            if self.engaged {
+                ""
+            } else {
+                " (declined: tile under the admission floor)"
+            }
+        )
+    }
+}
+
+/// One row-parallel region: a maximal run of ops that act on every
+/// 64-row block independently, plus its compile-time field footprint.
+#[derive(Debug, Clone)]
+pub(crate) struct BlockRegion {
+    /// First op index (inclusive).
+    pub(crate) start: u32,
+    /// One past the last op index.
+    pub(crate) end: u32,
+    /// Merged column intervals read before they are written inside the
+    /// region — gathered from the arena once per strip.
+    pub(crate) gather: Vec<Field>,
+    /// Merged column intervals written inside the region — scattered
+    /// back to the arena once per strip (the carry column included
+    /// when any op writes it).
+    pub(crate) scatter: Vec<Field>,
+    /// Strip width in 64-row blocks.
+    pub(crate) strip_blocks: usize,
+    /// Data-dependent tally slots the region's ops produce (write
+    /// events, borrow populations) — consumed by the charge walk.
+    pub(crate) tally_len: usize,
+}
+
+/// A program's region-blocking plan: the regions plus summary stats.
+#[derive(Debug, Clone)]
+pub(crate) struct BlockPlan {
+    pub(crate) regions: Vec<BlockRegion>,
+    pub(crate) stats: BlockStats,
+}
+
+/// Whether an op is row-parallel *and* statically valid, i.e. safe to
+/// execute inside a blocked region. Ops that fail their op-by-op
+/// validation (overlap/width errors) are left as boundaries so the
+/// op-by-op engine raises the identical error.
+fn blockable(op: &ApOp, cols: usize) -> bool {
+    let ok = |f: Field| f.start() >= 2 && f.end() <= cols;
+    match *op {
+        ApOp::Step { .. } => true,
+        ApOp::Broadcast { field, value } => {
+            ok(field)
+                && field.width() <= 64
+                && match value {
+                    Operand::Const(c) => c <= field.max_value(),
+                    Operand::Reg(_) => true,
+                }
+        }
+        ApOp::Copy { src, dst } => {
+            ok(src) && ok(dst) && !src.overlaps(&dst) && dst.width() >= src.width()
+        }
+        ApOp::Mul { a, b, r } => {
+            ok(a)
+                && ok(b)
+                && ok(r)
+                && !r.overlaps(&a)
+                && !r.overlaps(&b)
+                && r.width() >= a.width() + b.width()
+        }
+        ApOp::MulConst { a, r, bits, width } => {
+            ok(a)
+                && ok(r)
+                && !r.overlaps(&a)
+                && (1..=64).contains(&width)
+                && (width == 64 || bits >> width == 0)
+                && r.width() >= a.width() + width
+        }
+        ApOp::AddInto { acc, src }
+        | ApOp::SubAssertClean { acc, src }
+        | ApOp::SaturatingSubInto { acc, src } => {
+            ok(acc) && ok(src) && !acc.overlaps(&src) && acc.width() >= src.width()
+        }
+        ApOp::ShrConst { field, .. } => ok(field),
+        ApOp::ShrVariable { field, amount } => ok(field) && ok(amount) && !field.overlaps(&amount),
+        // Restoring division is row-parallel (the LUT sub/restore
+        // sweeps act on each 64-row block independently); the
+        // controller-reciprocal style stays a boundary — it branches on
+        // cross-row divisor values. Zero-divisor admission is dynamic
+        // and handled by the region preflight.
+        ApOp::Divide {
+            num,
+            den,
+            quot,
+            style,
+            ..
+        } => {
+            style == DivStyle::Restoring
+                && ok(num)
+                && ok(den)
+                && ok(quot)
+                && !num.overlaps(&quot)
+                && !den.overlaps(&quot)
+                && !num.overlaps(&den)
+        }
+        ApOp::FusedDivide {
+            den,
+            ref channels,
+            n_channels,
+            ..
+        } => {
+            ok(den)
+                && channels[..n_channels as usize].iter().all(|&(num, quot)| {
+                    ok(num)
+                        && ok(quot)
+                        && !num.overlaps(&quot)
+                        && !den.overlaps(&quot)
+                        && !num.overlaps(&den)
+                })
+        }
+        _ => false,
+    }
+}
+
+/// Data-dependent tally slots one op contributes (the strip executor
+/// accumulates them across strips; the charge walk consumes them in
+/// the same deterministic order).
+pub(crate) fn tally_slots(op: &ApOp) -> usize {
+    match *op {
+        ApOp::AddInto { .. } | ApOp::SubAssertClean { .. } => 1,
+        ApOp::SaturatingSubInto { .. } => 2,
+        ApOp::Mul { b, .. } => b.width(),
+        ApOp::MulConst { bits, .. } => bits.count_ones() as usize,
+        ApOp::ShrVariable { amount, .. } => amount.width(),
+        // Three tallies per restoring iteration: subtract ripple
+        // events, borrow population, restore-blend events.
+        ApOp::Divide { num, frac_bits, .. } => 3 * (num.width() + frac_bits),
+        ApOp::FusedDivide {
+            frac_bits,
+            ref channels,
+            n_channels,
+            ..
+        } => channels[..n_channels as usize]
+            .iter()
+            .map(|&(num, _)| 3 * (num.width() + frac_bits))
+            .sum(),
+        _ => 0,
+    }
+}
+
+/// Run-time admission check for a region: register-valued broadcasts
+/// must fit their field, and every in-region division must be
+/// guaranteed to succeed (non-zero divisor in every row, remainder
+/// scratch capacity). On `false` the caller falls back to the op-by-op
+/// engine, which raises the identical error at the identical op — with
+/// the identical partially-executed arena state, since nothing has run
+/// yet when the preflight rejects.
+fn region_preflight(core: &ApCore, ops: &[ApOp], regs: &[u64]) -> bool {
+    ops.iter().enumerate().all(|(i, op)| match *op {
+        ApOp::Broadcast {
+            field,
+            value: Operand::Reg(r),
+        } => regs.get(r.index()).is_some_and(|&v| v <= field.max_value()),
+        ApOp::Divide { den, .. } | ApOp::FusedDivide { den, .. } => {
+            divide_admissible(core, &ops[..i], regs, den)
+        }
+        _ => true,
+    })
+}
+
+/// Whether an op writes columns overlapping `f` (the carry/flag
+/// latches excluded — reserved columns 0/1 never overlap an allocated
+/// field).
+fn op_writes_overlap(op: &ApOp, f: Field) -> bool {
+    match *op {
+        ApOp::Broadcast { field, .. } => field.overlaps(&f),
+        ApOp::Copy { dst, .. } => dst.overlaps(&f),
+        ApOp::Mul { r, .. } | ApOp::MulConst { r, .. } => r.overlaps(&f),
+        ApOp::AddInto { acc, .. }
+        | ApOp::SubAssertClean { acc, .. }
+        | ApOp::SaturatingSubInto { acc, .. } => acc.overlaps(&f),
+        ApOp::ShrConst { field, k } => k > 0 && field.overlaps(&f),
+        ApOp::ShrVariable { field, .. } => field.overlaps(&f),
+        ApOp::Divide { quot, .. } => quot.overlaps(&f),
+        ApOp::FusedDivide {
+            ref channels,
+            n_channels,
+            ..
+        } => channels[..n_channels as usize]
+            .iter()
+            .any(|&(_, quot)| quot.overlaps(&f)),
+        _ => false,
+    }
+}
+
+/// Whether a region-resident division is guaranteed to succeed: its
+/// remainder scratch must fit the array, and every row's divisor must
+/// be non-zero *at the point the division runs*. When an earlier
+/// region op broadcast the divisor, the value resolves statically;
+/// when the divisor columns are untouched inside the region, a free
+/// word-parallel arena scan decides (subsuming the op-by-op engine's
+/// per-row zero scan); anything the preflight cannot resolve rejects
+/// the region, and the op-by-op fallback raises the identical
+/// [`ApError::DivisionByZero`] at the identical op if it comes to
+/// that.
+fn divide_admissible(core: &ApCore, prior: &[ApOp], regs: &[u64], den: Field) -> bool {
+    if !core.scratch_fits(den.width() + 1) {
+        return false;
+    }
+    for op in prior.iter().rev() {
+        if let ApOp::Broadcast { field, value } = *op {
+            if field == den {
+                let v = match value {
+                    Operand::Const(c) => c,
+                    Operand::Reg(r) => regs.get(r.index()).copied().unwrap_or(0),
+                };
+                return v != 0;
+            }
+        }
+        if op_writes_overlap(op, den) {
+            return false;
+        }
+    }
+    core.fw_field_all_nonzero(den)
+}
+
+/// Marks a field's columns as read (arena-gathered unless already
+/// written inside the region).
+fn mark_read(f: Field, first_read: &mut [bool], written: &[bool], reads: &mut usize) {
+    for c in f.start()..f.end() {
+        *reads += 1;
+        if !written[c] {
+            first_read[c] = true;
+        }
+    }
+}
+
+/// Marks a field's columns as written inside the region.
+fn mark_write(f: Field, written: &mut [bool], writes: &mut usize) {
+    *writes += f.width();
+    written[f.start()..f.end()].fill(true);
+}
+
+/// Merges a column mask into maximal `[start, end)` intervals
+/// (re-using [`Field`] as the interval type).
+fn intervals(mask: &[bool]) -> Vec<Field> {
+    let mut out = Vec::new();
+    let mut c = 0;
+    while c < mask.len() {
+        if !mask[c] {
+            c += 1;
+            continue;
+        }
+        let start = c;
+        while c < mask.len() && mask[c] {
+            c += 1;
+        }
+        out.push(Field::new(start, c - start));
+    }
+    out
+}
+
+/// Charges one restoring-division channel exactly as the op-by-op
+/// FastWord dividers do, from the structural schedule plus the
+/// strip-accumulated `[ev_sub, n_borrow, ev_add]` tally triples (one
+/// per iteration, MSB-first). `physical_shift` selects the standalone
+/// divider's schedule (per-iteration remainder shift sweeps) versus
+/// the fused window rename (shift-free, one canonicalization sweep per
+/// channel at the end). Includes the upfront zero broadcasts of the
+/// remainder scratch and the quotient.
+fn charge_divide_channel(
+    core: &mut ApCore,
+    nw: usize,
+    dw: usize,
+    qw: usize,
+    frac_bits: usize,
+    tally: &[u64],
+    physical_shift: bool,
+) {
+    let rows = core.rows() as u64;
+    let rem_w = dw + 1;
+    let low = 4 * dw as u64;
+    let ripple = 2 * (rem_w - dw) as u64;
+    let mut cmp_cycles = 0u64;
+    let mut cmp_events = 0u64;
+    let mut wr_cycles = (rem_w + qw) as u64;
+    let mut wr_events = (rem_w + qw) as u64 * rows;
+    for (it, k) in (0..nw + frac_bits).rev().enumerate() {
+        if physical_shift {
+            let moved = (rem_w - 1) as u64;
+            cmp_cycles += 2 * moved;
+            cmp_events += 2 * moved * rows;
+            wr_cycles += 2 * moved;
+            wr_events += moved * rows;
+        }
+        if k >= frac_bits {
+            cmp_cycles += 2;
+            cmp_events += 2 * rows;
+            wr_cycles += 2;
+            wr_events += rows;
+        } else {
+            wr_cycles += 1;
+            wr_events += rows;
+        }
+        let (ev_sub, n_borrow, ev_add) = (tally[3 * it], tally[3 * it + 1], tally[3 * it + 2]);
+        cmp_cycles += low + ripple + 1;
+        cmp_events += rows * (3 * low + 2 * ripple) + rows;
+        wr_cycles += 1 + low + ripple;
+        wr_events += rows + ev_sub;
+        wr_cycles += 2;
+        wr_events += rows + n_borrow;
+        if n_borrow > 0 {
+            cmp_cycles += low + ripple;
+            cmp_events += rows * (4 * low + 3 * ripple);
+            wr_cycles += 1 + low + ripple;
+            wr_events += rows + ev_add;
+        }
+        cmp_cycles += 1;
+        cmp_events += rows;
+        let n_nob = rows - n_borrow;
+        if k < qw {
+            wr_cycles += 1;
+            wr_events += n_nob;
+        } else if n_nob > 0 {
+            wr_cycles += qw as u64;
+            wr_events += qw as u64 * n_nob;
+        }
+    }
+    if !physical_shift {
+        cmp_cycles += 2 * rem_w as u64;
+        cmp_events += 2 * rem_w as u64 * rows;
+        wr_cycles += 2 * rem_w as u64;
+        wr_events += rem_w as u64 * rows;
+    }
+    let st = core.cam_mut().stats_mut();
+    st.charge_compares_bulk(cmp_cycles, cmp_events);
+    st.charge_writes_bulk(wr_cycles, wr_events);
+}
+
+/// Charges the cost model for one blocked region exactly as the
+/// op-by-op FastWord engine would have — per op, in op order, from the
+/// structural cycle shapes plus the data-dependent tallies the strip
+/// executor accumulated in `core`'s tally buffer. `hoisted` holds the
+/// region's slice of the program's hoisted indices (absolute), `base`
+/// the absolute index of `ops[0]`.
+fn charge_region(
+    core: &mut ApCore,
+    ops: &[ApOp],
+    hoisted: &[u32],
+    base: usize,
+    charge: ReplayCharge,
+    mark: &mut CycleStats,
+    on_step: &mut dyn FnMut(&'static str, CycleStats),
+) {
+    let rows = core.rows() as u64;
+    let tally = std::mem::take(&mut core.tally_buf);
+    let mut cursor = 0usize;
+    let mut h = 0usize;
+    for (k, op) in ops.iter().enumerate() {
+        let hoist = hoisted.get(h) == Some(&((base + k) as u32));
+        if hoist {
+            h += 1;
+        }
+        let discount = match charge {
+            ReplayCharge::Full => false,
+            ReplayCharge::Hoisted => hoist,
+            // Regions contain no `Load` ops, so lockstep discounts all.
+            ReplayCharge::Lockstep => true,
+        };
+        match *op {
+            ApOp::Broadcast { field, .. } => {
+                if !discount {
+                    let w = field.width() as u64;
+                    core.cam_mut().stats_mut().charge_writes_bulk(w, w * rows);
+                }
+            }
+            ApOp::Copy { src, dst } => {
+                if !discount {
+                    let sw = src.width() as u64;
+                    let hi = (dst.width() - src.width()) as u64;
+                    let st = core.cam_mut().stats_mut();
+                    st.charge_compares_bulk(2 * sw, 2 * sw * rows);
+                    st.charge_writes_bulk(2 * sw, sw * rows);
+                    if hi > 0 {
+                        st.charge_writes_bulk(hi, hi * rows);
+                    }
+                }
+            }
+            ApOp::Mul { a, b, r } => {
+                let bw = b.width();
+                if !discount {
+                    let rw = r.width() as u64;
+                    core.cam_mut().stats_mut().charge_writes_bulk(rw, rw * rows);
+                    for j in 0..bw {
+                        core.fw_charge_ripple(a.width(), a.width() + 1, true, tally[cursor + j]);
+                    }
+                }
+                cursor += bw;
+            }
+            ApOp::MulConst { a, r, bits, .. } => {
+                let set = bits.count_ones() as usize;
+                if !discount {
+                    let rw = r.width() as u64;
+                    core.cam_mut().stats_mut().charge_writes_bulk(rw, rw * rows);
+                    for s in 0..set {
+                        core.fw_charge_ripple(a.width(), a.width() + 1, false, tally[cursor + s]);
+                    }
+                }
+                cursor += set;
+            }
+            ApOp::AddInto { acc, src } => {
+                if !discount {
+                    core.fw_charge_ripple(src.width(), acc.width(), false, tally[cursor]);
+                }
+                cursor += 1;
+            }
+            ApOp::SubAssertClean { acc, src } => {
+                if !discount {
+                    core.fw_charge_ripple(src.width(), acc.width(), false, tally[cursor]);
+                    // Borrow-column readback.
+                    core.cam_mut().stats_mut().charge_compares_bulk(1, rows);
+                }
+                cursor += 1;
+            }
+            ApOp::SaturatingSubInto { acc, src } => {
+                if !discount {
+                    core.fw_charge_ripple(src.width(), acc.width(), false, tally[cursor]);
+                    core.cam_mut().stats_mut().charge_compares_bulk(1, rows);
+                    let n_borrow = tally[cursor + 1];
+                    if n_borrow > 0 {
+                        // Gated clamp broadcast of the underflowed rows.
+                        let aw = acc.width() as u64;
+                        core.cam_mut()
+                            .stats_mut()
+                            .charge_writes_bulk(aw, aw * n_borrow);
+                    }
+                }
+                cursor += 2;
+            }
+            ApOp::ShrConst { field, k } => {
+                if !discount && k > 0 {
+                    let w = field.width();
+                    let st = core.cam_mut().stats_mut();
+                    if k >= w {
+                        st.charge_writes_bulk(w as u64, w as u64 * rows);
+                    } else {
+                        let moved = (w - k) as u64;
+                        st.charge_compares_bulk(2 * moved, 2 * moved * rows);
+                        st.charge_writes_bulk(2 * moved, moved * rows);
+                        st.charge_writes_bulk(k as u64, k as u64 * rows);
+                    }
+                }
+            }
+            ApOp::ShrVariable { field, amount } => {
+                let aw = amount.width();
+                if !discount {
+                    let w = field.width();
+                    let mut cmp_cycles = 0u64;
+                    let mut cmp_events = 0u64;
+                    let mut wr_cycles = 0u64;
+                    let mut wr_events = 0u64;
+                    for j in 0..aw {
+                        let s = 1usize << j;
+                        let n_j = tally[cursor + j];
+                        if s >= w {
+                            cmp_cycles += 1;
+                            cmp_events += rows;
+                            if n_j > 0 {
+                                wr_cycles += w as u64;
+                                wr_events += w as u64 * n_j;
+                            }
+                        } else {
+                            let moved = (w - s) as u64;
+                            cmp_cycles += 2 * moved + 1;
+                            cmp_events += (4 * moved + 1) * rows;
+                            wr_cycles += 2 * moved;
+                            wr_events += moved * n_j;
+                            if n_j > 0 {
+                                wr_cycles += s as u64;
+                                wr_events += s as u64 * n_j;
+                            }
+                        }
+                    }
+                    let st = core.cam_mut().stats_mut();
+                    st.charge_compares_bulk(cmp_cycles, cmp_events);
+                    st.charge_writes_bulk(wr_cycles, wr_events);
+                }
+                cursor += aw;
+            }
+            ApOp::Divide {
+                num,
+                den,
+                quot,
+                frac_bits,
+                ..
+            } => {
+                let slots = 3 * (num.width() + frac_bits);
+                if !discount {
+                    charge_divide_channel(
+                        core,
+                        num.width(),
+                        den.width(),
+                        quot.width(),
+                        frac_bits,
+                        &tally[cursor..cursor + slots],
+                        true,
+                    );
+                }
+                cursor += slots;
+            }
+            ApOp::FusedDivide {
+                den,
+                frac_bits,
+                ref channels,
+                n_channels,
+            } => {
+                for &(num, quot) in &channels[..n_channels as usize] {
+                    let slots = 3 * (num.width() + frac_bits);
+                    if !discount {
+                        charge_divide_channel(
+                            core,
+                            num.width(),
+                            den.width(),
+                            quot.width(),
+                            frac_bits,
+                            &tally[cursor..cursor + slots],
+                            false,
+                        );
+                    }
+                    cursor += slots;
+                }
+            }
+            ApOp::Step { name } => {
+                let now = core.stats();
+                on_step(name, now.since(mark));
+                *mark = now;
+            }
+            _ => unreachable!("non-blockable op inside a region"),
+        }
+    }
+    debug_assert_eq!(cursor, tally.len());
+    core.tally_buf = tally;
+}
+
 /// How a replay charges the cost model: full price, the hoisted-op
 /// discount of [`ApProgram::replay_resident`], or the wave-lockstep
 /// discount of [`ApProgram::replay_lockstep`].
@@ -914,6 +1575,10 @@ pub struct ApProgram {
     /// Op indices the optimizer marked as hoistable out of per-shard
     /// phase bodies (sorted); see [`ApProgram::replay_resident`].
     hoisted: Vec<u32>,
+    /// Region-blocked execution plan computed by
+    /// [`ApProgram::plan_blocking`] (`None` until planned; cleared by
+    /// the optimizer whenever it rewrites the trace).
+    pub(crate) blocking: Option<BlockPlan>,
 }
 
 impl ApProgram {
@@ -1080,11 +1745,49 @@ impl ApProgram {
         scratch.regs.clear();
         scratch.regs.resize(self.num_regs, 0);
         let mut mark = core.stats();
-        let mut hoisted = self.hoisted.iter().copied().peekable();
-        for (i, op) in self.ops.iter().enumerate() {
-            let hoist = hoisted.peek() == Some(&(i as u32));
+        let blocked = match &self.blocking {
+            Some(plan) if plan.stats.engaged && core.backend() == ExecBackend::FastWord => {
+                Some(plan)
+            }
+            _ => None,
+        };
+        let mut h = 0usize;
+        let mut next_region = 0usize;
+        let mut i = 0usize;
+        while i < self.ops.len() {
+            if let Some(plan) = blocked {
+                if let Some(region) = plan.regions.get(next_region) {
+                    if region.start as usize == i {
+                        next_region += 1;
+                        let end = region.end as usize;
+                        if region_preflight(core, &self.ops[i..end], &scratch.regs) {
+                            core.fw_run_region_strips(&self.ops[i..end], region, &scratch.regs)?;
+                            let h0 = h;
+                            while h < self.hoisted.len() && (self.hoisted[h] as usize) < end {
+                                h += 1;
+                            }
+                            charge_region(
+                                core,
+                                &self.ops[i..end],
+                                &self.hoisted[h0..h],
+                                i,
+                                charge,
+                                &mut mark,
+                                on_step,
+                            );
+                            i = end;
+                            continue;
+                        }
+                        // Preflight failed: fall through to the op-by-op
+                        // engine, which raises the identical error at
+                        // the identical op.
+                    }
+                }
+            }
+            let op = &self.ops[i];
+            let hoist = self.hoisted.get(h) == Some(&(i as u32));
             if hoist {
-                hoisted.next();
+                h += 1;
             }
             let discount = match charge {
                 ReplayCharge::Full => false,
@@ -1101,6 +1804,7 @@ impl ApProgram {
             } else {
                 apply_op(core, op, &mut io, scratch, &mut mark, on_step)?;
             }
+            i += 1;
         }
         Ok(())
     }
@@ -1156,6 +1860,175 @@ impl ApProgram {
     #[must_use]
     pub fn hoisted(&self) -> &[u32] {
         &self.hoisted
+    }
+
+    /// Partitions the trace into **row-parallel regions** — maximal op
+    /// runs where every op acts on each 64-row block independently
+    /// (broadcasts, copies, multiplies, add/sub, shifts, restoring
+    /// division), bounded by cross-row ops (min-search, reductions,
+    /// load/read/reg ops) — and records each region's field footprint.
+    /// FastWord
+    /// replay then executes each region strip-mined: per strip of
+    /// 64-row blocks it gathers the region's operand planes once, runs
+    /// all of the region's ops on the cache-resident strip, and
+    /// scatters the written planes once.
+    ///
+    /// This is a **host-only** optimization: replayed planes (the
+    /// carry/flag columns included) and the charged [`CycleStats`] are
+    /// identical to op-by-op execution — the device cost contract is
+    /// untouched. Microcode replay ignores the plan entirely.
+    ///
+    /// `strip_override` pins the strip width in 64-row blocks
+    /// (`None` = auto-size each region's strip to fit its footprint in
+    /// cache; see [`strip_from_env`] for the `SOFTMAP_STRIP` knob).
+    /// Re-running the optimizer clears the plan; call this after the
+    /// final pass pipeline.
+    pub fn plan_blocking(&mut self, strip_override: Option<usize>) {
+        let cols = self.config.cols;
+        let bl = self.config.rows.div_ceil(64);
+        let mut regions = Vec::new();
+        let mut stats = BlockStats {
+            // Small-tile admission floor: below it the whole tile is
+            // narrower than a healthy strip, so the loop interchange
+            // has nothing to amortize its per-region setup against —
+            // regions are still recorded (observability), but replay
+            // stays op-by-op (ratio 1.0 by construction). An explicit
+            // strip override is a request to block regardless (tests,
+            // experiments).
+            engaged: strip_override.is_some() || bl >= MIN_TILE_BLOCKS,
+            ..BlockStats::default()
+        };
+        let mut i = 0usize;
+        while i < self.ops.len() {
+            if !blockable(&self.ops[i], cols) {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < self.ops.len() && blockable(&self.ops[i], cols) {
+                i += 1;
+            }
+            let end = i;
+            let real = self.ops[start..end]
+                .iter()
+                .filter(|op| !matches!(op, ApOp::Step { .. }))
+                .count();
+            if real < 2 {
+                // A single op gains nothing from the loop interchange.
+                continue;
+            }
+            let mut first_read = vec![false; cols];
+            let mut written = vec![false; cols];
+            let mut reads = 0usize;
+            let mut writes = 0usize;
+            let mut tally_len = 0usize;
+            let carry = Field::new(CARRY_COL, 1);
+            let flag = Field::new(FLAG_COL, 1);
+            for op in &self.ops[start..end] {
+                tally_len += tally_slots(op);
+                match *op {
+                    ApOp::Broadcast { field, .. } => {
+                        mark_write(field, &mut written, &mut writes);
+                    }
+                    ApOp::Copy { src, dst } => {
+                        mark_read(src, &mut first_read, &written, &mut reads);
+                        mark_write(dst, &mut written, &mut writes);
+                    }
+                    ApOp::Mul { a, b, r } => {
+                        mark_read(a, &mut first_read, &written, &mut reads);
+                        mark_read(b, &mut first_read, &written, &mut reads);
+                        mark_write(r, &mut written, &mut writes);
+                        mark_write(carry, &mut written, &mut writes);
+                    }
+                    ApOp::MulConst { a, r, .. } => {
+                        mark_read(a, &mut first_read, &written, &mut reads);
+                        mark_write(r, &mut written, &mut writes);
+                        mark_write(carry, &mut written, &mut writes);
+                    }
+                    ApOp::AddInto { acc, src }
+                    | ApOp::SubAssertClean { acc, src }
+                    | ApOp::SaturatingSubInto { acc, src } => {
+                        mark_read(src, &mut first_read, &written, &mut reads);
+                        mark_read(acc, &mut first_read, &written, &mut reads);
+                        mark_write(acc, &mut written, &mut writes);
+                        mark_write(carry, &mut written, &mut writes);
+                    }
+                    ApOp::ShrConst { field, k } => {
+                        if k == 0 {
+                            // Free no-op on the direct path too.
+                        } else if k >= field.width() {
+                            mark_write(field, &mut written, &mut writes);
+                        } else {
+                            mark_read(field, &mut first_read, &written, &mut reads);
+                            mark_write(field, &mut written, &mut writes);
+                        }
+                    }
+                    ApOp::ShrVariable { field, amount } => {
+                        mark_read(field, &mut first_read, &written, &mut reads);
+                        mark_read(amount, &mut first_read, &written, &mut reads);
+                        mark_write(field, &mut written, &mut writes);
+                    }
+                    ApOp::Divide { num, den, quot, .. } => {
+                        mark_read(num, &mut first_read, &written, &mut reads);
+                        mark_read(den, &mut first_read, &written, &mut reads);
+                        mark_write(quot, &mut written, &mut writes);
+                        mark_write(carry, &mut written, &mut writes);
+                        mark_write(flag, &mut written, &mut writes);
+                    }
+                    ApOp::FusedDivide {
+                        den,
+                        ref channels,
+                        n_channels,
+                        ..
+                    } => {
+                        mark_read(den, &mut first_read, &written, &mut reads);
+                        for &(num, quot) in &channels[..n_channels as usize] {
+                            mark_read(num, &mut first_read, &written, &mut reads);
+                            mark_write(quot, &mut written, &mut writes);
+                        }
+                        mark_write(carry, &mut written, &mut writes);
+                        mark_write(flag, &mut written, &mut writes);
+                    }
+                    ApOp::Step { .. } => {}
+                    _ => unreachable!("non-blockable op inside a region"),
+                }
+            }
+            let gather = intervals(&first_read);
+            let scatter = intervals(&written);
+            let p = (0..cols).filter(|&c| first_read[c] || written[c]).count();
+            let auto = (STRIP_TARGET_BYTES / (8 * p.max(1))).max(MIN_STRIP_BLOCKS);
+            let strip_blocks = strip_override.unwrap_or(auto).clamp(1, bl.max(1));
+            let gather_cols: usize = gather.iter().map(|f| f.width()).sum();
+            let scatter_cols: usize = scatter.iter().map(|f| f.width()).sum();
+            stats.regions += 1;
+            stats.blocked_ops += real;
+            stats.max_ops_per_region = stats.max_ops_per_region.max(real);
+            stats.footprint_bytes_max = stats.footprint_bytes_max.max(p * 8 * strip_blocks);
+            stats.strip_blocks_min = if stats.regions == 1 {
+                strip_blocks
+            } else {
+                stats.strip_blocks_min.min(strip_blocks)
+            };
+            stats.strip_blocks_max = stats.strip_blocks_max.max(strip_blocks);
+            stats.gathers_elided += reads - gather_cols;
+            stats.scatters_elided += writes - scatter_cols;
+            regions.push(BlockRegion {
+                start: start as u32,
+                end: end as u32,
+                gather,
+                scatter,
+                strip_blocks,
+                tally_len,
+            });
+        }
+        self.blocking = Some(BlockPlan { regions, stats });
+    }
+
+    /// The region-blocking summary, if [`ApProgram::plan_blocking`]
+    /// has run on the current trace.
+    #[must_use]
+    pub fn block_stats(&self) -> Option<BlockStats> {
+        self.blocking.as_ref().map(|p| p.stats)
     }
 }
 

@@ -222,6 +222,9 @@ pub fn optimize(program: &mut ApProgram, level: OptLevel) -> PassReport {
             .resize(program.ops.len(), CycleStats::default());
         program.static_total = CycleStats::default();
         program.static_steps.clear();
+        // Any region-blocking plan indexed the pre-rewrite trace;
+        // re-plan after the pipeline settles.
+        program.blocking = None;
     }
     report
 }

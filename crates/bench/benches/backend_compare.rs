@@ -16,6 +16,12 @@
 //!   optimizer's fused schedule (`OptLevel::Full`); against the
 //!   `OptLevel::None` pin on `fastword-replayed` this isolates what the
 //!   pass pipeline buys (`opt_gain_rows*` in `BENCH_ap.json`),
+//! * `fastword-blocked` — the fused schedule again, but replayed by
+//!   the region-blocked strip-mined executor (the default engine);
+//!   every other pooled series pins `.with_blocked(false)`, so
+//!   `fastword-blocked / fastword-optimized` is exactly what region
+//!   blocking buys on the same fused plan (`blocking.*` fields and the
+//!   blocking gate in `BENCH_ap.json`),
 //! * `fastword-batch32` — the multi-tile batch driver's throughput,
 //! * `fastword-sharded` / `fastword-sharded-optimized` — long
 //!   sequences (8192/16384 scores) sharded across fixed 2048-row tiles
@@ -27,7 +33,11 @@
 //!   default **resident** regime: shards stay pinned in their tiles
 //!   across the min → exp → divide phases, so phase-boundary Load/Read
 //!   staging is elided (`resident_*` fields and the residency gate in
-//!   `BENCH_ap.json`).
+//!   `BENCH_ap.json`),
+//! * `fastword-sharded-blocked` — the resident regime with the
+//!   region-blocked executor on, i.e. the full default stack at long
+//!   sequence lengths (every per-shard replay strip-mines its
+//!   row-parallel regions).
 //!
 //! * `fastword-autotuned` — the pooled replay of the **autotuned**
 //!   winner at 4096 and 16384 (the mapping autotuner's chosen layout /
@@ -111,14 +121,17 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for len in [512usize, 1024, 2048, 4096] {
         let s = scores(len);
-        // The two raw-engine series stay pinned at `OptLevel::None` so
-        // their trajectory is comparable with earlier records; the
-        // optimizer's effect is its own series below.
+        // The two raw-engine series stay pinned at `OptLevel::None`
+        // and op-by-op replay so their trajectory is comparable with
+        // earlier records; the optimizer's and the blocked executor's
+        // effects are their own series below.
         for (name, backend) in [
             ("microcode", ExecBackend::Microcode),
             ("fastword", ExecBackend::FastWord),
         ] {
-            let m = mapping(backend).with_opt_level(OptLevel::None);
+            let m = mapping(backend)
+                .with_opt_level(OptLevel::None)
+                .with_blocked(false);
             g.bench_with_input(BenchmarkId::new(name, len / 2), &s, |b, s| {
                 b.iter(|| black_box(m.execute_floats(s).unwrap().total.cycles()))
             });
@@ -147,7 +160,9 @@ fn bench(c: &mut Criterion) {
         let s = scores(len);
         // Direct-issue pooled path: one persistent tile + run buffer,
         // the dataflow re-interpreted per vector (pre-plan behaviour).
-        let m = mapping(ExecBackend::FastWord).with_plan_mode(PlanMode::DirectIssue);
+        let m = mapping(ExecBackend::FastWord)
+            .with_plan_mode(PlanMode::DirectIssue)
+            .with_blocked(false);
         let mut state = TileState::new();
         let mut run = ApSoftmaxRun::default();
         g.bench_with_input(BenchmarkId::new("fastword-reused", len / 2), &s, |b, s| {
@@ -157,9 +172,12 @@ fn bench(c: &mut Criterion) {
             })
         });
         // Cached-plan replay: compile once, then load → replay → read.
-        // Pinned to `OptLevel::None` so the series keeps measuring the
-        // replay mechanism itself, comparable with earlier records.
-        let m = mapping(ExecBackend::FastWord).with_opt_level(OptLevel::None);
+        // Pinned to `OptLevel::None` + op-by-op so the series keeps
+        // measuring the replay mechanism itself, comparable with
+        // earlier records.
+        let m = mapping(ExecBackend::FastWord)
+            .with_opt_level(OptLevel::None)
+            .with_blocked(false);
         let mut state = TileState::new();
         let mut run = ApSoftmaxRun::default();
         g.bench_with_input(
@@ -174,8 +192,11 @@ fn bench(c: &mut Criterion) {
         );
         // Optimized cached-plan replay: the fused schedule the pass
         // pipeline produces; vs `fastword-replayed` this is the
-        // optimizer's wall-clock gain on the same pooled path.
-        let m = mapping(ExecBackend::FastWord).with_opt_level(OptLevel::Full);
+        // optimizer's wall-clock gain on the same pooled path. Pinned
+        // op-by-op: this is the blocking gate's baseline.
+        let m = mapping(ExecBackend::FastWord)
+            .with_opt_level(OptLevel::Full)
+            .with_blocked(false);
         let mut state = TileState::new();
         let mut run = ApSoftmaxRun::default();
         g.bench_with_input(
@@ -188,11 +209,29 @@ fn bench(c: &mut Criterion) {
                 })
             },
         );
+        // Region-blocked strip-mined replay of the SAME fused schedule
+        // (the default executor): against `fastword-optimized` this
+        // isolates the blocked engine's wall-clock effect, everything
+        // else held fixed. Same pooled path, same plan, same charges —
+        // the differential proptests pin bit- and cycle-exactness.
+        let m = mapping(ExecBackend::FastWord)
+            .with_opt_level(OptLevel::Full)
+            .with_blocked(true);
+        let mut state = TileState::new();
+        let mut run = ApSoftmaxRun::default();
+        g.bench_with_input(BenchmarkId::new("fastword-blocked", len / 2), &s, |b, s| {
+            b.iter(|| {
+                m.execute_floats_into(&mut state, s, &mut run).unwrap();
+                black_box(run.total.cycles())
+            })
+        });
         // Compile every vector: the cache is cleared per iteration, so
         // this series pays record + execute each time (OptLevel::None,
         // so `fastword-compile − fastword-replayed` stays the plain
         // record cost without the optimize + recost overhead).
-        let m = mapping(ExecBackend::FastWord).with_opt_level(OptLevel::None);
+        let m = mapping(ExecBackend::FastWord)
+            .with_opt_level(OptLevel::None)
+            .with_blocked(false);
         let mut state = TileState::new();
         let mut run = ApSoftmaxRun::default();
         g.bench_with_input(BenchmarkId::new("fastword-compile", len / 2), &s, |b, s| {
@@ -215,7 +254,8 @@ fn bench(c: &mut Criterion) {
         let s = scores(len);
         let m = mapping(ExecBackend::FastWord)
             .with_opt_level(OptLevel::None)
-            .with_resident(false);
+            .with_resident(false)
+            .with_blocked(false);
         let mut state = TileState::new();
         let mut run = ApSoftmaxRun::default();
         g.bench_with_input(BenchmarkId::new("fastword-sharded", len / 2), &s, |b, s| {
@@ -226,7 +266,8 @@ fn bench(c: &mut Criterion) {
         });
         let m = mapping(ExecBackend::FastWord)
             .with_opt_level(OptLevel::Full)
-            .with_resident(false);
+            .with_resident(false)
+            .with_blocked(false);
         let mut state = TileState::new();
         let mut run = ApSoftmaxRun::default();
         g.bench_with_input(
@@ -241,11 +282,32 @@ fn bench(c: &mut Criterion) {
         );
         // Resident regime (the default): shards keep their tiles across
         // phases, followers replay in lockstep, staging is elided.
-        let m = mapping(ExecBackend::FastWord).with_opt_level(OptLevel::Full);
+        // Pinned op-by-op so `fastword-sharded-blocked` below isolates
+        // the blocked executor on the identical resident stack.
+        let m = mapping(ExecBackend::FastWord)
+            .with_opt_level(OptLevel::Full)
+            .with_blocked(false);
         let mut state = TileState::new();
         let mut run = ApSoftmaxRun::default();
         g.bench_with_input(
             BenchmarkId::new("fastword-sharded-resident", len / 2),
+            &s,
+            |b, s| {
+                b.iter(|| {
+                    m.execute_floats_into(&mut state, s, &mut run).unwrap();
+                    black_box(run.latency_cycles)
+                })
+            },
+        );
+        // The full default stack: resident shards, fused schedule, and
+        // the region-blocked strip-mined executor per shard replay.
+        let m = mapping(ExecBackend::FastWord)
+            .with_opt_level(OptLevel::Full)
+            .with_blocked(true);
+        let mut state = TileState::new();
+        let mut run = ApSoftmaxRun::default();
+        g.bench_with_input(
+            BenchmarkId::new("fastword-sharded-blocked", len / 2),
             &s,
             |b, s| {
                 b.iter(|| {

@@ -44,7 +44,7 @@ pub use deploy::{ApDeployment, ApWorkloadCost, WorkloadModel};
 pub use llm_bridge::ApMappedSoftmax;
 pub use mapping::{
     ApSoftmax, ApSoftmaxRun, CacheStats, Layout, PlanMode, StepStats, TileState, VectorCost,
-    AUTOTUNE_ENV,
+    AUTOTUNE_ENV, BLOCKED_ENV, RESIDENT_ENV,
 };
 pub use plan::{
     AutotuneStats, CandidateScore, CompiledPlan, MappingChoice, PlanCache, PlanStats, ShardedPlan,

@@ -149,6 +149,10 @@ pub struct ApSoftmax {
     opt_level: OptLevel,
     device: DeviceConfig,
     resident: bool,
+    /// Whether compiled plans get a region-blocking plan attached
+    /// (strip-mined FastWord execution; see
+    /// [`softmap_ap::ApProgram::plan_blocking`]).
+    blocked: bool,
     /// Whether cached compilation searches candidate mappings and
     /// installs the statically cheapest one (see
     /// [`crate::mapping::autotune`]).
@@ -183,6 +187,36 @@ fn resident_from_env() -> bool {
             WARN.call_once(|| {
                 eprintln!(
                     "softmap: invalid {RESIDENT_ENV}={raw:?}; accepted values are \
+                     0/false/1/true — keeping the default (1)"
+                );
+            });
+            true
+        }
+    }
+}
+
+/// Environment variable enabling/disabling region-blocked strip-mined
+/// FastWord execution: `0`/`false` forces the op-by-op replay path,
+/// `1`/`true` (the default) attaches a region-blocking plan to every
+/// compiled program. Host-execution knob only — results and
+/// `CycleStats` are identical either way. Invalid values warn once and
+/// keep the default.
+pub const BLOCKED_ENV: &str = "SOFTMAP_BLOCKED";
+
+/// Reads [`BLOCKED_ENV`]; invalid values fail loudly (one warning per
+/// process) instead of silently falling back.
+fn blocked_from_env() -> bool {
+    let Ok(raw) = std::env::var(BLOCKED_ENV) else {
+        return true;
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "0" | "false" => false,
+        "1" | "true" => true,
+        _ => {
+            static WARN: std::sync::Once = std::sync::Once::new();
+            WARN.call_once(|| {
+                eprintln!(
+                    "softmap: invalid {BLOCKED_ENV}={raw:?}; accepted values are \
                      0/false/1/true — keeping the default (1)"
                 );
             });
@@ -502,6 +536,7 @@ impl ApSoftmax {
             opt_level: OptLevel::from_env(),
             device: DeviceConfig::default(),
             resident: resident_from_env(),
+            blocked: blocked_from_env(),
             autotune: autotune::autotune_from_env(),
             layout_pinned: false,
             partition_override: None,
@@ -552,6 +587,39 @@ impl ApSoftmax {
     #[must_use]
     pub fn resident(&self) -> bool {
         self.resident
+    }
+
+    /// Enables or disables region-blocked strip-mined execution (the
+    /// default is on, overridable via [`BLOCKED_ENV`]). Enabled, every
+    /// compiled program carries a region-blocking plan and FastWord
+    /// replays execute row-parallel op runs strip by strip out of a
+    /// cache-resident scratch image (`SOFTMAP_STRIP` overrides the
+    /// strip width). This is a host-execution optimization only: the
+    /// device cost contract is untouched — planes, outputs, and
+    /// `CycleStats` are bit-identical either way. Disabled, replays
+    /// take the op-by-op path exactly as before blocking existed.
+    /// Already-compiled plans keep their blocking, so the cache starts
+    /// fresh.
+    #[must_use]
+    pub fn with_blocked(mut self, blocked: bool) -> Self {
+        self.blocked = blocked;
+        self.plans = Arc::new(PlanCache::with_capacity(self.plans.capacity()));
+        self
+    }
+
+    /// Whether region-blocked strip-mined execution is enabled.
+    #[must_use]
+    pub fn blocked(&self) -> bool {
+        self.blocked
+    }
+
+    /// Attaches the region-blocking plan to a freshly compiled program
+    /// (after the optimizer pipeline settles — any rewrite drops a
+    /// stale plan) when blocking is enabled.
+    fn apply_blocking(&self, program: &mut ApProgram) {
+        if self.blocked {
+            program.plan_blocking(softmap_ap::program::strip_from_env());
+        }
     }
 
     /// Whether a vector splitting into `shards` shards executes
@@ -995,6 +1063,7 @@ impl ApSoftmax {
             // schedule and overwrites this vector's run with it.
             self.recost_whole(&mut program, sum_reg, tile, scratch, halves, total_len, run)?;
         }
+        self.apply_blocking(&mut program);
         let plan = Arc::new(CompiledPlan::new(
             program,
             sum_reg,
@@ -1993,6 +2062,7 @@ impl ApSoftmax {
     ) -> Result<(PassReport, CycleStats, u64), CoreError> {
         let report = optimizer::optimize(program, self.opt_level);
         if !report.changed() {
+            self.apply_blocking(program);
             return Ok((report, stats, scratch.reg(reg)));
         }
         *steps = steps_snapshot;
@@ -2012,6 +2082,7 @@ impl ApSoftmax {
             scratch,
             |name, stats| accumulate_step(steps, name, stats),
         )?;
+        self.apply_blocking(program);
         Ok((report, ap.stats(), scratch.reg(reg)))
     }
 
@@ -2864,6 +2935,45 @@ mod tests {
         assert!(fresh().resident(), "unset keeps the default");
         // The in-process escape hatch wins over the environment.
         assert!(!fresh().with_resident(false).resident());
+    }
+
+    #[test]
+    fn blocked_env_overrides_knob() {
+        // Race-safe: only values equivalent to the default (on) plus
+        // garbage/unset are ever set, so tests reading SOFTMAP_BLOCKED
+        // concurrently can never observe `false`.
+        let fresh = || ApSoftmax::new(PrecisionConfig::paper_best()).unwrap();
+        std::env::set_var(BLOCKED_ENV, "1");
+        assert!(fresh().blocked());
+        std::env::set_var(BLOCKED_ENV, " TRUE ");
+        assert!(fresh().blocked());
+        std::env::set_var(BLOCKED_ENV, "not-a-bool");
+        assert!(fresh().blocked(), "garbage warns once and keeps on");
+        std::env::remove_var(BLOCKED_ENV);
+        assert!(fresh().blocked(), "unset keeps the default");
+        // The in-process escape hatch wins over the environment.
+        assert!(!fresh().with_blocked(false).blocked());
+    }
+
+    /// The escape hatch restores the op-by-op replay path with results
+    /// and cost identical to the blocked default.
+    #[test]
+    fn blocked_and_unblocked_runs_are_identical() {
+        let cfg = PrecisionConfig::paper_best();
+        let scores: Vec<f64> = (0..512).map(|i| -(f64::from(i) * 0.31) % 7.3).collect();
+        let blocked = ApSoftmax::new(cfg).unwrap();
+        let unblocked = ApSoftmax::new(cfg).unwrap().with_blocked(false);
+        for sm in [&blocked, &unblocked] {
+            // Warm the cache so the compared runs are pure replays.
+            sm.execute_floats(&scores).unwrap();
+        }
+        let b = blocked.execute_floats(&scores).unwrap();
+        let u = unblocked.execute_floats(&scores).unwrap();
+        assert_eq!(b.codes, u.codes);
+        assert_eq!(b.vapprox, u.vapprox);
+        assert_eq!(b.sum, u.sum);
+        assert_eq!(b.total, u.total, "blocking must not change the device cost");
+        assert_eq!(b.latency_cycles, u.latency_cycles);
     }
 
     fn assert_bit_exact(cfg: PrecisionConfig, scores: &[f64], layout: Layout) {

@@ -172,6 +172,15 @@ impl CompiledPlan {
     pub fn compile_micros(&self) -> f64 {
         self.compile_micros
     }
+
+    /// Region-blocking statistics of the plan's program (regions
+    /// formed, ops covered, footprint, strip widths, arena sweeps
+    /// elided), or `None` when the plan was compiled with blocking
+    /// disabled ([`crate::ApSoftmax::with_blocked`]).
+    #[must_use]
+    pub fn block_stats(&self) -> Option<softmap_ap::BlockStats> {
+        self.program.block_stats()
+    }
 }
 
 /// A compiled **sharded** vector plan: the shard partition, one phase
@@ -259,6 +268,46 @@ impl ShardedPlan {
     #[must_use]
     pub fn compile_micros(&self) -> f64 {
         self.compile_micros
+    }
+
+    /// Aggregated region-blocking statistics across the distinct phase
+    /// programs (each `Arc`-shared program counted once), or `None`
+    /// when the plan was compiled with blocking disabled.
+    #[must_use]
+    pub fn block_stats(&self) -> Option<softmap_ap::BlockStats> {
+        let mut agg: Option<softmap_ap::BlockStats> = None;
+        let mut seen: Vec<*const CompiledPlan> = Vec::new();
+        for plan in self
+            .min_plans
+            .iter()
+            .chain(&self.exp_plans)
+            .chain(&self.div_plans)
+        {
+            let ptr = Arc::as_ptr(plan);
+            if seen.contains(&ptr) {
+                continue;
+            }
+            seen.push(ptr);
+            let Some(s) = plan.block_stats() else {
+                continue;
+            };
+            let a = agg.get_or_insert_with(Default::default);
+            a.regions += s.regions;
+            a.blocked_ops += s.blocked_ops;
+            a.max_ops_per_region = a.max_ops_per_region.max(s.max_ops_per_region);
+            a.footprint_bytes_max = a.footprint_bytes_max.max(s.footprint_bytes_max);
+            a.strip_blocks_min = if a.strip_blocks_min == 0 {
+                s.strip_blocks_min
+            } else if s.strip_blocks_min == 0 {
+                a.strip_blocks_min
+            } else {
+                a.strip_blocks_min.min(s.strip_blocks_min)
+            };
+            a.strip_blocks_max = a.strip_blocks_max.max(s.strip_blocks_max);
+            a.gathers_elided += s.gathers_elided;
+            a.scatters_elided += s.scatters_elided;
+        }
+        agg
     }
 }
 

@@ -111,6 +111,55 @@ fn main() {
         );
     }
 
+    // Region-blocked strip-mined replay (the FastWord default above
+    // already runs blocked; this section pins it explicitly at the
+    // bandwidth-bound 2048-row shape, checks regions actually formed,
+    // and holds the blocked executor's strip/tally scratch to the same
+    // zero-steady-state-allocation contract — the pooled buffers are
+    // sized during warm-up and only reused afterwards).
+    {
+        let wide: Vec<f64> = (0..4096).map(|i| -(f64::from(i) * 0.13) % 7.1).collect();
+        let mapping = ApSoftmax::new(PrecisionConfig::paper_best())
+            .unwrap()
+            .with_autotune(false)
+            .with_backend(ExecBackend::FastWord)
+            .with_blocked(true);
+        let mut state = TileState::new();
+        let mut run = ApSoftmaxRun::default();
+        mapping
+            .execute_floats_into(&mut state, &wide, &mut run)
+            .unwrap();
+        mapping
+            .execute_floats_into(&mut state, &wide, &mut run)
+            .unwrap();
+        let reference = run.codes.clone();
+        let plan = state.cached_plan().expect("whole-vector plan cached");
+        let blocks = plan
+            .block_stats()
+            .expect("blocked compile records block stats");
+        assert!(
+            blocks.regions >= 1 && blocks.blocked_ops >= 4,
+            "the dataflow must form strip-mined regions: {blocks}"
+        );
+        assert!(
+            blocks.strip_blocks_min >= 1 && blocks.footprint_bytes_max > 0,
+            "strips must be sized: {blocks}"
+        );
+        let allocs = count_allocs(|| {
+            for _ in 0..5 {
+                mapping
+                    .execute_floats_into(&mut state, &wide, &mut run)
+                    .unwrap();
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "steady-state blocked replay must not allocate (got {allocs} over 5 vectors)"
+        );
+        assert_eq!(run.codes, reference, "blocked replay must stay bit-exact");
+        println!("tile_alloc: blocked 4096 ok ({blocks})");
+    }
+
     // Sharded long-sequence steady state: the acceptance shape
     // (seq_len 16384 on 2048-row tiles → four shards, three phases,
     // two cross-tile reductions per vector) must replay with zero heap

@@ -114,6 +114,38 @@ fn main() {
     );
     println!("  passes: {}", plan.pass_report());
 
+    // Region-blocked strip-mined execution: the blocked replay above is
+    // the default; compare against the op-by-op escape hatch and print
+    // the plan's blocking summary (host-only optimization — the device
+    // cycle contract is unchanged, so `static cost` above is identical
+    // on both paths).
+    println!("region blocking @ {rows} rows");
+    let unblocked = cached.clone().with_blocked(false);
+    unblocked
+        .execute_floats_into(&mut state, &scores, &mut run)
+        .unwrap(); // compiles the op-by-op plan
+    let op_by_op = time("op-by-op replay", 10, || {
+        unblocked
+            .execute_floats_into(&mut state, &scores, &mut run)
+            .unwrap();
+    });
+    cached
+        .execute_floats_into(&mut state, &scores, &mut run)
+        .unwrap(); // re-warm the blocked plan's tile slot
+    let blocked_t = time("blocked replay", 10, || {
+        cached
+            .execute_floats_into(&mut state, &scores, &mut run)
+            .unwrap();
+    });
+    match plan.block_stats() {
+        Some(blocks) => println!("  blocking: {blocks}"),
+        None => println!("  blocking: disabled"),
+    }
+    println!(
+        "  blocked/op-by-op wall ratio: {:.2}x",
+        blocked_t / op_by_op
+    );
+
     // Sharded residency: replay a 16384-token vector on the default
     // (resident) and re-staged plans, then summarize the plan cache in
     // one line (the single `cache_stats` probe).

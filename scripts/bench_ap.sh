@@ -34,6 +34,16 @@
 # statically worse than the paper default" contract, on static ==
 # simulated cycle counts.
 #
+# Blocking gate (wall-clock, same-run ratio): the region-blocked
+# strip-mined executor must actually be faster than the op-by-op
+# engine where it is designed to win — the large-tile point. Both
+# series replay the IDENTICAL fused plan in the same process, so the
+# ratio cancels host speed: backend/fastword-blocked/2048 must be
+# <= 0.85x backend/fastword-optimized/2048. Unlike the cycle gates
+# this is a wall-clock ratio (blocking is a host-only optimization —
+# simulated cycles are contractually identical on both paths, so a
+# cycle gate would be vacuously 1.0x).
+#
 # Serving gate (host-invariant): the multi-tenant serving layer's
 # load-gen bench (serving_load) emits device-model records — simulated
 # cycles and admission counters, independent of host speed. The
@@ -46,7 +56,7 @@
 #
 # All gates run in --quick too. Set SOFTMAP_SHARD_GATE=0 /
 # SOFTMAP_OPT_GATE=0 / SOFTMAP_RESIDENT_GATE=0 / SOFTMAP_AUTOTUNE_GATE=0
-# / SOFTMAP_SERVE_GATE=0 to disable individually.
+# / SOFTMAP_SERVE_GATE=0 / SOFTMAP_BLOCK_GATE=0 to disable individually.
 #
 # Measurement methodology: the vendored harness sizes each series by a
 # wall-clock budget scaled by `sample_size(n)` (n% of
@@ -65,6 +75,7 @@
 #   SOFTMAP_RESIDENT_GATE set 0 to disable the residency cycle gate
 #   SOFTMAP_AUTOTUNE_GATE set 0 to disable the autotune cycle gate
 #   SOFTMAP_SERVE_GATE    set 0 to disable the serving gate
+#   SOFTMAP_BLOCK_GATE    set 0 to disable the blocked-executor gate
 #   SOFTMAP_SERVE_WORKERS / SOFTMAP_SERVE_QUEUE  serving-layer knobs
 #                         (positive integers; invalid values warn loudly
 #                         and keep the defaults)
@@ -99,11 +110,15 @@ if [ "$quick" = 1 ]; then
     cargo bench -p softmap-bench --bench backend_compare --bench serving_load
 else
     export CRITERION_MEASURE_MS="${CRITERION_MEASURE_MS:-500}"
+    # backend_compare runs first: its blocked-vs-op-by-op gate compares a
+    # cache-resident (clock-sensitive) series against a DRAM-bound one,
+    # so minutes of prior bench load would skew the ratio via frequency
+    # sag before the comparison even starts.
     cargo bench -p softmap-bench \
+        --bench backend_compare \
         --bench ap_softmax_dataflow \
         --bench table2_ap_primitives \
         --bench scalar_softmax \
-        --bench backend_compare \
         --bench serving_load
 fi
 
@@ -199,6 +214,28 @@ for seq in ("8192", "16384"):
     if cyc_r and cyc_o:
         resident[f"resident_over_restaged_seq{seq}"] = round(cyc_r / cyc_o, 3)
 
+# Region-blocked strip-mined executor: wall-clock replay of the SAME
+# fused plan through the blocked engine vs the op-by-op engine (both
+# measured this run, same process — the ratio cancels host speed).
+# There is no cycle companion: blocking is a host-only optimization
+# and charges contractually identical CycleStats.
+blocking = {}
+for rows in ("256", "512", "1024", "2048"):
+    blk = by_name.get(f"backend/fastword-blocked/{rows}")
+    opbyop = by_name.get(f"backend/fastword-optimized/{rows}")
+    if blk:
+        blocking[f"blocked_rows{rows}_ns"] = round(blk, 1)
+    if blk and opbyop:
+        blocking[f"blocked_over_opbyop_rows{rows}"] = round(blk / opbyop, 3)
+for seq in ("8192", "16384"):
+    rows = str(int(seq) // 2)
+    blk = by_name.get(f"backend/fastword-sharded-blocked/{rows}")
+    opbyop = by_name.get(f"backend/fastword-sharded-resident/{rows}")
+    if blk:
+        blocking[f"blocked_shard_seq{seq}_ns"] = round(blk, 1)
+    if blk and opbyop:
+        blocking[f"blocked_over_opbyop_shard_seq{seq}"] = round(blk / opbyop, 3)
+
 # Multi-tenant serving layer: wall-clock throughput/latency (host-
 # dependent, informational) plus the device-model schedule quality the
 # serving gate runs on (host-invariant: simulated cycles and admission
@@ -246,6 +283,7 @@ doc = {
     "plan_cache": plan,
     "sharding": shard,
     "residency": resident,
+    "blocking": blocking,
     "optimizer": opt,
     "autotune": autotune,
     "serving": serving,
@@ -371,6 +409,38 @@ if os.environ.get("SOFTMAP_RESIDENT_GATE", "1") != "0":
               "replay lost its zero-charge accounting.", file=sys.stderr)
         sys.exit(1)
     print("resident gate: OK")
+
+# ---- blocked-executor gate -------------------------------------------------
+# Wall-clock, but a SAME-RUN ratio of two series replaying the
+# identical fused plan in the same process, so host speed cancels.
+# There is no cycle-count companion gate: blocking is a host-only
+# optimization whose CycleStats are contractually identical to the
+# op-by-op engine's (differential-proptest-enforced), so a simulated-
+# cycle gate would be vacuously 1.0x. The blocked executor must win
+# where it is designed to win — the large-tile (2048-row) point.
+if os.environ.get("SOFTMAP_BLOCK_GATE", "1") != "0":
+    blk = by_name.get("backend/fastword-blocked/2048")
+    opbyop = by_name.get("backend/fastword-optimized/2048")
+    if not (blk and opbyop):
+        print("BLOCK GATE FAILED: missing benchmark series "
+              f"(fastword-blocked/2048 = {blk}, "
+              f"fastword-optimized/2048 = {opbyop}). "
+              "Did backend_compare stop emitting the blocked series?",
+              file=sys.stderr)
+        sys.exit(1)
+    ratio = blk / opbyop
+    print(f"block gate: blocked {blk:.0f} ns vs op-by-op {opbyop:.0f} ns "
+          f"@2048 rows = {ratio:.3f}x (limit 0.85x)")
+    if ratio > 0.85:
+        print("BLOCK GATE FAILED: the region-blocked executor replays "
+              f"the fused 2048-row plan in {blk:.0f} ns vs the op-by-op "
+              f"engine's {opbyop:.0f} ns ({ratio:.3f}x; required <= "
+              "0.85x). Strip-mining stopped beating the per-op "
+              "gather/scatter pattern — a region stopped admitting, a "
+              "strip kernel lost vectorization, or the strip sizing "
+              "regressed.", file=sys.stderr)
+        sys.exit(1)
+    print("block gate: OK")
 
 # ---- autotune cycle gate ---------------------------------------------------
 # Host-invariant by construction: both numbers are simulated cycle
